@@ -1,0 +1,223 @@
+//! CPU throughput model: PLATFORMA's 64-core EPYC pair, and extrapolation
+//! from locally measured rates.
+//!
+//! The paper's SALTED-CPU numbers (Table 5) pin the 64-thread rates;
+//! §4.3's 59×/63× speedups on 64 cores pin the parallel-efficiency
+//! curve, modelled Amdahl-style: `S(p) = p / (1 + α(p − 1))`.
+
+use serde::{Deserialize, Serialize};
+
+/// CPU hash identifiers (mirrors the GPU model's enum to avoid a
+/// dependency direction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CpuHash {
+    /// SHA-1.
+    Sha1,
+    /// SHA3-256.
+    Sha3,
+}
+
+/// A multicore CPU's calibrated search-throughput model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Descriptive name.
+    pub name: String,
+    /// Physical cores.
+    pub cores: u32,
+    /// Full-machine SHA-1 seed rate (seeds/s at `cores` threads).
+    pub rate_sha1: f64,
+    /// Full-machine SHA-3 seed rate.
+    pub rate_sha3: f64,
+    /// Amdahl serial fraction for SHA-1 (from the 59× speedup).
+    pub alpha_sha1: f64,
+    /// Amdahl serial fraction for SHA-3 (from the 63× speedup).
+    pub alpha_sha3: f64,
+}
+
+/// Exhaustive d=5 seed count, the calibration workload.
+const D5_SEEDS: f64 = 8_987_138_113.0;
+
+impl CpuModel {
+    /// PLATFORMA's 2×EPYC 7542 calibrated to Table 5 (12.09 s / 60.68 s
+    /// exhaustive d = 5 on 64 threads) and §4.3 (59× / 63× speedups).
+    pub fn platform_a() -> Self {
+        CpuModel {
+            name: "2x AMD EPYC 7542 (64 cores)".into(),
+            cores: 64,
+            rate_sha1: D5_SEEDS / 12.09,
+            rate_sha3: D5_SEEDS / 60.68,
+            alpha_sha1: Self::alpha_from_speedup(64.0, 59.0),
+            alpha_sha3: Self::alpha_from_speedup(64.0, 63.0),
+        }
+    }
+
+    /// Builds a model from a measured single-thread rate, assuming the
+    /// platform-A efficiency curve — how the harness extrapolates local
+    /// measurements to other core counts.
+    pub fn from_single_thread(name: &str, cores: u32, rate1_sha1: f64, rate1_sha3: f64) -> Self {
+        let a1 = Self::alpha_from_speedup(64.0, 59.0);
+        let a3 = Self::alpha_from_speedup(64.0, 63.0);
+        CpuModel {
+            name: name.into(),
+            cores,
+            rate_sha1: rate1_sha1 * Self::speedup_with_alpha(cores as f64, a1),
+            rate_sha3: rate1_sha3 * Self::speedup_with_alpha(cores as f64, a3),
+            alpha_sha1: a1,
+            alpha_sha3: a3,
+        }
+    }
+
+    /// Solves `S = p / (1 + α(p−1))` for α.
+    pub fn alpha_from_speedup(p: f64, s: f64) -> f64 {
+        (p / s - 1.0) / (p - 1.0)
+    }
+
+    fn speedup_with_alpha(p: f64, alpha: f64) -> f64 {
+        p / (1.0 + alpha * (p - 1.0))
+    }
+
+    /// Modelled speedup at `threads` threads.
+    pub fn speedup(&self, hash: CpuHash, threads: u32) -> f64 {
+        let alpha = match hash {
+            CpuHash::Sha1 => self.alpha_sha1,
+            CpuHash::Sha3 => self.alpha_sha3,
+        };
+        Self::speedup_with_alpha(threads as f64, alpha)
+    }
+
+    /// Full-machine rate for a hash.
+    pub fn rate(&self, hash: CpuHash) -> f64 {
+        match hash {
+            CpuHash::Sha1 => self.rate_sha1,
+            CpuHash::Sha3 => self.rate_sha3,
+        }
+    }
+
+    /// Search-only seconds for `seeds` candidates at full thread count.
+    pub fn search_seconds(&self, hash: CpuHash, seeds: u128) -> f64 {
+        seeds as f64 / self.rate(hash)
+    }
+
+    /// Search-only seconds at a reduced thread count.
+    pub fn search_seconds_at(&self, hash: CpuHash, seeds: u128, threads: u32) -> f64 {
+        let full = self.speedup(hash, self.cores);
+        let at = self.speedup(hash, threads);
+        self.search_seconds(hash, seeds) * full / at
+    }
+}
+
+/// Distributed-memory cluster scaling — Philabaum et al.'s MPI engine
+/// reached **404× on 512 cores**; this pins the cluster-level Amdahl
+/// curve the same way §4.3 pins the node-level one.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ClusterModel {
+    /// Serial/communication fraction of the distributed search.
+    pub alpha: f64,
+    /// Per-distance collective-barrier cost in seconds (assignment
+    /// scatter + report gather).
+    pub barrier_cost: f64,
+}
+
+impl ClusterModel {
+    /// Calibrated to Philabaum et al. (404× @ 512 cores).
+    pub fn philabaum() -> Self {
+        ClusterModel {
+            alpha: CpuModel::alpha_from_speedup(512.0, 404.0),
+            barrier_cost: 2.0e-3,
+        }
+    }
+
+    /// Modelled speedup on `cores` total cores.
+    pub fn speedup(&self, cores: u32) -> f64 {
+        cores as f64 / (1.0 + self.alpha * (cores as f64 - 1.0))
+    }
+
+    /// Search time: single-core time scaled by the cluster speedup plus
+    /// one barrier per distance.
+    pub fn search_seconds(&self, single_core_seconds: f64, cores: u32, distances: u32) -> f64 {
+        single_core_seconds / self.speedup(cores) + self.barrier_cost * distances as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbc_comb::{average_seeds, exhaustive_seeds};
+
+    #[test]
+    fn table5_cpu_rows_reproduced() {
+        let m = CpuModel::platform_a();
+        let ex1 = m.search_seconds(CpuHash::Sha1, exhaustive_seeds(5));
+        assert!((ex1 - 12.09).abs() < 0.01, "{ex1}");
+        let ex3 = m.search_seconds(CpuHash::Sha3, exhaustive_seeds(5));
+        assert!((ex3 - 60.68).abs() < 0.01, "{ex3}");
+        // Average-case rows: 6.04 s and 30.52 s — the model predicts them
+        // from Equation 3's seed count alone.
+        let avg1 = m.search_seconds(CpuHash::Sha1, average_seeds(5));
+        assert!((avg1 - 6.04).abs() < 0.2, "{avg1}");
+        let avg3 = m.search_seconds(CpuHash::Sha3, average_seeds(5));
+        assert!((avg3 - 30.52).abs() < 0.6, "{avg3}");
+    }
+
+    #[test]
+    fn section_4_3_speedups() {
+        let m = CpuModel::platform_a();
+        assert!((m.speedup(CpuHash::Sha1, 64) - 59.0).abs() < 1e-9);
+        assert!((m.speedup(CpuHash::Sha3, 64) - 63.0).abs() < 1e-9);
+        assert!((m.speedup(CpuHash::Sha1, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_is_monotone_and_sublinear() {
+        let m = CpuModel::platform_a();
+        let mut prev = 0.0;
+        for p in [1u32, 2, 4, 8, 16, 32, 64, 128] {
+            let s = m.speedup(CpuHash::Sha3, p);
+            assert!(s > prev);
+            assert!(s <= p as f64 + 1e-9);
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn sha3_timeout_exceeds_threshold() {
+        // §4.3/Table 5: SALTED-CPU with SHA-3 misses T = 20 s
+        // (exhaustive 60.68 s, average 30.52 s); SHA-1 makes it.
+        let m = CpuModel::platform_a();
+        assert!(m.search_seconds(CpuHash::Sha3, exhaustive_seeds(5)) > 20.0);
+        assert!(m.search_seconds(CpuHash::Sha3, average_seeds(5)) > 20.0);
+        assert!(m.search_seconds(CpuHash::Sha1, exhaustive_seeds(5)) < 20.0);
+    }
+
+    #[test]
+    fn from_single_thread_scales() {
+        let m = CpuModel::from_single_thread("local", 8, 1.0e7, 2.0e6);
+        assert!(m.rate_sha1 > 1.0e7 * 7.0 && m.rate_sha1 < 8.0e7);
+        assert!(m.rate_sha3 > 2.0e6 * 7.0 && m.rate_sha3 < 1.6e7);
+    }
+
+    #[test]
+    fn reduced_threads_slow_down() {
+        let m = CpuModel::platform_a();
+        let full = m.search_seconds_at(CpuHash::Sha1, exhaustive_seeds(5), 64);
+        let half = m.search_seconds_at(CpuHash::Sha1, exhaustive_seeds(5), 32);
+        assert!(half > 1.8 * full, "{half} vs {full}");
+    }
+
+    #[test]
+    fn philabaum_cluster_reproduces_404x() {
+        let c = ClusterModel::philabaum();
+        assert!((c.speedup(512) - 404.0).abs() < 1e-6);
+        assert!((c.speedup(1) - 1.0).abs() < 1e-12);
+        assert!(c.speedup(1024) < 1024.0);
+        assert!(c.speedup(1024) > c.speedup(512));
+    }
+
+    #[test]
+    fn cluster_search_time_includes_barriers() {
+        let c = ClusterModel::philabaum();
+        let t = c.search_seconds(512.0, 512, 5);
+        assert!(t > 512.0 / 404.0, "barrier overhead must show");
+        assert!(t < 512.0 / 404.0 + 0.05);
+    }
+}

@@ -1,0 +1,34 @@
+//! # rbc-accel
+//!
+//! The cross-platform layer of the evaluation: Table 3's platform catalog,
+//! the calibrated timing models for each device class, and the Table 6
+//! power/energy models.
+//!
+//! * [`platform`] — PLATFORMA (EPYC + 3×A100) and PLATFORMB (i7 + Gemini
+//!   APU) as data.
+//! * [`cpu_model`] — Table 5's CPU rates plus §4.3's parallel-efficiency
+//!   curve, with extrapolation from locally measured single-thread rates.
+//! * [`apu_timing`] — maps the APU simulator's raw bit-serial cycles to
+//!   Gemini wall-clock via per-algorithm calibration factors.
+//! * [`energy`] — the two-state power model that regenerates Table 6.
+//!
+//! The GPU timing model lives with its functional simulator in
+//! `rbc-gpu-sim`; this crate re-exports it so harnesses can pull every
+//! device model from one place.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apu_timing;
+pub mod cpu_model;
+pub mod energy;
+pub mod platform;
+
+pub use apu_timing::{ApuTimingModel, GEMINI_CLOCK_HZ};
+pub use cpu_model::{ClusterModel, CpuHash, CpuModel};
+pub use energy::PowerModel;
+pub use platform::{platform_a, platform_b, AcceleratorSpec, CpuSpec, Platform};
+
+// One-stop device-model access for the bench harness.
+pub use rbc_apu_sim::{ApuHash, ApuSearchConfig};
+pub use rbc_gpu_sim::{GpuDeviceModel, GpuHash, GpuKernelConfig, KernelParams};

@@ -1,0 +1,111 @@
+//! The paper's evaluation platforms (Table 3).
+
+use serde::{Deserialize, Serialize};
+
+/// A host CPU description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Model string.
+    pub model: String,
+    /// Total physical cores.
+    pub cores: u32,
+    /// Base clock in GHz.
+    pub clock_ghz: f64,
+    /// Memory in GiB.
+    pub memory_gib: u32,
+}
+
+/// An accelerator description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorSpec {
+    /// Model string.
+    pub model: String,
+    /// Cores per device (CUDA cores / bit processors).
+    pub cores: u32,
+    /// Clock in MHz.
+    pub clock_mhz: u32,
+    /// Device memory in GiB.
+    pub memory_gib: u32,
+    /// Devices installed.
+    pub count: u32,
+    /// Software stack.
+    pub software: String,
+}
+
+/// One evaluation platform row of Table 3.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Platform {
+    /// Platform name as used in the paper.
+    pub name: &'static str,
+    /// Host CPU.
+    pub cpu: CpuSpec,
+    /// Attached accelerator.
+    pub accelerator: AcceleratorSpec,
+}
+
+/// PLATFORMA: 2×AMD EPYC 7542 + 3×NVIDIA A100 (one used unless stated).
+pub fn platform_a() -> Platform {
+    Platform {
+        name: "PlatformA",
+        cpu: CpuSpec {
+            model: "2x AMD EPYC 7542".into(),
+            cores: 64,
+            clock_ghz: 2.9,
+            memory_gib: 512,
+        },
+        accelerator: AcceleratorSpec {
+            model: "NVIDIA A100".into(),
+            cores: 6912,
+            clock_mhz: 1410,
+            memory_gib: 40,
+            count: 3,
+            software: "CUDA 11".into(),
+        },
+    }
+}
+
+/// PLATFORMB: Intel i7-7700 + GSI Gemini APU.
+pub fn platform_b() -> Platform {
+    Platform {
+        name: "PlatformB",
+        cpu: CpuSpec {
+            model: "Intel i7-7700".into(),
+            cores: 4,
+            clock_ghz: 3.6,
+            memory_gib: 32,
+        },
+        accelerator: AcceleratorSpec {
+            model: "Gemini APU".into(),
+            cores: 131_072,
+            clock_mhz: 575,
+            memory_gib: 4,
+            count: 1,
+            software: "APL".into(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_values() {
+        let a = platform_a();
+        assert_eq!(a.cpu.cores, 64);
+        assert_eq!(a.accelerator.cores, 6912);
+        assert_eq!(a.accelerator.clock_mhz, 1410);
+        let b = platform_b();
+        assert_eq!(b.accelerator.cores, 131_072);
+        assert_eq!(b.accelerator.clock_mhz, 575);
+        assert_eq!(b.cpu.cores, 4);
+    }
+
+    #[test]
+    fn apu_core_count_matches_simulator_shape() {
+        assert_eq!(
+            platform_b().accelerator.cores as usize,
+            rbc_apu_sim::ApuConfig::gemini_sha1().total_bps
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! The Gemini-style associative processor model.
+//!
+//! The GSI Gemini APU (Figure 2 of the paper) is a compute-in-memory
+//! device: 4 cores × 16 banks × 2048 bit processors (BPs), 131,072 BPs in
+//! total — the "cores" count of Table 3. Software defines *processing
+//! elements* (PEs) by ganging BPs: 2 BPs (32 bits) per PE for SHA-1,
+//! 5 BPs (80 bits) per PE for SHA-3, giving the paper's 65 K and 26 K PEs.
+//!
+//! [`ApuMachine`] is a functional simulator of that model: a register file
+//! of *vector registers* (one lane per PE), a SIMD instruction set
+//! (boolean ops, bit-serial adds, rotates), and the associative operation
+//! that makes the architecture interesting — [`ApuMachine::match_key`],
+//! which compares every PE's register against a broadcast key in one
+//! sweep. Every instruction charges a bit-serial cycle cost; the cycle
+//! counter drives the timing model in `rbc-accel`.
+
+/// Hardware shape of the simulated device.
+#[derive(Clone, Copy, Debug)]
+pub struct ApuConfig {
+    /// Total bit processors on the chip (Gemini: 4 × 16 × 2048 = 131072).
+    pub total_bps: usize,
+    /// BPs ganged per software PE (2 for SHA-1's 32-bit lanes, 5 for
+    /// SHA-3's 80-bit lanes).
+    pub bps_per_pe: usize,
+    /// Clock frequency (Gemini: 575 MHz, Table 3).
+    pub clock_hz: f64,
+}
+
+impl ApuConfig {
+    /// The Gemini chip with SHA-1 PE ganging (65,536 PEs).
+    pub fn gemini_sha1() -> Self {
+        ApuConfig { total_bps: 4 * 16 * 2048, bps_per_pe: 2, clock_hz: 575.0e6 }
+    }
+
+    /// The Gemini chip with SHA-3 PE ganging (26,214 PEs).
+    pub fn gemini_sha3() -> Self {
+        ApuConfig { total_bps: 4 * 16 * 2048, bps_per_pe: 5, clock_hz: 575.0e6 }
+    }
+
+    /// A scaled-down device for functional tests.
+    pub fn tiny(pes: usize) -> Self {
+        ApuConfig { total_bps: pes * 2, bps_per_pe: 2, clock_hz: 575.0e6 }
+    }
+
+    /// Number of software PEs this configuration yields.
+    pub fn pe_count(&self) -> usize {
+        self.total_bps / self.bps_per_pe
+    }
+}
+
+/// Handle to a vector register (one lane per PE).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reg(usize);
+
+/// The functional APU simulator.
+pub struct ApuMachine {
+    cfg: ApuConfig,
+    pes: usize,
+    /// Lane width in bits (up to 64) — all registers share it.
+    width: u32,
+    mask: u64,
+    regs: Vec<Vec<u64>>,
+    cycles: u64,
+}
+
+impl ApuMachine {
+    /// Creates a machine with `width`-bit lanes (≤ 64).
+    pub fn new(cfg: ApuConfig, width: u32) -> Self {
+        assert!((1..=64).contains(&width), "lane width must be 1..=64");
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        ApuMachine { pes: cfg.pe_count(), cfg, width, mask, regs: Vec::new(), cycles: 0 }
+    }
+
+    /// Number of PEs (vector lanes).
+    pub fn pe_count(&self) -> usize {
+        self.pes
+    }
+
+    /// Lane width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Raw bit-serial cycles charged so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Registers allocated (state-memory rows in use).
+    pub fn registers_allocated(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Simulated wall-clock at the configured frequency for the raw cycle
+    /// count, before any calibration scaling.
+    pub fn raw_seconds(&self) -> f64 {
+        self.cycles as f64 / self.cfg.clock_hz
+    }
+
+    /// Allocates a zeroed vector register.
+    pub fn alloc(&mut self) -> Reg {
+        self.regs.push(vec![0u64; self.pes]);
+        Reg(self.regs.len() - 1)
+    }
+
+    /// Broadcast an immediate to every lane (one word-line write).
+    pub fn broadcast(&mut self, dst: Reg, value: u64) {
+        let v = value & self.mask;
+        self.regs[dst.0].iter_mut().for_each(|l| *l = v);
+        self.cycles += self.width as u64;
+    }
+
+    /// Loads per-lane values from the host (DMA into associative memory).
+    /// Missing entries load zero; extra entries are ignored.
+    pub fn load(&mut self, dst: Reg, values: &[u64]) {
+        for (i, lane) in self.regs[dst.0].iter_mut().enumerate() {
+            *lane = values.get(i).copied().unwrap_or(0) & self.mask;
+        }
+        self.cycles += self.width as u64;
+    }
+
+    /// Reads a register back to the host.
+    pub fn read(&self, r: Reg) -> &[u64] {
+        &self.regs[r.0]
+    }
+
+    fn binop(&mut self, dst: Reg, a: Reg, b: Reg, f: impl Fn(u64, u64) -> u64, cost: u64) {
+        for i in 0..self.pes {
+            let v = f(self.regs[a.0][i], self.regs[b.0][i]) & self.mask;
+            self.regs[dst.0][i] = v;
+        }
+        self.cycles += cost;
+    }
+
+    /// `dst = a ^ b` (one pass per bit plane).
+    pub fn xor(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.binop(dst, a, b, |x, y| x ^ y, self.width as u64);
+    }
+
+    /// `dst = a & b`.
+    pub fn and(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.binop(dst, a, b, |x, y| x & y, self.width as u64);
+    }
+
+    /// `dst = a | b`.
+    pub fn or(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.binop(dst, a, b, |x, y| x | y, self.width as u64);
+    }
+
+    /// `dst = !a`.
+    pub fn not(&mut self, dst: Reg, a: Reg) {
+        for i in 0..self.pes {
+            self.regs[dst.0][i] = !self.regs[a.0][i] & self.mask;
+        }
+        self.cycles += self.width as u64;
+    }
+
+    /// `dst = a + b` (mod 2^width). Bit-serial ripple add: three passes per
+    /// bit plane (xor, majority, carry), hence `3·width` cycles.
+    pub fn add(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.binop(dst, a, b, |x, y| x.wrapping_add(y), 3 * self.width as u64);
+    }
+
+    /// `dst = rotl(a, n)` within the lane width (bit-plane renaming plus
+    /// one copy pass).
+    pub fn rotl(&mut self, dst: Reg, a: Reg, n: u32) {
+        let w = self.width;
+        let n = n % w;
+        for i in 0..self.pes {
+            let v = self.regs[a.0][i];
+            let rotated = if n == 0 { v } else { ((v << n) | (v >> (w - n))) & self.mask };
+            self.regs[dst.0][i] = rotated;
+        }
+        self.cycles += w as u64;
+    }
+
+    /// `dst = a >> n` (logical, within lane width).
+    pub fn shr(&mut self, dst: Reg, a: Reg, n: u32) {
+        for i in 0..self.pes {
+            self.regs[dst.0][i] = (self.regs[a.0][i] >> n) & self.mask;
+        }
+        self.cycles += self.width as u64;
+    }
+
+    /// Copies a register.
+    pub fn copy(&mut self, dst: Reg, a: Reg) {
+        let src = self.regs[a.0].clone();
+        self.regs[dst.0] = src;
+        self.cycles += self.width as u64;
+    }
+
+    /// The associative search: compares every lane of `r` against the
+    /// broadcast `key` in one sweep and returns the per-PE match vector.
+    /// This is the operation a von Neumann machine cannot do in O(1) —
+    /// the architectural reason the APU is in the paper at all.
+    pub fn match_key(&mut self, r: Reg, key: u64) -> Vec<bool> {
+        let key = key & self.mask;
+        // Width passes to compare bit planes + a wired-OR style reduction.
+        self.cycles += self.width as u64 + 17;
+        self.regs[r.0].iter().map(|&l| l == key).collect()
+    }
+
+    /// Reduction: does any lane match? (Charged with `match_key`; this is
+    /// the wired-OR output.)
+    pub fn any_match(&mut self, r: Reg, key: u64) -> Option<usize> {
+        self.match_key(r, key).iter().position(|&m| m)
+    }
+
+    /// Charges `n` idle cycles (host/launch overheads modelled externally
+    /// can inject them here).
+    pub fn charge(&mut self, n: u64) {
+        self.cycles += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemini_shapes_match_paper() {
+        assert_eq!(ApuConfig::gemini_sha1().pe_count(), 65_536);
+        assert_eq!(ApuConfig::gemini_sha3().pe_count(), 26_214);
+        assert_eq!(ApuConfig::gemini_sha1().total_bps, 131_072);
+    }
+
+    #[test]
+    fn arithmetic_ops_are_lanewise() {
+        let mut m = ApuMachine::new(ApuConfig::tiny(4), 32);
+        let a = m.alloc();
+        let b = m.alloc();
+        let c = m.alloc();
+        m.load(a, &[1, 2, 0xFFFF_FFFF, 7]);
+        m.load(b, &[10, 20, 1, 0]);
+        m.add(c, a, b);
+        assert_eq!(m.read(c), &[11, 22, 0, 7], "wrapping at lane width");
+        m.xor(c, a, b);
+        assert_eq!(m.read(c), &[11, 22, 0xFFFF_FFFE, 7]);
+    }
+
+    #[test]
+    fn rotate_within_width() {
+        let mut m = ApuMachine::new(ApuConfig::tiny(2), 32);
+        let a = m.alloc();
+        m.load(a, &[0x8000_0000, 1]);
+        let d = m.alloc();
+        m.rotl(d, a, 1);
+        assert_eq!(m.read(d), &[1, 2]);
+        m.rotl(d, a, 0);
+        assert_eq!(m.read(d), &[0x8000_0000, 1]);
+    }
+
+    #[test]
+    fn width_mask_applies_to_loads_and_broadcast() {
+        let mut m = ApuMachine::new(ApuConfig::tiny(2), 16);
+        let a = m.alloc();
+        m.load(a, &[0x1_FFFF, 0x12345]);
+        assert_eq!(m.read(a), &[0xFFFF, 0x2345]);
+        m.broadcast(a, 0xABCDE);
+        assert_eq!(m.read(a), &[0xBCDE, 0xBCDE]);
+    }
+
+    #[test]
+    fn match_key_finds_exactly_matching_lanes() {
+        let mut m = ApuMachine::new(ApuConfig::tiny(5), 32);
+        let a = m.alloc();
+        m.load(a, &[5, 9, 5, 1, 5]);
+        assert_eq!(m.match_key(a, 5), vec![true, false, true, false, true]);
+        assert_eq!(m.any_match(a, 9), Some(1));
+        assert_eq!(m.any_match(a, 42), None);
+    }
+
+    #[test]
+    fn cycle_costs_accumulate() {
+        let mut m = ApuMachine::new(ApuConfig::tiny(2), 32);
+        let a = m.alloc();
+        let b = m.alloc();
+        let c = m.alloc();
+        assert_eq!(m.cycles(), 0);
+        m.broadcast(a, 1); // 32
+        m.broadcast(b, 2); // 32
+        m.xor(c, a, b); // 32
+        m.add(c, a, b); // 96
+        assert_eq!(m.cycles(), 32 + 32 + 32 + 96);
+        assert!(m.raw_seconds() > 0.0);
+    }
+
+    #[test]
+    fn add_is_costlier_than_logic() {
+        // The bit-serial cost model must preserve the ADD ≫ XOR ordering —
+        // it is why SHA-1 (add-heavy) and SHA-3 (logic-heavy) price
+        // differently per bit.
+        let mut m = ApuMachine::new(ApuConfig::tiny(2), 32);
+        let a = m.alloc();
+        let b = m.alloc();
+        let before = m.cycles();
+        m.xor(a, a, b);
+        let xor_cost = m.cycles() - before;
+        let before = m.cycles();
+        m.add(a, a, b);
+        let add_cost = m.cycles() - before;
+        assert!(add_cost > xor_cost);
+    }
+
+    #[test]
+    fn load_short_vector_zero_fills() {
+        let mut m = ApuMachine::new(ApuConfig::tiny(4), 32);
+        let a = m.alloc();
+        m.load(a, &[7]);
+        assert_eq!(m.read(a), &[7, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane width")]
+    fn zero_width_rejected() {
+        ApuMachine::new(ApuConfig::tiny(1), 0);
+    }
+}

@@ -1,0 +1,333 @@
+//! SALTED-APU: the RBC search mapped onto the associative processor
+//! (§3.3).
+//!
+//! The mapping follows the paper: the number of threads `p` is the PE
+//! count; each PE owns a disjoint slice of the `C(256, d)` mask space and
+//! works through it in **batches of 256 seed permutations** loaded from a
+//! "startup combination"; the early-exit flag lives in associative memory
+//! and is checked between batches, not per seed.
+//!
+//! Inside a batch the device proceeds in waves: every PE hashes its
+//! current candidate simultaneously (one microcoded SIMD hash), the
+//! digests are match-checked associatively, and each PE steps to its next
+//! mask. Functional behaviour (who finds what, after how many hashes) is
+//! exact; wall-clock comes from the machine's cycle counter.
+
+use rbc_bits::U256;
+use rbc_comb::{binomial, partition, Alg515Stream};
+use rbc_hash::{SeedHash, Sha1Fixed, Sha3Fixed};
+
+use crate::machine::{ApuConfig, ApuMachine};
+use crate::sha1::apu_sha1_batch;
+use crate::sha3::apu_sha3_batch;
+
+/// Which hash the device is configured for (fixes the PE ganging).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ApuHash {
+    /// SHA-1: 2 BPs per PE, 65 K PEs.
+    Sha1,
+    /// SHA3-256: 5 BPs per PE, 26 K PEs.
+    Sha3,
+}
+
+/// SALTED-APU configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ApuSearchConfig {
+    /// Device shape (use [`ApuConfig::gemini_sha1`]/[`gemini_sha3`]
+    /// (`ApuConfig::gemini_sha3`) for the paper's chip, or a `tiny`
+    /// configuration for tests).
+    pub device: ApuConfig,
+    /// The hash algorithm.
+    pub hash: ApuHash,
+    /// Seeds each PE processes between early-exit checks (the paper
+    /// uses 256).
+    pub batch: usize,
+}
+
+impl ApuSearchConfig {
+    /// Paper configuration for SHA-1.
+    pub fn gemini_sha1() -> Self {
+        ApuSearchConfig { device: ApuConfig::gemini_sha1(), hash: ApuHash::Sha1, batch: 256 }
+    }
+
+    /// Paper configuration for SHA-3.
+    pub fn gemini_sha3() -> Self {
+        ApuSearchConfig { device: ApuConfig::gemini_sha3(), hash: ApuHash::Sha3, batch: 256 }
+    }
+}
+
+/// Result of a SALTED-APU search.
+#[derive(Clone, Debug)]
+pub struct ApuSearchResult {
+    /// The recovered seed and its distance, if any.
+    pub found: Option<(U256, u32)>,
+    /// Hash waves executed (each wave hashes one seed on every active PE).
+    pub waves: u64,
+    /// Total candidate hashes performed (≤ waves × PEs; trailing lanes may
+    /// be idle).
+    pub hashes: u64,
+    /// Raw bit-serial device cycles.
+    pub cycles: u64,
+    /// Raw simulated seconds at the device clock (pre-calibration).
+    pub raw_seconds: f64,
+    /// PEs the device ran with.
+    pub pes: usize,
+}
+
+/// Runs the SALTED-APU search: is any seed within `max_d` of `s_init`
+/// hashing to `target`? `target` must be the digest bytes of the
+/// configured hash (20 for SHA-1, 32 for SHA-3).
+pub fn apu_salted_search(
+    cfg: &ApuSearchConfig,
+    target: &[u8],
+    s_init: &U256,
+    max_d: u32,
+    early_exit: bool,
+) -> ApuSearchResult {
+    match cfg.hash {
+        ApuHash::Sha1 => {
+            assert_eq!(target.len(), 20, "SHA-1 digest is 20 bytes");
+            let mut t = [0u8; 20];
+            t.copy_from_slice(target);
+            run(cfg, 32, s_init, max_d, early_exit, move |m, seeds| {
+                apu_sha1_batch(m, seeds).into_iter().map(|d| d == t).collect()
+            })
+        }
+        ApuHash::Sha3 => {
+            assert_eq!(target.len(), 32, "SHA-3 digest is 32 bytes");
+            let mut t = [0u8; 32];
+            t.copy_from_slice(target);
+            run(cfg, 64, s_init, max_d, early_exit, move |m, seeds| {
+                apu_sha3_batch(m, seeds).into_iter().map(|d| d == t).collect()
+            })
+        }
+    }
+}
+
+/// Convenience: computes the device-side target digest for a client seed.
+pub fn target_digest(hash: ApuHash, client_seed: &U256) -> Vec<u8> {
+    match hash {
+        ApuHash::Sha1 => Sha1Fixed.digest_seed(client_seed).to_vec(),
+        ApuHash::Sha3 => Sha3Fixed.digest_seed(client_seed).to_vec(),
+    }
+}
+
+fn run(
+    cfg: &ApuSearchConfig,
+    width: u32,
+    s_init: &U256,
+    max_d: u32,
+    early_exit: bool,
+    hash_wave: impl Fn(&mut ApuMachine, &[U256]) -> Vec<bool>,
+) -> ApuSearchResult {
+    assert!(cfg.batch > 0, "batch must be positive");
+    let pes = cfg.device.pe_count();
+    let mut machine = ApuMachine::new(cfg.device, width);
+    let mut found: Option<(U256, u32)> = None;
+    let mut waves = 0u64;
+    let mut hashes = 0u64;
+
+    // Distance 0: a single wave with one active lane.
+    let matches = hash_wave(&mut machine, &[*s_init]);
+    waves += 1;
+    hashes += 1;
+    machine.charge(width as u64 + 17); // associative flag check
+    if matches[0] {
+        found = Some((*s_init, 0));
+    }
+
+    let mut d = 1u32;
+    while d <= max_d {
+        if early_exit && found.is_some() {
+            break;
+        }
+        // Static partition of the weight-d space across PEs; each PE
+        // resumes its own Alg515-style indexed stream (the APU-specific
+        // iterator the paper describes loads startup combinations — a
+        // rank-indexed stream is the same contract).
+        let total = binomial(256, d);
+        let mut streams: Vec<Alg515Stream> = partition(total, pes)
+            .into_iter()
+            .map(|r| Alg515Stream::from_rank_range(d, r.start, r.end))
+            .collect();
+        let mut d_found: Option<U256> = None;
+
+        'batches: loop {
+            // One batch: `cfg.batch` waves, then the flag check.
+            let mut any_masks = false;
+            for _ in 0..cfg.batch {
+                let mut seeds = Vec::with_capacity(pes);
+                let mut carried = Vec::with_capacity(pes);
+                let mut active = 0u64;
+                for s in streams.iter_mut() {
+                    match s.next_mask() {
+                        Some(mask) => {
+                            seeds.push(*s_init ^ mask);
+                            carried.push(true);
+                            active += 1;
+                        }
+                        None => {
+                            // Idle lane: hashes the zero seed as a
+                            // don't-care; its matches are ignored.
+                            seeds.push(U256::ZERO);
+                            carried.push(false);
+                        }
+                    }
+                }
+                if active == 0 {
+                    break;
+                }
+                any_masks = true;
+                let matches = hash_wave(&mut machine, &seeds);
+                waves += 1;
+                hashes += active;
+                if let Some((lane, _)) = matches
+                    .iter()
+                    .enumerate()
+                    .find(|(i, &m)| m && carried[*i])
+                {
+                    d_found = Some(seeds[lane]);
+                }
+            }
+            // Early-exit flag check after the 256-seed batch (§3.3).
+            machine.charge(width as u64 + 17);
+            if !any_masks {
+                break 'batches;
+            }
+            if early_exit && d_found.is_some() {
+                break 'batches;
+            }
+        }
+
+        if let (Some(seed), None) = (d_found, found) {
+            found = Some((seed, d));
+        }
+        d += 1;
+    }
+
+    ApuSearchResult {
+        found,
+        waves,
+        hashes,
+        cycles: machine.cycles(),
+        raw_seconds: machine.raw_seconds(),
+        pes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(hash: ApuHash, pes: usize) -> ApuSearchConfig {
+        ApuSearchConfig { device: ApuConfig::tiny(pes), hash, batch: 8 }
+    }
+
+    #[test]
+    fn finds_seed_at_distance_zero() {
+        let base = U256::from_u64(0xBEEF);
+        let cfg = tiny(ApuHash::Sha1, 4);
+        let target = target_digest(ApuHash::Sha1, &base);
+        let r = apu_salted_search(&cfg, &target, &base, 2, true);
+        assert_eq!(r.found, Some((base, 0)));
+        assert_eq!(r.hashes, 1);
+    }
+
+    #[test]
+    fn finds_planted_seeds_both_hashes() {
+        let base = U256::from_limbs([3, 1, 4, 1]);
+        for hash in [ApuHash::Sha1, ApuHash::Sha3] {
+            for (d, bits) in [(1u32, vec![200usize]), (2, vec![0, 255])] {
+                let mut client = base;
+                for b in &bits {
+                    client.flip_bit_in_place(*b);
+                }
+                let cfg = tiny(hash, 8);
+                let target = target_digest(hash, &client);
+                let r = apu_salted_search(&cfg, &target, &base, 2, true);
+                assert_eq!(r.found, Some((client, d)), "{hash:?} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_when_outside_bound() {
+        let base = U256::from_u64(5);
+        let client = base.flip_bit(0).flip_bit(1).flip_bit(2);
+        let cfg = tiny(ApuHash::Sha1, 8);
+        let target = target_digest(ApuHash::Sha1, &client);
+        let r = apu_salted_search(&cfg, &target, &base, 2, true);
+        assert_eq!(r.found, None);
+        // Exhausted everything: 1 + 256 + 32640 candidate hashes.
+        assert_eq!(r.hashes, 1 + 256 + 32_640);
+    }
+
+    #[test]
+    fn early_exit_saves_hashes_vs_exhaustive() {
+        let base = U256::from_u64(77);
+        let client = base.flip_bit(10); // early in d=1
+        let cfg = tiny(ApuHash::Sha1, 4);
+        let target = target_digest(ApuHash::Sha1, &client);
+        let early = apu_salted_search(&cfg, &target, &base, 2, true);
+        let full = apu_salted_search(&cfg, &target, &base, 2, false);
+        assert_eq!(early.found, full.found);
+        assert!(early.hashes < full.hashes);
+        assert!(early.cycles < full.cycles);
+    }
+
+    #[test]
+    fn batch_granularity_bounds_early_exit_overshoot() {
+        // Early exit happens between batches: after the hit, at most
+        // (batch − 1) extra waves run in that batch.
+        let base = U256::from_u64(123);
+        let client = base.flip_bit(0); // first candidate of d=1 for lane 0
+        let cfg = ApuSearchConfig { device: ApuConfig::tiny(2), hash: ApuHash::Sha1, batch: 4 };
+        let target = target_digest(ApuHash::Sha1, &client);
+        let r = apu_salted_search(&cfg, &target, &base, 1, true);
+        assert_eq!(r.found, Some((client, 1)));
+        // d0 wave + one full batch of 4 waves on 2 PEs = 1 + 8 hashes.
+        assert_eq!(r.hashes, 1 + 8);
+    }
+
+    #[test]
+    fn more_pes_fewer_waves() {
+        let base = U256::from_u64(9);
+        let client = base.flip_bit(40).flip_bit(90);
+        let target = target_digest(ApuHash::Sha1, &client);
+        let small = apu_salted_search(&tiny(ApuHash::Sha1, 4), &target, &base, 2, false);
+        let large = apu_salted_search(&tiny(ApuHash::Sha1, 64), &target, &base, 2, false);
+        assert!(large.waves < small.waves, "{} vs {}", large.waves, small.waves);
+        assert_eq!(small.found, large.found);
+    }
+
+    #[test]
+    fn idle_zero_lanes_do_not_false_positive() {
+        // Target = hash of the zero seed, which sits at distance 2 from
+        // the base — outside the d = 1 bound. Idle lanes hash zero as a
+        // don't-care and must not authenticate it.
+        let base = U256::from_u64((1 << 20) | (1 << 30));
+        let cfg = tiny(ApuHash::Sha1, 8);
+        let target = target_digest(ApuHash::Sha1, &U256::ZERO);
+        let r = apu_salted_search(&cfg, &target, &base, 1, true);
+        assert_eq!(r.found, None);
+    }
+
+    #[test]
+    fn zero_seed_is_found_when_legitimately_in_range() {
+        // Same digest, but with max_d = 2 the zero seed is a real
+        // candidate and must be recovered despite also being the idle
+        // lane filler.
+        let base = U256::from_u64((1 << 20) | (1 << 30));
+        let cfg = tiny(ApuHash::Sha1, 8);
+        let target = target_digest(ApuHash::Sha1, &U256::ZERO);
+        let r = apu_salted_search(&cfg, &target, &base, 2, true);
+        assert_eq!(r.found, Some((U256::ZERO, 2)));
+    }
+
+    #[test]
+    fn gemini_configs_have_paper_pe_counts() {
+        assert_eq!(ApuSearchConfig::gemini_sha1().device.pe_count(), 65_536);
+        assert_eq!(ApuSearchConfig::gemini_sha3().device.pe_count(), 26_214);
+        assert_eq!(ApuSearchConfig::gemini_sha1().batch, 256);
+    }
+}

@@ -1,0 +1,201 @@
+//! SHA-1 microcoded on the APU: every PE hashes its own 256-bit seed
+//! simultaneously, using only the machine's SIMD instruction set.
+//!
+//! This is the APU analogue of the fixed-input optimization (§3.2.2): the
+//! message schedule's first 16 words are the 8 seed words plus padding
+//! constants, broadcast or loaded once; all 80 rounds run as vector ops.
+//! Functional output is bit-for-bit [`rbc_hash::sha1::sha1_fixed32`] —
+//! verified in the tests — while the cycle counter prices the run.
+
+use rbc_bits::U256;
+use rbc_hash::sha1::Sha1Digest;
+
+use crate::machine::{ApuMachine, Reg};
+
+/// SHA-1 initialization vector.
+const H0: [u64; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+/// Splits a seed into the eight big-endian 32-bit message words of its
+/// canonical (little-endian byte) serialization.
+fn seed_words(seed: &U256) -> [u64; 8] {
+    let bytes = seed.to_le_bytes();
+    core::array::from_fn(|i| {
+        u32::from_be_bytes([bytes[4 * i], bytes[4 * i + 1], bytes[4 * i + 2], bytes[4 * i + 3]])
+            as u64
+    })
+}
+
+/// Hashes one seed per PE (up to `machine.pe_count()` seeds; lanes beyond
+/// `seeds.len()` compute a don't-care hash of the zero seed). Returns the
+/// digests for the provided seeds.
+///
+/// The register budget is 16 schedule slots (ring buffer) + 5 state + 5
+/// IV + ~4 temporaries — within a 32-bit PE's state memory.
+pub fn apu_sha1_batch(machine: &mut ApuMachine, seeds: &[U256]) -> Vec<Sha1Digest> {
+    assert!(machine.width() == 32, "SHA-1 microcode needs 32-bit lanes");
+    assert!(seeds.len() <= machine.pe_count(), "more seeds than PEs");
+
+    // Load the 16-word schedule ring: words 0..8 are the seed, 8 is the
+    // pad marker, 9..15 zero, 15 the bit length (256).
+    let w: Vec<Reg> = (0..16).map(|_| machine.alloc()).collect();
+    let per_word: Vec<Vec<u64>> = (0..8)
+        .map(|i| seeds.iter().map(|s| seed_words(s)[i]).collect())
+        .collect();
+    for i in 0..8 {
+        machine.load(w[i], &per_word[i]);
+    }
+    machine.broadcast(w[8], 0x8000_0000);
+    for slot in w.iter().take(15).skip(9) {
+        machine.broadcast(*slot, 0);
+    }
+    machine.broadcast(w[15], 256);
+
+    // Working state and round temporaries.
+    let (a, b, c, d, e) = (
+        machine.alloc(),
+        machine.alloc(),
+        machine.alloc(),
+        machine.alloc(),
+        machine.alloc(),
+    );
+    let t1 = machine.alloc();
+    let t2 = machine.alloc();
+    let f = machine.alloc();
+    let kreg = machine.alloc();
+
+    machine.broadcast(a, H0[0]);
+    machine.broadcast(b, H0[1]);
+    machine.broadcast(c, H0[2]);
+    machine.broadcast(d, H0[3]);
+    machine.broadcast(e, H0[4]);
+
+    for round in 0..80usize {
+        // Message schedule: from round 16 on, w[i mod 16] is recomputed in
+        // place: rotl1(w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]).
+        if round >= 16 {
+            let i = round % 16;
+            machine.xor(t1, w[(round - 3) % 16], w[(round - 8) % 16]);
+            machine.xor(t1, t1, w[(round - 14) % 16]);
+            machine.xor(t1, t1, w[i]);
+            machine.rotl(t1, t1, 1);
+            machine.copy(w[i], t1);
+        }
+        let wi = w[round % 16];
+
+        // Round function f and constant K.
+        let k = match round {
+            0..=19 => {
+                // f = (b & c) | (!b & d)  — "choose".
+                machine.and(f, b, c);
+                machine.not(t2, b);
+                machine.and(t2, t2, d);
+                machine.or(f, f, t2);
+                0x5A82_7999
+            }
+            20..=39 => {
+                machine.xor(f, b, c);
+                machine.xor(f, f, d);
+                0x6ED9_EBA1
+            }
+            40..=59 => {
+                // f = (b & c) | (b & d) | (c & d) — "majority".
+                machine.and(f, b, c);
+                machine.and(t2, b, d);
+                machine.or(f, f, t2);
+                machine.and(t2, c, d);
+                machine.or(f, f, t2);
+                0x8F1B_BCDC
+            }
+            _ => {
+                machine.xor(f, b, c);
+                machine.xor(f, f, d);
+                0xCA62_C1D6
+            }
+        };
+        machine.broadcast(kreg, k);
+
+        // tmp = rotl5(a) + f + e + k + w[i].
+        machine.rotl(t1, a, 5);
+        machine.add(t1, t1, f);
+        machine.add(t1, t1, e);
+        machine.add(t1, t1, kreg);
+        machine.add(t1, t1, wi);
+
+        // Rotate the pipeline: e←d, d←c, c←rotl30(b), b←a, a←tmp.
+        machine.copy(e, d);
+        machine.copy(d, c);
+        machine.rotl(c, b, 30);
+        machine.copy(b, a);
+        machine.copy(a, t1);
+    }
+
+    // Final addition of the IV.
+    let iv = machine.alloc();
+    let outs = [a, b, c, d, e];
+    for (reg, h) in outs.iter().zip(H0.iter()) {
+        machine.broadcast(iv, *h);
+        machine.add(*reg, *reg, iv);
+    }
+
+    // Read back digests.
+    let lanes: Vec<&[u64]> = outs.iter().map(|r| machine.read(*r)).collect();
+    // `read` borrows immutably; collect values first.
+    let vals: Vec<Vec<u64>> = lanes.into_iter().map(|s| s.to_vec()).collect();
+    (0..seeds.len())
+        .map(|lane| {
+            let mut out = [0u8; 20];
+            for (wi, word) in vals.iter().enumerate() {
+                out[4 * wi..4 * wi + 4].copy_from_slice(&(word[lane] as u32).to_be_bytes());
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::ApuConfig;
+    use rbc_hash::{SeedHash, Sha1Fixed};
+
+    #[test]
+    fn matches_reference_hasher() {
+        let mut m = ApuMachine::new(ApuConfig::tiny(8), 32);
+        let seeds: Vec<U256> = (0..8u64).map(U256::from_u64).collect();
+        let got = apu_sha1_batch(&mut m, &seeds);
+        for (seed, digest) in seeds.iter().zip(got.iter()) {
+            assert_eq!(*digest, Sha1Fixed.digest_seed(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_seeds_match_reference() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let seeds: Vec<U256> = (0..32).map(|_| U256::random(&mut rng)).collect();
+        let mut m = ApuMachine::new(ApuConfig::tiny(32), 32);
+        let got = apu_sha1_batch(&mut m, &seeds);
+        for (seed, digest) in seeds.iter().zip(got.iter()) {
+            assert_eq!(*digest, Sha1Fixed.digest_seed(seed));
+        }
+    }
+
+    #[test]
+    fn cycle_count_is_deterministic_and_batch_independent() {
+        // Hashing is SIMD: the same cycles whether 1 or 8 lanes carry data.
+        let mut m1 = ApuMachine::new(ApuConfig::tiny(8), 32);
+        apu_sha1_batch(&mut m1, &[U256::from_u64(1)]);
+        let mut m8 = ApuMachine::new(ApuConfig::tiny(8), 32);
+        apu_sha1_batch(&mut m8, &(0..8u64).map(U256::from_u64).collect::<Vec<_>>());
+        assert_eq!(m1.cycles(), m8.cycles());
+        assert!(m1.cycles() > 10_000, "non-trivial bit-serial cost: {}", m1.cycles());
+    }
+
+    #[test]
+    #[should_panic(expected = "more seeds than PEs")]
+    fn overfull_batch_rejected() {
+        let mut m = ApuMachine::new(ApuConfig::tiny(2), 32);
+        let seeds: Vec<U256> = (0..3u64).map(U256::from_u64).collect();
+        apu_sha1_batch(&mut m, &seeds);
+    }
+}

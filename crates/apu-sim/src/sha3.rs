@@ -1,0 +1,161 @@
+//! SHA3-256 microcoded on the APU with 64-bit lanes.
+//!
+//! Each PE holds a full Keccak state (25 lanes) in its state memory and
+//! runs the 24 permutation rounds as vector operations; the fixed-input
+//! padding of §3.2.2 is folded into the initial state exactly as in
+//! [`rbc_hash::sha3::sha3_256_fixed32`], against which the output is
+//! verified bit for bit.
+//!
+//! SHA-3's state footprint is why the paper gangs 5 BPs per PE (80-bit
+//! lanes) and gets only 26 K PEs against SHA-1's 65 K — "SHA-3 has a
+//! greater state footprint than SHA-1" (§3.3). In the simulator that
+//! shows up as 25 + 6 allocated 64-bit registers per PE versus SHA-1's
+//! ~30 32-bit ones.
+
+use rbc_bits::U256;
+use rbc_hash::keccak::{RC, RHO};
+use rbc_hash::sha3::Sha3_256Digest;
+
+use crate::machine::{ApuMachine, Reg};
+
+/// Hashes one seed per PE through the fixed-input SHA3-256 path.
+/// Returns digests for the provided seeds (lanes past `seeds.len()` hash
+/// the zero seed as don't-cares).
+pub fn apu_sha3_batch(machine: &mut ApuMachine, seeds: &[U256]) -> Vec<Sha3_256Digest> {
+    assert!(machine.width() == 64, "SHA-3 microcode needs 64-bit lanes");
+    assert!(seeds.len() <= machine.pe_count(), "more seeds than PEs");
+
+    // State lanes: a[x + 5y]. Seed occupies lanes 0..4 (little-endian),
+    // lane 4 gets the 0x06 pad byte, lane 16 the 0x80…00 pad end.
+    let a: Vec<Reg> = (0..25).map(|_| machine.alloc()).collect();
+    for i in 0..4 {
+        let vals: Vec<u64> = seeds
+            .iter()
+            .map(|s| {
+                let b = s.to_le_bytes();
+                u64::from_le_bytes(b[8 * i..8 * (i + 1)].try_into().expect("8 bytes"))
+            })
+            .collect();
+        machine.load(a[i], &vals);
+    }
+    machine.broadcast(a[4], 0x06);
+    for (idx, lane) in a.iter().enumerate().skip(5) {
+        machine.broadcast(*lane, if idx == 16 { 0x8000_0000_0000_0000 } else { 0 });
+    }
+
+    // Temporaries: column parities c[0..5], d, and a 25-lane shadow for
+    // the ρ+π permutation step.
+    let c: Vec<Reg> = (0..5).map(|_| machine.alloc()).collect();
+    let d = machine.alloc();
+    let b: Vec<Reg> = (0..25).map(|_| machine.alloc()).collect();
+    let rc_reg = machine.alloc();
+    let t = machine.alloc();
+
+    for rc in RC {
+        // θ: c[x] = a[x] ^ a[x+5] ^ a[x+10] ^ a[x+15] ^ a[x+20].
+        for x in 0..5 {
+            machine.xor(c[x], a[x], a[x + 5]);
+            machine.xor(c[x], c[x], a[x + 10]);
+            machine.xor(c[x], c[x], a[x + 15]);
+            machine.xor(c[x], c[x], a[x + 20]);
+        }
+        // d[x] = c[x-1] ^ rotl1(c[x+1]); applied to the whole column.
+        for x in 0..5 {
+            machine.rotl(t, c[(x + 1) % 5], 1);
+            machine.xor(d, c[(x + 4) % 5], t);
+            for y in 0..5 {
+                machine.xor(a[x + 5 * y], a[x + 5 * y], d);
+            }
+        }
+        // ρ + π: b[y + 5((2x+3y) mod 5)] = rotl(a[x+5y], RHO[x+5y]).
+        for x in 0..5 {
+            for y in 0..5 {
+                let src = x + 5 * y;
+                let dst = y + 5 * ((2 * x + 3 * y) % 5);
+                machine.rotl(b[dst], a[src], RHO[src]);
+            }
+        }
+        // χ: a[x+5y] = b[x+5y] ^ (!b[x+1+5y] & b[x+2+5y]).
+        for y in 0..5 {
+            for x in 0..5 {
+                machine.not(t, b[(x + 1) % 5 + 5 * y]);
+                machine.and(t, t, b[(x + 2) % 5 + 5 * y]);
+                machine.xor(a[x + 5 * y], b[x + 5 * y], t);
+            }
+        }
+        // ι.
+        machine.broadcast(rc_reg, rc);
+        machine.xor(a[0], a[0], rc_reg);
+    }
+
+    // Squeeze: the first four lanes, little-endian.
+    let vals: Vec<Vec<u64>> = (0..4).map(|i| machine.read(a[i]).to_vec()).collect();
+    (0..seeds.len())
+        .map(|lane| {
+            let mut out = [0u8; 32];
+            for (i, lane_vals) in vals.iter().enumerate() {
+                out[8 * i..8 * (i + 1)].copy_from_slice(&lane_vals[lane].to_le_bytes());
+            }
+            out
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::ApuConfig;
+    use rbc_hash::{SeedHash, Sha3Fixed};
+
+    #[test]
+    fn matches_reference_hasher() {
+        let mut m = ApuMachine::new(ApuConfig::tiny(4), 64);
+        let seeds: Vec<U256> = (0..4u64).map(U256::from_u64).collect();
+        let got = apu_sha3_batch(&mut m, &seeds);
+        for (seed, digest) in seeds.iter().zip(got.iter()) {
+            assert_eq!(*digest, Sha3Fixed.digest_seed(seed), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_seeds_match_reference() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let seeds: Vec<U256> = (0..16).map(|_| U256::random(&mut rng)).collect();
+        let mut m = ApuMachine::new(ApuConfig::tiny(16), 64);
+        let got = apu_sha3_batch(&mut m, &seeds);
+        for (seed, digest) in seeds.iter().zip(got.iter()) {
+            assert_eq!(*digest, Sha3Fixed.digest_seed(seed));
+        }
+    }
+
+    #[test]
+    fn sha3_costs_more_cycles_than_sha1() {
+        // The APU's SHA-3 disadvantage (Table 5) starts here: more rounds
+        // of wider lanes.
+        let seeds = [U256::from_u64(1)];
+        let mut m3 = ApuMachine::new(ApuConfig::tiny(2), 64);
+        apu_sha3_batch(&mut m3, &seeds);
+        let mut m1 = ApuMachine::new(ApuConfig::tiny(2), 32);
+        crate::sha1::apu_sha1_batch(&mut m1, &seeds);
+        assert!(
+            m3.cycles() > m1.cycles(),
+            "SHA-3 {} vs SHA-1 {}",
+            m3.cycles(),
+            m1.cycles()
+        );
+    }
+
+    #[test]
+    fn register_footprint_is_larger_than_sha1() {
+        let seeds = [U256::from_u64(1)];
+        let mut m3 = ApuMachine::new(ApuConfig::tiny(2), 64);
+        apu_sha3_batch(&mut m3, &seeds);
+        let mut m1 = ApuMachine::new(ApuConfig::tiny(2), 32);
+        crate::sha1::apu_sha1_batch(&mut m1, &seeds);
+        // Bits of state memory: registers × lane width.
+        let bits3 = m3.registers_allocated() as u32 * 64;
+        let bits1 = m1.registers_allocated() as u32 * 32;
+        assert!(bits3 > 2 * bits1, "SHA-3 footprint {bits3} vs SHA-1 {bits1}");
+    }
+}

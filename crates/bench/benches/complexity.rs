@@ -1,0 +1,42 @@
+//! Table 1 substrate: cost of the search-space arithmetic itself
+//! (binomials, rank/unrank) — must be negligible next to hashing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rbc_comb::{average_seeds, binomial, colex_unrank, exhaustive_seeds, lex_unrank};
+
+fn bench_complexity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("complexity");
+
+    g.bench_function("binomial_256_5", |b| {
+        b.iter(|| black_box(binomial(black_box(256), black_box(5))))
+    });
+
+    g.bench_function("exhaustive_seeds_d5", |b| {
+        b.iter(|| black_box(exhaustive_seeds(black_box(5))))
+    });
+
+    g.bench_function("average_seeds_d5", |b| {
+        b.iter(|| black_box(average_seeds(black_box(5))))
+    });
+
+    g.bench_function("lex_unrank_d5", |b| {
+        let mut rank = 0u128;
+        b.iter(|| {
+            rank = (rank + 982_451_653) % binomial(256, 5);
+            black_box(lex_unrank(256, 5, rank))
+        })
+    });
+
+    g.bench_function("colex_unrank_d5", |b| {
+        let mut rank = 0u128;
+        b.iter(|| {
+            rank = (rank + 982_451_653) % binomial(256, 5);
+            black_box(colex_unrank(5, rank))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_complexity);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Search-engine benches: whole reduced-scale searches (Table 5's CPU row
+//! at laptop scale) and the thread-count sweep backing §4.3.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rbc_bits::U256;
+use rbc_comb::{exhaustive_seeds, SeedIterKind};
+use rbc_core::derive::HashDerive;
+use rbc_core::engine::{EngineConfig, SearchEngine, SearchMode};
+use rbc_hash::{SeedHash, Sha1Fixed, Sha3Fixed};
+
+fn bench_exhaustive_d2(c: &mut Criterion) {
+    // A complete exhaustive d=2 search: 32,897 hashes, no early exit —
+    // the CPU row of Table 5 scaled to bench time.
+    let mut g = c.benchmark_group("exhaustive_search_d2");
+    g.throughput(Throughput::Elements(exhaustive_seeds(2) as u64));
+    g.sample_size(10);
+
+    let base = U256::from_limbs([1, 2, 3, 4]);
+    // Unfindable target: planted outside the search bound.
+    let client = base.flip_bit(0).flip_bit(1).flip_bit(2);
+
+    macro_rules! bench_search {
+        ($name:literal, $hash:expr) => {
+            g.bench_function($name, |b| {
+                let target = $hash.digest_seed(&client);
+                let engine = SearchEngine::new(
+                    HashDerive($hash),
+                    EngineConfig {
+                        mode: SearchMode::Exhaustive,
+                        iter: SeedIterKind::Gosper,
+                        ..Default::default()
+                    },
+                );
+                b.iter(|| black_box(engine.search(&target, &base, 2)))
+            });
+        };
+    }
+    bench_search!("sha1", Sha1Fixed);
+    bench_search!("sha3", Sha3Fixed);
+    g.finish();
+}
+
+fn bench_thread_sweep(c: &mut Criterion) {
+    // §4.3's sweep shape at this machine's scale (single-core hosts show
+    // the scheduling overhead of extra threads instead of speedup — the
+    // PlatformA curve lives in the calibrated CpuModel).
+    let mut g = c.benchmark_group("thread_sweep_sha3_d2");
+    g.sample_size(10);
+    let base = U256::from_limbs([9, 8, 7, 6]);
+    let client = base.flip_bit(0).flip_bit(1).flip_bit(2);
+    let target = Sha3Fixed.digest_seed(&client);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            let engine = SearchEngine::new(
+                HashDerive(Sha3Fixed),
+                EngineConfig {
+                    threads,
+                    mode: SearchMode::Exhaustive,
+                    iter: SeedIterKind::Gosper,
+                    ..Default::default()
+                },
+            );
+            b.iter(|| black_box(engine.search(&target, &base, 2)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_iterator_choice_in_engine(c: &mut Criterion) {
+    // Table 4 at engine level: same search, three iterators.
+    let mut g = c.benchmark_group("engine_iterator_d2");
+    g.sample_size(10);
+    let base = U256::from_limbs([4, 4, 4, 4]);
+    let client = base.flip_bit(0).flip_bit(1).flip_bit(2);
+    let target = Sha3Fixed.digest_seed(&client);
+    for kind in SeedIterKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            let engine = SearchEngine::new(
+                HashDerive(Sha3Fixed),
+                EngineConfig { iter: kind, mode: SearchMode::Exhaustive, ..Default::default() },
+            );
+            engine.prepare(2);
+            b.iter(|| black_box(engine.search(&target, &base, 2)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_exhaustive_d2, bench_thread_sweep, bench_iterator_choice_in_engine);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! §3.2.2 bench: fixed-input vs generic hashing, plus raw per-seed rates
+//! for every hash in the system — the denominator of every table.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rbc_bits::U256;
+use rbc_hash::{SeedHash, Sha1Fixed, Sha1Generic, Sha256Fixed, Sha3Fixed, Sha3Generic};
+
+fn bench_seed_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("seed_hashing");
+    g.throughput(Throughput::Elements(1));
+
+    let seed = U256::from_limbs([0x0123, 0x4567, 0x89ab, 0xcdef]);
+
+    macro_rules! bench_hash {
+        ($name:literal, $h:expr) => {
+            g.bench_function($name, |b| {
+                let mut s = seed;
+                b.iter(|| {
+                    s = s.wrapping_add(&U256::ONE);
+                    black_box($h.digest_seed(black_box(&s)))
+                })
+            });
+        };
+    }
+
+    // The paper's pair, fixed vs generic (§3.2.2 claims ~3% on the GPU).
+    bench_hash!("sha1_fixed", Sha1Fixed);
+    bench_hash!("sha1_generic", Sha1Generic);
+    bench_hash!("sha3_fixed", Sha3Fixed);
+    bench_hash!("sha3_generic", Sha3Generic);
+    bench_hash!("sha256_fixed", Sha256Fixed);
+
+    g.finish();
+}
+
+fn bench_keccak_permutation(c: &mut Criterion) {
+    c.bench_function("keccak_f1600", |b| {
+        let mut st = [0u64; 25];
+        st[0] = 1;
+        b.iter(|| {
+            rbc_hash::keccak::keccak_f1600(black_box(&mut st));
+        })
+    });
+}
+
+criterion_group!(benches, bench_seed_hashing, bench_keccak_permutation);
+criterion_main!(benches);

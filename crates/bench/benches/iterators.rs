@@ -1,0 +1,59 @@
+//! Table 4 bench: per-mask cost of the three seed iterators, with and
+//! without the hash in the loop (the paper cannot separate them on the
+//! GPU; on the CPU we can, and also report the combined loop).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rbc_bits::U256;
+use rbc_comb::{plan_streams, MaskStream, SeedIterKind};
+use rbc_hash::{SeedHash, Sha3Fixed};
+
+fn fresh_stream(kind: SeedIterKind) -> MaskStream {
+    plan_streams(kind, 3, 1).pop().expect("one worker")
+}
+
+fn bench_mask_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mask_generation_d3");
+    g.throughput(Throughput::Elements(1));
+    for kind in SeedIterKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            let mut stream = fresh_stream(kind);
+            b.iter(|| {
+                let mask = match stream.next_mask() {
+                    Some(m) => m,
+                    None => {
+                        stream = fresh_stream(kind);
+                        stream.next_mask().expect("fresh stream nonempty")
+                    }
+                };
+                black_box(mask)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_iterate_and_hash(c: &mut Criterion) {
+    // The fused loop of Algorithm 1: next mask → XOR → SHA-3.
+    let mut g = c.benchmark_group("iterate_and_hash_sha3_d3");
+    g.throughput(Throughput::Elements(1));
+    let base = U256::from_limbs([7, 7, 7, 7]);
+    for kind in SeedIterKind::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            let mut stream = fresh_stream(kind);
+            b.iter(|| {
+                let mask = match stream.next_mask() {
+                    Some(m) => m,
+                    None => {
+                        stream = fresh_stream(kind);
+                        stream.next_mask().expect("fresh stream nonempty")
+                    }
+                };
+                black_box(Sha3Fixed.digest_seed(&(base ^ mask)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mask_generation, bench_iterate_and_hash);
+criterion_main!(benches);

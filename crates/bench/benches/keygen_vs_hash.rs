@@ -1,0 +1,57 @@
+//! Table 7 substrate: per-candidate derivation cost of every engine —
+//! the hash (RBC-SALTED) against the symmetric ciphers and PQC keygen
+//! (algorithm-aware RBC). The orders-of-magnitude spread here IS the
+//! paper's argument for salting.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rbc_bits::U256;
+use rbc_ciphers::{AesResponse, ChaChaResponse, SeedCipher, SpeckResponse};
+use rbc_hash::{SeedHash, Sha1Fixed, Sha3Fixed};
+use rbc_pqc::{Dilithium3, LightSaber, PqcKeyGen};
+
+fn bench_per_candidate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("per_candidate_derivation");
+    g.throughput(Throughput::Elements(1));
+
+    let mut seed = U256::from_limbs([0xAA, 0xBB, 0xCC, 0xDD]);
+    let mut next = move || {
+        seed = seed.wrapping_add(&U256::ONE);
+        seed
+    };
+
+    g.bench_function("sha1_hash", |b| {
+        let mut n = next;
+        b.iter(|| black_box(Sha1Fixed.digest_seed(&n())))
+    });
+    g.bench_function("sha3_hash", |b| {
+        let mut n = next;
+        b.iter(|| black_box(Sha3Fixed.digest_seed(&n())))
+    });
+    g.bench_function("aes128_response", |b| {
+        let mut n = next;
+        b.iter(|| black_box(AesResponse.derive(&n())))
+    });
+    g.bench_function("chacha20_response", |b| {
+        let mut n = next;
+        b.iter(|| black_box(ChaChaResponse.derive(&n())))
+    });
+    g.bench_function("speck_response", |b| {
+        let mut n = next;
+        b.iter(|| black_box(SpeckResponse.derive(&n())))
+    });
+
+    g.sample_size(10);
+    g.bench_function("lightsaber_keygen", |b| {
+        let mut n = next;
+        b.iter(|| black_box(LightSaber.response(&n())))
+    });
+    g.bench_function("dilithium3_keygen", |b| {
+        let mut n = next;
+        b.iter(|| black_box(Dilithium3.response(&n())))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_per_candidate);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Simulator benches: APU microcode hash waves, associative match sweeps,
+//! the distributed cluster engine, and the GPU functional kernel — the
+//! substrate costs behind the reproduction itself.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rbc_apu_sim::{apu_sha1_batch, apu_sha3_batch, ApuConfig, ApuMachine};
+use rbc_bits::U256;
+use rbc_core::cluster::{cluster_search, ClusterConfig};
+use rbc_core::derive::HashDerive;
+use rbc_gpu_sim::{gpu_salted_search, GpuHash, GpuKernelConfig};
+use rbc_hash::{SeedHash, Sha3Fixed};
+
+fn bench_apu_microcode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("apu_microcode");
+    for lanes in [16usize, 64, 256] {
+        let seeds: Vec<U256> = (0..lanes as u64).map(U256::from_u64).collect();
+        g.throughput(Throughput::Elements(lanes as u64));
+        g.bench_with_input(BenchmarkId::new("sha1_wave", lanes), &lanes, |b, _| {
+            b.iter(|| {
+                let mut m = ApuMachine::new(ApuConfig::tiny(lanes), 32);
+                black_box(apu_sha1_batch(&mut m, &seeds))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sha3_wave", lanes), &lanes, |b, _| {
+            b.iter(|| {
+                let mut m = ApuMachine::new(ApuConfig::tiny(lanes), 64);
+                black_box(apu_sha3_batch(&mut m, &seeds))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_apu_associative_match(c: &mut Criterion) {
+    c.bench_function("apu_match_key_64k_lanes", |b| {
+        let mut m = ApuMachine::new(ApuConfig::gemini_sha1(), 32);
+        let r = m.alloc();
+        m.broadcast(r, 7);
+        b.iter(|| black_box(m.any_match(r, black_box(8))))
+    });
+}
+
+fn bench_cluster_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_search_d2");
+    g.sample_size(10);
+    let base = U256::from_limbs([1, 2, 3, 4]);
+    let client = base.flip_bit(0).flip_bit(1).flip_bit(2); // unfindable ⇒ full sweep
+    let target = Sha3Fixed.digest_seed(&client);
+    for nodes in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            let cfg = ClusterConfig { nodes, ..Default::default() };
+            b.iter(|| black_box(cluster_search(&HashDerive(Sha3Fixed), &target, &base, 2, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gpu_functional_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gpu_functional_d2");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(32_897));
+    let base = U256::from_u64(9);
+    let client = base.flip_bit(0).flip_bit(1).flip_bit(2);
+    let target = Sha3Fixed.digest_seed(&client);
+    g.bench_function("exhaustive", |b| {
+        let cfg = GpuKernelConfig::paper_best(GpuHash::Sha3);
+        b.iter(|| black_box(gpu_salted_search(&Sha3Fixed, &cfg, &target, &base, 2, false)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_apu_microcode,
+    bench_apu_associative_match,
+    bench_cluster_engine,
+    bench_gpu_functional_kernel
+);
+criterion_main!(benches);

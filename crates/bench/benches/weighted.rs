@@ -1,0 +1,61 @@
+//! Extension bench: likelihood-ordered candidate generation vs plain
+//! iterators, and the end-to-end weighted search.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rbc_bits::U256;
+use rbc_core::derive::HashDerive;
+use rbc_core::weighted::{weighted_search, ReliabilityOrder, WeightedOutcome};
+use rbc_hash::{SeedHash, Sha3Fixed};
+
+fn hotspot_rates() -> Vec<f64> {
+    let mut r = vec![0.002; 256];
+    for i in (0..256).step_by(37) {
+        r[i] = 0.15;
+    }
+    r
+}
+
+fn bench_candidate_generation(c: &mut Criterion) {
+    let order = ReliabilityOrder::from_error_rates(&hotspot_rates());
+    let mut g = c.benchmark_group("weighted_candidates");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("next_mask_d3", |b| {
+        let mut stream = order.candidates(3);
+        b.iter(|| match stream.next() {
+            Some(x) => black_box(x),
+            None => {
+                stream = order.candidates(3);
+                black_box(stream.next().expect("fresh stream"))
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_weighted_search(c: &mut Criterion) {
+    let order = ReliabilityOrder::from_error_rates(&hotspot_rates());
+    let base = U256::from_limbs([11, 13, 17, 19]);
+    let client = base.flip_bit(37).flip_bit(74); // two hot cells
+    let target = Sha3Fixed.digest_seed(&client);
+
+    let mut g = c.benchmark_group("weighted_search");
+    g.sample_size(20);
+    g.bench_function("hot_pair_d2", |b| {
+        b.iter(|| {
+            let out = weighted_search(
+                &HashDerive(Sha3Fixed),
+                black_box(&target),
+                &base,
+                &order,
+                2,
+                1_000_000,
+            );
+            assert!(matches!(out, WeightedOutcome::Found { .. }));
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_candidate_generation, bench_weighted_search);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! ChaCha20 (RFC 8439) — the stream cipher of the second prior-work RBC
+//! baseline (Wright et al. 2021 evaluated AES, ChaCha20 and SPECK).
+
+/// The ChaCha constant "expand 32-byte k".
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+/// One quarter round on state indices `(a, b, c, d)`.
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+/// The ChaCha20 block function: 64 bytes of keystream for
+/// `(key, counter, nonce)`.
+pub fn chacha20_block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; 64] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&SIGMA);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] =
+            u32::from_le_bytes([nonce[4 * i], nonce[4 * i + 1], nonce[4 * i + 2], nonce[4 * i + 3]]);
+    }
+
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+
+    let mut out = [0u8; 64];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts/decrypts `data` in place with the keystream starting at block
+/// `initial_counter` (XOR cipher, so the operation is its own inverse).
+pub fn chacha20_xor(key: &[u8; 32], initial_counter: u32, nonce: &[u8; 12], data: &mut [u8]) {
+    for (i, chunk) in data.chunks_mut(64).enumerate() {
+        let ks = chacha20_block(key, initial_counter.wrapping_add(i as u32), nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(s: &str) -> Vec<u8> {
+        (0..s.len() / 2)
+            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // RFC 8439 §2.3.2.
+        let key: [u8; 32] =
+            from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
+        let nonce: [u8; 12] = from_hex("000000090000004a00000000").try_into().unwrap();
+        let block = chacha20_block(&key, 1, &nonce);
+        let expect = from_hex(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e",
+        );
+        assert_eq!(&block[..], &expect[..]);
+    }
+
+    #[test]
+    fn rfc8439_encryption_vector() {
+        // RFC 8439 §2.4.2: "Ladies and Gentlemen of the class of '99..."
+        let key: [u8; 32] =
+            from_hex("000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+                .try_into()
+                .unwrap();
+        let nonce: [u8; 12] = from_hex("000000000000004a00000000").try_into().unwrap();
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it."
+            .to_vec();
+        chacha20_xor(&key, 1, &nonce, &mut data);
+        assert_eq!(
+            &data[..16],
+            &from_hex("6e2e359a2568f98041ba0728dd0d6981")[..]
+        );
+        // Round-trip.
+        chacha20_xor(&key, 1, &nonce, &mut data);
+        assert!(data.starts_with(b"Ladies and Gentlemen"));
+    }
+
+    #[test]
+    fn quarter_round_rfc_vector() {
+        // RFC 8439 §2.1.1.
+        let mut s = [0u32; 16];
+        s[0] = 0x11111111;
+        s[1] = 0x01020304;
+        s[2] = 0x9b8d6f43;
+        s[3] = 0x01234567;
+        quarter_round(&mut s, 0, 1, 2, 3);
+        assert_eq!(s[0], 0xea2a92f4);
+        assert_eq!(s[1], 0xcb1cf8ce);
+        assert_eq!(s[2], 0x4581472e);
+        assert_eq!(s[3], 0x5881c4bb);
+    }
+
+    #[test]
+    fn different_counters_different_keystream() {
+        let key = [7u8; 32];
+        let nonce = [9u8; 12];
+        assert_ne!(chacha20_block(&key, 0, &nonce), chacha20_block(&key, 1, &nonce));
+    }
+}

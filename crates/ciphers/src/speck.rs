@@ -1,0 +1,180 @@
+//! Speck128/128 and Speck128/256 (Beaulieu et al., NSA 2013) — the
+//! lightweight block cipher of the third prior-work RBC baseline.
+//!
+//! Speck's ARX structure (add–rotate–xor on two 64-bit words) makes it the
+//! cheapest of the three baseline ciphers per block, which is why the
+//! prior-work GPU engine included it for IoT-grade workloads.
+
+/// Rounds for Speck128/128.
+const ROUNDS_128: usize = 32;
+
+/// Rounds for Speck128/256.
+const ROUNDS_256: usize = 34;
+
+/// One Speck round: `x = (x >>> 8) + y ^ k; y = (y <<< 3) ^ x`.
+#[inline]
+fn round_enc(x: &mut u64, y: &mut u64, k: u64) {
+    *x = x.rotate_right(8).wrapping_add(*y) ^ k;
+    *y = y.rotate_left(3) ^ *x;
+}
+
+/// Inverse round.
+#[inline]
+fn round_dec(x: &mut u64, y: &mut u64, k: u64) {
+    *y = (*y ^ *x).rotate_right(3);
+    *x = (*x ^ k).wrapping_sub(*y).rotate_left(8);
+}
+
+/// Speck128/128: 128-bit blocks, 128-bit key.
+#[derive(Clone)]
+pub struct Speck128_128 {
+    round_keys: [u64; ROUNDS_128],
+}
+
+impl Speck128_128 {
+    /// Expands the key `(k1, k0)` where `k0` is the low word.
+    pub fn new(k1: u64, k0: u64) -> Self {
+        let mut round_keys = [0u64; ROUNDS_128];
+        let mut a = k0;
+        let mut b = k1;
+        for (i, rk) in round_keys.iter_mut().enumerate() {
+            *rk = a;
+            round_enc(&mut b, &mut a, i as u64);
+        }
+        Speck128_128 { round_keys }
+    }
+
+    /// Expands a 16-byte key, little-endian word order (`key[0..8]` = k0).
+    pub fn from_bytes(key: &[u8; 16]) -> Self {
+        let k0 = u64::from_le_bytes(key[..8].try_into().unwrap());
+        let k1 = u64::from_le_bytes(key[8..].try_into().unwrap());
+        Self::new(k1, k0)
+    }
+
+    /// Encrypts the block `(x, y)` (`x` = high word in the paper's vectors).
+    pub fn encrypt(&self, mut x: u64, mut y: u64) -> (u64, u64) {
+        for &k in &self.round_keys {
+            round_enc(&mut x, &mut y, k);
+        }
+        (x, y)
+    }
+
+    /// Decrypts the block `(x, y)`.
+    pub fn decrypt(&self, mut x: u64, mut y: u64) -> (u64, u64) {
+        for &k in self.round_keys.iter().rev() {
+            round_dec(&mut x, &mut y, k);
+        }
+        (x, y)
+    }
+}
+
+/// Speck128/256: 128-bit blocks, 256-bit key — sized for the full RBC seed.
+#[derive(Clone)]
+pub struct Speck128_256 {
+    round_keys: [u64; ROUNDS_256],
+}
+
+impl Speck128_256 {
+    /// Expands the key `(k3, k2, k1, k0)` where `k0` is the low word.
+    pub fn new(k3: u64, k2: u64, k1: u64, k0: u64) -> Self {
+        let mut round_keys = [0u64; ROUNDS_256];
+        let mut a = k0;
+        let mut ell = [k1, k2, k3];
+        for i in 0..ROUNDS_256 {
+            round_keys[i] = a;
+            let mut l = ell[i % 3];
+            round_enc(&mut l, &mut a, i as u64);
+            ell[i % 3] = l;
+        }
+        Speck128_256 { round_keys }
+    }
+
+    /// Expands a 32-byte key, little-endian word order.
+    pub fn from_bytes(key: &[u8; 32]) -> Self {
+        let w: Vec<u64> = key
+            .chunks(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        Self::new(w[3], w[2], w[1], w[0])
+    }
+
+    /// Encrypts the block `(x, y)`.
+    pub fn encrypt(&self, mut x: u64, mut y: u64) -> (u64, u64) {
+        for &k in &self.round_keys {
+            round_enc(&mut x, &mut y, k);
+        }
+        (x, y)
+    }
+
+    /// Decrypts the block `(x, y)`.
+    pub fn decrypt(&self, mut x: u64, mut y: u64) -> (u64, u64) {
+        for &k in self.round_keys.iter().rev() {
+            round_dec(&mut x, &mut y, k);
+        }
+        (x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speck128_128_paper_vector() {
+        // Speck paper Appendix C: key 0f0e0d0c0b0a0908 0706050403020100,
+        // pt 6c61766975716520 7469206564616d20,
+        // ct a65d985179783265 7860fedf5c570d18.
+        let cipher = Speck128_128::new(0x0f0e0d0c0b0a0908, 0x0706050403020100);
+        let (x, y) = cipher.encrypt(0x6c61766975716520, 0x7469206564616d20);
+        assert_eq!(x, 0xa65d985179783265);
+        assert_eq!(y, 0x7860fedf5c570d18);
+        assert_eq!(
+            cipher.decrypt(x, y),
+            (0x6c61766975716520, 0x7469206564616d20)
+        );
+    }
+
+    #[test]
+    fn speck128_256_paper_vector() {
+        // Speck paper: key 1f1e1d1c1b1a1918 1716151413121110 0f0e0d0c0b0a0908 0706050403020100,
+        // pt 65736f6874206e49 202e72656e6f6f70,
+        // ct 4109010405c0f53e 4eeeb48d9c188f43.
+        let cipher = Speck128_256::new(
+            0x1f1e1d1c1b1a1918,
+            0x1716151413121110,
+            0x0f0e0d0c0b0a0908,
+            0x0706050403020100,
+        );
+        let (x, y) = cipher.encrypt(0x65736f6874206e49, 0x202e72656e6f6f70);
+        assert_eq!(x, 0x4109010405c0f53e);
+        assert_eq!(y, 0x4eeeb48d9c188f43);
+        assert_eq!(
+            cipher.decrypt(x, y),
+            (0x65736f6874206e49, 0x202e72656e6f6f70)
+        );
+    }
+
+    #[test]
+    fn roundtrip_random_blocks() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let c128 = Speck128_128::new(rng.gen(), rng.gen());
+        let c256 = Speck128_256::new(rng.gen(), rng.gen(), rng.gen(), rng.gen());
+        for _ in 0..100 {
+            let (x, y) = (rng.gen(), rng.gen());
+            let (ex, ey) = c128.encrypt(x, y);
+            assert_eq!(c128.decrypt(ex, ey), (x, y));
+            let (ex, ey) = c256.encrypt(x, y);
+            assert_eq!(c256.decrypt(ex, ey), (x, y));
+        }
+    }
+
+    #[test]
+    fn from_bytes_word_order() {
+        let mut key = [0u8; 16];
+        key[0] = 1; // k0 = 1
+        let a = Speck128_128::from_bytes(&key);
+        let b = Speck128_128::new(0, 1);
+        assert_eq!(a.encrypt(5, 6), b.encrypt(5, 6));
+    }
+}

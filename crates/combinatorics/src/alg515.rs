@@ -1,0 +1,125 @@
+//! Algorithm 515 (Buckles & Lybanon, ACM TOMS 1977) as a seed-mask stream.
+//!
+//! Each mask is generated *independently* from its lexicographic index via
+//! [`crate::rank::lex_unrank`] — no state carries between seeds, which is
+//! the property that makes the method trivially parallel (any worker can
+//! jump anywhere). The trade-off, measured in Table 4 of the paper, is the
+//! per-seed unranking cost: a walk over the binomial table for every single
+//! candidate, against Chase's few-instruction successor.
+
+use crate::binomial::binomial;
+use crate::rank::lex_unrank;
+use rbc_bits::U256;
+
+/// A stream of weight-`d` masks for lexicographic ranks `start..end`,
+/// materializing every mask from its index.
+#[derive(Clone, Debug)]
+pub struct Alg515Stream {
+    d: u32,
+    next_rank: u128,
+    end: u128,
+}
+
+impl Alg515Stream {
+    /// A stream over the whole weight-`d` space.
+    pub fn new(d: u32) -> Self {
+        Self::from_rank_range(d, 0, binomial(256, d))
+    }
+
+    /// A stream over ranks `start..end` of the weight-`d` space.
+    pub fn from_rank_range(d: u32, start: u128, end: u128) -> Self {
+        let total = binomial(256, d);
+        assert!(start <= end && end <= total, "rank range out of bounds");
+        Alg515Stream { d, next_rank: start, end }
+    }
+
+    /// Number of masks left in the stream.
+    pub fn remaining(&self) -> u128 {
+        self.end - self.next_rank
+    }
+
+    /// The mask at lexicographic rank `rank` (stateless random access —
+    /// the defining capability of this method).
+    #[inline]
+    pub fn mask_at(d: u32, rank: u128) -> U256 {
+        lex_unrank(256, d, rank).to_mask()
+    }
+
+    /// Produces the next mask by unranking the next index.
+    #[inline]
+    pub fn next_mask(&mut self) -> Option<U256> {
+        if self.next_rank >= self.end {
+            return None;
+        }
+        let mask = Self::mask_at(self.d, self.next_rank);
+        self.next_rank += 1;
+        Some(mask)
+    }
+}
+
+impl Iterator for Alg515Stream {
+    type Item = U256;
+
+    fn next(&mut self) -> Option<U256> {
+        self.next_mask()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining()).unwrap_or(usize::MAX);
+        (n, usize::try_from(self.remaining()).ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn covers_weight_two_space_distinctly() {
+        let masks: HashSet<U256> = Alg515Stream::new(2).collect();
+        assert_eq!(masks.len() as u128, binomial(256, 2));
+        assert!(masks.iter().all(|m| m.count_ones() == 2));
+    }
+
+    #[test]
+    fn random_access_matches_sequential() {
+        let seq: Vec<U256> = Alg515Stream::from_rank_range(3, 1000, 1010).collect();
+        for (i, m) in seq.iter().enumerate() {
+            assert_eq!(*m, Alg515Stream::mask_at(3, 1000 + i as u128));
+        }
+    }
+
+    #[test]
+    fn partitions_disjoint_and_cover() {
+        let total = binomial(256, 2);
+        let mut all = HashSet::new();
+        for w in 0..5u128 {
+            let (s, e) = (total * w / 5, total * (w + 1) / 5);
+            for m in Alg515Stream::from_rank_range(2, s, e) {
+                assert!(all.insert(m));
+            }
+        }
+        assert_eq!(all.len() as u128, total);
+    }
+
+    #[test]
+    fn same_space_as_other_iterators() {
+        let a515: HashSet<U256> = Alg515Stream::new(1).collect();
+        let chase: HashSet<U256> = crate::chase::ChaseStream::new_full(1).collect();
+        assert_eq!(a515, chase);
+    }
+
+    #[test]
+    fn empty_range() {
+        let mut s = Alg515Stream::from_rank_range(4, 7, 7);
+        assert_eq!(s.next_mask(), None);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn weight_zero() {
+        let masks: Vec<U256> = Alg515Stream::new(0).collect();
+        assert_eq!(masks, vec![U256::ZERO]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Binomial coefficients and the RBC search-space size formulas
+//! (Equations 1–3 and Table 1 of the paper).
+
+use std::sync::OnceLock;
+
+/// Largest Hamming distance supported by the precomputed table. The paper
+/// searches up to `d = 5`; 16 leaves headroom for the "inject extra noise
+/// for more security" extension discussed in §5.
+pub const MAX_D: usize = 16;
+
+/// Number of bit positions in an RBC seed.
+pub const N: usize = 256;
+
+/// Pascal-triangle table `c[n][k] = C(n, k)` for `n ≤ 256`, `k ≤ MAX_D`.
+struct Table {
+    c: Vec<[u128; MAX_D + 1]>,
+}
+
+fn table() -> &'static Table {
+    static TABLE: OnceLock<Table> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut c = vec![[0u128; MAX_D + 1]; N + 1];
+        for (n, row) in c.iter_mut().enumerate() {
+            row[0] = 1;
+            if n <= MAX_D {
+                row[n] = 1;
+            }
+        }
+        for n in 1..=N {
+            for k in 1..=MAX_D.min(n) {
+                let (a, b) = (c[n - 1][k - 1], c[n - 1].get(k).copied().unwrap_or(0));
+                c[n][k] = a + b; // C(256,16) ≈ 1e25 ≪ u128::MAX; cannot overflow
+            }
+        }
+        Table { c }
+    })
+}
+
+/// `C(n, k)` for `n ≤ 256`, `k ≤ MAX_D` from the precomputed table.
+///
+/// Panics if `n > 256` or `k > MAX_D`; use [`binomial_checked`] for general
+/// arguments.
+#[inline]
+pub fn binomial(n: u32, k: u32) -> u128 {
+    assert!(n as usize <= N, "n must be at most 256");
+    assert!(k as usize <= MAX_D, "k must be at most MAX_D = {MAX_D}");
+    if k > n {
+        return 0;
+    }
+    table().c[n as usize][k as usize]
+}
+
+/// `C(n, k)` by the multiplicative formula with overflow checking, for
+/// arguments outside the hot-path table.
+pub fn binomial_checked(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.checked_mul((n - i) as u128)?;
+        acc /= (i + 1) as u128; // exact: product of j consecutive integers is divisible by j!
+    }
+    Some(acc)
+}
+
+/// Equation 1: the exhaustive number of seeds searched up to Hamming
+/// distance `d`, `u(d) = Σ_{i=0}^{d} C(256, i)`.
+pub fn exhaustive_seeds(d: u32) -> u128 {
+    (0..=d).map(|i| binomial(N as u32, i)).sum()
+}
+
+/// Equation 3: the average-case number of seeds searched, assuming the
+/// match lands halfway through distance `d`:
+/// `a(d) = Σ_{i=0}^{d-1} C(256, i) + C(256, d)/2`.
+pub fn average_seeds(d: u32) -> u128 {
+    if d == 0 {
+        return 1;
+    }
+    (0..d).map(|i| binomial(N as u32, i)).sum::<u128>() + binomial(N as u32, d) / 2
+}
+
+/// Number of seeds at exactly distance `d`: `C(256, d)`.
+#[inline]
+pub fn seeds_at_distance(d: u32) -> u128 {
+    binomial(N as u32, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(256, 0), 1);
+        assert_eq!(binomial(256, 1), 256);
+        assert_eq!(binomial(256, 2), 32_640);
+        assert_eq!(binomial(4, 5), 0);
+    }
+
+    #[test]
+    fn known_large_values() {
+        // C(256,5) = 8_809_549_056_960; the paper quotes 9.0e9 for u(5)
+        // (sum up to 5). Exact values below.
+        assert_eq!(binomial(256, 3), 2_763_520);
+        assert_eq!(binomial(256, 4), 174_792_640);
+        assert_eq!(binomial(256, 5), 8_809_549_056);
+    }
+
+    #[test]
+    fn table1_exhaustive_row() {
+        // Table 1 of the paper (values rounded there; exact here).
+        assert_eq!(exhaustive_seeds(1), 257);
+        assert_eq!(exhaustive_seeds(2), 32_897);
+        assert_eq!(exhaustive_seeds(3), 2_796_417);
+        assert_eq!(exhaustive_seeds(4), 177_589_057);
+        assert_eq!(exhaustive_seeds(5), 8_987_138_113);
+        // Order-of-magnitude agreement with the rounded paper row:
+        assert!((exhaustive_seeds(5) as f64 / 9.0e9 - 1.0).abs() < 0.01);
+        assert!((exhaustive_seeds(4) as f64 / 1.8e8 - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn table1_average_row() {
+        assert_eq!(average_seeds(1), 1 + 256 / 2);
+        // Paper: d=1 → 129.
+        assert_eq!(average_seeds(1), 129);
+        assert!((average_seeds(2) as f64 / 1.7e4 - 1.0).abs() < 0.05);
+        assert!((average_seeds(3) as f64 / 1.4e6 - 1.0).abs() < 0.05);
+        assert!((average_seeds(4) as f64 / 9.0e7 - 1.0).abs() < 0.05);
+        assert!((average_seeds(5) as f64 / 4.6e9 - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn average_is_at_most_exhaustive() {
+        for d in 0..=10 {
+            assert!(average_seeds(d) <= exhaustive_seeds(d), "d={d}");
+        }
+    }
+
+    #[test]
+    fn average_of_zero_is_one() {
+        assert_eq!(average_seeds(0), 1);
+        assert_eq!(exhaustive_seeds(0), 1);
+    }
+
+    #[test]
+    fn checked_matches_table() {
+        for n in [0u64, 1, 17, 128, 256] {
+            for k in 0..=5u64 {
+                assert_eq!(
+                    binomial_checked(n, k).unwrap(),
+                    if n <= 256 { binomial(n as u32, k as u32) } else { unreachable!() },
+                    "C({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn checked_symmetry_and_overflow() {
+        assert_eq!(binomial_checked(300, 2), Some(44_850));
+        assert_eq!(binomial_checked(300, 298), Some(44_850));
+        // C(1000, 500) overflows u128.
+        assert_eq!(binomial_checked(1000, 500), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at most")]
+    fn table_rejects_large_k() {
+        binomial(256, 17);
+    }
+
+    #[test]
+    fn pascal_identity_holds() {
+        for n in 2..=256u32 {
+            for k in 1..=5u32 {
+                assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+            }
+        }
+    }
+}

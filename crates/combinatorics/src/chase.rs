@@ -1,0 +1,367 @@
+//! Chase's Algorithm 382 ("TWIDDLE", CACM 1970) — the winning seed
+//! iterator of the paper (§3.2.1, Table 4).
+//!
+//! Chase's sequence is a combinatorial Gray code: consecutive combinations
+//! differ by moving a single element (two mask bits change). The successor
+//! step is a few pointer updates — far cheaper than Algorithm 515's
+//! per-index unranking or Gosper's wide-word arithmetic — but the sequence
+//! is inherently sequential.
+//!
+//! The paper parallelizes it exactly as [`ChaseTable`] does here: walk the
+//! sequence once, snapshot the generator state at regular intervals, and
+//! hand each worker a snapshot to resume from. The snapshot table depends
+//! only on `d` (masks are XOR-applied to any client's seed), so it is
+//! built once and reused across authentications; the paper excludes this
+//! one-time cost from its timings and so do we.
+//!
+//! This implementation follows Chase's published algorithm via the classic
+//! `twiddle` formulation, with the combination tracked as a 256-bit mask.
+
+use crate::binomial::binomial;
+use rbc_bits::U256;
+
+/// Generator state for Chase's sequence of `m`-combinations of `n` items.
+#[derive(Clone, Debug)]
+pub struct ChaseState {
+    n: u16,
+    /// Workspace array `p[0..n+2]` of the twiddle algorithm.
+    p: Vec<i32>,
+    mask: U256,
+    exhausted: bool,
+}
+
+impl ChaseState {
+    /// Initializes the sequence for `m` out of `n` positions (`n ≤ 256`).
+    /// The initial combination is the top `m` positions
+    /// `{n-m, …, n-1}`, per the algorithm's canonical start.
+    pub fn new(n: u16, m: u16) -> Self {
+        assert!(n <= 256, "at most 256 positions");
+        assert!(m <= n, "m must be at most n");
+        let n_us = n as usize;
+        let m_i = m as i32;
+        let n_i = n as i32;
+        let mut p = vec![0i32; n_us + 2];
+        p[0] = n_i + 1;
+        for i in (n_us - m as usize + 1)..=n_us {
+            p[i] = i as i32 + m_i - n_i;
+        }
+        p[n_us + 1] = -2;
+        if m == 0 {
+            p[1] = 1;
+        }
+        let mask = U256::from_set_bits((n_us - m as usize..n_us).collect::<Vec<_>>());
+        ChaseState { n, p, mask, exhausted: false }
+    }
+
+    /// The current combination as a bit mask.
+    #[inline]
+    pub fn mask(&self) -> U256 {
+        self.mask
+    }
+
+    /// Number of positions the sequence draws from.
+    pub fn universe(&self) -> u16 {
+        self.n
+    }
+
+    /// Whether the sequence has been fully enumerated.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    /// Advances to the next combination. Returns `false` when the sequence
+    /// is exhausted (the current mask is then no longer meaningful).
+    ///
+    /// Exactly two mask bits change on every successful step: one position
+    /// enters the combination and one leaves.
+    pub fn advance(&mut self) -> bool {
+        if self.exhausted {
+            return false;
+        }
+        let p = &mut self.p;
+        let set_pos;
+        let clear_pos;
+
+        let mut j = 1usize;
+        while p[j] <= 0 {
+            j += 1;
+        }
+        if p[j - 1] == 0 {
+            for i in (2..j).rev() {
+                p[i] = -1;
+            }
+            p[j] = 0;
+            p[1] = 1;
+            set_pos = 0;
+            clear_pos = j - 1;
+        } else {
+            if j > 1 {
+                p[j - 1] = 0;
+            }
+            loop {
+                j += 1;
+                if p[j] <= 0 {
+                    break;
+                }
+            }
+            let k = j - 1;
+            let mut i = j;
+            while p[i] == 0 {
+                p[i] = -1;
+                i += 1;
+            }
+            if p[i] == -1 {
+                p[i] = p[k];
+                set_pos = i - 1;
+                clear_pos = k - 1;
+                p[k] = -1;
+            } else {
+                if i == p[0] as usize {
+                    self.exhausted = true;
+                    return false;
+                }
+                p[j] = p[i];
+                p[i] = 0;
+                set_pos = j - 1;
+                clear_pos = i - 1;
+            }
+        }
+
+        debug_assert!(!self.mask.bit(set_pos), "set position already present");
+        debug_assert!(self.mask.bit(clear_pos), "clear position absent");
+        self.mask.flip_bit_in_place(set_pos);
+        self.mask.flip_bit_in_place(clear_pos);
+        true
+    }
+}
+
+/// A bounded stream over a contiguous run of Chase's sequence.
+#[derive(Clone, Debug)]
+pub struct ChaseStream {
+    state: ChaseState,
+    remaining: u128,
+}
+
+impl ChaseStream {
+    /// Streams the entire sequence of weight-`d` masks over 256 positions.
+    pub fn new_full(d: u32) -> Self {
+        ChaseStream {
+            state: ChaseState::new(256, d as u16),
+            remaining: binomial(256, d),
+        }
+    }
+
+    /// Resumes from a snapshot, limited to `count` masks.
+    pub fn from_snapshot(state: ChaseState, count: u128) -> Self {
+        ChaseStream { state, remaining: count }
+    }
+
+    /// Number of masks left in the stream.
+    pub fn remaining(&self) -> u128 {
+        self.remaining
+    }
+
+    /// Produces the next mask, advancing the underlying generator.
+    #[inline]
+    pub fn next_mask(&mut self) -> Option<U256> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let out = self.state.mask();
+        if self.remaining > 0 && !self.state.advance() {
+            // The caller asked for more masks than the sequence holds.
+            self.remaining = 0;
+        }
+        Some(out)
+    }
+}
+
+impl Iterator for ChaseStream {
+    type Item = U256;
+
+    fn next(&mut self) -> Option<U256> {
+        self.next_mask()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (n, usize::try_from(self.remaining).ok())
+    }
+}
+
+/// Precomputed snapshot table: `workers` evenly spaced resume points into
+/// the weight-`d` Chase sequence (§3.2.1's "array of saved states").
+#[derive(Clone, Debug)]
+pub struct ChaseTable {
+    snapshots: Vec<ChaseState>,
+    /// Masks covered by each snapshot: `counts[i]` for worker `i`.
+    counts: Vec<u128>,
+    d: u32,
+}
+
+impl ChaseTable {
+    /// Walks the sequence once, saving a state every `total/workers` masks
+    /// (earlier workers take the remainder, so loads differ by at most 1 —
+    /// "each state is evenly spread … so that threads have equal
+    /// workloads").
+    ///
+    /// Cost: one full sequential enumeration of `C(256, d)` states. Build
+    /// it once per `d` and reuse across clients.
+    pub fn build(d: u32, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let total = binomial(256, d);
+        let workers_u = workers as u128;
+        let mut snapshots = Vec::with_capacity(workers);
+        let mut counts = Vec::with_capacity(workers);
+        let mut st = ChaseState::new(256, d as u16);
+        let mut consumed: u128 = 0;
+        for w in 0..workers_u {
+            let start = total * w / workers_u;
+            let end = total * (w + 1) / workers_u;
+            if start >= total || start == end {
+                counts.push(0);
+                snapshots.push(st.clone());
+                continue;
+            }
+            while consumed < start {
+                let ok = st.advance();
+                debug_assert!(ok, "sequence exhausted prematurely");
+                consumed += 1;
+            }
+            snapshots.push(st.clone());
+            counts.push(end - start);
+        }
+        ChaseTable { snapshots, counts, d }
+    }
+
+    /// Number of workers the table was built for.
+    pub fn workers(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// The Hamming distance this table enumerates.
+    pub fn distance(&self) -> u32 {
+        self.d
+    }
+
+    /// Number of masks worker `w` owns.
+    pub fn count(&self, w: usize) -> u128 {
+        self.counts[w]
+    }
+
+    /// A resumable stream for worker `w`.
+    pub fn stream(&self, w: usize) -> ChaseStream {
+        ChaseStream::from_snapshot(self.snapshots[w].clone(), self.counts[w])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn enumerates_exactly_c_n_m_distinct_combinations() {
+        for (n, m) in [(8u16, 3u16), (10, 5), (6, 1), (6, 6), (5, 0)] {
+            let mut st = ChaseState::new(n, m);
+            let mut seen = HashSet::new();
+            loop {
+                let mask = st.mask();
+                assert_eq!(mask.count_ones(), m as u32);
+                assert!(mask.leading_zeros() >= 256 - n as u32, "mask within n positions");
+                assert!(seen.insert(mask), "duplicate combination {mask:?}");
+                if !st.advance() {
+                    break;
+                }
+            }
+            let expect = crate::binomial::binomial_checked(n as u64, m as u64).unwrap();
+            assert_eq!(seen.len() as u128, expect, "C({n},{m})");
+            assert!(st.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn consecutive_masks_differ_in_exactly_two_bits() {
+        let mut st = ChaseState::new(12, 4);
+        let mut prev = st.mask();
+        while st.advance() {
+            let cur = st.mask();
+            assert_eq!(prev.hamming_distance(&cur), 2);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn advance_after_exhaustion_keeps_returning_false() {
+        let mut st = ChaseState::new(4, 2);
+        while st.advance() {}
+        assert!(!st.advance());
+        assert!(!st.advance());
+    }
+
+    #[test]
+    fn full_stream_covers_weight_two_space() {
+        let masks: HashSet<U256> = ChaseStream::new_full(2).collect();
+        assert_eq!(masks.len() as u128, binomial(256, 2));
+        assert!(masks.iter().all(|m| m.count_ones() == 2));
+    }
+
+    #[test]
+    fn stream_remaining_counts_down() {
+        let mut s = ChaseStream::new_full(1);
+        assert_eq!(s.remaining(), 256);
+        s.next_mask();
+        assert_eq!(s.remaining(), 255);
+    }
+
+    #[test]
+    fn weight_zero_stream() {
+        let masks: Vec<U256> = ChaseStream::new_full(0).collect();
+        assert_eq!(masks, vec![U256::ZERO]);
+    }
+
+    #[test]
+    fn table_partitions_are_disjoint_and_cover() {
+        for workers in [1usize, 3, 7, 64] {
+            let table = ChaseTable::build(2, workers);
+            let mut all = HashSet::new();
+            let mut total = 0u128;
+            for w in 0..workers {
+                let chunk: Vec<U256> = table.stream(w).collect();
+                assert_eq!(chunk.len() as u128, table.count(w));
+                total += chunk.len() as u128;
+                for m in chunk {
+                    assert!(all.insert(m), "duplicate across workers");
+                }
+            }
+            assert_eq!(total, binomial(256, 2), "workers={workers}");
+            assert_eq!(all.len() as u128, binomial(256, 2));
+        }
+    }
+
+    #[test]
+    fn table_loads_are_balanced() {
+        let table = ChaseTable::build(2, 7);
+        let counts: Vec<u128> = (0..7).map(|w| table.count(w)).collect();
+        let max = counts.iter().max().unwrap();
+        let min = counts.iter().min().unwrap();
+        assert!(max - min <= 1, "counts {counts:?}");
+    }
+
+    #[test]
+    fn more_workers_than_masks() {
+        // d = 0 has a single mask; extra workers get empty streams.
+        let table = ChaseTable::build(0, 4);
+        let total: u128 = (0..4).map(|w| table.stream(w).count() as u128).sum();
+        assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn sequence_matches_gosper_space() {
+        // Same set of masks as Gosper's enumeration for d = 1.
+        let chase: HashSet<U256> = ChaseStream::new_full(1).collect();
+        let gosper: HashSet<U256> = crate::gosper::GosperStream::new(1).collect();
+        assert_eq!(chase, gosper);
+    }
+}

@@ -1,0 +1,220 @@
+//! Gosper's hack on 256-bit words — the seed iterator of the *prior-work*
+//! RBC engines (Wright et al., Lee et al.).
+//!
+//! Gosper's hack computes the next-higher number with the same popcount:
+//!
+//! ```text
+//! c = x & -x;  r = x + c;  next = r | (((x ^ r) >> 2) / c)
+//! ```
+//!
+//! With a native word this is a handful of instructions. The paper's point
+//! (§3.2.1, §4.5) is that a 256-bit seed does not fit a native type, so
+//! every step pays multi-limb carry propagation, wide shifts and a wide
+//! "division" (a shift, since `c` is a power of two) — which is why prior
+//! work's iterator loses to Chase's sequence despite its elegance.
+
+use crate::binomial::binomial;
+use crate::rank::{colex_rank, colex_unrank, Positions};
+use rbc_bits::U256;
+
+/// Returns the next weight-preserving value after `x`, or `None` when `x`
+/// is the maximal weight-`k` value (top bits all set) and the sequence is
+/// exhausted.
+#[inline]
+pub fn gosper_next(x: &U256) -> Option<U256> {
+    if x.is_zero() {
+        return None; // weight 0 has a single element
+    }
+    let c = *x & x.wrapping_neg();
+    let r = x.checked_add(&c)?;
+    if r.is_zero() {
+        return None;
+    }
+    // ((x ^ r) >> 2) / c — the divisor is the isolated low bit, so the
+    // division is a right shift by its index.
+    Some(r | (*x ^ r).shr(2).div_pow2(&c))
+}
+
+/// A stream of weight-`d` masks in increasing numeric (colex) order,
+/// produced by repeated application of Gosper's hack.
+///
+/// Streams are positioned by colex rank so that `p` parallel workers can
+/// each own a disjoint contiguous rank range of the `C(256, d)` space.
+#[derive(Clone, Debug)]
+pub struct GosperStream {
+    current: U256,
+    remaining: u128,
+}
+
+impl GosperStream {
+    /// A stream over the whole weight-`d` space.
+    pub fn new(d: u32) -> Self {
+        Self::from_rank_range(d, 0, binomial(256, d))
+    }
+
+    /// A stream producing masks of weight `d` with colex ranks
+    /// `start..end`.
+    pub fn from_rank_range(d: u32, start: u128, end: u128) -> Self {
+        let total = binomial(256, d);
+        assert!(start <= end && end <= total, "rank range out of bounds");
+        if start == end {
+            return GosperStream { current: U256::ZERO, remaining: 0 };
+        }
+        let first = colex_unrank(d, start).to_mask();
+        GosperStream { current: first, remaining: end - start }
+    }
+
+    /// Number of masks left in the stream.
+    pub fn remaining(&self) -> u128 {
+        self.remaining
+    }
+
+    /// Produces the next mask, advancing the stream.
+    #[inline]
+    pub fn next_mask(&mut self) -> Option<U256> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let out = self.current;
+        if self.remaining > 0 {
+            // Safe: not at the end of the weight class, successor exists.
+            self.current = gosper_next(&out).expect("successor must exist before end of range");
+        }
+        Some(out)
+    }
+}
+
+impl Iterator for GosperStream {
+    type Item = U256;
+
+    fn next(&mut self) -> Option<U256> {
+        self.next_mask()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        (n, usize::try_from(self.remaining).ok())
+    }
+}
+
+/// Colex rank of a mask — exposes where a Gosper stream currently stands.
+pub fn mask_rank(mask: &U256) -> u128 {
+    colex_rank(&Positions::from_mask(mask))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successor_of_smallest_weight3() {
+        // 0b0111 -> 0b1011
+        let x = U256::from_u64(0b0111);
+        assert_eq!(gosper_next(&x), Some(U256::from_u64(0b1011)));
+    }
+
+    #[test]
+    fn successor_sequence_matches_u64_reference() {
+        // Cross-check the 256-bit hack against a native u64 implementation.
+        fn gosper_u64(x: u64) -> u64 {
+            let c = x & x.wrapping_neg();
+            let r = x + c;
+            r | (((x ^ r) >> 2) / c)
+        }
+        let mut wide = U256::from_u64(0b11111);
+        let mut narrow = 0b11111u64;
+        for _ in 0..5_000 {
+            narrow = gosper_u64(narrow);
+            wide = gosper_next(&wide).unwrap();
+            assert_eq!(wide.as_u64(), narrow);
+        }
+    }
+
+    #[test]
+    fn successor_preserves_weight_across_limbs() {
+        // Force carries across the limb boundary: bits 62,63,64.
+        let x = U256::from_set_bits([62usize, 63, 64]);
+        let next = gosper_next(&x).unwrap();
+        assert_eq!(next.count_ones(), 3);
+        assert!(next > x);
+    }
+
+    #[test]
+    fn exhausted_at_top_of_space() {
+        let top = U256::from_set_bits((251..256).collect::<Vec<_>>());
+        assert_eq!(gosper_next(&top), None);
+        let zero_weight = U256::ZERO;
+        assert_eq!(gosper_next(&zero_weight), None);
+    }
+
+    #[test]
+    fn stream_covers_whole_small_space() {
+        // All C(256,2) = 32640 weight-2 masks, distinct, ascending.
+        let mut seen = std::collections::HashSet::new();
+        let mut prev = None;
+        let mut stream = GosperStream::new(2);
+        while let Some(m) = stream.next_mask() {
+            assert_eq!(m.count_ones(), 2);
+            if let Some(p) = prev {
+                assert!(m > p);
+            }
+            prev = Some(m);
+            seen.insert(m);
+        }
+        assert_eq!(seen.len(), 32_640);
+    }
+
+    #[test]
+    fn rank_range_partitions_are_disjoint_and_cover() {
+        let total = binomial(256, 2);
+        let mut all = Vec::new();
+        let parts = 7u128;
+        for i in 0..parts {
+            let start = total * i / parts;
+            let end = total * (i + 1) / parts;
+            let chunk: Vec<U256> = GosperStream::from_rank_range(2, start, end).collect();
+            assert_eq!(chunk.len() as u128, end - start);
+            all.extend(chunk);
+        }
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len() as u128, total);
+    }
+
+    #[test]
+    fn from_rank_starts_at_unranked_mask() {
+        let rank = 12_345u128;
+        let mut s = GosperStream::from_rank_range(5, rank, rank + 1);
+        let m = s.next_mask().unwrap();
+        assert_eq!(mask_rank(&m), rank);
+        assert_eq!(s.next_mask(), None);
+    }
+
+    #[test]
+    fn empty_range_yields_nothing() {
+        let mut s = GosperStream::from_rank_range(5, 10, 10);
+        assert_eq!(s.next_mask(), None);
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn weight_zero_stream_has_single_mask() {
+        let masks: Vec<U256> = GosperStream::new(0).collect();
+        assert_eq!(masks, vec![U256::ZERO]);
+    }
+
+    #[test]
+    fn last_rank_of_d5_is_top_mask() {
+        let total = binomial(256, 5);
+        let mut s = GosperStream::from_rank_range(5, total - 1, total);
+        let m = s.next_mask().unwrap();
+        assert_eq!(m, U256::from_set_bits((251..256).collect::<Vec<_>>()));
+    }
+
+    #[test]
+    fn size_hint_tracks_remaining() {
+        let s = GosperStream::new(1);
+        assert_eq!(s.size_hint(), (256, Some(256)));
+    }
+}

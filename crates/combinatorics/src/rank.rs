@@ -1,0 +1,250 @@
+//! Ranking and unranking of `d`-combinations of 256 bit positions.
+//!
+//! Two orders matter in this crate:
+//!
+//! * **Lexicographic** order on ascending position vectors — the order of
+//!   Buckles & Lybanon's Algorithm 515, which generates "a vector from the
+//!   lexicographical index". [`lex_unrank`] is that algorithm.
+//! * **Colexicographic** order, which coincides with increasing *numeric*
+//!   value of the bit masks — the order Gosper's hack walks. Jumping a
+//!   Gosper stream to an arbitrary rank therefore needs [`colex_unrank`].
+
+use crate::binomial::binomial;
+use rbc_bits::U256;
+
+/// Maximum combination size these routines accept (positions arrays are
+/// stack-allocated at this capacity).
+pub const MAX_K: usize = 16;
+
+/// A combination of up to [`MAX_K`] distinct bit positions in `0..256`,
+/// stored ascending.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Positions {
+    buf: [u16; MAX_K],
+    len: u8,
+}
+
+impl Positions {
+    /// Creates from a slice of ascending positions.
+    pub fn from_slice(s: &[u16]) -> Self {
+        assert!(s.len() <= MAX_K, "too many positions");
+        debug_assert!(s.windows(2).all(|w| w[0] < w[1]), "positions must ascend");
+        let mut buf = [0u16; MAX_K];
+        buf[..s.len()].copy_from_slice(s);
+        Positions { buf, len: s.len() as u8 }
+    }
+
+    /// The positions as a slice, ascending.
+    pub fn as_slice(&self) -> &[u16] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Number of positions (`d`).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when the combination is empty (d = 0).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit mask with exactly these positions set.
+    pub fn to_mask(&self) -> U256 {
+        U256::from_set_bits(self.as_slice().iter().map(|&p| p as usize))
+    }
+
+    /// Builds the ascending position list of a weight-`d` mask.
+    pub fn from_mask(mask: &U256) -> Self {
+        let mut buf = [0u16; MAX_K];
+        let mut len = 0usize;
+        for p in mask.set_bits() {
+            assert!(len < MAX_K, "mask weight exceeds MAX_K");
+            buf[len] = p as u16;
+            len += 1;
+        }
+        Positions { buf, len: len as u8 }
+    }
+}
+
+/// Algorithm 515 (Buckles–Lybanon): the combination of `k` out of `n`
+/// positions at lexicographic `rank` (0-based), positions ascending.
+///
+/// Each call is independent of every other — this is what gives the method
+/// its "excellent parallelization potential" (§3.2.1): a GPU thread can
+/// materialize the combination for any index without shared state. The
+/// price is `O(n)` table-walk work per seed instead of `O(1)` successor
+/// work.
+pub fn lex_unrank(n: u32, k: u32, mut rank: u128) -> Positions {
+    assert!(k as usize <= MAX_K);
+    debug_assert!(rank < binomial(n, k), "rank out of range");
+    let mut buf = [0u16; MAX_K];
+    let mut x = 0u32; // next candidate position
+    for i in 0..k {
+        // Combinations whose i-th element is x all share prefix; there are
+        // C(n-1-x, k-1-i) of them. Skip whole blocks until rank lands inside.
+        loop {
+            let block = binomial(n - 1 - x, k - 1 - i);
+            if rank < block {
+                buf[i as usize] = x as u16;
+                x += 1;
+                break;
+            }
+            rank -= block;
+            x += 1;
+        }
+    }
+    Positions { buf, len: k as u8 }
+}
+
+/// Inverse of [`lex_unrank`].
+pub fn lex_rank(n: u32, pos: &Positions) -> u128 {
+    let k = pos.len() as u32;
+    let mut rank = 0u128;
+    let mut prev = 0u32; // first candidate for this slot
+    for (i, &p) in pos.as_slice().iter().enumerate() {
+        for x in prev..p as u32 {
+            rank += binomial(n - 1 - x, k - 1 - i as u32);
+        }
+        prev = p as u32 + 1;
+    }
+    rank
+}
+
+/// The combination at colexicographic `rank` (0-based): the combinadic
+/// representation `rank = Σ C(c_i, i+1)` with `c_k > … > c_1`, positions
+/// returned ascending. Equals the rank-th smallest weight-`k` mask by
+/// numeric value — the order of Gosper's hack.
+pub fn colex_unrank(k: u32, mut rank: u128) -> Positions {
+    assert!(k as usize <= MAX_K);
+    let mut buf = [0u16; MAX_K];
+    for i in (1..=k).rev() {
+        // Largest c with C(c, i) <= rank; positions fit in 0..256.
+        let mut lo = i - 1;
+        let mut hi = 256u32;
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if binomial(mid, i) <= rank {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        buf[(i - 1) as usize] = lo as u16;
+        rank -= binomial(lo, i);
+    }
+    Positions { buf, len: k as u8 }
+}
+
+/// Inverse of [`colex_unrank`].
+pub fn colex_rank(pos: &Positions) -> u128 {
+    pos.as_slice()
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| binomial(c as u32, i as u32 + 1))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial::binomial;
+
+    #[test]
+    fn lex_rank_zero_is_prefix() {
+        let p = lex_unrank(256, 5, 0);
+        assert_eq!(p.as_slice(), &[0, 1, 2, 3, 4]);
+        assert_eq!(lex_rank(256, &p), 0);
+    }
+
+    #[test]
+    fn lex_last_rank_is_suffix() {
+        let last = binomial(256, 5) - 1;
+        let p = lex_unrank(256, 5, last);
+        assert_eq!(p.as_slice(), &[251, 252, 253, 254, 255]);
+        assert_eq!(lex_rank(256, &p), last);
+    }
+
+    #[test]
+    fn lex_roundtrip_scattered_ranks() {
+        let total = binomial(256, 5);
+        for frac in 0..50u128 {
+            let rank = total * frac / 50 + frac; // scattered, in range
+            let rank = rank.min(total - 1);
+            let p = lex_unrank(256, 5, rank);
+            assert_eq!(lex_rank(256, &p), rank, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn lex_order_is_monotone() {
+        // Consecutive ranks give lexicographically increasing vectors.
+        let mut prev = lex_unrank(16, 3, 0);
+        for r in 1..binomial(16, 3) {
+            let cur = lex_unrank(16, 3, r);
+            assert!(prev.as_slice() < cur.as_slice(), "rank {r}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn colex_rank_zero_is_prefix() {
+        let p = colex_unrank(5, 0);
+        assert_eq!(p.as_slice(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn colex_order_is_numeric_order() {
+        // Masks at increasing colex rank have strictly increasing value.
+        let mut prev = colex_unrank(3, 0).to_mask();
+        for r in 1..binomial(16, 3) {
+            let cur = colex_unrank(3, r);
+            if cur.as_slice().iter().any(|&p| p >= 16) {
+                break; // outside the n=16 sub-universe; order still holds below
+            }
+            let m = cur.to_mask();
+            assert!(m > prev, "rank {r}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn colex_roundtrip() {
+        for rank in [0u128, 1, 2, 1000, 123_456_789, 8_809_549_055] {
+            let p = colex_unrank(5, rank);
+            assert_eq!(colex_rank(&p), rank, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn colex_last_rank_is_suffix() {
+        let p = colex_unrank(5, binomial(256, 5) - 1);
+        assert_eq!(p.as_slice(), &[251, 252, 253, 254, 255]);
+    }
+
+    #[test]
+    fn positions_mask_roundtrip() {
+        let p = Positions::from_slice(&[0, 17, 64, 200, 255]);
+        assert_eq!(Positions::from_mask(&p.to_mask()), p);
+        assert_eq!(p.to_mask().count_ones(), 5);
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+        assert!(Positions::from_slice(&[]).is_empty());
+    }
+
+    #[test]
+    fn k_zero_has_single_empty_combination() {
+        assert_eq!(lex_unrank(256, 0, 0).len(), 0);
+        assert_eq!(colex_unrank(0, 0).len(), 0);
+        assert_eq!(lex_rank(256, &Positions::from_slice(&[])), 0);
+    }
+
+    #[test]
+    fn lex_and_colex_agree_on_k1() {
+        // For k = 1 both orders are just the position index.
+        for r in [0u128, 7, 100, 255] {
+            assert_eq!(lex_unrank(256, 1, r).as_slice(), colex_unrank(1, r).as_slice());
+            assert_eq!(lex_unrank(256, 1, r).as_slice(), &[r as u16]);
+        }
+    }
+}

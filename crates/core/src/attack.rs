@@ -1,0 +1,158 @@
+//! The opponent's side of the asymmetry (§2.2, Equation 2).
+//!
+//! RBC's security rests on an asymmetry: the server, holding the PUF
+//! image, searches `u(d) = Σ C(256, i)` seeds (Equation 1); an opponent
+//! who only sees the message digest must search the whole 2^256 space
+//! (Equation 2), because without the image there is no center for the
+//! Hamming ball. This module makes the claim executable: an opponent
+//! model with a bounded hash budget, and the arithmetic comparing both
+//! parties' work.
+
+use rand::Rng;
+use rbc_bits::U256;
+use rbc_comb::exhaustive_seeds;
+
+use crate::derive::Derive;
+
+/// log2 of the opponent's key space (Equation 2: `p = 2^256`).
+pub const OPPONENT_KEYSPACE_BITS: u32 = 256;
+
+/// Result of a bounded brute-force attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttackOutcome {
+    /// The opponent found a preimage within budget (expected never for
+    /// honest parameters).
+    Broken {
+        /// The recovered seed.
+        seed: U256,
+        /// Hashes spent.
+        attempts: u64,
+    },
+    /// Budget exhausted.
+    Exhausted {
+        /// Hashes spent.
+        attempts: u64,
+    },
+}
+
+/// A brute-force opponent who intercepted the client's digest but has no
+/// PUF image: samples seeds uniformly (random search is optimal against a
+/// uniform unknown seed) and hashes each.
+pub fn brute_force_attack<D: Derive, R: Rng + ?Sized>(
+    derive: &D,
+    intercepted: &D::Out,
+    budget: u64,
+    rng: &mut R,
+) -> AttackOutcome {
+    for attempts in 1..=budget {
+        let guess = U256::random(rng);
+        if derive.derive(&guess) == *intercepted {
+            return AttackOutcome::Broken { seed: guess, attempts };
+        }
+    }
+    AttackOutcome::Exhausted { attempts: budget }
+}
+
+/// An *informed* opponent who somehow learned an approximation of the PUF
+/// image at Hamming distance `leak_d` — models partial-leak scenarios and
+/// shows how security degrades gracefully with leak quality. Searches the
+/// Hamming ball around the leaked center, exactly as the server would.
+pub fn informed_attack<D: Derive>(
+    derive: &D,
+    intercepted: &D::Out,
+    leaked_center: &U256,
+    max_d: u32,
+) -> AttackOutcome {
+    let engine = crate::engine::SearchEngine::new(
+        derive.clone(),
+        crate::engine::EngineConfig { threads: 2, ..Default::default() },
+    );
+    let report = engine.search(intercepted, leaked_center, max_d);
+    match report.outcome {
+        crate::engine::Outcome::Found { seed, .. } => AttackOutcome::Broken {
+            seed,
+            attempts: report.seeds_derived,
+        },
+        _ => AttackOutcome::Exhausted { attempts: report.seeds_derived },
+    }
+}
+
+/// The work asymmetry: how many times more hashing the opponent faces
+/// than the server at defence parameter `d` (Equation 2 over Equation 1),
+/// in log2.
+pub fn asymmetry_bits(d: u32) -> f64 {
+    let server = exhaustive_seeds(d) as f64;
+    OPPONENT_KEYSPACE_BITS as f64 - server.log2()
+}
+
+/// Expected opponent time in seconds at `hash_rate` hashes/second
+/// against the full key space — astronomically large for any real rate;
+/// returned in log10(years) to stay representable.
+pub fn opponent_log10_years(hash_rate: f64) -> f64 {
+    // log10(2^255 / rate / seconds_per_year): expected half the space.
+    let seconds_per_year: f64 = 365.25 * 86_400.0;
+    255.0 * std::f64::consts::LOG10_2 - hash_rate.log10() - seconds_per_year.log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::HashDerive;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rbc_hash::{SeedHash, Sha3Fixed};
+
+    #[test]
+    fn blind_brute_force_fails_within_any_realistic_budget() {
+        let mut rng = StdRng::seed_from_u64(666);
+        let secret = U256::random(&mut rng);
+        let digest = Sha3Fixed.digest_seed(&secret);
+        let outcome =
+            brute_force_attack(&HashDerive(Sha3Fixed), &digest, 50_000, &mut rng);
+        assert_eq!(outcome, AttackOutcome::Exhausted { attempts: 50_000 });
+    }
+
+    #[test]
+    fn informed_attack_with_good_leak_succeeds() {
+        // A leak within the search radius breaks the instance — the model
+        // captures why the PUF image is the crown jewel (threat model
+        // assumption (i): the server is in a secure environment).
+        let mut rng = StdRng::seed_from_u64(5);
+        let secret = U256::random(&mut rng);
+        let digest = Sha3Fixed.digest_seed(&secret);
+        let leak = secret.random_at_distance(2, &mut rng);
+        match informed_attack(&HashDerive(Sha3Fixed), &digest, &leak, 2) {
+            AttackOutcome::Broken { seed, .. } => assert_eq!(seed, secret),
+            other => panic!("good leak should break: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn informed_attack_with_poor_leak_fails() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let secret = U256::random(&mut rng);
+        let digest = Sha3Fixed.digest_seed(&secret);
+        let leak = secret.random_at_distance(10, &mut rng); // beyond reach
+        match informed_attack(&HashDerive(Sha3Fixed), &digest, &leak, 2) {
+            AttackOutcome::Exhausted { attempts } => {
+                assert_eq!(attempts, exhaustive_seeds(2) as u64);
+            }
+            other => panic!("poor leak must not break: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn asymmetry_grows_with_smaller_d() {
+        // Raising d costs the server work but barely dents the opponent's
+        // 2^256; the asymmetry stays enormous.
+        assert!(asymmetry_bits(1) > asymmetry_bits(5));
+        assert!(asymmetry_bits(5) > 200.0, "at d=5 the gap is still ~223 bits");
+    }
+
+    #[test]
+    fn opponent_years_are_astronomical() {
+        // Even at the A100's modelled 5.76e9 SHA-1/s.
+        let log_years = opponent_log10_years(5.76e9);
+        assert!(log_years > 50.0, "log10(years) = {log_years}");
+    }
+}

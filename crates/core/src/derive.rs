@@ -1,0 +1,113 @@
+//! The per-candidate derivation abstraction.
+//!
+//! The paper's framing: original RBC is *algorithm-aware* — each candidate
+//! seed is pushed through the client's cryptographic algorithm's key
+//! generation; RBC-SALTED is *algorithm-agnostic* — each candidate is
+//! hashed. Both are "derive something comparable from a seed", so one
+//! search engine serves both once that derivation is a trait. This is the
+//! concrete form of the paper's claim that "optimization efforts can be
+//! focused on a single search method".
+
+use core::fmt;
+use rbc_bits::U256;
+use rbc_ciphers::SeedCipher;
+use rbc_hash::SeedHash;
+use rbc_pqc::PqcKeyGen;
+
+/// Derives a fixed, comparable response from a candidate seed.
+pub trait Derive: Clone + Send + Sync + 'static {
+    /// The comparable response type.
+    type Out: Copy + Eq + Send + Sync + fmt::Debug;
+
+    /// Name used in reports and tables.
+    fn name(&self) -> &'static str;
+
+    /// Derives the response for one candidate seed — the hot operation of
+    /// the whole system.
+    fn derive(&self, seed: &U256) -> Self::Out;
+}
+
+/// RBC-SALTED derivation: hash the seed. Wraps any [`SeedHash`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HashDerive<H: SeedHash>(pub H);
+
+impl<H: SeedHash> Derive for HashDerive<H> {
+    type Out = H::Digest;
+
+    fn name(&self) -> &'static str {
+        H::NAME
+    }
+
+    #[inline]
+    fn derive(&self, seed: &U256) -> H::Digest {
+        self.0.digest_seed(seed)
+    }
+}
+
+/// Algorithm-aware derivation via a symmetric cipher (prior-work AES /
+/// ChaCha20 / SPECK engines).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CipherDerive<C: SeedCipher>(pub C);
+
+impl<C: SeedCipher> Derive for CipherDerive<C> {
+    type Out = C::Response;
+
+    fn name(&self) -> &'static str {
+        C::NAME
+    }
+
+    #[inline]
+    fn derive(&self, seed: &U256) -> C::Response {
+        self.0.derive(seed)
+    }
+}
+
+/// Algorithm-aware derivation via PQC key generation (prior-work SABER /
+/// Dilithium engines). The response is the public-key fingerprint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PqcDerive<P: PqcKeyGen>(pub P);
+
+impl<P: PqcKeyGen> Derive for PqcDerive<P> {
+    type Out = [u8; 32];
+
+    fn name(&self) -> &'static str {
+        P::NAME
+    }
+
+    #[inline]
+    fn derive(&self, seed: &U256) -> [u8; 32] {
+        self.0.response(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbc_ciphers::AesResponse;
+    use rbc_hash::{Sha1Fixed, Sha3Fixed};
+    use rbc_pqc::LightSaber;
+
+    #[test]
+    fn hash_derive_matches_hasher() {
+        let seed = U256::from_u64(5);
+        assert_eq!(HashDerive(Sha3Fixed).derive(&seed), Sha3Fixed.digest_seed(&seed));
+        assert_eq!(HashDerive(Sha1Fixed).name(), "SHA-1");
+    }
+
+    #[test]
+    fn cipher_derive_matches_cipher() {
+        let seed = U256::from_u64(6);
+        assert_eq!(
+            CipherDerive(AesResponse).derive(&seed),
+            rbc_ciphers::SeedCipher::derive(&AesResponse, &seed)
+        );
+        assert_eq!(CipherDerive(AesResponse).name(), "AES-128");
+    }
+
+    #[test]
+    fn pqc_derive_matches_keygen() {
+        let seed = U256::from_u64(7);
+        assert_eq!(PqcDerive(LightSaber).derive(&seed), LightSaber.response(&seed));
+        assert_eq!(PqcDerive(LightSaber).name(), "LightSABER");
+    }
+}

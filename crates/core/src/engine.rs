@@ -1,0 +1,529 @@
+//! The parallel RBC search engine — Algorithm 1 of the paper, on real CPU
+//! threads.
+//!
+//! One generic engine serves both the salted (hash) and algorithm-aware
+//! (cipher / PQC keygen) searches via the [`Derive`](crate::derive::Derive)
+//! trait. The work assignment is the paper's: the `C(256, d)` mask space at
+//! each Hamming distance is statically partitioned into `p` near-equal
+//! contiguous ranges, one per thread (`n = C(256, d)/p` seeds each), and
+//! distances are searched in increasing order so the minimal-distance match
+//! is found first.
+//!
+//! **Early exit** uses a shared [`AtomicU8`] flag: `Relaxed` loads in the
+//! hot loop (the flag is a monotonic latch, no data is published through
+//! it), a `Release` store when a thread finds the seed, and an `Acquire`
+//! re-check by the coordinator. The found seed itself travels through a
+//! mutex, not the flag. The flag-poll cadence is configurable
+//! ([`EngineConfig::check_interval`]) to reproduce the §4.4 ablation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+use rbc_bits::U256;
+use rbc_comb::{partition, Alg515Stream, ChaseTable, GosperStream, MaskStream, SeedIterKind};
+
+use crate::derive::Derive;
+
+/// Search-termination policy, matching the paper's two measured scenarios.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Stop every thread as soon as a match is found (average-case rows).
+    EarlyExit,
+    /// Enumerate the entire space up to `max_d` regardless of matches
+    /// (exhaustive / upper-bound rows). A found seed is still reported.
+    Exhaustive,
+}
+
+/// Engine configuration (Table 2's notation: `p` threads, check interval).
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads `p`; 0 means use all available cores.
+    pub threads: usize,
+    /// Seed-iteration method (§3.2.1).
+    pub iter: SeedIterKind,
+    /// Termination policy.
+    pub mode: SearchMode,
+    /// Seeds derived between early-exit flag polls (§4.4: the paper swept
+    /// 1..64 and found no impact; default 1).
+    pub check_interval: u32,
+    /// Authentication time threshold `T` (the paper uses 20 s). `None`
+    /// disables the timeout.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 0,
+            iter: SeedIterKind::Chase,
+            mode: SearchMode::EarlyExit,
+            check_interval: 1,
+            deadline: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Resolves `threads == 0` to the machine's available parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+}
+
+/// How a search ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// The client's seed was found at Hamming distance `distance`.
+    Found {
+        /// The recovered seed.
+        seed: U256,
+        /// The distance at which it matched.
+        distance: u32,
+    },
+    /// The space up to `max_d` contains no match.
+    NotFound,
+    /// The deadline `T` expired mid-search.
+    TimedOut {
+        /// The distance being searched when time ran out.
+        at_distance: u32,
+    },
+}
+
+impl Outcome {
+    /// Whether the client authenticates.
+    pub fn is_authenticated(&self) -> bool {
+        matches!(self, Outcome::Found { .. })
+    }
+}
+
+/// Per-distance accounting.
+#[derive(Clone, Copy, Debug)]
+pub struct DistanceStats {
+    /// The Hamming distance.
+    pub d: u32,
+    /// Seeds actually derived at this distance (≤ `C(256, d)` under early
+    /// exit).
+    pub seeds: u64,
+    /// Wall-clock time spent at this distance.
+    pub elapsed: Duration,
+}
+
+/// The full result of one search.
+#[derive(Clone, Debug)]
+pub struct SearchReport {
+    /// Terminal outcome.
+    pub outcome: Outcome,
+    /// Total seeds derived across all distances.
+    pub seeds_derived: u64,
+    /// Total search wall-clock time ("search-only time" in the tables).
+    pub elapsed: Duration,
+    /// Breakdown by distance.
+    pub per_distance: Vec<DistanceStats>,
+    /// Derivation algorithm name.
+    pub algorithm: &'static str,
+    /// Threads used.
+    pub threads: usize,
+}
+
+// Stop-flag states.
+const RUNNING: u8 = 0;
+const FOUND: u8 = 1;
+const EXPIRED: u8 = 2;
+
+/// The reusable search engine. Construction is cheap; Chase snapshot
+/// tables are built lazily per `(d, threads)` and cached (the paper's
+/// "loaded into GPU memory once and used to authenticate all clients").
+pub struct SearchEngine<D: Derive> {
+    derive: D,
+    cfg: EngineConfig,
+    chase_cache: RwLock<HashMap<(u32, usize), ChaseTable>>,
+}
+
+impl<D: Derive> SearchEngine<D> {
+    /// Creates an engine with the given derivation and configuration.
+    pub fn new(derive: D, cfg: EngineConfig) -> Self {
+        SearchEngine { derive, cfg, chase_cache: RwLock::new(HashMap::new()) }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The engine's derivation (e.g. for computing the client-side digest
+    /// with the same algorithm in tests and harnesses).
+    pub fn derivation(&self) -> &D {
+        &self.derive
+    }
+
+    /// Pre-builds Chase snapshot tables for all distances up to `max_d`,
+    /// so the one-time cost is excluded from search timings — exactly the
+    /// paper's measurement protocol. No-op for other iterators.
+    pub fn prepare(&self, max_d: u32) {
+        if self.cfg.iter != SeedIterKind::Chase {
+            return;
+        }
+        let threads = self.cfg.effective_threads();
+        for d in 0..=max_d {
+            self.chase_table(d, threads);
+        }
+    }
+
+    fn chase_table(&self, d: u32, threads: usize) -> ChaseTable {
+        if let Some(t) = self.chase_cache.read().get(&(d, threads)) {
+            return t.clone();
+        }
+        let built = ChaseTable::build(d, threads);
+        self.chase_cache.write().insert((d, threads), built.clone());
+        built
+    }
+
+    fn streams_for(&self, d: u32, threads: usize) -> Vec<MaskStream> {
+        match self.cfg.iter {
+            SeedIterKind::Gosper => partition(rbc_comb::binomial(256, d), threads)
+                .into_iter()
+                .map(|r| MaskStream::Gosper(GosperStream::from_rank_range(d, r.start, r.end)))
+                .collect(),
+            SeedIterKind::Alg515 => partition(rbc_comb::binomial(256, d), threads)
+                .into_iter()
+                .map(|r| MaskStream::Alg515(Alg515Stream::from_rank_range(d, r.start, r.end)))
+                .collect(),
+            SeedIterKind::Chase => {
+                let table = self.chase_table(d, threads);
+                (0..threads).map(|w| MaskStream::Chase(table.stream(w))).collect()
+            }
+        }
+    }
+
+    /// Runs the search: does any seed within Hamming distance `max_d` of
+    /// `s_init` derive to `target`?
+    ///
+    /// Distances are searched in increasing order. Under
+    /// [`SearchMode::EarlyExit`] all threads stop at the first match;
+    /// under [`SearchMode::Exhaustive`] the whole space is enumerated.
+    pub fn search(&self, target: &D::Out, s_init: &U256, max_d: u32) -> SearchReport {
+        let threads = self.cfg.effective_threads();
+        let start = Instant::now();
+        let deadline = self.cfg.deadline.map(|t| start + t);
+
+        let flag = AtomicU8::new(RUNNING);
+        let found: Mutex<Option<(U256, u32)>> = Mutex::new(None);
+        let total_seeds = AtomicU64::new(0);
+        let mut per_distance = Vec::with_capacity(max_d as usize + 1);
+
+        // Distance 0: thread r = 0 checks S_init itself (Algorithm 1,
+        // lines 4–8).
+        let d0_start = Instant::now();
+        let m0 = self.derive.derive(s_init);
+        total_seeds.fetch_add(1, Ordering::Relaxed);
+        per_distance.push(DistanceStats { d: 0, seeds: 1, elapsed: d0_start.elapsed() });
+        if m0 == *target {
+            flag.store(FOUND, Ordering::Release);
+            *found.lock() = Some((*s_init, 0));
+        }
+
+        let mut d = 1u32;
+        while d <= max_d {
+            let stop_now = match flag.load(Ordering::Acquire) {
+                FOUND => self.cfg.mode == SearchMode::EarlyExit,
+                EXPIRED => true,
+                _ => false,
+            };
+            if stop_now {
+                break;
+            }
+            if let Some(dl) = deadline {
+                if Instant::now() >= dl {
+                    flag.store(EXPIRED, Ordering::Release);
+                    break;
+                }
+            }
+
+            let d_start = Instant::now();
+            let streams = self.streams_for(d, threads);
+            let d_seeds = AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for mut stream in streams {
+                    let derive = &self.derive;
+                    let flag = &flag;
+                    let found = &found;
+                    let d_seeds = &d_seeds;
+                    let check_interval = self.cfg.check_interval.max(1);
+                    let early = self.cfg.mode == SearchMode::EarlyExit;
+                    scope.spawn(move || {
+                        let mut local = 0u64;
+                        let mut since_check = 0u32;
+                        while let Some(mask) = stream.next_mask() {
+                            let seed = *s_init ^ mask;
+                            local += 1;
+                            if derive.derive(&seed) == *target {
+                                // First writer wins; later distances never
+                                // get here before earlier ones finish.
+                                let mut slot = found.lock();
+                                if slot.is_none() {
+                                    *slot = Some((seed, d));
+                                }
+                                drop(slot);
+                                flag.store(FOUND, Ordering::Release);
+                                if early {
+                                    break;
+                                }
+                            }
+                            since_check += 1;
+                            if since_check >= check_interval {
+                                since_check = 0;
+                                let f = flag.load(Ordering::Relaxed);
+                                if (f == FOUND && early) || f == EXPIRED {
+                                    break;
+                                }
+                                if let Some(dl) = deadline {
+                                    if Instant::now() >= dl {
+                                        flag.store(EXPIRED, Ordering::Release);
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        d_seeds.fetch_add(local, Ordering::Relaxed);
+                    });
+                }
+            });
+            let seeds = d_seeds.load(Ordering::Relaxed);
+            total_seeds.fetch_add(seeds, Ordering::Relaxed);
+            per_distance.push(DistanceStats { d, seeds, elapsed: d_start.elapsed() });
+            d += 1;
+        }
+
+        let outcome = match flag.load(Ordering::Acquire) {
+            FOUND => {
+                let (seed, distance) = found.lock().expect("found flag implies slot");
+                Outcome::Found { seed, distance }
+            }
+            EXPIRED => Outcome::TimedOut { at_distance: d.min(max_d) },
+            _ => resolve_running_outcome(&found),
+        };
+
+        SearchReport {
+            outcome,
+            seeds_derived: total_seeds.load(Ordering::Relaxed),
+            elapsed: start.elapsed(),
+            per_distance,
+            algorithm: self.derive.name(),
+            threads,
+        }
+    }
+}
+
+/// Resolves the RUNNING end state: under exhaustive mode a match may have
+/// been recorded without latching early termination semantics.
+fn resolve_running_outcome(found: &Mutex<Option<(U256, u32)>>) -> Outcome {
+    match *found.lock() {
+        Some((seed, distance)) => Outcome::Found { seed, distance },
+        None => Outcome::NotFound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::HashDerive;
+    use rbc_hash::{SeedHash, Sha1Fixed, Sha3Fixed};
+
+    fn engine(mode: SearchMode, iter: SeedIterKind) -> SearchEngine<HashDerive<Sha3Fixed>> {
+        SearchEngine::new(
+            HashDerive(Sha3Fixed),
+            EngineConfig { threads: 4, iter, mode, ..Default::default() },
+        )
+    }
+
+    fn seed_at(base: &U256, bits: &[usize]) -> U256 {
+        let mut s = *base;
+        for &b in bits {
+            s.flip_bit_in_place(b);
+        }
+        s
+    }
+
+    #[test]
+    fn finds_seed_at_distance_zero() {
+        let base = U256::from_u64(0xDEAD);
+        let target = Sha3Fixed.digest_seed(&base);
+        let report = engine(SearchMode::EarlyExit, SeedIterKind::Chase).search(&target, &base, 3);
+        assert_eq!(report.outcome, Outcome::Found { seed: base, distance: 0 });
+        assert_eq!(report.seeds_derived, 1);
+    }
+
+    #[test]
+    fn finds_seed_at_each_distance_and_iterator() {
+        let base = U256::from_limbs([1, 2, 3, 4]);
+        for iter in SeedIterKind::ALL {
+            for (d, bits) in [(1u32, vec![7usize]), (2, vec![0, 255]), (3, vec![5, 64, 200])] {
+                let client = seed_at(&base, &bits);
+                let target = Sha3Fixed.digest_seed(&client);
+                let report = engine(SearchMode::EarlyExit, iter).search(&target, &base, 3);
+                assert_eq!(
+                    report.outcome,
+                    Outcome::Found { seed: client, distance: d },
+                    "{iter} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reports_not_found_beyond_max_d() {
+        let base = U256::from_u64(77);
+        let client = seed_at(&base, &[1, 2, 3]); // distance 3
+        let target = Sha3Fixed.digest_seed(&client);
+        let report = engine(SearchMode::EarlyExit, SeedIterKind::Chase).search(&target, &base, 2);
+        assert_eq!(report.outcome, Outcome::NotFound);
+        // All of d ∈ {0,1,2} enumerated: 1 + 256 + 32640.
+        assert_eq!(report.seeds_derived, 1 + 256 + 32_640);
+    }
+
+    #[test]
+    fn exhaustive_mode_enumerates_everything_but_still_finds() {
+        let base = U256::from_u64(3);
+        let client = seed_at(&base, &[100]);
+        let target = Sha3Fixed.digest_seed(&client);
+        let report = engine(SearchMode::Exhaustive, SeedIterKind::Gosper).search(&target, &base, 2);
+        assert_eq!(report.outcome, Outcome::Found { seed: client, distance: 1 });
+        assert_eq!(report.seeds_derived, 1 + 256 + 32_640, "no early exit");
+    }
+
+    #[test]
+    fn early_exit_derives_fewer_seeds_than_exhaustive() {
+        let base = U256::from_u64(9);
+        let client = seed_at(&base, &[50, 150]);
+        let target = Sha3Fixed.digest_seed(&client);
+        let early = engine(SearchMode::EarlyExit, SeedIterKind::Chase).search(&target, &base, 2);
+        let full = engine(SearchMode::Exhaustive, SeedIterKind::Chase).search(&target, &base, 2);
+        assert!(early.seeds_derived < full.seeds_derived);
+        assert_eq!(full.seeds_derived, 1 + 256 + 32_640);
+    }
+
+    #[test]
+    fn per_distance_stats_are_consistent() {
+        let base = U256::from_u64(4);
+        let client = seed_at(&base, &[9, 99]);
+        let target = Sha3Fixed.digest_seed(&client);
+        let report = engine(SearchMode::Exhaustive, SeedIterKind::Alg515).search(&target, &base, 2);
+        let sum: u64 = report.per_distance.iter().map(|s| s.seeds).sum();
+        assert_eq!(sum, report.seeds_derived);
+        assert_eq!(report.per_distance.len(), 3);
+        assert_eq!(report.per_distance[1].seeds, 256);
+        assert_eq!(report.per_distance[2].seeds, 32_640);
+    }
+
+    #[test]
+    fn check_interval_does_not_change_result() {
+        // §4.4: polling every 1..64 seeds has no effect on correctness
+        // (the paper found none on performance either).
+        let base = U256::from_u64(11);
+        let client = seed_at(&base, &[42, 142]);
+        let target = Sha3Fixed.digest_seed(&client);
+        for interval in [1u32, 8, 64] {
+            let eng = SearchEngine::new(
+                HashDerive(Sha3Fixed),
+                EngineConfig {
+                    threads: 4,
+                    check_interval: interval,
+                    ..Default::default()
+                },
+            );
+            let report = eng.search(&target, &base, 2);
+            assert_eq!(report.outcome, Outcome::Found { seed: client, distance: 2 });
+        }
+    }
+
+    #[test]
+    fn deadline_expires_on_slow_derive() {
+        /// A derivation slow enough that the 2-distance search cannot
+        /// finish within the deadline.
+        #[derive(Clone)]
+        struct Slow;
+        impl Derive for Slow {
+            type Out = u64;
+            fn name(&self) -> &'static str {
+                "slow"
+            }
+            fn derive(&self, _seed: &U256) -> u64 {
+                std::thread::sleep(Duration::from_micros(200));
+                0xFFFF_FFFF_FFFF_FFFF // never matches
+            }
+        }
+        let eng = SearchEngine::new(
+            Slow,
+            EngineConfig {
+                threads: 2,
+                deadline: Some(Duration::from_millis(30)),
+                ..Default::default()
+            },
+        );
+        let report = eng.search(&0, &U256::ZERO, 2);
+        assert!(matches!(report.outcome, Outcome::TimedOut { .. }), "{:?}", report.outcome);
+        assert!(report.seeds_derived < 1 + 256 + 32_640, "stopped early");
+    }
+
+    #[test]
+    fn sha1_engine_works_too() {
+        let base = U256::from_u64(21);
+        let client = seed_at(&base, &[128]);
+        let target = Sha1Fixed.digest_seed(&client);
+        let eng = SearchEngine::new(
+            HashDerive(Sha1Fixed),
+            EngineConfig { threads: 3, ..Default::default() },
+        );
+        let report = eng.search(&target, &base, 1);
+        assert_eq!(report.outcome, Outcome::Found { seed: client, distance: 1 });
+        assert_eq!(report.algorithm, "SHA-1");
+    }
+
+    #[test]
+    fn single_thread_matches_multi_thread_outcome() {
+        let base = U256::from_limbs([5, 6, 7, 8]);
+        let client = seed_at(&base, &[33, 203]);
+        let target = Sha3Fixed.digest_seed(&client);
+        for threads in [1usize, 2, 8, 32] {
+            let eng = SearchEngine::new(
+                HashDerive(Sha3Fixed),
+                EngineConfig { threads, ..Default::default() },
+            );
+            let report = eng.search(&target, &base, 2);
+            assert_eq!(report.outcome, Outcome::Found { seed: client, distance: 2 }, "p={threads}");
+            assert_eq!(report.threads, threads);
+        }
+    }
+
+    #[test]
+    fn prepare_caches_chase_tables() {
+        let eng = engine(SearchMode::EarlyExit, SeedIterKind::Chase);
+        eng.prepare(2);
+        assert!(eng.chase_cache.read().contains_key(&(2, 4)));
+        // Search still works from the cache.
+        let base = U256::from_u64(2);
+        let target = Sha3Fixed.digest_seed(&base);
+        let report = eng.search(&target, &base, 2);
+        assert!(report.outcome.is_authenticated());
+    }
+
+    #[test]
+    fn found_seed_always_rederives_to_target() {
+        // No false positives: whatever the engine returns must re-derive.
+        let base = U256::from_limbs([9, 9, 9, 9]);
+        let client = seed_at(&base, &[17, 71]);
+        let target = Sha3Fixed.digest_seed(&client);
+        let report = engine(SearchMode::EarlyExit, SeedIterKind::Gosper).search(&target, &base, 2);
+        if let Outcome::Found { seed, .. } = report.outcome {
+            assert_eq!(Sha3Fixed.digest_seed(&seed), target);
+        } else {
+            panic!("expected found");
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! # rbc-core
+//!
+//! The RBC-SALTED protocol (Lee et al., ICPP-W 2023): client, certificate
+//! authority, registration authority, and the parallel seed-search engine
+//! that makes PUF-based one-time keys practical.
+//!
+//! ## Map of the crate
+//!
+//! * [`derive`] — the per-candidate derivation trait unifying the salted
+//!   (hash) search with the algorithm-aware (cipher / PQC keygen)
+//!   baselines of prior work.
+//! * [`engine`] — Algorithm 1: the statically partitioned, early-exiting
+//!   parallel search over Hamming-distance neighbourhoods.
+//! * [`salt`] — step 7's shared-salt decoupling of digest and key.
+//! * [`protocol`] — message types and the client endpoint.
+//! * [`ca`] — the CA/RA server side, including the sealed image store.
+//! * [`trials`] — the paper's 1200-trial average-case measurement driver.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rand::{rngs::StdRng, SeedableRng};
+//! use rbc_core::ca::{CaConfig, CertificateAuthority};
+//! use rbc_core::engine::EngineConfig;
+//! use rbc_core::protocol::{Client, Verdict};
+//! use rbc_pqc::LightSaber;
+//! use rbc_puf::ModelPuf;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let client = Client::new(1, ModelPuf::sram(4096, 42));
+//! let mut ca = CertificateAuthority::new(
+//!     [0u8; 32],
+//!     LightSaber,
+//!     CaConfig { max_d: 3, engine: EngineConfig { threads: 4, ..Default::default() }, ..Default::default() },
+//! );
+//! ca.enroll_client(1, client.device(), 0, &mut rng).unwrap();
+//!
+//! let challenge = ca.begin(&client.hello()).unwrap();
+//! let digest = client.respond(&challenge, &mut rng);
+//! let verdict = ca.complete(&digest).unwrap();
+//! assert!(matches!(verdict.verdict, Verdict::Accepted { .. } | Verdict::Rejected));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod ca;
+pub mod cluster;
+pub mod derive;
+pub mod engine;
+pub mod protocol;
+pub mod salt;
+pub mod store;
+pub mod trials;
+pub mod weighted;
+
+pub use ca::{CaConfig, CertificateAuthority, RegistrationAuthority};
+pub use cluster::{cluster_search, ClusterConfig, ClusterReport};
+pub use derive::{CipherDerive, Derive, HashDerive, PqcDerive};
+pub use engine::{DistanceStats, EngineConfig, Outcome, SearchEngine, SearchMode, SearchReport};
+pub use protocol::{Client, ClientId, Verdict};
+pub use salt::Salt;
+pub use trials::{run_average_case_trials, TrialSummary};
+pub use weighted::{weighted_search, ReliabilityOrder, WeightedOutcome};

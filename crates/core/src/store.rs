@@ -1,0 +1,204 @@
+//! The CA's encrypted PUF-image database.
+//!
+//! "PUF images for all clients are stored in an encrypted database" (§2.1).
+//! Records — the PUF image plus the client's shared salt — are serialized
+//! and sealed with ChaCha20 under a database key held by the CA; each
+//! record gets its own nonce, so identical images never produce identical
+//! ciphertexts.
+
+use std::collections::HashMap;
+
+use rbc_ciphers::chacha20_xor;
+use rbc_puf::PufImage;
+use serde::{Deserialize, Serialize};
+
+use crate::protocol::ClientId;
+use crate::salt::Salt;
+
+/// One client's sealed enrollment record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct SealedRecord {
+    nonce: [u8; 12],
+    ciphertext: Vec<u8>,
+}
+
+/// Plaintext payload of a record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EnrollmentRecord {
+    /// The server-side PUF image (reference seed, cell selection, ternary
+    /// map).
+    pub image: PufImage,
+    /// The salt shared with the client.
+    pub salt: Salt,
+}
+
+/// Encrypted-at-rest store of enrollment records. A client may hold
+/// several records — one per enrolled PUF address — so the CA can issue a
+/// *different* address after a timeout ("the CA simply sends the client a
+/// new PUF address and the process is restarted").
+pub struct SealedImageStore {
+    key: [u8; 32],
+    records: HashMap<ClientId, SealedRecord>,
+    nonce_counter: u64,
+}
+
+impl SealedImageStore {
+    /// Creates a store sealed under `key`.
+    pub fn new(key: [u8; 32]) -> Self {
+        SealedImageStore { key, records: HashMap::new(), nonce_counter: 0 }
+    }
+
+    /// Number of enrolled clients.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether a client is enrolled.
+    pub fn contains(&self, id: ClientId) -> bool {
+        self.records.contains_key(&id)
+    }
+
+    fn seal(&mut self, id: ClientId, records: &[EnrollmentRecord]) {
+        self.nonce_counter += 1;
+        let mut nonce = [0u8; 12];
+        nonce[..8].copy_from_slice(&self.nonce_counter.to_le_bytes());
+        nonce[8..].copy_from_slice(&(id as u32).to_le_bytes());
+        let mut data = serde_json::to_vec(records).expect("records serialize");
+        chacha20_xor(&self.key, 0, &nonce, &mut data);
+        self.records.insert(id, SealedRecord { nonce, ciphertext: data });
+    }
+
+    /// Seals and stores a single record, replacing any previous set.
+    pub fn insert(&mut self, id: ClientId, record: &EnrollmentRecord) {
+        self.seal(id, std::slice::from_ref(record));
+    }
+
+    /// Appends a record (an additional enrolled address) for a client.
+    pub fn append(&mut self, id: ClientId, record: &EnrollmentRecord) {
+        let mut all = self.get_all(id).unwrap_or_default();
+        all.push(record.clone());
+        self.seal(id, &all);
+    }
+
+    /// Unseals the first (primary) record.
+    pub fn get(&self, id: ClientId) -> Option<EnrollmentRecord> {
+        self.get_all(id)?.into_iter().next()
+    }
+
+    /// Unseals all of a client's records.
+    pub fn get_all(&self, id: ClientId) -> Option<Vec<EnrollmentRecord>> {
+        let sealed = self.records.get(&id)?;
+        let mut data = sealed.ciphertext.clone();
+        chacha20_xor(&self.key, 0, &sealed.nonce, &mut data);
+        serde_json::from_slice(&data).ok()
+    }
+
+    /// Number of enrolled addresses for a client.
+    pub fn record_count(&self, id: ClientId) -> usize {
+        self.get_all(id).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Removes a client's records.
+    pub fn remove(&mut self, id: ClientId) -> bool {
+        self.records.remove(&id).is_some()
+    }
+
+    /// Raw sealed bytes of a record set (for at-rest inspection in tests).
+    pub fn sealed_bytes(&self, id: ClientId) -> Option<&[u8]> {
+        self.records.get(&id).map(|r| r.ciphertext.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rbc_puf::{enroll, EnrollmentConfig, ModelPuf};
+
+    fn sample_record() -> EnrollmentRecord {
+        let device = ModelPuf::noiseless(1024, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let image = enroll(&device, 0, &EnrollmentConfig::default(), &mut rng).unwrap();
+        EnrollmentRecord { image, salt: Salt::from_enrollment(1, 1) }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut store = SealedImageStore::new([9u8; 32]);
+        let rec = sample_record();
+        store.insert(1, &rec);
+        let got = store.get(1).unwrap();
+        assert_eq!(got.image.reference, rec.image.reference);
+        assert_eq!(got.image.selected, rec.image.selected);
+        assert_eq!(got.salt, rec.salt);
+        assert_eq!(store.len(), 1);
+        assert!(store.contains(1));
+        assert!(!store.contains(2));
+    }
+
+    #[test]
+    fn ciphertext_does_not_leak_plaintext() {
+        let mut store = SealedImageStore::new([1u8; 32]);
+        let rec = sample_record();
+        store.insert(7, &rec);
+        let sealed = store.sealed_bytes(7).unwrap();
+        let plain = serde_json::to_vec(&rec).unwrap();
+        assert_ne!(sealed, &plain[..]);
+        // A JSON plaintext always contains the field name; ciphertext must not.
+        let needle = b"reference";
+        assert!(!sealed.windows(needle.len()).any(|w| w == needle));
+    }
+
+    #[test]
+    fn same_record_twice_different_ciphertexts() {
+        let mut store = SealedImageStore::new([1u8; 32]);
+        let rec = sample_record();
+        store.insert(1, &rec);
+        let first = store.sealed_bytes(1).unwrap().to_vec();
+        store.insert(1, &rec);
+        let second = store.sealed_bytes(1).unwrap().to_vec();
+        assert_ne!(first, second, "fresh nonce per insert");
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn wrong_key_fails_closed() {
+        let mut store = SealedImageStore::new([1u8; 32]);
+        store.insert(1, &sample_record());
+        // Move the sealed record into a store with a different key.
+        let sealed = store.records.get(&1).unwrap().clone();
+        let mut other = SealedImageStore::new([2u8; 32]);
+        other.records.insert(1, sealed);
+        assert!(other.get(1).is_none(), "garbled plaintext must not parse");
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut store = SealedImageStore::new([1u8; 32]);
+        store.insert(1, &sample_record());
+        assert!(store.remove(1));
+        assert!(!store.remove(1));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn append_accumulates_addresses() {
+        let mut store = SealedImageStore::new([4u8; 32]);
+        let rec = sample_record();
+        store.append(9, &rec);
+        store.append(9, &rec);
+        store.append(9, &rec);
+        assert_eq!(store.record_count(9), 3);
+        assert_eq!(store.get_all(9).unwrap().len(), 3);
+        // insert replaces the whole set.
+        store.insert(9, &rec);
+        assert_eq!(store.record_count(9), 1);
+        assert_eq!(store.record_count(404), 0);
+    }
+}

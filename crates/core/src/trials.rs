@@ -1,0 +1,131 @@
+//! Average-case trial driver (§4.1): "when we show the average case
+//! performance, we present an average of 1,200 trials."
+//!
+//! Each trial plants a client seed at exactly Hamming distance `d` from a
+//! random reference (the paper's noise-injection procedure guarantees the
+//! same), runs the early-exit search, and accumulates seeds-derived and
+//! wall-clock statistics. Equation 3 predicts the mean number of seeds
+//! searched; [`TrialSummary::expected_seeds`] carries the prediction so
+//! harnesses can print measured-vs-model side by side.
+
+use std::time::Duration;
+
+use rand::Rng;
+use rbc_bits::U256;
+use rbc_comb::average_seeds;
+
+use crate::derive::Derive;
+use crate::engine::{EngineConfig, Outcome, SearchEngine, SearchMode};
+
+/// Aggregate of an average-case trial campaign.
+#[derive(Clone, Debug)]
+pub struct TrialSummary {
+    /// Trials run.
+    pub trials: usize,
+    /// Planted Hamming distance.
+    pub d: u32,
+    /// Mean seeds derived per trial.
+    pub mean_seeds: f64,
+    /// Mean search-only wall-clock per trial.
+    pub mean_elapsed: Duration,
+    /// Worst-case trial duration.
+    pub max_elapsed: Duration,
+    /// Trials where the seed was found (must equal `trials`).
+    pub found: usize,
+    /// Equation 3's prediction `a(d)` for comparison.
+    pub expected_seeds: u128,
+}
+
+/// Runs `trials` average-case searches at distance `d` with the given
+/// derivation and engine parameters (mode is forced to early-exit — the
+/// average case is meaningless without it).
+pub fn run_average_case_trials<D: Derive, R: Rng + ?Sized>(
+    derive: D,
+    mut cfg: EngineConfig,
+    d: u32,
+    trials: usize,
+    rng: &mut R,
+) -> TrialSummary {
+    assert!(trials > 0, "need at least one trial");
+    cfg.mode = SearchMode::EarlyExit;
+    let engine = SearchEngine::new(derive, cfg);
+    engine.prepare(d);
+
+    let mut total_seeds = 0u128;
+    let mut total_elapsed = Duration::ZERO;
+    let mut max_elapsed = Duration::ZERO;
+    let mut found = 0usize;
+
+    for _ in 0..trials {
+        let reference = U256::random(rng);
+        let client = reference.random_at_distance(d, rng);
+        let target = engine.derivation().derive(&client);
+        let report = engine.search(&target, &reference, d);
+        total_seeds += report.seeds_derived as u128;
+        total_elapsed += report.elapsed;
+        max_elapsed = max_elapsed.max(report.elapsed);
+        if matches!(report.outcome, Outcome::Found { .. }) {
+            found += 1;
+        }
+    }
+
+    TrialSummary {
+        trials,
+        d,
+        mean_seeds: total_seeds as f64 / trials as f64,
+        mean_elapsed: total_elapsed / trials as u32,
+        max_elapsed,
+        found,
+        expected_seeds: average_seeds(d),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::HashDerive;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rbc_hash::Sha3Fixed;
+
+    #[test]
+    fn all_trials_find_the_planted_seed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = EngineConfig { threads: 4, ..Default::default() };
+        let summary = run_average_case_trials(HashDerive(Sha3Fixed), cfg, 1, 40, &mut rng);
+        assert_eq!(summary.found, summary.trials);
+        assert_eq!(summary.d, 1);
+    }
+
+    #[test]
+    fn mean_seeds_tracks_equation_3() {
+        // At d = 1, a(1) = 129. With p threads the early exit granularity
+        // adds slack; allow a generous band around the prediction.
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = EngineConfig { threads: 2, ..Default::default() };
+        let summary = run_average_case_trials(HashDerive(Sha3Fixed), cfg, 1, 300, &mut rng);
+        assert_eq!(summary.expected_seeds, 129);
+        assert!(
+            summary.mean_seeds > 60.0 && summary.mean_seeds < 260.0,
+            "mean {} should straddle a(1) = 129",
+            summary.mean_seeds
+        );
+    }
+
+    #[test]
+    fn average_case_at_d2_is_well_below_exhaustive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = EngineConfig { threads: 4, ..Default::default() };
+        let summary = run_average_case_trials(HashDerive(Sha3Fixed), cfg, 2, 30, &mut rng);
+        let exhaustive = rbc_comb::exhaustive_seeds(2) as f64;
+        assert!(summary.mean_seeds < 0.9 * exhaustive, "mean {}", summary.mean_seeds);
+        assert_eq!(summary.found, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        run_average_case_trials(HashDerive(Sha3Fixed), EngineConfig::default(), 1, 0, &mut rng);
+    }
+}

@@ -1,0 +1,126 @@
+//! Figure 3's parameter grid search: search-only time as a function of
+//! seeds-per-thread `n` and threads-per-block `b`.
+
+use crate::model::{GpuDeviceModel, GpuKernelConfig, KernelParams};
+
+/// One cell of the heatmap.
+#[derive(Clone, Copy, Debug)]
+pub struct HeatmapCell {
+    /// Seeds per thread `n`.
+    pub n: u64,
+    /// Threads per block `b`.
+    pub b: u32,
+    /// Total CUDA threads required at the deepest distance.
+    pub threads: u128,
+    /// Modelled search-only time in seconds.
+    pub seconds: f64,
+}
+
+/// The full grid, row-major over `n` then `b`.
+#[derive(Clone, Debug)]
+pub struct Heatmap {
+    /// The `n` axis values.
+    pub ns: Vec<u64>,
+    /// The `b` axis values.
+    pub bs: Vec<u32>,
+    /// Cells, `ns.len() × bs.len()` row-major.
+    pub cells: Vec<HeatmapCell>,
+}
+
+impl Heatmap {
+    /// Sweeps the grid for an exhaustive search to `max_d` under `base`
+    /// configuration (its `params` field is overridden per cell).
+    pub fn sweep(
+        device: &GpuDeviceModel,
+        base: &GpuKernelConfig,
+        max_d: u32,
+        ns: &[u64],
+        bs: &[u32],
+    ) -> Heatmap {
+        let profile: Vec<u128> = (0..=max_d).map(rbc_comb::seeds_at_distance).collect();
+        let deepest = *profile.last().expect("at least one distance");
+        let mut cells = Vec::with_capacity(ns.len() * bs.len());
+        for &n in ns {
+            for &b in bs {
+                let cfg = GpuKernelConfig {
+                    params: KernelParams { seeds_per_thread: n, block_size: b },
+                    ..*base
+                };
+                cells.push(HeatmapCell {
+                    n,
+                    b,
+                    threads: deepest.div_ceil(n as u128),
+                    seconds: device.search_time(&cfg, &profile),
+                });
+            }
+        }
+        Heatmap { ns: ns.to_vec(), bs: bs.to_vec(), cells }
+    }
+
+    /// The fastest cell.
+    pub fn best(&self) -> HeatmapCell {
+        *self
+            .cells
+            .iter()
+            .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
+            .expect("non-empty grid")
+    }
+
+    /// Cell at (`n`, `b`), if present in the grid.
+    pub fn at(&self, n: u64, b: u32) -> Option<HeatmapCell> {
+        self.cells.iter().copied().find(|c| c.n == n && c.b == b)
+    }
+
+    /// The paper's Figure 3 axes.
+    pub fn paper_axes() -> (Vec<u64>, Vec<u32>) {
+        (
+            vec![1, 10, 50, 100, 500, 1000, 10_000, 100_000],
+            vec![32, 64, 128, 256, 512, 1024],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::GpuHash;
+
+    fn sweep() -> Heatmap {
+        let dev = GpuDeviceModel::a100();
+        let (ns, bs) = Heatmap::paper_axes();
+        Heatmap::sweep(&dev, &GpuKernelConfig::paper_best(GpuHash::Sha3), 5, &ns, &bs)
+    }
+
+    #[test]
+    fn best_cell_is_near_paper_optimum() {
+        let h = sweep();
+        let best = h.best();
+        // Paper: minimum at n=100, b=128.
+        assert_eq!(best.b, 128, "block size optimum");
+        assert!(
+            (50..=1000).contains(&best.n),
+            "n optimum {} should sit in the paper's plateau",
+            best.n
+        );
+    }
+
+    #[test]
+    fn grid_shape_and_lookup() {
+        let h = sweep();
+        assert_eq!(h.cells.len(), h.ns.len() * h.bs.len());
+        let c = h.at(100, 128).unwrap();
+        assert!(c.seconds > 0.0);
+        assert!(h.at(3, 3).is_none());
+        // Thread count column of Fig. 3: n=1 needs ~8.8e9 threads at d=5.
+        assert_eq!(h.at(1, 128).unwrap().threads, rbc_comb::seeds_at_distance(5));
+    }
+
+    #[test]
+    fn corners_are_slower_than_center() {
+        let h = sweep();
+        let center = h.at(100, 128).unwrap().seconds;
+        for (n, b) in [(1u64, 32u32), (1, 1024), (100_000, 32), (100_000, 1024)] {
+            assert!(h.at(n, b).unwrap().seconds > center, "corner ({n},{b})");
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # rbc-gpu-sim
+//!
+//! SALTED-GPU (§3.2) without the GPU: a functional SIMT execution model
+//! plus an analytic timing model calibrated to the paper's A100
+//! measurements.
+//!
+//! * [`search`] runs the GPU algorithm's real semantics — per-distance
+//!   kernel launches, `n`-seed thread slices, unified-memory early-exit
+//!   flag — on host threads, so correctness, hash counts and exit
+//!   behaviour are computed, not assumed.
+//! * [`model`] prices those kernels: peak rates pinned by Table 5,
+//!   iterator surcharges by Table 4, occupancy/oversubscription shape by
+//!   Figure 3, ablation factors by §3.2.2–3.2.3, and multi-GPU overheads
+//!   by Figure 4.
+//! * [`heatmap`] reruns Figure 3's (`n`, `b`) grid search.
+//!
+//! The split is deliberate: anything the paper *claims as a mechanism*
+//! (partitioning, early exit, kernel-per-distance) is executed; anything
+//! that is *silicon* (clock-for-clock hash throughput) is a calibrated
+//! constant, documented in DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod heatmap;
+pub mod model;
+pub mod multi;
+pub mod search;
+
+pub use heatmap::{Heatmap, HeatmapCell};
+pub use model::{GpuDeviceModel, GpuHash, GpuKernelConfig, KernelParams, MemSpace};
+pub use multi::{multi_gpu_salted_search, DeviceStats, MultiGpuResult};
+pub use search::{gpu_hash_of, gpu_salted_search, GpuSearchResult};

@@ -1,0 +1,191 @@
+//! Functional multi-GPU SALTED-GPU (§4.8).
+//!
+//! The multi-GPU algorithm splits each distance's mask space statically
+//! across `G` devices; each device launches its own kernel over its
+//! share, and the early-exit flag lives in unified memory visible to all
+//! devices *and* the host (which uses it to skip later launches). Here
+//! each "device" is a Rayon task group sharing one `AtomicBool` —
+//! functionally identical, with per-device accounting so the work-split
+//! and exit behaviour can be asserted.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use rayon::prelude::*;
+use rbc_bits::U256;
+use rbc_comb::{binomial, partition, GosperStream};
+use rbc_hash::SeedHash;
+
+use crate::model::GpuKernelConfig;
+
+/// Per-device accounting for one multi-GPU search.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DeviceStats {
+    /// Candidate hashes this device performed.
+    pub hashes: u64,
+    /// Kernels this device launched.
+    pub kernels: u32,
+}
+
+/// Result of a functional multi-GPU search.
+#[derive(Clone, Debug)]
+pub struct MultiGpuResult {
+    /// The recovered seed and distance, if any.
+    pub found: Option<(U256, u32)>,
+    /// Total hashes across devices.
+    pub hashes: u64,
+    /// Per-device accounting.
+    pub per_device: Vec<DeviceStats>,
+}
+
+/// Runs the functional multi-GPU search on `gpus` logical devices.
+pub fn multi_gpu_salted_search<H: SeedHash>(
+    hasher: &H,
+    cfg: &GpuKernelConfig,
+    gpus: u32,
+    target: &H::Digest,
+    s_init: &U256,
+    max_d: u32,
+    early_exit: bool,
+) -> MultiGpuResult {
+    assert!(gpus >= 1, "need at least one GPU");
+    let n = cfg.params.seeds_per_thread.max(1) as u128;
+    let flag = AtomicBool::new(false);
+    let found: Mutex<Option<(U256, u32)>> = Mutex::new(None);
+    let device_hashes: Vec<AtomicU64> = (0..gpus).map(|_| AtomicU64::new(0)).collect();
+    let device_kernels: Vec<AtomicU64> = (0..gpus).map(|_| AtomicU64::new(0)).collect();
+
+    // Host d = 0 probe.
+    let mut total_d0 = 1u64;
+    if hasher.digest_seed(s_init) == *target {
+        flag.store(true, Ordering::Release);
+        *found.lock().expect("slot") = Some((*s_init, 0));
+    }
+
+    for d in 1..=max_d {
+        if early_exit && flag.load(Ordering::Acquire) {
+            break;
+        }
+        let total = binomial(256, d);
+        let shares = partition(total, gpus as usize);
+
+        // All devices launch their kernels concurrently.
+        shares.into_par_iter().enumerate().for_each(|(dev, share)| {
+            if share.is_empty() {
+                return;
+            }
+            device_kernels[dev].fetch_add(1, Ordering::Relaxed);
+            let threads = (share.end - share.start).div_ceil(n);
+            let local: u64 = (0..threads as u64)
+                .into_par_iter()
+                .map(|t| {
+                    if early_exit && flag.load(Ordering::Relaxed) {
+                        return 0u64;
+                    }
+                    let start = share.start + t as u128 * n;
+                    let end = (start + n).min(share.end);
+                    let mut stream = GosperStream::from_rank_range(d, start, end);
+                    let mut count = 0u64;
+                    while let Some(mask) = stream.next_mask() {
+                        let seed = *s_init ^ mask;
+                        count += 1;
+                        if hasher.digest_seed(&seed) == *target {
+                            let mut slot = found.lock().expect("slot");
+                            if slot.is_none() {
+                                *slot = Some((seed, d));
+                            }
+                            drop(slot);
+                            flag.store(true, Ordering::Release);
+                            if early_exit {
+                                break;
+                            }
+                        }
+                        if early_exit && flag.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    count
+                })
+                .sum();
+            device_hashes[dev].fetch_add(local, Ordering::Relaxed);
+        });
+    }
+
+    let per_device: Vec<DeviceStats> = device_hashes
+        .iter()
+        .zip(device_kernels.iter())
+        .map(|(h, k)| DeviceStats {
+            hashes: h.load(Ordering::Relaxed),
+            kernels: k.load(Ordering::Relaxed) as u32,
+        })
+        .collect();
+    total_d0 += per_device.iter().map(|d| d.hashes).sum::<u64>();
+
+    let found_value = *found.lock().expect("slot");
+    MultiGpuResult { found: found_value, hashes: total_d0, per_device }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{GpuHash, GpuKernelConfig, KernelParams, MemSpace};
+    use rbc_comb::SeedIterKind;
+    use rbc_hash::Sha3Fixed;
+
+    fn cfg() -> GpuKernelConfig {
+        GpuKernelConfig {
+            hash: GpuHash::Sha3,
+            iter: SeedIterKind::Chase,
+            params: KernelParams { seeds_per_thread: 50, block_size: 128 },
+            mem: MemSpace::Shared,
+            fixed_padding: true,
+        }
+    }
+
+    #[test]
+    fn multi_gpu_finds_what_single_gpu_finds() {
+        let base = U256::from_limbs([3, 1, 4, 1]);
+        let client = base.flip_bit(99).flip_bit(201);
+        let target = Sha3Fixed.digest_seed(&client);
+        for gpus in [1u32, 2, 3] {
+            let r = multi_gpu_salted_search(&Sha3Fixed, &cfg(), gpus, &target, &base, 2, true);
+            assert_eq!(r.found, Some((client, 2)), "G={gpus}");
+            assert_eq!(r.per_device.len(), gpus as usize);
+        }
+    }
+
+    #[test]
+    fn exhaustive_work_splits_evenly() {
+        let base = U256::from_u64(5);
+        let client = base.flip_bit(0).flip_bit(1).flip_bit(2); // unfindable at d≤2
+        let target = Sha3Fixed.digest_seed(&client);
+        let r = multi_gpu_salted_search(&Sha3Fixed, &cfg(), 3, &target, &base, 2, false);
+        assert_eq!(r.found, None);
+        assert_eq!(r.hashes, 1 + 256 + 32_640);
+        let hashes: Vec<u64> = r.per_device.iter().map(|d| d.hashes).collect();
+        let (min, max) = (hashes.iter().min().unwrap(), hashes.iter().max().unwrap());
+        assert!(max - min <= 2, "uneven split {hashes:?}");
+        assert!(r.per_device.iter().all(|d| d.kernels == 2), "one kernel per distance per device");
+    }
+
+    #[test]
+    fn early_exit_crosses_device_boundary() {
+        // Seed in device 0's share; devices 1 and 2 must cut out early.
+        let base = U256::from_u64(0);
+        let client = base.flip_bit(0);
+        let target = Sha3Fixed.digest_seed(&client);
+        let r = multi_gpu_salted_search(&Sha3Fixed, &cfg(), 3, &target, &base, 1, true);
+        assert_eq!(r.found, Some((client, 1)));
+        assert!(r.hashes < 1 + 256, "flag should spare work: {}", r.hashes);
+    }
+
+    #[test]
+    fn matches_single_device_function() {
+        let base = U256::from_limbs([9, 9, 9, 9]);
+        let client = base.flip_bit(33);
+        let target = Sha3Fixed.digest_seed(&client);
+        let single = crate::search::gpu_salted_search(&Sha3Fixed, &cfg(), &target, &base, 2, true);
+        let multi = multi_gpu_salted_search(&Sha3Fixed, &cfg(), 2, &target, &base, 2, true);
+        assert_eq!(single.found, multi.found);
+    }
+}

@@ -1,0 +1,263 @@
+//! SHA-1 (FIPS 180-4) — streaming implementation plus the RBC fixed-input
+//! fast path.
+//!
+//! SHA-1 is cryptographically broken for collision resistance and is
+//! included, exactly as in the paper, only to widen the performance
+//! comparison (§4.2: "Although SHA-1 is no longer deemed secure, we include
+//! performance results for SHA-1").
+
+use rbc_bits::U256;
+
+/// Length of a SHA-1 digest in bytes.
+pub const DIGEST_LEN: usize = 20;
+
+/// SHA-1 initialization vector (FIPS 180-4 §5.3.1).
+const H0: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+
+/// A SHA-1 message digest.
+pub type Sha1Digest = [u8; DIGEST_LEN];
+
+/// Streaming SHA-1 hasher for arbitrary-length messages.
+///
+/// ```
+/// use rbc_hash::sha1::Sha1;
+/// let d = Sha1::digest(b"abc");
+/// assert_eq!(hex(&d), "a9993e364706816aba3e25717850c26c9cd0d89d");
+/// # fn hex(b: &[u8]) -> String { b.iter().map(|x| format!("{x:02x}")).collect() }
+/// ```
+#[derive(Clone)]
+pub struct Sha1 {
+    h: [u32; 5],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha1 { h: H0, buf: [0; 64], buf_len: 0, total_len: 0 }
+    }
+
+    /// One-shot convenience: hash `data` in a single call.
+    pub fn digest(data: &[u8]) -> Sha1Digest {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut data = data;
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                compress(&mut self.h, &block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            compress(&mut self.h, &block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Applies Merkle–Damgård padding and returns the digest.
+    pub fn finalize(mut self) -> Sha1Digest {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        // Account for the 0x80 byte added above.
+        self.total_len = self.total_len.wrapping_sub(1);
+        while self.buf_len != 56 {
+            let zero = [0u8];
+            self.update(&zero);
+            self.total_len = self.total_len.wrapping_sub(1);
+        }
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; DIGEST_LEN];
+        for (i, word) in self.h.iter().enumerate() {
+            out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
+/// The SHA-1 compression function on one 64-byte block.
+#[inline]
+fn compress(h: &mut [u32; 5], block: &[u8; 64]) {
+    let mut w = [0u32; 80];
+    for (i, wi) in w.iter_mut().take(16).enumerate() {
+        *wi = u32::from_be_bytes([block[4 * i], block[4 * i + 1], block[4 * i + 2], block[4 * i + 3]]);
+    }
+    schedule_and_rounds(h, &mut w);
+}
+
+/// Message schedule expansion + 80 rounds, shared by the generic and
+/// fixed-input paths (the fixed path pre-fills `w[0..16]` directly from the
+/// seed words and padding constants, skipping byte shuffling).
+#[inline]
+fn schedule_and_rounds(h: &mut [u32; 5], w: &mut [u32; 80]) {
+    for i in 16..80 {
+        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e] = *h;
+
+    macro_rules! quarter {
+        ($range:expr, $f:expr, $k:expr) => {
+            for i in $range {
+                let f: u32 = $f(b, c, d);
+                let tmp = a
+                    .rotate_left(5)
+                    .wrapping_add(f)
+                    .wrapping_add(e)
+                    .wrapping_add($k)
+                    .wrapping_add(w[i]);
+                e = d;
+                d = c;
+                c = b.rotate_left(30);
+                b = a;
+                a = tmp;
+            }
+        };
+    }
+
+    quarter!(0..20, |b: u32, c: u32, d: u32| (b & c) | (!b & d), 0x5A827999);
+    quarter!(20..40, |b: u32, c: u32, d: u32| b ^ c ^ d, 0x6ED9EBA1);
+    quarter!(40..60, |b: u32, c: u32, d: u32| (b & c) | (b & d) | (c & d), 0x8F1BBCDC);
+    quarter!(60..80, |b: u32, c: u32, d: u32| b ^ c ^ d, 0xCA62C1D6);
+
+    h[0] = h[0].wrapping_add(a);
+    h[1] = h[1].wrapping_add(b);
+    h[2] = h[2].wrapping_add(c);
+    h[3] = h[3].wrapping_add(d);
+    h[4] = h[4].wrapping_add(e);
+}
+
+/// Hashes a 256-bit seed with the fixed-input specialization (§3.2.2).
+///
+/// A 32-byte message always fits one block: words 0..8 carry the seed,
+/// word 8 is the constant `0x80000000` padding marker, words 9..14 are
+/// zero, and words 14..15 hold the constant bit length (256). All padding
+/// conditionals of the generic path disappear.
+#[inline]
+pub fn sha1_fixed32(seed: &U256) -> Sha1Digest {
+    // Message word i is the big-endian view of bytes 4i..4i+4 of the
+    // seed's little-endian serialization — i.e. the byte-swapped halves
+    // of the limbs, no buffer round-trip.
+    let limbs = seed.limbs();
+    let mut w = [0u32; 80];
+    for i in 0..8 {
+        w[i] = ((limbs[i / 2] >> (32 * (i % 2))) as u32).swap_bytes();
+    }
+    w[8] = 0x8000_0000;
+    // w[9..14] stay zero; message length is 256 bits.
+    w[15] = 256;
+
+    let mut h = H0;
+    schedule_and_rounds(&mut h, &mut w);
+
+    let mut out = [0u8; DIGEST_LEN];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..(i + 1) * 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn fips_vector_abc() {
+        assert_eq!(hex(&Sha1::digest(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn fips_vector_empty() {
+        assert_eq!(hex(&Sha1::digest(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn fips_vector_448_bits() {
+        assert_eq!(
+            hex(&Sha1::digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(hex(&h.finalize()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn streaming_equals_oneshot_at_odd_boundaries() {
+        let data: Vec<u8> = (0u16..300).map(|i| (i % 251) as u8).collect();
+        let oneshot = Sha1::digest(&data);
+        for split in [0usize, 1, 55, 56, 63, 64, 65, 127, 128, 299] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), oneshot, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn fixed32_matches_generic() {
+        for limbs in [
+            [0u64, 0, 0, 0],
+            [1, 0, 0, 0],
+            [u64::MAX; 4],
+            [0x0123456789abcdef, 0xfedcba9876543210, 0xdeadbeefcafef00d, 0x1122334455667788],
+        ] {
+            let seed = U256::from_limbs(limbs);
+            assert_eq!(sha1_fixed32(&seed), Sha1::digest(&seed.to_le_bytes()), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_digests() {
+        let a = U256::from_u64(1);
+        let b = U256::from_u64(2);
+        assert_ne!(sha1_fixed32(&a), sha1_fixed32(&b));
+    }
+
+    #[test]
+    fn exact_block_length_message() {
+        // 64-byte message forces a second, padding-only block.
+        let data = [0x5au8; 64];
+        let d = Sha1::digest(&data);
+        let mut h = Sha1::new();
+        h.update(&data[..32]);
+        h.update(&data[32..]);
+        assert_eq!(h.finalize(), d);
+    }
+}

@@ -1,0 +1,285 @@
+//! SHA-3 fixed-output hashes (FIPS 202): SHA3-224/256/384/512.
+//!
+//! All variants are sponges over [`crate::keccak::keccak_f1600`] with domain
+//! separation suffix `0b01` (encoded together with pad10*1 as `0x06 … 0x80`).
+//!
+//! [`sha3_256_fixed32`] is the paper's §3.2.2 optimization: for the constant
+//! 32-byte RBC seed the sponge is a single permutation with padding folded
+//! into constants, removing the generic absorb loop's conditionals.
+
+use crate::keccak::keccak_f1600;
+use rbc_bits::U256;
+
+/// Generic SHA-3 sponge, parameterized by rate in bytes.
+#[derive(Clone)]
+struct Sponge<const RATE: usize> {
+    state: [u64; 25],
+    /// Bytes absorbed into the current rate-block so far.
+    offset: usize,
+}
+
+impl<const RATE: usize> Sponge<RATE> {
+    fn new() -> Self {
+        Sponge { state: [0; 25], offset: 0 }
+    }
+
+    #[inline]
+    fn absorb_byte(&mut self, b: u8) {
+        let lane = self.offset / 8;
+        let shift = (self.offset % 8) * 8;
+        self.state[lane] ^= (b as u64) << shift;
+        self.offset += 1;
+        if self.offset == RATE {
+            keccak_f1600(&mut self.state);
+            self.offset = 0;
+        }
+    }
+
+    fn absorb(&mut self, data: &[u8]) {
+        // Fast path: XOR whole lanes when aligned.
+        let mut data = data;
+        while self.offset % 8 != 0 && !data.is_empty() {
+            self.absorb_byte(data[0]);
+            data = &data[1..];
+        }
+        while data.len() >= 8 && self.offset + 8 <= RATE {
+            let lane = self.offset / 8;
+            let mut chunk = [0u8; 8];
+            chunk.copy_from_slice(&data[..8]);
+            self.state[lane] ^= u64::from_le_bytes(chunk);
+            self.offset += 8;
+            data = &data[8..];
+            if self.offset == RATE {
+                keccak_f1600(&mut self.state);
+                self.offset = 0;
+            }
+        }
+        for &b in data {
+            self.absorb_byte(b);
+        }
+    }
+
+    /// Applies pad10*1 with domain-separation bits `ds` and permutes.
+    fn pad_and_permute(&mut self, ds: u8) {
+        let lane = self.offset / 8;
+        let shift = (self.offset % 8) * 8;
+        self.state[lane] ^= (ds as u64) << shift;
+        self.state[(RATE - 1) / 8] ^= 0x80u64 << (((RATE - 1) % 8) * 8);
+        keccak_f1600(&mut self.state);
+        self.offset = 0;
+    }
+
+    /// Squeezes `out.len()` bytes (permutes between rate-blocks).
+    fn squeeze(&mut self, out: &mut [u8]) {
+        for chunk in out.chunks_mut(RATE) {
+            if self.offset == RATE {
+                keccak_f1600(&mut self.state);
+                self.offset = 0;
+            }
+            for (i, o) in chunk.iter_mut().enumerate() {
+                let pos = self.offset + i;
+                *o = (self.state[pos / 8] >> ((pos % 8) * 8)) as u8;
+            }
+            self.offset += chunk.len();
+        }
+    }
+}
+
+macro_rules! sha3_variant {
+    ($(#[$doc:meta])* $name:ident, $digest_ty:ident, $digest_len:expr, $rate:expr, $oneshot:ident) => {
+        $(#[$doc])*
+        #[derive(Clone)]
+        pub struct $name {
+            sponge: Sponge<$rate>,
+        }
+
+        /// Digest type for this variant.
+        pub type $digest_ty = [u8; $digest_len];
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl $name {
+            /// Creates a fresh hasher.
+            pub fn new() -> Self {
+                $name { sponge: Sponge::new() }
+            }
+
+            /// One-shot convenience: hash `data` in a single call.
+            pub fn digest(data: &[u8]) -> $digest_ty {
+                let mut h = Self::new();
+                h.update(data);
+                h.finalize()
+            }
+
+            /// Absorbs `data` into the sponge.
+            pub fn update(&mut self, data: &[u8]) {
+                self.sponge.absorb(data);
+            }
+
+            /// Pads, permutes and squeezes the digest.
+            pub fn finalize(mut self) -> $digest_ty {
+                self.sponge.pad_and_permute(0x06);
+                let mut out = [0u8; $digest_len];
+                self.sponge.squeeze(&mut out);
+                out
+            }
+        }
+
+        /// One-shot free function mirroring the struct API.
+        pub fn $oneshot(data: &[u8]) -> $digest_ty {
+            $name::digest(data)
+        }
+    };
+}
+
+sha3_variant!(
+    /// SHA3-224 (rate 144 bytes).
+    Sha3_224, Sha3_224Digest, 28, 144, sha3_224
+);
+sha3_variant!(
+    /// SHA3-256 (rate 136 bytes) — the hash RBC-SALTED benchmarks.
+    Sha3_256, Sha3_256Digest, 32, 136, sha3_256
+);
+sha3_variant!(
+    /// SHA3-384 (rate 104 bytes).
+    Sha3_384, Sha3_384Digest, 48, 104, sha3_384
+);
+sha3_variant!(
+    /// SHA3-512 (rate 72 bytes).
+    Sha3_512, Sha3_512Digest, 64, 72, sha3_512
+);
+
+/// Hashes a 256-bit seed with the fixed-input SHA3-256 specialization.
+///
+/// The 32-byte seed occupies lanes 0..4; the padding byte `0x06` lands at
+/// byte 32 (lane 4, shift 0) and the final `0x80` at byte 135 (lane 16,
+/// shift 56) — all constants, no conditionals, one permutation.
+#[inline]
+pub fn sha3_256_fixed32(seed: &U256) -> Sha3_256Digest {
+    // The seed's little-endian limbs ARE the first four sponge lanes —
+    // no byte shuffling at all on the input side.
+    let limbs = seed.limbs();
+    let mut state = [0u64; 25];
+    state[..4].copy_from_slice(&limbs);
+    state[4] = 0x06; // domain separation + pad start at byte offset 32
+    state[16] = 0x8000_0000_0000_0000; // pad end at byte offset 135
+    keccak_f1600(&mut state);
+
+    let mut out = [0u8; 32];
+    for i in 0..4 {
+        out[i * 8..(i + 1) * 8].copy_from_slice(&state[i].to_le_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn sha3_256_vector_empty() {
+        assert_eq!(
+            hex(&Sha3_256::digest(b"")),
+            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
+        );
+    }
+
+    #[test]
+    fn sha3_256_vector_abc() {
+        assert_eq!(
+            hex(&Sha3_256::digest(b"abc")),
+            "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"
+        );
+    }
+
+    #[test]
+    fn sha3_224_vector_abc() {
+        assert_eq!(
+            hex(&Sha3_224::digest(b"abc")),
+            "e642824c3f8cf24ad09234ee7d3c766fc9a3a5168d0c94ad73b46fdf"
+        );
+    }
+
+    #[test]
+    fn sha3_384_vector_abc() {
+        assert_eq!(
+            hex(&Sha3_384::digest(b"abc")),
+            "ec01498288516fc926459f58e2c6ad8df9b473cb0fc08c2596da7cf0e49be4b298d88cea927ac7f539f1edf228376d25"
+        );
+    }
+
+    #[test]
+    fn sha3_512_vector_abc() {
+        assert_eq!(
+            hex(&Sha3_512::digest(b"abc")),
+            "b751850b1a57168a5693cd924b6b096e08f621827444f70d884f5d0240d2712e10e116e9192af3c91a7ec57647e3934057340b4cf408d5a56592f8274eec53f0"
+        );
+    }
+
+    #[test]
+    fn sha3_256_vector_448_bits() {
+        assert_eq!(
+            hex(&Sha3_256::digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "41c0dba2a9d6240849100376a8235e2c82e1b9998a999e21db32dd97496d3376"
+        );
+    }
+
+    #[test]
+    fn sha3_256_million_a() {
+        let mut h = Sha3_256::new();
+        let chunk = [b'a'; 10_000];
+        for _ in 0..100 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "5c8875ae474a3634ba4fd55ec85bffd661f32aca75c6d699d0cdcb6c115891c1"
+        );
+    }
+
+    #[test]
+    fn fixed32_matches_generic() {
+        for limbs in [
+            [0u64; 4],
+            [1, 0, 0, 0],
+            [u64::MAX; 4],
+            [0x0123456789abcdef, 0x02468ace13579bdf, 0xdeadbeefcafef00d, 0x1122334455667788],
+        ] {
+            let seed = U256::from_limbs(limbs);
+            assert_eq!(
+                sha3_256_fixed32(&seed),
+                Sha3_256::digest(&seed.to_le_bytes()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_across_rate_boundary() {
+        // 136-byte rate: messages near the boundary exercise the pad paths.
+        for len in [135usize, 136, 137, 272, 273] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 13 % 256) as u8).collect();
+            let oneshot = Sha3_256::digest(&data);
+            let mut h = Sha3_256::new();
+            for chunk in data.chunks(17) {
+                h.update(chunk);
+            }
+            assert_eq!(h.finalize(), oneshot, "len {len}");
+        }
+    }
+
+    #[test]
+    fn variants_differ_on_same_input() {
+        let d256 = Sha3_256::digest(b"rbc");
+        let d512 = Sha3_512::digest(b"rbc");
+        assert_ne!(&d256[..], &d512[..32]);
+    }
+}

@@ -1,0 +1,286 @@
+//! SHA-512 and SHA-384 (FIPS 180-4) — the 64-bit Merkle–Damgård branch
+//! of the SHA-2 family, completing the protocol's "any variant of SHA"
+//! claim (step 2 of the RBC-SALTED procedure).
+
+use rbc_bits::U256;
+
+/// SHA-512 initialization vector.
+const H512: [u64; 8] = [
+    0x6a09e667f3bcc908,
+    0xbb67ae8584caa73b,
+    0x3c6ef372fe94f82b,
+    0xa54ff53a5f1d36f1,
+    0x510e527fade682d1,
+    0x9b05688c2b3e6c1f,
+    0x1f83d9abfb41bd6b,
+    0x5be0cd19137e2179,
+];
+
+/// SHA-384 initialization vector.
+const H384: [u64; 8] = [
+    0xcbbb9d5dc1059ed8,
+    0x629a292a367cd507,
+    0x9159015a3070dd17,
+    0x152fecd8f70e5939,
+    0x67332667ffc00b31,
+    0x8eb44a8768581511,
+    0xdb0c2e0d64f98fa7,
+    0x47b5481dbefa4fa4,
+];
+
+const K: [u64; 80] = [
+    0x428a2f98d728ae22, 0x7137449123ef65cd, 0xb5c0fbcfec4d3b2f, 0xe9b5dba58189dbbc,
+    0x3956c25bf348b538, 0x59f111f1b605d019, 0x923f82a4af194f9b, 0xab1c5ed5da6d8118,
+    0xd807aa98a3030242, 0x12835b0145706fbe, 0x243185be4ee4b28c, 0x550c7dc3d5ffb4e2,
+    0x72be5d74f27b896f, 0x80deb1fe3b1696b1, 0x9bdc06a725c71235, 0xc19bf174cf692694,
+    0xe49b69c19ef14ad2, 0xefbe4786384f25e3, 0x0fc19dc68b8cd5b5, 0x240ca1cc77ac9c65,
+    0x2de92c6f592b0275, 0x4a7484aa6ea6e483, 0x5cb0a9dcbd41fbd4, 0x76f988da831153b5,
+    0x983e5152ee66dfab, 0xa831c66d2db43210, 0xb00327c898fb213f, 0xbf597fc7beef0ee4,
+    0xc6e00bf33da88fc2, 0xd5a79147930aa725, 0x06ca6351e003826f, 0x142929670a0e6e70,
+    0x27b70a8546d22ffc, 0x2e1b21385c26c926, 0x4d2c6dfc5ac42aed, 0x53380d139d95b3df,
+    0x650a73548baf63de, 0x766a0abb3c77b2a8, 0x81c2c92e47edaee6, 0x92722c851482353b,
+    0xa2bfe8a14cf10364, 0xa81a664bbc423001, 0xc24b8b70d0f89791, 0xc76c51a30654be30,
+    0xd192e819d6ef5218, 0xd69906245565a910, 0xf40e35855771202a, 0x106aa07032bbd1b8,
+    0x19a4c116b8d2d0c8, 0x1e376c085141ab53, 0x2748774cdf8eeb99, 0x34b0bcb5e19b48a8,
+    0x391c0cb3c5c95a63, 0x4ed8aa4ae3418acb, 0x5b9cca4f7763e373, 0x682e6ff3d6b2b8a3,
+    0x748f82ee5defb2fc, 0x78a5636f43172f60, 0x84c87814a1f0ab72, 0x8cc702081a6439ec,
+    0x90befffa23631e28, 0xa4506cebde82bde9, 0xbef9a3f7b2c67915, 0xc67178f2e372532b,
+    0xca273eceea26619c, 0xd186b8c721c0c207, 0xeada7dd6cde0eb1e, 0xf57d4f7fee6ed178,
+    0x06f067aa72176fba, 0x0a637dc5a2c898a6, 0x113f9804bef90dae, 0x1b710b35131c471b,
+    0x28db77f523047d84, 0x32caab7b40c72493, 0x3c9ebe0a15c9bebc, 0x431d67c49c100d4c,
+    0x4cc5d4becb3e42b6, 0x597f299cfc657e2a, 0x5fcb6fab3ad6faec, 0x6c44198c4a475817,
+];
+
+fn compress(h: &mut [u64; 8], block: &[u8; 128]) {
+    let mut w = [0u64; 80];
+    for (i, wi) in w.iter_mut().take(16).enumerate() {
+        *wi = u64::from_be_bytes(block[8 * i..8 * i + 8].try_into().expect("8 bytes"));
+    }
+    for i in 16..80 {
+        let s0 = w[i - 15].rotate_right(1) ^ w[i - 15].rotate_right(8) ^ (w[i - 15] >> 7);
+        let s1 = w[i - 2].rotate_right(19) ^ w[i - 2].rotate_right(61) ^ (w[i - 2] >> 6);
+        w[i] = w[i - 16].wrapping_add(s0).wrapping_add(w[i - 7]).wrapping_add(s1);
+    }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = *h;
+    for i in 0..80 {
+        let s1 = e.rotate_right(14) ^ e.rotate_right(18) ^ e.rotate_right(41);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = hh.wrapping_add(s1).wrapping_add(ch).wrapping_add(K[i]).wrapping_add(w[i]);
+        let s0 = a.rotate_right(28) ^ a.rotate_right(34) ^ a.rotate_right(39);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        hh = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+
+    for (hi, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+        *hi = hi.wrapping_add(v);
+    }
+}
+
+/// Streaming core shared by SHA-512 and SHA-384.
+#[derive(Clone)]
+struct Engine {
+    h: [u64; 8],
+    buf: [u8; 128],
+    buf_len: usize,
+    total_len: u128,
+}
+
+impl Engine {
+    fn new(iv: [u64; 8]) -> Self {
+        Engine { h: iv, buf: [0; 128], buf_len: 0, total_len: 0 }
+    }
+
+    fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u128);
+        let mut data = data;
+        if self.buf_len > 0 {
+            let take = (128 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 128 {
+                let block = self.buf;
+                compress(&mut self.h, &block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 128 {
+            let mut block = [0u8; 128];
+            block.copy_from_slice(&data[..128]);
+            compress(&mut self.h, &block);
+            data = &data[128..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    fn finalize(mut self) -> [u64; 8] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        let mut pad = [0u8; 144];
+        pad[0] = 0x80;
+        let pad_len = if self.buf_len < 112 { 112 - self.buf_len } else { 240 - self.buf_len };
+        pad[pad_len..pad_len + 16].copy_from_slice(&bit_len.to_be_bytes());
+        self.update(&pad[..pad_len + 16]);
+        debug_assert_eq!(self.buf_len, 0);
+        self.h
+    }
+}
+
+macro_rules! sha512_variant {
+    ($(#[$doc:meta])* $name:ident, $digest_len:expr, $iv:expr) => {
+        $(#[$doc])*
+        #[derive(Clone)]
+        pub struct $name {
+            engine: Engine,
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl $name {
+            /// Creates a fresh hasher.
+            pub fn new() -> Self {
+                $name { engine: Engine::new($iv) }
+            }
+
+            /// One-shot convenience.
+            pub fn digest(data: &[u8]) -> [u8; $digest_len] {
+                let mut h = Self::new();
+                h.update(data);
+                h.finalize()
+            }
+
+            /// Absorbs `data`.
+            pub fn update(&mut self, data: &[u8]) {
+                self.engine.update(data);
+            }
+
+            /// Pads and returns the digest.
+            pub fn finalize(self) -> [u8; $digest_len] {
+                let state = self.engine.finalize();
+                let mut out = [0u8; $digest_len];
+                for (i, chunk) in out.chunks_mut(8).enumerate() {
+                    chunk.copy_from_slice(&state[i].to_be_bytes()[..chunk.len()]);
+                }
+                out
+            }
+        }
+    };
+}
+
+sha512_variant!(
+    /// SHA-512 (64-byte digest).
+    Sha512, 64, H512
+);
+sha512_variant!(
+    /// SHA-384 (48-byte digest) — SHA-512 truncated with its own IV.
+    Sha384, 48, H384
+);
+
+/// Hashes a 256-bit seed with SHA-512 fixed one-block padding.
+pub fn sha512_fixed32(seed: &U256) -> [u8; 64] {
+    let mut block = [0u8; 128];
+    block[..32].copy_from_slice(&seed.to_le_bytes());
+    block[32] = 0x80;
+    block[126] = 0x01; // 256 bits, big-endian in the last 16 bytes
+    let mut h = H512;
+    compress(&mut h, &block);
+    let mut out = [0u8; 64];
+    for (i, chunk) in out.chunks_mut(8).enumerate() {
+        chunk.copy_from_slice(&h[i].to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn sha512_vector_abc() {
+        assert_eq!(
+            hex(&Sha512::digest(b"abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a\
+             2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"
+                .replace(char::is_whitespace, "")
+        );
+    }
+
+    #[test]
+    fn sha512_vector_empty() {
+        assert_eq!(
+            hex(&Sha512::digest(b"")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce\
+             47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e"
+                .replace(char::is_whitespace, "")
+        );
+    }
+
+    #[test]
+    fn sha384_vector_abc() {
+        assert_eq!(
+            hex(&Sha384::digest(b"abc")),
+            "cb00753f45a35e8bb5a03d699ac65007272c32ab0eded1631a8b605a43ff5bed\
+             8086072ba1e7cc2358baeca134c825a7"
+                .replace(char::is_whitespace, "")
+        );
+    }
+
+    #[test]
+    fn sha512_two_block_vector() {
+        // FIPS 180-4 896-bit message.
+        let msg = b"abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn\
+hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu";
+        assert_eq!(
+            hex(&Sha512::digest(msg)),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018\
+             501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909"
+                .replace(char::is_whitespace, "")
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let data: Vec<u8> = (0u16..777).map(|i| (i % 256) as u8).collect();
+        let oneshot = Sha512::digest(&data);
+        for split in [1usize, 111, 112, 127, 128, 129, 300, 776] {
+            let mut h = Sha512::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), oneshot, "split {split}");
+        }
+    }
+
+    #[test]
+    fn fixed32_matches_generic() {
+        for limbs in [[0u64; 4], [1, 2, 3, 4], [u64::MAX; 4]] {
+            let seed = U256::from_limbs(limbs);
+            assert_eq!(sha512_fixed32(&seed), Sha512::digest(&seed.to_le_bytes()));
+        }
+    }
+
+    #[test]
+    fn sha384_is_not_a_prefix_of_sha512() {
+        let a = Sha384::digest(b"x");
+        let b = Sha512::digest(b"x");
+        assert_ne!(&a[..], &b[..48], "distinct IVs");
+    }
+}

@@ -1,0 +1,149 @@
+//! SHAKE128 and SHAKE256 extendable-output functions (FIPS 202 §6.2).
+//!
+//! The RBC protocol itself only needs fixed-output SHA, but the PQC keygen
+//! baselines (Dilithium, SABER) expand their seeds with SHAKE, so the XOFs
+//! live here alongside the rest of the Keccak family.
+
+use crate::keccak::keccak_f1600;
+
+/// A SHAKE XOF with rate `RATE` bytes (168 for SHAKE128, 136 for SHAKE256).
+#[derive(Clone)]
+pub struct Shake<const RATE: usize> {
+    state: [u64; 25],
+    offset: usize,
+    squeezing: bool,
+}
+
+/// SHAKE128: 128-bit security strength, rate 168.
+pub type Shake128 = Shake<168>;
+
+/// SHAKE256: 256-bit security strength, rate 136.
+pub type Shake256 = Shake<136>;
+
+impl<const RATE: usize> Default for Shake<RATE> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const RATE: usize> Shake<RATE> {
+    /// Creates a fresh XOF in the absorbing phase.
+    pub fn new() -> Self {
+        Shake { state: [0; 25], offset: 0, squeezing: false }
+    }
+
+    /// Absorbs `data`. Panics if called after squeezing has begun.
+    pub fn update(&mut self, data: &[u8]) {
+        assert!(!self.squeezing, "cannot absorb after squeezing");
+        for &b in data {
+            let lane = self.offset / 8;
+            let shift = (self.offset % 8) * 8;
+            self.state[lane] ^= (b as u64) << shift;
+            self.offset += 1;
+            if self.offset == RATE {
+                keccak_f1600(&mut self.state);
+                self.offset = 0;
+            }
+        }
+    }
+
+    /// Switches to the squeezing phase (pad10*1 with SHAKE suffix `1111`).
+    fn start_squeeze(&mut self) {
+        let lane = self.offset / 8;
+        let shift = (self.offset % 8) * 8;
+        self.state[lane] ^= 0x1Fu64 << shift;
+        self.state[(RATE - 1) / 8] ^= 0x80u64 << (((RATE - 1) % 8) * 8);
+        keccak_f1600(&mut self.state);
+        self.offset = 0;
+        self.squeezing = true;
+    }
+
+    /// Squeezes the next `out.len()` bytes of output. May be called
+    /// repeatedly; output is a continuous stream.
+    pub fn squeeze(&mut self, out: &mut [u8]) {
+        if !self.squeezing {
+            self.start_squeeze();
+        }
+        for o in out.iter_mut() {
+            if self.offset == RATE {
+                keccak_f1600(&mut self.state);
+                self.offset = 0;
+            }
+            *o = (self.state[self.offset / 8] >> ((self.offset % 8) * 8)) as u8;
+            self.offset += 1;
+        }
+    }
+
+    /// One-shot convenience: absorb `data`, squeeze `n` bytes.
+    pub fn xof(data: &[u8], n: usize) -> Vec<u8> {
+        let mut s = Self::new();
+        s.update(data);
+        let mut out = vec![0u8; n];
+        s.squeeze(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn shake128_empty_32_bytes() {
+        assert_eq!(
+            hex(&Shake128::xof(b"", 32)),
+            "7f9c2ba4e88f827d616045507605853ed73b8093f6efbc88eb1a6eacfa66ef26"
+        );
+    }
+
+    #[test]
+    fn shake256_empty_32_bytes() {
+        assert_eq!(
+            hex(&Shake256::xof(b"", 32)),
+            "46b9dd2b0ba88d13233b3feb743eeb243fcd52ea62b81b82b50c27646ed5762f"
+        );
+    }
+
+    #[test]
+    fn shake128_abc() {
+        assert_eq!(
+            hex(&Shake128::xof(b"abc", 16)),
+            "5881092dd818bf5cf8a3ddb793fbcba7"
+        );
+    }
+
+    #[test]
+    fn incremental_squeeze_equals_oneshot() {
+        let oneshot = Shake256::xof(b"incremental", 300);
+        let mut s = Shake256::new();
+        s.update(b"incre");
+        s.update(b"mental");
+        let mut out = vec![0u8; 300];
+        let (a, rest) = out.split_at_mut(7);
+        let (b, c) = rest.split_at_mut(136);
+        s.squeeze(a);
+        s.squeeze(b);
+        s.squeeze(c);
+        assert_eq!(out, oneshot);
+    }
+
+    #[test]
+    fn squeeze_across_rate_boundary() {
+        let big = Shake128::xof(b"x", 168 * 2 + 5);
+        let head = Shake128::xof(b"x", 10);
+        assert_eq!(&big[..10], &head[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot absorb after squeezing")]
+    fn absorb_after_squeeze_panics() {
+        let mut s = Shake128::new();
+        let mut out = [0u8; 4];
+        s.squeeze(&mut out);
+        s.update(b"too late");
+    }
+}

@@ -1,0 +1,25 @@
+//! # rbc-net
+//!
+//! Message transport and communication-latency models for the end-to-end
+//! RBC measurements.
+//!
+//! §4.6 of the paper reports end-to-end response times as *communication
+//! time + search time*, where communication covers the WAN round trips
+//! **and** the client's USB PUF read, measured together at 0.90 s. The
+//! APU server sat in Israel, so the paper substitutes the U.S. latency for
+//! fairness — i.e. even in the paper the communication term is a modelled
+//! constant added to search time. [`LatencyModel`] reproduces exactly that
+//! composition; [`channel`] provides a real in-process transport so the
+//! protocol code paths (serialize → frame → deliver → parse) are genuinely
+//! exercised.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod latency;
+pub mod lossy;
+
+pub use channel::{duplex, Endpoint, TransportError};
+pub use latency::{CommBreakdown, LatencyModel};
+pub use lossy::{lossy_duplex, LossyEndpoint, ReliableReceiver, ReliableSender, ReliableStats, RpcClient, RpcServer};

@@ -1,0 +1,392 @@
+//! Lossy-link simulation and a stop-and-wait reliability wrapper.
+//!
+//! The paper's clients are IoT devices; their uplinks drop frames. The
+//! RBC exchange is a short request/response protocol, so the natural
+//! reliability layer is stop-and-wait with retransmission — which also
+//! feeds the latency model (each retransmission costs one extra round
+//! trip, directly inflating the 0.90 s communication bundle).
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+use crate::channel::{duplex, Endpoint, TransportError};
+
+/// A link that drops each frame independently with probability `loss`.
+pub struct LossyEndpoint {
+    inner: Endpoint,
+    loss: f64,
+    rng: StdRng,
+    dropped: u64,
+}
+
+/// Creates a connected lossy pair; `seed` makes drop patterns
+/// reproducible.
+pub fn lossy_duplex(per_frame_latency: Duration, loss: f64, seed: u64) -> (LossyEndpoint, LossyEndpoint) {
+    assert!((0.0..1.0).contains(&loss), "loss probability must be in [0, 1)");
+    let (a, b) = duplex(per_frame_latency);
+    (
+        LossyEndpoint { inner: a, loss, rng: StdRng::seed_from_u64(seed), dropped: 0 },
+        LossyEndpoint { inner: b, loss, rng: StdRng::seed_from_u64(seed ^ 0x5a5a), dropped: 0 },
+    )
+}
+
+impl LossyEndpoint {
+    /// Sends, possibly dropping the frame on the floor (the send still
+    /// "succeeds" — the sender cannot tell, exactly like UDP).
+    pub fn send<M: Serialize>(&mut self, msg: &M) -> Result<(), TransportError> {
+        if self.rng.gen::<f64>() < self.loss {
+            self.dropped += 1;
+            return Ok(());
+        }
+        self.inner.send(msg)
+    }
+
+    /// Receives the next surviving frame.
+    pub fn recv<M: DeserializeOwned>(&self, timeout: Duration) -> Result<M, TransportError> {
+        self.inner.recv(timeout)
+    }
+
+    /// Frames silently dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Frames actually sent (surviving).
+    pub fn frames_sent(&self) -> u64 {
+        self.inner.frames_sent()
+    }
+}
+
+/// An envelope carrying a sequence number for stop-and-wait.
+#[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
+struct Envelope<M> {
+    seq: u64,
+    body: M,
+}
+
+/// Acknowledgement frame.
+#[derive(Serialize, Deserialize, Debug, Clone, Copy, PartialEq, Eq)]
+struct Ack {
+    seq: u64,
+}
+
+/// Stop-and-wait sender statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReliableStats {
+    /// Application messages delivered.
+    pub delivered: u64,
+    /// Total transmissions (first attempts + retransmissions).
+    pub transmissions: u64,
+}
+
+/// Stop-and-wait reliable sender over a lossy endpoint.
+pub struct ReliableSender {
+    link: LossyEndpoint,
+    next_seq: u64,
+    /// Retransmission timer.
+    pub rto: Duration,
+    /// Give up after this many attempts per message.
+    pub max_attempts: u32,
+    stats: ReliableStats,
+}
+
+impl ReliableSender {
+    /// Wraps a lossy endpoint.
+    pub fn new(link: LossyEndpoint) -> Self {
+        ReliableSender {
+            link,
+            next_seq: 1,
+            rto: Duration::from_millis(20),
+            max_attempts: 50,
+            stats: ReliableStats::default(),
+        }
+    }
+
+    /// Sends `msg` reliably: transmit, await the matching ack, retransmit
+    /// on timeout.
+    pub fn send<M: Serialize>(&mut self, msg: &M) -> Result<(), TransportError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        for _ in 0..self.max_attempts {
+            self.stats.transmissions += 1;
+            self.link.send(&Envelope { seq, body: msg })?;
+            match self.link.recv::<Ack>(self.rto) {
+                Ok(ack) if ack.seq == seq => {
+                    self.stats.delivered += 1;
+                    return Ok(());
+                }
+                Ok(_) => continue,  // stale ack; retransmit
+                Err(TransportError::Timeout) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(TransportError::Timeout)
+    }
+
+    /// Delivery statistics.
+    pub fn stats(&self) -> ReliableStats {
+        self.stats
+    }
+}
+
+/// Stop-and-wait reliable receiver.
+pub struct ReliableReceiver {
+    link: LossyEndpoint,
+    last_delivered: u64,
+}
+
+impl ReliableReceiver {
+    /// Wraps a lossy endpoint.
+    pub fn new(link: LossyEndpoint) -> Self {
+        ReliableReceiver { link, last_delivered: 0 }
+    }
+
+    /// Receives the next in-order message, acking every arrival
+    /// (duplicates are re-acked and suppressed).
+    pub fn recv<M: DeserializeOwned + Serialize>(
+        &mut self,
+        overall_timeout: Duration,
+    ) -> Result<M, TransportError> {
+        let deadline = std::time::Instant::now() + overall_timeout;
+        loop {
+            let remaining = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .ok_or(TransportError::Timeout)?;
+            let env: Envelope<M> = self.link.recv(remaining)?;
+            // Ack everything we see; the ack itself may be lost, which is
+            // what the sender's retransmission covers.
+            self.link.send(&Ack { seq: env.seq })?;
+            if env.seq > self.last_delivered {
+                self.last_delivered = env.seq;
+                return Ok(env.body);
+            }
+            // Duplicate of an already-delivered message: keep waiting.
+        }
+    }
+}
+
+/// Request/response over a lossy link: the response is the implicit ack
+/// (retransmit the request until a response with the matching sequence
+/// number arrives). This is the right reliability shape for RBC's
+/// strictly alternating exchange — pure stop-and-wait on *two* links can
+/// deadlock when both sides hold unacked sends (each blocked waiting for
+/// an ack only the other's next receive call would generate).
+pub struct RpcClient {
+    link: LossyEndpoint,
+    next_seq: u64,
+    /// Retransmission timer.
+    pub rto: Duration,
+    /// Attempts before giving up.
+    pub max_attempts: u32,
+}
+
+impl RpcClient {
+    /// Wraps a lossy endpoint.
+    pub fn new(link: LossyEndpoint) -> Self {
+        RpcClient { link, next_seq: 1, rto: Duration::from_millis(20), max_attempts: 100 }
+    }
+
+    /// Sends `req` until the matching response arrives.
+    pub fn call<Req: Serialize, Resp: DeserializeOwned>(
+        &mut self,
+        req: &Req,
+    ) -> Result<Resp, TransportError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        for _ in 0..self.max_attempts {
+            self.link.send(&Envelope { seq, body: req })?;
+            match self.link.recv::<Envelope<Resp>>(self.rto) {
+                Ok(env) if env.seq == seq => return Ok(env.body),
+                Ok(_) => continue,                          // stale response
+                Err(TransportError::Timeout) => continue,   // lost somewhere
+                Err(TransportError::Decode(_)) => continue, // stale frame of another type
+                Err(e) => return Err(e),
+            }
+        }
+        Err(TransportError::Timeout)
+    }
+}
+
+/// Server side of the lossy RPC: receives requests, sends responses, and
+/// replays the last response when a duplicate request shows up (the
+/// client retransmits exactly when the response was lost).
+pub struct RpcServer {
+    link: LossyEndpoint,
+    last: Option<(u64, serde_json::Value)>,
+}
+
+impl RpcServer {
+    /// Wraps a lossy endpoint.
+    pub fn new(link: LossyEndpoint) -> Self {
+        RpcServer { link, last: None }
+    }
+
+    /// Receives the next *new* request, transparently replaying the
+    /// cached response for duplicates of the previous one.
+    pub fn recv_request<Req: DeserializeOwned>(
+        &mut self,
+        overall_timeout: Duration,
+    ) -> Result<(u64, Req), TransportError> {
+        let deadline = std::time::Instant::now() + overall_timeout;
+        loop {
+            let remaining = deadline
+                .checked_duration_since(std::time::Instant::now())
+                .ok_or(TransportError::Timeout)?;
+            match self.link.recv::<Envelope<Req>>(remaining) {
+                Ok(env) => {
+                    if let Some((seq, cached)) = &self.last {
+                        if env.seq == *seq {
+                            // Duplicate: the client missed our response.
+                            let replay = Envelope { seq: *seq, body: cached.clone() };
+                            self.link.send(&replay)?;
+                            continue;
+                        }
+                    }
+                    return Ok((env.seq, env.body));
+                }
+                Err(TransportError::Decode(_)) => continue, // stale frame
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Sends (and caches) the response to request `seq`.
+    pub fn respond<Resp: Serialize>(&mut self, seq: u64, resp: &Resp) -> Result<(), TransportError> {
+        let value = serde_json::to_value(resp).map_err(|e| TransportError::Decode(e.to_string()))?;
+        self.link.send(&Envelope { seq, body: &value })?;
+        self.last = Some((seq, value));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lossless_link_behaves_like_channel() {
+        let (mut a, b) = lossy_duplex(Duration::ZERO, 0.0, 1);
+        a.send(&42u32).unwrap();
+        assert_eq!(b.recv::<u32>(Duration::from_secs(1)).unwrap(), 42);
+        assert_eq!(a.dropped(), 0);
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_at_rate() {
+        let (mut a, _b) = lossy_duplex(Duration::ZERO, 0.3, 7);
+        for i in 0..1000u32 {
+            a.send(&i).unwrap();
+        }
+        let rate = a.dropped() as f64 / 1000.0;
+        assert!((rate - 0.3).abs() < 0.06, "drop rate {rate}");
+    }
+
+    #[test]
+    fn stop_and_wait_survives_heavy_loss() {
+        let (a, b) = lossy_duplex(Duration::ZERO, 0.4, 99);
+        let mut tx = ReliableSender::new(a);
+        tx.rto = Duration::from_millis(5);
+        let mut rx = ReliableReceiver::new(b);
+
+        let sender = std::thread::spawn(move || {
+            for i in 0..30u32 {
+                tx.send(&i).expect("reliable send");
+            }
+            tx.stats()
+        });
+        for i in 0..30u32 {
+            let got: u32 = rx.recv(Duration::from_secs(20)).expect("reliable recv");
+            assert_eq!(got, i, "in-order delivery");
+        }
+        let stats = sender.join().unwrap();
+        assert_eq!(stats.delivered, 30);
+        assert!(
+            stats.transmissions > 30,
+            "40% loss must force retransmissions: {}",
+            stats.transmissions
+        );
+    }
+
+    #[test]
+    fn duplicates_are_suppressed() {
+        // Loss on the ack path causes retransmission of an already-
+        // delivered message; the receiver must not surface it twice.
+        let (a, b) = lossy_duplex(Duration::ZERO, 0.25, 3);
+        let mut tx = ReliableSender::new(a);
+        tx.rto = Duration::from_millis(5);
+        let mut rx = ReliableReceiver::new(b);
+        let sender = std::thread::spawn(move || {
+            for i in 0..20u32 {
+                tx.send(&(i * 10)).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..20 {
+            got.push(rx.recv::<u32>(Duration::from_secs(20)).unwrap());
+        }
+        sender.join().unwrap();
+        assert_eq!(got, (0..20u32).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sender_gives_up_when_peer_is_gone() {
+        let (a, b) = lossy_duplex(Duration::ZERO, 0.0, 5);
+        drop(b);
+        let mut tx = ReliableSender::new(a);
+        tx.max_attempts = 3;
+        tx.rto = Duration::from_millis(1);
+        assert!(tx.send(&1u32).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_loss_rejected() {
+        lossy_duplex(Duration::ZERO, 1.5, 0);
+    }
+
+    #[test]
+    fn rpc_survives_heavy_loss_both_ways() {
+        let (a, b) = lossy_duplex(Duration::ZERO, 0.35, 1234);
+        let mut client = RpcClient::new(a);
+        client.rto = Duration::from_millis(5);
+        let mut server = RpcServer::new(b);
+
+        let handle = std::thread::spawn(move || {
+            for _ in 0..20 {
+                let (seq, req): (u64, u32) =
+                    server.recv_request(Duration::from_secs(30)).expect("request");
+                server.respond(seq, &(req * 2)).expect("respond");
+            }
+        });
+        for i in 0..20u32 {
+            let resp: u32 = client.call(&i).expect("rpc call");
+            assert_eq!(resp, i * 2);
+        }
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn rpc_replays_cached_response_for_duplicates() {
+        // Deterministic duplicate: lossless link, client sends the same
+        // envelope twice manually.
+        let (mut a, b) = lossy_duplex(Duration::ZERO, 0.0, 0);
+        let mut server = RpcServer::new(b);
+        a.send(&Envelope { seq: 1, body: 7u32 }).unwrap();
+        let (seq, req): (u64, u32) = server.recv_request(Duration::from_secs(1)).unwrap();
+        assert_eq!((seq, req), (1, 7));
+        server.respond(seq, &14u32).unwrap();
+        let first: Envelope<u32> = a.recv(Duration::from_secs(1)).unwrap();
+        assert_eq!(first.body, 14);
+        // Duplicate request → replayed response, not a new delivery.
+        a.send(&Envelope { seq: 1, body: 7u32 }).unwrap();
+        a.send(&Envelope { seq: 2, body: 9u32 }).unwrap();
+        let (seq2, req2): (u64, u32) = server.recv_request(Duration::from_secs(1)).unwrap();
+        assert_eq!((seq2, req2), (2, 9), "duplicate was absorbed");
+        let replay: Envelope<u32> = a.recv(Duration::from_secs(1)).unwrap();
+        assert_eq!((replay.seq, replay.body), (1, 14));
+    }
+}

@@ -1,0 +1,297 @@
+//! Polynomial arithmetic in `Z_q[x]/(x^256 + 1)` for the Dilithium field
+//! (`q = 8380417`), including the number-theoretic transform.
+//!
+//! The NTT here follows the CRYSTALS layout: 8 butterfly levels over the
+//! 512-th root of unity 1753, twiddles consumed in bit-reversed order. The
+//! inverse transform undoes it and rescales by `256^{-1} mod q`. NTT-based
+//! multiplication is cross-checked against schoolbook negacyclic
+//! convolution in the tests, which pins down both transforms.
+
+use std::sync::OnceLock;
+
+/// Ring degree.
+pub const N: usize = 256;
+
+/// The Dilithium modulus `q = 2^23 - 2^13 + 1`.
+pub const Q: i64 = 8_380_417;
+
+/// 512-th primitive root of unity modulo `q`.
+const ROOT: i64 = 1753;
+
+/// `256^{-1} mod q`, for the inverse NTT's final scaling.
+const N_INV: i64 = 8_347_681;
+
+/// A polynomial with coefficients in `[0, q)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Poly {
+    /// Coefficient `i` of `x^i`.
+    pub c: [i32; N],
+}
+
+impl Default for Poly {
+    fn default() -> Self {
+        Poly::zero()
+    }
+}
+
+#[inline]
+fn mulq(a: i64, b: i64) -> i64 {
+    a * b % Q
+}
+
+fn pow_mod(mut base: i64, mut exp: u32) -> i64 {
+    let mut acc = 1i64;
+    base %= Q;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mulq(acc, base);
+        }
+        base = mulq(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Bit-reverse of an 8-bit index.
+#[inline]
+fn brv8(k: usize) -> u32 {
+    (k as u8).reverse_bits() as u32
+}
+
+/// Twiddle factors `zetas[k] = ROOT^{brv8(k)} mod q`.
+fn zetas() -> &'static [i64; N] {
+    static ZETAS: OnceLock<[i64; N]> = OnceLock::new();
+    ZETAS.get_or_init(|| {
+        let mut z = [0i64; N];
+        for (k, zk) in z.iter_mut().enumerate() {
+            *zk = pow_mod(ROOT, brv8(k));
+        }
+        z
+    })
+}
+
+impl Poly {
+    /// The zero polynomial.
+    pub const fn zero() -> Self {
+        Poly { c: [0; N] }
+    }
+
+    /// Builds a polynomial from arbitrary i64 coefficients, reducing mod q
+    /// into `[0, q)`.
+    pub fn from_coeffs(coeffs: &[i64; N]) -> Self {
+        let mut c = [0i32; N];
+        for (o, &v) in c.iter_mut().zip(coeffs.iter()) {
+            *o = v.rem_euclid(Q) as i32;
+        }
+        Poly { c }
+    }
+
+    /// Coefficient-wise addition mod q.
+    pub fn add(&self, other: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for i in 0..N {
+            let s = self.c[i] + other.c[i];
+            out.c[i] = if s >= Q as i32 { s - Q as i32 } else { s };
+        }
+        out
+    }
+
+    /// Coefficient-wise subtraction mod q.
+    pub fn sub(&self, other: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for i in 0..N {
+            let s = self.c[i] - other.c[i];
+            out.c[i] = if s < 0 { s + Q as i32 } else { s };
+        }
+        out
+    }
+
+    /// In-place forward NTT (coefficients → evaluation domain).
+    pub fn ntt(&mut self) {
+        let z = zetas();
+        let mut k = 0usize;
+        let mut len = 128usize;
+        while len >= 1 {
+            let mut start = 0usize;
+            while start < N {
+                k += 1;
+                let zeta = z[k];
+                for j in start..start + len {
+                    let t = mulq(zeta, self.c[j + len] as i64);
+                    let a = self.c[j] as i64;
+                    self.c[j + len] = (a - t).rem_euclid(Q) as i32;
+                    self.c[j] = ((a + t) % Q) as i32;
+                }
+                start += 2 * len;
+            }
+            len >>= 1;
+        }
+    }
+
+    /// In-place inverse NTT (evaluation → coefficient domain), including
+    /// the `256^{-1}` rescale.
+    pub fn inv_ntt(&mut self) {
+        let z = zetas();
+        let mut k = N;
+        let mut len = 1usize;
+        while len < N {
+            let mut start = 0usize;
+            while start < N {
+                k -= 1;
+                // Reference butterfly: a[j+len] = (-zeta)·(a − b) = zeta·(b − a).
+                let zeta = z[k];
+                for j in start..start + len {
+                    let a = self.c[j] as i64;
+                    let b = self.c[j + len] as i64;
+                    self.c[j] = ((a + b) % Q) as i32;
+                    self.c[j + len] = mulq(zeta, (b - a).rem_euclid(Q)) as i32;
+                }
+                start += 2 * len;
+            }
+            len <<= 1;
+        }
+        for c in self.c.iter_mut() {
+            *c = mulq(*c as i64, N_INV) as i32;
+        }
+    }
+
+    /// Pointwise multiplication in the NTT domain.
+    pub fn pointwise(&self, other: &Poly) -> Poly {
+        let mut out = Poly::zero();
+        for i in 0..N {
+            out.c[i] = mulq(self.c[i] as i64, other.c[i] as i64) as i32;
+        }
+        out
+    }
+
+    /// Negacyclic schoolbook multiplication `self * other mod (x^256+1)` —
+    /// the O(n²) reference the NTT is validated against.
+    pub fn schoolbook_mul(&self, other: &Poly) -> Poly {
+        let mut acc = [0i64; N];
+        for i in 0..N {
+            let a = self.c[i] as i64;
+            if a == 0 {
+                continue;
+            }
+            for j in 0..N {
+                let b = other.c[j] as i64;
+                let prod = mulq(a, b);
+                let idx = i + j;
+                if idx < N {
+                    acc[idx] = (acc[idx] + prod) % Q;
+                } else {
+                    acc[idx - N] = (acc[idx - N] - prod).rem_euclid(Q);
+                }
+            }
+        }
+        Poly::from_coeffs(&acc)
+    }
+
+    /// NTT-based multiplication (transforms both inputs).
+    pub fn mul(&self, other: &Poly) -> Poly {
+        let mut a = *self;
+        let mut b = *other;
+        a.ntt();
+        b.ntt();
+        let mut out = a.pointwise(&b);
+        out.inv_ntt();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_poly(rng: &mut StdRng) -> Poly {
+        let mut p = Poly::zero();
+        for c in p.c.iter_mut() {
+            *c = rng.gen_range(0..Q as i32);
+        }
+        p
+    }
+
+    #[test]
+    fn ntt_roundtrip_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let p = random_poly(&mut rng);
+            let mut q = p;
+            q.ntt();
+            assert_ne!(p, q, "transform changes representation");
+            q.inv_ntt();
+            assert_eq!(p, q);
+        }
+    }
+
+    #[test]
+    fn ntt_mul_matches_schoolbook() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..5 {
+            let a = random_poly(&mut rng);
+            let b = random_poly(&mut rng);
+            assert_eq!(a.mul(&b), a.schoolbook_mul(&b));
+        }
+    }
+
+    #[test]
+    fn multiplication_by_x_is_negacyclic_shift() {
+        let mut x = Poly::zero();
+        x.c[1] = 1;
+        let mut p = Poly::zero();
+        p.c[N - 1] = 5; // 5*x^255 * x = -5 mod (x^256+1)
+        let r = p.mul(&x);
+        assert_eq!(r.c[0], (Q - 5) as i32);
+        assert!(r.c[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn one_is_multiplicative_identity() {
+        let mut one = Poly::zero();
+        one.c[0] = 1;
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = random_poly(&mut rng);
+        assert_eq!(p.mul(&one), p);
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = random_poly(&mut rng);
+        let b = random_poly(&mut rng);
+        assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn mul_distributes_over_add() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = random_poly(&mut rng);
+        let b = random_poly(&mut rng);
+        let c = random_poly(&mut rng);
+        assert_eq!(a.add(&b).mul(&c), a.mul(&c).add(&b.mul(&c)));
+    }
+
+    #[test]
+    fn from_coeffs_reduces_negatives() {
+        let mut coeffs = [0i64; N];
+        coeffs[0] = -1;
+        coeffs[1] = Q + 3;
+        let p = Poly::from_coeffs(&coeffs);
+        assert_eq!(p.c[0], (Q - 1) as i32);
+        assert_eq!(p.c[1], 3);
+    }
+
+    #[test]
+    fn n_inv_is_inverse_of_n() {
+        assert_eq!(mulq(N as i64, N_INV), 1);
+    }
+
+    #[test]
+    fn root_has_order_512() {
+        assert_eq!(pow_mod(ROOT, 512), 1);
+        assert_ne!(pow_mod(ROOT, 256), 1);
+        // Negacyclic condition: ROOT^256 = -1.
+        assert_eq!(pow_mod(ROOT, 256), Q - 1);
+    }
+}

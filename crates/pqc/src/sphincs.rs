@@ -1,0 +1,286 @@
+//! SPHINCS⁺-style hash-based key generation (SHAKE-256 instantiation,
+//! one XMSS layer).
+//!
+//! SPHINCS⁺ is on the paper's list of NIST-selected algorithms RBC-SALTED
+//! can feed (§3). Key generation is itself a *hash workload* — WOTS⁺
+//! chains and a Merkle tree — which makes it a pleasing fit for a system
+//! whose server is already a hash-crunching machine.
+//!
+//! Structure (one hypertree layer, the dominant keygen cost):
+//!
+//! * `sk_seed`, `pk_seed` derived from the input seed;
+//! * 2^H WOTS⁺ leaf key pairs: each of `LEN` chains starts from
+//!   `PRF(sk_seed, addr)` and walks `w − 1` applications of the keyed
+//!   hash `F`;
+//! * each leaf compresses its chain tops with `H`; the public key is the
+//!   Merkle root over all leaves.
+//!
+//! Parameters follow the 128-bit "small" profile scaled to one layer:
+//! `n = 16`, `w = 16`, `LEN = 35`, tree height `H = 8` (256 leaves).
+//!
+//! **Fidelity note:** addressing and padding are simplified relative to
+//! FIPS 205 (no KAT interop); chain/tree structure and hash counts — the
+//! cost profile — are faithful.
+
+use rbc_hash::shake::Shake256;
+
+/// Hash output length in bytes (128-bit security).
+pub const HASH_LEN: usize = 16;
+/// Winternitz parameter.
+pub const W: u32 = 16;
+/// Number of WOTS⁺ chains: 32 message nibbles + 3 checksum nibbles.
+pub const LEN: usize = 35;
+/// Merkle tree height (leaves = 2^H).
+pub const H: u32 = 8;
+
+type Hash = [u8; HASH_LEN];
+
+/// Hash address: disambiguates every hash invocation in the tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Addr {
+    /// 0 = chain PRF/steps, 1 = leaf compression, 2 = tree node.
+    kind: u8,
+    node: u32,
+    chain: u16,
+    pos: u8,
+}
+
+impl Addr {
+    fn bytes(&self) -> [u8; 8] {
+        let mut out = [0u8; 8];
+        out[0] = self.kind;
+        out[1..5].copy_from_slice(&self.node.to_le_bytes());
+        out[5..7].copy_from_slice(&self.chain.to_le_bytes());
+        out[7] = self.pos;
+        out
+    }
+}
+
+/// Keyed hash `F(pk_seed, addr, value)`.
+fn f(pk_seed: &Hash, addr: Addr, value: &Hash) -> Hash {
+    let mut x = Shake256::new();
+    x.update(pk_seed);
+    x.update(&addr.bytes());
+    x.update(value);
+    let mut out = [0u8; HASH_LEN];
+    x.squeeze(&mut out);
+    out
+}
+
+/// `PRF(sk_seed, addr)` — chain start secrets.
+fn prf(sk_seed: &Hash, addr: Addr) -> Hash {
+    let mut x = Shake256::new();
+    x.update(b"prf");
+    x.update(sk_seed);
+    x.update(&addr.bytes());
+    let mut out = [0u8; HASH_LEN];
+    x.squeeze(&mut out);
+    out
+}
+
+/// Multi-input compression `H(pk_seed, addr, parts…)`.
+fn h_many(pk_seed: &Hash, addr: Addr, parts: &[Hash]) -> Hash {
+    let mut x = Shake256::new();
+    x.update(pk_seed);
+    x.update(&addr.bytes());
+    for p in parts {
+        x.update(p);
+    }
+    let mut out = [0u8; HASH_LEN];
+    x.squeeze(&mut out);
+    out
+}
+
+/// Walks a WOTS⁺ chain `steps` applications of `F` from `start`.
+fn chain(pk_seed: &Hash, node: u32, chain_idx: u16, start: &Hash, from: u32, steps: u32) -> Hash {
+    let mut v = *start;
+    for s in from..from + steps {
+        v = f(pk_seed, Addr { kind: 0, node, chain: chain_idx, pos: s as u8 }, &v);
+    }
+    v
+}
+
+/// One WOTS⁺ leaf public value: all chains walked to the top, compressed.
+fn wots_leaf(sk_seed: &Hash, pk_seed: &Hash, node: u32) -> Hash {
+    let mut tops = [[0u8; HASH_LEN]; LEN];
+    for (c, top) in tops.iter_mut().enumerate() {
+        let start = prf(sk_seed, Addr { kind: 0, node, chain: c as u16, pos: 0xff });
+        *top = chain(pk_seed, node, c as u16, &start, 0, W - 1);
+    }
+    h_many(pk_seed, Addr { kind: 1, node, chain: 0, pos: 0 }, &tops)
+}
+
+/// A SPHINCS⁺-style public key.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SphincsPublicKey {
+    /// Public seed (goes on the wire with the root).
+    pub pk_seed: Hash,
+    /// Merkle root of the WOTS⁺ leaves.
+    pub root: Hash,
+}
+
+impl SphincsPublicKey {
+    /// Canonical byte encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 * HASH_LEN);
+        out.extend_from_slice(&self.pk_seed);
+        out.extend_from_slice(&self.root);
+        out
+    }
+}
+
+/// A SPHINCS⁺-style secret key.
+#[derive(Clone, Debug)]
+pub struct SphincsSecretKey {
+    /// Chain-start PRF seed.
+    pub sk_seed: Hash,
+}
+
+/// The Merkle authentication path for one leaf (testing/verification aid;
+/// signatures are out of scope for keygen benchmarking).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuthPath {
+    /// Sibling hashes from leaf level to the root's children.
+    pub siblings: Vec<Hash>,
+    /// The leaf's index.
+    pub leaf_index: u32,
+}
+
+fn tree_node(pk_seed: &Hash, level: u32, index: u32, leaves: &[Hash]) -> Hash {
+    if level == 0 {
+        return leaves[index as usize];
+    }
+    let left = tree_node(pk_seed, level - 1, 2 * index, leaves);
+    let right = tree_node(pk_seed, level - 1, 2 * index + 1, leaves);
+    h_many(
+        pk_seed,
+        Addr { kind: 2, node: index, chain: level as u16, pos: 0 },
+        &[left, right],
+    )
+}
+
+/// Generates a key pair from a 32-byte seed: 2^H WOTS⁺ leaves, one
+/// Merkle root. This is the hash-heavy operation (≈ 2^H · LEN · (W−1)
+/// keyed hashes ≈ 134k for these parameters).
+pub fn keygen(seed: &[u8; 32]) -> (SphincsPublicKey, SphincsSecretKey) {
+    let expanded = Shake256::xof(seed, 2 * HASH_LEN);
+    let sk_seed: Hash = expanded[..HASH_LEN].try_into().expect("sk_seed");
+    let pk_seed: Hash = expanded[HASH_LEN..].try_into().expect("pk_seed");
+
+    let leaves: Vec<Hash> = (0..1u32 << H)
+        .map(|i| wots_leaf(&sk_seed, &pk_seed, i))
+        .collect();
+    let root = tree_node(&pk_seed, H, 0, &leaves);
+
+    (SphincsPublicKey { pk_seed, root }, SphincsSecretKey { sk_seed })
+}
+
+/// Extracts the authentication path of `leaf_index` (rebuilds the tree;
+/// fine for tests, a signer would cache it).
+pub fn auth_path(seed: &[u8; 32], leaf_index: u32) -> AuthPath {
+    assert!(leaf_index < (1 << H), "leaf index out of range");
+    let expanded = Shake256::xof(seed, 2 * HASH_LEN);
+    let sk_seed: Hash = expanded[..HASH_LEN].try_into().expect("sk_seed");
+    let pk_seed: Hash = expanded[HASH_LEN..].try_into().expect("pk_seed");
+    let leaves: Vec<Hash> = (0..1u32 << H)
+        .map(|i| wots_leaf(&sk_seed, &pk_seed, i))
+        .collect();
+
+    let mut siblings = Vec::with_capacity(H as usize);
+    let mut idx = leaf_index;
+    for level in 0..H {
+        let sibling_idx = idx ^ 1;
+        siblings.push(tree_node(&pk_seed, level, sibling_idx, &leaves));
+        idx >>= 1;
+    }
+    AuthPath { siblings, leaf_index }
+}
+
+/// Verifies that `leaf` hashes up to `pk.root` along `path`.
+pub fn verify_path(pk: &SphincsPublicKey, leaf: &Hash, path: &AuthPath) -> bool {
+    let mut acc = *leaf;
+    let mut idx = path.leaf_index;
+    for (level, sibling) in path.siblings.iter().enumerate() {
+        let parent_idx = idx >> 1;
+        let (l, r) = if idx % 2 == 0 { (acc, *sibling) } else { (*sibling, acc) };
+        acc = h_many(
+            &pk.pk_seed,
+            Addr { kind: 2, node: parent_idx, chain: (level + 1) as u16, pos: 0 },
+            &[l, r],
+        );
+        idx = parent_idx;
+    }
+    acc == pk.root
+}
+
+/// Recomputes one leaf (verification aid for the tests).
+pub fn leaf_value(seed: &[u8; 32], leaf_index: u32) -> Hash {
+    let expanded = Shake256::xof(seed, 2 * HASH_LEN);
+    let sk_seed: Hash = expanded[..HASH_LEN].try_into().expect("sk_seed");
+    let pk_seed: Hash = expanded[HASH_LEN..].try_into().expect("pk_seed");
+    wots_leaf(&sk_seed, &pk_seed, leaf_index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keygen_deterministic_and_sensitive() {
+        let (pk1, sk1) = keygen(&[1u8; 32]);
+        let (pk2, _) = keygen(&[1u8; 32]);
+        assert_eq!(pk1, pk2);
+        let (pk3, _) = keygen(&[2u8; 32]);
+        assert_ne!(pk1, pk3);
+        assert_ne!(sk1.sk_seed, pk1.pk_seed);
+    }
+
+    #[test]
+    fn public_key_encoding_length() {
+        let (pk, _) = keygen(&[3u8; 32]);
+        assert_eq!(pk.to_bytes().len(), 32);
+    }
+
+    #[test]
+    fn auth_paths_verify_for_several_leaves() {
+        let seed = [7u8; 32];
+        let (pk, _) = keygen(&seed);
+        for leaf_index in [0u32, 1, 127, 128, 255] {
+            let leaf = leaf_value(&seed, leaf_index);
+            let path = auth_path(&seed, leaf_index);
+            assert_eq!(path.siblings.len(), H as usize);
+            assert!(verify_path(&pk, &leaf, &path), "leaf {leaf_index}");
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_fails_verification() {
+        let seed = [8u8; 32];
+        let (pk, _) = keygen(&seed);
+        let path = auth_path(&seed, 5);
+        let wrong_leaf = leaf_value(&seed, 6);
+        assert!(!verify_path(&pk, &wrong_leaf, &path));
+        // Tampered sibling also fails.
+        let good_leaf = leaf_value(&seed, 5);
+        let mut tampered = auth_path(&seed, 5);
+        tampered.siblings[3][0] ^= 1;
+        assert!(!verify_path(&pk, &good_leaf, &tampered));
+    }
+
+    #[test]
+    fn chains_compose() {
+        // F^{a+b} = F^b ∘ F^a — the WOTS structural invariant.
+        let pk_seed = [9u8; HASH_LEN];
+        let start = [1u8; HASH_LEN];
+        let full = chain(&pk_seed, 0, 0, &start, 0, 10);
+        let half = chain(&pk_seed, 0, 0, &start, 0, 4);
+        let rest = chain(&pk_seed, 0, 0, &half, 4, 6);
+        assert_eq!(full, rest);
+    }
+
+    #[test]
+    fn distinct_leaves_are_distinct() {
+        let seed = [10u8; 32];
+        assert_ne!(leaf_value(&seed, 0), leaf_value(&seed, 1));
+    }
+}

@@ -1,0 +1,77 @@
+//! Per-cell PUF behaviour: nominal values, bit-error rates and the ternary
+//! classification used by TAPKI.
+
+use serde::{Deserialize, Serialize};
+
+/// Manufacturing-time parameters of one PUF cell.
+///
+/// A cell has a *nominal* value (its digital fingerprint, fixed by
+/// manufacturing variation) and a *bit-error rate*: the probability that a
+/// field readout disagrees with the nominal value. Real PUF populations are
+/// strongly bimodal — most cells are rock-stable, a minority flutter — and
+/// the models in [`crate::device`] draw from such mixtures.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellParams {
+    /// The value the cell was born with.
+    pub nominal: bool,
+    /// Probability that a single readout flips relative to `nominal`,
+    /// in `[0, 0.5]`.
+    pub error_rate: f64,
+}
+
+impl CellParams {
+    /// Creates cell parameters, clamping the error rate into `[0, 0.5]`.
+    pub fn new(nominal: bool, error_rate: f64) -> Self {
+        CellParams { nominal, error_rate: error_rate.clamp(0.0, 0.5) }
+    }
+}
+
+/// The ternary classification TAPKI assigns to each cell at enrollment
+/// (Cambou & Telesca 2018): stable cells carry key material, fuzzy cells
+/// are masked out of the protocol entirely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TernaryState {
+    /// Reliably reads 0.
+    StableZero,
+    /// Reliably reads 1.
+    StableOne,
+    /// Too erratic to use; masked by TAPKI.
+    Fuzzy,
+}
+
+impl TernaryState {
+    /// Whether the cell may contribute a key bit.
+    pub fn is_stable(self) -> bool {
+        !matches!(self, TernaryState::Fuzzy)
+    }
+
+    /// The key bit carried by a stable cell; `None` when fuzzy.
+    pub fn bit(self) -> Option<bool> {
+        match self {
+            TernaryState::StableZero => Some(false),
+            TernaryState::StableOne => Some(true),
+            TernaryState::Fuzzy => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_rate_is_clamped() {
+        assert_eq!(CellParams::new(true, -0.5).error_rate, 0.0);
+        assert_eq!(CellParams::new(true, 0.9).error_rate, 0.5);
+        assert_eq!(CellParams::new(false, 0.25).error_rate, 0.25);
+    }
+
+    #[test]
+    fn ternary_bits() {
+        assert_eq!(TernaryState::StableZero.bit(), Some(false));
+        assert_eq!(TernaryState::StableOne.bit(), Some(true));
+        assert_eq!(TernaryState::Fuzzy.bit(), None);
+        assert!(TernaryState::StableOne.is_stable());
+        assert!(!TernaryState::Fuzzy.is_stable());
+    }
+}

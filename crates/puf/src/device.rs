@@ -1,0 +1,195 @@
+//! PUF device models.
+//!
+//! The paper's clients carry a physical PUF (connected over USB); here the
+//! device is a statistical model that reproduces the only property the
+//! protocol can observe: a 256-bit readout whose bits flip with per-cell
+//! error rates. Two populations are modelled after the PUF technologies the
+//! RBC literature uses — SRAM power-up PUFs and pre-formed ReRAM PUFs —
+//! differing in how many fluttering cells they produce.
+
+use crate::cell::CellParams;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A physical unclonable function: an addressable array of noisy cells.
+///
+/// `read_cell` models one field readout; the nominal value and error rate
+/// are manufacturing facts fixed at construction (the device's identity).
+pub trait PufDevice: Send + Sync {
+    /// Number of addressable cells.
+    fn num_cells(&self) -> usize;
+
+    /// The manufacturing-time parameters of cell `idx`.
+    fn cell(&self, idx: usize) -> CellParams;
+
+    /// One noisy readout of cell `idx`.
+    fn read_cell<R: Rng + ?Sized>(&self, idx: usize, rng: &mut R) -> bool {
+        let p = self.cell(idx);
+        p.nominal ^ (rng.gen::<f64>() < p.error_rate)
+    }
+
+    /// Reads a window of `len` cells starting at `address`, wrapping at the
+    /// end of the array.
+    fn read_window<R: Rng + ?Sized>(&self, address: usize, len: usize, rng: &mut R) -> Vec<bool> {
+        (0..len)
+            .map(|i| self.read_cell((address + i) % self.num_cells(), rng))
+            .collect()
+    }
+}
+
+/// Parameters of the bimodal cell-quality mixture.
+#[derive(Clone, Copy, Debug)]
+pub struct CellMixture {
+    /// Fraction of cells drawn from the fluttering population.
+    pub fuzzy_fraction: f64,
+    /// Error-rate range of the stable population (uniform).
+    pub stable_ber: (f64, f64),
+    /// Error-rate range of the fluttering population (uniform).
+    pub fuzzy_ber: (f64, f64),
+}
+
+impl CellMixture {
+    /// SRAM power-up PUF: overwhelmingly stable cells, a few percent
+    /// flutter near coin-flip.
+    pub fn sram() -> Self {
+        CellMixture {
+            fuzzy_fraction: 0.05,
+            stable_ber: (0.0, 0.01),
+            fuzzy_ber: (0.10, 0.50),
+        }
+    }
+
+    /// Pre-formed ReRAM PUF (the technology behind the ternary RBC work):
+    /// a larger fuzzy tail, which is exactly why TAPKI masking exists.
+    pub fn reram() -> Self {
+        CellMixture {
+            fuzzy_fraction: 0.12,
+            stable_ber: (0.0, 0.02),
+            fuzzy_ber: (0.08, 0.50),
+        }
+    }
+}
+
+/// A modelled PUF: cells drawn once from a [`CellMixture`], deterministic
+/// in the device seed (the "manufacturing lottery").
+#[derive(Clone, Debug)]
+pub struct ModelPuf {
+    cells: Vec<CellParams>,
+}
+
+impl ModelPuf {
+    /// Manufactures a device with `num_cells` cells from `mixture`,
+    /// deterministically from `device_seed`.
+    pub fn manufacture(num_cells: usize, mixture: CellMixture, device_seed: u64) -> Self {
+        assert!(num_cells > 0, "device needs cells");
+        let mut rng = StdRng::seed_from_u64(device_seed);
+        let cells = (0..num_cells)
+            .map(|_| {
+                let nominal = rng.gen::<bool>();
+                let fuzzy = rng.gen::<f64>() < mixture.fuzzy_fraction;
+                let (lo, hi) = if fuzzy { mixture.fuzzy_ber } else { mixture.stable_ber };
+                CellParams::new(nominal, rng.gen_range(lo..=hi))
+            })
+            .collect();
+        ModelPuf { cells }
+    }
+
+    /// An SRAM-mixture device.
+    pub fn sram(num_cells: usize, device_seed: u64) -> Self {
+        Self::manufacture(num_cells, CellMixture::sram(), device_seed)
+    }
+
+    /// A ReRAM-mixture device.
+    pub fn reram(num_cells: usize, device_seed: u64) -> Self {
+        Self::manufacture(num_cells, CellMixture::reram(), device_seed)
+    }
+
+    /// An idealized noiseless device (every readout equals nominal) —
+    /// useful for deterministic protocol tests.
+    pub fn noiseless(num_cells: usize, device_seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(device_seed);
+        let cells = (0..num_cells)
+            .map(|_| CellParams::new(rng.gen::<bool>(), 0.0))
+            .collect();
+        ModelPuf { cells }
+    }
+}
+
+impl PufDevice for ModelPuf {
+    fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    fn cell(&self, idx: usize) -> CellParams {
+        self.cells[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manufacture_is_deterministic_in_seed() {
+        let a = ModelPuf::sram(1024, 7);
+        let b = ModelPuf::sram(1024, 7);
+        let c = ModelPuf::sram(1024, 8);
+        for i in 0..1024 {
+            assert_eq!(a.cell(i), b.cell(i));
+        }
+        assert!((0..1024).any(|i| a.cell(i) != c.cell(i)), "different devices differ");
+    }
+
+    #[test]
+    fn noiseless_device_reads_nominal() {
+        let d = ModelPuf::noiseless(512, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        for i in 0..512 {
+            assert_eq!(d.read_cell(i, &mut rng), d.cell(i).nominal);
+        }
+    }
+
+    #[test]
+    fn read_window_wraps_around() {
+        let d = ModelPuf::noiseless(100, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = d.read_window(90, 20, &mut rng);
+        assert_eq!(w.len(), 20);
+        assert_eq!(w[10], d.cell(0).nominal, "wraps to cell 0");
+    }
+
+    #[test]
+    fn noisy_cell_flips_at_roughly_its_error_rate() {
+        struct OneCell;
+        impl PufDevice for OneCell {
+            fn num_cells(&self) -> usize {
+                1
+            }
+            fn cell(&self, _: usize) -> CellParams {
+                CellParams::new(false, 0.3)
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(42);
+        let flips = (0..20_000).filter(|_| OneCell.read_cell(0, &mut rng)).count();
+        let rate = flips as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "observed {rate}");
+    }
+
+    #[test]
+    fn mixtures_have_expected_fuzzy_tail() {
+        let sram = ModelPuf::sram(20_000, 11);
+        let fuzzy = (0..20_000).filter(|&i| sram.cell(i).error_rate > 0.05).count();
+        let frac = fuzzy as f64 / 20_000.0;
+        assert!((frac - 0.05).abs() < 0.01, "sram fuzzy fraction {frac}");
+
+        let reram = ModelPuf::reram(20_000, 11);
+        let fuzzy_r = (0..20_000).filter(|&i| reram.cell(i).error_rate > 0.05).count();
+        assert!(fuzzy_r > fuzzy, "reram has the larger fuzzy tail");
+    }
+
+    #[test]
+    #[should_panic(expected = "device needs cells")]
+    fn zero_cells_rejected() {
+        ModelPuf::sram(0, 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! Enrollment: building the server-side PUF image with TAPKI masking.
+//!
+//! At manufacture time every client PUF is characterized in a secure
+//! facility (threat-model assumption *(ii)* of the paper): each cell is
+//! read repeatedly, classified ternary (stable-0 / stable-1 / fuzzy), and
+//! the fuzzy cells are *masked* — excluded from key material — per TAPKI.
+//! The surviving stable cells and their majority values form the **PUF
+//! image** the certificate authority stores; the RBC search later explores
+//! the Hamming neighbourhood of the image's 256-bit reference seed.
+
+use crate::cell::TernaryState;
+use crate::device::PufDevice;
+use rand::Rng;
+use rbc_bits::U256;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the enrollment procedure.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct EnrollmentConfig {
+    /// Readouts per cell used to classify it.
+    pub repeats: usize,
+    /// A cell whose minority-readout fraction exceeds this is fuzzy.
+    /// TAPKI masks such cells so the search stays tractable.
+    pub fuzz_threshold: f64,
+    /// Cells scanned from the challenge address while hunting for 256
+    /// stable ones.
+    pub window: usize,
+}
+
+impl Default for EnrollmentConfig {
+    fn default() -> Self {
+        // 127 readouts per cell: enough resolution to separate a 0.1%
+        // cell from a 2% cell, which is what reliability-weighted search
+        // ordering feeds on. Enrollment is a one-time secure-facility
+        // step, so the extra reads are free at authentication time.
+        EnrollmentConfig { repeats: 127, fuzz_threshold: 0.05, window: 512 }
+    }
+}
+
+/// The certificate authority's record of one (client, address) pair.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PufImage {
+    /// Challenge address the window starts at.
+    pub address: usize,
+    /// Absolute indices of the 256 stable cells selected by TAPKI,
+    /// in scan order.
+    pub selected: Vec<u32>,
+    /// Majority value of each selected cell — the reference seed
+    /// `S_init` of the RBC search. Bit `i` corresponds to `selected[i]`.
+    pub reference: U256,
+    /// Estimated per-bit error rate of each selected cell (the minority
+    /// fraction observed over the enrollment repeats, Laplace-smoothed).
+    /// Feeds reliability-weighted search ordering.
+    pub error_estimates: Vec<f64>,
+    /// Ternary classification of every scanned window cell (diagnostics;
+    /// `selected` is derived from it).
+    pub ternary: Vec<TernaryState>,
+}
+
+/// Why enrollment can fail.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EnrollError {
+    /// Fewer than 256 stable cells in the scan window; the CA should try
+    /// another address or widen the window.
+    InsufficientStableCells {
+        /// Stable cells actually found.
+        found: usize,
+    },
+}
+
+impl core::fmt::Display for EnrollError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EnrollError::InsufficientStableCells { found } => {
+                write!(f, "only {found} stable cells in window (need 256)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnrollError {}
+
+/// Enrolls a device at `address`: classifies `cfg.window` cells, masks the
+/// fuzzy ones, selects the first 256 stable cells and records their
+/// majority values as the reference seed.
+pub fn enroll<D: PufDevice, R: Rng + ?Sized>(
+    device: &D,
+    address: usize,
+    cfg: &EnrollmentConfig,
+    rng: &mut R,
+) -> Result<PufImage, EnrollError> {
+    assert!(cfg.repeats >= 1, "need at least one readout");
+    let n = device.num_cells();
+    let mut ternary = Vec::with_capacity(cfg.window);
+    let mut selected = Vec::with_capacity(256);
+    let mut error_estimates = Vec::with_capacity(256);
+    let mut reference = U256::ZERO;
+
+    for offset in 0..cfg.window {
+        let idx = (address + offset) % n;
+        let ones = (0..cfg.repeats).filter(|_| device.read_cell(idx, rng)).count();
+        let p_hat = ones as f64 / cfg.repeats as f64;
+        let instability = p_hat.min(1.0 - p_hat);
+        let state = if instability > cfg.fuzz_threshold {
+            TernaryState::Fuzzy
+        } else if p_hat >= 0.5 {
+            TernaryState::StableOne
+        } else {
+            TernaryState::StableZero
+        };
+        ternary.push(state);
+        if selected.len() < 256 {
+            if let Some(bit) = state.bit() {
+                if bit {
+                    reference = reference.set_bit(selected.len());
+                }
+                selected.push(idx as u32);
+                // Jeffreys smoothing (+½) keeps never-observed-flipping
+                // cells at a small positive rate so likelihood orderings
+                // stay well defined, without flattening the scale.
+                let minority = ones.min(cfg.repeats - ones) as f64;
+                error_estimates.push((minority + 0.5) / (cfg.repeats as f64 + 1.0));
+            }
+        }
+    }
+
+    if selected.len() < 256 {
+        return Err(EnrollError::InsufficientStableCells { found: selected.len() });
+    }
+    Ok(PufImage { address, selected, reference, error_estimates, ternary })
+}
+
+/// A field readout of the enrolled cells: the 256-bit stream the *client*
+/// generates during authentication. Bit `i` comes from cell
+/// `image.selected[i]` — the same TAPKI selection the server recorded, so
+/// client and server agree on which cells carry the key.
+pub fn client_readout<D: PufDevice, R: Rng + ?Sized>(
+    device: &D,
+    image: &PufImage,
+    rng: &mut R,
+) -> U256 {
+    let mut out = U256::ZERO;
+    for (i, &idx) in image.selected.iter().enumerate() {
+        if device.read_cell(idx as usize, rng) {
+            out = out.set_bit(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::ModelPuf;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ModelPuf, PufImage, StdRng) {
+        let device = ModelPuf::sram(4096, 99);
+        let mut rng = StdRng::seed_from_u64(5);
+        let image = enroll(&device, 128, &EnrollmentConfig::default(), &mut rng).unwrap();
+        (device, image, rng)
+    }
+
+    #[test]
+    fn enrollment_selects_256_stable_cells() {
+        let (_, image, _) = setup();
+        assert_eq!(image.selected.len(), 256);
+        let mut sorted = image.selected.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 256, "selected cells are distinct");
+        assert_eq!(image.ternary.len(), 512);
+    }
+
+    #[test]
+    fn fuzzy_cells_are_never_selected() {
+        let (_, image, _) = setup();
+        for (offset, state) in image.ternary.iter().enumerate() {
+            let idx = (image.address + offset) % 4096;
+            if !state.is_stable() {
+                assert!(
+                    !image.selected.contains(&(idx as u32)),
+                    "fuzzy cell {idx} selected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_matches_nominal_on_stable_cells() {
+        use crate::device::PufDevice;
+        let (device, image, _) = setup();
+        // Stable cells have BER ≤ 1%, so the 31-read majority is the
+        // nominal value with overwhelming probability.
+        let mut agree = 0;
+        for (i, &idx) in image.selected.iter().enumerate() {
+            if image.reference.bit(i) == device.cell(idx as usize).nominal {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 254, "only {agree}/256 reference bits match nominal");
+    }
+
+    #[test]
+    fn client_readout_is_close_to_reference() {
+        let (device, image, mut rng) = setup();
+        for _ in 0..20 {
+            let r = client_readout(&device, &image, &mut rng);
+            let d = r.hamming_distance(&image.reference);
+            assert!(d <= 10, "readout distance {d} too large for masked SRAM cells");
+        }
+    }
+
+    #[test]
+    fn masking_reduces_readout_distance() {
+        // Without TAPKI (taking the first 256 window cells wholesale) the
+        // fuzzy tail drives distances up; with masking they collapse.
+        let device = ModelPuf::reram(4096, 123);
+        let mut rng = StdRng::seed_from_u64(17);
+        let image = enroll(&device, 0, &EnrollmentConfig::default(), &mut rng).unwrap();
+
+        let masked_mean: f64 = (0..30)
+            .map(|_| {
+                client_readout(&device, &image, &mut rng).hamming_distance(&image.reference) as f64
+            })
+            .sum::<f64>()
+            / 30.0;
+
+        // Unmasked straw-man image: first 256 cells regardless of class.
+        let mut raw_ref = U256::ZERO;
+        let raw_cells: Vec<u32> = (0..256u32).collect();
+        for (i, &idx) in raw_cells.iter().enumerate() {
+            if device.cell(idx as usize).nominal {
+                raw_ref = raw_ref.set_bit(i);
+            }
+        }
+        let raw_image = PufImage {
+            address: 0,
+            selected: raw_cells,
+            reference: raw_ref,
+            error_estimates: vec![0.01; 256],
+            ternary: vec![],
+        };
+        let raw_mean: f64 = (0..30)
+            .map(|_| {
+                client_readout(&device, &raw_image, &mut rng).hamming_distance(&raw_ref) as f64
+            })
+            .sum::<f64>()
+            / 30.0;
+
+        assert!(
+            masked_mean * 3.0 < raw_mean,
+            "masked {masked_mean:.1} vs raw {raw_mean:.1}: TAPKI should cut error rates"
+        );
+    }
+
+    #[test]
+    fn narrow_window_fails_cleanly() {
+        let device = ModelPuf::reram(4096, 7);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cfg = EnrollmentConfig { window: 200, ..Default::default() };
+        match enroll(&device, 0, &cfg, &mut rng) {
+            Err(EnrollError::InsufficientStableCells { found }) => assert!(found < 256),
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn noiseless_device_reads_exactly_reference() {
+        let device = ModelPuf::noiseless(2048, 4);
+        let mut rng = StdRng::seed_from_u64(9);
+        let image = enroll(&device, 33, &EnrollmentConfig::default(), &mut rng).unwrap();
+        let r = client_readout(&device, &image, &mut rng);
+        assert_eq!(r, image.reference);
+    }
+
+    #[test]
+    fn enrollment_wraps_past_array_end() {
+        let device = ModelPuf::noiseless(600, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let image = enroll(&device, 550, &EnrollmentConfig::default(), &mut rng).unwrap();
+        assert!(image.selected.iter().any(|&i| i < 100), "selection wrapped");
+    }
+}

@@ -1,0 +1,30 @@
+//! # rbc-puf
+//!
+//! Physical Unclonable Function (PUF) models for the RBC-SALTED protocol:
+//! noisy cell arrays ([`device`]), the enrollment procedure that builds the
+//! certificate authority's PUF images with TAPKI ternary masking
+//! ([`enroll`]), and the noise-injection instrumentation the paper's
+//! evaluation uses ([`noise`]).
+//!
+//! ## Substitution note
+//!
+//! The paper's clients read a physical PUF over USB. The protocol,
+//! however, only ever observes a 256-bit stream whose bits flip with
+//! per-cell error rates — which is precisely what [`device::ModelPuf`]
+//! produces, with bimodal cell-quality mixtures matching SRAM and ReRAM
+//! populations. Everything downstream (TAPKI masking, the Hamming-distance
+//! distribution of readouts, the intractability of high-BER searches) is
+//! exercised unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod device;
+pub mod enroll;
+pub mod noise;
+
+pub use cell::{CellParams, TernaryState};
+pub use device::{CellMixture, ModelPuf, PufDevice};
+pub use enroll::{client_readout, enroll, EnrollError, EnrollmentConfig, PufImage};
+pub use noise::{force_distance, inject_extra_noise};

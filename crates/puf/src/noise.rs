@@ -1,0 +1,135 @@
+//! Noise injection — the paper's evaluation instrumentation (§4.1) and
+//! proposed security extension (§5).
+//!
+//! §4.1: "A typical bit error rate from the PUF is 5 bits, and if it is
+//! lower, we perform noise injection on the client to ensure that we have
+//! flipped 5 bits in the seed." §5 goes further: deliberately injecting
+//! noise *raises* the Hamming distance an opponent must search, buying
+//! security with the server's spare search capacity.
+
+use rand::Rng;
+use rbc_bits::U256;
+
+/// Adjusts `readout` so its Hamming distance from `reference` is **exactly**
+/// `target_d`: flips random agreeing bits when too close, reverts random
+/// disagreeing bits when too far.
+///
+/// `reference` is available because this is benchmarking/enrollment-side
+/// instrumentation — the paper's authors control both endpoints when
+/// measuring. A deployed client uses [`inject_extra_noise`] instead, which
+/// needs no reference.
+pub fn force_distance<R: Rng + ?Sized>(
+    readout: &U256,
+    reference: &U256,
+    target_d: u32,
+    rng: &mut R,
+) -> U256 {
+    assert!(target_d <= 256);
+    let mut out = *readout;
+    loop {
+        let d = out.hamming_distance(reference);
+        match d.cmp(&target_d) {
+            core::cmp::Ordering::Equal => return out,
+            core::cmp::Ordering::Less => {
+                // Flip a random agreeing bit.
+                loop {
+                    let i = rng.gen_range(0..256usize);
+                    if out.bit(i) == reference.bit(i) {
+                        out.flip_bit_in_place(i);
+                        break;
+                    }
+                }
+            }
+            core::cmp::Ordering::Greater => {
+                // Revert a random disagreeing bit.
+                loop {
+                    let i = rng.gen_range(0..256usize);
+                    if out.bit(i) != reference.bit(i) {
+                        out.flip_bit_in_place(i);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Client-side deliberate noise (§5): flips `extra` random *distinct* bits
+/// of the readout, increasing the expected search distance without knowing
+/// the server's reference.
+pub fn inject_extra_noise<R: Rng + ?Sized>(readout: &U256, extra: u32, rng: &mut R) -> U256 {
+    assert!(extra <= 256);
+    let mut out = *readout;
+    let mut flipped = std::collections::HashSet::with_capacity(extra as usize);
+    while flipped.len() < extra as usize {
+        let i = rng.gen_range(0..256usize);
+        if flipped.insert(i) {
+            out.flip_bit_in_place(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn force_distance_raises() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let reference = U256::random(&mut rng);
+        let forced = force_distance(&reference, &reference, 5, &mut rng);
+        assert_eq!(forced.hamming_distance(&reference), 5);
+    }
+
+    #[test]
+    fn force_distance_lowers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let reference = U256::random(&mut rng);
+        let far = reference.random_at_distance(40, &mut rng);
+        let forced = force_distance(&far, &reference, 3, &mut rng);
+        assert_eq!(forced.hamming_distance(&reference), 3);
+    }
+
+    #[test]
+    fn force_distance_noop_when_already_there() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let reference = U256::random(&mut rng);
+        let at5 = reference.random_at_distance(5, &mut rng);
+        let forced = force_distance(&at5, &reference, 5, &mut rng);
+        assert_eq!(forced, at5, "exact distance is left untouched");
+    }
+
+    #[test]
+    fn force_distance_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let reference = U256::random(&mut rng);
+        assert_eq!(force_distance(&reference, &reference, 0, &mut rng), reference);
+        let full = force_distance(&reference, &reference, 256, &mut rng);
+        assert_eq!(full, !reference);
+    }
+
+    #[test]
+    fn inject_extra_flips_exactly_that_many() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let readout = U256::random(&mut rng);
+        for extra in [0u32, 1, 7, 64] {
+            let noisy = inject_extra_noise(&readout, extra, &mut rng);
+            assert_eq!(noisy.hamming_distance(&readout), extra);
+        }
+    }
+
+    #[test]
+    fn inject_extra_raises_distance_stochastically() {
+        // Starting at distance d from a reference, injecting k extra flips
+        // moves the distance into [|d-k|, d+k].
+        let mut rng = StdRng::seed_from_u64(6);
+        let reference = U256::random(&mut rng);
+        let readout = reference.random_at_distance(2, &mut rng);
+        let noisy = inject_extra_noise(&readout, 3, &mut rng);
+        let d = noisy.hamming_distance(&reference);
+        assert!((1..=5).contains(&d), "distance {d} outside envelope");
+    }
+}

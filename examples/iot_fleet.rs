@@ -1,0 +1,99 @@
+//! IoT fleet: one CA authenticating a heterogeneous fleet of PUF devices.
+//!
+//! ```sh
+//! cargo run --release --example iot_fleet
+//! ```
+//!
+//! The motivating deployment of the paper's introduction: low-powered IoT
+//! clients that cannot run error correction, a CA that absorbs the cost.
+//! The fleet mixes SRAM and ReRAM devices, healthy and degraded; some
+//! clients deliberately inject extra noise (§5's security extension).
+//! Prints per-client outcomes and fleet-level statistics.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbc_salted::prelude::*;
+
+struct FleetMember {
+    client: Client<ModelPuf>,
+    kind: &'static str,
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0x10_7F1EE7);
+
+    // Build the fleet: 12 devices across four profiles.
+    let mut fleet = Vec::new();
+    for i in 0..12u64 {
+        let (device, kind, extra) = match i % 4 {
+            0 => (ModelPuf::sram(4096, 1000 + i), "SRAM healthy", 0),
+            1 => (ModelPuf::reram(4096, 2000 + i), "ReRAM healthy", 0),
+            2 => (ModelPuf::sram(4096, 3000 + i), "SRAM + injected noise", 2),
+            _ => (ModelPuf::reram(4096, 4000 + i), "ReRAM + injected noise", 2),
+        };
+        let mut client = Client::new(i, device);
+        client.extra_noise = extra;
+        fleet.push(FleetMember { client, kind });
+    }
+
+    // One CA for everyone; Dilithium3 session keys.
+    let mut ca = CertificateAuthority::new(
+        *b"fleet-ca-database-key-32-bytes!!",
+        Dilithium3,
+        CaConfig {
+            // d = 3 keeps a single-host demo snappy (u(3) ≈ 2.8M hashes
+            // worst case); a deployment server would run d = 5 as in the
+            // paper.
+            max_d: 3,
+            engine: EngineConfig { threads: 4, ..Default::default() },
+            ..Default::default()
+        },
+    );
+
+    // Enrollment pass (secure facility).
+    for member in &fleet {
+        ca.enroll_client(member.client.id, member.client.device(), 64, &mut rng)
+            .expect("enrollment");
+    }
+    println!("enrolled {} devices\n", ca.enrolled());
+
+    // Authentication pass: three sessions per client.
+    println!("{:<4} {:<22} {:>8} {:>8} {:>8}", "id", "device", "s1", "s2", "s3");
+    let mut accepted = 0u32;
+    let mut total = 0u32;
+    let mut distance_histogram = [0u32; 6];
+    for member in &fleet {
+        let mut cells = Vec::new();
+        for _ in 0..3 {
+            let challenge = ca.begin(&member.client.hello()).expect("begin");
+            let digest = member.client.respond(&challenge, &mut rng);
+            let verdict = ca.complete(&digest).expect("complete");
+            total += 1;
+            cells.push(match verdict.verdict {
+                Verdict::Accepted { distance, .. } => {
+                    accepted += 1;
+                    distance_histogram[distance.min(5) as usize] += 1;
+                    format!("d={distance}")
+                }
+                Verdict::Rejected => "reject".to_string(),
+                Verdict::TimedOut => "timeout".to_string(),
+            });
+        }
+        println!(
+            "{:<4} {:<22} {:>8} {:>8} {:>8}",
+            member.client.id, member.kind, cells[0], cells[1], cells[2]
+        );
+    }
+
+    println!("\nfleet: {accepted}/{total} sessions accepted");
+    println!("distance histogram (accepted): {distance_histogram:?}");
+    println!("RA registrations (one-time keys rotated): {}", ca.ra().update_count());
+
+    let mean_seeds: f64 = ca
+        .log()
+        .iter()
+        .map(|r| r.report.seeds_derived as f64)
+        .sum::<f64>()
+        / ca.log().len() as f64;
+    println!("mean candidate hashes per authentication: {mean_seeds:.0}");
+}

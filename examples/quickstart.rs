@@ -1,0 +1,76 @@
+//! Quickstart: enroll one IoT client and authenticate it end to end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full Figure-1 flow: manufacture a PUF, enroll it at the CA
+//! (secure facility), then run hello → challenge → PUF readout → digest →
+//! RBC search → salted keygen → RA registration, and print what happened.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbc_salted::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+
+    // 1. Manufacture a client device: an SRAM PUF with 4096 cells.
+    //    The device seed is the "manufacturing lottery" — a different
+    //    seed is a different physical chip.
+    let client = Client::new(42, ModelPuf::sram(4096, 0xD0_1CE));
+
+    // 2. Stand up a certificate authority. Its database key seals PUF
+    //    images at rest; LightSaber generates post-search public keys.
+    let mut ca = CertificateAuthority::new(
+        *b"an-exemplary-32-byte-database-k!",
+        LightSaber,
+        CaConfig {
+            max_d: 4,
+            engine: EngineConfig { threads: 4, ..Default::default() },
+            ..Default::default()
+        },
+    );
+
+    // 3. Enrollment (secure facility): the CA reads the PUF repeatedly,
+    //    masks fuzzy cells per TAPKI, and stores the image + shared salt.
+    let salt = ca
+        .enroll_client(42, client.device(), 128, &mut rng)
+        .expect("enough stable cells");
+    println!("enrolled client 42 (salt rotation = {})", salt.rotation);
+
+    // 4. Authentication, years later, over an insecure network.
+    let challenge = ca.begin(&client.hello()).expect("enrolled");
+    println!(
+        "challenge: read {} cells, hash with {}",
+        challenge.cells.len(),
+        challenge.algo
+    );
+
+    let digest = client.respond(&challenge, &mut rng);
+    println!("client digest M1 = {}…", &digest.digest.to_hex()[..16]);
+
+    let verdict = ca.complete(&digest).expect("session open");
+    match verdict.verdict {
+        Verdict::Accepted { distance, public_key } => {
+            println!(
+                "ACCEPTED: seed recovered at Hamming distance {distance}; \
+                 public key ({} bytes) registered with the RA",
+                public_key.len()
+            );
+        }
+        Verdict::Rejected => println!("REJECTED: no seed within d=4 matched"),
+        Verdict::TimedOut => println!("TIMED OUT: T exceeded, CA would reissue a challenge"),
+    }
+
+    // 5. The search engine's own accounting.
+    let record = ca.log().last().expect("one auth");
+    println!(
+        "search: {} candidate hashes in {:?} across {} distances ({} threads, {})",
+        record.report.seeds_derived,
+        record.report.elapsed,
+        record.report.per_distance.len(),
+        record.report.threads,
+        record.report.algorithm,
+    );
+}

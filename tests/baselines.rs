@@ -1,0 +1,145 @@
+//! Algorithm-aware baselines: the same search engine running prior work's
+//! per-candidate derivations (AES / ChaCha20 / SPECK / PQC keygen), plus
+//! the cost-ordering facts behind Table 7.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbc_salted::ciphers::{AesResponse, ChaChaResponse, SpeckResponse};
+use rbc_salted::prelude::*;
+
+fn plant(base: &U256, rng: &mut StdRng, d: u32) -> U256 {
+    base.random_at_distance(d, rng)
+}
+
+#[test]
+fn aware_engine_finds_seeds_with_every_cipher() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let base = U256::random(&mut rng);
+    let client = plant(&base, &mut rng, 1);
+
+    macro_rules! check {
+        ($derive:expr) => {{
+            let derive = $derive;
+            let target = rbc_salted::core::Derive::derive(&derive, &client);
+            let engine = SearchEngine::new(derive, EngineConfig { threads: 2, ..Default::default() });
+            let outcome = engine.search(&target, &base, 1).outcome;
+            assert_eq!(outcome, Outcome::Found { seed: client, distance: 1 });
+        }};
+    }
+    check!(CipherDerive(AesResponse));
+    check!(CipherDerive(ChaChaResponse));
+    check!(CipherDerive(SpeckResponse));
+}
+
+#[test]
+fn aware_engine_finds_seeds_with_pqc_keygen() {
+    // PQC keygen per candidate is slow — keep the space tiny (d = 1 means
+    // at most 257 keygens).
+    let mut rng = StdRng::seed_from_u64(2);
+    let base = U256::random(&mut rng);
+    let client = plant(&base, &mut rng, 1);
+
+    let derive = PqcDerive(LightSaber);
+    let target = rbc_salted::core::Derive::derive(&derive, &client);
+    let engine = SearchEngine::new(derive, EngineConfig { threads: 4, ..Default::default() });
+    let report = engine.search(&target, &base, 1);
+    assert_eq!(report.outcome, Outcome::Found { seed: client, distance: 1 });
+}
+
+#[test]
+fn salted_and_aware_engines_agree_on_accept_reject() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let base = U256::random(&mut rng);
+    for d in [0u32, 1, 2] {
+        let client = plant(&base, &mut rng, d);
+        let max_d = 1;
+
+        let salted = {
+            let target = Sha3Fixed.digest_seed(&client);
+            let engine = SearchEngine::new(HashDerive(Sha3Fixed), EngineConfig::default());
+            engine.search(&target, &base, max_d).outcome.is_authenticated()
+        };
+        let aware = {
+            let derive = CipherDerive(AesResponse);
+            let target = rbc_salted::core::Derive::derive(&derive, &client);
+            let engine = SearchEngine::new(derive, EngineConfig::default());
+            engine.search(&target, &base, max_d).outcome.is_authenticated()
+        };
+        assert_eq!(salted, aware, "d={d}: the salting optimization must not change semantics");
+        assert_eq!(salted, d <= max_d);
+    }
+}
+
+#[test]
+fn table7_cost_ordering_holds_on_this_host() {
+    // The entire point of RBC-SALTED: hashing a candidate is far cheaper
+    // than generating a key from it. Measure one batch of each.
+    fn per_candidate_nanos<D: rbc_salted::core::Derive>(derive: D, n: u64) -> f64 {
+        let mut seed = U256::from_u64(1);
+        let start = Instant::now();
+        for _ in 0..n {
+            seed = seed.wrapping_add(&U256::ONE);
+            std::hint::black_box(derive.derive(&seed));
+        }
+        start.elapsed().as_nanos() as f64 / n as f64
+    }
+
+    let sha3 = per_candidate_nanos(HashDerive(Sha3Fixed), 20_000);
+    let aes = per_candidate_nanos(CipherDerive(AesResponse), 20_000);
+    let saber = per_candidate_nanos(PqcDerive(LightSaber), 30);
+    let dilithium = per_candidate_nanos(PqcDerive(Dilithium3), 30);
+
+    // PQC keygen must be ≥ 2 orders of magnitude above the hash; the
+    // symmetric cipher within one order.
+    assert!(saber > 50.0 * sha3, "SABER {saber} ns vs SHA-3 {sha3} ns");
+    assert!(dilithium > 50.0 * sha3, "Dilithium {dilithium} ns vs SHA-3 {sha3} ns");
+    assert!(aes < 20.0 * sha3, "AES {aes} ns vs SHA-3 {sha3} ns");
+}
+
+#[test]
+fn salted_protocol_generates_key_exactly_once() {
+    // Contrast of §3: aware RBC pays keygen per candidate; SALTED pays it
+    // once. Count keygen invocations through a counting wrapper.
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[derive(Clone)]
+    struct CountingKeygen {
+        inner: LightSaber,
+        count: Arc<AtomicU64>,
+    }
+    impl rbc_salted::pqc::PqcKeyGen for CountingKeygen {
+        const NAME: &'static str = "counting";
+        fn public_key(&self, seed: &U256) -> Vec<u8> {
+            self.count.fetch_add(1, Ordering::Relaxed);
+            rbc_salted::pqc::PqcKeyGen::public_key(&self.inner, seed)
+        }
+    }
+
+    let count = Arc::new(AtomicU64::new(0));
+    let keygen = CountingKeygen { inner: LightSaber, count: count.clone() };
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut client = Client::new(1, ModelPuf::noiseless(2048, 55));
+    client.extra_noise = 2; // forces a real search over thousands of candidates
+
+    let mut ca = CertificateAuthority::new(
+        [3u8; 32],
+        keygen,
+        CaConfig { max_d: 3, engine: EngineConfig { threads: 2, ..Default::default() }, ..Default::default() },
+    );
+    ca.enroll_client(1, client.device(), 0, &mut rng).unwrap();
+    let challenge = ca.begin(&client.hello()).unwrap();
+    let digest = client.respond(&challenge, &mut rng);
+    let verdict = ca.complete(&digest).unwrap();
+
+    assert!(matches!(verdict.verdict, Verdict::Accepted { .. }));
+    let searched = ca.log()[0].report.seeds_derived;
+    assert!(searched > 100, "the search really did inspect many candidates: {searched}");
+    assert_eq!(
+        count.load(Ordering::Relaxed),
+        1,
+        "RBC-SALTED generates the public key exactly once, not per candidate"
+    );
+}

@@ -1,0 +1,145 @@
+//! Cross-backend agreement: the CPU engine, the GPU functional model and
+//! the APU functional simulator are three implementations of the same
+//! Algorithm 1 — on any input they must produce identical outcomes and,
+//! in exhaustive mode, identical hash counts (Equation 1).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbc_salted::apu::{apu_salted_search, ApuConfig, ApuHash, ApuSearchConfig};
+use rbc_salted::comb::exhaustive_seeds;
+use rbc_salted::gpu::{gpu_salted_search, GpuHash, GpuKernelConfig};
+use rbc_salted::prelude::*;
+
+fn cpu_outcome(target: &[u8; 32], base: &U256, max_d: u32, exhaustive: bool) -> (Option<(U256, u32)>, u64) {
+    let engine = SearchEngine::new(
+        HashDerive(Sha3Fixed),
+        EngineConfig {
+            threads: 3,
+            mode: if exhaustive { SearchMode::Exhaustive } else { SearchMode::EarlyExit },
+            ..Default::default()
+        },
+    );
+    let report = engine.search(target, base, max_d);
+    let found = match report.outcome {
+        Outcome::Found { seed, distance } => Some((seed, distance)),
+        _ => None,
+    };
+    (found, report.seeds_derived)
+}
+
+fn gpu_outcome(target: &[u8; 32], base: &U256, max_d: u32, early: bool) -> (Option<(U256, u32)>, u64) {
+    let r = gpu_salted_search(
+        &Sha3Fixed,
+        &GpuKernelConfig::paper_best(GpuHash::Sha3),
+        target,
+        base,
+        max_d,
+        early,
+    );
+    (r.found, r.hashes)
+}
+
+fn apu_outcome(target: &[u8; 32], base: &U256, max_d: u32, early: bool) -> (Option<(U256, u32)>, u64) {
+    let cfg = ApuSearchConfig { device: ApuConfig::tiny(48), hash: ApuHash::Sha3, batch: 16 };
+    let r = apu_salted_search(&cfg, target, base, max_d, early);
+    (r.found, r.hashes)
+}
+
+#[test]
+fn all_backends_agree_on_planted_seeds() {
+    let mut rng = StdRng::seed_from_u64(42);
+    for trial in 0..12 {
+        let base = U256::random(&mut rng);
+        let d = trial % 4; // 0..=3
+        let client = base.random_at_distance(d, &mut rng);
+        let target = Sha3Fixed.digest_seed(&client);
+        let max_d = 3;
+
+        let (cpu, _) = cpu_outcome(&target, &base, max_d, false);
+        let (gpu, _) = gpu_outcome(&target, &base, max_d, true);
+        let (apu, _) = apu_outcome(&target, &base, max_d, true);
+
+        assert_eq!(cpu, gpu, "trial {trial}: CPU vs GPU");
+        assert_eq!(gpu, apu, "trial {trial}: GPU vs APU");
+        let (seed, dist) = cpu.expect("planted in range");
+        assert_eq!(seed, client);
+        assert_eq!(dist, d);
+    }
+}
+
+#[test]
+fn all_backends_agree_on_out_of_range_seeds() {
+    let mut rng = StdRng::seed_from_u64(43);
+    let base = U256::random(&mut rng);
+    let client = base.random_at_distance(4, &mut rng); // outside max_d = 2
+    let target = Sha3Fixed.digest_seed(&client);
+
+    let (cpu, cpu_hashes) = cpu_outcome(&target, &base, 2, false);
+    let (gpu, gpu_hashes) = gpu_outcome(&target, &base, 2, false);
+    let (apu, apu_hashes) = apu_outcome(&target, &base, 2, false);
+
+    assert_eq!(cpu, None);
+    assert_eq!(gpu, None);
+    assert_eq!(apu, None);
+    // Exhaustive rejection costs exactly u(2) everywhere (Equation 1).
+    let expected = exhaustive_seeds(2) as u64;
+    assert_eq!(cpu_hashes, expected);
+    assert_eq!(gpu_hashes, expected);
+    assert_eq!(apu_hashes, expected);
+}
+
+#[test]
+fn exhaustive_hash_counts_match_equation_1_at_every_distance() {
+    let mut rng = StdRng::seed_from_u64(44);
+    let base = U256::random(&mut rng);
+    // Unfindable target ⇒ full enumeration at every max_d.
+    let target = Sha3Fixed.digest_seed(&base.random_at_distance(10, &mut rng));
+    for max_d in 0..=2u32 {
+        let (_, cpu_hashes) = cpu_outcome(&target, &base, max_d, true);
+        assert_eq!(cpu_hashes, exhaustive_seeds(max_d) as u64, "cpu d={max_d}");
+        let (_, gpu_hashes) = gpu_outcome(&target, &base, max_d, false);
+        assert_eq!(gpu_hashes, exhaustive_seeds(max_d) as u64, "gpu d={max_d}");
+    }
+}
+
+#[test]
+fn sha1_backends_agree_too() {
+    let mut rng = StdRng::seed_from_u64(45);
+    let base = U256::random(&mut rng);
+    let client = base.random_at_distance(2, &mut rng);
+    let target1 = Sha1Fixed.digest_seed(&client);
+
+    let engine = SearchEngine::new(HashDerive(Sha1Fixed), EngineConfig::default());
+    let cpu = match engine.search(&target1, &base, 2).outcome {
+        Outcome::Found { seed, distance } => Some((seed, distance)),
+        _ => None,
+    };
+    let gpu = gpu_salted_search(
+        &Sha1Fixed,
+        &GpuKernelConfig::paper_best(GpuHash::Sha1),
+        &target1,
+        &base,
+        2,
+        true,
+    )
+    .found;
+    let apu_cfg = ApuSearchConfig { device: ApuConfig::tiny(48), hash: ApuHash::Sha1, batch: 16 };
+    let apu = apu_salted_search(&apu_cfg, &target1.to_vec(), &base, 2, true).found;
+
+    assert_eq!(cpu, Some((client, 2)));
+    assert_eq!(gpu, cpu);
+    assert_eq!(apu, cpu);
+}
+
+#[test]
+fn apu_target_digest_helper_matches_reference() {
+    let seed = U256::from_u64(77);
+    assert_eq!(
+        rbc_salted::apu::target_digest(ApuHash::Sha3, &seed),
+        Sha3Fixed.digest_seed(&seed).to_vec()
+    );
+    assert_eq!(
+        rbc_salted::apu::target_digest(ApuHash::Sha1, &seed),
+        Sha1Fixed.digest_seed(&seed).to_vec()
+    );
+}

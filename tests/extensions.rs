@@ -1,0 +1,175 @@
+//! Integration tests for the features beyond the paper's core protocol:
+//! reliability-weighted ordering, the distributed cluster engine, the
+//! APU startup-combination iterator, multi-GPU functional execution, and
+//! the lossy-link protocol run.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbc_salted::apu::{apu_startup_search, target_digest, ApuConfig, ApuHash, ApuSearchConfig};
+use rbc_salted::core::cluster::{cluster_search, ClusterConfig};
+use rbc_salted::core::protocol::{ChallengeMsg, DigestMsg, HelloMsg, Verdict, VerdictMsg};
+use rbc_salted::core::weighted::{weighted_search, ReliabilityOrder, WeightedOutcome};
+use rbc_salted::gpu::{multi_gpu_salted_search, GpuHash, GpuKernelConfig};
+use rbc_salted::net::lossy::{lossy_duplex, RpcClient, RpcServer};
+use rbc_salted::prelude::*;
+
+#[test]
+fn all_five_engines_agree_on_one_instance() {
+    // CPU engine, cluster engine, GPU functional (1 and 3 devices), APU
+    // startup iterator: one planted instance, five independent answers.
+    let mut rng = StdRng::seed_from_u64(0xA11);
+    let base = U256::random(&mut rng);
+    let client = base.random_at_distance(2, &mut rng);
+    let target = Sha3Fixed.digest_seed(&client);
+    let expected = Some((client, 2u32));
+
+    let cpu = {
+        let engine = SearchEngine::new(HashDerive(Sha3Fixed), EngineConfig::default());
+        match engine.search(&target, &base, 2).outcome {
+            Outcome::Found { seed, distance } => Some((seed, distance)),
+            _ => None,
+        }
+    };
+    let cluster = cluster_search(
+        &HashDerive(Sha3Fixed),
+        &target,
+        &base,
+        2,
+        &ClusterConfig { nodes: 3, ..Default::default() },
+    )
+    .found;
+    let gpu1 = multi_gpu_salted_search(
+        &Sha3Fixed,
+        &GpuKernelConfig::paper_best(GpuHash::Sha3),
+        1,
+        &target,
+        &base,
+        2,
+        true,
+    )
+    .found;
+    let gpu3 = multi_gpu_salted_search(
+        &Sha3Fixed,
+        &GpuKernelConfig::paper_best(GpuHash::Sha3),
+        3,
+        &target,
+        &base,
+        2,
+        true,
+    )
+    .found;
+    let apu = apu_startup_search(
+        &ApuSearchConfig { device: ApuConfig::tiny(32), hash: ApuHash::Sha3, batch: 256 },
+        &target_digest(ApuHash::Sha3, &client),
+        &base,
+        2,
+        true,
+    )
+    .found;
+
+    assert_eq!(cpu, expected);
+    assert_eq!(cluster, expected);
+    assert_eq!(gpu1, expected);
+    assert_eq!(gpu3, expected);
+    assert_eq!(apu, expected);
+}
+
+#[test]
+fn weighted_order_finds_enrolled_client_readouts() {
+    // Full pipeline: enrollment estimates → likelihood order → search a
+    // genuine noisy readout of the same device.
+    let mut rng = StdRng::seed_from_u64(0xB22);
+    let device = ModelPuf::sram(4096, 555);
+    let image = rbc_salted::puf::enroll(
+        &device,
+        0,
+        &rbc_salted::puf::EnrollmentConfig::default(),
+        &mut rng,
+    )
+    .expect("enroll");
+    let order = ReliabilityOrder::from_image(&image);
+
+    let mut found = 0;
+    for _ in 0..10 {
+        let readout = rbc_salted::puf::client_readout(&device, &image, &mut rng);
+        if image.reference.hamming_distance(&readout) > 3 {
+            continue;
+        }
+        let target = Sha3Fixed.digest_seed(&readout);
+        if let WeightedOutcome::Found { seed, .. } = weighted_search(
+            &HashDerive(Sha3Fixed),
+            &target,
+            &image.reference,
+            &order,
+            3,
+            10_000_000,
+        ) {
+            assert_eq!(seed, readout);
+            found += 1;
+        }
+    }
+    assert!(found >= 8, "weighted search must recover masked-SRAM readouts: {found}/10");
+}
+
+#[test]
+fn protocol_survives_a_lossy_iot_uplink() {
+    // The full hello → challenge → digest → verdict exchange over a 30%-
+    // loss link, using the lossy-RPC reliability layer (response is the
+    // implicit ack; the server replays responses for duplicate requests).
+    let (a, b) = lossy_duplex(Duration::ZERO, 0.3, 0xC0FFEE);
+    let mut rpc = RpcClient::new(a);
+    rpc.rto = Duration::from_millis(5);
+    let mut server_link = RpcServer::new(b);
+
+    let server = std::thread::spawn(move || {
+        let mut rng = StdRng::seed_from_u64(1);
+        let device = ModelPuf::sram(4096, 777);
+        let mut ca = CertificateAuthority::new(
+            [1u8; 32],
+            LightSaber,
+            CaConfig {
+                max_d: 3,
+                engine: EngineConfig { threads: 2, ..Default::default() },
+                ..Default::default()
+            },
+        );
+        ca.enroll_client(1, &device, 0, &mut rng).expect("enroll");
+
+        let (seq, hello): (u64, HelloMsg) =
+            server_link.recv_request(Duration::from_secs(30)).expect("hello");
+        let challenge = ca.begin(&hello).expect("begin");
+        server_link.respond(seq, &challenge).expect("send challenge");
+        let (seq, digest): (u64, DigestMsg) =
+            server_link.recv_request(Duration::from_secs(30)).expect("digest");
+        let verdict = ca.complete(&digest).expect("complete");
+        server_link.respond(seq, &verdict).expect("send verdict");
+        verdict
+    });
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let client = Client::new(1, ModelPuf::sram(4096, 777));
+    let challenge: ChallengeMsg = rpc.call(&client.hello()).expect("hello rpc");
+    let digest = client.respond(&challenge, &mut rng);
+    let verdict: VerdictMsg = rpc.call(&digest).expect("digest rpc");
+
+    let server_verdict = server.join().expect("server");
+    assert_eq!(verdict, server_verdict);
+    assert!(
+        matches!(verdict.verdict, Verdict::Accepted { .. }),
+        "same die must authenticate through the lossy link: {verdict:?}"
+    );
+}
+
+#[test]
+fn startup_iterator_and_plain_apu_charge_same_functional_work() {
+    let base = U256::from_limbs([8, 6, 7, 5]);
+    let client = base.flip_bit(30).flip_bit(90);
+    let target = target_digest(ApuHash::Sha1, &client);
+    let cfg = ApuSearchConfig { device: ApuConfig::tiny(16), hash: ApuHash::Sha1, batch: 256 };
+    let plain = rbc_salted::apu::apu_salted_search(&cfg, &target, &base, 2, false);
+    let startup = apu_startup_search(&cfg, &target, &base, 2, false);
+    assert_eq!(plain.found, startup.found);
+    assert_eq!(plain.hashes, startup.hashes, "identical candidate coverage");
+}

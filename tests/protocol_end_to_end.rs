@@ -1,0 +1,163 @@
+//! End-to-end protocol integration: client and CA on separate threads,
+//! talking through the rbc-net framed channel transport — the full
+//! serialize → frame → deliver → parse → search → verdict path.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbc_salted::core::protocol::{ChallengeMsg, DigestMsg, HelloMsg, Verdict, VerdictMsg};
+use rbc_salted::net::duplex;
+use rbc_salted::prelude::*;
+
+const RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+fn ca_config(max_d: u32) -> CaConfig {
+    CaConfig {
+        max_d,
+        engine: EngineConfig { threads: 2, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+#[test]
+fn full_protocol_over_channel_transport() {
+    let (mut client_end, mut server_end) = duplex(Duration::from_millis(130));
+
+    // Server thread: CA answers one authentication.
+    let server = std::thread::spawn(move || {
+        let mut rng = StdRng::seed_from_u64(1);
+        let device = ModelPuf::sram(4096, 500);
+        let mut ca = CertificateAuthority::new([7u8; 32], LightSaber, ca_config(3));
+        ca.enroll_client(9, &device, 0, &mut rng).expect("enroll");
+
+        let hello: HelloMsg = server_end.recv(RECV_TIMEOUT).expect("hello");
+        let challenge = ca.begin(&hello).expect("begin");
+        server_end.send(&challenge).expect("send challenge");
+
+        let digest: DigestMsg = server_end.recv(RECV_TIMEOUT).expect("digest");
+        let verdict = ca.complete(&digest).expect("complete");
+        server_end.send(&verdict).expect("send verdict");
+        (ca.log()[0].report.seeds_derived, verdict)
+    });
+
+    // Client side: same manufacturing seed = same physical device.
+    let mut rng = StdRng::seed_from_u64(2);
+    let client = Client::new(9, ModelPuf::sram(4096, 500));
+    client_end.send(&client.hello()).expect("send hello");
+    let challenge: ChallengeMsg = client_end.recv(RECV_TIMEOUT).expect("challenge");
+    assert_eq!(challenge.cells.len(), 256);
+    let digest = client.respond(&challenge, &mut rng);
+    client_end.send(&digest).expect("send digest");
+    let verdict: VerdictMsg = client_end.recv(RECV_TIMEOUT).expect("verdict");
+
+    let (seeds, server_verdict) = server.join().expect("server thread");
+    assert_eq!(verdict, server_verdict);
+    match verdict.verdict {
+        Verdict::Accepted { distance, ref public_key } => {
+            assert!(distance <= 3);
+            assert!(!public_key.is_empty());
+        }
+        ref other => panic!("expected acceptance, got {other:?} after {seeds} seeds"),
+    }
+    // Comm accounting: 2 client frames at the modelled WAN latency.
+    assert_eq!(client_end.frames_sent(), 2);
+    assert_eq!(client_end.simulated_latency(), Duration::from_millis(260));
+}
+
+#[test]
+fn protocol_rejects_impostor_device() {
+    // An attacker clones the client id but has a different physical PUF.
+    let mut rng = StdRng::seed_from_u64(3);
+    let honest = ModelPuf::sram(4096, 1000);
+    let impostor = Client::new(1, ModelPuf::sram(4096, 9999));
+
+    let mut ca = CertificateAuthority::new([8u8; 32], LightSaber, ca_config(3));
+    ca.enroll_client(1, &honest, 0, &mut rng).expect("enroll");
+
+    let challenge = ca.begin(&impostor.hello()).expect("begin");
+    let digest = impostor.respond(&challenge, &mut rng);
+    let verdict = ca.complete(&digest).expect("complete");
+    assert_eq!(
+        verdict.verdict,
+        Verdict::Rejected,
+        "a different die's fingerprint must not authenticate"
+    );
+}
+
+#[test]
+fn timeout_threshold_is_enforced() {
+    // A pathological deadline forces the TimedOut verdict path.
+    let mut rng = StdRng::seed_from_u64(4);
+    let device = ModelPuf::sram(4096, 42);
+    let mut client = Client::new(2, device);
+    client.extra_noise = 3; // force a deep search
+    let cfg = CaConfig {
+        max_d: 5,
+        engine: EngineConfig {
+            threads: 2,
+            deadline: Some(Duration::from_millis(1)),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut ca = CertificateAuthority::new([9u8; 32], LightSaber, cfg);
+    ca.enroll_client(2, client.device(), 0, &mut rng).expect("enroll");
+
+    let challenge = ca.begin(&client.hello()).expect("begin");
+    let digest = client.respond(&challenge, &mut rng);
+    let verdict = ca.complete(&digest).expect("complete");
+    // With a 1 ms budget the search cannot reach d=3 on this host.
+    assert_eq!(verdict.verdict, Verdict::TimedOut);
+}
+
+#[test]
+fn sha1_and_sha3_cas_both_work() {
+    for algo in [HashAlgo::Sha1, HashAlgo::Sha3_256] {
+        let mut rng = StdRng::seed_from_u64(5);
+        let client = Client::new(3, ModelPuf::noiseless(2048, 77));
+        let cfg = CaConfig { algo, ..ca_config(2) };
+        let mut ca = CertificateAuthority::new([1u8; 32], Dilithium3, cfg);
+        ca.enroll_client(3, client.device(), 0, &mut rng).expect("enroll");
+        let challenge = ca.begin(&client.hello()).expect("begin");
+        assert_eq!(challenge.algo, algo);
+        let digest = client.respond(&challenge, &mut rng);
+        assert_eq!(digest.digest.len(), algo.digest_len());
+        let verdict = ca.complete(&digest).expect("complete");
+        assert!(
+            matches!(verdict.verdict, Verdict::Accepted { distance: 0, .. }),
+            "{algo}: noiseless device must authenticate at d=0"
+        );
+    }
+}
+
+#[test]
+fn registered_key_comes_from_salted_seed() {
+    // The RA key must equal keygen(salt(seed)) — never keygen(seed).
+    let mut rng = StdRng::seed_from_u64(6);
+    let client = Client::new(4, ModelPuf::noiseless(2048, 123));
+    let mut ca = CertificateAuthority::new([2u8; 32], LightSaber, ca_config(2));
+    let salt = ca.enroll_client(4, client.device(), 0, &mut rng).expect("enroll");
+
+    let challenge = ca.begin(&client.hello()).expect("begin");
+    // Reconstruct the seed the CA will find: noiseless readout of the
+    // challenge cells.
+    let mut seed = U256::ZERO;
+    for (i, &c) in challenge.cells.iter().enumerate() {
+        if client.device().cell(c as usize).nominal {
+            seed = seed.set_bit(i);
+        }
+    }
+    let digest = client.respond(&challenge, &mut rng);
+    let verdict = ca.complete(&digest).expect("complete");
+
+    let expected_salted = rbc_salted::pqc::PqcKeyGen::public_key(&LightSaber, &salt.apply(&seed));
+    let expected_unsalted = rbc_salted::pqc::PqcKeyGen::public_key(&LightSaber, &seed);
+    match verdict.verdict {
+        Verdict::Accepted { public_key, .. } => {
+            assert_eq!(public_key, expected_salted, "key must derive from the salted seed");
+            assert_ne!(public_key, expected_unsalted, "raw seed must never key the PKI");
+        }
+        other => panic!("{other:?}"),
+    }
+}
