@@ -88,10 +88,7 @@ impl ApuTimingModel {
     /// runs `ceil(seeds / PEs)` lockstep waves.
     pub fn waves(&self, hash: ApuHash, seeds_per_distance: &[u128]) -> u64 {
         let (_, pes, _) = self.params(hash);
-        seeds_per_distance
-            .iter()
-            .map(|&s| s.div_ceil(pes as u128) as u64)
-            .sum()
+        seeds_per_distance.iter().map(|&s| s.div_ceil(pes as u128) as u64).sum()
     }
 
     /// Uncalibrated seconds (raw bit-serial cycles at the Gemini clock).
@@ -152,10 +149,8 @@ impl ApuTimingModel {
         early_exit: bool,
     ) -> f64 {
         assert!(devices >= 1, "need at least one device");
-        let per_device: Vec<u128> = seeds_per_distance
-            .iter()
-            .map(|&s| s.div_ceil(devices as u128))
-            .collect();
+        let per_device: Vec<u128> =
+            seeds_per_distance.iter().map(|&s| s.div_ceil(devices as u128)).collect();
         let base = self.search_seconds(hash, &per_device);
         let per_extra = if early_exit { 0.030 } else { 0.018 };
         base + per_extra * (devices - 1) as f64

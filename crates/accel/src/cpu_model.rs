@@ -17,6 +17,27 @@ pub enum CpuHash {
     Sha3,
 }
 
+/// A locally measured single-thread rate pair for one hash: the scalar
+/// one-candidate-at-a-time path and the batched multi-lane path the
+/// search engine's hot loop actually runs (§3.2.2's interleaved lanes +
+/// digest-prefix prescreen).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MeasuredRate {
+    /// Seeds/s through the scalar per-candidate derivation.
+    pub scalar: f64,
+    /// Seeds/s through the batched (interleaved-lane, prefix-prescreen)
+    /// derivation.
+    pub batched: f64,
+}
+
+impl MeasuredRate {
+    /// Batched-over-scalar throughput ratio — the lane speedup realized
+    /// on this host.
+    pub fn lane_speedup(&self) -> f64 {
+        self.batched / self.scalar
+    }
+}
+
 /// A multicore CPU's calibrated search-throughput model.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CpuModel {
@@ -65,6 +86,14 @@ impl CpuModel {
             alpha_sha1: a1,
             alpha_sha3: a3,
         }
+    }
+
+    /// Builds a model from measured scalar + batched single-thread rates,
+    /// extrapolating from the **batched** rate — the engine's deployed hot
+    /// path — so Table 5 / §4.3 projections reflect what the search
+    /// actually sustains, not the scalar reference path.
+    pub fn from_measured(name: &str, cores: u32, sha1: MeasuredRate, sha3: MeasuredRate) -> Self {
+        Self::from_single_thread(name, cores, sha1.batched, sha3.batched)
     }
 
     /// Solves `S = p / (1 + α(p−1))` for α.
@@ -121,10 +150,7 @@ pub struct ClusterModel {
 impl ClusterModel {
     /// Calibrated to Philabaum et al. (404× @ 512 cores).
     pub fn philabaum() -> Self {
-        ClusterModel {
-            alpha: CpuModel::alpha_from_speedup(512.0, 404.0),
-            barrier_cost: 2.0e-3,
-        }
+        ClusterModel { alpha: CpuModel::alpha_from_speedup(512.0, 404.0), barrier_cost: 2.0e-3 }
     }
 
     /// Modelled speedup on `cores` total cores.
@@ -194,6 +220,17 @@ mod tests {
         let m = CpuModel::from_single_thread("local", 8, 1.0e7, 2.0e6);
         assert!(m.rate_sha1 > 1.0e7 * 7.0 && m.rate_sha1 < 8.0e7);
         assert!(m.rate_sha3 > 2.0e6 * 7.0 && m.rate_sha3 < 1.6e7);
+    }
+
+    #[test]
+    fn from_measured_uses_batched_rate() {
+        let sha1 = MeasuredRate { scalar: 6.0e6, batched: 2.4e7 };
+        let sha3 = MeasuredRate { scalar: 2.0e6, batched: 8.0e6 };
+        assert!((sha1.lane_speedup() - 4.0).abs() < 1e-12);
+        let m = CpuModel::from_measured("local", 8, sha1, sha3);
+        let want = CpuModel::from_single_thread("local", 8, sha1.batched, sha3.batched);
+        assert_eq!(m.rate_sha1, want.rate_sha1);
+        assert_eq!(m.rate_sha3, want.rate_sha3);
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod energy;
 pub mod platform;
 
 pub use apu_timing::{ApuTimingModel, GEMINI_CLOCK_HZ};
-pub use cpu_model::{ClusterModel, CpuHash, CpuModel};
+pub use cpu_model::{ClusterModel, CpuHash, CpuModel, MeasuredRate};
 pub use energy::PowerModel;
 pub use platform::{platform_a, platform_b, AcceleratorSpec, CpuSpec, Platform};
 

@@ -36,7 +36,7 @@ pub struct AcceleratorSpec {
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Platform {
     /// Platform name as used in the paper.
-    pub name: &'static str,
+    pub name: String,
     /// Host CPU.
     pub cpu: CpuSpec,
     /// Attached accelerator.
@@ -46,7 +46,7 @@ pub struct Platform {
 /// PLATFORMA: 2×AMD EPYC 7542 + 3×NVIDIA A100 (one used unless stated).
 pub fn platform_a() -> Platform {
     Platform {
-        name: "PlatformA",
+        name: "PlatformA".into(),
         cpu: CpuSpec {
             model: "2x AMD EPYC 7542".into(),
             cores: 64,
@@ -67,13 +67,8 @@ pub fn platform_a() -> Platform {
 /// PLATFORMB: Intel i7-7700 + GSI Gemini APU.
 pub fn platform_b() -> Platform {
     Platform {
-        name: "PlatformB",
-        cpu: CpuSpec {
-            model: "Intel i7-7700".into(),
-            cores: 4,
-            clock_ghz: 3.6,
-            memory_gib: 32,
-        },
+        name: "PlatformB".into(),
+        cpu: CpuSpec { model: "Intel i7-7700".into(), cores: 4, clock_ghz: 3.6, memory_gib: 32 },
         accelerator: AcceleratorSpec {
             model: "Gemini APU".into(),
             cores: 131_072,

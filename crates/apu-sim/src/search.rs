@@ -181,10 +181,7 @@ fn run(
                 let matches = hash_wave(&mut machine, &seeds);
                 waves += 1;
                 hashes += active;
-                if let Some((lane, _)) = matches
-                    .iter()
-                    .enumerate()
-                    .find(|(i, &m)| m && carried[*i])
+                if let Some((lane, _)) = matches.iter().enumerate().find(|(i, &m)| m && carried[*i])
                 {
                     d_found = Some(seeds[lane]);
                 }

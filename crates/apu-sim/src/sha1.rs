@@ -38,9 +38,8 @@ pub fn apu_sha1_batch(machine: &mut ApuMachine, seeds: &[U256]) -> Vec<Sha1Diges
     // Load the 16-word schedule ring: words 0..8 are the seed, 8 is the
     // pad marker, 9..15 zero, 15 the bit length (256).
     let w: Vec<Reg> = (0..16).map(|_| machine.alloc()).collect();
-    let per_word: Vec<Vec<u64>> = (0..8)
-        .map(|i| seeds.iter().map(|s| seed_words(s)[i]).collect())
-        .collect();
+    let per_word: Vec<Vec<u64>> =
+        (0..8).map(|i| seeds.iter().map(|s| seed_words(s)[i]).collect()).collect();
     for i in 0..8 {
         machine.load(w[i], &per_word[i]);
     }
@@ -51,13 +50,8 @@ pub fn apu_sha1_batch(machine: &mut ApuMachine, seeds: &[U256]) -> Vec<Sha1Diges
     machine.broadcast(w[15], 256);
 
     // Working state and round temporaries.
-    let (a, b, c, d, e) = (
-        machine.alloc(),
-        machine.alloc(),
-        machine.alloc(),
-        machine.alloc(),
-        machine.alloc(),
-    );
+    let (a, b, c, d, e) =
+        (machine.alloc(), machine.alloc(), machine.alloc(), machine.alloc(), machine.alloc());
     let t1 = machine.alloc();
     let t2 = machine.alloc();
     let f = machine.alloc();

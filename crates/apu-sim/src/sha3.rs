@@ -138,12 +138,7 @@ mod tests {
         apu_sha3_batch(&mut m3, &seeds);
         let mut m1 = ApuMachine::new(ApuConfig::tiny(2), 32);
         crate::sha1::apu_sha1_batch(&mut m1, &seeds);
-        assert!(
-            m3.cycles() > m1.cycles(),
-            "SHA-3 {} vs SHA-1 {}",
-            m3.cycles(),
-            m1.cycles()
-        );
+        assert!(m3.cycles() > m1.cycles(), "SHA-3 {} vs SHA-1 {}", m3.cycles(), m1.cycles());
     }
 
     #[test]

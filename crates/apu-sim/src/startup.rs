@@ -109,7 +109,9 @@ fn run(
                 }
                 let max_pos: Vec<usize> = batch
                     .iter()
-                    .map(|p| Positions::from_mask(p).as_slice().last().map(|&x| x as usize).unwrap_or(0))
+                    .map(|p| {
+                        Positions::from_mask(p).as_slice().last().map(|&x| x as usize).unwrap_or(0)
+                    })
                     .collect();
                 // The loaded prefixes cost one DMA transfer.
                 machine.charge(width as u64);
@@ -122,18 +124,19 @@ fn run(
                     for (p, &mp) in batch.iter().zip(max_pos.iter()) {
                         let valid = i > mp;
                         any_valid |= valid;
-                        seeds.push(if valid { *s_init ^ *p ^ U256::ZERO.set_bit(i) } else { U256::ZERO });
+                        seeds.push(if valid {
+                            *s_init ^ *p ^ U256::ZERO.set_bit(i)
+                        } else {
+                            U256::ZERO
+                        });
                     }
                     if !any_valid {
                         continue; // whole wave would be idle
                     }
                     let matches = hash_wave(&mut machine, &seeds);
                     waves += 1;
-                    hashes += batch
-                        .iter()
-                        .zip(max_pos.iter())
-                        .filter(|(_, &mp)| i > mp)
-                        .count() as u64;
+                    hashes +=
+                        batch.iter().zip(max_pos.iter()).filter(|(_, &mp)| i > mp).count() as u64;
                     for (lane, m) in matches.iter().enumerate() {
                         if *m && lane < batch.len() && i > max_pos[lane] {
                             d_found = Some(seeds[lane]);

@@ -15,9 +15,7 @@ fn bench_complexity(c: &mut Criterion) {
         b.iter(|| black_box(exhaustive_seeds(black_box(5))))
     });
 
-    g.bench_function("average_seeds_d5", |b| {
-        b.iter(|| black_box(average_seeds(black_box(5))))
-    });
+    g.bench_function("average_seeds_d5", |b| b.iter(|| black_box(average_seeds(black_box(5)))));
 
     g.bench_function("lex_unrank_d5", |b| {
         let mut rank = 0u128;

@@ -14,7 +14,7 @@ fn bench_per_candidate(c: &mut Criterion) {
     g.throughput(Throughput::Elements(1));
 
     let mut seed = U256::from_limbs([0xAA, 0xBB, 0xCC, 0xDD]);
-    let mut next = move || {
+    let next = move || {
         seed = seed.wrapping_add(&U256::ONE);
         seed
     };

@@ -17,9 +17,12 @@ use rand::{Rng, SeedableRng};
 
 use rbc_accel::{
     platform_a, platform_b, ApuHash, ApuTimingModel, CpuHash, CpuModel, GpuDeviceModel, GpuHash,
-    GpuKernelConfig, PowerModel,
+    GpuKernelConfig, MeasuredRate, PowerModel,
 };
-use rbc_bench::{fmt_count, fmt_rate, fmt_secs, measure_derive_rate, measure_iter_rate, TextTable};
+use rbc_bench::{
+    fmt_count, fmt_rate, fmt_secs, lane_table, measure_derive_rate, measure_derive_rate_batched,
+    measure_hash_lane_rates, measure_iter_rate, write_hash_lane_json, TextTable,
+};
 use rbc_bits::U256;
 use rbc_comb::{average_seeds, exhaustive_seeds, seeds_at_distance, SeedIterKind};
 use rbc_core::derive::{CipherDerive, HashDerive, PqcDerive};
@@ -71,6 +74,7 @@ fn main() {
                 fig4();
                 table7(&opts);
                 ablations(&opts);
+                hash_lanes(&opts);
                 cpu_scaling();
                 future();
                 security();
@@ -85,6 +89,7 @@ fn main() {
             "fig4" => fig4(),
             "table7" => table7(&opts),
             "ablations" => ablations(&opts),
+            "hash-lanes" => hash_lanes(&opts),
             "cpu-scaling" => cpu_scaling(),
             "future" => future(),
             "security" => security(),
@@ -98,7 +103,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|cpu-scaling|future|security|extensions|verify] [--quick] [--trials N] [--full-cpu]"
+        "usage: repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|hash-lanes|cpu-scaling|future|security|extensions|verify] [--quick] [--trials N] [--full-cpu]"
     );
     std::process::exit(2)
 }
@@ -236,23 +241,36 @@ fn table5(opts: &Opts) {
 
     // Local ground truth: measured single-thread rates on this host,
     // extrapolated to PlatformA's 64 cores with §4.3's efficiency curve.
+    // The batched rate — interleaved lanes + prefix prescreen, the engine's
+    // deployed hot loop — drives the extrapolation; the scalar rate is
+    // shown for the lane-speedup context.
     let n = if opts.quick { 50_000 } else { 400_000 };
-    let r1 = measure_derive_rate(&HashDerive(Sha1Fixed), n);
-    let r3 = measure_derive_rate(&HashDerive(Sha3Fixed), n);
-    let local = CpuModel::from_single_thread("this host → 64 cores", 64, r1, r3);
+    let sha1 = MeasuredRate {
+        scalar: measure_derive_rate(&HashDerive(Sha1Fixed), n),
+        batched: measure_derive_rate_batched(&HashDerive(Sha1Fixed), n, 64),
+    };
+    let sha3 = MeasuredRate {
+        scalar: measure_derive_rate(&HashDerive(Sha3Fixed), n),
+        batched: measure_derive_rate_batched(&HashDerive(Sha3Fixed), n, 64),
+    };
+    let local = CpuModel::from_measured("this host → 64 cores", 64, sha1, sha3);
     let mut t2 = TextTable::new(
-        "Table 5 appendix: CPU search times from THIS host's measured rates (1 thread, extrapolated to 64 cores)",
-        &["Hash", "measured 1T rate", "extrap. 64T exhaustive (s)", "PlatformA paper (s)"],
+        "Table 5 appendix: CPU search times from THIS host's measured batched rates (1 thread, extrapolated to 64 cores)",
+        &["Hash", "scalar 1T", "batched 1T", "lanes", "extrap. 64T exhaustive (s)", "PlatformA paper (s)"],
     );
     t2.row(&[
         "SHA-1".into(),
-        fmt_rate(r1),
+        fmt_rate(sha1.scalar),
+        fmt_rate(sha1.batched),
+        format!("{:.2}x", sha1.lane_speedup()),
         format!("{:.2}", local.search_seconds(CpuHash::Sha1, exhaustive_seeds(5))),
         "12.09".into(),
     ]);
     t2.row(&[
         "SHA-3".into(),
-        fmt_rate(r3),
+        fmt_rate(sha3.scalar),
+        fmt_rate(sha3.batched),
+        format!("{:.2}x", sha3.lane_speedup()),
         format!("{:.2}", local.search_seconds(CpuHash::Sha3, exhaustive_seeds(5))),
         "60.68".into(),
     ]);
@@ -272,7 +290,11 @@ fn full_cpu_run() {
     let target = Sha3Fixed.digest_seed(&client);
     let engine = SearchEngine::new(
         HashDerive(Sha3Fixed),
-        EngineConfig { mode: SearchMode::Exhaustive, iter: SeedIterKind::Gosper, ..Default::default() },
+        EngineConfig {
+            mode: SearchMode::Exhaustive,
+            iter: SeedIterKind::Gosper,
+            ..Default::default()
+        },
     );
     let start = Instant::now();
     let report = engine.search(&target, &base, 4);
@@ -354,7 +376,10 @@ fn fig4() {
         let cfg = GpuKernelConfig::paper_best(hash);
         let t1 = dev.multi_gpu_time(&cfg, seeds, 1, early);
         let row: Vec<String> = std::iter::once(name.to_string())
-            .chain((1..=3u32).map(|g| format!("{:.2}x", t1 / dev.multi_gpu_time(&cfg, seeds, g, early))))
+            .chain(
+                (1..=3u32)
+                    .map(|g| format!("{:.2}x", t1 / dev.multi_gpu_time(&cfg, seeds, g, early))),
+            )
             .collect();
         t.row(&row);
     }
@@ -457,10 +482,18 @@ fn ablations(opts: &Opts) {
     for (name, hash) in [("SHA-1", GpuHash::Sha1), ("SHA-3", GpuHash::Sha3)] {
         let shared = dev.search_time(&GpuKernelConfig::paper_best(hash), &profile);
         let global = dev.search_time(
-            &GpuKernelConfig { mem: rbc_gpu_sim::MemSpace::Global, ..GpuKernelConfig::paper_best(hash) },
+            &GpuKernelConfig {
+                mem: rbc_gpu_sim::MemSpace::Global,
+                ..GpuKernelConfig::paper_best(hash)
+            },
             &profile,
         );
-        t2.row(&[name.into(), format!("{shared:.2}"), format!("{global:.2}"), format!("{:.2}x", global / shared)]);
+        t2.row(&[
+            name.into(),
+            format!("{shared:.2}"),
+            format!("{global:.2}"),
+            format!("{:.2}x", global / shared),
+        ]);
     }
     t2.print();
 
@@ -470,24 +503,71 @@ fn ablations(opts: &Opts) {
     let client = base.random_at_distance(2, &mut rng);
     let target = Sha3Fixed.digest_seed(&client);
     let mut t3 = TextTable::new(
-        "Ablation §4.4: early-exit check interval (measured, SHA-3 d=2 average-case search on this host)",
-        &["interval", "search time", "seeds"],
+        "Ablation §4.4: early-exit poll granularity (measured, SHA-3 d=2 average-case search on this host)",
+        &["batch", "search time", "seeds"],
     );
-    for interval in [1u32, 4, 16, 64] {
+    // The batched engine polls the exit flag once per batch, so the batch
+    // size subsumes the paper's check_interval sweep (effective interval =
+    // max(check_interval, batch)); batch=1 is the scalar engine.
+    for batch in [1usize, 16, 64, 256] {
         let engine = SearchEngine::new(
             HashDerive(Sha3Fixed),
-            EngineConfig { check_interval: interval, ..Default::default() },
+            EngineConfig { check_interval: 1, batch, ..Default::default() },
         );
         let report = engine.search(&target, &base, 2);
         assert!(matches!(report.outcome, Outcome::Found { .. }));
         t3.row(&[
-            interval.to_string(),
+            batch.to_string(),
             fmt_secs(report.elapsed.as_secs_f64()),
             report.seeds_derived.to_string(),
         ]);
     }
     t3.print();
-    println!("(paper finding: interval 1..64 has no measurable effect — flag loads are cached)");
+    println!(
+        "(paper finding: poll granularity 1..64 has no measurable effect — flag loads are cached)"
+    );
+}
+
+/// §3.2.2 extension: interleaved multi-lane hashing and the batched
+/// engine hot path — scalar vs x4/x8 (SHA-1) and x2/x4 (SHA-3) kernels,
+/// plus end-to-end batched derivation rates. Writes
+/// `BENCH_hash_lanes.json`.
+fn hash_lanes(opts: &Opts) {
+    let n = if opts.quick { 300_000 } else { 2_000_000 };
+    let rows = measure_hash_lane_rates(n);
+    lane_table(&rows).print();
+    match write_hash_lane_json("BENCH_hash_lanes.json", &rows) {
+        Ok(()) => println!("wrote BENCH_hash_lanes.json"),
+        Err(e) => eprintln!("could not write BENCH_hash_lanes.json: {e}"),
+    }
+
+    // End-to-end batched derivation (mask refill + XOR + prefix64 batch)
+    // vs the scalar per-candidate loop — what the engine workers run.
+    let m = if opts.quick { 50_000 } else { 400_000 };
+    let mut t = TextTable::new(
+        "Batched engine hot path: seeds/s, 1 thread (mask refill + XOR + prescreen)",
+        &["Hash", "scalar derive", "batched (batch=64)", "speedup"],
+    );
+    for (name, scalar, batched) in [
+        (
+            "SHA-1",
+            measure_derive_rate(&HashDerive(Sha1Fixed), m),
+            measure_derive_rate_batched(&HashDerive(Sha1Fixed), m, 64),
+        ),
+        (
+            "SHA-3",
+            measure_derive_rate(&HashDerive(Sha3Fixed), m),
+            measure_derive_rate_batched(&HashDerive(Sha3Fixed), m, 64),
+        ),
+    ] {
+        t.row(&[
+            name.into(),
+            fmt_rate(scalar),
+            fmt_rate(batched),
+            format!("{:.2}x", batched / scalar),
+        ]);
+    }
+    t.print();
 }
 
 /// §4.3: CPU parallel-efficiency curve.
@@ -533,9 +613,11 @@ fn future() {
     ] {
         let t1 = apu.multi_apu_seconds(hash, &prof, 1, early);
         let row: Vec<String> = std::iter::once(name.to_string())
-            .chain([1u32, 2, 4, 8].iter().map(|&g| {
-                format!("{:.2}x", t1 / apu.multi_apu_seconds(hash, &prof, g, early))
-            }))
+            .chain(
+                [1u32, 2, 4, 8]
+                    .iter()
+                    .map(|&g| format!("{:.2}x", t1 / apu.multi_apu_seconds(hash, &prof, g, early))),
+            )
             .collect();
         t.row(&row);
     }
@@ -588,12 +670,8 @@ fn security() {
     let secret = U256::random(&mut rng);
     let digest = Sha3Fixed.digest_seed(&secret);
 
-    let outcome = rbc_core::attack::brute_force_attack(
-        &HashDerive(Sha3Fixed),
-        &digest,
-        200_000,
-        &mut rng,
-    );
+    let outcome =
+        rbc_core::attack::brute_force_attack(&HashDerive(Sha3Fixed), &digest, 200_000, &mut rng);
     println!("blind opponent, 200k-hash budget: {outcome:?}");
 
     let leak = secret.random_at_distance(2, &mut rng);
@@ -642,10 +720,8 @@ fn extensions(opts: &Opts) {
     let image = enroll(&device, 0, &EnrollmentConfig::default(), &mut rng).expect("enroll");
     let order = ReliabilityOrder::from_image(&image);
 
-    let engine = SearchEngine::new(
-        HashDerive(Sha3Fixed),
-        EngineConfig { threads: 1, ..Default::default() },
-    );
+    let engine =
+        SearchEngine::new(HashDerive(Sha3Fixed), EngineConfig { threads: 1, ..Default::default() });
     let trials = opts.trials.min(25);
     let (mut w_sum, mut u_sum, mut n) = (0u64, 0u64, 0u32);
     for _ in 0..trials {
@@ -654,14 +730,9 @@ fn extensions(opts: &Opts) {
             continue;
         }
         let target = Sha3Fixed.digest_seed(&readout);
-        if let WeightedOutcome::Found { candidates, .. } = weighted_search(
-            &HashDerive(Sha3Fixed),
-            &target,
-            &image.reference,
-            &order,
-            3,
-            5_000_000,
-        ) {
+        if let WeightedOutcome::Found { candidates, .. } =
+            weighted_search(&HashDerive(Sha3Fixed), &target, &image.reference, &order, 3, 5_000_000)
+        {
             w_sum += candidates;
             u_sum += engine.search(&target, &image.reference, 3).seeds_derived;
             n += 1;
@@ -698,14 +769,9 @@ fn extensions(opts: &Opts) {
             }
         };
         let target = Sha3Fixed.digest_seed(&client);
-        if let WeightedOutcome::Found { candidates, .. } = weighted_search(
-            &HashDerive(Sha3Fixed),
-            &target,
-            &base,
-            &order,
-            2,
-            1_000_000,
-        ) {
+        if let WeightedOutcome::Found { candidates, .. } =
+            weighted_search(&HashDerive(Sha3Fixed), &target, &base, &order, 2, 1_000_000)
+        {
             w_sum += candidates;
             u_sum += engine.search(&target, &base, 2).seeds_derived;
         }
@@ -759,8 +825,7 @@ fn verify(opts: &Opts) {
             hash: rbc_apu_sim::ApuHash::Sha3,
             batch: 32,
         };
-        let apu_out =
-            rbc_apu_sim::apu_salted_search(&apu_cfg, &target, &base, max_d, true).found;
+        let apu_out = rbc_apu_sim::apu_salted_search(&apu_cfg, &target, &base, max_d, true).found;
 
         let consistent = cpu_out == gpu_out && gpu_out == apu_out;
         if consistent {

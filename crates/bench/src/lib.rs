@@ -14,8 +14,9 @@
 use std::time::Instant;
 
 use rbc_bits::U256;
-use rbc_comb::{Alg515Stream, ChaseStream, GosperStream, SeedIterKind};
+use rbc_comb::{Alg515Stream, ChaseStream, GosperStream, MaskStream, SeedIterKind};
 use rbc_core::derive::Derive;
+use rbc_hash::{lanes, sha1::sha1_fixed32, sha3::sha3_256_fixed32};
 
 /// A plain-text table with aligned columns, in the style of the paper's.
 pub struct TextTable {
@@ -138,6 +139,185 @@ pub fn measure_derive_rate<D: Derive>(derive: &D, count: u64) -> f64 {
     done as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Measures the single-thread **batched** derivation rate in seeds/second:
+/// the inner loop of the batched salted search — refill a mask batch,
+/// XOR into candidate seeds, push the batch through the derivation's
+/// prescreen path (64-bit prefixes for hash derivations) or, when the
+/// derivation has no truncated path, through `derive_batch`.
+///
+/// This is the rate the deployed engine actually sustains per thread, and
+/// what the Table 5 / §4.3 CPU extrapolations calibrate against.
+pub fn measure_derive_rate_batched<D: Derive>(derive: &D, count: u64, batch: usize) -> f64 {
+    let base = U256::from_limbs([0x1234, 0x5678, 0x9abc, 0xdef0]);
+    let batch = batch.max(1);
+    let mut stream = MaskStream::Gosper(GosperStream::new(3));
+    let mut masks = vec![U256::ZERO; batch];
+    let mut seeds: Vec<U256> = Vec::with_capacity(batch);
+    let mut prefixes: Vec<u64> = Vec::with_capacity(batch);
+    let mut outs: Vec<D::Out> = Vec::with_capacity(batch);
+    let use_prefix = derive.prefix64(&derive.derive(&base)).is_some();
+    let start = Instant::now();
+    let mut done = 0u64;
+    while done < count {
+        let n = stream.next_batch(&mut masks);
+        if n == 0 {
+            stream = MaskStream::Gosper(GosperStream::new(3));
+            continue;
+        }
+        seeds.clear();
+        seeds.extend(masks[..n].iter().map(|m| base ^ *m));
+        if use_prefix {
+            derive.prefix64_batch(&seeds, &mut prefixes);
+            std::hint::black_box(&prefixes);
+        } else {
+            derive.derive_batch(&seeds, &mut outs);
+            std::hint::black_box(&outs);
+        }
+        done += n as u64;
+    }
+    done as f64 / start.elapsed().as_secs_f64()
+}
+
+/// One row of the scalar-vs-interleaved-lanes hash comparison.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct LaneMeasurement {
+    /// Hash name ("SHA-1" / "SHA-3").
+    pub hash: String,
+    /// Code path ("scalar", "x4", "x8", "prefix64 x8", ...).
+    pub path: String,
+    /// Throughput in hashes/second (single thread).
+    pub rate: f64,
+    /// Speedup over the same hash's scalar fixed-input path.
+    pub speedup: f64,
+}
+
+/// Times `calls` invocations of `f`, each hashing `per_call` seeds.
+fn lane_rate(count: u64, per_call: u64, mut f: impl FnMut()) -> f64 {
+    let calls = (count / per_call.max(1)).max(1);
+    // Brief warmup so the first timed call doesn't pay cold caches.
+    for _ in 0..calls.div_ceil(10).min(50) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..calls {
+        f();
+    }
+    (calls * per_call) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Measures single-thread scalar vs multi-lane fixed-32-byte hashing
+/// rates — the `BENCH_hash_lanes.json` payload and the
+/// `benches/batch_lanes.rs` / `repro hash-lanes` table. `count` is the
+/// approximate number of hashes per measurement.
+pub fn measure_hash_lane_rates(count: u64) -> Vec<LaneMeasurement> {
+    // Structure-free distinct inputs, reused by every path.
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let seeds: Vec<U256> =
+        (0..4096).map(|_| U256::from_limbs([next(), next(), next(), next()])).collect();
+    let n = seeds.len() as u64;
+
+    let mut rows = Vec::new();
+    let mut push = |hash: &str, path: &str, rate: f64, scalar: f64| {
+        rows.push(LaneMeasurement {
+            hash: hash.into(),
+            path: path.into(),
+            rate,
+            speedup: rate / scalar,
+        });
+    };
+
+    let s1 = lane_rate(count, n, || {
+        for s in &seeds {
+            std::hint::black_box(sha1_fixed32(std::hint::black_box(s)));
+        }
+    });
+    push("SHA-1", "scalar", s1, s1);
+    let r = lane_rate(count, n, || {
+        for c in seeds.chunks_exact(4) {
+            std::hint::black_box(lanes::sha1_fixed32_x4(c.try_into().expect("chunk of 4")));
+        }
+    });
+    push("SHA-1", "x4", r, s1);
+    let r = lane_rate(count, n, || {
+        for c in seeds.chunks_exact(8) {
+            std::hint::black_box(lanes::sha1_fixed32_x8(c.try_into().expect("chunk of 8")));
+        }
+    });
+    push("SHA-1", "x8", r, s1);
+    let r = lane_rate(count, n, || {
+        for c in seeds.chunks_exact(8) {
+            std::hint::black_box(lanes::sha1_fixed32_prefix64_x8(
+                c.try_into().expect("chunk of 8"),
+            ));
+        }
+    });
+    push("SHA-1", "prefix64 x8", r, s1);
+
+    let s3 = lane_rate(count, n, || {
+        for s in &seeds {
+            std::hint::black_box(sha3_256_fixed32(std::hint::black_box(s)));
+        }
+    });
+    push("SHA-3", "scalar", s3, s3);
+    let r = lane_rate(count, n, || {
+        for c in seeds.chunks_exact(2) {
+            std::hint::black_box(lanes::sha3_256_fixed32_x2(c.try_into().expect("chunk of 2")));
+        }
+    });
+    push("SHA-3", "x2", r, s3);
+    let r = lane_rate(count, n, || {
+        for c in seeds.chunks_exact(4) {
+            std::hint::black_box(lanes::sha3_256_fixed32_x4(c.try_into().expect("chunk of 4")));
+        }
+    });
+    push("SHA-3", "x4", r, s3);
+    let r = lane_rate(count, n, || {
+        for c in seeds.chunks_exact(4) {
+            std::hint::black_box(lanes::sha3_256_fixed32_prefix64_x4(
+                c.try_into().expect("chunk of 4"),
+            ));
+        }
+    });
+    push("SHA-3", "prefix64 x4", r, s3);
+
+    rows
+}
+
+/// Renders lane measurements as a [`TextTable`].
+pub fn lane_table(rows: &[LaneMeasurement]) -> TextTable {
+    let mut t = TextTable::new(
+        "Interleaved lanes: fixed-32-byte hashing, single thread",
+        &["Hash", "Path", "rate", "vs scalar"],
+    );
+    for r in rows {
+        t.row(&[r.hash.clone(), r.path.clone(), fmt_rate(r.rate), format!("{:.2}x", r.speedup)]);
+    }
+    t
+}
+
+/// Writes lane measurements to `path` as the `BENCH_hash_lanes.json`
+/// artifact: `{"bench": "hash_lanes", "unit": "hashes/sec", "results":
+/// [{hash, path, rate, speedup}, ...]}`.
+pub fn write_hash_lane_json(path: &str, rows: &[LaneMeasurement]) -> std::io::Result<()> {
+    let results = serde_json::to_value(&rows.to_vec())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let doc = serde_json::Value::Object(vec![
+        ("bench".to_string(), serde_json::Value::Str("hash_lanes".to_string())),
+        ("unit".to_string(), serde_json::Value::Str("hashes/sec".to_string())),
+        ("results".to_string(), results),
+    ]);
+    let text = serde_json::to_string(&doc)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, text)
+}
+
 /// Measures mask-generation-only rate (masks/second, single thread) for a
 /// seed iterator at distance `d` over `count` masks — the Table 4 raw
 /// ingredient.
@@ -230,9 +410,6 @@ mod tests {
         // Chase's successor beats per-index unranking.
         let chase = measure_iter_rate(SeedIterKind::Chase, 3, 200_000);
         let alg515 = measure_iter_rate(SeedIterKind::Alg515, 3, 200_000);
-        assert!(
-            chase > alg515,
-            "chase {chase} should outpace alg515 {alg515}"
-        );
+        assert!(chase > alg515, "chase {chase} should outpace alg515 {alg515}");
     }
 }

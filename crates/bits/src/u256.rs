@@ -47,9 +47,7 @@ impl U256 {
     /// Constructs a value from a `u128` (upper 128 bits zero).
     #[inline]
     pub const fn from_u128(v: u128) -> Self {
-        U256 {
-            limbs: [v as u64, (v >> 64) as u64, 0, 0],
-        }
+        U256 { limbs: [v as u64, (v >> 64) as u64, 0, 0] }
     }
 
     /// Truncates to the low 64 bits.
@@ -239,10 +237,10 @@ impl U256 {
     pub fn wrapping_add(&self, rhs: &U256) -> U256 {
         let mut out = [0u64; 4];
         let mut carry = false;
-        for i in 0..4 {
+        for (i, o) in out.iter_mut().enumerate() {
             let (s1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
             let (s2, c2) = s1.overflowing_add(carry as u64);
-            out[i] = s2;
+            *o = s2;
             carry = c1 | c2;
         }
         U256 { limbs: out }
@@ -254,10 +252,10 @@ impl U256 {
     pub fn wrapping_sub(&self, rhs: &U256) -> U256 {
         let mut out = [0u64; 4];
         let mut borrow = false;
-        for i in 0..4 {
+        for (i, o) in out.iter_mut().enumerate() {
             let (s1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
             let (s2, b2) = s1.overflowing_sub(borrow as u64);
-            out[i] = s2;
+            *o = s2;
             borrow = b1 | b2;
         }
         U256 { limbs: out }
@@ -312,11 +310,11 @@ impl U256 {
         let limb_shift = (n / 64) as usize;
         let bit_shift = n % 64;
         let mut out = [0u64; 4];
-        for i in 0..4 - limb_shift {
+        for (i, o) in out.iter_mut().enumerate().take(4 - limb_shift) {
             let src = i + limb_shift;
-            out[i] = self.limbs[src] >> bit_shift;
+            *o = self.limbs[src] >> bit_shift;
             if bit_shift > 0 && src < 3 {
-                out[i] |= self.limbs[src + 1] << (64 - bit_shift);
+                *o |= self.limbs[src + 1] << (64 - bit_shift);
             }
         }
         U256 { limbs: out }
@@ -359,9 +357,7 @@ impl U256 {
 
     /// Samples a uniformly random value using `rng`.
     pub fn random<R: rand::Rng + ?Sized>(rng: &mut R) -> Self {
-        U256 {
-            limbs: [rng.gen(), rng.gen(), rng.gen(), rng.gen()],
-        }
+        U256 { limbs: [rng.gen(), rng.gen(), rng.gen(), rng.gen()] }
     }
 
     /// Samples a random value at exactly Hamming distance `d` from `self`.
@@ -463,9 +459,7 @@ impl Not for U256 {
     type Output = U256;
     #[inline]
     fn not(self) -> U256 {
-        U256 {
-            limbs: [!self.limbs[0], !self.limbs[1], !self.limbs[2], !self.limbs[3]],
-        }
+        U256 { limbs: [!self.limbs[0], !self.limbs[1], !self.limbs[2], !self.limbs[3]] }
     }
 }
 
@@ -540,10 +534,7 @@ impl Iterator for SetBits {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let n = self.limbs[self.limb_idx..]
-            .iter()
-            .map(|l| l.count_ones() as usize)
-            .sum();
+        let n = self.limbs[self.limb_idx..].iter().map(|l| l.count_ones() as usize).sum();
         (n, Some(n))
     }
 }
@@ -594,10 +585,7 @@ mod tests {
     #[test]
     fn hex_errors() {
         assert!(matches!(U256::from_hex(""), Err(ParseU256Error::Length(0))));
-        assert!(matches!(
-            U256::from_hex(&"a".repeat(65)),
-            Err(ParseU256Error::Length(65))
-        ));
+        assert!(matches!(U256::from_hex(&"a".repeat(65)), Err(ParseU256Error::Length(65))));
         assert!(matches!(U256::from_hex("zz"), Err(ParseU256Error::Digit('z'))));
     }
 
@@ -644,10 +632,7 @@ mod tests {
     #[test]
     fn checked_add_detects_overflow() {
         assert_eq!(U256::MAX.checked_add(&U256::ONE), None);
-        assert_eq!(
-            U256::from_u64(1).checked_add(&U256::from_u64(2)),
-            Some(U256::from_u64(3))
-        );
+        assert_eq!(U256::from_u64(1).checked_add(&U256::from_u64(2)), Some(U256::from_u64(3)));
     }
 
     #[test]

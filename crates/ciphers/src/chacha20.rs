@@ -23,12 +23,17 @@ pub fn chacha20_block(key: &[u8; 32], counter: u32, nonce: &[u8; 12]) -> [u8; 64
     let mut state = [0u32; 16];
     state[..4].copy_from_slice(&SIGMA);
     for i in 0..8 {
-        state[4 + i] = u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        state[4 + i] =
+            u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
     }
     state[12] = counter;
     for i in 0..3 {
-        state[13 + i] =
-            u32::from_le_bytes([nonce[4 * i], nonce[4 * i + 1], nonce[4 * i + 2], nonce[4 * i + 3]]);
+        state[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
     }
 
     let mut working = state;
@@ -69,9 +74,7 @@ mod tests {
     use super::*;
 
     fn from_hex(s: &str) -> Vec<u8> {
-        (0..s.len() / 2)
-            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap())
-            .collect()
+        (0..s.len() / 2).map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap()).collect()
     }
 
     #[test]
@@ -102,10 +105,7 @@ mod tests {
 only one tip for the future, sunscreen would be it."
             .to_vec();
         chacha20_xor(&key, 1, &nonce, &mut data);
-        assert_eq!(
-            &data[..16],
-            &from_hex("6e2e359a2568f98041ba0728dd0d6981")[..]
-        );
+        assert_eq!(&data[..16], &from_hex("6e2e359a2568f98041ba0728dd0d6981")[..]);
         // Round-trip.
         chacha20_xor(&key, 1, &nonce, &mut data);
         assert!(data.starts_with(b"Ladies and Gentlemen"));

@@ -88,7 +88,8 @@ impl SeedCipher for SpeckResponse {
     #[inline]
     fn derive(&self, seed: &U256) -> (u64, u64) {
         let l = seed.limbs();
-        Speck128_256::new(l[3], l[2], l[1], l[0]).encrypt(0x5242_432d_5341_4c54, 0x4544_2d53_5045_434b)
+        Speck128_256::new(l[3], l[2], l[1], l[0])
+            .encrypt(0x5242_432d_5341_4c54, 0x4544_2d53_5045_434b)
     }
 }
 

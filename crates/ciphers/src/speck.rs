@@ -91,10 +91,8 @@ impl Speck128_256 {
 
     /// Expands a 32-byte key, little-endian word order.
     pub fn from_bytes(key: &[u8; 32]) -> Self {
-        let w: Vec<u64> = key
-            .chunks(8)
-            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
-            .collect();
+        let w: Vec<u64> =
+            key.chunks(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())).collect();
         Self::new(w[3], w[2], w[1], w[0])
     }
 
@@ -128,10 +126,7 @@ mod tests {
         let (x, y) = cipher.encrypt(0x6c61766975716520, 0x7469206564616d20);
         assert_eq!(x, 0xa65d985179783265);
         assert_eq!(y, 0x7860fedf5c570d18);
-        assert_eq!(
-            cipher.decrypt(x, y),
-            (0x6c61766975716520, 0x7469206564616d20)
-        );
+        assert_eq!(cipher.decrypt(x, y), (0x6c61766975716520, 0x7469206564616d20));
     }
 
     #[test]
@@ -148,10 +143,7 @@ mod tests {
         let (x, y) = cipher.encrypt(0x65736f6874206e49, 0x202e72656e6f6f70);
         assert_eq!(x, 0x4109010405c0f53e);
         assert_eq!(y, 0x4eeeb48d9c188f43);
-        assert_eq!(
-            cipher.decrypt(x, y),
-            (0x65736f6874206e49, 0x202e72656e6f6f70)
-        );
+        assert_eq!(cipher.decrypt(x, y), (0x65736f6874206e49, 0x202e72656e6f6f70));
     }
 
     #[test]

@@ -42,8 +42,9 @@ impl ChaseState {
         let n_i = n as i32;
         let mut p = vec![0i32; n_us + 2];
         p[0] = n_i + 1;
-        for i in (n_us - m as usize + 1)..=n_us {
-            p[i] = i as i32 + m_i - n_i;
+        let start = n_us - m as usize + 1;
+        for (i, pi) in p.iter_mut().enumerate().take(n_us + 1).skip(start) {
+            *pi = i as i32 + m_i - n_i;
         }
         p[n_us + 1] = -2;
         if m == 0 {
@@ -145,10 +146,7 @@ pub struct ChaseStream {
 impl ChaseStream {
     /// Streams the entire sequence of weight-`d` masks over 256 positions.
     pub fn new_full(d: u32) -> Self {
-        ChaseStream {
-            state: ChaseState::new(256, d as u16),
-            remaining: binomial(256, d),
-        }
+        ChaseStream { state: ChaseState::new(256, d as u16), remaining: binomial(256, d) }
     }
 
     /// Resumes from a snapshot, limited to `count` masks.

@@ -28,9 +28,11 @@ pub mod gosper;
 pub mod rank;
 
 pub use alg515::Alg515Stream;
-pub use classic::{Alg154, RevolvingDoor};
-pub use binomial::{average_seeds, binomial, binomial_checked, exhaustive_seeds, seeds_at_distance};
+pub use binomial::{
+    average_seeds, binomial, binomial_checked, exhaustive_seeds, seeds_at_distance,
+};
 pub use chase::{ChaseState, ChaseStream, ChaseTable};
+pub use classic::{Alg154, RevolvingDoor};
 pub use gosper::{gosper_next, GosperStream};
 pub use rank::{colex_rank, colex_unrank, lex_rank, lex_unrank, Positions};
 
@@ -49,7 +51,8 @@ pub enum SeedIterKind {
 
 impl SeedIterKind {
     /// All methods in the paper's Table 4 order.
-    pub const ALL: [SeedIterKind; 3] = [SeedIterKind::Chase, SeedIterKind::Alg515, SeedIterKind::Gosper];
+    pub const ALL: [SeedIterKind; 3] =
+        [SeedIterKind::Chase, SeedIterKind::Alg515, SeedIterKind::Gosper];
 
     /// Name as used in the paper's tables.
     pub fn name(self) -> &'static str {
@@ -91,6 +94,37 @@ impl MaskStream {
         }
     }
 
+    /// Fills `out` from the front with the next masks and returns how many
+    /// were written; fewer than `out.len()` only when the range is
+    /// exhausted (then 0 forever after).
+    ///
+    /// This is the batch engines' refill: the enum variant is matched once
+    /// per call, so the per-mask cost inside the loop is the concrete
+    /// stream's successor step with no dynamic dispatch.
+    #[inline]
+    pub fn next_batch(&mut self, out: &mut [U256]) -> usize {
+        macro_rules! fill {
+            ($s:expr) => {{
+                let mut n = 0;
+                while n < out.len() {
+                    match $s.next_mask() {
+                        Some(m) => {
+                            out[n] = m;
+                            n += 1;
+                        }
+                        None => break,
+                    }
+                }
+                n
+            }};
+        }
+        match self {
+            MaskStream::Gosper(s) => fill!(s),
+            MaskStream::Alg515(s) => fill!(s),
+            MaskStream::Chase(s) => fill!(s),
+        }
+    }
+
     /// Number of masks left.
     pub fn remaining(&self) -> u128 {
         match self {
@@ -115,9 +149,7 @@ impl Iterator for MaskStream {
 pub fn partition(total: u128, parts: usize) -> Vec<core::ops::Range<u128>> {
     assert!(parts > 0, "need at least one part");
     let p = parts as u128;
-    (0..p)
-        .map(|i| (total * i / p)..(total * (i + 1) / p))
-        .collect()
+    (0..p).map(|i| (total * i / p)..(total * (i + 1) / p)).collect()
 }
 
 /// Plans one stream per worker over the weight-`d` space using iteration
@@ -146,9 +178,7 @@ pub fn plan_streams(kind: SeedIterKind, d: u32, workers: usize) -> Vec<MaskStrea
 
 /// Plans one Chase stream per worker from a prebuilt snapshot table.
 pub fn plan_streams_with_table(table: &ChaseTable) -> Vec<MaskStream> {
-    (0..table.workers())
-        .map(|w| MaskStream::Chase(table.stream(w)))
-        .collect()
+    (0..table.workers()).map(|w| MaskStream::Chase(table.stream(w))).collect()
 }
 
 #[cfg(test)]
@@ -205,6 +235,31 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(SeedIterKind::Chase.name(), "Alg. 382 (Chase)");
         assert_eq!(format!("{}", SeedIterKind::Gosper), "Gosper (prior work)");
+    }
+
+    #[test]
+    fn next_batch_matches_next_mask_sequence() {
+        for kind in SeedIterKind::ALL {
+            // d=2 over 3 workers: uneven ranges exercise partial batches.
+            let scalar: Vec<Vec<U256>> =
+                plan_streams(kind, 2, 3).into_iter().map(|s| s.collect()).collect();
+            for batch_size in [1usize, 7, 64, 40000] {
+                for (w, mut stream) in plan_streams(kind, 2, 3).into_iter().enumerate() {
+                    let mut got = Vec::new();
+                    let mut buf = vec![U256::ZERO; batch_size];
+                    loop {
+                        let n = stream.next_batch(&mut buf);
+                        got.extend_from_slice(&buf[..n]);
+                        if n < batch_size {
+                            break;
+                        }
+                    }
+                    assert_eq!(got, scalar[w], "{kind}, batch={batch_size}, worker {w}");
+                    // Exhausted streams keep returning empty batches.
+                    assert_eq!(stream.next_batch(&mut buf), 0, "{kind}");
+                }
+            }
+        }
     }
 
     #[test]

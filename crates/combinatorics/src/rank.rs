@@ -138,11 +138,7 @@ pub fn colex_unrank(k: u32, mut rank: u128) -> Positions {
 
 /// Inverse of [`colex_unrank`].
 pub fn colex_rank(pos: &Positions) -> u128 {
-    pos.as_slice()
-        .iter()
-        .enumerate()
-        .map(|(i, &c)| binomial(c as u32, i as u32 + 1))
-        .sum()
+    pos.as_slice().iter().enumerate().map(|(i, &c)| binomial(c as u32, i as u32 + 1)).sum()
 }
 
 #[cfg(test)]

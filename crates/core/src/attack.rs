@@ -69,10 +69,9 @@ pub fn informed_attack<D: Derive>(
     );
     let report = engine.search(intercepted, leaked_center, max_d);
     match report.outcome {
-        crate::engine::Outcome::Found { seed, .. } => AttackOutcome::Broken {
-            seed,
-            attempts: report.seeds_derived,
-        },
+        crate::engine::Outcome::Found { seed, .. } => {
+            AttackOutcome::Broken { seed, attempts: report.seeds_derived }
+        }
         _ => AttackOutcome::Exhausted { attempts: report.seeds_derived },
     }
 }
@@ -107,8 +106,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(666);
         let secret = U256::random(&mut rng);
         let digest = Sha3Fixed.digest_seed(&secret);
-        let outcome =
-            brute_force_attack(&HashDerive(Sha3Fixed), &digest, 50_000, &mut rng);
+        let outcome = brute_force_attack(&HashDerive(Sha3Fixed), &digest, 50_000, &mut rng);
         assert_eq!(outcome, AttackOutcome::Exhausted { attempts: 50_000 });
     }
 

@@ -192,10 +192,8 @@ impl<P: PqcKeyGen> CertificateAuthority<P> {
     /// Handles a hello: opens a session and issues the challenge, using
     /// the client's current address cursor (advanced on timeouts).
     pub fn begin(&mut self, hello: &HelloMsg) -> Result<ChallengeMsg, CaError> {
-        let records = self
-            .store
-            .get_all(hello.client_id)
-            .ok_or(CaError::UnknownClient(hello.client_id))?;
+        let records =
+            self.store.get_all(hello.client_id).ok_or(CaError::UnknownClient(hello.client_id))?;
         let cursor = *self.address_cursor.get(&hello.client_id).unwrap_or(&0);
         let index = cursor % records.len();
         let record = &records[index];
@@ -214,10 +212,8 @@ impl<P: PqcKeyGen> CertificateAuthority<P> {
     /// verdict. On acceptance the salted seed feeds one keygen and the RA
     /// is updated (protocol steps 7–9).
     pub fn complete(&mut self, msg: &DigestMsg) -> Result<VerdictMsg, CaError> {
-        let (client_id, index) = self
-            .sessions
-            .remove(&msg.session)
-            .ok_or(CaError::UnknownSession(msg.session))?;
+        let (client_id, index) =
+            self.sessions.remove(&msg.session).ok_or(CaError::UnknownSession(msg.session))?;
         if client_id != msg.client_id {
             return Err(CaError::UnknownSession(msg.session));
         }
@@ -391,10 +387,7 @@ mod tests {
     #[test]
     fn unknown_client_and_session_are_rejected() {
         let mut ca = CertificateAuthority::new([5u8; 32], LightSaber, small_cfg());
-        assert_eq!(
-            ca.begin(&HelloMsg { client_id: 99 }),
-            Err(CaError::UnknownClient(99))
-        );
+        assert_eq!(ca.begin(&HelloMsg { client_id: 99 }), Err(CaError::UnknownClient(99)));
         let msg = DigestMsg {
             client_id: 1,
             session: 12345,
@@ -452,7 +445,11 @@ mod tests {
         let mut ca2 = CertificateAuthority::new(
             [8u8; 32],
             LightSaber,
-            CaConfig { max_d: 2, engine: EngineConfig { threads: 2, ..Default::default() }, ..Default::default() },
+            CaConfig {
+                max_d: 2,
+                engine: EngineConfig { threads: 2, ..Default::default() },
+                ..Default::default()
+            },
         );
         ca2.enroll_client(8, client.device(), 0, &mut rng).unwrap();
         ca2.enroll_additional_address(8, client.device(), 2048, &mut rng).unwrap();

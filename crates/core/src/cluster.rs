@@ -244,13 +244,8 @@ mod tests {
     fn cluster_finds_planted_seed() {
         let base = U256::from_limbs([1, 2, 3, 4]);
         let (client, target) = target_for(&base, &[17, 170]);
-        let report = cluster_search(
-            &HashDerive(Sha3Fixed),
-            &target,
-            &base,
-            2,
-            &ClusterConfig::default(),
-        );
+        let report =
+            cluster_search(&HashDerive(Sha3Fixed), &target, &base, 2, &ClusterConfig::default());
         assert_eq!(report.found, Some((client, 2)));
     }
 
@@ -258,13 +253,8 @@ mod tests {
     fn cluster_rejects_out_of_range() {
         let base = U256::from_u64(9);
         let (_, target) = target_for(&base, &[1, 2, 3]);
-        let report = cluster_search(
-            &HashDerive(Sha3Fixed),
-            &target,
-            &base,
-            2,
-            &ClusterConfig::default(),
-        );
+        let report =
+            cluster_search(&HashDerive(Sha3Fixed), &target, &base, 2, &ClusterConfig::default());
         assert_eq!(report.found, None);
         // Full enumeration: every node exhausted its slices.
         assert_eq!(report.seeds, 1 + 256 + 32_640);
@@ -296,13 +286,8 @@ mod tests {
     fn distance_zero_skips_node_work() {
         let base = U256::from_u64(77);
         let target = Sha3Fixed.digest_seed(&base);
-        let report = cluster_search(
-            &HashDerive(Sha3Fixed),
-            &target,
-            &base,
-            3,
-            &ClusterConfig::default(),
-        );
+        let report =
+            cluster_search(&HashDerive(Sha3Fixed), &target, &base, 3, &ClusterConfig::default());
         assert_eq!(report.found, Some((base, 0)));
         assert_eq!(report.seeds, 1);
         // Only shutdown messages.

@@ -25,6 +25,43 @@ pub trait Derive: Clone + Send + Sync + 'static {
     /// Derives the response for one candidate seed — the hot operation of
     /// the whole system.
     fn derive(&self, seed: &U256) -> Self::Out;
+
+    /// Derives a batch of candidates, clearing and refilling `out` so
+    /// `out[i] == derive(&seeds[i])`.
+    ///
+    /// The default loops [`Derive::derive`], so algorithm-aware engines
+    /// (cipher / PQC keygen) work unchanged; hash derivations override with
+    /// interleaved multi-lane kernels.
+    fn derive_batch(&self, seeds: &[U256], out: &mut Vec<Self::Out>) {
+        out.clear();
+        out.extend(seeds.iter().map(|s| self.derive(s)));
+    }
+
+    /// 64-bit prescreen key of a response (its first 8 bytes, read
+    /// little-endian), or `None` when this derivation has no cheap
+    /// truncated path.
+    ///
+    /// When `Some`, batch engines compare each candidate's
+    /// [`Derive::prefix64_batch`] key against the target's key and pay for
+    /// a full derivation + compare only on prefix hits. A prefix collision
+    /// without digest equality occurs with probability 2⁻⁶⁴ per candidate
+    /// and is resolved by that full compare, so results are identical to
+    /// the full-compare path.
+    #[inline]
+    fn prefix64(&self, _out: &Self::Out) -> Option<u64> {
+        None
+    }
+
+    /// 64-bit prescreen keys for a batch of seeds, clearing and refilling
+    /// `out`. Only called by engines when [`Derive::prefix64`] returned
+    /// `Some` for the target; the default derives fully and truncates.
+    fn prefix64_batch(&self, seeds: &[U256], out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(seeds.iter().map(|s| {
+            self.prefix64(&self.derive(s))
+                .expect("prefix64_batch called on a derivation without prefix support")
+        }));
+    }
 }
 
 /// RBC-SALTED derivation: hash the seed. Wraps any [`SeedHash`].
@@ -41,6 +78,19 @@ impl<H: SeedHash> Derive for HashDerive<H> {
     #[inline]
     fn derive(&self, seed: &U256) -> H::Digest {
         self.0.digest_seed(seed)
+    }
+
+    fn derive_batch(&self, seeds: &[U256], out: &mut Vec<H::Digest>) {
+        self.0.digest_batch(seeds, out);
+    }
+
+    #[inline]
+    fn prefix64(&self, out: &H::Digest) -> Option<u64> {
+        Some(H::prefix64_of(out))
+    }
+
+    fn prefix64_batch(&self, seeds: &[U256], out: &mut Vec<u64>) {
+        self.0.prefix64_batch(seeds, out);
     }
 }
 
@@ -109,5 +159,37 @@ mod tests {
         let seed = U256::from_u64(7);
         assert_eq!(PqcDerive(LightSaber).derive(&seed), LightSaber.response(&seed));
         assert_eq!(PqcDerive(LightSaber).name(), "LightSABER");
+    }
+
+    #[test]
+    fn derive_batch_matches_scalar_for_all_derivations() {
+        let seeds: Vec<U256> = (0..13u64).map(|i| U256::from_u64(i * 97 + 1)).collect();
+        fn check<D: Derive>(d: D, seeds: &[U256]) {
+            let mut out = Vec::new();
+            d.derive_batch(seeds, &mut out);
+            let want: Vec<_> = seeds.iter().map(|s| d.derive(s)).collect();
+            assert_eq!(out, want, "{}", d.name());
+        }
+        check(HashDerive(Sha1Fixed), &seeds);
+        check(HashDerive(Sha3Fixed), &seeds);
+        check(CipherDerive(AesResponse), &seeds);
+        check(PqcDerive(LightSaber), &seeds);
+    }
+
+    #[test]
+    fn hash_prefix64_is_digest_head_and_ciphers_opt_out() {
+        let seed = U256::from_u64(11);
+        let h = HashDerive(Sha3Fixed);
+        let digest = h.derive(&seed);
+        let mut first = [0u8; 8];
+        first.copy_from_slice(&digest[..8]);
+        assert_eq!(h.prefix64(&digest), Some(u64::from_le_bytes(first)));
+
+        let mut prefixes = Vec::new();
+        h.prefix64_batch(&[seed], &mut prefixes);
+        assert_eq!(prefixes, vec![u64::from_le_bytes(first)]);
+
+        let c = CipherDerive(AesResponse);
+        assert_eq!(c.prefix64(&c.derive(&seed)), None);
     }
 }

@@ -9,12 +9,26 @@
 //! distances are searched in increasing order so the minimal-distance match
 //! is found first.
 //!
+//! **The hot path is batched**: each worker refills a mask buffer
+//! ([`MaskStream::next_batch`], one dynamic dispatch per refill), XORs the
+//! batch into candidate seeds, and pushes them through the derivation's
+//! batch entry points — for hash derivations these are the multi-lane
+//! interleaved kernels of `rbc_hash::lanes`. Hash targets are additionally
+//! **prescreened**: candidates are first compared on the 64-bit digest
+//! prefix ([`crate::derive::Derive::prefix64_batch`]) and only prefix hits
+//! (p = 2⁻⁶⁴ per non-matching candidate) pay for a full derivation and
+//! compare, so accept/reject decisions are bit-identical to the
+//! full-compare engine. [`EngineConfig::batch`] = 1 recovers the scalar
+//! engine.
+//!
 //! **Early exit** uses a shared [`AtomicU8`] flag: `Relaxed` loads in the
 //! hot loop (the flag is a monotonic latch, no data is published through
 //! it), a `Release` store when a thread finds the seed, and an `Acquire`
 //! re-check by the coordinator. The found seed itself travels through a
-//! mutex, not the flag. The flag-poll cadence is configurable
-//! ([`EngineConfig::check_interval`]) to reproduce the §4.4 ablation.
+//! mutex, not the flag. Flag and deadline polls are paid once per batch,
+//! not per candidate; the poll cadence in seeds remains configurable
+//! ([`EngineConfig::check_interval`]) to reproduce the §4.4 ablation,
+//! with an effective interval of `max(check_interval, batch)`.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -46,8 +60,16 @@ pub struct EngineConfig {
     /// Termination policy.
     pub mode: SearchMode,
     /// Seeds derived between early-exit flag polls (§4.4: the paper swept
-    /// 1..64 and found no impact; default 1).
+    /// 1..64 and found no impact; default 1). Polls happen at batch
+    /// boundaries, so the effective interval is
+    /// `max(check_interval, batch)` — the batch refill subsumes the §4.4
+    /// sweep, which is why the sweep found no impact.
     pub check_interval: u32,
+    /// Candidates per batch refill: masks are streamed, derived and
+    /// prescreened `batch` at a time so the multi-lane hash kernels stay
+    /// full and the stop-flag/deadline polls are paid once per batch.
+    /// 1 reproduces the pre-batching scalar engine; default 64.
+    pub batch: usize,
     /// Authentication time threshold `T` (the paper uses 20 s). `None`
     /// disables the timeout.
     pub deadline: Option<Duration>,
@@ -60,6 +82,7 @@ impl Default for EngineConfig {
             iter: SeedIterKind::Chase,
             mode: SearchMode::EarlyExit,
             check_interval: 1,
+            batch: 64,
             deadline: None,
         }
     }
@@ -216,6 +239,10 @@ impl<D: Derive> SearchEngine<D> {
         let found: Mutex<Option<(U256, u32)>> = Mutex::new(None);
         let total_seeds = AtomicU64::new(0);
         let mut per_distance = Vec::with_capacity(max_d as usize + 1);
+        // Computed once per search: the target's prescreen key, if the
+        // derivation has a truncated path (hash engines do; cipher/PQC
+        // engines return None and take full-compare batches).
+        let target_prefix = self.derive.prefix64(target);
 
         // Distance 0: thread r = 0 checks S_init itself (Algorithm 1,
         // lines 4–8).
@@ -255,37 +282,80 @@ impl<D: Derive> SearchEngine<D> {
                     let found = &found;
                     let d_seeds = &d_seeds;
                     let check_interval = self.cfg.check_interval.max(1);
+                    let batch = self.cfg.batch.max(1);
                     let early = self.cfg.mode == SearchMode::EarlyExit;
                     scope.spawn(move || {
+                        // Per-thread buffers, reused across refills.
+                        let mut masks = vec![U256::ZERO; batch];
+                        let mut seeds: Vec<U256> = Vec::with_capacity(batch);
+                        let mut outs: Vec<D::Out> = Vec::with_capacity(batch);
+                        let mut prefixes: Vec<u64> = Vec::with_capacity(batch);
                         let mut local = 0u64;
                         let mut since_check = 0u32;
-                        while let Some(mask) = stream.next_mask() {
-                            let seed = *s_init ^ mask;
-                            local += 1;
-                            if derive.derive(&seed) == *target {
-                                // First writer wins; later distances never
-                                // get here before earlier ones finish.
+                        'refill: loop {
+                            let n = stream.next_batch(&mut masks);
+                            if n == 0 {
+                                break;
+                            }
+                            seeds.clear();
+                            seeds.extend(masks[..n].iter().map(|m| *s_init ^ *m));
+                            local += n as u64;
+
+                            // Record a hit; within a thread the first match
+                            // in stream order wins, across threads the
+                            // first writer wins (later distances never get
+                            // here before earlier ones finish).
+                            let mut hit = false;
+                            let mut record = |seed: U256| {
                                 let mut slot = found.lock();
                                 if slot.is_none() {
                                     *slot = Some((seed, d));
                                 }
                                 drop(slot);
                                 flag.store(FOUND, Ordering::Release);
-                                if early {
-                                    break;
+                                hit = true;
+                            };
+
+                            if let Some(tp) = target_prefix {
+                                // Prescreen: compare 8-byte prefixes, then
+                                // confirm the (rare) hits with a full
+                                // derivation — identical accept/reject
+                                // decisions to the full-compare path.
+                                derive.prefix64_batch(&seeds, &mut prefixes);
+                                for (i, &p) in prefixes.iter().enumerate() {
+                                    if p == tp && derive.derive(&seeds[i]) == *target {
+                                        record(seeds[i]);
+                                        if early {
+                                            break;
+                                        }
+                                    }
+                                }
+                            } else {
+                                derive.derive_batch(&seeds, &mut outs);
+                                for (i, o) in outs.iter().enumerate() {
+                                    if *o == *target {
+                                        record(seeds[i]);
+                                        if early {
+                                            break;
+                                        }
+                                    }
                                 }
                             }
-                            since_check += 1;
+                            if hit && early {
+                                break;
+                            }
+
+                            since_check += n as u32;
                             if since_check >= check_interval {
                                 since_check = 0;
                                 let f = flag.load(Ordering::Relaxed);
                                 if (f == FOUND && early) || f == EXPIRED {
-                                    break;
+                                    break 'refill;
                                 }
                                 if let Some(dl) = deadline {
                                     if Instant::now() >= dl {
                                         flag.store(EXPIRED, Ordering::Release);
-                                        break;
+                                        break 'refill;
                                     }
                                 }
                             }
@@ -431,11 +501,7 @@ mod tests {
         for interval in [1u32, 8, 64] {
             let eng = SearchEngine::new(
                 HashDerive(Sha3Fixed),
-                EngineConfig {
-                    threads: 4,
-                    check_interval: interval,
-                    ..Default::default()
-                },
+                EngineConfig { threads: 4, check_interval: interval, ..Default::default() },
             );
             let report = eng.search(&target, &base, 2);
             assert_eq!(report.outcome, Outcome::Found { seed: client, distance: 2 });
@@ -499,6 +565,50 @@ mod tests {
             assert_eq!(report.outcome, Outcome::Found { seed: client, distance: 2 }, "p={threads}");
             assert_eq!(report.threads, threads);
         }
+    }
+
+    #[test]
+    fn batch_sizes_agree_with_scalar_engine() {
+        // batch = 1 is the pre-batching scalar engine; every batch size
+        // must produce the same outcome, and in exhaustive mode the same
+        // per-distance counts.
+        let base = U256::from_limbs([21, 22, 23, 24]);
+        let client = seed_at(&base, &[3, 177]);
+        let target = Sha3Fixed.digest_seed(&client);
+        for mode in [SearchMode::EarlyExit, SearchMode::Exhaustive] {
+            for batch in [1usize, 7, 64, 1024] {
+                let eng = SearchEngine::new(
+                    HashDerive(Sha3Fixed),
+                    EngineConfig { threads: 4, batch, mode, ..Default::default() },
+                );
+                let report = eng.search(&target, &base, 2);
+                assert_eq!(
+                    report.outcome,
+                    Outcome::Found { seed: client, distance: 2 },
+                    "mode {mode:?}, batch {batch}"
+                );
+                if mode == SearchMode::Exhaustive {
+                    assert_eq!(report.seeds_derived, 1 + 256 + 32_640, "batch {batch}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_compare_path_without_prefix_support() {
+        // CipherDerive has no prefix64 path: the engine must take the
+        // derive_batch full-compare branch and still find the seed.
+        use crate::derive::CipherDerive;
+        use rbc_ciphers::{AesResponse, SeedCipher};
+        let base = U256::from_u64(31);
+        let client = seed_at(&base, &[40]);
+        let target = SeedCipher::derive(&AesResponse, &client);
+        let eng = SearchEngine::new(
+            CipherDerive(AesResponse),
+            EngineConfig { threads: 2, batch: 16, ..Default::default() },
+        );
+        let report = eng.search(&target, &base, 1);
+        assert_eq!(report.outcome, Outcome::Found { seed: client, distance: 1 });
     }
 
     #[test]

@@ -106,7 +106,11 @@ impl<D: PufDevice> Client<D> {
     /// Panics if the challenge does not address exactly 256 cells — a
     /// malformed challenge is a protocol violation, not a recoverable
     /// condition for the client.
-    pub fn respond<R: rand::Rng + ?Sized>(&self, challenge: &ChallengeMsg, rng: &mut R) -> DigestMsg {
+    pub fn respond<R: rand::Rng + ?Sized>(
+        &self,
+        challenge: &ChallengeMsg,
+        rng: &mut R,
+    ) -> DigestMsg {
         assert_eq!(challenge.cells.len(), 256, "challenge must address 256 cells");
         let mut stream = U256::ZERO;
         for (i, &cell) in challenge.cells.iter().enumerate() {

@@ -91,10 +91,7 @@ impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> CmpOrdering {
         // Min-heap by cost (BinaryHeap is a max-heap, so reverse), with
         // the subset as an arbitrary deterministic tiebreak.
-        other
-            .cost
-            .total_cmp(&self.cost)
-            .then_with(|| other.subset.cmp(&self.subset))
+        other.cost.total_cmp(&self.cost).then_with(|| other.subset.cmp(&self.subset))
     }
 }
 impl PartialOrd for Candidate {
@@ -112,11 +109,7 @@ pub struct WeightedMasks<'a> {
 
 impl WeightedMasks<'_> {
     fn mask_of(&self, subset: &[u16]) -> U256 {
-        U256::from_set_bits(
-            subset
-                .iter()
-                .map(|&slot| self.order.positions[slot as usize] as usize),
-        )
+        U256::from_set_bits(subset.iter().map(|&slot| self.order.positions[slot as usize] as usize))
     }
 }
 
@@ -280,10 +273,11 @@ mod tests {
         let client = base.flip_bit(60).flip_bit(240);
         let target = Sha3Fixed.digest_seed(&client);
 
-        let weighted = match weighted_search(&HashDerive(Sha3Fixed), &target, &base, &order, 2, 100_000) {
-            WeightedOutcome::Found { candidates, .. } => candidates,
-            other => panic!("{other:?}"),
-        };
+        let weighted =
+            match weighted_search(&HashDerive(Sha3Fixed), &target, &base, &order, 2, 100_000) {
+                WeightedOutcome::Found { candidates, .. } => candidates,
+                other => panic!("{other:?}"),
+            };
         // Uniform baseline: position of the pair in the d-ordered sweep.
         let uniform = {
             let engine = crate::engine::SearchEngine::new(
@@ -292,10 +286,7 @@ mod tests {
             );
             engine.search(&target, &base, 2).seeds_derived
         };
-        assert!(
-            weighted * 100 < uniform,
-            "weighted {weighted} should crush uniform {uniform}"
-        );
+        assert!(weighted * 100 < uniform, "weighted {weighted} should crush uniform {uniform}");
     }
 
     #[test]

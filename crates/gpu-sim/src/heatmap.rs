@@ -59,11 +59,7 @@ impl Heatmap {
 
     /// The fastest cell.
     pub fn best(&self) -> HeatmapCell {
-        *self
-            .cells
-            .iter()
-            .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
-            .expect("non-empty grid")
+        *self.cells.iter().min_by(|a, b| a.seconds.total_cmp(&b.seconds)).expect("non-empty grid")
     }
 
     /// Cell at (`n`, `b`), if present in the grid.
@@ -73,10 +69,7 @@ impl Heatmap {
 
     /// The paper's Figure 3 axes.
     pub fn paper_axes() -> (Vec<u64>, Vec<u32>) {
-        (
-            vec![1, 10, 50, 100, 500, 1000, 10_000, 100_000],
-            vec![32, 64, 128, 256, 512, 1024],
-        )
+        (vec![1, 10, 50, 100, 500, 1000, 10_000, 100_000], vec![32, 64, 128, 256, 512, 1024])
     }
 }
 

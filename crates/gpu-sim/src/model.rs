@@ -211,7 +211,8 @@ impl GpuDeviceModel {
         let n = cfg.params.seeds_per_thread.max(1) as f64;
         let threads = (seeds_f / n).ceil();
 
-        let mut rate = self.base_rate(cfg.hash) * self.occupancy(cfg.params.block_size)
+        let mut rate = self.base_rate(cfg.hash)
+            * self.occupancy(cfg.params.block_size)
             * self.saturation(threads);
         match cfg.mem {
             MemSpace::Shared => {}
@@ -247,9 +248,15 @@ impl GpuDeviceModel {
     /// devices: the space splits evenly; coordination overhead grows with
     /// device count and is steeper when the early-exit flag must be
     /// mirrored across devices through unified memory.
-    pub fn multi_gpu_time(&self, cfg: &GpuKernelConfig, seeds: u128, gpus: u32, early_exit: bool) -> f64 {
+    pub fn multi_gpu_time(
+        &self,
+        cfg: &GpuKernelConfig,
+        seeds: u128,
+        gpus: u32,
+        early_exit: bool,
+    ) -> f64 {
         assert!(gpus >= 1, "need at least one GPU");
-        let per_gpu = seeds / gpus as u128 + u128::from(seeds % gpus as u128 != 0);
+        let per_gpu = seeds / gpus as u128 + u128::from(!seeds.is_multiple_of(gpus as u128));
         let base = self.kernel_time(cfg, per_gpu);
         let per_extra = if early_exit {
             self.multi_gpu_overhead_early
@@ -281,10 +288,7 @@ mod tests {
     #[test]
     fn table4_iterator_ordering_reproduced() {
         let dev = GpuDeviceModel::a100();
-        let mk = |iter| GpuKernelConfig {
-            iter,
-            ..GpuKernelConfig::paper_best(GpuHash::Sha3)
-        };
+        let mk = |iter| GpuKernelConfig { iter, ..GpuKernelConfig::paper_best(GpuHash::Sha3) };
         let chase = dev.search_time(&mk(SeedIterKind::Chase), &d5_profile());
         let alg515 = dev.search_time(&mk(SeedIterKind::Alg515), &d5_profile());
         let gosper = dev.search_time(&mk(SeedIterKind::Gosper), &d5_profile());
@@ -331,11 +335,10 @@ mod tests {
         let dev = GpuDeviceModel::a100();
         let base = GpuKernelConfig::paper_best(GpuHash::Sha1);
         let t_best = dev.search_time(&base, &d5_profile());
-        let t_generic = dev.search_time(
-            &GpuKernelConfig { fixed_padding: false, ..base },
-            &d5_profile(),
-        );
-        let t_global = dev.search_time(&GpuKernelConfig { mem: MemSpace::Global, ..base }, &d5_profile());
+        let t_generic =
+            dev.search_time(&GpuKernelConfig { fixed_padding: false, ..base }, &d5_profile());
+        let t_global =
+            dev.search_time(&GpuKernelConfig { mem: MemSpace::Global, ..base }, &d5_profile());
         assert!((t_generic / t_best - 1.03).abs() < 0.01, "padding factor");
         assert!((t_global / t_best - 1.20).abs() < 0.02, "shared-memory factor (SHA-1)");
 
@@ -370,7 +373,8 @@ mod tests {
         let cfg = GpuKernelConfig::paper_best(GpuHash::Sha1);
         let seeds = exhaustive_seeds(5);
         for g in 1..=8u32 {
-            let s = dev.multi_gpu_time(&cfg, seeds, 1, false) / dev.multi_gpu_time(&cfg, seeds, g, false);
+            let s = dev.multi_gpu_time(&cfg, seeds, 1, false)
+                / dev.multi_gpu_time(&cfg, seeds, g, false);
             assert!(s <= g as f64 + 1e-9, "G={g} speedup {s}");
         }
     }

@@ -26,6 +26,7 @@
 
 pub mod hmac;
 pub mod keccak;
+pub mod lanes;
 pub mod sha1;
 pub mod sha2;
 pub mod sha3;
@@ -50,6 +51,75 @@ pub trait SeedHash: Clone + Send + Sync + 'static {
 
     /// Hashes a 256-bit seed (canonically serialized little-endian).
     fn digest_seed(&self, seed: &U256) -> Self::Digest;
+
+    /// The 64-bit prefix of a digest: its first 8 bytes read little-endian.
+    ///
+    /// Search engines compare candidate prefixes against the target's
+    /// prefix before paying for a full-digest compare; two digests are
+    /// equal only if their prefixes are (the converse fails with
+    /// probability 2⁻⁶⁴ per candidate and is resolved by the full compare).
+    fn prefix64_of(d: &Self::Digest) -> u64;
+
+    /// 64-bit digest prefix of one seed.
+    ///
+    /// Default hashes fully and truncates; implementations with a
+    /// truncated finalization (no digest-byte materialization) override.
+    #[inline]
+    fn digest_prefix64(&self, seed: &U256) -> u64 {
+        Self::prefix64_of(&self.digest_seed(seed))
+    }
+
+    /// Hashes a batch of seeds, clearing and refilling `out` so
+    /// `out[i] == digest_seed(&seeds[i])`.
+    ///
+    /// Default loops the scalar path; multi-lane implementations override
+    /// with interleaved kernels (see [`lanes`]).
+    fn digest_batch(&self, seeds: &[U256], out: &mut Vec<Self::Digest>) {
+        out.clear();
+        out.extend(seeds.iter().map(|s| self.digest_seed(s)));
+    }
+
+    /// 64-bit digest prefixes of a batch of seeds, clearing and refilling
+    /// `out` so `out[i] == digest_prefix64(&seeds[i])`.
+    fn prefix64_batch(&self, seeds: &[U256], out: &mut Vec<u64>) {
+        out.clear();
+        out.extend(seeds.iter().map(|s| self.digest_prefix64(s)));
+    }
+}
+
+/// First 8 bytes of a digest slice as a little-endian `u64` — the shared
+/// [`SeedHash::prefix64_of`] implementation for byte-array digests.
+#[inline]
+fn prefix64_of_bytes(d: &[u8]) -> u64 {
+    let mut first = [0u8; 8];
+    first.copy_from_slice(&d[..8]);
+    u64::from_le_bytes(first)
+}
+
+/// Drives a batch through a `WIDE`-lane kernel, drains what's left through
+/// the `NARROW` kernel, and finishes the tail with the scalar closure.
+#[inline]
+fn batch_via_lanes<T, const WIDE: usize, const NARROW: usize>(
+    seeds: &[U256],
+    out: &mut Vec<T>,
+    wide: impl Fn(&[U256; WIDE]) -> [T; WIDE],
+    narrow: impl Fn(&[U256; NARROW]) -> [T; NARROW],
+    scalar: impl Fn(&U256) -> T,
+) {
+    out.clear();
+    out.reserve(seeds.len());
+    let mut rest = seeds;
+    while rest.len() >= WIDE {
+        let (group, tail) = rest.split_at(WIDE);
+        out.extend(wide(group.try_into().expect("split_at yields WIDE")));
+        rest = tail;
+    }
+    while rest.len() >= NARROW {
+        let (group, tail) = rest.split_at(NARROW);
+        out.extend(narrow(group.try_into().expect("split_at yields NARROW")));
+        rest = tail;
+    }
+    out.extend(rest.iter().map(scalar));
 }
 
 /// SHA-1 with the fixed-32-byte-input fast path. This is the `SHA-1`
@@ -65,6 +135,36 @@ impl SeedHash for Sha1Fixed {
     #[inline]
     fn digest_seed(&self, seed: &U256) -> Self::Digest {
         sha1::sha1_fixed32(seed)
+    }
+
+    #[inline]
+    fn prefix64_of(d: &Self::Digest) -> u64 {
+        prefix64_of_bytes(d)
+    }
+
+    #[inline]
+    fn digest_prefix64(&self, seed: &U256) -> u64 {
+        lanes::sha1_fixed32_prefix64(seed)
+    }
+
+    fn digest_batch(&self, seeds: &[U256], out: &mut Vec<Self::Digest>) {
+        batch_via_lanes(
+            seeds,
+            out,
+            lanes::sha1_fixed32_x8,
+            lanes::sha1_fixed32_x4,
+            sha1::sha1_fixed32,
+        );
+    }
+
+    fn prefix64_batch(&self, seeds: &[U256], out: &mut Vec<u64>) {
+        batch_via_lanes(
+            seeds,
+            out,
+            lanes::sha1_fixed32_prefix64_x8,
+            lanes::sha1_fixed32_prefix64_x4,
+            lanes::sha1_fixed32_prefix64,
+        );
     }
 }
 
@@ -82,6 +182,11 @@ impl SeedHash for Sha1Generic {
     fn digest_seed(&self, seed: &U256) -> Self::Digest {
         sha1::Sha1::digest(&seed.to_le_bytes())
     }
+
+    #[inline]
+    fn prefix64_of(d: &Self::Digest) -> u64 {
+        prefix64_of_bytes(d)
+    }
 }
 
 /// SHA3-256 with the fixed-32-byte-input fast path. This is the `SHA-3`
@@ -97,6 +202,36 @@ impl SeedHash for Sha3Fixed {
     #[inline]
     fn digest_seed(&self, seed: &U256) -> Self::Digest {
         sha3::sha3_256_fixed32(seed)
+    }
+
+    #[inline]
+    fn prefix64_of(d: &Self::Digest) -> u64 {
+        prefix64_of_bytes(d)
+    }
+
+    #[inline]
+    fn digest_prefix64(&self, seed: &U256) -> u64 {
+        lanes::sha3_256_fixed32_prefix64(seed)
+    }
+
+    fn digest_batch(&self, seeds: &[U256], out: &mut Vec<Self::Digest>) {
+        batch_via_lanes(
+            seeds,
+            out,
+            lanes::sha3_256_fixed32_x4,
+            lanes::sha3_256_fixed32_x2,
+            sha3::sha3_256_fixed32,
+        );
+    }
+
+    fn prefix64_batch(&self, seeds: &[U256], out: &mut Vec<u64>) {
+        batch_via_lanes(
+            seeds,
+            out,
+            lanes::sha3_256_fixed32_prefix64_x4,
+            lanes::sha3_256_fixed32_prefix64_x2,
+            lanes::sha3_256_fixed32_prefix64,
+        );
     }
 }
 
@@ -114,6 +249,11 @@ impl SeedHash for Sha3Generic {
     fn digest_seed(&self, seed: &U256) -> Self::Digest {
         sha3::Sha3_256::digest(&seed.to_le_bytes())
     }
+
+    #[inline]
+    fn prefix64_of(d: &Self::Digest) -> u64 {
+        prefix64_of_bytes(d)
+    }
 }
 
 /// SHA-256 with the fixed-input fast path (used by the salting/KDF step;
@@ -129,6 +269,11 @@ impl SeedHash for Sha256Fixed {
     #[inline]
     fn digest_seed(&self, seed: &U256) -> Self::Digest {
         sha2::sha256_fixed32(seed)
+    }
+
+    #[inline]
+    fn prefix64_of(d: &Self::Digest) -> u64 {
+        prefix64_of_bytes(d)
     }
 }
 
@@ -253,9 +398,8 @@ impl<'de> serde::Deserialize<'de> for DynDigest {
         if s.len() % 2 != 0 || s.len() > 128 {
             return Err(D::Error::custom("digest hex must be even length, at most 128 chars"));
         }
-        let bytes: Result<Vec<u8>, _> = (0..s.len() / 2)
-            .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16))
-            .collect();
+        let bytes: Result<Vec<u8>, _> =
+            (0..s.len() / 2).map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16)).collect();
         Ok(DynDigest::from_slice(&bytes.map_err(D::Error::custom)?))
     }
 }
@@ -271,13 +415,58 @@ mod tests {
         assert_eq!(Sha3Fixed.digest_seed(&seed), Sha3Generic.digest_seed(&seed));
     }
 
+    /// Exercises every batch length that hits a different mix of wide
+    /// lane groups, narrow lane groups and scalar tail.
+    #[test]
+    fn batch_paths_match_scalar_at_every_size() {
+        let seeds: Vec<U256> = (0..21u64)
+            .map(|i| U256::from_limbs([i.wrapping_mul(0x9E3779B97F4A7C15), !i, i << 7, i ^ 0xFF]))
+            .collect();
+        let mut digests1 = Vec::new();
+        let mut digests3 = Vec::new();
+        let mut prefixes1 = Vec::new();
+        let mut prefixes3 = Vec::new();
+        for n in 0..=seeds.len() {
+            let s = &seeds[..n];
+            Sha1Fixed.digest_batch(s, &mut digests1);
+            let want1: Vec<_> = s.iter().map(|x| Sha1Fixed.digest_seed(x)).collect();
+            assert_eq!(digests1, want1, "sha1 digests, n={n}");
+            Sha3Fixed.digest_batch(s, &mut digests3);
+            let want3: Vec<_> = s.iter().map(|x| Sha3Fixed.digest_seed(x)).collect();
+            assert_eq!(digests3, want3, "sha3 digests, n={n}");
+            Sha1Fixed.prefix64_batch(s, &mut prefixes1);
+            let wantp1: Vec<_> = s.iter().map(|x| Sha1Fixed.digest_prefix64(x)).collect();
+            assert_eq!(prefixes1, wantp1, "sha1 prefixes, n={n}");
+            Sha3Fixed.prefix64_batch(s, &mut prefixes3);
+            let wantp3: Vec<_> = s.iter().map(|x| Sha3Fixed.digest_prefix64(x)).collect();
+            assert_eq!(prefixes3, wantp3, "sha3 prefixes, n={n}");
+        }
+    }
+
+    #[test]
+    fn prefix64_is_digest_head_for_every_hasher() {
+        fn check<H: SeedHash>(h: H, seed: &U256)
+        where
+            H::Digest: AsRef<[u8]>,
+        {
+            let d = h.digest_seed(seed);
+            let mut first = [0u8; 8];
+            first.copy_from_slice(&d.as_ref()[..8]);
+            assert_eq!(H::prefix64_of(&d), u64::from_le_bytes(first), "{}", H::NAME);
+            assert_eq!(h.digest_prefix64(seed), H::prefix64_of(&d), "{}", H::NAME);
+        }
+        let seed = U256::from_limbs([0x1234, 0x5678, 0x9ABC, 0xDEF0]);
+        check(Sha1Fixed, &seed);
+        check(Sha1Generic, &seed);
+        check(Sha3Fixed, &seed);
+        check(Sha3Generic, &seed);
+        check(Sha256Fixed, &seed);
+    }
+
     #[test]
     fn dyn_digest_agrees_with_static() {
         let seed = U256::from_u64(42);
-        assert_eq!(
-            HashAlgo::Sha1.digest_seed(&seed).as_bytes(),
-            &Sha1Fixed.digest_seed(&seed)[..]
-        );
+        assert_eq!(HashAlgo::Sha1.digest_seed(&seed).as_bytes(), &Sha1Fixed.digest_seed(&seed)[..]);
         assert_eq!(
             HashAlgo::Sha3_256.digest_seed(&seed).as_bytes(),
             &Sha3Fixed.digest_seed(&seed)[..]
@@ -301,11 +490,7 @@ mod tests {
     fn digest_bytes_matches_digest_seed_on_le_serialization() {
         let seed = U256::from_limbs([7, 8, 9, 10]);
         for algo in HashAlgo::ALL {
-            assert_eq!(
-                algo.digest_seed(&seed),
-                algo.digest_bytes(&seed.to_le_bytes()),
-                "{algo}"
-            );
+            assert_eq!(algo.digest_seed(&seed), algo.digest_bytes(&seed.to_le_bytes()), "{algo}");
         }
     }
 

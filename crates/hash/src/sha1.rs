@@ -105,7 +105,12 @@ impl Sha1 {
 fn compress(h: &mut [u32; 5], block: &[u8; 64]) {
     let mut w = [0u32; 80];
     for (i, wi) in w.iter_mut().take(16).enumerate() {
-        *wi = u32::from_be_bytes([block[4 * i], block[4 * i + 1], block[4 * i + 2], block[4 * i + 3]]);
+        *wi = u32::from_be_bytes([
+            block[4 * i],
+            block[4 * i + 1],
+            block[4 * i + 2],
+            block[4 * i + 3],
+        ]);
     }
     schedule_and_rounds(h, &mut w);
 }

@@ -38,7 +38,7 @@ impl<const RATE: usize> Sponge<RATE> {
     fn absorb(&mut self, data: &[u8]) {
         // Fast path: XOR whole lanes when aligned.
         let mut data = data;
-        while self.offset % 8 != 0 && !data.is_empty() {
+        while !self.offset.is_multiple_of(8) && !data.is_empty() {
             self.absorb_byte(data[0]);
             data = &data[1..];
         }

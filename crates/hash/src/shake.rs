@@ -110,10 +110,7 @@ mod tests {
 
     #[test]
     fn shake128_abc() {
-        assert_eq!(
-            hex(&Shake128::xof(b"abc", 16)),
-            "5881092dd818bf5cf8a3ddb793fbcba7"
-        );
+        assert_eq!(hex(&Shake128::xof(b"abc", 16)), "5881092dd818bf5cf8a3ddb793fbcba7");
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! explore other deployments (LAN, same-rack, intercontinental) while
 //! [`LatencyModel::paper_wan`] pins the published constant.
 
-use std::time::Duration;
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
 
 /// Breakdown of one authentication's communication cost.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]

@@ -22,4 +22,7 @@ pub mod lossy;
 
 pub use channel::{duplex, Endpoint, TransportError};
 pub use latency::{CommBreakdown, LatencyModel};
-pub use lossy::{lossy_duplex, LossyEndpoint, ReliableReceiver, ReliableSender, ReliableStats, RpcClient, RpcServer};
+pub use lossy::{
+    lossy_duplex, LossyEndpoint, ReliableReceiver, ReliableSender, ReliableStats, RpcClient,
+    RpcServer,
+};

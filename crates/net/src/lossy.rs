@@ -25,7 +25,11 @@ pub struct LossyEndpoint {
 
 /// Creates a connected lossy pair; `seed` makes drop patterns
 /// reproducible.
-pub fn lossy_duplex(per_frame_latency: Duration, loss: f64, seed: u64) -> (LossyEndpoint, LossyEndpoint) {
+pub fn lossy_duplex(
+    per_frame_latency: Duration,
+    loss: f64,
+    seed: u64,
+) -> (LossyEndpoint, LossyEndpoint) {
     assert!((0.0..1.0).contains(&loss), "loss probability must be in [0, 1)");
     let (a, b) = duplex(per_frame_latency);
     (
@@ -119,7 +123,7 @@ impl ReliableSender {
                     self.stats.delivered += 1;
                     return Ok(());
                 }
-                Ok(_) => continue,  // stale ack; retransmit
+                Ok(_) => continue, // stale ack; retransmit
                 Err(TransportError::Timeout) => continue,
                 Err(e) => return Err(e),
             }
@@ -255,8 +259,13 @@ impl RpcServer {
     }
 
     /// Sends (and caches) the response to request `seq`.
-    pub fn respond<Resp: Serialize>(&mut self, seq: u64, resp: &Resp) -> Result<(), TransportError> {
-        let value = serde_json::to_value(resp).map_err(|e| TransportError::Decode(e.to_string()))?;
+    pub fn respond<Resp: Serialize>(
+        &mut self,
+        seq: u64,
+        resp: &Resp,
+    ) -> Result<(), TransportError> {
+        let value =
+            serde_json::to_value(resp).map_err(|e| TransportError::Decode(e.to_string()))?;
         self.link.send(&Envelope { seq, body: &value })?;
         self.last = Some((seq, value));
         Ok(())

@@ -81,7 +81,8 @@ fn expand_uniform(rho: &[u8; 32], nonce: u16) -> Poly {
                 break;
             }
             // 23-bit candidate, rejected if >= q.
-            let t = (chunk[0] as u32) | ((chunk[1] as u32) << 8) | (((chunk[2] & 0x7f) as u32) << 16);
+            let t =
+                (chunk[0] as u32) | ((chunk[1] as u32) << 8) | (((chunk[2] & 0x7f) as u32) << 16);
             if (t as i64) < Q {
                 p.c[filled] = t as i32;
                 filled += 1;
@@ -263,10 +264,10 @@ mod tests {
             acc = acc.add(&Poly { c: sk.s2[i] });
             t_expect.push(acc);
         }
-        for i in 0..K {
+        for (i, expect) in t_expect.iter().enumerate().take(K) {
             for n in 0..N {
                 let t = (pk.t1[i][n] as i64 * (1 << D) + sk.t0[i][n] as i64).rem_euclid(Q);
-                assert_eq!(t as i32, t_expect[i].c[n], "row {i} coeff {n}");
+                assert_eq!(t as i32, expect.c[n], "row {i} coeff {n}");
             }
         }
     }

@@ -305,10 +305,7 @@ pub fn keygen(seed: &[u8; 32]) -> (KyberPublicKey, KyberSecretKey) {
         t[i] = acc.c;
     }
 
-    (
-        KyberPublicKey { rho, t },
-        KyberSecretKey { s: [s[0].c, s[1].c, s[2].c] },
-    )
+    (KyberPublicKey { rho, t }, KyberSecretKey { s: [s[0].c, s[1].c, s[2].c] })
 }
 
 #[cfg(test)]

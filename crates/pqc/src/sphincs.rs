@@ -152,11 +152,7 @@ fn tree_node(pk_seed: &Hash, level: u32, index: u32, leaves: &[Hash]) -> Hash {
     }
     let left = tree_node(pk_seed, level - 1, 2 * index, leaves);
     let right = tree_node(pk_seed, level - 1, 2 * index + 1, leaves);
-    h_many(
-        pk_seed,
-        Addr { kind: 2, node: index, chain: level as u16, pos: 0 },
-        &[left, right],
-    )
+    h_many(pk_seed, Addr { kind: 2, node: index, chain: level as u16, pos: 0 }, &[left, right])
 }
 
 /// Generates a key pair from a 32-byte seed: 2^H WOTS⁺ leaves, one
@@ -167,9 +163,7 @@ pub fn keygen(seed: &[u8; 32]) -> (SphincsPublicKey, SphincsSecretKey) {
     let sk_seed: Hash = expanded[..HASH_LEN].try_into().expect("sk_seed");
     let pk_seed: Hash = expanded[HASH_LEN..].try_into().expect("pk_seed");
 
-    let leaves: Vec<Hash> = (0..1u32 << H)
-        .map(|i| wots_leaf(&sk_seed, &pk_seed, i))
-        .collect();
+    let leaves: Vec<Hash> = (0..1u32 << H).map(|i| wots_leaf(&sk_seed, &pk_seed, i)).collect();
     let root = tree_node(&pk_seed, H, 0, &leaves);
 
     (SphincsPublicKey { pk_seed, root }, SphincsSecretKey { sk_seed })
@@ -182,9 +176,7 @@ pub fn auth_path(seed: &[u8; 32], leaf_index: u32) -> AuthPath {
     let expanded = Shake256::xof(seed, 2 * HASH_LEN);
     let sk_seed: Hash = expanded[..HASH_LEN].try_into().expect("sk_seed");
     let pk_seed: Hash = expanded[HASH_LEN..].try_into().expect("pk_seed");
-    let leaves: Vec<Hash> = (0..1u32 << H)
-        .map(|i| wots_leaf(&sk_seed, &pk_seed, i))
-        .collect();
+    let leaves: Vec<Hash> = (0..1u32 << H).map(|i| wots_leaf(&sk_seed, &pk_seed, i)).collect();
 
     let mut siblings = Vec::with_capacity(H as usize);
     let mut idx = leaf_index;
@@ -202,7 +194,7 @@ pub fn verify_path(pk: &SphincsPublicKey, leaf: &Hash, path: &AuthPath) -> bool 
     let mut idx = path.leaf_index;
     for (level, sibling) in path.siblings.iter().enumerate() {
         let parent_idx = idx >> 1;
-        let (l, r) = if idx % 2 == 0 { (acc, *sibling) } else { (*sibling, acc) };
+        let (l, r) = if idx.is_multiple_of(2) { (acc, *sibling) } else { (*sibling, acc) };
         acc = h_many(
             &pk.pk_seed,
             Addr { kind: 2, node: parent_idx, chain: (level + 1) as u16, pos: 0 },

@@ -31,9 +31,7 @@ pub trait PufDevice: Send + Sync {
     /// Reads a window of `len` cells starting at `address`, wrapping at the
     /// end of the array.
     fn read_window<R: Rng + ?Sized>(&self, address: usize, len: usize, rng: &mut R) -> Vec<bool> {
-        (0..len)
-            .map(|i| self.read_cell((address + i) % self.num_cells(), rng))
-            .collect()
+        (0..len).map(|i| self.read_cell((address + i) % self.num_cells(), rng)).collect()
     }
 }
 
@@ -52,21 +50,13 @@ impl CellMixture {
     /// SRAM power-up PUF: overwhelmingly stable cells, a few percent
     /// flutter near coin-flip.
     pub fn sram() -> Self {
-        CellMixture {
-            fuzzy_fraction: 0.05,
-            stable_ber: (0.0, 0.01),
-            fuzzy_ber: (0.10, 0.50),
-        }
+        CellMixture { fuzzy_fraction: 0.05, stable_ber: (0.0, 0.01), fuzzy_ber: (0.10, 0.50) }
     }
 
     /// Pre-formed ReRAM PUF (the technology behind the ternary RBC work):
     /// a larger fuzzy tail, which is exactly why TAPKI masking exists.
     pub fn reram() -> Self {
-        CellMixture {
-            fuzzy_fraction: 0.12,
-            stable_ber: (0.0, 0.02),
-            fuzzy_ber: (0.08, 0.50),
-        }
+        CellMixture { fuzzy_fraction: 0.12, stable_ber: (0.0, 0.02), fuzzy_ber: (0.08, 0.50) }
     }
 }
 
@@ -108,9 +98,7 @@ impl ModelPuf {
     /// useful for deterministic protocol tests.
     pub fn noiseless(num_cells: usize, device_seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(device_seed);
-        let cells = (0..num_cells)
-            .map(|_| CellParams::new(rng.gen::<bool>(), 0.0))
-            .collect();
+        let cells = (0..num_cells).map(|_| CellParams::new(rng.gen::<bool>(), 0.0)).collect();
         ModelPuf { cells }
     }
 }

@@ -178,10 +178,7 @@ mod tests {
         for (offset, state) in image.ternary.iter().enumerate() {
             let idx = (image.address + offset) % 4096;
             if !state.is_stable() {
-                assert!(
-                    !image.selected.contains(&(idx as u32)),
-                    "fuzzy cell {idx} selected"
-                );
+                assert!(!image.selected.contains(&(idx as u32)), "fuzzy cell {idx} selected");
             }
         }
     }

@@ -1,0 +1,196 @@
+//! In-tree shim for the `bytes` crate: `Bytes`/`BytesMut` plus the
+//! `Buf`/`BufMut` trait subset this workspace's framing code uses.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+
+/// Read-side cursor trait (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+    /// View of the remaining bytes.
+    fn chunk(&self) -> &[u8];
+    /// Advances the read cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Reads a big-endian `u32` and advances.
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "get_u32: buffer underflow");
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Reads a single byte and advances.
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "get_u8: buffer underflow");
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+}
+
+/// Write-side trait (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+}
+
+/// Cheaply cloneable immutable byte buffer with a read cursor.
+///
+/// Unlike the real crate this is a plain `Vec<u8>` plus position — `Buf`
+/// methods consume from the front, and `len`/`Deref` report what remains.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes { data: src.to_vec(), pos: 0 }
+    }
+
+    /// Remaining (unread) length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True if nothing remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(src: &[u8]) -> Self {
+        Bytes::copy_from_slice(src)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of Bytes");
+        self.pos += cnt;
+    }
+}
+
+/// Growable byte buffer for building frames.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, pos: 0 }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let payload = b"hello";
+        let mut buf = BytesMut::with_capacity(4 + payload.len());
+        buf.put_u32(payload.len() as u32);
+        buf.put_slice(payload);
+        let mut frame = buf.freeze();
+        assert_eq!(frame.len(), 9);
+        let len = frame.get_u32() as usize;
+        assert_eq!(len, 5);
+        assert_eq!(frame.len(), 5);
+        assert_eq!(&frame[..], payload);
+    }
+}

@@ -1,0 +1,197 @@
+//! In-tree shim for `rayon`: genuinely parallel `into_par_iter` over
+//! ranges and vectors, executed on scoped OS threads in contiguous chunks.
+//!
+//! Unlike real rayon there is no work-stealing pool — each parallel sink
+//! splits its items into `available_parallelism` chunks and runs one
+//! scoped thread per chunk. That preserves the property the simulators
+//! rely on (items genuinely run concurrently and observe each other's
+//! atomics) without any unsafe code or a global runtime.
+
+#![forbid(unsafe_code)]
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParMap};
+}
+
+use std::ops::Range;
+
+/// Conversion into a parallel iterator (subset of rayon's trait).
+pub trait IntoParallelIterator {
+    /// Element type produced.
+    type Item: Send;
+    /// Converts `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for Range<u32> {
+    type Item = u32;
+    fn into_par_iter(self) -> ParIter<u32> {
+        ParIter { items: self.collect() }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// A materialised parallel iterator over owned items.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Pairs each item with its index (order preserved).
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    /// Runs `f` on every item, in parallel chunks.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_chunks(self.items, &|item| f(item));
+    }
+
+    /// Lazily maps items; the closure runs in parallel at the sink.
+    pub fn map<U, F>(self, f: F) -> ParMap<T, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParMap { items: self.items, f }
+    }
+
+    /// Sums the items in parallel.
+    pub fn sum<S>(self) -> S
+    where
+        T: Copy,
+        S: std::iter::Sum<T>,
+    {
+        run_chunks(self.items, &|item| item).into_iter().sum()
+    }
+
+    /// Collects the items (already materialised) in order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Deferred parallel map: closure executes when a sink is called.
+pub struct ParMap<T: Send, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, U, F> ParMap<T, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    /// Runs the map in parallel and sums the results.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<U>,
+    {
+        run_chunks(self.items, &self.f).into_iter().sum()
+    }
+
+    /// Runs the map in parallel and collects results in input order.
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        run_chunks(self.items, &self.f).into_iter().collect()
+    }
+
+    /// Runs the map in parallel, discarding results.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(U) + Sync,
+    {
+        let f = self.f;
+        run_chunks(self.items, &|item| g(f(item)));
+    }
+}
+
+/// Executes `f` over `items` on scoped threads, one per contiguous chunk,
+/// returning outputs in input order.
+fn run_chunks<T: Send, U: Send>(items: Vec<T>, f: &(impl Fn(T) -> U + Sync)) -> Vec<U> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let chunk_len = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            match handle.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn range_for_each_counts() {
+        let hits = AtomicU64::new(0);
+        (0u64..1000).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn map_sum_matches_serial() {
+        let total: u64 = (0u64..100).into_par_iter().map(|x| x * x).sum();
+        assert_eq!(total, (0u64..100).map(|x| x * x).sum::<u64>());
+    }
+
+    #[test]
+    fn vec_enumerate_order() {
+        let v = vec![10u32, 20, 30];
+        let pairs: Vec<(usize, u32)> = v.into_par_iter().enumerate().collect();
+        assert_eq!(pairs, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+}

@@ -14,7 +14,9 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rbc_salted::accel::{ApuHash, ApuTimingModel, CpuHash, CpuModel, GpuDeviceModel, GpuKernelConfig};
+use rbc_salted::accel::{
+    ApuHash, ApuTimingModel, CpuHash, CpuModel, GpuDeviceModel, GpuKernelConfig,
+};
 use rbc_salted::apu::{apu_salted_search, target_digest, ApuConfig, ApuSearchConfig};
 use rbc_salted::gpu::{gpu_salted_search, GpuHash};
 use rbc_salted::prelude::*;
@@ -35,7 +37,10 @@ fn main() {
     let cpu_time = t.elapsed();
     let cpu_found = match cpu.outcome {
         Outcome::Found { seed, distance } => {
-            println!("CPU engine   : found at d={distance} after {} hashes in {cpu_time:?}", cpu.seeds_derived);
+            println!(
+                "CPU engine   : found at d={distance} after {} hashes in {cpu_time:?}",
+                cpu.seeds_derived
+            );
             Some((seed, distance))
         }
         other => {
@@ -98,7 +103,10 @@ fn main() {
     let apu_model = ApuTimingModel::gemini();
     let cpu_model = CpuModel::platform_a();
     let rows = [
-        ("GPU 1xA100", gpu_model.search_time(&GpuKernelConfig::paper_best(GpuHash::Sha3), &profile)),
+        (
+            "GPU 1xA100",
+            gpu_model.search_time(&GpuKernelConfig::paper_best(GpuHash::Sha3), &profile),
+        ),
         ("APU Gemini", apu_model.search_seconds(ApuHash::Sha3, &profile)),
         ("CPU 64-core", cpu_model.search_seconds(CpuHash::Sha3, profile.iter().sum())),
     ];

@@ -48,7 +48,7 @@ fn main() {
         ];
         let joules: Vec<f64> = choices.iter().map(|c| c.power.energy_joules(c.search_s)).collect();
         let per_kwh: Vec<f64> = joules.iter().map(|j| 3.6e6 / j).collect();
-        let winner = if joules[0] < joules[1] { "GPU" } else { "APU" };
+        let winner = if joules[0] < joules[1] { choices[0].name } else { choices[1].name };
         println!(
             "{:<4} {:>12.2} {:>12.2} {:>14.0} {:>14.0}   {winner}",
             d, joules[0], joules[1], per_kwh[0], per_kwh[1]
@@ -63,10 +63,7 @@ fn main() {
     let gpu_j = PowerModel::a100_sha1().energy_joules(gpu_s);
     let apu_j = PowerModel::apu_sha1().energy_joules(apu_s);
     println!("  GPU: {gpu_s:.2} s, {gpu_j:.1} J   APU: {apu_s:.2} s, {apu_j:.1} J");
-    println!(
-        "  APU uses {:.1}% of the GPU's energy (paper: 39.2%)",
-        100.0 * apu_j / gpu_j
-    );
+    println!("  APU uses {:.1}% of the GPU's energy (paper: 39.2%)", 100.0 * apu_j / gpu_j);
 
     // Idle economics: a mostly-idle authentication server.
     println!("\nmostly-idle server (1 auth/minute, SHA-3 average d=5):");
@@ -74,7 +71,10 @@ fn main() {
         (
             "GPU",
             PowerModel::a100_sha3(),
-            gpu.search_time(&GpuKernelConfig::paper_best(GpuHash::Sha3), &ApuTimingModel::average_profile(5)),
+            gpu.search_time(
+                &GpuKernelConfig::paper_best(GpuHash::Sha3),
+                &ApuTimingModel::average_profile(5),
+            ),
         ),
         (
             "APU",

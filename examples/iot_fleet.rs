@@ -89,11 +89,7 @@ fn main() {
     println!("distance histogram (accepted): {distance_histogram:?}");
     println!("RA registrations (one-time keys rotated): {}", ca.ra().update_count());
 
-    let mean_seeds: f64 = ca
-        .log()
-        .iter()
-        .map(|r| r.report.seeds_derived as f64)
-        .sum::<f64>()
-        / ca.log().len() as f64;
+    let mean_seeds: f64 =
+        ca.log().iter().map(|r| r.report.seeds_derived as f64).sum::<f64>() / ca.log().len() as f64;
     println!("mean candidate hashes per authentication: {mean_seeds:.0}");
 }

@@ -34,18 +34,12 @@ fn main() {
 
     // 3. Enrollment (secure facility): the CA reads the PUF repeatedly,
     //    masks fuzzy cells per TAPKI, and stores the image + shared salt.
-    let salt = ca
-        .enroll_client(42, client.device(), 128, &mut rng)
-        .expect("enough stable cells");
+    let salt = ca.enroll_client(42, client.device(), 128, &mut rng).expect("enough stable cells");
     println!("enrolled client 42 (salt rotation = {})", salt.rotation);
 
     // 4. Authentication, years later, over an insecure network.
     let challenge = ca.begin(&client.hello()).expect("enrolled");
-    println!(
-        "challenge: read {} cells, hash with {}",
-        challenge.cells.len(),
-        challenge.algo
-    );
+    println!("challenge: read {} cells, hash with {}", challenge.cells.len(), challenge.algo);
 
     let digest = client.respond(&challenge, &mut rng);
     println!("client digest M1 = {}…", &digest.digest.to_hex()[..16]);

@@ -19,18 +19,13 @@ fn main() {
     // 1. What the mask streams look like.
     println!("first 6 weight-3 masks per iterator (as set-bit positions):");
     let show = |name: &str, masks: Vec<U256>| {
-        let rendered: Vec<String> = masks
-            .iter()
-            .map(|m| format!("{:?}", m.set_bits().collect::<Vec<_>>()))
-            .collect();
+        let rendered: Vec<String> =
+            masks.iter().map(|m| format!("{:?}", m.set_bits().collect::<Vec<_>>())).collect();
         println!("  {name:<22} {}", rendered.join("  "));
     };
     show("Gosper (numeric)", GosperStream::new(3).take(6).collect());
     show("Chase (Gray code)", ChaseStream::new_full(3).take(6).collect());
-    show(
-        "Alg. 515 (lexicographic)",
-        rbc_salted::comb::Alg515Stream::new(3).take(6).collect(),
-    );
+    show("Alg. 515 (lexicographic)", rbc_salted::comb::Alg515Stream::new(3).take(6).collect());
 
     // 2. Chase's minimal-change property, visibly.
     let mut chase = ChaseStream::new_full(3);

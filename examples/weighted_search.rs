@@ -25,24 +25,16 @@ fn main() {
     let image = enroll(&device, 0, &EnrollmentConfig::default(), &mut rng).expect("enroll");
     let order = ReliabilityOrder::from_image(&image);
 
-    let hot = image
-        .error_estimates
-        .iter()
-        .filter(|&&p| p > 0.03)
-        .count();
-    println!(
-        "enrolled: 256 selected cells, {hot} with estimated error rate > 3%\n"
-    );
+    let hot = image.error_estimates.iter().filter(|&&p| p > 0.03).count();
+    println!("enrolled: 256 selected cells, {hot} with estimated error rate > 3%\n");
 
     // Authenticate many sessions; compare weighted vs uniform cost.
     let trials = 30;
     let mut weighted_total = 0u64;
     let mut uniform_total = 0u64;
     let mut found_both = 0u32;
-    let engine = SearchEngine::new(
-        HashDerive(Sha3Fixed),
-        EngineConfig { threads: 1, ..Default::default() },
-    );
+    let engine =
+        SearchEngine::new(HashDerive(Sha3Fixed), EngineConfig { threads: 1, ..Default::default() });
 
     for _ in 0..trials {
         // A genuine field readout: flips happen per-cell, per the device's
@@ -74,10 +66,7 @@ fn main() {
     println!("sessions where both strategies found the seed: {found_both}/{trials}");
     println!("mean candidates, uniform distance order : {}", uniform_total / found_both as u64);
     println!("mean candidates, likelihood order       : {}", weighted_total / found_both as u64);
-    println!(
-        "speedup: {:.1}x fewer hashes\n",
-        uniform_total as f64 / weighted_total as f64
-    );
+    println!("speedup: {:.1}x fewer hashes\n", uniform_total as f64 / weighted_total as f64);
 
     // The flip side: when flips IGNORE the statistics (uniformly random
     // positions), the likelihood order loses its edge — order matters

@@ -23,7 +23,8 @@ fn aware_engine_finds_seeds_with_every_cipher() {
         ($derive:expr) => {{
             let derive = $derive;
             let target = rbc_salted::core::Derive::derive(&derive, &client);
-            let engine = SearchEngine::new(derive, EngineConfig { threads: 2, ..Default::default() });
+            let engine =
+                SearchEngine::new(derive, EngineConfig { threads: 2, ..Default::default() });
             let outcome = engine.search(&target, &base, 1).outcome;
             assert_eq!(outcome, Outcome::Found { seed: client, distance: 1 });
         }};
@@ -127,7 +128,11 @@ fn salted_protocol_generates_key_exactly_once() {
     let mut ca = CertificateAuthority::new(
         [3u8; 32],
         keygen,
-        CaConfig { max_d: 3, engine: EngineConfig { threads: 2, ..Default::default() }, ..Default::default() },
+        CaConfig {
+            max_d: 3,
+            engine: EngineConfig { threads: 2, ..Default::default() },
+            ..Default::default()
+        },
     );
     ca.enroll_client(1, client.device(), 0, &mut rng).unwrap();
     let challenge = ca.begin(&client.hello()).unwrap();

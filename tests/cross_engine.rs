@@ -10,7 +10,12 @@ use rbc_salted::comb::exhaustive_seeds;
 use rbc_salted::gpu::{gpu_salted_search, GpuHash, GpuKernelConfig};
 use rbc_salted::prelude::*;
 
-fn cpu_outcome(target: &[u8; 32], base: &U256, max_d: u32, exhaustive: bool) -> (Option<(U256, u32)>, u64) {
+fn cpu_outcome(
+    target: &[u8; 32],
+    base: &U256,
+    max_d: u32,
+    exhaustive: bool,
+) -> (Option<(U256, u32)>, u64) {
     let engine = SearchEngine::new(
         HashDerive(Sha3Fixed),
         EngineConfig {
@@ -27,7 +32,12 @@ fn cpu_outcome(target: &[u8; 32], base: &U256, max_d: u32, exhaustive: bool) -> 
     (found, report.seeds_derived)
 }
 
-fn gpu_outcome(target: &[u8; 32], base: &U256, max_d: u32, early: bool) -> (Option<(U256, u32)>, u64) {
+fn gpu_outcome(
+    target: &[u8; 32],
+    base: &U256,
+    max_d: u32,
+    early: bool,
+) -> (Option<(U256, u32)>, u64) {
     let r = gpu_salted_search(
         &Sha3Fixed,
         &GpuKernelConfig::paper_best(GpuHash::Sha3),
@@ -39,7 +49,12 @@ fn gpu_outcome(target: &[u8; 32], base: &U256, max_d: u32, early: bool) -> (Opti
     (r.found, r.hashes)
 }
 
-fn apu_outcome(target: &[u8; 32], base: &U256, max_d: u32, early: bool) -> (Option<(U256, u32)>, u64) {
+fn apu_outcome(
+    target: &[u8; 32],
+    base: &U256,
+    max_d: u32,
+    early: bool,
+) -> (Option<(U256, u32)>, u64) {
     let cfg = ApuSearchConfig { device: ApuConfig::tiny(48), hash: ApuHash::Sha3, batch: 16 };
     let r = apu_salted_search(&cfg, target, base, max_d, early);
     (r.found, r.hashes)
@@ -124,11 +139,73 @@ fn sha1_backends_agree_too() {
     )
     .found;
     let apu_cfg = ApuSearchConfig { device: ApuConfig::tiny(48), hash: ApuHash::Sha1, batch: 16 };
-    let apu = apu_salted_search(&apu_cfg, &target1.to_vec(), &base, 2, true).found;
+    let apu = apu_salted_search(&apu_cfg, target1.as_ref(), &base, 2, true).found;
 
     assert_eq!(cpu, Some((client, 2)));
     assert_eq!(gpu, cpu);
     assert_eq!(apu, cpu);
+}
+
+/// The batched hot path (multi-lane hashing + prefix prescreen +
+/// per-batch polling) is a pure optimization: `batch = 1` reproduces the
+/// scalar engine, and every batch size must return the same outcome.
+#[test]
+fn batched_engine_agrees_with_scalar_across_iterators_and_modes() {
+    let mut rng = StdRng::seed_from_u64(46);
+    for trial in 0..4u32 {
+        let base = U256::random(&mut rng);
+        let d = trial % 4; // 0..=3; trial 3 is out of range at max_d=2
+        let client = base.random_at_distance(d, &mut rng);
+        let target = Sha3Fixed.digest_seed(&client);
+        for iter in SeedIterKind::ALL {
+            for mode in [SearchMode::Exhaustive, SearchMode::EarlyExit] {
+                let run = |batch: usize, threads: usize| {
+                    let engine = SearchEngine::new(
+                        HashDerive(Sha3Fixed),
+                        EngineConfig { threads, mode, iter, batch, ..Default::default() },
+                    );
+                    engine.search(&target, &base, 2)
+                };
+                let scalar = run(1, 3);
+                for batch in [7usize, 64, 256] {
+                    for threads in [1usize, 3] {
+                        let batched = run(batch, threads);
+                        assert_eq!(
+                            batched.outcome, scalar.outcome,
+                            "trial {trial} {iter} {mode:?} batch={batch} threads={threads}"
+                        );
+                        if mode == SearchMode::Exhaustive {
+                            // Exhaustive counts are exact regardless of
+                            // batching: every candidate is derived once.
+                            assert_eq!(batched.seeds_derived, scalar.seeds_derived);
+                            let a: Vec<_> = batched.per_distance.iter().map(|s| s.seeds).collect();
+                            let b: Vec<_> = scalar.per_distance.iter().map(|s| s.seeds).collect();
+                            assert_eq!(a, b, "per-distance stats, batch={batch}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Prefix prescreening must not change accept/reject decisions: a
+/// derivation without prefix support (full compare) and the hash
+/// derivation (prescreened) must find the same planted seed.
+#[test]
+fn prescreen_and_full_compare_find_identical_seeds() {
+    let mut rng = StdRng::seed_from_u64(47);
+    let base = U256::random(&mut rng);
+    let client = base.random_at_distance(2, &mut rng);
+    let target = Sha3Fixed.digest_seed(&client);
+    for batch in [1usize, 64] {
+        let engine = SearchEngine::new(
+            HashDerive(Sha3Fixed),
+            EngineConfig { threads: 2, batch, ..Default::default() },
+        );
+        let report = engine.search(&target, &base, 3);
+        assert_eq!(report.outcome, Outcome::Found { seed: client, distance: 2 }, "batch={batch}");
+    }
 }
 
 #[test]

@@ -43,7 +43,11 @@ fn table5_all_twelve_rows_within_five_percent() {
     ];
     for (name, ours, paper) in rows {
         let rel = (ours - paper).abs() / paper;
-        assert!(rel < 0.07, "{name}: model {ours:.2} vs paper {paper:.2} ({:.1}% off)", rel * 100.0);
+        assert!(
+            rel < 0.07,
+            "{name}: model {ours:.2} vs paper {paper:.2} ({:.1}% off)",
+            rel * 100.0
+        );
     }
 }
 
@@ -75,9 +79,17 @@ fn table6_energy_within_two_percent() {
     let apu = ApuTimingModel::gemini();
     let ex = exhaustive_profile();
     let rows = [
-        (PowerModel::a100_sha1(), gpu.search_time(&GpuKernelConfig::paper_best(GpuHash::Sha1), &ex), 317.20),
+        (
+            PowerModel::a100_sha1(),
+            gpu.search_time(&GpuKernelConfig::paper_best(GpuHash::Sha1), &ex),
+            317.20,
+        ),
         (PowerModel::apu_sha1(), apu.search_seconds(ApuHash::Sha1, &ex), 124.43),
-        (PowerModel::a100_sha3(), gpu.search_time(&GpuKernelConfig::paper_best(GpuHash::Sha3), &ex), 946.55),
+        (
+            PowerModel::a100_sha3(),
+            gpu.search_time(&GpuKernelConfig::paper_best(GpuHash::Sha3), &ex),
+            946.55,
+        ),
         (PowerModel::apu_sha3(), apu.search_seconds(ApuHash::Sha3, &ex), 974.06),
     ];
     for (power, secs, paper_j) in rows {
@@ -137,7 +149,8 @@ fn table7_this_work_beats_pqc_baselines() {
     // directly at their own d).
     let gpu = GpuDeviceModel::a100();
     let apu = ApuTimingModel::gemini();
-    let ours_gpu = gpu.search_time(&GpuKernelConfig::paper_best(GpuHash::Sha3), &exhaustive_profile());
+    let ours_gpu =
+        gpu.search_time(&GpuKernelConfig::paper_best(GpuHash::Sha3), &exhaustive_profile());
     let ours_apu = apu.search_seconds(ApuHash::Sha3, &exhaustive_profile());
     let paper_saber_gpu_d4 = 14.03;
     let paper_dilithium_gpu_d4 = 27.91;

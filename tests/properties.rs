@@ -54,6 +54,77 @@ proptest! {
     }
 
     #[test]
+    fn sha1_lane_kernels_match_scalar(raw in proptest::collection::vec(any::<[u64; 4]>(), 8..9)) {
+        use rbc_salted::hash::lanes;
+        let s: Vec<U256> = raw.into_iter().map(U256::from_limbs).collect();
+        let want: Vec<_> = s.iter().map(|v| Sha1Fixed.digest_seed(v)).collect();
+        for chunk in 0..2 {
+            let lanes4: &[U256; 4] = s[chunk * 4..chunk * 4 + 4].try_into().unwrap();
+            prop_assert_eq!(&lanes::sha1_fixed32_x4(lanes4)[..], &want[chunk * 4..chunk * 4 + 4]);
+        }
+        let lanes8: &[U256; 8] = s[..8].try_into().unwrap();
+        prop_assert_eq!(&lanes::sha1_fixed32_x8(lanes8)[..], &want[..]);
+        // Prefix lanes agree with the head of the full digests.
+        let p8 = lanes::sha1_fixed32_prefix64_x8(lanes8);
+        for (p, d) in p8.iter().zip(&want) {
+            prop_assert_eq!(*p, u64::from_le_bytes(d[..8].try_into().unwrap()));
+        }
+    }
+
+    #[test]
+    fn sha3_lane_kernels_match_scalar(raw in proptest::collection::vec(any::<[u64; 4]>(), 4..5)) {
+        use rbc_salted::hash::lanes;
+        let s: Vec<U256> = raw.into_iter().map(U256::from_limbs).collect();
+        let want: Vec<_> = s.iter().map(|v| Sha3Fixed.digest_seed(v)).collect();
+        for chunk in 0..2 {
+            let lanes2: &[U256; 2] = s[chunk * 2..chunk * 2 + 2].try_into().unwrap();
+            prop_assert_eq!(&lanes::sha3_256_fixed32_x2(lanes2)[..], &want[chunk * 2..chunk * 2 + 2]);
+        }
+        let lanes4: &[U256; 4] = s[..4].try_into().unwrap();
+        prop_assert_eq!(&lanes::sha3_256_fixed32_x4(lanes4)[..], &want[..]);
+        let p4 = lanes::sha3_256_fixed32_prefix64_x4(lanes4);
+        for (p, d) in p4.iter().zip(&want) {
+            prop_assert_eq!(*p, u64::from_le_bytes(d[..8].try_into().unwrap()));
+        }
+    }
+
+    #[test]
+    fn prefix64_is_first_eight_digest_bytes(v in arb_u256()) {
+        use rbc_salted::hash::{Sha1Generic, Sha256Fixed, Sha3Generic};
+        fn check<H: SeedHash>(h: H, v: &U256)
+        where
+            H::Digest: AsRef<[u8]>,
+        {
+            let d = h.digest_seed(v);
+            let head = u64::from_le_bytes(d.as_ref()[..8].try_into().unwrap());
+            assert_eq!(h.digest_prefix64(v), head, "{}", H::NAME);
+            assert_eq!(H::prefix64_of(&d), head, "{}", H::NAME);
+        }
+        check(Sha1Fixed, &v);
+        check(Sha1Generic, &v);
+        check(Sha3Fixed, &v);
+        check(Sha3Generic, &v);
+        check(Sha256Fixed, &v);
+    }
+
+    #[test]
+    fn hash_batch_paths_match_scalar(raw in proptest::collection::vec(any::<[u64; 4]>(), 0..24) ) {
+        let seeds: Vec<U256> = raw.into_iter().map(U256::from_limbs).collect();
+        fn check<H: SeedHash>(h: H, seeds: &[U256]) {
+            let mut digests = Vec::new();
+            h.digest_batch(seeds, &mut digests);
+            let want: Vec<_> = seeds.iter().map(|s| h.digest_seed(s)).collect();
+            assert_eq!(digests, want, "{}", H::NAME);
+            let mut prefixes = Vec::new();
+            h.prefix64_batch(seeds, &mut prefixes);
+            let want: Vec<_> = seeds.iter().map(|s| h.digest_prefix64(s)).collect();
+            assert_eq!(prefixes, want, "{}", H::NAME);
+        }
+        check(Sha1Fixed, &seeds);
+        check(Sha3Fixed, &seeds);
+    }
+
+    #[test]
     fn hash_avalanche(v in arb_u256(), bit in 0usize..256) {
         // One flipped input bit changes roughly half the digest bits.
         let a = Sha3Fixed.digest_seed(&v);
