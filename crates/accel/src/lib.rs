@@ -10,6 +10,9 @@
 //!   curve, with extrapolation from locally measured single-thread rates.
 //! * [`apu_timing`] — maps the APU simulator's raw bit-serial cycles to
 //!   Gemini wall-clock via per-algorithm calibration factors.
+//! * [`backends`] — the GPU and APU functional simulators behind
+//!   `rbc-core`'s `SearchBackend` trait, so dispatcher pools can mix
+//!   every substrate.
 //! * [`energy`] — the two-state power model that regenerates Table 6.
 //!
 //! The GPU timing model lives with its functional simulator in
@@ -20,11 +23,13 @@
 #![warn(missing_docs)]
 
 pub mod apu_timing;
+pub mod backends;
 pub mod cpu_model;
 pub mod energy;
 pub mod platform;
 
 pub use apu_timing::{ApuTimingModel, GEMINI_CLOCK_HZ};
+pub use backends::{ApuSimBackend, GpuSimBackend};
 pub use cpu_model::{ClusterModel, CpuHash, CpuModel, MeasuredRate};
 pub use energy::PowerModel;
 pub use platform::{platform_a, platform_b, AcceleratorSpec, CpuSpec, Platform};

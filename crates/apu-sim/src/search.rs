@@ -33,7 +33,7 @@ pub enum ApuHash {
 /// SALTED-APU configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct ApuSearchConfig {
-    /// Device shape (use [`ApuConfig::gemini_sha1`]/[`gemini_sha3`]
+    /// Device shape (use [`ApuConfig::gemini_sha1`]/[`ApuConfig::gemini_sha3`]
     /// (`ApuConfig::gemini_sha3`) for the paper's chip, or a `tiny`
     /// configuration for tests).
     pub device: ApuConfig,

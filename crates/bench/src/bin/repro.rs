@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|cpu-scaling|verify]
+//! repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|cpu-scaling|service|verify]
 //!       [--quick] [--trials N] [--full-cpu]
 //! ```
 //!
@@ -10,27 +10,37 @@
 //! **measured** are real runs on this host. EXPERIMENTS.md archives a full
 //! run.
 
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use rbc_accel::{
-    platform_a, platform_b, ApuHash, ApuTimingModel, CpuHash, CpuModel, GpuDeviceModel, GpuHash,
-    GpuKernelConfig, MeasuredRate, PowerModel,
+    platform_a, platform_b, ApuHash, ApuSimBackend, ApuTimingModel, CpuHash, CpuModel,
+    GpuDeviceModel, GpuHash, GpuKernelConfig, GpuSimBackend, MeasuredRate, PowerModel,
 };
 use rbc_bench::{
     fmt_count, fmt_rate, fmt_secs, lane_table, measure_derive_rate, measure_derive_rate_batched,
-    measure_hash_lane_rates, measure_iter_rate, write_hash_lane_json, TextTable,
+    measure_hash_lane_rates, measure_iter_rate, service_table, write_hash_lane_json,
+    write_service_json, ServiceRow, TextTable,
 };
 use rbc_bits::U256;
 use rbc_comb::{average_seeds, exhaustive_seeds, seeds_at_distance, SeedIterKind};
+use rbc_core::backend::{ClusterBackend, CpuBackend, SearchBackend, SearchJob};
+use rbc_core::ca::{CaConfig, CertificateAuthority};
 use rbc_core::derive::{CipherDerive, HashDerive, PqcDerive};
+use rbc_core::dispatch::{Dispatcher, DispatcherConfig, RoutePolicy};
 use rbc_core::engine::{EngineConfig, Outcome, SearchEngine, SearchMode};
+use rbc_core::protocol::Client;
+use rbc_core::service::AuthService;
 use rbc_core::trials::run_average_case_trials;
-use rbc_gpu_sim::{gpu_salted_search, Heatmap};
-use rbc_hash::{SeedHash, Sha1Fixed, Sha1Generic, Sha3Fixed, Sha3Generic};
+use rbc_core::ClusterConfig;
+use rbc_gpu_sim::Heatmap;
+use rbc_hash::{HashAlgo, SeedHash, Sha1Fixed, Sha1Generic, Sha3Fixed, Sha3Generic};
 use rbc_net::LatencyModel;
+use rbc_pqc::LightSaber;
+use rbc_puf::ModelPuf;
 
 struct Opts {
     quick: bool,
@@ -79,6 +89,7 @@ fn main() {
                 future();
                 security();
                 extensions(&opts);
+                service(&opts);
                 verify(&opts);
             }
             "table1" => table1(),
@@ -94,6 +105,7 @@ fn main() {
             "future" => future(),
             "security" => security(),
             "extensions" => extensions(&opts),
+            "service" => service(&opts),
             "verify" => verify(&opts),
             other => usage(&format!("unknown command {other:?}")),
         }
@@ -103,7 +115,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|hash-lanes|cpu-scaling|future|security|extensions|verify] [--quick] [--trials N] [--full-cpu]"
+        "usage: repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|hash-lanes|cpu-scaling|future|security|extensions|service|verify] [--quick] [--trials N] [--full-cpu]"
     );
     std::process::exit(2)
 }
@@ -287,22 +299,16 @@ fn full_cpu_run() {
     let base = U256::from_limbs([11, 22, 33, 44]);
     let mut rng = StdRng::seed_from_u64(99);
     let client = base.random_at_distance(4, &mut rng);
-    let target = Sha3Fixed.digest_seed(&client);
-    let engine = SearchEngine::new(
-        HashDerive(Sha3Fixed),
-        EngineConfig {
-            mode: SearchMode::Exhaustive,
-            iter: SeedIterKind::Gosper,
-            ..Default::default()
-        },
-    );
-    let start = Instant::now();
-    let report = engine.search(&target, &base, 4);
+    let backend =
+        CpuBackend::new(EngineConfig { iter: SeedIterKind::Gosper, ..Default::default() });
+    let job = SearchJob::new(HashAlgo::Sha3_256, HashAlgo::Sha3_256.digest_seed(&client), base, 4)
+        .with_mode(SearchMode::Exhaustive);
+    let report = backend.submit(&job);
     println!(
         "outcome {:?}; {} seeds in {}; throughput {}",
         report.outcome,
         report.seeds_derived,
-        fmt_secs(start.elapsed().as_secs_f64()),
+        fmt_secs(report.elapsed.as_secs_f64()),
         fmt_rate(report.seeds_derived as f64 / report.elapsed.as_secs_f64()),
     );
 }
@@ -789,11 +795,85 @@ fn extensions(opts: &Opts) {
     );
 }
 
-/// Cross-engine functional verification at reduced scale: the CPU engine,
-/// the GPU functional simulator and the APU functional simulator must
-/// agree on every outcome, and average-case seed counts must track Eq. 3.
+/// Multi-client AuthService under offered load: concurrent
+/// authentications multiplexed over a mixed dispatcher pool (2× CPU + the
+/// GPU functional simulator). Sweeps the number of simultaneous clients
+/// and reports latency percentiles, shed rate and per-backend
+/// utilization; writes `BENCH_service.json`.
+fn service(opts: &Opts) {
+    let loads: &[u64] = if opts.quick { &[2, 4, 8] } else { &[2, 4, 8, 16] };
+    // The dispatcher's budget is what remains of T = 20 s after the
+    // standard exchange's communication.
+    let budget = LatencyModel::paper_wan().search_budget(Duration::from_secs(20));
+    let mut rows = Vec::new();
+    for &load in loads {
+        let mut rng = StdRng::seed_from_u64(0x5E47 + load);
+        let ca_cfg = CaConfig {
+            max_d: 3,
+            engine: EngineConfig { threads: 2, ..Default::default() },
+            ..Default::default()
+        };
+        let mut ca = CertificateAuthority::new([7u8; 32], LightSaber, ca_cfg);
+        let mut clients = Vec::new();
+        for id in 0..load {
+            let mut c = Client::new(id, ModelPuf::sram(4096, 0xC11E + id));
+            if id + 1 == load && load >= 4 {
+                c.extra_noise = 6; // beyond max_d → a rejection in the mix
+            }
+            ca.enroll_client(id, c.device(), 0, &mut rng).expect("enroll");
+            clients.push(c);
+        }
+        let pool: Vec<Arc<dyn SearchBackend>> = vec![
+            Arc::new(CpuBackend::new(EngineConfig { threads: 2, ..Default::default() })),
+            Arc::new(CpuBackend::new(EngineConfig { threads: 2, ..Default::default() })),
+            Arc::new(GpuSimBackend::new(GpuKernelConfig::paper_best(GpuHash::Sha3))),
+        ];
+        let dispatcher = Arc::new(Dispatcher::new(
+            pool,
+            DispatcherConfig { queue_limit: 4, budget, policy: RoutePolicy::LeastLoaded },
+        ));
+        let svc = AuthService::new(ca, dispatcher);
+        std::thread::scope(|s| {
+            for (i, client) in clients.iter().enumerate() {
+                let svc = &svc;
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xA0_0000 + i as u64);
+                    let challenge = svc.begin(&client.hello()).expect("enrolled");
+                    let digest = client.respond(&challenge, &mut rng);
+                    let _ = svc.complete(&digest);
+                });
+            }
+        });
+        rows.push(ServiceRow::from_stats(load, &svc.stats()));
+    }
+    service_table(&rows).print();
+    match write_service_json("BENCH_service.json", &rows) {
+        Ok(()) => println!("wrote BENCH_service.json"),
+        Err(e) => eprintln!("could not write BENCH_service.json: {e}"),
+    }
+    println!(
+        "(pool: 2x CPU + GPU-sim, 1 slot each, queue limit 4; budget = T − comm = {:.2} s; \
+         arrivals beyond queue + slots are shed as Overloaded)",
+        budget.as_secs_f64()
+    );
+}
+
+/// Cross-engine functional verification at reduced scale: every
+/// [`SearchBackend`] — CPU, cluster, GPU functional simulator, APU
+/// functional simulator — must agree on every outcome for the same
+/// [`SearchJob`], and average-case seed counts must track Eq. 3.
 fn verify(opts: &Opts) {
-    println!("\n== verify: cross-engine agreement (real reduced-scale runs) ==");
+    println!("\n== verify: cross-backend agreement (real reduced-scale runs) ==");
+    let backends: Vec<Box<dyn SearchBackend>> = vec![
+        Box::new(CpuBackend::new(EngineConfig::default())),
+        Box::new(ClusterBackend::new(ClusterConfig { nodes: 3, ..Default::default() })),
+        Box::new(GpuSimBackend::new(GpuKernelConfig::paper_best(GpuHash::Sha3))),
+        Box::new(ApuSimBackend::new(rbc_apu_sim::ApuSearchConfig {
+            device: rbc_apu_sim::ApuConfig::tiny(64),
+            hash: rbc_apu_sim::ApuHash::Sha3,
+            batch: 32,
+        })),
+    ];
     let mut rng = StdRng::seed_from_u64(2023);
     let trials = opts.trials.min(40);
     let mut agree = 0usize;
@@ -801,40 +881,30 @@ fn verify(opts: &Opts) {
         let base = U256::random(&mut rng);
         let d_plant = (i % 4) as u32; // 0..=3
         let client = base.random_at_distance(d_plant, &mut rng);
-        let max_d = 3u32.min(2 + d_plant); // sometimes out of range? no: plant ≤ 3, bound 2..3
-        let target = Sha3Fixed.digest_seed(&client);
-
-        let cpu_engine = SearchEngine::new(HashDerive(Sha3Fixed), EngineConfig::default());
-        let cpu_out = match cpu_engine.search(&target, &base, max_d).outcome {
-            Outcome::Found { seed, distance } => Some((seed, distance)),
-            _ => None,
-        };
-
-        let gpu_out = gpu_salted_search(
-            &Sha3Fixed,
-            &GpuKernelConfig::paper_best(GpuHash::Sha3),
-            &target,
-            &base,
+        let max_d = 3u32.min(2 + d_plant); // plant ≤ 3, bound 2..3
+        let job = SearchJob::new(
+            HashAlgo::Sha3_256,
+            HashAlgo::Sha3_256.digest_seed(&client),
+            base,
             max_d,
-            true,
-        )
-        .found;
+        );
 
-        let apu_cfg = rbc_apu_sim::ApuSearchConfig {
-            device: rbc_apu_sim::ApuConfig::tiny(64),
-            hash: rbc_apu_sim::ApuHash::Sha3,
-            batch: 32,
-        };
-        let apu_out = rbc_apu_sim::apu_salted_search(&apu_cfg, &target, &base, max_d, true).found;
+        let outs: Vec<Option<(U256, u32)>> = backends
+            .iter()
+            .map(|b| match b.submit(&job).outcome {
+                Outcome::Found { seed, distance } => Some((seed, distance)),
+                _ => None,
+            })
+            .collect();
 
-        let consistent = cpu_out == gpu_out && gpu_out == apu_out;
-        if consistent {
+        if outs.windows(2).all(|w| w[0] == w[1]) {
             agree += 1;
         } else {
-            println!("DISAGREEMENT trial {i}: cpu {cpu_out:?} gpu {gpu_out:?} apu {apu_out:?}");
+            let names: Vec<String> = backends.iter().map(|b| b.descriptor().name).collect();
+            println!("DISAGREEMENT trial {i}: {names:?} → {outs:?}");
         }
     }
-    println!("{agree}/{trials} trials: all three engines agree");
+    println!("{agree}/{trials} trials: all {} backends agree", backends.len());
 
     // Average-case statistics against Equation 3 (d = 2).
     let mut rng = StdRng::seed_from_u64(7);

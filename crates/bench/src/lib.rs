@@ -318,6 +318,116 @@ pub fn write_hash_lane_json(path: &str, rows: &[LaneMeasurement]) -> std::io::Re
     std::fs::write(path, text)
 }
 
+/// One row of the `repro service` offered-load sweep: the multi-client
+/// AuthService driven at a fixed number of simultaneous clients.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ServiceRow {
+    /// Simultaneous clients offered.
+    pub clients: u64,
+    /// Accepted authentications.
+    pub accepted: u64,
+    /// Rejected (no seed within the bound).
+    pub rejected: u64,
+    /// Timed out mid-search.
+    pub timed_out: u64,
+    /// Shed by the dispatcher ([`Verdict::Overloaded`]).
+    ///
+    /// [`Verdict::Overloaded`]: rbc_core::protocol::Verdict::Overloaded
+    pub overloaded: u64,
+    /// Fraction of offered requests shed.
+    pub reject_rate: f64,
+    /// Median end-to-end latency (queue + search), milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean queue wait, milliseconds.
+    pub mean_queue_ms: f64,
+    /// Highest simultaneous queue depth observed.
+    pub peak_queue: u64,
+    /// Per-backend utilization summary, `name=busy%` comma-joined.
+    pub utilization: String,
+}
+
+impl ServiceRow {
+    /// Builds a row from a load level and the service's statistics.
+    pub fn from_stats(clients: u64, stats: &rbc_core::service::ServiceStats) -> Self {
+        let d = &stats.dispatch;
+        let offered = (d.completed + d.rejected).max(1);
+        ServiceRow {
+            clients,
+            accepted: stats.accepted,
+            rejected: stats.rejected,
+            timed_out: stats.timed_out,
+            overloaded: stats.overloaded,
+            reject_rate: d.rejected as f64 / offered as f64,
+            p50_ms: d.p50_latency.as_secs_f64() * 1e3,
+            p95_ms: d.p95_latency.as_secs_f64() * 1e3,
+            p99_ms: d.p99_latency.as_secs_f64() * 1e3,
+            mean_queue_ms: d.mean_queue_wait.as_secs_f64() * 1e3,
+            peak_queue: d.peak_queue_depth as u64,
+            utilization: d
+                .per_backend
+                .iter()
+                .map(|b| format!("{}={:.0}%", b.descriptor.name, b.utilization * 100.0))
+                .collect::<Vec<_>>()
+                .join(", "),
+        }
+    }
+}
+
+/// Renders the service sweep as a [`TextTable`].
+pub fn service_table(rows: &[ServiceRow]) -> TextTable {
+    let mut t = TextTable::new(
+        "Service: multi-client AuthService under offered load (dispatcher pool, this host)",
+        &[
+            "clients",
+            "ok",
+            "rej",
+            "t/o",
+            "shed",
+            "shed rate",
+            "p50",
+            "p95",
+            "p99",
+            "queue",
+            "backend util",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.clients.to_string(),
+            r.accepted.to_string(),
+            r.rejected.to_string(),
+            r.timed_out.to_string(),
+            r.overloaded.to_string(),
+            format!("{:.0}%", r.reject_rate * 100.0),
+            fmt_secs(r.p50_ms / 1e3),
+            fmt_secs(r.p95_ms / 1e3),
+            fmt_secs(r.p99_ms / 1e3),
+            fmt_secs(r.mean_queue_ms / 1e3),
+            r.utilization.clone(),
+        ]);
+    }
+    t
+}
+
+/// Writes the service sweep to `path` as the `BENCH_service.json`
+/// artifact: `{"bench": "service", "unit": "ms", "results": [...]}`.
+pub fn write_service_json(path: &str, rows: &[ServiceRow]) -> std::io::Result<()> {
+    let results = serde_json::to_value(&rows.to_vec())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let doc = serde_json::Value::Object(vec![
+        ("bench".to_string(), serde_json::Value::Str("service".to_string())),
+        ("unit".to_string(), serde_json::Value::Str("ms".to_string())),
+        ("results".to_string(), results),
+    ]);
+    let text = serde_json::to_string(&doc)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, text)
+}
+
 /// Measures mask-generation-only rate (masks/second, single thread) for a
 /// seed iterator at distance `d` over `count` masks — the Table 4 raw
 /// ingredient.

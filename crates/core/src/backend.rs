@@ -1,0 +1,326 @@
+//! Uniform access to every search substrate: the [`SearchBackend`] trait.
+//!
+//! The paper's central claim is that RBC-SALTED makes the server's search
+//! *algorithm-agnostic* — any device that can hash candidate seeds can
+//! authenticate any client. This module makes the repro *device-agnostic*
+//! to match: a [`SearchJob`] describes one authentication search
+//! independently of hardware, and every substrate (the CPU
+//! [`SearchEngine`], the message-passing cluster engine, and — in
+//! `rbc-accel` — the GPU and APU functional simulators) implements
+//! [`SearchBackend`] to execute it. The CA, the dispatcher, the repro
+//! harness and the examples all call `submit` instead of four bespoke
+//! entry points.
+//!
+//! Functional equivalence is the contract: for the same job, every
+//! backend must return the same [`Outcome`] (same found seed, same
+//! distance) — enforced by the cross-backend integration tests. Device
+//! specifics (kernel launches, hash waves, PE counts, cluster messages)
+//! travel in [`SearchReport::extras`] so harnesses keep their
+//! per-substrate reporting through the uniform interface.
+
+use std::time::Duration;
+
+use rbc_bits::U256;
+use rbc_hash::{DynDigest, HashAlgo};
+
+use crate::cluster::{cluster_search, ClusterConfig};
+use crate::derive::DynHashDerive;
+use crate::engine::{EngineConfig, Outcome, SearchEngine, SearchMode, SearchReport};
+
+/// One RBC-SALTED search, described independently of the device that will
+/// run it: "is any seed within Hamming distance `max_d` of `s_init`
+/// hashing to `target` under `algo`?"
+#[derive(Clone, Debug)]
+pub struct SearchJob {
+    /// Hash algorithm of the client's digest.
+    pub algo: HashAlgo,
+    /// The digest `M₁` to match.
+    pub target: DynDigest,
+    /// The enrolled reference image the search is centred on.
+    pub s_init: U256,
+    /// Maximum Hamming distance searched.
+    pub max_d: u32,
+    /// Termination policy.
+    pub mode: SearchMode,
+    /// Per-job deadline (the threshold `T`, possibly reduced by queue
+    /// wait). `None` disables the timeout.
+    pub deadline: Option<Duration>,
+}
+
+impl SearchJob {
+    /// An early-exit job with no deadline — the common case.
+    pub fn new(algo: HashAlgo, target: DynDigest, s_init: U256, max_d: u32) -> Self {
+        SearchJob { algo, target, s_init, max_d, mode: SearchMode::EarlyExit, deadline: None }
+    }
+
+    /// Sets the termination policy.
+    pub fn with_mode(mut self, mode: SearchMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// What a backend is — for routing decisions, reports and service stats.
+#[derive(Clone, Debug)]
+pub struct BackendDescriptor {
+    /// Substrate kind: `"cpu"`, `"cluster"`, `"gpu-sim"`, `"apu-sim"`.
+    pub kind: &'static str,
+    /// Human-readable instance label (includes the shape, e.g. thread or
+    /// node count).
+    pub name: String,
+    /// Jobs this backend can run concurrently before it saturates; the
+    /// dispatcher keeps at most this many in flight.
+    pub slots: usize,
+    /// Estimated sustained derivation rate in seeds/s for
+    /// fastest-estimate routing, from a calibrated device model
+    /// (`CpuModel`, `GpuDeviceModel`, `ApuTimingModel`); `0.0` when
+    /// unknown.
+    pub est_rate: f64,
+}
+
+/// A search substrate: anything that can run a [`SearchJob`] to a
+/// [`SearchReport`].
+///
+/// Implementations must be functionally equivalent — identical outcomes
+/// for identical jobs — and are free to differ in everything the report's
+/// accounting fields and [`SearchReport::extras`] describe.
+pub trait SearchBackend: Send + Sync {
+    /// Describes this backend for routing and reporting.
+    fn descriptor(&self) -> BackendDescriptor;
+
+    /// Concurrent jobs this backend absorbs before saturating
+    /// (shorthand for `descriptor().slots`).
+    fn capacity(&self) -> usize {
+        self.descriptor().slots
+    }
+
+    /// Whether this backend can search digests of `algo`. Routing layers
+    /// must check this before [`SearchBackend::submit`]; submitting an
+    /// unsupported algorithm panics.
+    fn supports(&self, algo: HashAlgo) -> bool {
+        let _ = algo;
+        true
+    }
+
+    /// Runs the search to completion (or to the job's deadline) and
+    /// reports it.
+    fn submit(&self, job: &SearchJob) -> SearchReport;
+}
+
+/// The host CPU engine behind the trait: builds a [`SearchEngine`] over
+/// the runtime-dispatched hash derivation, exactly as the CA has always
+/// done — same batched lane kernels, same prefix prescreen.
+#[derive(Clone, Debug)]
+pub struct CpuBackend {
+    cfg: EngineConfig,
+    est_rate: f64,
+}
+
+impl CpuBackend {
+    /// A CPU backend running searches under `cfg`. The job's mode and
+    /// deadline override the config's per submission.
+    pub fn new(cfg: EngineConfig) -> Self {
+        CpuBackend { cfg, est_rate: 0.0 }
+    }
+
+    /// Attaches a modelled rate (seeds/s) for fastest-estimate routing.
+    pub fn with_est_rate(mut self, rate: f64) -> Self {
+        self.est_rate = rate;
+        self
+    }
+
+    /// The engine configuration jobs run under.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+}
+
+impl SearchBackend for CpuBackend {
+    fn descriptor(&self) -> BackendDescriptor {
+        BackendDescriptor {
+            kind: "cpu",
+            name: format!("cpu(p={})", self.cfg.effective_threads()),
+            slots: 1,
+            est_rate: self.est_rate,
+        }
+    }
+
+    fn submit(&self, job: &SearchJob) -> SearchReport {
+        let cfg = EngineConfig {
+            mode: job.mode,
+            deadline: job.deadline.or(self.cfg.deadline),
+            ..self.cfg.clone()
+        };
+        let engine = SearchEngine::new(DynHashDerive(job.algo), cfg);
+        engine.search(&job.target, &job.s_init, job.max_d)
+    }
+}
+
+/// The distributed-memory cluster engine behind the trait.
+///
+/// The cluster protocol is always early-exit (its production
+/// configuration) and has no mid-search preemption, so the job's deadline
+/// is checked *post hoc*: a search that finishes past it reports
+/// [`Outcome::TimedOut`], mirroring what the client would observe.
+/// Per-distance stats are not available from the message-passing
+/// coordinator; `extras` carries `"nodes"` and `"messages"`.
+#[derive(Clone, Debug)]
+pub struct ClusterBackend {
+    cfg: ClusterConfig,
+    est_rate: f64,
+}
+
+impl ClusterBackend {
+    /// A cluster backend with `cfg.nodes` worker nodes.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        ClusterBackend { cfg, est_rate: 0.0 }
+    }
+
+    /// Attaches a modelled rate (seeds/s) for fastest-estimate routing.
+    pub fn with_est_rate(mut self, rate: f64) -> Self {
+        self.est_rate = rate;
+        self
+    }
+}
+
+impl SearchBackend for ClusterBackend {
+    fn descriptor(&self) -> BackendDescriptor {
+        BackendDescriptor {
+            kind: "cluster",
+            name: format!("cluster(nodes={})", self.cfg.nodes),
+            slots: 1,
+            est_rate: self.est_rate,
+        }
+    }
+
+    fn submit(&self, job: &SearchJob) -> SearchReport {
+        let derive = DynHashDerive(job.algo);
+        let r = cluster_search(&derive, &job.target, &job.s_init, job.max_d, &self.cfg);
+        let timed_out = job.deadline.is_some_and(|t| r.elapsed > t);
+        let outcome = if timed_out {
+            Outcome::TimedOut { at_distance: job.max_d }
+        } else {
+            match r.found {
+                Some((seed, distance)) => Outcome::Found { seed, distance },
+                None => Outcome::NotFound,
+            }
+        };
+        SearchReport {
+            outcome,
+            seeds_derived: r.seeds,
+            elapsed: r.elapsed,
+            per_distance: Vec::new(),
+            algorithm: job.algo.name(),
+            threads: self.cfg.nodes,
+            extras: vec![("nodes", self.cfg.nodes as u64), ("messages", r.messages)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn job_for(algo: HashAlgo, client: &U256, base: &U256, max_d: u32) -> SearchJob {
+        SearchJob::new(algo, algo.digest_seed(client), *base, max_d)
+    }
+
+    #[test]
+    fn cpu_backend_matches_direct_engine_use() {
+        let mut rng = StdRng::seed_from_u64(90);
+        let base = U256::random(&mut rng);
+        let client = base.random_at_distance(2, &mut rng);
+        let job = job_for(HashAlgo::Sha3_256, &client, &base, 3);
+
+        let backend = CpuBackend::new(EngineConfig { threads: 3, ..Default::default() });
+        let via_trait = backend.submit(&job);
+
+        let engine = SearchEngine::new(
+            DynHashDerive(HashAlgo::Sha3_256),
+            EngineConfig { threads: 3, ..Default::default() },
+        );
+        let direct = engine.search(&job.target, &base, 3);
+
+        assert_eq!(via_trait.outcome, direct.outcome);
+        assert_eq!(via_trait.outcome, Outcome::Found { seed: client, distance: 2 });
+        assert!(via_trait.extras.is_empty());
+    }
+
+    #[test]
+    fn cluster_backend_agrees_with_cpu_and_reports_extras() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let base = U256::random(&mut rng);
+        for (d, max_d) in [(0u32, 2u32), (2, 2), (3, 2)] {
+            let client = base.random_at_distance(d, &mut rng);
+            let job = job_for(HashAlgo::Sha3_256, &client, &base, max_d);
+            let cpu = CpuBackend::new(EngineConfig { threads: 2, ..Default::default() });
+            let cluster = ClusterBackend::new(ClusterConfig { nodes: 3, ..Default::default() });
+            let a = cpu.submit(&job);
+            let b = cluster.submit(&job);
+            assert_eq!(a.outcome, b.outcome, "d={d} max_d={max_d}");
+            assert_eq!(b.extra("nodes"), Some(3));
+            assert!(b.extra("messages").is_some());
+        }
+    }
+
+    #[test]
+    fn job_deadline_overrides_backend_config() {
+        // A pathological deadline must trip regardless of the backend's
+        // own (absent) deadline.
+        let mut rng = StdRng::seed_from_u64(92);
+        let base = U256::random(&mut rng);
+        let client = base.random_at_distance(3, &mut rng);
+        let job =
+            job_for(HashAlgo::Sha3_256, &client, &base, 3).with_deadline(Duration::from_nanos(1));
+        let backend = CpuBackend::new(EngineConfig { threads: 2, ..Default::default() });
+        let report = backend.submit(&job);
+        assert!(matches!(report.outcome, Outcome::TimedOut { .. }), "{:?}", report.outcome);
+    }
+
+    #[test]
+    fn cluster_post_hoc_deadline_maps_to_timed_out() {
+        let mut rng = StdRng::seed_from_u64(93);
+        let base = U256::random(&mut rng);
+        let client = base.random_at_distance(2, &mut rng);
+        let job =
+            job_for(HashAlgo::Sha3_256, &client, &base, 2).with_deadline(Duration::from_nanos(1));
+        let cluster = ClusterBackend::new(ClusterConfig { nodes: 2, ..Default::default() });
+        let report = cluster.submit(&job);
+        assert!(matches!(report.outcome, Outcome::TimedOut { .. }), "{:?}", report.outcome);
+    }
+
+    #[test]
+    fn descriptors_identify_the_substrate() {
+        let cpu =
+            CpuBackend::new(EngineConfig { threads: 4, ..Default::default() }).with_est_rate(1.0e7);
+        let d = cpu.descriptor();
+        assert_eq!(d.kind, "cpu");
+        assert_eq!(d.slots, cpu.capacity());
+        assert_eq!(d.est_rate, 1.0e7);
+        assert!(d.name.contains("p=4"));
+        assert!(cpu.supports(HashAlgo::Sha256));
+
+        let cl = ClusterBackend::new(ClusterConfig { nodes: 5, ..Default::default() });
+        assert_eq!(cl.descriptor().kind, "cluster");
+        assert!(cl.descriptor().name.contains("nodes=5"));
+    }
+
+    #[test]
+    fn exhaustive_mode_flows_through_the_job() {
+        let base = U256::from_u64(17);
+        let client = base.flip_bit(9);
+        let job = job_for(HashAlgo::Sha1, &client, &base, 2).with_mode(SearchMode::Exhaustive);
+        let backend = CpuBackend::new(EngineConfig { threads: 2, ..Default::default() });
+        let report = backend.submit(&job);
+        assert_eq!(report.outcome, Outcome::Found { seed: client, distance: 1 });
+        assert_eq!(report.seeds_derived, 1 + 256 + 32_640, "no early exit");
+    }
+}

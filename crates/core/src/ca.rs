@@ -7,38 +7,21 @@
 //! registering it with the RA.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use rand::Rng;
-use rbc_bits::U256;
-use rbc_hash::{DynDigest, HashAlgo};
+use rbc_hash::HashAlgo;
 use rbc_pqc::PqcKeyGen;
 use rbc_puf::{enroll, EnrollmentConfig, PufDevice};
 
-use crate::derive::Derive;
-use crate::engine::{EngineConfig, Outcome, SearchEngine, SearchReport};
+use crate::backend::{CpuBackend, SearchBackend, SearchJob};
+use crate::engine::{EngineConfig, Outcome, SearchReport};
 use crate::protocol::{ChallengeMsg, ClientId, DigestMsg, HelloMsg, Verdict, VerdictMsg};
 use crate::salt::Salt;
 use crate::store::{EnrollmentRecord, SealedImageStore};
 
-/// Runtime-dispatched hash derivation, so one CA can serve clients on
-/// different SHA variants. Static-dispatch engines (used by the benches)
-/// avoid this indirection.
-#[derive(Clone, Copy, Debug)]
-pub struct DynHashDerive(pub HashAlgo);
-
-impl Derive for DynHashDerive {
-    type Out = DynDigest;
-
-    fn name(&self) -> &'static str {
-        self.0.name()
-    }
-
-    #[inline]
-    fn derive(&self, seed: &U256) -> DynDigest {
-        self.0.digest_seed(seed)
-    }
-}
+pub use crate::derive::DynHashDerive;
 
 /// CA policy knobs.
 #[derive(Clone, Debug)]
@@ -102,11 +85,41 @@ pub struct AuthRecord {
     pub accepted: bool,
 }
 
+/// A session the CA has validated and is ready to search for.
+///
+/// Produced by [`CertificateAuthority::prepare`]; the `job` can be run on
+/// any [`SearchBackend`] (directly, or through a dispatcher for
+/// multi-client service) and the resulting report fed back through
+/// [`CertificateAuthority::finish`]. This split is what lets the
+/// [`crate::service::AuthService`] hold the CA lock only around the cheap
+/// bookkeeping while searches run concurrently.
+#[derive(Clone, Debug)]
+pub struct PendingAuth {
+    client_id: ClientId,
+    session: u64,
+    salt: Salt,
+    /// The backend-agnostic search the CA wants run.
+    pub job: SearchJob,
+}
+
+impl PendingAuth {
+    /// The client being authenticated.
+    pub fn client_id(&self) -> ClientId {
+        self.client_id
+    }
+
+    /// The session nonce this search answers.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+}
+
 /// The certificate authority.
 pub struct CertificateAuthority<P: PqcKeyGen> {
     cfg: CaConfig,
     store: SealedImageStore,
     keygen: P,
+    backend: Arc<dyn SearchBackend>,
     ra: RegistrationAuthority,
     /// Open sessions: nonce → (client, enrolled-address index challenged).
     sessions: HashMap<u64, (ClientId, usize)>,
@@ -142,12 +155,28 @@ impl core::fmt::Display for CaError {
 impl std::error::Error for CaError {}
 
 impl<P: PqcKeyGen> CertificateAuthority<P> {
-    /// Creates a CA with a database key and the post-search keygen.
+    /// Creates a CA with a database key and the post-search keygen,
+    /// searching on the in-process CPU engine configured by
+    /// `cfg.engine`.
     pub fn new(db_key: [u8; 32], keygen: P, cfg: CaConfig) -> Self {
+        let backend = Arc::new(CpuBackend::new(cfg.engine.clone()));
+        Self::with_backend(db_key, keygen, cfg, backend)
+    }
+
+    /// Creates a CA that runs its searches on an explicit
+    /// [`SearchBackend`] (GPU/APU simulator, cluster, …) instead of the
+    /// default CPU engine.
+    pub fn with_backend(
+        db_key: [u8; 32],
+        keygen: P,
+        cfg: CaConfig,
+        backend: Arc<dyn SearchBackend>,
+    ) -> Self {
         CertificateAuthority {
             cfg,
             store: SealedImageStore::new(db_key),
             keygen,
+            backend,
             ra: RegistrationAuthority::default(),
             sessions: HashMap::new(),
             address_cursor: HashMap::new(),
@@ -208,10 +237,20 @@ impl<P: PqcKeyGen> CertificateAuthority<P> {
         })
     }
 
-    /// Handles the digest: runs the RBC-SALTED search and produces the
-    /// verdict. On acceptance the salted seed feeds one keygen and the RA
-    /// is updated (protocol steps 7–9).
+    /// Handles the digest: runs the RBC-SALTED search on the CA's backend
+    /// and produces the verdict. On acceptance the salted seed feeds one
+    /// keygen and the RA is updated (protocol steps 7–9).
     pub fn complete(&mut self, msg: &DigestMsg) -> Result<VerdictMsg, CaError> {
+        let pending = self.prepare(msg)?;
+        let report = self.backend.submit(&pending.job);
+        Ok(self.finish(&pending, report))
+    }
+
+    /// Validates the digest message and builds the search job, consuming
+    /// the session. The caller runs the job on any backend (or through a
+    /// dispatcher) and hands the report to
+    /// [`CertificateAuthority::finish`].
+    pub fn prepare(&mut self, msg: &DigestMsg) -> Result<PendingAuth, CaError> {
         let (client_id, index) =
             self.sessions.remove(&msg.session).ok_or(CaError::UnknownSession(msg.session))?;
         if client_id != msg.client_id {
@@ -220,14 +259,25 @@ impl<P: PqcKeyGen> CertificateAuthority<P> {
         let records = self.store.get_all(client_id).ok_or(CaError::UnknownClient(client_id))?;
         let record = records.get(index).ok_or(CaError::UnknownClient(client_id))?;
 
-        let engine = SearchEngine::new(DynHashDerive(self.cfg.algo), self.cfg.engine.clone());
-        let report = engine.search(&msg.digest, &record.image.reference, self.cfg.max_d);
+        let mut job =
+            SearchJob::new(self.cfg.algo, msg.digest, record.image.reference, self.cfg.max_d)
+                .with_mode(self.cfg.engine.mode);
+        if let Some(deadline) = self.cfg.engine.deadline {
+            job = job.with_deadline(deadline);
+        }
+        Ok(PendingAuth { client_id, session: msg.session, salt: record.salt, job })
+    }
 
+    /// Turns a search report into the verdict for a prepared session:
+    /// salt + one-time keygen + RA update on success, address rotation on
+    /// timeout, and the authentication log entry in every case.
+    pub fn finish(&mut self, pending: &PendingAuth, report: SearchReport) -> VerdictMsg {
+        let client_id = pending.client_id;
         let verdict = match report.outcome {
             Outcome::Found { seed, distance } => {
                 // Step 7–9: salt once, generate the public key once,
                 // update the RA. The raw seed never leaves this scope.
-                let salted = record.salt.apply(&seed);
+                let salted = pending.salt.apply(&seed);
                 let public_key = self.keygen.public_key(&salted);
                 self.ra.register(client_id, public_key.clone());
                 Verdict::Accepted { distance, public_key }
@@ -242,7 +292,19 @@ impl<P: PqcKeyGen> CertificateAuthority<P> {
         };
         let accepted = matches!(verdict, Verdict::Accepted { .. });
         self.log.push(AuthRecord { client_id, report, accepted });
-        Ok(VerdictMsg { session: msg.session, verdict })
+        VerdictMsg { session: pending.session, verdict }
+    }
+
+    /// Records a shed request: the dispatcher rejected the search, so no
+    /// report exists and the client is told to retry. The session was
+    /// already consumed by [`CertificateAuthority::prepare`].
+    pub fn shed(&mut self, pending: &PendingAuth) -> VerdictMsg {
+        VerdictMsg { session: pending.session, verdict: Verdict::Overloaded }
+    }
+
+    /// The backend the CA searches on.
+    pub fn backend(&self) -> &Arc<dyn SearchBackend> {
+        &self.backend
     }
 
     /// The registration authority (public-key directory).
@@ -272,6 +334,7 @@ mod tests {
     use crate::protocol::Client;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rbc_bits::U256;
     use rbc_pqc::LightSaber;
     use rbc_puf::ModelPuf;
 

@@ -11,7 +11,7 @@
 use core::fmt;
 use rbc_bits::U256;
 use rbc_ciphers::SeedCipher;
-use rbc_hash::SeedHash;
+use rbc_hash::{DynDigest, HashAlgo, SeedHash};
 use rbc_pqc::PqcKeyGen;
 
 /// Derives a fixed, comparable response from a candidate seed.
@@ -87,6 +87,42 @@ impl<H: SeedHash> Derive for HashDerive<H> {
     #[inline]
     fn prefix64(&self, out: &H::Digest) -> Option<u64> {
         Some(H::prefix64_of(out))
+    }
+
+    fn prefix64_batch(&self, seeds: &[U256], out: &mut Vec<u64>) {
+        self.0.prefix64_batch(seeds, out);
+    }
+}
+
+/// Runtime-dispatched hash derivation, so one server can serve clients on
+/// different SHA variants. Static-dispatch engines (used by the benches)
+/// avoid the indirection; here the cost is one dynamic dispatch per
+/// *batch*, not per candidate — the batch and prescreen entry points
+/// forward to the same interleaved lane kernels ([`rbc_hash::lanes`]) the
+/// static [`HashDerive`] engines run, so CA-driven searches take the same
+/// hot path as the benches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DynHashDerive(pub HashAlgo);
+
+impl Derive for DynHashDerive {
+    type Out = DynDigest;
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    #[inline]
+    fn derive(&self, seed: &U256) -> DynDigest {
+        self.0.digest_seed(seed)
+    }
+
+    fn derive_batch(&self, seeds: &[U256], out: &mut Vec<DynDigest>) {
+        self.0.digest_seed_batch(seeds, out);
+    }
+
+    #[inline]
+    fn prefix64(&self, out: &DynDigest) -> Option<u64> {
+        Some(out.prefix64())
     }
 
     fn prefix64_batch(&self, seeds: &[U256], out: &mut Vec<u64>) {
@@ -174,6 +210,26 @@ mod tests {
         check(HashDerive(Sha3Fixed), &seeds);
         check(CipherDerive(AesResponse), &seeds);
         check(PqcDerive(LightSaber), &seeds);
+        for algo in HashAlgo::ALL {
+            check(DynHashDerive(algo), &seeds);
+        }
+    }
+
+    #[test]
+    fn dyn_hash_derive_prescreen_matches_static_lanes() {
+        // The CA's runtime-dispatched derivation must produce exactly the
+        // prefixes the static lane kernels produce — same prescreen
+        // decisions on the same hot path.
+        let seeds: Vec<U256> = (0..19u64).map(|i| U256::from_u64(i * 31 + 5)).collect();
+        let dynamic = DynHashDerive(HashAlgo::Sha3_256);
+        let mut dyn_prefixes = Vec::new();
+        dynamic.prefix64_batch(&seeds, &mut dyn_prefixes);
+        let mut static_prefixes = Vec::new();
+        HashDerive(Sha3Fixed).prefix64_batch(&seeds, &mut static_prefixes);
+        assert_eq!(dyn_prefixes, static_prefixes);
+        for (s, p) in seeds.iter().zip(&dyn_prefixes) {
+            assert_eq!(dynamic.prefix64(&dynamic.derive(s)), Some(*p));
+        }
     }
 
     #[test]

@@ -1,0 +1,608 @@
+//! The dispatcher: a bounded-queue scheduler over a pool of
+//! [`SearchBackend`]s.
+//!
+//! The ROADMAP's north star is a CA serving many concurrent
+//! authentications across heterogeneous hardware. The protocol gives each
+//! authentication a hard response threshold `T` (20 s in the paper), and
+//! that budget covers *everything* the server does — including time the
+//! request spends queued behind other clients. The dispatcher therefore:
+//!
+//! * admits at most [`DispatcherConfig::queue_limit`] waiting requests,
+//!   shedding the excess immediately (an overload signal the service maps
+//!   to `Verdict::Overloaded` so clients retry instead of silently timing
+//!   out);
+//! * hands each admitted job to a backend chosen by a pluggable
+//!   [`RoutePolicy`] the moment one has a free slot;
+//! * derives the job's search deadline as `T` minus the time it waited in
+//!   the queue, so a slow queue never silently extends the protocol
+//!   threshold — a request that waits too long is rejected, not stretched;
+//! * aggregates per-request latencies, queue waits, rejects and
+//!   per-backend busy time into [`DispatchStats`] for the service layer's
+//!   p50/p95/p99 reporting.
+//!
+//! Synchronization is a `Mutex` + `Condvar` pair: submitting threads
+//! block (bounded by their remaining budget) until a compatible backend
+//! frees a slot. Completion notifies all waiters; each re-checks its own
+//! deadline, so no request can deadlock past its budget.
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::backend::{BackendDescriptor, SearchBackend, SearchJob};
+use crate::engine::SearchReport;
+
+/// How the dispatcher picks among backends with free slots.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutePolicy {
+    /// Cycle through the pool in order.
+    RoundRobin,
+    /// Pick the backend with the lowest in-flight/slots load.
+    LeastLoaded,
+    /// Pick the backend with the highest modelled rate
+    /// ([`BackendDescriptor::est_rate`], from the calibrated
+    /// `CpuModel`/device timing models); ties and unmodelled backends
+    /// fall back to least-loaded.
+    FastestEstimate,
+}
+
+/// Dispatcher policy knobs.
+#[derive(Clone, Debug)]
+pub struct DispatcherConfig {
+    /// Maximum requests allowed to wait for a backend; arrivals beyond
+    /// this are shed immediately.
+    pub queue_limit: usize,
+    /// Per-request budget `T` covering queue wait + search (the paper's
+    /// 20 s threshold).
+    pub budget: Duration,
+    /// Routing policy.
+    pub policy: RoutePolicy,
+}
+
+impl Default for DispatcherConfig {
+    fn default() -> Self {
+        DispatcherConfig {
+            queue_limit: 64,
+            budget: Duration::from_secs(20),
+            policy: RoutePolicy::LeastLoaded,
+        }
+    }
+}
+
+/// How one submission ended.
+#[derive(Debug)]
+pub enum DispatchOutcome {
+    /// The job ran on `backend` (index into the pool) after waiting
+    /// `queue_wait` for a slot.
+    Completed {
+        /// Pool index of the backend that ran the job.
+        backend: usize,
+        /// Time spent waiting for a free slot.
+        queue_wait: Duration,
+        /// The backend's report.
+        report: SearchReport,
+    },
+    /// The job was shed: the queue was full on arrival, the budget
+    /// expired before a slot freed up, or no backend supports the job's
+    /// algorithm.
+    Overloaded {
+        /// Time spent waiting before the rejection.
+        queue_wait: Duration,
+    },
+}
+
+/// Per-backend aggregate accounting.
+#[derive(Clone, Debug)]
+pub struct BackendUtilization {
+    /// The backend's descriptor.
+    pub descriptor: BackendDescriptor,
+    /// Jobs completed on this backend.
+    pub jobs: u64,
+    /// Total busy (searching) time.
+    pub busy: Duration,
+    /// Busy time as a fraction of the dispatcher's lifetime.
+    pub utilization: f64,
+}
+
+/// Snapshot of the dispatcher's aggregate accounting.
+#[derive(Clone, Debug)]
+pub struct DispatchStats {
+    /// Requests completed on some backend.
+    pub completed: u64,
+    /// Requests shed (queue full, budget exhausted, or unsupported).
+    pub rejected: u64,
+    /// Requests currently waiting for a slot.
+    pub queue_depth: usize,
+    /// Highest number of simultaneous waiters observed.
+    pub peak_queue_depth: usize,
+    /// Median end-to-end latency (queue wait + search) of completed
+    /// requests.
+    pub p50_latency: Duration,
+    /// 95th-percentile latency.
+    pub p95_latency: Duration,
+    /// 99th-percentile latency.
+    pub p99_latency: Duration,
+    /// Mean queue wait of completed requests.
+    pub mean_queue_wait: Duration,
+    /// Per-backend jobs, busy time and utilization.
+    pub per_backend: Vec<BackendUtilization>,
+}
+
+struct Shared {
+    in_flight: Vec<usize>,
+    waiting: usize,
+    peak_waiting: usize,
+    rr_next: usize,
+    completed: u64,
+    rejected: u64,
+    latencies: Vec<Duration>,
+    queue_waits: Vec<Duration>,
+    jobs: Vec<u64>,
+    busy: Vec<Duration>,
+}
+
+/// A pool of search backends behind a bounded work queue.
+pub struct Dispatcher {
+    backends: Vec<Arc<dyn SearchBackend>>,
+    descriptors: Vec<BackendDescriptor>,
+    cfg: DispatcherConfig,
+    shared: Mutex<Shared>,
+    slot_freed: Condvar,
+    started: Instant,
+}
+
+impl Dispatcher {
+    /// Builds a dispatcher over a non-empty pool.
+    pub fn new(backends: Vec<Arc<dyn SearchBackend>>, cfg: DispatcherConfig) -> Self {
+        assert!(!backends.is_empty(), "dispatcher needs at least one backend");
+        let n = backends.len();
+        let descriptors = backends.iter().map(|b| b.descriptor()).collect();
+        Dispatcher {
+            backends,
+            descriptors,
+            cfg,
+            shared: Mutex::new(Shared {
+                in_flight: vec![0; n],
+                waiting: 0,
+                peak_waiting: 0,
+                rr_next: 0,
+                completed: 0,
+                rejected: 0,
+                latencies: Vec::new(),
+                queue_waits: Vec::new(),
+                jobs: vec![0; n],
+                busy: vec![Duration::ZERO; n],
+            }),
+            slot_freed: Condvar::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The pool's descriptors, in pool order.
+    pub fn descriptors(&self) -> &[BackendDescriptor] {
+        &self.descriptors
+    }
+
+    /// The dispatcher's configuration.
+    pub fn config(&self) -> &DispatcherConfig {
+        &self.cfg
+    }
+
+    /// Runs `job` on the pool, blocking until a backend finishes it or
+    /// the request is shed.
+    ///
+    /// The effective search deadline is the minimum of the job's own
+    /// deadline and the budget remaining after queue wait, so the
+    /// protocol threshold `T` bounds queue wait *plus* search.
+    pub fn submit(&self, job: &SearchJob) -> DispatchOutcome {
+        let arrived = Instant::now();
+        let give_up = arrived + self.cfg.budget;
+        let mut g = self.shared.lock().expect("dispatcher lock");
+
+        if !self.backends.iter().any(|b| b.supports(job.algo)) {
+            g.rejected += 1;
+            return DispatchOutcome::Overloaded { queue_wait: Duration::ZERO };
+        }
+        let chosen = match self.pick(&mut g, job) {
+            // A free slot on arrival: dispatch without queueing, no
+            // admission check — the queue limit bounds *waiters* only.
+            Some(i) => i,
+            None => {
+                // Admission control: a full queue already implies the
+                // budget will blow for this arrival — shed now so the
+                // client can retry.
+                if g.waiting >= self.cfg.queue_limit {
+                    g.rejected += 1;
+                    return DispatchOutcome::Overloaded { queue_wait: Duration::ZERO };
+                }
+                g.waiting += 1;
+                g.peak_waiting = g.peak_waiting.max(g.waiting);
+                loop {
+                    if let Some(i) = self.pick(&mut g, job) {
+                        g.waiting -= 1;
+                        break i;
+                    }
+                    let now = Instant::now();
+                    if now >= give_up {
+                        g.waiting -= 1;
+                        g.rejected += 1;
+                        return DispatchOutcome::Overloaded { queue_wait: now - arrived };
+                    }
+                    g = self.slot_freed.wait_timeout(g, give_up - now).expect("dispatcher lock").0;
+                }
+            }
+        };
+        g.in_flight[chosen] += 1;
+        drop(g);
+
+        let queue_wait = arrived.elapsed();
+        let remaining = self.cfg.budget.saturating_sub(queue_wait);
+        let mut routed = job.clone();
+        routed.deadline = Some(match job.deadline {
+            Some(d) => d.min(remaining),
+            None => remaining,
+        });
+
+        let run_start = Instant::now();
+        let report = self.backends[chosen].submit(&routed);
+        let busy = run_start.elapsed();
+
+        let mut g = self.shared.lock().expect("dispatcher lock");
+        g.in_flight[chosen] -= 1;
+        g.jobs[chosen] += 1;
+        g.busy[chosen] += busy;
+        g.completed += 1;
+        g.latencies.push(arrived.elapsed());
+        g.queue_waits.push(queue_wait);
+        drop(g);
+        // Wake every waiter: each re-checks its own budget, so a stale
+        // wake-up costs one loop iteration, never a lost slot.
+        self.slot_freed.notify_all();
+
+        DispatchOutcome::Completed { backend: chosen, queue_wait, report }
+    }
+
+    /// Picks a compatible backend with a free slot, or `None` if all are
+    /// saturated.
+    fn pick(&self, g: &mut Shared, job: &SearchJob) -> Option<usize> {
+        let n = self.backends.len();
+        let free = |i: usize, g: &Shared| {
+            g.in_flight[i] < self.descriptors[i].slots.max(1) && self.backends[i].supports(job.algo)
+        };
+        match self.cfg.policy {
+            RoutePolicy::RoundRobin => {
+                for off in 0..n {
+                    let i = (g.rr_next + off) % n;
+                    if free(i, g) {
+                        g.rr_next = (i + 1) % n;
+                        return Some(i);
+                    }
+                }
+                None
+            }
+            RoutePolicy::LeastLoaded => (0..n)
+                .filter(|&i| free(i, g))
+                .min_by(|&a, &b| self.load(g, a).total_cmp(&self.load(g, b))),
+            RoutePolicy::FastestEstimate => (0..n).filter(|&i| free(i, g)).min_by(|&a, &b| {
+                let ra = self.descriptors[a].est_rate;
+                let rb = self.descriptors[b].est_rate;
+                // Highest modelled rate first; break ties on load.
+                rb.total_cmp(&ra).then(self.load(g, a).total_cmp(&self.load(g, b)))
+            }),
+        }
+    }
+
+    fn load(&self, g: &Shared, i: usize) -> f64 {
+        g.in_flight[i] as f64 / self.descriptors[i].slots.max(1) as f64
+    }
+
+    /// Snapshot of aggregate accounting since construction.
+    pub fn stats(&self) -> DispatchStats {
+        let g = self.shared.lock().expect("dispatcher lock");
+        let wall = self.started.elapsed().max(Duration::from_nanos(1));
+        let mut sorted = g.latencies.clone();
+        sorted.sort_unstable();
+        let mean_queue_wait = if g.queue_waits.is_empty() {
+            Duration::ZERO
+        } else {
+            g.queue_waits.iter().sum::<Duration>() / g.queue_waits.len() as u32
+        };
+        DispatchStats {
+            completed: g.completed,
+            rejected: g.rejected,
+            queue_depth: g.waiting,
+            peak_queue_depth: g.peak_waiting,
+            p50_latency: percentile(&sorted, 50.0),
+            p95_latency: percentile(&sorted, 95.0),
+            p99_latency: percentile(&sorted, 99.0),
+            mean_queue_wait,
+            per_backend: (0..self.backends.len())
+                .map(|i| BackendUtilization {
+                    descriptor: self.descriptors[i].clone(),
+                    jobs: g.jobs[i],
+                    busy: g.busy[i],
+                    utilization: g.busy[i].as_secs_f64() / wall.as_secs_f64(),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample; zero when
+/// empty.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::CpuBackend;
+    use crate::engine::{EngineConfig, Outcome, SearchMode};
+    use rbc_bits::U256;
+    use rbc_hash::HashAlgo;
+
+    /// A backend that sleeps instead of searching — load-control tests
+    /// need controllable service times, not real searches.
+    struct SleepBackend {
+        delay: Duration,
+        slots: usize,
+    }
+
+    impl SearchBackend for SleepBackend {
+        fn descriptor(&self) -> BackendDescriptor {
+            BackendDescriptor {
+                kind: "cpu",
+                name: format!("sleep({:?})", self.delay),
+                slots: self.slots,
+                est_rate: 0.0,
+            }
+        }
+
+        fn submit(&self, job: &SearchJob) -> SearchReport {
+            std::thread::sleep(self.delay);
+            SearchReport {
+                outcome: Outcome::NotFound,
+                seeds_derived: 0,
+                elapsed: self.delay,
+                per_distance: Vec::new(),
+                algorithm: job.algo.name(),
+                threads: 1,
+                extras: Vec::new(),
+            }
+        }
+    }
+
+    fn trivial_job() -> SearchJob {
+        let base = U256::from_u64(1);
+        SearchJob::new(HashAlgo::Sha3_256, HashAlgo::Sha3_256.digest_seed(&base), base, 0)
+    }
+
+    fn searching_job(d: u32, max_d: u32) -> SearchJob {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7 + d as u64);
+        let base = U256::random(&mut rng);
+        let client = base.random_at_distance(d, &mut rng);
+        SearchJob::new(HashAlgo::Sha3_256, HashAlgo::Sha3_256.digest_seed(&client), base, max_d)
+    }
+
+    fn cpu_pool(n: usize) -> Vec<Arc<dyn SearchBackend>> {
+        (0..n)
+            .map(|_| {
+                Arc::new(CpuBackend::new(EngineConfig { threads: 2, ..Default::default() }))
+                    as Arc<dyn SearchBackend>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dispatches_and_reports_the_search() {
+        let d = Dispatcher::new(cpu_pool(2), DispatcherConfig::default());
+        let job = searching_job(2, 3);
+        match d.submit(&job) {
+            DispatchOutcome::Completed { report, .. } => {
+                assert!(matches!(report.outcome, Outcome::Found { distance: 2, .. }));
+            }
+            other => panic!("expected completion, got {other:?}"),
+        }
+        let s = d.stats();
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.rejected, 0);
+        assert_eq!(s.per_backend.iter().map(|b| b.jobs).sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn round_robin_cycles_the_pool() {
+        let d = Dispatcher::new(
+            cpu_pool(3),
+            DispatcherConfig { policy: RoutePolicy::RoundRobin, ..Default::default() },
+        );
+        for _ in 0..6 {
+            let out = d.submit(&trivial_job());
+            assert!(matches!(out, DispatchOutcome::Completed { .. }));
+        }
+        let s = d.stats();
+        let jobs: Vec<u64> = s.per_backend.iter().map(|b| b.jobs).collect();
+        assert_eq!(jobs, vec![2, 2, 2], "round robin must balance serial arrivals");
+    }
+
+    #[test]
+    fn fastest_estimate_prefers_the_modelled_faster_backend() {
+        let slow = Arc::new(
+            CpuBackend::new(EngineConfig { threads: 1, ..Default::default() }).with_est_rate(1.0e6),
+        ) as Arc<dyn SearchBackend>;
+        let fast = Arc::new(
+            CpuBackend::new(EngineConfig { threads: 1, ..Default::default() }).with_est_rate(5.0e9),
+        ) as Arc<dyn SearchBackend>;
+        let d = Dispatcher::new(
+            vec![slow, fast],
+            DispatcherConfig { policy: RoutePolicy::FastestEstimate, ..Default::default() },
+        );
+        for _ in 0..4 {
+            d.submit(&trivial_job());
+        }
+        let s = d.stats();
+        assert_eq!(s.per_backend[0].jobs, 0, "slow backend untouched while fast is free");
+        assert_eq!(s.per_backend[1].jobs, 4);
+    }
+
+    #[test]
+    fn overload_sheds_beyond_queue_limit() {
+        // One slot busy for 200 ms, one waiter allowed, tiny budget: the
+        // third concurrent arrival must be shed at admission and the
+        // waiter must be shed when its budget expires.
+        let pool: Vec<Arc<dyn SearchBackend>> =
+            vec![Arc::new(SleepBackend { delay: Duration::from_millis(200), slots: 1 })];
+        let d = Dispatcher::new(
+            pool,
+            DispatcherConfig {
+                queue_limit: 1,
+                budget: Duration::from_millis(60),
+                policy: RoutePolicy::LeastLoaded,
+            },
+        );
+        std::thread::scope(|s| {
+            let h1 = s.spawn(|| d.submit(&trivial_job()));
+            std::thread::sleep(Duration::from_millis(20));
+            let h2 = s.spawn(|| d.submit(&trivial_job()));
+            std::thread::sleep(Duration::from_millis(20));
+            let h3 = s.spawn(|| d.submit(&trivial_job()));
+            let r1 = h1.join().expect("no panic");
+            let r2 = h2.join().expect("no panic");
+            let r3 = h3.join().expect("no panic");
+            assert!(matches!(r1, DispatchOutcome::Completed { .. }), "{r1:?}");
+            assert!(matches!(r2, DispatchOutcome::Overloaded { .. }), "budget expires: {r2:?}");
+            assert!(matches!(r3, DispatchOutcome::Overloaded { .. }), "queue full: {r3:?}");
+        });
+        let s = d.stats();
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.rejected, 2);
+        assert_eq!(s.queue_depth, 0, "no stuck waiters");
+    }
+
+    #[test]
+    fn queue_wait_shrinks_the_search_deadline() {
+        // Budget 80 ms; the first job occupies the only slot for 50 ms,
+        // so the second's effective search deadline is ≲ 30 ms and its
+        // (slow) search must report a timeout rather than run to
+        // completion.
+        let sleeper = Arc::new(SleepBackend { delay: Duration::from_millis(50), slots: 1 })
+            as Arc<dyn SearchBackend>;
+        let cpu = Arc::new(CpuBackend::new(EngineConfig { threads: 1, ..Default::default() }))
+            as Arc<dyn SearchBackend>;
+        // Two dispatchers share nothing; run the timing check on one pool
+        // where both jobs land on the sleeper first, then the real search.
+        let d = Dispatcher::new(
+            vec![sleeper],
+            DispatcherConfig {
+                queue_limit: 4,
+                budget: Duration::from_millis(80),
+                policy: RoutePolicy::LeastLoaded,
+            },
+        );
+        std::thread::scope(|s| {
+            let h1 = s.spawn(|| d.submit(&trivial_job()));
+            std::thread::sleep(Duration::from_millis(10));
+            // Second arrival waits ~40 ms, leaving ~40 ms of budget: it
+            // must be admitted (not shed) and carry a reduced deadline.
+            let h2 = s.spawn(|| d.submit(&trivial_job()));
+            assert!(matches!(h1.join().expect("ok"), DispatchOutcome::Completed { .. }));
+            match h2.join().expect("ok") {
+                DispatchOutcome::Completed { queue_wait, .. } => {
+                    assert!(queue_wait >= Duration::from_millis(20), "{queue_wait:?}");
+                }
+                other => panic!("expected completion, got {other:?}"),
+            }
+        });
+        // The deadline derivation itself: a real CPU search submitted
+        // with no job deadline inherits the dispatcher budget.
+        let d2 = Dispatcher::new(
+            vec![cpu],
+            DispatcherConfig {
+                queue_limit: 4,
+                budget: Duration::from_nanos(1),
+                policy: RoutePolicy::LeastLoaded,
+            },
+        );
+        match d2.submit(&searching_job(3, 3)) {
+            DispatchOutcome::Completed { report, .. } => {
+                assert!(
+                    matches!(report.outcome, Outcome::TimedOut { .. }),
+                    "zero budget must time the search out: {:?}",
+                    report.outcome
+                );
+            }
+            DispatchOutcome::Overloaded { .. } => {} // also acceptable: shed pre-search
+        }
+    }
+
+    #[test]
+    fn unsupported_algorithm_is_shed_not_deadlocked() {
+        struct Sha1Only;
+        impl SearchBackend for Sha1Only {
+            fn descriptor(&self) -> BackendDescriptor {
+                BackendDescriptor { kind: "cpu", name: "sha1-only".into(), slots: 1, est_rate: 0.0 }
+            }
+            fn supports(&self, algo: HashAlgo) -> bool {
+                algo == HashAlgo::Sha1
+            }
+            fn submit(&self, _job: &SearchJob) -> SearchReport {
+                unreachable!("dispatcher must not route unsupported jobs here")
+            }
+        }
+        let d = Dispatcher::new(
+            vec![Arc::new(Sha1Only) as Arc<dyn SearchBackend>],
+            DispatcherConfig::default(),
+        );
+        let out = d.submit(&trivial_job()); // SHA3 job
+        assert!(matches!(out, DispatchOutcome::Overloaded { .. }));
+        assert_eq!(d.stats().rejected, 1);
+    }
+
+    #[test]
+    fn concurrent_submissions_complete_without_deadlock() {
+        let d = Dispatcher::new(
+            cpu_pool(3),
+            DispatcherConfig { queue_limit: 32, ..Default::default() },
+        );
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..12)
+                .map(|i| {
+                    let d = &d;
+                    s.spawn(move || d.submit(&searching_job(i % 3, 2)))
+                })
+                .collect();
+            for h in handles {
+                assert!(matches!(h.join().expect("no panic"), DispatchOutcome::Completed { .. }));
+            }
+        });
+        let s = d.stats();
+        assert_eq!(s.completed, 12);
+        assert_eq!(s.queue_depth, 0);
+        assert!(s.p50_latency <= s.p95_latency && s.p95_latency <= s.p99_latency);
+    }
+
+    #[test]
+    fn mode_and_exhaustive_counts_survive_dispatch() {
+        let d = Dispatcher::new(cpu_pool(1), DispatcherConfig::default());
+        let job = searching_job(1, 2).with_mode(SearchMode::Exhaustive);
+        match d.submit(&job) {
+            DispatchOutcome::Completed { report, .. } => {
+                assert_eq!(report.seeds_derived, 1 + 256 + 32_640);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 50.0), Duration::from_millis(51));
+        assert_eq!(percentile(&ms, 99.0), Duration::from_millis(99));
+        assert_eq!(percentile(&[], 50.0), Duration::ZERO);
+    }
+}

@@ -2,7 +2,7 @@
 //! threads.
 //!
 //! One generic engine serves both the salted (hash) and algorithm-aware
-//! (cipher / PQC keygen) searches via the [`Derive`](crate::derive::Derive)
+//! (cipher / PQC keygen) searches via the [`crate::derive::Derive`]
 //! trait. The work assignment is the paper's: the `C(256, d)` mask space at
 //! each Hamming distance is statically partitioned into `p` near-equal
 //! contiguous ranges, one per thread (`n = C(256, d)/p` seeds each), and
@@ -152,6 +152,18 @@ pub struct SearchReport {
     pub algorithm: &'static str,
     /// Threads used.
     pub threads: usize,
+    /// Device-specific counters reported by non-CPU backends (kernel
+    /// launches, hash waves, PE counts, cluster messages, …); empty for
+    /// the CPU engine. Keys are stable per backend — see
+    /// [`crate::backend`].
+    pub extras: Vec<(&'static str, u64)>,
+}
+
+impl SearchReport {
+    /// Looks up a device-specific counter by key.
+    pub fn extra(&self, key: &str) -> Option<u64> {
+        self.extras.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+    }
 }
 
 // Stop-flag states.
@@ -386,6 +398,7 @@ impl<D: Derive> SearchEngine<D> {
             per_distance,
             algorithm: self.derive.name(),
             threads,
+            extras: Vec::new(),
         }
     }
 }

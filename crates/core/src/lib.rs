@@ -6,7 +6,7 @@
 //!
 //! ## Map of the crate
 //!
-//! * [`derive`] — the per-candidate derivation trait unifying the salted
+//! * [`mod@derive`] — the per-candidate derivation trait unifying the salted
 //!   (hash) search with the algorithm-aware (cipher / PQC keygen)
 //!   baselines of prior work.
 //! * [`engine`] — Algorithm 1: the statically partitioned, early-exiting
@@ -14,6 +14,13 @@
 //! * [`salt`] — step 7's shared-salt decoupling of digest and key.
 //! * [`protocol`] — message types and the client endpoint.
 //! * [`ca`] — the CA/RA server side, including the sealed image store.
+//! * [`backend`] — the [`backend::SearchBackend`] trait putting the CPU
+//!   engine, the cluster engine and (in `rbc-accel`) the GPU/APU
+//!   simulators behind one substrate-agnostic submit interface.
+//! * [`dispatch`] — the bounded-queue scheduler routing jobs across a
+//!   backend pool under the protocol's response threshold.
+//! * [`service`] — the multi-client authentication service: many
+//!   concurrent `prepare → dispatch → finish` pipelines over one CA.
 //! * [`trials`] — the paper's 1200-trial average-case measurement driver.
 //!
 //! ## Quick start
@@ -45,21 +52,27 @@
 #![warn(missing_docs)]
 
 pub mod attack;
+pub mod backend;
 pub mod ca;
 pub mod cluster;
 pub mod derive;
+pub mod dispatch;
 pub mod engine;
 pub mod protocol;
 pub mod salt;
+pub mod service;
 pub mod store;
 pub mod trials;
 pub mod weighted;
 
-pub use ca::{CaConfig, CertificateAuthority, RegistrationAuthority};
+pub use backend::{BackendDescriptor, ClusterBackend, CpuBackend, SearchBackend, SearchJob};
+pub use ca::{CaConfig, CertificateAuthority, PendingAuth, RegistrationAuthority};
 pub use cluster::{cluster_search, ClusterConfig, ClusterReport};
-pub use derive::{CipherDerive, Derive, HashDerive, PqcDerive};
+pub use derive::{CipherDerive, Derive, DynHashDerive, HashDerive, PqcDerive};
+pub use dispatch::{DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig, RoutePolicy};
 pub use engine::{DistanceStats, EngineConfig, Outcome, SearchEngine, SearchMode, SearchReport};
 pub use protocol::{Client, ClientId, Verdict};
 pub use salt::Salt;
+pub use service::{AuthService, ServiceConfig, ServiceStats};
 pub use trials::{run_average_case_trials, TrialSummary};
 pub use weighted::{weighted_search, ReliabilityOrder, WeightedOutcome};

@@ -71,6 +71,10 @@ pub enum Verdict {
     Rejected,
     /// The time threshold `T` expired; the CA will issue a new challenge.
     TimedOut,
+    /// The CA's dispatch queue could not serve the request within the
+    /// threshold; the request was shed before (or instead of) searching
+    /// and the client should retry.
+    Overloaded,
 }
 
 /// The client endpoint: a device with a PUF, able to answer challenges.

@@ -1,0 +1,238 @@
+//! The multi-client authentication service.
+//!
+//! [`crate::ca::CertificateAuthority`] is a sequential state machine: one
+//! `&mut self` call per protocol step. That is faithful to the paper's
+//! single-authentication measurements, but the ROADMAP's service question
+//! — what happens when many clients authenticate at once against a pool
+//! of heterogeneous search hardware — needs the search (seconds) off the
+//! CA's critical section (microseconds). [`AuthService`] does exactly
+//! that split:
+//!
+//! 1. lock the CA, validate the digest and build the [`SearchJob`]
+//!    ([`CertificateAuthority::prepare`]), unlock;
+//! 2. run the job through the [`Dispatcher`] — queueing, routing and
+//!    deadline accounting happen there, concurrently across clients;
+//! 3. lock the CA again for the verdict bookkeeping
+//!    ([`CertificateAuthority::finish`]), or map a shed request to
+//!    [`Verdict::Overloaded`].
+//!
+//! The service also aggregates verdict counts on top of the dispatcher's
+//! latency/utilization statistics, giving the `repro service` bench its
+//! [`ServiceStats`] rows.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rbc_pqc::PqcKeyGen;
+
+use crate::ca::{CaError, CertificateAuthority};
+use crate::dispatch::{DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig};
+use crate::protocol::{ChallengeMsg, DigestMsg, HelloMsg, Verdict, VerdictMsg};
+
+#[allow(unused_imports)] // doc links
+use crate::backend::SearchJob;
+
+/// Service construction knobs (currently just the dispatcher's).
+pub type ServiceConfig = DispatcherConfig;
+
+/// Verdict counts plus the dispatcher's queue/latency statistics.
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    /// Authentications accepted.
+    pub accepted: u64,
+    /// Authentications rejected (no seed within the bound).
+    pub rejected: u64,
+    /// Authentications that timed out mid-search.
+    pub timed_out: u64,
+    /// Requests shed by the dispatcher before completing a search.
+    pub overloaded: u64,
+    /// Queue depth, p50/p95/p99 latency and per-backend utilization.
+    pub dispatch: DispatchStats,
+}
+
+/// A concurrency-safe CA front end multiplexing authentications over a
+/// [`Dispatcher`].
+pub struct AuthService<P: PqcKeyGen> {
+    ca: Mutex<CertificateAuthority<P>>,
+    dispatcher: Arc<Dispatcher>,
+    counts: Mutex<[u64; 4]>, // accepted, rejected, timed_out, overloaded
+}
+
+impl<P: PqcKeyGen> AuthService<P> {
+    /// Wraps a CA (enrollments done) and a dispatcher pool.
+    pub fn new(ca: CertificateAuthority<P>, dispatcher: Arc<Dispatcher>) -> Self {
+        AuthService { ca: Mutex::new(ca), dispatcher, counts: Mutex::new([0; 4]) }
+    }
+
+    /// Protocol step 1–2: opens a session, returns the challenge.
+    pub fn begin(&self, hello: &HelloMsg) -> Result<ChallengeMsg, CaError> {
+        self.ca.lock().begin(hello)
+    }
+
+    /// Protocol steps 5–9 under load: validates the digest, dispatches
+    /// the search, finishes the verdict. Callable from many client
+    /// threads concurrently; only the validation and verdict bookkeeping
+    /// hold the CA lock.
+    pub fn complete(&self, msg: &DigestMsg) -> Result<VerdictMsg, CaError> {
+        let pending = self.ca.lock().prepare(msg)?;
+        let verdict = match self.dispatcher.submit(&pending.job) {
+            DispatchOutcome::Completed { report, .. } => self.ca.lock().finish(&pending, report),
+            DispatchOutcome::Overloaded { .. } => self.ca.lock().shed(&pending),
+        };
+        let slot = match verdict.verdict {
+            Verdict::Accepted { .. } => 0,
+            Verdict::Rejected => 1,
+            Verdict::TimedOut => 2,
+            Verdict::Overloaded => 3,
+        };
+        self.counts.lock()[slot] += 1;
+        Ok(verdict)
+    }
+
+    /// The dispatcher routing this service's searches.
+    pub fn dispatcher(&self) -> &Arc<Dispatcher> {
+        &self.dispatcher
+    }
+
+    /// Runs `f` against the CA (enrollment, log inspection) while the
+    /// service owns it.
+    pub fn with_ca<R>(&self, f: impl FnOnce(&mut CertificateAuthority<P>) -> R) -> R {
+        f(&mut self.ca.lock())
+    }
+
+    /// Verdict counts + dispatcher statistics since construction.
+    pub fn stats(&self) -> ServiceStats {
+        let [accepted, rejected, timed_out, overloaded] = *self.counts.lock();
+        ServiceStats {
+            accepted,
+            rejected,
+            timed_out,
+            overloaded,
+            dispatch: self.dispatcher.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{CpuBackend, SearchBackend};
+    use crate::ca::CaConfig;
+    use crate::dispatch::RoutePolicy;
+    use crate::engine::EngineConfig;
+    use crate::protocol::Client;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rbc_pqc::LightSaber;
+    use rbc_puf::ModelPuf;
+    use std::time::Duration;
+
+    fn service_under_test(
+        clients: u64,
+        pool: usize,
+        cfg: ServiceConfig,
+    ) -> (AuthService<LightSaber>, Vec<Client<ModelPuf>>) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let ca_cfg = CaConfig {
+            max_d: 3,
+            engine: EngineConfig { threads: 2, ..Default::default() },
+            ..Default::default()
+        };
+        let mut ca = CertificateAuthority::new([9u8; 32], LightSaber, ca_cfg);
+        let mut devices = Vec::new();
+        for id in 0..clients {
+            let client = Client::new(id, ModelPuf::sram(4096, 1000 + id));
+            ca.enroll_client(id, client.device(), 0, &mut rng).unwrap();
+            devices.push(client);
+        }
+        let backends: Vec<Arc<dyn SearchBackend>> = (0..pool)
+            .map(|_| {
+                Arc::new(CpuBackend::new(EngineConfig { threads: 2, ..Default::default() }))
+                    as Arc<dyn SearchBackend>
+            })
+            .collect();
+        let service = AuthService::new(ca, Arc::new(Dispatcher::new(backends, cfg)));
+        (service, devices)
+    }
+
+    #[test]
+    fn serves_concurrent_clients_and_counts_verdicts() {
+        let (service, mut clients) = service_under_test(8, 2, ServiceConfig::default());
+        // Client 7 carries noise beyond max_d: its verdict must be a
+        // rejection, mixed in with the others' acceptances.
+        clients[7].extra_noise = 6;
+        std::thread::scope(|s| {
+            let service = &service;
+            for (i, client) in clients.iter().enumerate() {
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(5000 + i as u64);
+                    let challenge = service.begin(&client.hello()).unwrap();
+                    let digest = client.respond(&challenge, &mut rng);
+                    service.complete(&digest).unwrap()
+                });
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(
+            stats.accepted + stats.rejected + stats.timed_out + stats.overloaded,
+            8,
+            "{stats:?}"
+        );
+        assert!(stats.rejected >= 1, "the noisy client must be rejected: {stats:?}");
+        assert!(stats.accepted >= 5, "clean clients should mostly pass: {stats:?}");
+        assert_eq!(stats.dispatch.completed + stats.dispatch.rejected, 8);
+        service.with_ca(|ca| assert_eq!(ca.log().len() as u64, stats.dispatch.completed));
+    }
+
+    #[test]
+    fn overload_maps_to_the_overloaded_verdict() {
+        let cfg = ServiceConfig {
+            queue_limit: 0, // any wait is a shed
+            budget: Duration::from_millis(50),
+            policy: RoutePolicy::LeastLoaded,
+        };
+        let (service, clients) = service_under_test(4, 1, cfg);
+        let verdicts = std::thread::scope(|s| {
+            let handles: Vec<_> = clients
+                .iter()
+                .enumerate()
+                .map(|(i, client)| {
+                    let service = &service;
+                    s.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(9000 + i as u64);
+                        let challenge = service.begin(&client.hello()).unwrap();
+                        let digest = client.respond(&challenge, &mut rng);
+                        service.complete(&digest).unwrap().verdict
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+        });
+        let stats = service.stats();
+        let shed = verdicts.iter().filter(|v| **v == Verdict::Overloaded).count();
+        assert_eq!(stats.overloaded as usize, shed);
+        // With one slot, zero queueing allowed and four simultaneous
+        // arrivals, at least one request must have been shed — and at
+        // least one must still complete.
+        assert!(stats.overloaded >= 1, "{stats:?}");
+        assert!(stats.accepted + stats.rejected + stats.timed_out >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn sequential_reuse_keeps_sessions_independent() {
+        let (service, clients) = service_under_test(2, 1, ServiceConfig::default());
+        let mut rng = StdRng::seed_from_u64(77);
+        for round in 0..2 {
+            for client in &clients {
+                let challenge = service.begin(&client.hello()).unwrap();
+                let digest = client.respond(&challenge, &mut rng);
+                let verdict = service.complete(&digest).unwrap();
+                assert!(
+                    matches!(verdict.verdict, Verdict::Accepted { .. } | Verdict::Rejected),
+                    "round {round}: {verdict:?}"
+                );
+            }
+        }
+        assert_eq!(service.stats().dispatch.completed, 4);
+    }
+}

@@ -1,9 +1,9 @@
-//! The Keccak-f[1600] permutation (FIPS 202 §3).
+//! The Keccak-f\[1600\] permutation (FIPS 202 §3).
 //!
 //! The state is 25 lanes of 64 bits, indexed `state[x + 5*y]`. All SHA-3 and
 //! SHAKE variants in this crate are sponges over this permutation.
 
-/// Number of rounds of Keccak-f[1600].
+/// Number of rounds of Keccak-f\[1600\].
 pub const ROUNDS: usize = 24;
 
 /// Round constants for the ι step (FIPS 202 Table across 24 rounds).
@@ -43,7 +43,7 @@ pub const RHO: [u32; 25] = [
     18, 2, 61, 56, 14,
 ];
 
-/// Applies the full 24-round Keccak-f[1600] permutation in place.
+/// Applies the full 24-round Keccak-f\[1600\] permutation in place.
 #[inline]
 pub fn keccak_f1600(state: &mut [u64; 25]) {
     for rc in RC {
@@ -51,7 +51,7 @@ pub fn keccak_f1600(state: &mut [u64; 25]) {
     }
 }
 
-/// One round of Keccak-f[1600]: θ, ρ, π, χ, ι.
+/// One round of Keccak-f\[1600\]: θ, ρ, π, χ, ι.
 ///
 /// Exposed so the APU simulator can microcode the permutation round by
 /// round and cross-check each intermediate state against this reference.
@@ -95,7 +95,7 @@ pub fn round(a: &mut [u64; 25], rc: u64) {
 mod tests {
     use super::*;
 
-    /// Keccak-f[1600] applied to the zero state; first lanes of the known
+    /// Keccak-f\[1600\] applied to the zero state; first lanes of the known
     /// result vector (from the Keccak reference implementation test vectors).
     #[test]
     fn permutation_of_zero_state() {

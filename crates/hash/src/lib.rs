@@ -327,6 +327,44 @@ impl HashAlgo {
             HashAlgo::Sha256 => DynDigest::from_slice(&sha2::Sha256::digest(data)),
         }
     }
+
+    /// Hashes a batch of seeds, clearing and refilling `out` so
+    /// `out[i] == digest_seed(&seeds[i])`.
+    ///
+    /// SHA-1 and SHA3-256 route through the interleaved multi-lane
+    /// kernels of their fixed-input hashers ([`Sha1Fixed::digest_batch`],
+    /// [`Sha3Fixed::digest_batch`]); SHA-256 has no lane kernel and loops
+    /// the scalar fixed-input path.
+    pub fn digest_seed_batch(self, seeds: &[U256], out: &mut Vec<DynDigest>) {
+        fn via<H: SeedHash>(hasher: H, seeds: &[U256], out: &mut Vec<DynDigest>)
+        where
+            H::Digest: AsRef<[u8]>,
+        {
+            let mut typed: Vec<H::Digest> = Vec::with_capacity(seeds.len());
+            hasher.digest_batch(seeds, &mut typed);
+            out.clear();
+            out.extend(typed.iter().map(|d| DynDigest::from_slice(d.as_ref())));
+        }
+        match self {
+            HashAlgo::Sha1 => via(Sha1Fixed, seeds, out),
+            HashAlgo::Sha3_256 => via(Sha3Fixed, seeds, out),
+            HashAlgo::Sha256 => via(Sha256Fixed, seeds, out),
+        }
+    }
+
+    /// 64-bit digest prefixes of a batch of seeds, clearing and refilling
+    /// `out` so `out[i] == digest_seed(&seeds[i]).prefix64()`.
+    ///
+    /// This is the runtime-dispatched entry to the multi-lane prefix
+    /// kernels — the prescreen path batched search engines drive, one
+    /// dynamic dispatch per batch rather than per candidate.
+    pub fn prefix64_batch(self, seeds: &[U256], out: &mut Vec<u64>) {
+        match self {
+            HashAlgo::Sha1 => Sha1Fixed.prefix64_batch(seeds, out),
+            HashAlgo::Sha3_256 => Sha3Fixed.prefix64_batch(seeds, out),
+            HashAlgo::Sha256 => Sha256Fixed.prefix64_batch(seeds, out),
+        }
+    }
 }
 
 impl fmt::Display for HashAlgo {
@@ -355,6 +393,16 @@ impl DynDigest {
     /// The digest bytes.
     pub fn as_bytes(&self) -> &[u8] {
         &self.bytes[..self.len as usize]
+    }
+
+    /// The 64-bit prescreen key: the first 8 bytes read little-endian —
+    /// the same convention as [`SeedHash::prefix64_of`], so runtime- and
+    /// static-dispatch engines agree on prescreen decisions.
+    ///
+    /// Panics if the digest is shorter than 8 bytes (every supported
+    /// [`HashAlgo`] digest is at least 20).
+    pub fn prefix64(&self) -> u64 {
+        prefix64_of_bytes(self.as_bytes())
     }
 
     /// Digest length in bytes.
@@ -484,6 +532,37 @@ mod tests {
         assert_eq!(HashAlgo::Sha3_256.digest_seed(&seed).len(), 32);
         assert_eq!(HashAlgo::Sha1.digest_len(), 20);
         assert!(!HashAlgo::Sha1.digest_seed(&seed).is_empty());
+    }
+
+    #[test]
+    fn hash_algo_batch_paths_match_scalar() {
+        let seeds: Vec<U256> = (0..23u64).map(|i| U256::from_u64(i * 1_000_003 + 7)).collect();
+        for algo in HashAlgo::ALL {
+            // Every batch length exercises the wide/narrow/scalar drains.
+            for n in [0usize, 1, 2, 5, 8, 23] {
+                let mut digests = Vec::new();
+                algo.digest_seed_batch(&seeds[..n], &mut digests);
+                let want: Vec<DynDigest> = seeds[..n].iter().map(|s| algo.digest_seed(s)).collect();
+                assert_eq!(digests, want, "{algo} digests, n={n}");
+
+                let mut prefixes = Vec::new();
+                algo.prefix64_batch(&seeds[..n], &mut prefixes);
+                let wantp: Vec<u64> =
+                    seeds[..n].iter().map(|s| algo.digest_seed(s).prefix64()).collect();
+                assert_eq!(prefixes, wantp, "{algo} prefixes, n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dyn_digest_prefix64_is_first_eight_bytes_le() {
+        let seed = U256::from_u64(99);
+        for algo in HashAlgo::ALL {
+            let d = algo.digest_seed(&seed);
+            let mut first = [0u8; 8];
+            first.copy_from_slice(&d.as_bytes()[..8]);
+            assert_eq!(d.prefix64(), u64::from_le_bytes(first), "{algo}");
+        }
     }
 
     #[test]

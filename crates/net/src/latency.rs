@@ -88,6 +88,15 @@ impl LatencyModel {
     pub fn standard_auth_comm(&self) -> CommBreakdown {
         self.authentication_comm(3, 6)
     }
+
+    /// What's left of the response threshold for the server-side search
+    /// once the standard exchange's communication is paid: `total` minus
+    /// [`LatencyModel::standard_auth_comm`], saturating at zero. This is
+    /// the budget a dispatcher should grant the queue-plus-search
+    /// pipeline when the *client-observed* deadline is `total`.
+    pub fn search_budget(&self, total: Duration) -> Duration {
+        total.saturating_sub(self.standard_auth_comm().total())
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +127,13 @@ mod tests {
         let us = LatencyModel::paper_wan().standard_auth_comm().total();
         let il = LatencyModel::intercontinental().standard_auth_comm().total();
         assert!(il > us, "the paper normalized this away for fairness");
+    }
+
+    #[test]
+    fn search_budget_subtracts_comm_and_saturates() {
+        let m = LatencyModel::paper_wan();
+        assert_eq!(m.search_budget(Duration::from_secs(20)), Duration::from_millis(19_100));
+        assert_eq!(m.search_budget(Duration::from_millis(100)), Duration::ZERO);
     }
 
     #[test]

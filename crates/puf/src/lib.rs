@@ -3,7 +3,7 @@
 //! Physical Unclonable Function (PUF) models for the RBC-SALTED protocol:
 //! noisy cell arrays ([`device`]), the enrollment procedure that builds the
 //! certificate authority's PUF images with TAPKI ternary masking
-//! ([`enroll`]), and the noise-injection instrumentation the paper's
+//! ([`mod@enroll`]), and the noise-injection instrumentation the paper's
 //! evaluation uses ([`noise`]).
 //!
 //! ## Substitution note

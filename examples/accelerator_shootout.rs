@@ -1,5 +1,6 @@
 //! Accelerator shootout: the same RBC search on the CPU engine, the
-//! SALTED-GPU functional model and the SALTED-APU functional simulator.
+//! SALTED-GPU functional model and the SALTED-APU functional simulator —
+//! all submitted through the one [`SearchBackend`] interface.
 //!
 //! ```sh
 //! cargo run --release --example accelerator_shootout
@@ -8,17 +9,19 @@
 //! Runs a reduced-scale (d ≤ 3) search on all three backends, checks they
 //! recover the same seed, reports real host wall-clock for the CPU engine
 //! and *calibrated model* wall-clock for GPU and APU at the paper's full
-//! d = 5 scale — the Table 5 story in miniature.
-
-use std::time::Instant;
+//! d = 5 scale — the Table 5 story in miniature. Each substrate's device
+//! counters (kernels, threads, waves, PEs) come out of the uniform
+//! report's `extras`, so nothing device-specific is lost behind the
+//! trait.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rbc_salted::accel::{
-    ApuHash, ApuTimingModel, CpuHash, CpuModel, GpuDeviceModel, GpuKernelConfig,
+    ApuHash, ApuSimBackend, ApuTimingModel, CpuHash, CpuModel, GpuDeviceModel, GpuKernelConfig,
+    GpuSimBackend,
 };
-use rbc_salted::apu::{apu_salted_search, target_digest, ApuConfig, ApuSearchConfig};
-use rbc_salted::gpu::{gpu_salted_search, GpuHash};
+use rbc_salted::apu::{ApuConfig, ApuSearchConfig};
+use rbc_salted::gpu::GpuHash;
 use rbc_salted::prelude::*;
 
 fn main() {
@@ -26,73 +29,60 @@ fn main() {
     let reference = U256::random(&mut rng);
     let planted_d = 2;
     let client_seed = reference.random_at_distance(planted_d, &mut rng);
-    let target = Sha3Fixed.digest_seed(&client_seed);
 
     println!("planted a client seed at Hamming distance {planted_d}; searching up to d=3\n");
 
+    // One job, three substrates.
+    let job = SearchJob::new(
+        HashAlgo::Sha3_256,
+        HashAlgo::Sha3_256.digest_seed(&client_seed),
+        reference,
+        3,
+    );
+
     // --- CPU: the real parallel engine on this host. ---
-    let engine = SearchEngine::new(HashDerive(Sha3Fixed), EngineConfig::default());
-    let t = Instant::now();
-    let cpu = engine.search(&target, &reference, 3);
-    let cpu_time = t.elapsed();
+    let cpu = CpuBackend::new(EngineConfig::default()).submit(&job);
     let cpu_found = match cpu.outcome {
         Outcome::Found { seed, distance } => {
             println!(
-                "CPU engine   : found at d={distance} after {} hashes in {cpu_time:?}",
-                cpu.seeds_derived
+                "CPU engine   : found at d={distance} after {} hashes in {:?}",
+                cpu.seeds_derived, cpu.elapsed
             );
             Some((seed, distance))
         }
-        other => {
+        ref other => {
             println!("CPU engine   : {other:?}");
             None
         }
     };
 
     // --- GPU: functional SIMT model (same semantics, host threads). ---
-    let t = Instant::now();
-    let gpu = gpu_salted_search(
-        &Sha3Fixed,
-        &GpuKernelConfig::paper_best(GpuHash::Sha3),
-        &target,
-        &reference,
-        3,
-        true,
-    );
+    let gpu = GpuSimBackend::new(GpuKernelConfig::paper_best(GpuHash::Sha3)).submit(&job);
     println!(
         "GPU (func.)  : found {:?} after {} hashes, {} kernels, {} threads, host time {:?}",
-        gpu.found.map(|(_, d)| d),
-        gpu.hashes,
-        gpu.kernels,
-        gpu.threads_total,
-        t.elapsed()
+        found_distance(&gpu.outcome),
+        gpu.seeds_derived,
+        gpu.extra("kernels").unwrap(),
+        gpu.extra("threads_total").unwrap(),
+        gpu.elapsed
     );
 
     // --- APU: functional associative-processor simulator (scaled-down
     //     device: full Gemini would be slow to emulate lane by lane). ---
-    let apu_cfg = ApuSearchConfig {
-        device: ApuConfig::tiny(256),
-        hash: rbc_salted::apu::ApuHash::Sha3,
-        batch: 64,
-    };
-    let t = Instant::now();
-    let apu = apu_salted_search(
-        &apu_cfg,
-        &target_digest(rbc_salted::apu::ApuHash::Sha3, &client_seed),
-        &reference,
-        3,
-        true,
-    );
+    let apu_cfg = ApuSearchConfig { device: ApuConfig::tiny(256), hash: ApuHash::Sha3, batch: 64 };
+    let apu = ApuSimBackend::new(apu_cfg).submit(&job);
     println!(
         "APU (func.)  : found {:?} after {} hashes in {} waves on {} PEs, host time {:?}",
-        apu.found.map(|(_, d)| d),
-        apu.hashes,
-        apu.waves,
-        apu.pes,
-        t.elapsed()
+        found_distance(&apu.outcome),
+        apu.seeds_derived,
+        apu.extra("waves").unwrap(),
+        apu.extra("pes").unwrap(),
+        apu.elapsed
     );
 
-    let all_agree = cpu_found == gpu.found && gpu.found == apu.found;
+    let gpu_found = found_seed(&gpu.outcome);
+    let apu_found = found_seed(&apu.outcome);
+    let all_agree = cpu_found == gpu_found && gpu_found == apu_found;
     println!("\nall three backends agree: {all_agree}");
     assert!(all_agree, "backends must recover the same seed");
 
@@ -113,5 +103,19 @@ fn main() {
     for (name, secs) in rows {
         let within = if secs <= 20.0 { "within" } else { "EXCEEDS" };
         println!("  {name:<12} {secs:>7.2} s   ({within} the T = 20 s threshold)");
+    }
+}
+
+fn found_distance(outcome: &Outcome) -> Option<u32> {
+    match outcome {
+        Outcome::Found { distance, .. } => Some(*distance),
+        _ => None,
+    }
+}
+
+fn found_seed(outcome: &Outcome) -> Option<(U256, u32)> {
+    match outcome {
+        Outcome::Found { seed, distance } => Some((*seed, *distance)),
+        _ => None,
     }
 }

@@ -66,10 +66,13 @@ pub mod prelude {
     pub use rbc_bits::{Seed, U256};
     pub use rbc_comb::SeedIterKind;
     pub use rbc_core::{
+        backend::{BackendDescriptor, CpuBackend, SearchBackend, SearchJob},
         ca::{CaConfig, CertificateAuthority},
+        dispatch::{DispatchOutcome, Dispatcher, DispatcherConfig, RoutePolicy},
         engine::{EngineConfig, Outcome, SearchEngine, SearchMode},
         protocol::{Client, Verdict},
-        CipherDerive, Derive, HashDerive, PqcDerive, Salt,
+        service::{AuthService, ServiceStats},
+        CipherDerive, Derive, DynHashDerive, HashDerive, PqcDerive, Salt,
     };
     pub use rbc_hash::{HashAlgo, SeedHash, Sha1Fixed, Sha3Fixed};
     pub use rbc_pqc::{Dilithium3, LightSaber, PqcKeyGen};

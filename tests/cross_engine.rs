@@ -208,6 +208,55 @@ fn prescreen_and_full_compare_find_identical_seeds() {
     }
 }
 
+/// The same equivalences, exercised through the uniform
+/// [`SearchBackend`] trait: one [`SearchJob`] submitted verbatim to every
+/// substrate — the real CPU engine, the distributed cluster engine, the
+/// GPU functional model and the APU functional simulator — must come
+/// back with the identical outcome, in range and out of range.
+#[test]
+fn search_backend_trait_unifies_all_substrates() {
+    use rbc_salted::accel::{ApuSimBackend, GpuSimBackend};
+    use rbc_salted::core::{ClusterBackend, ClusterConfig};
+
+    let backends: Vec<Box<dyn SearchBackend>> = vec![
+        Box::new(CpuBackend::new(EngineConfig { threads: 2, ..Default::default() })),
+        Box::new(ClusterBackend::new(ClusterConfig { nodes: 3, ..Default::default() })),
+        Box::new(GpuSimBackend::new(GpuKernelConfig::paper_best(GpuHash::Sha3))),
+        Box::new(ApuSimBackend::new(ApuSearchConfig {
+            device: ApuConfig::tiny(48),
+            hash: ApuHash::Sha3,
+            batch: 16,
+        })),
+    ];
+
+    let mut rng = StdRng::seed_from_u64(48);
+    for trial in 0..5u32 {
+        let base = U256::random(&mut rng);
+        let d = trial % 5; // 0..=4; d=4 is out of range at max_d = 3
+        let client = base.random_at_distance(d, &mut rng);
+        let job =
+            SearchJob::new(HashAlgo::Sha3_256, HashAlgo::Sha3_256.digest_seed(&client), base, 3);
+
+        let outcomes: Vec<Outcome> = backends.iter().map(|b| b.submit(&job).outcome).collect();
+        for (o, b) in outcomes.iter().zip(&backends) {
+            assert_eq!(o, &outcomes[0], "trial {trial}: {} disagrees", b.descriptor().name);
+        }
+        if d <= 3 {
+            assert_eq!(outcomes[0], Outcome::Found { seed: client, distance: d });
+        } else {
+            assert_eq!(outcomes[0], Outcome::NotFound);
+        }
+    }
+
+    // Capability negotiation: the APU gang is microcoded for SHA-1 and
+    // SHA3-256 only; everyone else takes any algorithm.
+    for b in &backends {
+        assert!(b.supports(HashAlgo::Sha3_256), "{}", b.descriptor().name);
+        let is_apu = b.descriptor().kind == "apu-sim";
+        assert_eq!(b.supports(HashAlgo::Sha256), !is_apu, "{}", b.descriptor().name);
+    }
+}
+
 #[test]
 fn apu_target_digest_helper_matches_reference() {
     let seed = U256::from_u64(77);

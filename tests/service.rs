@@ -1,0 +1,183 @@
+//! Umbrella integration tests for the multi-client [`AuthService`]: many
+//! simultaneous authentications multiplexed over a heterogeneous
+//! [`SearchBackend`] pool, with the dispatcher's deadline budget and load
+//! shedding visible to clients as protocol verdicts.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbc_salted::accel::GpuSimBackend;
+use rbc_salted::core::engine::SearchReport;
+use rbc_salted::gpu::{GpuHash, GpuKernelConfig};
+use rbc_salted::prelude::*;
+
+fn enrolled_service(
+    n_clients: u64,
+    backends: Vec<Arc<dyn SearchBackend>>,
+    cfg: DispatcherConfig,
+) -> (AuthService<LightSaber>, Vec<Client<ModelPuf>>) {
+    let mut rng = StdRng::seed_from_u64(0x5EC);
+    let ca_cfg = CaConfig {
+        max_d: 3,
+        engine: EngineConfig { threads: 2, ..Default::default() },
+        ..Default::default()
+    };
+    let mut ca = CertificateAuthority::new([3u8; 32], LightSaber, ca_cfg);
+    let mut clients = Vec::new();
+    for id in 0..n_clients {
+        let client = Client::new(id, ModelPuf::sram(4096, 0xD0_0000 + id));
+        ca.enroll_client(id, client.device(), 0, &mut rng).unwrap();
+        clients.push(client);
+    }
+    let service = AuthService::new(ca, Arc::new(Dispatcher::new(backends, cfg)));
+    (service, clients)
+}
+
+/// Runs every client's full hello → challenge → digest → verdict exchange
+/// on its own thread and returns the verdicts (in client order).
+fn authenticate_all(
+    service: &AuthService<LightSaber>,
+    clients: &[Client<ModelPuf>],
+) -> Vec<Verdict> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = clients
+            .iter()
+            .enumerate()
+            .map(|(i, client)| {
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xC0FFEE + i as u64);
+                    let challenge = service.begin(&client.hello()).unwrap();
+                    let digest = client.respond(&challenge, &mut rng);
+                    service.complete(&digest).unwrap().verdict
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Ten simultaneous clients — two of them noisier than the search bound —
+/// against a mixed CPU + GPU-sim pool: every request resolves, verdicts
+/// are mixed, the books balance, and no thread deadlocks (the scope would
+/// hang forever if one did).
+#[test]
+fn concurrent_clients_resolve_over_a_heterogeneous_pool() {
+    let backends: Vec<Arc<dyn SearchBackend>> = vec![
+        Arc::new(CpuBackend::new(EngineConfig { threads: 2, ..Default::default() })),
+        Arc::new(CpuBackend::new(EngineConfig { threads: 2, ..Default::default() })),
+        Arc::new(GpuSimBackend::new(GpuKernelConfig::paper_best(GpuHash::Sha3))),
+    ];
+    let (service, mut clients) = enrolled_service(10, backends, DispatcherConfig::default());
+    clients[4].extra_noise = 6; // beyond max_d = 3 ⇒ rejection
+    clients[9].extra_noise = 6;
+
+    let verdicts = authenticate_all(&service, &clients);
+    assert_eq!(verdicts.len(), 10);
+
+    let stats = service.stats();
+    assert_eq!(stats.accepted + stats.rejected + stats.timed_out + stats.overloaded, 10);
+    assert!(stats.rejected >= 2, "both noisy clients must be rejected: {stats:?}");
+    assert!(stats.accepted >= 6, "clean clients should mostly pass: {stats:?}");
+    assert!(matches!(verdicts[4], Verdict::Rejected), "{:?}", verdicts[4]);
+    assert!(matches!(verdicts[9], Verdict::Rejected), "{:?}", verdicts[9]);
+
+    // The dispatcher's ledger agrees with the service's: every completed
+    // job landed on some backend, and the CA logged each finished search.
+    assert_eq!(stats.dispatch.completed + stats.dispatch.rejected, 10);
+    let routed: u64 = stats.dispatch.per_backend.iter().map(|b| b.jobs).sum();
+    assert_eq!(routed, stats.dispatch.completed);
+    assert_eq!(stats.dispatch.per_backend.len(), 3);
+    service.with_ca(|ca| assert_eq!(ca.log().len() as u64, stats.dispatch.completed));
+}
+
+/// A deliberately slow backend that honors the dispatcher-assigned
+/// deadline the way the real engines do: it reports `TimedOut` whenever
+/// its (fixed) search time exceeds what the budget left.
+struct SlowBackend {
+    delay: Duration,
+}
+
+impl SearchBackend for SlowBackend {
+    fn descriptor(&self) -> BackendDescriptor {
+        BackendDescriptor { kind: "cpu", name: "slow".into(), slots: 1, est_rate: 1.0 }
+    }
+
+    fn submit(&self, job: &SearchJob) -> SearchReport {
+        std::thread::sleep(self.delay);
+        let timed_out = job.deadline.is_some_and(|d| self.delay > d);
+        SearchReport {
+            outcome: if timed_out {
+                Outcome::TimedOut { at_distance: 0 }
+            } else {
+                Outcome::NotFound
+            },
+            seeds_derived: 0,
+            elapsed: self.delay,
+            per_distance: Vec::new(),
+            algorithm: job.algo.name(),
+            threads: 1,
+            extras: Vec::new(),
+        }
+    }
+}
+
+/// Saturation: one slow slot, almost no queue, a 50 ms budget and six
+/// simultaneous arrivals. The surplus is shed as [`Verdict::Overloaded`]
+/// before searching; whoever does reach the backend blows the deadline
+/// and comes back [`Verdict::TimedOut`]. Nobody is accepted, nobody
+/// deadlocks, and the counters reconcile.
+#[test]
+fn saturation_sheds_overloaded_and_deadline_exceeded_times_out() {
+    let cfg = DispatcherConfig {
+        queue_limit: 1,
+        budget: Duration::from_millis(50),
+        policy: RoutePolicy::LeastLoaded,
+    };
+    let backends: Vec<Arc<dyn SearchBackend>> =
+        vec![Arc::new(SlowBackend { delay: Duration::from_millis(200) })];
+    let (service, clients) = enrolled_service(6, backends, cfg);
+
+    let verdicts = authenticate_all(&service, &clients);
+    let stats = service.stats();
+
+    assert_eq!(stats.accepted, 0, "{stats:?}");
+    assert!(stats.overloaded >= 1, "surplus arrivals must be shed: {stats:?}");
+    assert!(stats.timed_out >= 1, "the dispatched search must time out: {stats:?}");
+    assert_eq!(stats.accepted + stats.rejected + stats.timed_out + stats.overloaded, 6);
+    assert_eq!(
+        verdicts.iter().filter(|v| **v == Verdict::Overloaded).count() as u64,
+        stats.overloaded
+    );
+    assert_eq!(stats.dispatch.rejected, stats.overloaded);
+}
+
+/// All three routing policies deliver the same verdicts for the same
+/// client population — routing changes placement, never correctness.
+#[test]
+fn routing_policy_never_changes_verdicts() {
+    let mut all = Vec::new();
+    for policy in [RoutePolicy::RoundRobin, RoutePolicy::LeastLoaded, RoutePolicy::FastestEstimate]
+    {
+        let backends: Vec<Arc<dyn SearchBackend>> = vec![
+            Arc::new(CpuBackend::new(EngineConfig { threads: 2, ..Default::default() })),
+            Arc::new(GpuSimBackend::new(GpuKernelConfig::paper_best(GpuHash::Sha3))),
+        ];
+        let (service, mut clients) =
+            enrolled_service(4, backends, DispatcherConfig { policy, ..Default::default() });
+        clients[2].extra_noise = 6;
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let verdicts: Vec<_> = clients
+            .iter()
+            .map(|client| {
+                let challenge = service.begin(&client.hello()).unwrap();
+                let digest = client.respond(&challenge, &mut rng);
+                service.complete(&digest).unwrap().verdict
+            })
+            .collect();
+        assert!(matches!(verdicts[2], Verdict::Rejected), "{policy:?}: {verdicts:?}");
+        all.push(verdicts.iter().map(std::mem::discriminant).collect::<Vec<_>>());
+    }
+    assert!(all.windows(2).all(|w| w[0] == w[1]), "policies disagreed on verdicts");
+}
