@@ -8,8 +8,11 @@
 //!
 //! | backend   | keys |
 //! |-----------|------|
-//! | `gpu-sim` | `"kernels"`, `"threads_total"` |
-//! | `apu-sim` | `"waves"`, `"pes"`, `"cycles"` |
+//! | `gpu-sim` | `"kernels"`, `"threads_total"`, `"flag_polls"` |
+//! | `apu-sim` | `"waves"`, `"pes"`, `"cycles"`, `"flag_checks"` |
+//!
+//! Wrapping a simulator in [`rbc_core::ProfiledBackend`] lifts every key
+//! into a cumulative `rbc_backend_<kind>_<key>_total` counter.
 //!
 //! Neither simulator preempts a search mid-flight (the real devices poll
 //! an early-exit flag, not a clock), so job deadlines are checked *post
@@ -102,7 +105,11 @@ impl SearchBackend for GpuSimBackend {
             per_distance: Vec::new(),
             algorithm: job.algo.name(),
             threads: r.threads_total as usize,
-            extras: vec![("kernels", r.kernels as u64), ("threads_total", r.threads_total)],
+            extras: vec![
+                ("kernels", r.kernels as u64),
+                ("threads_total", r.threads_total),
+                ("flag_polls", r.flag_polls),
+            ],
         }
     }
 }
@@ -189,7 +196,12 @@ impl SearchBackend for ApuSimBackend {
             per_distance: Vec::new(),
             algorithm: job.algo.name(),
             threads: r.pes,
-            extras: vec![("waves", r.waves), ("pes", r.pes as u64), ("cycles", r.cycles)],
+            extras: vec![
+                ("waves", r.waves),
+                ("pes", r.pes as u64),
+                ("cycles", r.cycles),
+                ("flag_checks", r.flag_checks),
+            ],
         }
     }
 }
@@ -243,6 +255,7 @@ mod tests {
         assert_eq!(report.extra("kernels"), Some(2));
         assert!(report.extra("threads_total").is_some());
         assert_eq!(report.threads as u64, report.extra("threads_total").unwrap());
+        assert!(report.extra("flag_polls").unwrap() >= 1, "early-exit search polls the flag");
     }
 
     #[test]
@@ -259,6 +272,7 @@ mod tests {
                 assert_eq!(a.outcome, b.outcome, "{hash:?} d={d}");
                 assert!(b.extra("waves").is_some());
                 assert_eq!(b.extra("pes"), Some(64));
+                assert!(b.extra("flag_checks").unwrap() >= 1, "d0 probe always checks");
             }
         }
     }

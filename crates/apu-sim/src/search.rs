@@ -72,6 +72,10 @@ pub struct ApuSearchResult {
     pub raw_seconds: f64,
     /// PEs the device ran with.
     pub pes: usize,
+    /// Associative early-exit flag checks charged to the device (one
+    /// after the d = 0 probe, then one per batch of
+    /// [`ApuSearchConfig::batch`] waves — §3.3's between-batch cadence).
+    pub flag_checks: u64,
 }
 
 /// Runs the SALTED-APU search: is any seed within `max_d` of `s_init`
@@ -126,12 +130,14 @@ fn run(
     let mut found: Option<(U256, u32)> = None;
     let mut waves = 0u64;
     let mut hashes = 0u64;
+    let mut flag_checks = 0u64;
 
     // Distance 0: a single wave with one active lane.
     let matches = hash_wave(&mut machine, &[*s_init]);
     waves += 1;
     hashes += 1;
     machine.charge(width as u64 + 17); // associative flag check
+    flag_checks += 1;
     if matches[0] {
         found = Some((*s_init, 0));
     }
@@ -188,6 +194,7 @@ fn run(
             }
             // Early-exit flag check after the 256-seed batch (§3.3).
             machine.charge(width as u64 + 17);
+            flag_checks += 1;
             if !any_masks {
                 break 'batches;
             }
@@ -209,6 +216,7 @@ fn run(
         cycles: machine.cycles(),
         raw_seconds: machine.raw_seconds(),
         pes,
+        flag_checks,
     }
 }
 
@@ -319,6 +327,22 @@ mod tests {
         let target = target_digest(ApuHash::Sha1, &U256::ZERO);
         let r = apu_salted_search(&cfg, &target, &base, 2, true);
         assert_eq!(r.found, Some((U256::ZERO, 2)));
+    }
+
+    #[test]
+    fn flag_checks_follow_the_batch_cadence() {
+        let base = U256::from_u64(123);
+        let client = base.flip_bit(0);
+        let cfg = ApuSearchConfig { device: ApuConfig::tiny(2), hash: ApuHash::Sha1, batch: 4 };
+        let target = target_digest(ApuHash::Sha1, &client);
+        let r = apu_salted_search(&cfg, &target, &base, 1, true);
+        // d0 probe check + one check after the single d=1 batch that hit.
+        assert_eq!(r.flag_checks, 2, "{r:?}");
+
+        // Exhaustive d=1 on 2 PEs, batch 4: 256/2 = 128 masks per lane
+        // = 32 batches, plus the trailing empty batch and the d0 probe.
+        let full = apu_salted_search(&cfg, &target, &base, 1, false);
+        assert_eq!(full.flag_checks, 1 + 32 + 1, "{full:?}");
     }
 
     #[test]

@@ -67,12 +67,14 @@ fn run(
     let mut found: Option<(U256, u32)> = None;
     let mut waves = 0u64;
     let mut hashes = 0u64;
+    let mut flag_checks = 0u64;
 
     // d = 0 probe.
     let matches = hash_wave(&mut machine, &[*s_init]);
     waves += 1;
     hashes += 1;
     machine.charge(width as u64 + 17);
+    flag_checks += 1;
     if matches[0] {
         found = Some((*s_init, 0));
     }
@@ -97,6 +99,7 @@ fn run(
                 }
             }
             machine.charge(width as u64 + 17);
+            flag_checks += 1;
         } else {
             // Prefixes: all weight-(d−1) combinations, assigned to PEs in
             // groups; each group sweeps its last bit over 256 waves.
@@ -145,6 +148,7 @@ fn run(
                 }
                 // Early-exit flag check after the 256-wave batch.
                 machine.charge(width as u64 + 17);
+                flag_checks += 1;
                 if early_exit && d_found.is_some() {
                     break;
                 }
@@ -164,6 +168,7 @@ fn run(
         cycles: machine.cycles(),
         raw_seconds: machine.raw_seconds(),
         pes,
+        flag_checks,
     }
 }
 

@@ -1,0 +1,48 @@
+//! Telemetry overhead: the same exhaustive search with and without the
+//! `rbc_engine_*` counters attached.
+//!
+//! The engine pays its telemetry per batch refill, not per candidate, so
+//! the atomic traffic is `O(seeds / batch)` — this bench confirms the
+//! instrumented hot path stays within noise of the uninstrumented one
+//! (the <2% budget asserted by `telemetry_overhead` in
+//! `crates/bench/tests/overhead.rs` and recorded in EXPERIMENTS.md).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rbc_bits::U256;
+use rbc_comb::{exhaustive_seeds, SeedIterKind};
+use rbc_core::derive::HashDerive;
+use rbc_core::engine::{EngineConfig, EngineTelemetry, SearchEngine, SearchMode};
+use rbc_hash::{SeedHash, Sha3Fixed};
+use rbc_telemetry::Registry;
+
+fn bench_instrumented_vs_plain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_overhead_sha3_d2");
+    g.throughput(Throughput::Elements(exhaustive_seeds(2) as u64));
+    g.sample_size(10);
+
+    let base = U256::from_limbs([6, 2, 8, 3]);
+    // Unfindable target: the full space is always scanned, so both
+    // variants do identical hashing work.
+    let client = base.flip_bit(0).flip_bit(1).flip_bit(2);
+    let target = Sha3Fixed.digest_seed(&client);
+    let cfg = EngineConfig {
+        threads: 1,
+        mode: SearchMode::Exhaustive,
+        iter: SeedIterKind::Gosper,
+        ..Default::default()
+    };
+
+    g.bench_function("plain", |b| {
+        let engine = SearchEngine::new(HashDerive(Sha3Fixed), cfg.clone());
+        b.iter(|| black_box(engine.search(&target, &base, 2)))
+    });
+    g.bench_function("instrumented", |b| {
+        let engine = SearchEngine::new(HashDerive(Sha3Fixed), cfg.clone())
+            .with_telemetry(EngineTelemetry::register(&Registry::new()));
+        b.iter(|| black_box(engine.search(&target, &base, 2)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_instrumented_vs_plain);
+criterion_main!(benches);

@@ -1,9 +1,15 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|cpu-scaling|service|verify]
-//!       [--quick] [--trials N] [--full-cpu]
+//! repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|cpu-scaling|service|telemetry|verify]
+//!       [--quick] [--trials N] [--full-cpu] [--metrics-dump] [--smoke]
 //! ```
+//!
+//! `telemetry` drives authentications through the instrumented pipeline
+//! on ≥2 substrates and writes the per-phase latency breakdown to
+//! `BENCH_telemetry.json` (`--smoke` validates the artifact and exits
+//! nonzero on failure — the CI gate). `service --metrics-dump` prints
+//! the final sweep's whole-pipeline Prometheus snapshot.
 //!
 //! Numbers labelled **paper** are the published values; **model** are our
 //! calibrated device models (the GPU/APU never existed on this machine);
@@ -46,12 +52,15 @@ struct Opts {
     quick: bool,
     trials: usize,
     full_cpu: bool,
+    metrics_dump: bool,
+    smoke: bool,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmds: Vec<String> = Vec::new();
-    let mut opts = Opts { quick: false, trials: 50, full_cpu: false };
+    let mut opts =
+        Opts { quick: false, trials: 50, full_cpu: false, metrics_dump: false, smoke: false };
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -60,6 +69,8 @@ fn main() {
                 opts.trials = 10;
             }
             "--full-cpu" => opts.full_cpu = true,
+            "--metrics-dump" => opts.metrics_dump = true,
+            "--smoke" => opts.smoke = true,
             "--trials" => {
                 opts.trials = it
                     .next()
@@ -90,6 +101,7 @@ fn main() {
                 security();
                 extensions(&opts);
                 service(&opts);
+                telemetry(&opts);
                 verify(&opts);
             }
             "table1" => table1(),
@@ -106,6 +118,7 @@ fn main() {
             "security" => security(),
             "extensions" => extensions(&opts),
             "service" => service(&opts),
+            "telemetry" => telemetry(&opts),
             "verify" => verify(&opts),
             other => usage(&format!("unknown command {other:?}")),
         }
@@ -115,7 +128,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|hash-lanes|cpu-scaling|future|security|extensions|service|verify] [--quick] [--trials N] [--full-cpu]"
+        "usage: repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|hash-lanes|cpu-scaling|future|security|extensions|service|telemetry|verify] [--quick] [--trials N] [--full-cpu] [--metrics-dump] [--smoke]"
     );
     std::process::exit(2)
 }
@@ -845,6 +858,29 @@ fn service(opts: &Opts) {
             }
         });
         rows.push(ServiceRow::from_stats(load, &svc.stats()));
+
+        if opts.metrics_dump && load == *loads.last().expect("nonempty loads") {
+            let stats = svc.stats();
+            let snap = svc.registry().snapshot();
+            println!("\n== service --metrics-dump: whole-pipeline Prometheus snapshot ==");
+            print!("{}", rbc_telemetry::render_prometheus(&snap));
+            let ok = snap.counter("rbc_service_accepted_total").unwrap_or(0);
+            let rej = snap.counter("rbc_service_rejected_total").unwrap_or(0);
+            let t_o = snap.counter("rbc_service_timeout_total").unwrap_or(0);
+            let shed = snap.counter("rbc_service_shed_total").unwrap_or(0);
+            let errs = snap.counter("rbc_service_error_total").unwrap_or(0);
+            let issued = snap.counter("rbc_service_requests_total").unwrap_or(0);
+            println!(
+                "outcome ledger: ok {ok} + rejected {rej} + timeout {t_o} + shed {shed} + \
+                 errors {errs} = {} vs {issued} requests issued",
+                ok + rej + t_o + shed + errs
+            );
+            assert_eq!(
+                ok + rej + t_o + shed + errs,
+                issued,
+                "service outcome counters must sum to requests issued: {stats:?}"
+            );
+        }
     }
     service_table(&rows).print();
     match write_service_json("BENCH_service.json", &rows) {
@@ -856,6 +892,109 @@ fn service(opts: &Opts) {
          arrivals beyond queue + slots are shed as Overloaded)",
         budget.as_secs_f64()
     );
+}
+
+/// Per-phase latency breakdown of the instrumented auth pipeline, one
+/// single-substrate service per backend kind: every authentication flows
+/// hello → prepare → dispatch queue → search → keygen → verdict with the
+/// phases landing in one shared registry ([`rbc_telemetry::Registry`])
+/// per substrate. Writes `BENCH_telemetry.json`; with `--smoke`, runs at
+/// reduced scale and validates the artifact (the CI gate).
+fn telemetry(opts: &Opts) {
+    use rbc_bench::{telemetry_table, validate_telemetry_json, write_telemetry_json, TelemetryRow};
+    use rbc_core::engine::EngineTelemetry;
+    use rbc_core::ProfiledBackend;
+    use rbc_telemetry::Registry;
+
+    let auths: u64 = if opts.quick || opts.smoke { 4 } else { 10 };
+    let budget = LatencyModel::paper_wan().search_budget(Duration::from_secs(20));
+
+    let mut rows = Vec::new();
+    for kind in ["cpu", "gpu-sim"] {
+        let registry = Arc::new(Registry::new());
+        // The CPU backend additionally feeds the rbc_engine_*
+        // search-progress counters into the same registry.
+        let backend: Arc<dyn SearchBackend> = match kind {
+            "cpu" => Arc::new(
+                CpuBackend::new(EngineConfig { threads: 2, ..Default::default() })
+                    .with_telemetry(EngineTelemetry::register(&registry)),
+            ),
+            _ => Arc::new(GpuSimBackend::new(GpuKernelConfig::paper_best(GpuHash::Sha3))),
+        };
+        let profiled: Arc<dyn SearchBackend> =
+            Arc::new(ProfiledBackend::new(backend, registry.clone()));
+        let dispatcher = Arc::new(Dispatcher::with_registry(
+            vec![profiled],
+            DispatcherConfig { queue_limit: 8, budget, policy: RoutePolicy::LeastLoaded },
+            registry.clone(),
+        ));
+
+        let mut rng = StdRng::seed_from_u64(0x7E1E + auths);
+        let ca_cfg = CaConfig {
+            max_d: 3,
+            engine: EngineConfig { threads: 2, ..Default::default() },
+            ..Default::default()
+        };
+        let mut ca = CertificateAuthority::new([3u8; 32], LightSaber, ca_cfg);
+        let mut clients = Vec::new();
+        for id in 0..auths {
+            // Noiseless devices with exactly 2 injected bit flips: the
+            // search always runs to distance 2 (a real batched search, not
+            // just the d = 0 probe) and every authentication is accepted,
+            // so the keygen phase has a sample for every request.
+            let mut c = Client::new(id, ModelPuf::noiseless(4096, 0x7EE + id));
+            c.extra_noise = 2;
+            ca.enroll_client(id, c.device(), 0, &mut rng).expect("enroll");
+            clients.push(c);
+        }
+        let svc = AuthService::new(ca, dispatcher);
+        for (i, client) in clients.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(0xF00 + i as u64);
+            let challenge = svc.begin(&client.hello()).expect("enrolled");
+            let digest = client.respond(&challenge, &mut rng);
+            svc.complete(&digest).expect("session open");
+        }
+
+        let snap = svc.registry().snapshot();
+        rows.push(TelemetryRow::from_snapshot(kind, &snap));
+        if kind == "cpu" {
+            println!(
+                "cpu engine counters: {} seeds scanned in {} batches, {} prefix hits \
+                 ({} false positives), {} early-exit polls",
+                snap.counter("rbc_engine_seeds_scanned_total").unwrap_or(0),
+                snap.counter("rbc_engine_batches_total").unwrap_or(0),
+                snap.counter("rbc_engine_prefix_hits_total").unwrap_or(0),
+                snap.counter("rbc_engine_prefix_false_positives_total").unwrap_or(0),
+                snap.counter("rbc_engine_early_exit_polls_total").unwrap_or(0),
+            );
+        }
+    }
+    telemetry_table(&rows).print();
+    match write_telemetry_json("BENCH_telemetry.json", &rows) {
+        Ok(()) => println!("wrote BENCH_telemetry.json"),
+        Err(e) => {
+            eprintln!("could not write BENCH_telemetry.json: {e}");
+            if opts.smoke {
+                std::process::exit(1);
+            }
+        }
+    }
+    if opts.smoke {
+        let text = match std::fs::read_to_string("BENCH_telemetry.json") {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("smoke: could not read back BENCH_telemetry.json: {e}");
+                std::process::exit(1);
+            }
+        };
+        match validate_telemetry_json(&text) {
+            Ok(()) => println!("smoke: BENCH_telemetry.json validates (all phases, 2 substrates)"),
+            Err(e) => {
+                eprintln!("smoke: BENCH_telemetry.json invalid: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 /// Cross-engine functional verification at reduced scale: every

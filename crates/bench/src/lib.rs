@@ -428,6 +428,146 @@ pub fn write_service_json(path: &str, rows: &[ServiceRow]) -> std::io::Result<()
     std::fs::write(path, text)
 }
 
+/// One row of the `repro telemetry` per-phase latency breakdown: a
+/// substrate's mean time in each pipeline phase, read back from the
+/// shared metrics registry after a batch of authentications.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct TelemetryRow {
+    /// Substrate label (the backend descriptor's `kind`).
+    pub substrate: String,
+    /// Authentications driven through the pipeline.
+    pub auths: u64,
+    /// Mean dispatcher queue wait, milliseconds
+    /// (`rbc_service_queue_wait_ns`).
+    pub queue_wait_ms: f64,
+    /// Mean on-device search time, milliseconds
+    /// (`rbc_service_search_ns`).
+    pub search_ms: f64,
+    /// Mean salt + PQC keygen + RA update time, milliseconds
+    /// (`rbc_ca_keygen_ns`).
+    pub keygen_ms: f64,
+    /// Mean end-to-end authentication time, milliseconds
+    /// (`rbc_service_auth_total_ns`).
+    pub total_ms: f64,
+    /// 95th-percentile end-to-end time, milliseconds.
+    pub p95_total_ms: f64,
+}
+
+impl TelemetryRow {
+    /// The registry histogram each phase column is read from.
+    pub const PHASES: [(&'static str, &'static str); 4] = [
+        ("queue_wait_ms", "rbc_service_queue_wait_ns"),
+        ("search_ms", "rbc_service_search_ns"),
+        ("keygen_ms", "rbc_ca_keygen_ns"),
+        ("total_ms", "rbc_service_auth_total_ns"),
+    ];
+
+    /// Reads the per-phase breakdown out of a whole-pipeline registry
+    /// snapshot. Phases with no samples (e.g. keygen when nothing was
+    /// accepted) report 0 ms.
+    pub fn from_snapshot(substrate: &str, snap: &rbc_telemetry::Snapshot) -> Self {
+        let mean_ms = |name: &str| {
+            snap.histogram(name).map_or(0.0, |h| h.mean_duration().as_secs_f64() * 1e3)
+        };
+        let total = snap.histogram("rbc_service_auth_total_ns");
+        TelemetryRow {
+            substrate: substrate.to_string(),
+            auths: total.map_or(0, |h| h.count),
+            queue_wait_ms: mean_ms("rbc_service_queue_wait_ns"),
+            search_ms: mean_ms("rbc_service_search_ns"),
+            keygen_ms: mean_ms("rbc_ca_keygen_ns"),
+            total_ms: mean_ms("rbc_service_auth_total_ns"),
+            p95_total_ms: total.map_or(0.0, |h| h.percentile_duration(95.0).as_secs_f64() * 1e3),
+        }
+    }
+}
+
+/// Renders the per-phase breakdown as a [`TextTable`].
+pub fn telemetry_table(rows: &[TelemetryRow]) -> TextTable {
+    let mut t = TextTable::new(
+        "Telemetry: per-phase mean latency by substrate (shared registry histograms)",
+        &["substrate", "auths", "queue wait", "search", "keygen", "total", "p95 total"],
+    );
+    for r in rows {
+        t.row(&[
+            r.substrate.clone(),
+            r.auths.to_string(),
+            fmt_secs(r.queue_wait_ms / 1e3),
+            fmt_secs(r.search_ms / 1e3),
+            fmt_secs(r.keygen_ms / 1e3),
+            fmt_secs(r.total_ms / 1e3),
+            fmt_secs(r.p95_total_ms / 1e3),
+        ]);
+    }
+    t
+}
+
+/// Writes the per-phase breakdown to `path` as the `BENCH_telemetry.json`
+/// artifact: `{"bench": "telemetry", "unit": "ms", "results": [...]}`.
+pub fn write_telemetry_json(path: &str, rows: &[TelemetryRow]) -> std::io::Result<()> {
+    let results = serde_json::to_value(&rows.to_vec())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let doc = serde_json::Value::Object(vec![
+        ("bench".to_string(), serde_json::Value::Str("telemetry".to_string())),
+        ("unit".to_string(), serde_json::Value::Str("ms".to_string())),
+        ("results".to_string(), results),
+    ]);
+    let text = serde_json::to_string(&doc)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, text)
+}
+
+/// Validates a `BENCH_telemetry.json` document: parses, checks the
+/// envelope, and requires every phase column on at least two distinct
+/// substrates — the `repro telemetry --smoke` CI gate.
+pub fn validate_telemetry_json(text: &str) -> Result<(), String> {
+    let doc: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
+    let bench = doc.field("bench").ok().and_then(serde_json::Value::as_str);
+    if bench != Some("telemetry") {
+        return Err(format!("bench field is {bench:?}, expected \"telemetry\""));
+    }
+    let results = doc
+        .field("results")
+        .ok()
+        .and_then(serde_json::Value::as_array)
+        .ok_or("missing results array")?;
+    let mut substrates = Vec::new();
+    for (i, row) in results.iter().enumerate() {
+        let substrate = row
+            .field("substrate")
+            .ok()
+            .and_then(serde_json::Value::as_str)
+            .ok_or(format!("row {i}: missing substrate"))?;
+        let auths = row
+            .field("auths")
+            .ok()
+            .and_then(serde_json::Value::as_u64)
+            .ok_or(format!("row {i}: missing auths"))?;
+        if auths == 0 {
+            return Err(format!("row {i} ({substrate}): zero authentications recorded"));
+        }
+        for (field, metric) in TelemetryRow::PHASES {
+            let v = row.field(field).ok().and_then(serde_json::Value::as_f64);
+            match v {
+                Some(ms) if ms.is_finite() && ms >= 0.0 => {}
+                other => {
+                    return Err(format!(
+                        "row {i} ({substrate}): phase {field} (from {metric}) is {other:?}"
+                    ))
+                }
+            }
+        }
+        if !substrates.contains(&substrate.to_string()) {
+            substrates.push(substrate.to_string());
+        }
+    }
+    if substrates.len() < 2 {
+        return Err(format!("need at least 2 substrates, found {substrates:?}"));
+    }
+    Ok(())
+}
+
 /// Measures mask-generation-only rate (masks/second, single thread) for a
 /// seed iterator at distance `d` over `count` masks — the Table 4 raw
 /// ingredient.
@@ -506,6 +646,51 @@ mod tests {
         assert_eq!(fmt_count(256), "256");
         assert_eq!(fmt_count(32_897), "3.3e4");
         assert_eq!(fmt_count(8_987_138_113), "9.0e9");
+    }
+
+    #[test]
+    fn telemetry_row_reads_registry_phases() {
+        use std::time::Duration;
+        let registry = rbc_telemetry::Registry::new();
+        for (_, metric) in TelemetryRow::PHASES {
+            registry.histogram(metric).record_duration(Duration::from_millis(10));
+        }
+        let row = TelemetryRow::from_snapshot("cpu", &registry.snapshot());
+        assert_eq!(row.auths, 1);
+        assert!(row.total_ms >= 10.0, "{row:?}");
+        assert!(row.keygen_ms >= 10.0, "{row:?}");
+    }
+
+    #[test]
+    fn telemetry_json_round_trips_and_validates() {
+        let row = |s: &str| TelemetryRow {
+            substrate: s.into(),
+            auths: 4,
+            queue_wait_ms: 0.1,
+            search_ms: 5.0,
+            keygen_ms: 1.0,
+            total_ms: 6.5,
+            p95_total_ms: 9.0,
+        };
+        let rows = vec![row("cpu"), row("gpu-sim")];
+        let path = std::env::temp_dir().join("rbc_bench_telemetry_test.json");
+        let path = path.to_str().expect("utf8 temp path");
+        write_telemetry_json(path, &rows).expect("write");
+        let text = std::fs::read_to_string(path).expect("read back");
+        std::fs::remove_file(path).ok();
+        validate_telemetry_json(&text).expect("round-trip validates");
+
+        // Degenerate documents are rejected with a reason.
+        assert!(validate_telemetry_json("not json").is_err());
+        assert!(validate_telemetry_json("{\"bench\":\"other\"}").is_err());
+        let one = serde_json::to_string(&serde_json::Value::Object(vec![
+            ("bench".into(), serde_json::Value::Str("telemetry".into())),
+            ("unit".into(), serde_json::Value::Str("ms".into())),
+            ("results".into(), serde_json::to_value(&vec![row("cpu")]).expect("value")),
+        ]))
+        .expect("string");
+        let err = validate_telemetry_json(&one).expect_err("one substrate is not enough");
+        assert!(err.contains("2 substrates"), "{err}");
     }
 
     #[test]

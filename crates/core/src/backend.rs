@@ -18,14 +18,18 @@
 //! travel in [`SearchReport::extras`] so harnesses keep their
 //! per-substrate reporting through the uniform interface.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use rbc_bits::U256;
 use rbc_hash::{DynDigest, HashAlgo};
+use rbc_telemetry::{sanitize, Counter, Histogram, Registry};
 
 use crate::cluster::{cluster_search, ClusterConfig};
 use crate::derive::DynHashDerive;
-use crate::engine::{EngineConfig, Outcome, SearchEngine, SearchMode, SearchReport};
+use crate::engine::{
+    EngineConfig, EngineTelemetry, Outcome, SearchEngine, SearchMode, SearchReport,
+};
 
 /// One RBC-SALTED search, described independently of the device that will
 /// run it: "is any seed within Hamming distance `max_d` of `s_init`
@@ -120,18 +124,28 @@ pub trait SearchBackend: Send + Sync {
 pub struct CpuBackend {
     cfg: EngineConfig,
     est_rate: f64,
+    telemetry: Option<EngineTelemetry>,
 }
 
 impl CpuBackend {
     /// A CPU backend running searches under `cfg`. The job's mode and
     /// deadline override the config's per submission.
     pub fn new(cfg: EngineConfig) -> Self {
-        CpuBackend { cfg, est_rate: 0.0 }
+        CpuBackend { cfg, est_rate: 0.0, telemetry: None }
     }
 
     /// Attaches a modelled rate (seeds/s) for fastest-estimate routing.
     pub fn with_est_rate(mut self, rate: f64) -> Self {
         self.est_rate = rate;
+        self
+    }
+
+    /// Attaches shared search-progress counters: every engine this
+    /// backend spins up per submission feeds the same
+    /// [`EngineTelemetry`], so `rbc_engine_*` totals aggregate across
+    /// all jobs the backend has run.
+    pub fn with_telemetry(mut self, telemetry: EngineTelemetry) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -157,8 +171,83 @@ impl SearchBackend for CpuBackend {
             deadline: job.deadline.or(self.cfg.deadline),
             ..self.cfg.clone()
         };
-        let engine = SearchEngine::new(DynHashDerive(job.algo), cfg);
+        let mut engine = SearchEngine::new(DynHashDerive(job.algo), cfg);
+        if let Some(t) = &self.telemetry {
+            engine = engine.with_telemetry(t.clone());
+        }
         engine.search(&job.target, &job.s_init, job.max_d)
+    }
+}
+
+/// A [`SearchBackend`] decorator that profiles every submission into a
+/// shared [`Registry`].
+///
+/// Per wrapped backend (metric names carry the sanitized descriptor
+/// `kind`):
+///
+/// - `rbc_backend_<kind>_search_ns` — histogram of on-device search time
+///   ([`SearchReport::elapsed`], excluding queueing);
+/// - `rbc_backend_<kind>_submits_total` / `..._seeds_total` — jobs run
+///   and seeds derived;
+/// - one `rbc_backend_<kind>_<key>_total` counter per
+///   [`SearchReport::extras`] entry, lifting the device-specific
+///   accounting (kernel launches, hash waves, PE counts, cluster
+///   messages) out of per-report extras into cumulative metrics.
+///
+/// Wrapping is transparent to routing: descriptor, capacity and
+/// algorithm support all delegate to the inner backend, and the report
+/// passes through unmodified — equivalence tests hold through the
+/// wrapper.
+pub struct ProfiledBackend {
+    inner: Arc<dyn SearchBackend>,
+    registry: Arc<Registry>,
+    prefix: String,
+    search_ns: Arc<Histogram>,
+    submits: Arc<Counter>,
+    seeds: Arc<Counter>,
+}
+
+impl ProfiledBackend {
+    /// Wraps `inner`, registering its metrics in `registry`.
+    pub fn new(inner: Arc<dyn SearchBackend>, registry: Arc<Registry>) -> Self {
+        let prefix = format!("rbc_backend_{}", sanitize(inner.descriptor().kind));
+        let search_ns = registry.histogram(&format!("{prefix}_search_ns"));
+        let submits = registry.counter(&format!("{prefix}_submits_total"));
+        let seeds = registry.counter(&format!("{prefix}_seeds_total"));
+        ProfiledBackend { inner, registry, prefix, search_ns, submits, seeds }
+    }
+
+    /// The registry this wrapper records into.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+}
+
+impl SearchBackend for ProfiledBackend {
+    fn descriptor(&self) -> BackendDescriptor {
+        self.inner.descriptor()
+    }
+
+    fn capacity(&self) -> usize {
+        self.inner.capacity()
+    }
+
+    fn supports(&self, algo: HashAlgo) -> bool {
+        self.inner.supports(algo)
+    }
+
+    fn submit(&self, job: &SearchJob) -> SearchReport {
+        self.submits.inc();
+        let report = self.inner.submit(job);
+        self.search_ns.record_duration(report.elapsed);
+        self.seeds.add(report.seeds_derived);
+        // Extras keys are a small per-substrate vocabulary; the
+        // get-or-create lock here is noise next to a search.
+        for (key, value) in &report.extras {
+            let name = format!("{}_{}_total", self.prefix, sanitize(key));
+            self.registry.counter(&name).add(*value);
+        }
+        report
     }
 }
 
@@ -311,6 +400,57 @@ mod tests {
         let cl = ClusterBackend::new(ClusterConfig { nodes: 5, ..Default::default() });
         assert_eq!(cl.descriptor().kind, "cluster");
         assert!(cl.descriptor().name.contains("nodes=5"));
+    }
+
+    #[test]
+    fn profiled_backend_is_transparent_and_lifts_extras() {
+        let mut rng = StdRng::seed_from_u64(94);
+        let base = U256::random(&mut rng);
+        let client = base.random_at_distance(2, &mut rng);
+        let job = job_for(HashAlgo::Sha3_256, &client, &base, 2);
+
+        let registry = Arc::new(Registry::new());
+        let inner = Arc::new(ClusterBackend::new(ClusterConfig { nodes: 3, ..Default::default() }))
+            as Arc<dyn SearchBackend>;
+        let profiled = ProfiledBackend::new(inner.clone(), registry.clone());
+
+        // Transparent to routing and to the report itself.
+        assert_eq!(profiled.descriptor().kind, inner.descriptor().kind);
+        assert_eq!(profiled.capacity(), inner.capacity());
+        let report = profiled.submit(&job);
+        assert_eq!(report.outcome, inner.submit(&job).outcome);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("rbc_backend_cluster_submits_total"), Some(1));
+        assert_eq!(snap.counter("rbc_backend_cluster_seeds_total"), Some(report.seeds_derived));
+        assert_eq!(snap.histogram("rbc_backend_cluster_search_ns").map(|h| h.count), Some(1));
+        // Device extras became cumulative counters.
+        assert_eq!(snap.counter("rbc_backend_cluster_nodes_total"), Some(3));
+        assert_eq!(
+            snap.counter("rbc_backend_cluster_messages_total"),
+            report.extra("messages"),
+            "extras lifted verbatim"
+        );
+    }
+
+    #[test]
+    fn cpu_backend_telemetry_reaches_the_per_submit_engines() {
+        use rbc_telemetry::Registry;
+
+        let registry = Registry::new();
+        let telemetry = EngineTelemetry::register(&registry);
+        let backend = CpuBackend::new(EngineConfig { threads: 2, ..Default::default() })
+            .with_telemetry(telemetry.clone());
+
+        let base = U256::from_u64(99);
+        let client = base.flip_bit(3);
+        backend.submit(&job_for(HashAlgo::Sha1, &client, &base, 1));
+        backend.submit(&job_for(HashAlgo::Sha1, &client, &base, 1));
+
+        // Both per-submit engines accumulated into the one telemetry.
+        assert_eq!(telemetry.searches.get(), 2);
+        assert!(telemetry.seeds_scanned.get() >= 2);
+        assert_eq!(registry.snapshot().counter("rbc_engine_searches_total"), Some(2));
     }
 
     #[test]

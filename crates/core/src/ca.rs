@@ -8,12 +8,13 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rand::Rng;
 use rbc_hash::HashAlgo;
 use rbc_pqc::PqcKeyGen;
 use rbc_puf::{enroll, EnrollmentConfig, PufDevice};
+use rbc_telemetry::{Counter, Histogram, Registry};
 
 use crate::backend::{CpuBackend, SearchBackend, SearchJob};
 use crate::engine::{EngineConfig, Outcome, SearchReport};
@@ -114,6 +115,29 @@ impl PendingAuth {
     }
 }
 
+/// CA-side instrumentation: the post-search acceptance work (protocol
+/// steps 7–9 — salt application, the one-time keygen, the RA update).
+#[derive(Clone, Debug)]
+pub struct CaTelemetry {
+    /// Wall time of salt + keygen + RA registration per acceptance
+    /// (`rbc_ca_keygen_ns`) — the "keygen" phase of the per-phase
+    /// latency breakdown.
+    pub keygen_ns: Arc<Histogram>,
+    /// One-time keys generated (`rbc_ca_keygen_total`); equals the RA's
+    /// update count.
+    pub keygens: Arc<Counter>,
+}
+
+impl CaTelemetry {
+    /// Registers (or rejoins) the `rbc_ca_*` metrics in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        CaTelemetry {
+            keygen_ns: registry.histogram("rbc_ca_keygen_ns"),
+            keygens: registry.counter("rbc_ca_keygen_total"),
+        }
+    }
+}
+
 /// The certificate authority.
 pub struct CertificateAuthority<P: PqcKeyGen> {
     cfg: CaConfig,
@@ -129,6 +153,7 @@ pub struct CertificateAuthority<P: PqcKeyGen> {
     address_cursor: HashMap<ClientId, usize>,
     next_session: u64,
     log: Vec<AuthRecord>,
+    telemetry: Option<CaTelemetry>,
 }
 
 /// Errors surfaced by CA entry points.
@@ -182,7 +207,15 @@ impl<P: PqcKeyGen> CertificateAuthority<P> {
             address_cursor: HashMap::new(),
             next_session: 1,
             log: Vec::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches keygen-phase instrumentation; see [`CaTelemetry`]. The
+    /// [`crate::service::AuthService`] does this automatically with its
+    /// shared registry.
+    pub fn set_telemetry(&mut self, telemetry: CaTelemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Enrolls a client device at `address` (secure-facility step),
@@ -277,9 +310,14 @@ impl<P: PqcKeyGen> CertificateAuthority<P> {
             Outcome::Found { seed, distance } => {
                 // Step 7–9: salt once, generate the public key once,
                 // update the RA. The raw seed never leaves this scope.
+                let keygen_start = Instant::now();
                 let salted = pending.salt.apply(&seed);
                 let public_key = self.keygen.public_key(&salted);
                 self.ra.register(client_id, public_key.clone());
+                if let Some(t) = &self.telemetry {
+                    t.keygens.inc();
+                    t.keygen_ns.record_duration(keygen_start.elapsed());
+                }
                 Verdict::Accepted { distance, public_key }
             }
             Outcome::NotFound => Verdict::Rejected,

@@ -32,11 +32,13 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 use rbc_bits::U256;
 use rbc_comb::{partition, Alg515Stream, ChaseTable, GosperStream, MaskStream, SeedIterKind};
+use rbc_telemetry::{Counter, Registry};
 
 use crate::derive::Derive;
 
@@ -166,6 +168,55 @@ impl SearchReport {
     }
 }
 
+/// Shared search-progress counters, paid once per *batch* in the hot
+/// loop (never per candidate), so instrumented and uninstrumented
+/// searches run within measurement noise of each other.
+///
+/// Attach to an engine with [`SearchEngine::with_telemetry`] (or
+/// [`crate::backend::CpuBackend::with_telemetry`]); every engine sharing
+/// one `EngineTelemetry` accumulates into the same counters, which is
+/// what a backend serving many authentications wants. Counter names
+/// follow the `rbc_engine_*` convention listed per field.
+#[derive(Clone, Debug)]
+pub struct EngineTelemetry {
+    /// Searches started (`rbc_engine_searches_total`).
+    pub searches: Arc<Counter>,
+    /// Candidate seeds derived, including each search's distance-0 probe
+    /// (`rbc_engine_seeds_scanned_total`).
+    pub seeds_scanned: Arc<Counter>,
+    /// Batch refills executed (`rbc_engine_batches_total`).
+    pub batches: Arc<Counter>,
+    /// Sum of batch fills in seeds (`rbc_engine_batch_fill_seeds_total`);
+    /// divided by `batches` this is the mean fill, < [`EngineConfig::batch`]
+    /// only on each stream's final refill.
+    pub batch_fill: Arc<Counter>,
+    /// Candidates whose 64-bit digest prefix matched the target and so
+    /// paid for a full derivation (`rbc_engine_prefix_hits_total`).
+    pub prefix_hits: Arc<Counter>,
+    /// Prefix hits whose full derivation then mismatched — the prescreen's
+    /// false positives, expected ≈ `seeds · 2⁻⁶⁴`
+    /// (`rbc_engine_prefix_false_positives_total`).
+    pub prefix_false_positives: Arc<Counter>,
+    /// Early-exit stop-flag/deadline polls taken at batch boundaries
+    /// (`rbc_engine_early_exit_polls_total`).
+    pub early_exit_polls: Arc<Counter>,
+}
+
+impl EngineTelemetry {
+    /// Registers (or rejoins) the `rbc_engine_*` counters in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        EngineTelemetry {
+            searches: registry.counter("rbc_engine_searches_total"),
+            seeds_scanned: registry.counter("rbc_engine_seeds_scanned_total"),
+            batches: registry.counter("rbc_engine_batches_total"),
+            batch_fill: registry.counter("rbc_engine_batch_fill_seeds_total"),
+            prefix_hits: registry.counter("rbc_engine_prefix_hits_total"),
+            prefix_false_positives: registry.counter("rbc_engine_prefix_false_positives_total"),
+            early_exit_polls: registry.counter("rbc_engine_early_exit_polls_total"),
+        }
+    }
+}
+
 // Stop-flag states.
 const RUNNING: u8 = 0;
 const FOUND: u8 = 1;
@@ -178,12 +229,19 @@ pub struct SearchEngine<D: Derive> {
     derive: D,
     cfg: EngineConfig,
     chase_cache: RwLock<HashMap<(u32, usize), ChaseTable>>,
+    telemetry: Option<EngineTelemetry>,
 }
 
 impl<D: Derive> SearchEngine<D> {
     /// Creates an engine with the given derivation and configuration.
     pub fn new(derive: D, cfg: EngineConfig) -> Self {
-        SearchEngine { derive, cfg, chase_cache: RwLock::new(HashMap::new()) }
+        SearchEngine { derive, cfg, chase_cache: RwLock::new(HashMap::new()), telemetry: None }
+    }
+
+    /// Attaches shared search-progress counters; see [`EngineTelemetry`].
+    pub fn with_telemetry(mut self, telemetry: EngineTelemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
     }
 
     /// The engine's configuration.
@@ -246,6 +304,10 @@ impl<D: Derive> SearchEngine<D> {
         let threads = self.cfg.effective_threads();
         let start = Instant::now();
         let deadline = self.cfg.deadline.map(|t| start + t);
+        if let Some(t) = &self.telemetry {
+            t.searches.inc();
+            t.seeds_scanned.inc(); // the distance-0 probe below
+        }
 
         let flag = AtomicU8::new(RUNNING);
         let found: Mutex<Option<(U256, u32)>> = Mutex::new(None);
@@ -290,6 +352,7 @@ impl<D: Derive> SearchEngine<D> {
             std::thread::scope(|scope| {
                 for mut stream in streams {
                     let derive = &self.derive;
+                    let telemetry = self.telemetry.as_ref();
                     let flag = &flag;
                     let found = &found;
                     let d_seeds = &d_seeds;
@@ -312,6 +375,14 @@ impl<D: Derive> SearchEngine<D> {
                             seeds.clear();
                             seeds.extend(masks[..n].iter().map(|m| *s_init ^ *m));
                             local += n as u64;
+                            // Telemetry is paid per refill, not per
+                            // candidate: three relaxed adds amortized
+                            // over `batch` derivations.
+                            if let Some(t) = telemetry {
+                                t.batches.inc();
+                                t.batch_fill.add(n as u64);
+                                t.seeds_scanned.add(n as u64);
+                            }
 
                             // Record a hit; within a thread the first match
                             // in stream order wins, across threads the
@@ -334,12 +405,26 @@ impl<D: Derive> SearchEngine<D> {
                                 // derivation — identical accept/reject
                                 // decisions to the full-compare path.
                                 derive.prefix64_batch(&seeds, &mut prefixes);
+                                let mut prefix_hits = 0u64;
+                                let mut false_pos = 0u64;
                                 for (i, &p) in prefixes.iter().enumerate() {
-                                    if p == tp && derive.derive(&seeds[i]) == *target {
+                                    if p != tp {
+                                        continue;
+                                    }
+                                    prefix_hits += 1;
+                                    if derive.derive(&seeds[i]) == *target {
                                         record(seeds[i]);
                                         if early {
                                             break;
                                         }
+                                    } else {
+                                        false_pos += 1;
+                                    }
+                                }
+                                if let Some(t) = telemetry {
+                                    if prefix_hits > 0 {
+                                        t.prefix_hits.add(prefix_hits);
+                                        t.prefix_false_positives.add(false_pos);
                                     }
                                 }
                             } else {
@@ -360,6 +445,9 @@ impl<D: Derive> SearchEngine<D> {
                             since_check += n as u32;
                             if since_check >= check_interval {
                                 since_check = 0;
+                                if let Some(t) = telemetry {
+                                    t.early_exit_polls.inc();
+                                }
                                 let f = flag.load(Ordering::Relaxed);
                                 if (f == FOUND && early) || f == EXPIRED {
                                     break 'refill;
@@ -634,6 +722,48 @@ mod tests {
         let target = Sha3Fixed.digest_seed(&base);
         let report = eng.search(&target, &base, 2);
         assert!(report.outcome.is_authenticated());
+    }
+
+    #[test]
+    fn telemetry_counts_seeds_batches_and_prefix_hits() {
+        let registry = Registry::new();
+        let telemetry = EngineTelemetry::register(&registry);
+        let base = U256::from_u64(55);
+        let client = seed_at(&base, &[12, 120]);
+        let target = Sha3Fixed.digest_seed(&client);
+        let eng = SearchEngine::new(
+            HashDerive(Sha3Fixed),
+            EngineConfig { threads: 4, mode: SearchMode::Exhaustive, ..Default::default() },
+        )
+        .with_telemetry(telemetry.clone());
+        let report = eng.search(&target, &base, 2);
+        assert_eq!(report.outcome, Outcome::Found { seed: client, distance: 2 });
+
+        let total = 1 + 256 + 32_640;
+        assert_eq!(telemetry.searches.get(), 1);
+        assert_eq!(telemetry.seeds_scanned.get(), total);
+        assert_eq!(telemetry.batch_fill.get(), total - 1, "d0 probe is not batched");
+        assert!(telemetry.batches.get() > 0);
+        assert!(telemetry.batches.get() <= telemetry.early_exit_polls.get() + 8);
+        // Exactly one candidate hashes to the target; false positives
+        // (prefix collisions) are ~2⁻⁶⁴ per candidate, i.e. none here.
+        assert_eq!(telemetry.prefix_hits.get(), 1);
+        assert_eq!(telemetry.prefix_false_positives.get(), 0);
+        // The same counters are visible through the registry snapshot.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("rbc_engine_seeds_scanned_total"), Some(total));
+    }
+
+    #[test]
+    fn telemetry_attachment_does_not_change_outcomes() {
+        let base = U256::from_u64(66);
+        let client = seed_at(&base, &[8, 88]);
+        let target = Sha3Fixed.digest_seed(&client);
+        let plain = engine(SearchMode::EarlyExit, SeedIterKind::Chase).search(&target, &base, 2);
+        let instrumented = engine(SearchMode::EarlyExit, SeedIterKind::Chase)
+            .with_telemetry(EngineTelemetry::register(&Registry::new()))
+            .search(&target, &base, 2);
+        assert_eq!(plain.outcome, instrumented.outcome);
     }
 
     #[test]

@@ -65,12 +65,16 @@ pub mod store;
 pub mod trials;
 pub mod weighted;
 
-pub use backend::{BackendDescriptor, ClusterBackend, CpuBackend, SearchBackend, SearchJob};
-pub use ca::{CaConfig, CertificateAuthority, PendingAuth, RegistrationAuthority};
+pub use backend::{
+    BackendDescriptor, ClusterBackend, CpuBackend, ProfiledBackend, SearchBackend, SearchJob,
+};
+pub use ca::{CaConfig, CaTelemetry, CertificateAuthority, PendingAuth, RegistrationAuthority};
 pub use cluster::{cluster_search, ClusterConfig, ClusterReport};
 pub use derive::{CipherDerive, Derive, DynHashDerive, HashDerive, PqcDerive};
 pub use dispatch::{DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig, RoutePolicy};
-pub use engine::{DistanceStats, EngineConfig, Outcome, SearchEngine, SearchMode, SearchReport};
+pub use engine::{
+    DistanceStats, EngineConfig, EngineTelemetry, Outcome, SearchEngine, SearchMode, SearchReport,
+};
 pub use protocol::{Client, ClientId, Verdict};
 pub use salt::Salt;
 pub use service::{AuthService, ServiceConfig, ServiceStats};

@@ -16,16 +16,29 @@
 //!    ([`CertificateAuthority::finish`]), or map a shed request to
 //!    [`Verdict::Overloaded`].
 //!
-//! The service also aggregates verdict counts on top of the dispatcher's
-//! latency/utilization statistics, giving the `repro service` bench its
-//! [`ServiceStats`] rows.
+//! ## Observability
+//!
+//! The service is the root of the pipeline's span taxonomy. Every
+//! authentication emits `hello`, `prepare`, `queue_wait`, `search`,
+//! `finish` and `auth_total` spans through a pluggable
+//! [`Recorder`] (see [`AuthService::with_recorder`]), each mirrored
+//! into an `rbc_service_<phase>_ns` histogram of the registry shared
+//! with the dispatcher (`rbc_dispatch_*`) and the CA (`rbc_ca_*`), so
+//! one [`Registry`] snapshot gives the full per-phase latency breakdown.
+//!
+//! Outcomes are counted exhaustively: every call to
+//! [`AuthService::complete`] lands in exactly one of
+//! accepted / rejected / timed-out / overloaded / error, so
+//! [`ServiceStats`] totals always sum to the requests issued — shed and
+//! errored requests can never silently vanish from the books.
 
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rbc_pqc::PqcKeyGen;
+use rbc_telemetry::{Counter, NullRecorder, Recorder, Registry, Tracer};
 
-use crate::ca::{CaError, CertificateAuthority};
+use crate::ca::{CaError, CaTelemetry, CertificateAuthority};
 use crate::dispatch::{DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig};
 use crate::protocol::{ChallengeMsg, DigestMsg, HelloMsg, Verdict, VerdictMsg};
 
@@ -36,8 +49,14 @@ use crate::backend::SearchJob;
 pub type ServiceConfig = DispatcherConfig;
 
 /// Verdict counts plus the dispatcher's queue/latency statistics.
+///
+/// Invariant: `issued == accepted + rejected + timed_out + overloaded +
+/// errors` — every request is accounted for exactly once.
 #[derive(Clone, Debug)]
 pub struct ServiceStats {
+    /// Authentication requests issued (calls to
+    /// [`AuthService::complete`]).
+    pub issued: u64,
     /// Authentications accepted.
     pub accepted: u64,
     /// Authentications rejected (no seed within the bound).
@@ -46,8 +65,36 @@ pub struct ServiceStats {
     pub timed_out: u64,
     /// Requests shed by the dispatcher before completing a search.
     pub overloaded: u64,
+    /// Requests that failed CA validation ([`CaError`]: unknown client
+    /// or session) before reaching the dispatcher.
+    pub errors: u64,
     /// Queue depth, p50/p95/p99 latency and per-backend utilization.
     pub dispatch: DispatchStats,
+}
+
+/// The service's `rbc_service_*` outcome counters.
+struct ServiceMetrics {
+    issued: Arc<Counter>,
+    accepted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    timed_out: Arc<Counter>,
+    overloaded: Arc<Counter>,
+    errors: Arc<Counter>,
+    hello_errors: Arc<Counter>,
+}
+
+impl ServiceMetrics {
+    fn register(registry: &Registry) -> Self {
+        ServiceMetrics {
+            issued: registry.counter("rbc_service_requests_total"),
+            accepted: registry.counter("rbc_service_accepted_total"),
+            rejected: registry.counter("rbc_service_rejected_total"),
+            timed_out: registry.counter("rbc_service_timeout_total"),
+            overloaded: registry.counter("rbc_service_shed_total"),
+            errors: registry.counter("rbc_service_error_total"),
+            hello_errors: registry.counter("rbc_service_hello_error_total"),
+        }
+    }
 }
 
 /// A concurrency-safe CA front end multiplexing authentications over a
@@ -55,18 +102,52 @@ pub struct ServiceStats {
 pub struct AuthService<P: PqcKeyGen> {
     ca: Mutex<CertificateAuthority<P>>,
     dispatcher: Arc<Dispatcher>,
-    counts: Mutex<[u64; 4]>, // accepted, rejected, timed_out, overloaded
+    metrics: ServiceMetrics,
+    tracer: Tracer,
 }
 
 impl<P: PqcKeyGen> AuthService<P> {
-    /// Wraps a CA (enrollments done) and a dispatcher pool.
+    /// Wraps a CA (enrollments done) and a dispatcher pool. Spans are
+    /// discarded; metrics land in the dispatcher's registry.
     pub fn new(ca: CertificateAuthority<P>, dispatcher: Arc<Dispatcher>) -> Self {
-        AuthService { ca: Mutex::new(ca), dispatcher, counts: Mutex::new([0; 4]) }
+        Self::with_recorder(ca, dispatcher, Arc::new(NullRecorder))
+    }
+
+    /// Like [`AuthService::new`], but delivers every pipeline span to
+    /// `recorder` as well as the shared histograms.
+    ///
+    /// The service always instruments into the *dispatcher's* registry
+    /// (joining its `rbc_dispatch_*` metrics and wiring the CA's
+    /// `rbc_ca_*` keygen timing), so `service.registry()` is the single
+    /// snapshot point for the whole auth pipeline.
+    pub fn with_recorder(
+        mut ca: CertificateAuthority<P>,
+        dispatcher: Arc<Dispatcher>,
+        recorder: Arc<dyn Recorder>,
+    ) -> Self {
+        let registry = dispatcher.registry().clone();
+        ca.set_telemetry(CaTelemetry::register(&registry));
+        let metrics = ServiceMetrics::register(&registry);
+        let tracer = Tracer::new(recorder).with_registry(registry, "rbc_service");
+        AuthService { ca: Mutex::new(ca), dispatcher, metrics, tracer }
+    }
+
+    /// The registry holding the whole pipeline's metrics
+    /// (`rbc_service_*`, `rbc_dispatch_*`, `rbc_ca_*`, and whatever the
+    /// backends registered).
+    pub fn registry(&self) -> &Arc<Registry> {
+        self.dispatcher.registry()
     }
 
     /// Protocol step 1–2: opens a session, returns the challenge.
     pub fn begin(&self, hello: &HelloMsg) -> Result<ChallengeMsg, CaError> {
-        self.ca.lock().begin(hello)
+        let span = self.tracer.span("hello");
+        let result = self.ca.lock().begin(hello);
+        span.finish();
+        if result.is_err() {
+            self.metrics.hello_errors.inc();
+        }
+        result
     }
 
     /// Protocol steps 5–9 under load: validates the digest, dispatches
@@ -74,18 +155,47 @@ impl<P: PqcKeyGen> AuthService<P> {
     /// threads concurrently; only the validation and verdict bookkeeping
     /// hold the CA lock.
     pub fn complete(&self, msg: &DigestMsg) -> Result<VerdictMsg, CaError> {
-        let pending = self.ca.lock().prepare(msg)?;
+        self.metrics.issued.inc();
+        let total = self.tracer.span("auth_total");
+        let prepare = self.tracer.span("prepare");
+        let pending = match self.ca.lock().prepare(msg) {
+            Ok(pending) => pending,
+            Err(e) => {
+                prepare.finish();
+                total.finish();
+                // CaErrors are an explicit outcome: without this the
+                // books would not balance against requests issued.
+                self.metrics.errors.inc();
+                return Err(e);
+            }
+        };
+        prepare.finish();
+
         let verdict = match self.dispatcher.submit(&pending.job) {
-            DispatchOutcome::Completed { report, .. } => self.ca.lock().finish(&pending, report),
-            DispatchOutcome::Overloaded { .. } => self.ca.lock().shed(&pending),
+            DispatchOutcome::Completed { report, queue_wait, .. } => {
+                // Queue wait and search were clocked by the dispatcher
+                // and the backend; inject them retroactively so the
+                // span stream and the phase histograms stay complete
+                // without a second measurement.
+                self.tracer.record("queue_wait", queue_wait);
+                self.tracer.record("search", report.elapsed);
+                let finish = self.tracer.span("finish");
+                let verdict = self.ca.lock().finish(&pending, report);
+                finish.finish();
+                verdict
+            }
+            DispatchOutcome::Overloaded { queue_wait } => {
+                self.tracer.record("queue_wait", queue_wait);
+                self.ca.lock().shed(&pending)
+            }
         };
-        let slot = match verdict.verdict {
-            Verdict::Accepted { .. } => 0,
-            Verdict::Rejected => 1,
-            Verdict::TimedOut => 2,
-            Verdict::Overloaded => 3,
-        };
-        self.counts.lock()[slot] += 1;
+        match verdict.verdict {
+            Verdict::Accepted { .. } => self.metrics.accepted.inc(),
+            Verdict::Rejected => self.metrics.rejected.inc(),
+            Verdict::TimedOut => self.metrics.timed_out.inc(),
+            Verdict::Overloaded => self.metrics.overloaded.inc(),
+        }
+        total.finish();
         Ok(verdict)
     }
 
@@ -102,12 +212,13 @@ impl<P: PqcKeyGen> AuthService<P> {
 
     /// Verdict counts + dispatcher statistics since construction.
     pub fn stats(&self) -> ServiceStats {
-        let [accepted, rejected, timed_out, overloaded] = *self.counts.lock();
         ServiceStats {
-            accepted,
-            rejected,
-            timed_out,
-            overloaded,
+            issued: self.metrics.issued.get(),
+            accepted: self.metrics.accepted.get(),
+            rejected: self.metrics.rejected.get(),
+            timed_out: self.metrics.timed_out.get(),
+            overloaded: self.metrics.overloaded.get(),
+            errors: self.metrics.errors.get(),
             dispatch: self.dispatcher.stats(),
         }
     }
@@ -125,6 +236,7 @@ mod tests {
     use rand::SeedableRng;
     use rbc_pqc::LightSaber;
     use rbc_puf::ModelPuf;
+    use rbc_telemetry::CollectingRecorder;
     use std::time::Duration;
 
     fn service_under_test(
@@ -173,8 +285,9 @@ mod tests {
             }
         });
         let stats = service.stats();
+        assert_eq!(stats.issued, 8, "{stats:?}");
         assert_eq!(
-            stats.accepted + stats.rejected + stats.timed_out + stats.overloaded,
+            stats.accepted + stats.rejected + stats.timed_out + stats.overloaded + stats.errors,
             8,
             "{stats:?}"
         );
@@ -216,6 +329,11 @@ mod tests {
         // least one must still complete.
         assert!(stats.overloaded >= 1, "{stats:?}");
         assert!(stats.accepted + stats.rejected + stats.timed_out >= 1, "{stats:?}");
+        // Shed requests appear in both the service's and the shared
+        // registry's ledger.
+        let snap = service.registry().snapshot();
+        assert_eq!(snap.counter("rbc_service_shed_total"), Some(stats.overloaded));
+        assert_eq!(snap.counter("rbc_service_requests_total"), Some(4));
     }
 
     #[test]
@@ -234,5 +352,68 @@ mod tests {
             }
         }
         assert_eq!(service.stats().dispatch.completed, 4);
+    }
+
+    #[test]
+    fn ca_errors_are_counted_not_lost() {
+        let (service, clients) = service_under_test(1, 1, ServiceConfig::default());
+        let mut rng = StdRng::seed_from_u64(11);
+        // A digest for a session that was never opened.
+        let challenge = service.begin(&clients[0].hello()).unwrap();
+        let mut digest = clients[0].respond(&challenge, &mut rng);
+        digest.session += 999;
+        assert!(service.complete(&digest).is_err());
+        let stats = service.stats();
+        assert_eq!(stats.issued, 1, "{stats:?}");
+        assert_eq!(stats.errors, 1, "{stats:?}");
+        assert_eq!(
+            stats.accepted + stats.rejected + stats.timed_out + stats.overloaded + stats.errors,
+            stats.issued
+        );
+        // An unknown client at hello time is counted separately.
+        assert!(service.begin(&HelloMsg { client_id: 404 }).is_err());
+        let snap = service.registry().snapshot();
+        assert_eq!(snap.counter("rbc_service_hello_error_total"), Some(1));
+    }
+
+    #[test]
+    fn spans_cover_the_full_auth_flow() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let ca_cfg = CaConfig {
+            max_d: 3,
+            engine: EngineConfig { threads: 2, ..Default::default() },
+            ..Default::default()
+        };
+        let mut ca = CertificateAuthority::new([9u8; 32], LightSaber, ca_cfg);
+        // Noiseless device: the verdict is deterministically an
+        // acceptance, so the keygen phase is guaranteed to run.
+        let client = Client::new(0, ModelPuf::noiseless(4096, 123));
+        ca.enroll_client(0, client.device(), 0, &mut rng).unwrap();
+        let dispatcher = Arc::new(Dispatcher::new(
+            vec![Arc::new(CpuBackend::new(EngineConfig { threads: 2, ..Default::default() }))
+                as Arc<dyn SearchBackend>],
+            ServiceConfig::default(),
+        ));
+        let recorder = Arc::new(CollectingRecorder::new());
+        let service = AuthService::with_recorder(ca, dispatcher, recorder.clone());
+
+        let challenge = service.begin(&client.hello()).unwrap();
+        let digest = client.respond(&challenge, &mut rng);
+        service.complete(&digest).unwrap();
+
+        let names: Vec<_> = recorder.take().iter().map(|s| s.name).collect();
+        for phase in ["hello", "prepare", "queue_wait", "search", "finish", "auth_total"] {
+            assert!(names.contains(&phase), "missing span {phase}: {names:?}");
+        }
+        // The same phases exist as histograms in the shared registry,
+        // and the CA contributed its keygen timing.
+        let snap = service.registry().snapshot();
+        for metric in
+            ["rbc_service_prepare_ns", "rbc_service_search_ns", "rbc_service_auth_total_ns"]
+        {
+            assert_eq!(snap.histogram(metric).map(|h| h.count), Some(1), "{metric}");
+        }
+        assert_eq!(snap.counter("rbc_ca_keygen_total"), Some(1));
+        assert_eq!(snap.histogram("rbc_ca_keygen_ns").map(|h| h.count), Some(1));
     }
 }

@@ -34,6 +34,10 @@ pub struct GpuSearchResult {
     pub kernels: u32,
     /// CUDA threads spawned across all kernels (Table 2's `p`, summed).
     pub threads_total: u64,
+    /// Unified-memory early-exit flag reads (host pre-launch checks,
+    /// thread-entry checks and the per-seed polls of §4.4). Zero when
+    /// `early_exit` is off — the flag is never consulted.
+    pub flag_polls: u64,
 }
 
 /// Runs the functional SALTED-GPU search with hash `H`.
@@ -52,6 +56,7 @@ pub fn gpu_salted_search<H: SeedHash>(
     let n = cfg.params.seeds_per_thread.max(1) as u128;
     let flag = AtomicBool::new(false);
     let hashes = AtomicU64::new(0);
+    let flag_polls = AtomicU64::new(0);
     let found = parking_lot_free_slot();
 
     // Host-side d = 0 probe.
@@ -64,8 +69,11 @@ pub fn gpu_salted_search<H: SeedHash>(
     let mut kernels = 0u32;
     let mut threads_total = 0u64;
     for d in 1..=max_d {
-        if early_exit && flag.load(Ordering::Acquire) {
-            break; // host skips remaining kernel launches
+        if early_exit {
+            flag_polls.fetch_add(1, Ordering::Relaxed);
+            if flag.load(Ordering::Acquire) {
+                break; // host skips remaining kernel launches
+            }
         }
         let total = binomial(256, d);
         let threads = total.div_ceil(n);
@@ -74,8 +82,13 @@ pub fn gpu_salted_search<H: SeedHash>(
 
         // Kernel: thread t owns ranks [t·n, min((t+1)·n, total)).
         (0..threads as u64).into_par_iter().for_each(|t| {
-            if early_exit && flag.load(Ordering::Relaxed) {
-                return; // thread observes the flag on entry
+            let mut local_polls = 0u64;
+            if early_exit {
+                local_polls += 1;
+                if flag.load(Ordering::Relaxed) {
+                    flag_polls.fetch_add(local_polls, Ordering::Relaxed);
+                    return; // thread observes the flag on entry
+                }
             }
             let start = t as u128 * n;
             let end = ((t as u128 + 1) * n).min(total);
@@ -93,11 +106,15 @@ pub fn gpu_salted_search<H: SeedHash>(
                 }
                 // Flag polled after every seed (§4.4 found the cadence
                 // does not matter; we use the paper's final choice of 1).
-                if early_exit && flag.load(Ordering::Relaxed) {
-                    break;
+                if early_exit {
+                    local_polls += 1;
+                    if flag.load(Ordering::Relaxed) {
+                        break;
+                    }
                 }
             }
             hashes.fetch_add(local, Ordering::Relaxed);
+            flag_polls.fetch_add(local_polls, Ordering::Relaxed);
         });
     }
 
@@ -106,6 +123,7 @@ pub fn gpu_salted_search<H: SeedHash>(
         hashes: hashes.load(Ordering::Relaxed),
         kernels,
         threads_total,
+        flag_polls: flag_polls.load(Ordering::Relaxed),
     }
 }
 
@@ -224,6 +242,26 @@ mod tests {
             let r = gpu_salted_search(&Sha3Fixed, &cfg(n), &target, &base, 2, true);
             assert_eq!(r.found, Some((client, 2)), "n={n}");
         }
+    }
+
+    #[test]
+    fn flag_polls_counted_only_under_early_exit() {
+        let base = U256::from_u64(42);
+        let client = base.flip_bit(7);
+        let target = Sha1Fixed.digest_seed(&client);
+        let exhaustive = gpu_salted_search(&Sha1Fixed, &cfg(10), &target, &base, 2, false);
+        assert_eq!(exhaustive.flag_polls, 0, "flag never consulted without early exit");
+        let early = gpu_salted_search(&Sha1Fixed, &cfg(10), &target, &base, 2, true);
+        // At least the host's pre-launch check for d = 1 and one
+        // per-seed poll; bounded by one poll per hash plus per-thread
+        // entry checks plus the host checks.
+        assert!(early.flag_polls >= 2, "{}", early.flag_polls);
+        assert!(
+            early.flag_polls <= early.hashes + early.threads_total + 2,
+            "{} polls vs {} hashes",
+            early.flag_polls,
+            early.hashes
+        );
     }
 
     #[test]

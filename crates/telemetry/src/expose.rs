@@ -1,0 +1,187 @@
+//! Exposition: Prometheus text format and JSON rendering of a
+//! [`Registry`] snapshot, plus a small Prometheus-text parser used by
+//! the round-trip tests and the CI smoke check.
+
+use serde::Value;
+
+use crate::metrics::{MetricSnapshot, Registry, Snapshot};
+
+impl Registry {
+    /// Renders every metric in the Prometheus text exposition format:
+    /// `# TYPE` comments, cumulative `_bucket{le="…"}` series plus
+    /// `_sum`/`_count` for histograms.
+    pub fn render_prometheus(&self) -> String {
+        render_prometheus(&self.snapshot())
+    }
+
+    /// Renders every metric as a JSON object keyed by metric name.
+    /// Histograms become `{count, sum, mean, p50, p95, p99}` summaries
+    /// (nanosecond samples by convention).
+    pub fn render_json(&self) -> Value {
+        render_json(&self.snapshot())
+    }
+}
+
+/// Prometheus text rendering of a snapshot (see
+/// [`Registry::render_prometheus`]).
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, metric) in &snap.entries {
+        match metric {
+            MetricSnapshot::Counter(v) => {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+            }
+            MetricSnapshot::Gauge(v) => {
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+            }
+            MetricSnapshot::Histogram(h) => {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                let mut cumulative = 0u64;
+                for &(bound, count) in &h.buckets {
+                    cumulative += count;
+                    out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+                }
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                out.push_str(&format!("{name}_sum {}\n", h.sum));
+                out.push_str(&format!("{name}_count {}\n", h.count));
+            }
+        }
+    }
+    out
+}
+
+/// JSON rendering of a snapshot (see [`Registry::render_json`]).
+pub fn render_json(snap: &Snapshot) -> Value {
+    let entries = snap
+        .entries
+        .iter()
+        .map(|(name, metric)| {
+            let v = match metric {
+                MetricSnapshot::Counter(v) => Value::UInt(*v),
+                MetricSnapshot::Gauge(v) => Value::Int(*v),
+                MetricSnapshot::Histogram(h) => Value::Object(vec![
+                    ("count".to_string(), Value::UInt(h.count)),
+                    ("sum".to_string(), Value::UInt(h.sum)),
+                    ("mean".to_string(), Value::Float(h.mean())),
+                    ("p50".to_string(), Value::UInt(h.percentile(50.0))),
+                    ("p95".to_string(), Value::UInt(h.percentile(95.0))),
+                    ("p99".to_string(), Value::UInt(h.percentile(99.0))),
+                ]),
+            };
+            (name.clone(), v)
+        })
+        .collect();
+    Value::Object(entries)
+}
+
+/// One sample line parsed from Prometheus text.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PromSample {
+    /// Metric (series) name, without the label set.
+    pub name: String,
+    /// Label pairs in source order (`le` for histogram buckets).
+    pub labels: Vec<(String, String)>,
+    /// Sample value (`+Inf` bucket bounds appear as labels, values are
+    /// always finite numbers here).
+    pub value: f64,
+}
+
+/// Parses Prometheus text exposition into its sample lines, ignoring
+/// `#` comment/metadata lines. Strict enough for round-trip testing of
+/// [`render_prometheus`]; not a general scrape parser.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value separator: {line:?}", lineno + 1))?;
+        let value: f64 =
+            value.parse().map_err(|e| format!("line {}: bad value {value:?}: {e}", lineno + 1))?;
+        let (name, labels) = match series.split_once('{') {
+            None => (series.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| format!("line {}: unterminated label set", lineno + 1))?;
+                let mut labels = Vec::new();
+                for pair in body.split(',').filter(|p| !p.is_empty()) {
+                    let (k, v) = pair
+                        .split_once('=')
+                        .ok_or_else(|| format!("line {}: bad label {pair:?}", lineno + 1))?;
+                    let v = v
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or_else(|| format!("line {}: unquoted label value", lineno + 1))?;
+                    labels.push((k.to_string(), v.to_string()));
+                }
+                (name.to_string(), labels)
+            }
+        };
+        samples.push(PromSample { name, labels, value });
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("rbc_test_requests_total").add(42);
+        r.gauge("rbc_test_queue_depth").set(-3);
+        let h = r.histogram("rbc_test_latency_ns");
+        for v in [5u64, 5, 900, 1_000_000] {
+            h.record(v);
+        }
+        r
+    }
+
+    #[test]
+    fn prometheus_text_round_trips_through_the_parser() {
+        let r = sample_registry();
+        let text = r.render_prometheus();
+        let samples = parse_prometheus(&text).expect("rendered text must parse");
+
+        let get =
+            |name: &str| samples.iter().find(|s| s.name == name).map(|s| s.value).expect(name);
+        assert_eq!(get("rbc_test_requests_total"), 42.0);
+        assert_eq!(get("rbc_test_queue_depth"), -3.0);
+        assert_eq!(get("rbc_test_latency_ns_count"), 4.0);
+        assert_eq!(get("rbc_test_latency_ns_sum"), (5 + 5 + 900 + 1_000_000) as f64);
+
+        // Bucket lines: cumulative, le-labelled, ending at +Inf == count.
+        let buckets: Vec<_> =
+            samples.iter().filter(|s| s.name == "rbc_test_latency_ns_bucket").collect();
+        assert_eq!(buckets.last().unwrap().labels, [("le".into(), "+Inf".into())]);
+        assert_eq!(buckets.last().unwrap().value, 4.0);
+        let counts: Vec<f64> = buckets.iter().map(|s| s.value).collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "cumulative: {counts:?}");
+        // The two 5 ns samples share one exact low bucket.
+        assert_eq!(counts[0], 2.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_prometheus("no_value_here").is_err());
+        assert!(parse_prometheus("x{le=\"1\" 3").is_err());
+        assert!(parse_prometheus("x{le=1} 3").is_err());
+        assert!(parse_prometheus("x nan_but_not").is_err());
+    }
+
+    #[test]
+    fn json_rendering_summarizes_histograms() {
+        let r = sample_registry();
+        let json = r.render_json();
+        let entries = json.as_object().expect("object");
+        let hist = &entries.iter().find(|(k, _)| k == "rbc_test_latency_ns").unwrap().1;
+        assert_eq!(hist.field("count").ok().and_then(Value::as_u64), Some(4));
+        assert!(hist.field("p99").ok().and_then(Value::as_u64).unwrap() >= 1_000_000);
+        let counter = &entries.iter().find(|(k, _)| k == "rbc_test_requests_total").unwrap().1;
+        assert_eq!(counter.as_u64(), Some(42));
+    }
+}

@@ -1,0 +1,537 @@
+//! The metric primitives and the registry.
+//!
+//! Updates are relaxed atomic operations — safe to call from any number
+//! of threads (Rayon workers, dispatcher submitters, engine scopes)
+//! without coordination. Reads ([`Registry::snapshot`]) take the
+//! registry lock briefly and load each atomic once; a snapshot taken
+//! concurrently with updates sees some consistent recent value of every
+//! metric, which is all aggregate reporting needs.
+
+use std::fmt;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+/// A monotonically increasing `u64` counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A signed instantaneous value (queue depths, in-flight jobs).
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is higher (peak tracking).
+    #[inline]
+    pub fn max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gauge({})", self.get())
+    }
+}
+
+// Log-linear bucket layout: values below `SUB` get one exact bucket
+// each; every power-of-two octave above is split into `SUB` equal
+// sub-buckets. A bucket's upper bound therefore overstates any value it
+// holds by at most 1/(SUB+1) ≈ 3 % — the histogram's advertised
+// relative-error bound (`Histogram::RELATIVE_ERROR`).
+const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        (shift as usize + 1) * SUB + ((v >> shift) as usize - SUB)
+    }
+}
+
+/// Largest value mapping to bucket `i` (the bucket's inclusive upper
+/// bound); saturates at `u64::MAX` for the top bucket.
+fn bucket_bound(i: usize) -> u64 {
+    if i < SUB {
+        i as u64
+    } else {
+        let shift = (i / SUB - 1) as u32;
+        let top = ((SUB + i % SUB + 1) as u128) << shift;
+        u64::try_from(top - 1).unwrap_or(u64::MAX)
+    }
+}
+
+/// A fixed-footprint log-linear histogram of `u64` samples
+/// (conventionally nanoseconds).
+///
+/// Recording is one relaxed `fetch_add` into one of
+/// 1920 buckets plus the count/sum accumulators — no allocation, no
+/// lock, no per-sample growth (the dispatcher's old approach kept every
+/// latency in a `Vec`). Quantiles read from a [`HistogramSnapshot`] are
+/// upper bounds accurate to [`Histogram::RELATIVE_ERROR`].
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Worst-case relative overestimate of any reported quantile:
+    /// `1 / 32` with 32 sub-buckets per octave.
+    pub const RELATIVE_ERROR: f64 = 1.0 / SUB as f64;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration as nanoseconds (saturating past ~584 years).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                buckets.push((bucket_bound(i), c));
+            }
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Histogram(count={})", self.count())
+    }
+}
+
+/// A point-in-time view of a [`Histogram`]: the non-empty buckets as
+/// `(inclusive upper bound, count)` pairs in ascending bound order.
+#[derive(Clone, Debug, Default)]
+pub struct HistogramSnapshot {
+    /// Non-empty buckets, ascending by bound.
+    pub buckets: Vec<(u64, u64)>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Nearest-rank percentile (`p` in 0–100): the upper bound of the
+    /// bucket holding the sample of rank `round(p/100 · (count−1))` —
+    /// the same rank the dispatcher's retired sorted-`Vec`
+    /// implementation used, so migrated p50/p95/p99 agree with it to
+    /// within [`Histogram::RELATIVE_ERROR`]. Zero when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (p / 100.0 * (self.count - 1) as f64).round() as u64;
+        let mut seen = 0u64;
+        for &(bound, c) in &self.buckets {
+            seen += c;
+            if seen > rank {
+                return bound;
+            }
+        }
+        self.buckets.last().map(|&(b, _)| b).unwrap_or(0)
+    }
+
+    /// Nearest-rank percentile as a [`Duration`] (samples are
+    /// nanoseconds by convention).
+    pub fn percentile_duration(&self, p: f64) -> Duration {
+        Duration::from_nanos(self.percentile(p))
+    }
+
+    /// Mean sample value; zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Mean as a [`Duration`].
+    pub fn mean_duration(&self) -> Duration {
+        Duration::from_nanos(self.mean() as u64)
+    }
+}
+
+/// One metric's value in a [`Snapshot`].
+#[derive(Clone, Debug)]
+pub enum MetricSnapshot {
+    /// A counter's value.
+    Counter(u64),
+    /// A gauge's value.
+    Gauge(i64),
+    /// A histogram's distribution.
+    Histogram(HistogramSnapshot),
+}
+
+/// A point-in-time copy of every metric in a [`Registry`], in
+/// registration order.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// `(name, value)` pairs in registration order.
+    pub entries: Vec<(String, MetricSnapshot)>,
+}
+
+impl Snapshot {
+    /// Looks up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricSnapshot> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, m)| m)
+    }
+
+    /// A counter's value, or `None` if absent or not a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricSnapshot::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A gauge's value, or `None` if absent or not a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name)? {
+            MetricSnapshot::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A histogram's snapshot, or `None` if absent or not a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name)? {
+            MetricSnapshot::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics.
+///
+/// Registration (`counter`/`gauge`/`histogram`) is get-or-create by
+/// name and takes a write lock — do it once at construction time and
+/// hold the returned `Arc`; updates through the `Arc` never touch the
+/// registry again.
+#[derive(Default)]
+pub struct Registry {
+    metrics: RwLock<Vec<(String, Metric)>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Gets or creates the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut g = self.metrics.write();
+        if let Some((_, m)) = g.iter().find(|(n, _)| n == name) {
+            match m {
+                Metric::Counter(c) => return c.clone(),
+                _ => panic!("metric {name} already registered with a different type"),
+            }
+        }
+        let c = Arc::new(Counter::new());
+        g.push((name.to_string(), Metric::Counter(c.clone())));
+        c
+    }
+
+    /// Gets or creates the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut g = self.metrics.write();
+        if let Some((_, m)) = g.iter().find(|(n, _)| n == name) {
+            match m {
+                Metric::Gauge(x) => return x.clone(),
+                _ => panic!("metric {name} already registered with a different type"),
+            }
+        }
+        let x = Arc::new(Gauge::new());
+        g.push((name.to_string(), Metric::Gauge(x.clone())));
+        x
+    }
+
+    /// Gets or creates the histogram `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric type.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut g = self.metrics.write();
+        if let Some((_, m)) = g.iter().find(|(n, _)| n == name) {
+            match m {
+                Metric::Histogram(h) => return h.clone(),
+                _ => panic!("metric {name} already registered with a different type"),
+            }
+        }
+        let h = Arc::new(Histogram::new());
+        g.push((name.to_string(), Metric::Histogram(h.clone())));
+        h
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.read().len()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A point-in-time copy of every metric, in registration order.
+    pub fn snapshot(&self) -> Snapshot {
+        let g = self.metrics.read();
+        Snapshot {
+            entries: g
+                .iter()
+                .map(|(n, m)| {
+                    let v = match m {
+                        Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                        Metric::Gauge(x) => MetricSnapshot::Gauge(x.get()),
+                        Metric::Histogram(h) => MetricSnapshot::Histogram(h.snapshot()),
+                    };
+                    (n.clone(), v)
+                })
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Registry({} metrics)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basic_ops() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-3);
+        g.max(2);
+        assert_eq!(g.get(), 4);
+        g.max(10);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn bucket_index_and_bound_are_inverse_on_boundaries() {
+        // Every bucket's bound must map back into that bucket, and
+        // bound+1 into the next — the index/bound pair tiles u64 with no
+        // gaps or overlaps.
+        for i in 0..BUCKETS {
+            let b = bucket_bound(i);
+            assert_eq!(bucket_index(b), i, "bound {b} of bucket {i}");
+            if b < u64::MAX {
+                assert_eq!(bucket_index(b + 1), i + 1, "bucket {i} upper boundary");
+            }
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..SUB as u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, SUB as u64);
+        // One bucket per value, each holding exactly one sample.
+        assert_eq!(s.buckets.len(), SUB);
+        for (i, &(bound, count)) in s.buckets.iter().enumerate() {
+            assert_eq!((bound, count), (i as u64, 1));
+        }
+    }
+
+    #[test]
+    fn percentile_error_is_within_the_advertised_bound() {
+        let h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for p in [0.0f64, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+            let exact = 1 + (p / 100.0 * 99_999.0).round() as u64;
+            let approx = s.percentile(p);
+            assert!(approx >= exact, "p{p}: {approx} < exact {exact}");
+            let err = (approx - exact) as f64 / exact as f64;
+            assert!(err <= Histogram::RELATIVE_ERROR, "p{p}: err {err}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.percentile(50.0), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.count, 0);
+    }
+
+    #[test]
+    fn registry_get_or_create_returns_the_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("rbc_test_hits_total");
+        let b = r.counter("rbc_test_hits_total");
+        a.inc();
+        b.inc();
+        assert_eq!(r.snapshot().counter("rbc_test_hits_total"), Some(2));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn registry_rejects_type_confusion() {
+        let r = Registry::new();
+        let _ = r.counter("rbc_test_x");
+        let _ = r.histogram("rbc_test_x");
+    }
+
+    #[test]
+    fn concurrent_updates_from_rayon_workers_lose_nothing() {
+        use rayon::prelude::*;
+        let r = Registry::new();
+        let c = r.counter("rbc_test_par_hits_total");
+        let h = r.histogram("rbc_test_par_latency_ns");
+        let g = r.gauge("rbc_test_par_peak");
+        (0..8u64).into_par_iter().for_each(|w| {
+            for i in 0..10_000u64 {
+                c.inc();
+                h.record(w * 10_000 + i);
+                g.max((w * 10_000 + i) as i64);
+            }
+        });
+        assert_eq!(c.get(), 80_000, "no lost counter increments");
+        let s = h.snapshot();
+        assert_eq!(s.count, 80_000, "no lost histogram samples");
+        assert_eq!(s.buckets.iter().map(|&(_, n)| n).sum::<u64>(), 80_000);
+        assert_eq!(s.sum, (0..80_000u64).sum::<u64>());
+        assert_eq!(g.get(), 79_999);
+    }
+
+    #[test]
+    fn snapshot_preserves_registration_order() {
+        let r = Registry::new();
+        let _ = r.counter("rbc_b_total");
+        let _ = r.gauge("rbc_a_depth");
+        let _ = r.histogram("rbc_c_ns");
+        let names: Vec<_> = r.snapshot().entries.iter().map(|(n, _)| n.clone()).collect();
+        assert_eq!(names, ["rbc_b_total", "rbc_a_depth", "rbc_c_ns"]);
+    }
+}

@@ -1,0 +1,246 @@
+//! Lightweight tracing spans with a pluggable [`Recorder`].
+//!
+//! A [`Tracer`] hands out drop-guard [`Span`]s; each finished span is
+//! delivered to the tracer's recorder and — when the tracer is built
+//! over a [`Registry`] — mirrored into a `<prefix>_<name>_ns` histogram,
+//! so the span taxonomy and the metric namespace stay in lock-step
+//! without double instrumentation at the call sites.
+//!
+//! Phases whose duration is measured elsewhere (the dispatcher already
+//! times queue wait; backends already time the search) are injected
+//! retroactively with [`Tracer::record`] instead of wrapping them in a
+//! guard — same recorder, same histograms, no second clock read.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use crate::metrics::{Histogram, Registry};
+
+/// One finished span.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// Phase name (e.g. `prepare`, `queue_wait`, `search`, `keygen`,
+    /// `auth_total`).
+    pub name: &'static str,
+    /// Start offset from the tracer's epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Span duration.
+    pub duration: Duration,
+}
+
+/// Receives finished spans. Implementations must be cheap and
+/// non-blocking: recorders run inline on the instrumented thread.
+pub trait Recorder: Send + Sync {
+    /// Called once per finished span.
+    fn record(&self, span: &SpanRecord);
+}
+
+/// Discards every span — the zero-cost default.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _span: &SpanRecord) {}
+}
+
+/// Buffers every span in memory, for tests and offline analysis.
+#[derive(Debug, Default)]
+pub struct CollectingRecorder {
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl CollectingRecorder {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies out everything recorded so far.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().clone()
+    }
+
+    /// Drains everything recorded so far.
+    pub fn take(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut self.spans.lock())
+    }
+}
+
+impl Recorder for CollectingRecorder {
+    fn record(&self, span: &SpanRecord) {
+        self.spans.lock().push(span.clone());
+    }
+}
+
+/// Produces spans against one epoch and delivers them to a recorder,
+/// optionally mirroring durations into per-phase histograms of a
+/// [`Registry`].
+pub struct Tracer {
+    epoch: Instant,
+    recorder: Arc<dyn Recorder>,
+    mirror: Option<Mirror>,
+}
+
+struct Mirror {
+    registry: Arc<Registry>,
+    prefix: &'static str,
+    cache: Mutex<HashMap<&'static str, Arc<Histogram>>>,
+}
+
+impl Mirror {
+    fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        if let Some(h) = self.cache.lock().get(name) {
+            return h.clone();
+        }
+        let h = self.registry.histogram(&format!("{}_{}_ns", self.prefix, name));
+        self.cache.lock().insert(name, h.clone());
+        h
+    }
+}
+
+impl Tracer {
+    /// A tracer delivering spans to `recorder` only.
+    pub fn new(recorder: Arc<dyn Recorder>) -> Self {
+        Tracer { epoch: Instant::now(), recorder, mirror: None }
+    }
+
+    /// A tracer that discards spans and mirrors nothing.
+    pub fn disabled() -> Self {
+        Tracer::new(Arc::new(NullRecorder))
+    }
+
+    /// Additionally mirrors every span of phase `name` into the
+    /// histogram `<prefix>_<name>_ns` of `registry` (created on first
+    /// use, then cached — one map lookup per span).
+    pub fn with_registry(mut self, registry: Arc<Registry>, prefix: &'static str) -> Self {
+        self.mirror = Some(Mirror { registry, prefix, cache: Mutex::new(HashMap::new()) });
+        self
+    }
+
+    /// Opens a span; it records itself when dropped or
+    /// [`finish`](Span::finish)ed.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        Span { tracer: self, name, start: Instant::now(), done: false }
+    }
+
+    /// Records a phase measured elsewhere, as if a span of `duration`
+    /// had just ended now.
+    pub fn record(&self, name: &'static str, duration: Duration) {
+        let end_ns = self.offset_ns(Instant::now());
+        let dur_ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+        self.deliver(&SpanRecord { name, start_ns: end_ns.saturating_sub(dur_ns), duration });
+    }
+
+    fn offset_ns(&self, t: Instant) -> u64 {
+        u64::try_from(t.saturating_duration_since(self.epoch).as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    fn deliver(&self, span: &SpanRecord) {
+        if let Some(m) = &self.mirror {
+            m.histogram(span.name).record_duration(span.duration);
+        }
+        self.recorder.record(span);
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tracer(mirrored={})", self.mirror.is_some())
+    }
+}
+
+/// A live span; records itself on drop.
+#[must_use = "a span measures until it is dropped or finished"]
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    name: &'static str,
+    start: Instant,
+    done: bool,
+}
+
+impl Span<'_> {
+    /// Ends the span now and returns its duration.
+    pub fn finish(mut self) -> Duration {
+        self.done = true;
+        self.emit()
+    }
+
+    fn emit(&self) -> Duration {
+        let duration = self.start.elapsed();
+        self.tracer.deliver(&SpanRecord {
+            name: self.name,
+            start_ns: self.tracer.offset_ns(self.start),
+            duration,
+        });
+        duration
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.emit();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_reach_the_recorder_in_finish_order() {
+        let collector = Arc::new(CollectingRecorder::new());
+        let tracer = Tracer::new(collector.clone());
+        {
+            let outer = tracer.span("outer");
+            tracer.span("inner").finish();
+            drop(outer);
+        }
+        let spans = collector.take();
+        let names: Vec<_> = spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["inner", "outer"]);
+        // The outer span opened first and lasted at least as long.
+        assert!(spans[1].start_ns <= spans[0].start_ns);
+        assert!(spans[1].duration >= spans[0].duration);
+    }
+
+    #[test]
+    fn registry_mirror_feeds_per_phase_histograms() {
+        let registry = Arc::new(Registry::new());
+        let tracer =
+            Tracer::new(Arc::new(NullRecorder)).with_registry(registry.clone(), "rbc_service");
+        tracer.span("prepare").finish();
+        tracer.record("search", Duration::from_millis(3));
+        tracer.record("search", Duration::from_millis(5));
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("rbc_service_prepare_ns").unwrap().count, 1);
+        let search = snap.histogram("rbc_service_search_ns").unwrap();
+        assert_eq!(search.count, 2);
+        assert!(search.mean_duration() >= Duration::from_millis(3));
+    }
+
+    #[test]
+    fn retroactive_record_backdates_the_start() {
+        let collector = Arc::new(CollectingRecorder::new());
+        let tracer = Tracer::new(collector.clone());
+        std::thread::sleep(Duration::from_millis(2));
+        tracer.record("late", Duration::from_millis(1));
+        let spans = collector.take();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].duration, Duration::from_millis(1));
+        // start = now − duration, which is strictly after the epoch here.
+        assert!(spans[0].start_ns > 0);
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let tracer = Tracer::disabled();
+        tracer.span("anything").finish();
+        tracer.record("other", Duration::from_secs(1));
+    }
+}

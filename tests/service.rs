@@ -153,6 +153,107 @@ fn saturation_sheds_overloaded_and_deadline_exceeded_times_out() {
     assert_eq!(stats.dispatch.rejected, stats.overloaded);
 }
 
+/// Property: the service's books always balance. Whatever mix of clean
+/// clients, noisy clients (rejections), corrupted sessions ([`CaError`]s),
+/// shed-inducing queue limits and timeout-inducing budgets arrives
+/// concurrently, every request issued lands in exactly one outcome
+/// counter — and the shared registry's Prometheus ledger agrees with
+/// [`ServiceStats`].
+mod books_balance {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// 0 = clean (accept at d = 0), 1 = noisy beyond the bound
+    /// (rejected), 2 = corrupted session id (a [`CaError`]).
+    fn run_mix(roles: Vec<u8>, queue_limit: usize, tiny_budget: bool) {
+        let n = roles.len() as u64;
+        let mut rng = StdRng::seed_from_u64(0xB00C);
+        let ca_cfg = CaConfig {
+            // A small bound keeps rejection searches to 257 candidates.
+            max_d: 1,
+            engine: EngineConfig { threads: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let mut ca = CertificateAuthority::new([8u8; 32], LightSaber, ca_cfg);
+        let mut clients = Vec::new();
+        for (id, role) in roles.iter().enumerate() {
+            let mut c = Client::new(id as u64, ModelPuf::noiseless(4096, 0xF1F + id as u64));
+            if *role == 1 {
+                c.extra_noise = 4; // beyond max_d = 1 ⇒ rejected
+            }
+            ca.enroll_client(id as u64, c.device(), 0, &mut rng).unwrap();
+            clients.push(c);
+        }
+        let cfg = DispatcherConfig {
+            queue_limit,
+            budget: if tiny_budget { Duration::from_nanos(1) } else { Duration::from_secs(30) },
+            policy: RoutePolicy::LeastLoaded,
+        };
+        let backends: Vec<Arc<dyn SearchBackend>> =
+            vec![Arc::new(CpuBackend::new(EngineConfig { threads: 1, ..Default::default() }))];
+        let service = AuthService::new(ca, Arc::new(Dispatcher::new(backends, cfg)));
+
+        std::thread::scope(|s| {
+            for (i, client) in clients.iter().enumerate() {
+                let service = &service;
+                let role = roles[i];
+                s.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(0xAB + i as u64);
+                    let challenge = service.begin(&client.hello()).unwrap();
+                    let mut digest = client.respond(&challenge, &mut rng);
+                    if role == 2 {
+                        digest.session ^= 0xDEAD_0000; // unknown session ⇒ CaError
+                    }
+                    let result = service.complete(&digest);
+                    assert_eq!(result.is_err(), role == 2, "role {role}: {result:?}");
+                });
+            }
+        });
+
+        let stats = service.stats();
+        assert_eq!(stats.issued, n, "{stats:?}");
+        assert_eq!(
+            stats.accepted + stats.rejected + stats.timed_out + stats.overloaded + stats.errors,
+            stats.issued,
+            "outcome counters must sum to requests issued: {stats:?}"
+        );
+        let errors_expected = roles.iter().filter(|r| **r == 2).count() as u64;
+        assert_eq!(stats.errors, errors_expected, "{stats:?}");
+        // Verdict-bearing outcomes match the dispatcher's completions +
+        // sheds (errored requests never reach the dispatcher).
+        assert_eq!(
+            stats.accepted + stats.rejected + stats.timed_out + stats.overloaded,
+            stats.dispatch.completed + stats.dispatch.rejected,
+            "{stats:?}"
+        );
+        // The shared registry tells the same story.
+        let snap = service.registry().snapshot();
+        for (name, want) in [
+            ("rbc_service_requests_total", stats.issued),
+            ("rbc_service_accepted_total", stats.accepted),
+            ("rbc_service_rejected_total", stats.rejected),
+            ("rbc_service_timeout_total", stats.timed_out),
+            ("rbc_service_shed_total", stats.overloaded),
+            ("rbc_service_error_total", stats.errors),
+        ] {
+            assert_eq!(snap.counter(name), Some(want), "{name}: {stats:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn stats_always_sum_to_requests_issued(
+            roles in proptest::collection::vec(0u8..3, 1..7),
+            queue_limit in 0usize..3,
+            tiny_budget in any::<bool>(),
+        ) {
+            run_mix(roles, queue_limit, tiny_budget);
+        }
+    }
+}
+
 /// All three routing policies deliver the same verdicts for the same
 /// client population — routing changes placement, never correctness.
 #[test]
