@@ -1,15 +1,20 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|cpu-scaling|service|telemetry|verify]
+//! repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|cpu-scaling|service|telemetry|triage|verify]
 //!       [--quick] [--trials N] [--full-cpu] [--metrics-dump] [--smoke]
 //! ```
 //!
 //! `telemetry` drives authentications through the instrumented pipeline
 //! on ≥2 substrates and writes the per-phase latency breakdown to
 //! `BENCH_telemetry.json` (`--smoke` validates the artifact and exits
-//! nonzero on failure — the CI gate). `service --metrics-dump` prints
-//! the final sweep's whole-pipeline Prometheus snapshot.
+//! nonzero on failure — the CI gate). `triage` drives load over lossy
+//! RPC links against a pool hiding a degraded backend and writes the
+//! slowest-K stitched traces to `BENCH_triage.json`, with the flight
+//! recorder's post-mortem of the induced deadline breach (`--smoke`
+//! validates stitching and exits nonzero — the CI gate). `service
+//! --metrics-dump` prints the final sweep's whole-pipeline Prometheus
+//! snapshot.
 //!
 //! Numbers labelled **paper** are the published values; **model** are our
 //! calibrated device models (the GPU/APU never existed on this machine);
@@ -38,13 +43,13 @@ use rbc_core::ca::{CaConfig, CertificateAuthority};
 use rbc_core::derive::{CipherDerive, HashDerive, PqcDerive};
 use rbc_core::dispatch::{Dispatcher, DispatcherConfig, RoutePolicy};
 use rbc_core::engine::{EngineConfig, Outcome, SearchEngine, SearchMode};
-use rbc_core::protocol::Client;
+use rbc_core::protocol::{ChallengeMsg, Client, DigestMsg, HelloMsg, Verdict, VerdictMsg};
 use rbc_core::service::AuthService;
 use rbc_core::trials::run_average_case_trials;
 use rbc_core::ClusterConfig;
 use rbc_gpu_sim::Heatmap;
 use rbc_hash::{HashAlgo, SeedHash, Sha1Fixed, Sha1Generic, Sha3Fixed, Sha3Generic};
-use rbc_net::LatencyModel;
+use rbc_net::{lossy_duplex, LatencyModel, NetTelemetry, RpcClient, RpcServer};
 use rbc_pqc::LightSaber;
 use rbc_puf::ModelPuf;
 
@@ -102,6 +107,7 @@ fn main() {
                 extensions(&opts);
                 service(&opts);
                 telemetry(&opts);
+                triage(&opts);
                 verify(&opts);
             }
             "table1" => table1(),
@@ -119,6 +125,7 @@ fn main() {
             "extensions" => extensions(&opts),
             "service" => service(&opts),
             "telemetry" => telemetry(&opts),
+            "triage" => triage(&opts),
             "verify" => verify(&opts),
             other => usage(&format!("unknown command {other:?}")),
         }
@@ -128,7 +135,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|hash-lanes|cpu-scaling|future|security|extensions|service|telemetry|verify] [--quick] [--trials N] [--full-cpu] [--metrics-dump] [--smoke]"
+        "usage: repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|hash-lanes|cpu-scaling|future|security|extensions|service|telemetry|triage|verify] [--quick] [--trials N] [--full-cpu] [--metrics-dump] [--smoke]"
     );
     std::process::exit(2)
 }
@@ -994,6 +1001,262 @@ fn telemetry(opts: &Opts) {
                 std::process::exit(1);
             }
         }
+    }
+}
+
+/// `repro triage`: tail-latency post-mortems from a live service. A
+/// batch of clients authenticates concurrently over lossy RPC links
+/// against a pool hiding one degraded backend (round-robin keeps
+/// feeding it), so some requests breach the deadline. The slowest-K
+/// requests are then printed as stitched span trees with per-phase
+/// breakdowns, the flight recorder's frozen post-mortem of the first
+/// deadline breach is dumped, and the `rbc_service_auth_total_ns`
+/// exemplar names the trace behind the worst sample. Writes
+/// `BENCH_triage.json`; with `--smoke`, validates it (the CI gate:
+/// every trace stitches hello → auth_total with monotone phases).
+fn triage(opts: &Opts) {
+    use rbc_bench::{triage_table, validate_triage_json, write_triage_json, TriageRow};
+    use rbc_core::backend::BackendDescriptor;
+    use rbc_core::engine::{EngineTelemetry, SearchReport};
+    use rbc_core::ProfiledBackend;
+    use rbc_telemetry::{
+        CollectingRecorder, EventRecord, FlightRecorder, Recorder, Registry, SpanRecord,
+    };
+
+    /// Fans spans/events out to both the collector (triage rows need
+    /// every trace) and the flight recorder (which freezes on the first
+    /// deadline breach and then admits only the pinned trace).
+    struct Tee(Arc<CollectingRecorder>, Arc<FlightRecorder>);
+    impl Recorder for Tee {
+        fn record(&self, span: &SpanRecord) {
+            self.0.record(span);
+            self.1.record(span);
+        }
+        fn event(&self, event: &EventRecord) {
+            self.0.event(event);
+            self.1.event(event);
+        }
+    }
+
+    /// A healthy CPU backend wearing concrete boots: every submission
+    /// pays `delay` before searching, and one that exceeds its deadline
+    /// reports `TimedOut` exactly like a genuinely slow device would.
+    struct InducedSlow {
+        inner: CpuBackend,
+        delay: Duration,
+    }
+    impl SearchBackend for InducedSlow {
+        fn descriptor(&self) -> BackendDescriptor {
+            BackendDescriptor { name: "cpu-degraded".into(), ..self.inner.descriptor() }
+        }
+        fn supports(&self, algo: HashAlgo) -> bool {
+            self.inner.supports(algo)
+        }
+        fn submit(&self, job: &SearchJob) -> SearchReport {
+            let start = std::time::Instant::now();
+            std::thread::sleep(self.delay);
+            let mut report = self.inner.submit(job);
+            report.elapsed = start.elapsed();
+            if job.deadline.is_some_and(|t| report.elapsed > t) {
+                report.outcome = Outcome::TimedOut { at_distance: job.max_d };
+            }
+            report
+        }
+    }
+
+    fn verdict_name(v: &Verdict) -> &'static str {
+        match v {
+            Verdict::Accepted { .. } => "accepted",
+            Verdict::Rejected => "rejected",
+            Verdict::TimedOut => "timed_out",
+            Verdict::Overloaded => "overloaded",
+        }
+    }
+
+    println!("\n== triage: slowest-K stitched traces under an induced slow backend ==");
+    let auths: u64 = if opts.quick || opts.smoke { 6 } else { 12 };
+    let k = 5usize;
+    let budget = Duration::from_millis(500);
+    let delay = Duration::from_millis(900);
+
+    let registry = Arc::new(Registry::new());
+    let collect = Arc::new(CollectingRecorder::new());
+    let flight = Arc::new(FlightRecorder::new(4096));
+    let tee: Arc<dyn Recorder> = Arc::new(Tee(collect.clone(), flight.clone()));
+
+    let fast: Arc<dyn SearchBackend> = Arc::new(
+        CpuBackend::new(EngineConfig { threads: 2, ..Default::default() })
+            .with_telemetry(EngineTelemetry::register(&registry)),
+    );
+    let slow: Arc<dyn SearchBackend> = Arc::new(InducedSlow {
+        inner: CpuBackend::new(EngineConfig { threads: 1, ..Default::default() }),
+        delay,
+    });
+    let pool: Vec<Arc<dyn SearchBackend>> = vec![
+        Arc::new(ProfiledBackend::new(fast, registry.clone())),
+        Arc::new(ProfiledBackend::new(slow, registry.clone())),
+    ];
+    // Round-robin deliberately keeps routing to the degraded backend
+    // even under light serial load, so the tail is reliably fat — the
+    // condition triage exists to explain.
+    let dispatcher = Arc::new(Dispatcher::with_registry(
+        pool,
+        DispatcherConfig { queue_limit: 16, budget, policy: RoutePolicy::RoundRobin },
+        registry.clone(),
+    ));
+
+    let mut rng = StdRng::seed_from_u64(0x7121 + auths);
+    let ca_cfg = CaConfig {
+        max_d: 3,
+        engine: EngineConfig { threads: 2, ..Default::default() },
+        ..Default::default()
+    };
+    let mut ca = CertificateAuthority::new([9u8; 32], LightSaber, ca_cfg);
+    let mut clients = Vec::new();
+    for id in 0..auths {
+        // One injected bit flip: the search runs to d = 1 and succeeds
+        // in milliseconds on the healthy backend, so every slow verdict
+        // below is the degraded backend's doing, not the search's.
+        let mut c = Client::new(id, ModelPuf::noiseless(4096, 0x7A0 + id));
+        c.extra_noise = 1;
+        ca.enroll_client(id, c.device(), 0, &mut rng).expect("enroll");
+        clients.push(c);
+    }
+    let service = Arc::new(AuthService::with_recorder(ca, dispatcher, tee.clone()));
+    let net = NetTelemetry::register(service.registry()).with_recorder(tee);
+
+    // One lossy duplex link per client; every request flows
+    // hello/challenge/digest/verdict through the RPC transport, so the
+    // traces triaged below stitched across a real (lossy) wire.
+    let mut servers = Vec::new();
+    let mut drivers = Vec::new();
+    for (i, client) in clients.into_iter().enumerate() {
+        let (mut client_link, mut server_link) =
+            lossy_duplex(Duration::ZERO, 0.10, 0x51AB + i as u64);
+        client_link.attach_telemetry(net.clone());
+        server_link.attach_telemetry(net.clone());
+
+        let svc = service.clone();
+        servers.push(std::thread::spawn(move || {
+            let mut rpc = RpcServer::new(server_link);
+            // Decoding to Value keeps the duplicate-replay cache
+            // effective across heterogeneous message types.
+            while let Ok((seq, req)) = rpc.recv_request::<serde_json::Value>(RECV_TIMEOUT) {
+                let sent = if req.field("digest").is_ok() {
+                    let digest: DigestMsg =
+                        serde_json::from_value(req).expect("digest message shape");
+                    let verdict = svc.complete(&digest).expect("complete");
+                    rpc.respond(seq, &verdict)
+                } else {
+                    let hello: HelloMsg = serde_json::from_value(req).expect("hello message shape");
+                    let challenge = svc.begin(&hello).expect("begin");
+                    rpc.respond(seq, &challenge)
+                };
+                if sent.is_err() {
+                    break;
+                }
+            }
+        }));
+
+        drivers.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0xC11E + i as u64);
+            let mut rpc = RpcClient::new(client_link);
+            rpc.rto = Duration::from_millis(10);
+            // The degraded backend holds verdicts for ~`delay` while the
+            // client retransmits into the void; the retry budget must
+            // comfortably outlive it.
+            rpc.max_attempts = 10_000;
+            let hello = client.hello();
+            rpc.set_trace(hello.trace.trace_id);
+            let challenge: ChallengeMsg = rpc.call(&hello).expect("challenge over rpc");
+            let digest = client.respond(&challenge, &mut rng);
+            let verdict: VerdictMsg = rpc.call(&digest).expect("verdict over rpc");
+            (hello.trace.trace_id, verdict.verdict)
+        }));
+    }
+    const RECV_TIMEOUT: Duration = Duration::from_secs(30);
+
+    let mut outcomes = Vec::new();
+    for d in drivers {
+        outcomes.push(d.join().expect("client thread"));
+    }
+    for s in servers {
+        s.join().expect("server thread");
+    }
+
+    let spans = collect.take();
+    let mut rows: Vec<TriageRow> = outcomes
+        .iter()
+        .map(|(trace, verdict)| TriageRow::from_spans(*trace, verdict_name(verdict), &spans))
+        .collect();
+    rows.sort_by(|a, b| b.total_ms.total_cmp(&a.total_ms));
+    rows.truncate(k);
+    triage_table(&rows).print();
+
+    let snap = service.registry().snapshot();
+    if let Some(h) = snap.histogram("rbc_service_auth_total_ns") {
+        if let Some(ex) = &h.exemplar {
+            println!(
+                "auth_total p99 = {} · worst sample {} ← trace {:#x}",
+                fmt_secs(h.percentile_duration(99.0).as_secs_f64()),
+                fmt_secs(Duration::from_nanos(ex.value).as_secs_f64()),
+                ex.trace_id,
+            );
+        }
+    }
+    println!(
+        "link telemetry: {} frames sent, {} dropped, {} retransmits",
+        net.frames_sent.get(),
+        net.frames_dropped.get(),
+        net.retransmits.get(),
+    );
+    match flight.dump_frozen() {
+        Some(dump) => {
+            println!(
+                "flight recorder froze on trace {:#x} (deadline breach); post-mortem:\n{dump}",
+                flight.frozen_trace().unwrap_or(0),
+            );
+        }
+        None => println!("flight recorder never froze (no deadline breach induced)"),
+    }
+
+    match write_triage_json("BENCH_triage.json", &rows, flight.frozen_trace()) {
+        Ok(()) => println!("wrote BENCH_triage.json"),
+        Err(e) => {
+            eprintln!("could not write BENCH_triage.json: {e}");
+            if opts.smoke {
+                std::process::exit(1);
+            }
+        }
+    }
+    if opts.smoke {
+        let text = match std::fs::read_to_string("BENCH_triage.json") {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("smoke: could not read back BENCH_triage.json: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = validate_triage_json(&text) {
+            eprintln!("smoke: BENCH_triage.json invalid: {e}");
+            std::process::exit(1);
+        }
+        if !rows.iter().any(|r| r.verdict == "timed_out") {
+            eprintln!("smoke: no timed-out request among the slowest-K — no breach was induced");
+            std::process::exit(1);
+        }
+        let Some(dump) = flight.dump_frozen() else {
+            eprintln!("smoke: the flight recorder never froze on the induced breach");
+            std::process::exit(1);
+        };
+        if !(dump.contains("\"hello\"") && dump.contains("\"auth_total\"")) {
+            eprintln!("smoke: frozen dump is missing the pinned trace's span chain: {dump}");
+            std::process::exit(1);
+        }
+        println!(
+            "smoke: BENCH_triage.json validates (every trace stitches, phases monotone) \
+             and the frozen post-mortem is complete"
+        );
     }
 }
 

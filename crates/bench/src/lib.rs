@@ -568,6 +568,207 @@ pub fn validate_telemetry_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// One span of a [`TriageRow`]: a flattened
+/// [`rbc_telemetry::SpanRecord`], ids kept as numbers so the validator
+/// can re-stitch the tree.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct TriageSpan {
+    /// Phase name (`hello`, `prepare`, `queue_wait`, `search`, `finish`,
+    /// `auth_total`).
+    pub name: String,
+    /// This span's id.
+    pub span_id: u64,
+    /// Parent span id; 0 = root of the trace.
+    pub parent_span: u64,
+    /// Start offset from the tracer's epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Span duration, nanoseconds.
+    pub duration_ns: u64,
+}
+
+/// One slowest-K row of `repro triage`: a single authentication's
+/// stitched span tree plus its per-phase breakdown.
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct TriageRow {
+    /// Trace id in `0x…` form.
+    pub trace: String,
+    /// Verdict name (`accepted`, `rejected`, `timed_out`, `overloaded`).
+    pub verdict: String,
+    /// End-to-end `auth_total` span, milliseconds.
+    pub total_ms: f64,
+    /// `queue_wait` phase, milliseconds.
+    pub queue_wait_ms: f64,
+    /// `search` phase, milliseconds (0 when the request was shed).
+    pub search_ms: f64,
+    /// Every recorded span of the trace, ordered by start time.
+    pub spans: Vec<TriageSpan>,
+}
+
+impl TriageRow {
+    /// Pipeline order the validator enforces on span *start* times:
+    /// each phase that is present must not start before the one listed
+    /// ahead of it (`queue_wait`/`search` are recorded retroactively
+    /// with back-dated starts, which preserves this order).
+    pub const PHASE_ORDER: [&'static str; 6] =
+        ["hello", "auth_total", "prepare", "queue_wait", "search", "finish"];
+
+    /// Builds a row from the recorded spans of one trace.
+    pub fn from_spans(trace_id: u64, verdict: &str, spans: &[rbc_telemetry::SpanRecord]) -> Self {
+        let mut own: Vec<&rbc_telemetry::SpanRecord> =
+            spans.iter().filter(|s| s.trace_id == trace_id).collect();
+        own.sort_by_key(|s| s.start_ns);
+        let phase_ms = |name: &str| {
+            own.iter().find(|s| s.name == name).map_or(0.0, |s| s.duration.as_secs_f64() * 1e3)
+        };
+        TriageRow {
+            trace: format!("{trace_id:#x}"),
+            verdict: verdict.to_string(),
+            total_ms: phase_ms("auth_total"),
+            queue_wait_ms: phase_ms("queue_wait"),
+            search_ms: phase_ms("search"),
+            spans: own
+                .iter()
+                .map(|s| TriageSpan {
+                    name: s.name.to_string(),
+                    span_id: s.span_id,
+                    parent_span: s.parent_span,
+                    start_ns: s.start_ns,
+                    duration_ns: u64::try_from(s.duration.as_nanos()).unwrap_or(u64::MAX),
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Renders the slowest-K triage rows as a [`TextTable`].
+pub fn triage_table(rows: &[TriageRow]) -> TextTable {
+    let mut t = TextTable::new(
+        "Triage: slowest authentications (stitched traces, per-phase breakdown)",
+        &["trace", "verdict", "total", "queue wait", "search", "spans"],
+    );
+    for r in rows {
+        t.row(&[
+            r.trace.clone(),
+            r.verdict.clone(),
+            fmt_secs(r.total_ms / 1e3),
+            fmt_secs(r.queue_wait_ms / 1e3),
+            fmt_secs(r.search_ms / 1e3),
+            r.spans.len().to_string(),
+        ]);
+    }
+    t
+}
+
+/// Writes the triage report to `path` as the `BENCH_triage.json`
+/// artifact: `{"bench": "triage", "unit": "ms", "frozen_trace": …,
+/// "results": [...]}`. `frozen_trace` is the flight recorder's pinned
+/// trace id (`0x…`), or `null` when no anomaly froze it.
+pub fn write_triage_json(
+    path: &str,
+    rows: &[TriageRow],
+    frozen_trace: Option<u64>,
+) -> std::io::Result<()> {
+    let results = serde_json::to_value(&rows.to_vec())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let frozen = match frozen_trace {
+        Some(t) => serde_json::Value::Str(format!("{t:#x}")),
+        None => serde_json::Value::Null,
+    };
+    let doc = serde_json::Value::Object(vec![
+        ("bench".to_string(), serde_json::Value::Str("triage".to_string())),
+        ("unit".to_string(), serde_json::Value::Str("ms".to_string())),
+        ("frozen_trace".to_string(), frozen),
+        ("results".to_string(), results),
+    ]);
+    let text = serde_json::to_string(&doc)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, text)
+}
+
+/// Validates a `BENCH_triage.json` document — the `repro triage --smoke`
+/// CI gate. Every row must *stitch*: a nonzero trace id, `hello` and
+/// `auth_total` spans present, every nonzero parent pointer naming a
+/// span of the same trace (no orphans), and the present phases' start
+/// timestamps monotone in [`TriageRow::PHASE_ORDER`].
+pub fn validate_triage_json(text: &str) -> Result<(), String> {
+    let doc: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
+    let bench = doc.field("bench").ok().and_then(serde_json::Value::as_str);
+    if bench != Some("triage") {
+        return Err(format!("bench field is {bench:?}, expected \"triage\""));
+    }
+    let results = doc
+        .field("results")
+        .ok()
+        .and_then(serde_json::Value::as_array)
+        .ok_or("missing results array")?;
+    if results.is_empty() {
+        return Err("no triage rows".to_string());
+    }
+    for (i, row) in results.iter().enumerate() {
+        let trace = row
+            .field("trace")
+            .ok()
+            .and_then(serde_json::Value::as_str)
+            .ok_or(format!("row {i}: missing trace"))?;
+        let trace_id = trace
+            .strip_prefix("0x")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or(format!("row {i}: trace {trace:?} is not a 0x… id"))?;
+        if trace_id == 0 {
+            return Err(format!("row {i}: anonymous (zero) trace id"));
+        }
+        let spans = row
+            .field("spans")
+            .ok()
+            .and_then(serde_json::Value::as_array)
+            .ok_or(format!("row {i} ({trace}): missing spans"))?;
+        let mut parsed = Vec::new();
+        for (j, s) in spans.iter().enumerate() {
+            let get = |f: &str| {
+                s.field(f)
+                    .ok()
+                    .and_then(serde_json::Value::as_u64)
+                    .ok_or(format!("row {i} ({trace}) span {j}: missing field {f}"))
+            };
+            let name = s
+                .field("name")
+                .ok()
+                .and_then(serde_json::Value::as_str)
+                .ok_or(format!("row {i} ({trace}) span {j}: missing name"))?
+                .to_string();
+            parsed.push((name, get("span_id")?, get("parent_span")?, get("start_ns")?));
+        }
+        for required in ["hello", "auth_total"] {
+            if !parsed.iter().any(|(n, ..)| n == required) {
+                return Err(format!(
+                    "row {i} ({trace}): span {required} missing — trace does not stitch"
+                ));
+            }
+        }
+        for (name, _, parent, _) in &parsed {
+            if *parent != 0 && !parsed.iter().any(|(_, id, ..)| id == parent) {
+                return Err(format!(
+                    "row {i} ({trace}): span {name} is an orphan (parent {parent:#x} not in tree)"
+                ));
+            }
+        }
+        let mut last = ("", 0u64);
+        for phase in TriageRow::PHASE_ORDER {
+            if let Some((_, _, _, start)) = parsed.iter().find(|(n, ..)| n == phase) {
+                if *start < last.1 {
+                    return Err(format!(
+                        "row {i} ({trace}): phase {phase} starts at {start} ns, before {} at {} ns",
+                        last.0, last.1
+                    ));
+                }
+                last = (phase, *start);
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Measures mask-generation-only rate (masks/second, single thread) for a
 /// seed iterator at distance `d` over `count` masks — the Table 4 raw
 /// ingredient.
@@ -691,6 +892,77 @@ mod tests {
         .expect("string");
         let err = validate_telemetry_json(&one).expect_err("one substrate is not enough");
         assert!(err.contains("2 substrates"), "{err}");
+    }
+
+    #[test]
+    fn triage_rows_stitch_write_and_validate() {
+        use std::time::Duration;
+        let span = |name: &'static str, span_id, parent, start_ns, ms| rbc_telemetry::SpanRecord {
+            name,
+            start_ns,
+            duration: Duration::from_millis(ms),
+            trace_id: 0x7f3a,
+            span_id,
+            parent_span: parent,
+        };
+        let spans = vec![
+            span("hello", 2, 0, 100, 1),
+            span("auth_total", 3, 0, 200, 40),
+            span("prepare", 4, 3, 210, 2),
+            span("queue_wait", 5, 3, 300, 5),
+            span("search", 6, 3, 320, 30),
+            span("finish", 7, 3, 900, 1),
+            // A second trace's span must not leak into the row.
+            rbc_telemetry::SpanRecord {
+                name: "search",
+                start_ns: 50,
+                duration: Duration::from_millis(9),
+                trace_id: 0xbeef,
+                span_id: 8,
+                parent_span: 0,
+            },
+        ];
+        let row = TriageRow::from_spans(0x7f3a, "timed_out", &spans);
+        assert_eq!(row.trace, "0x7f3a");
+        assert_eq!(row.spans.len(), 6);
+        assert!(row.total_ms >= 40.0 && row.search_ms >= 30.0, "{row:?}");
+
+        let path = std::env::temp_dir().join("rbc_bench_triage_test.json");
+        let path = path.to_str().expect("utf8 temp path");
+        write_triage_json(path, std::slice::from_ref(&row), Some(0x7f3a)).expect("write");
+        let text = std::fs::read_to_string(path).expect("read back");
+        std::fs::remove_file(path).ok();
+        assert!(text.contains("\"frozen_trace\":\"0x7f3a\""), "{text}");
+        validate_triage_json(&text).expect("round-trip validates");
+
+        // An orphan parent pointer fails the stitch check.
+        let mut orphan = row.clone();
+        orphan.spans[3].parent_span = 0xdead;
+        let path2 = std::env::temp_dir().join("rbc_bench_triage_orphan.json");
+        let path2 = path2.to_str().expect("utf8 temp path");
+        write_triage_json(path2, &[orphan], None).expect("write");
+        let text = std::fs::read_to_string(path2).expect("read back");
+        std::fs::remove_file(path2).ok();
+        let err = validate_triage_json(&text).expect_err("orphans must fail");
+        assert!(err.contains("orphan"), "{err}");
+
+        // Out-of-order phase starts fail the monotonicity check.
+        let mut shuffled = row.clone();
+        let (a, b) = (shuffled.spans[3].start_ns, shuffled.spans[4].start_ns);
+        shuffled.spans[3].start_ns = b;
+        shuffled.spans[4].start_ns = a;
+        write_triage_json(path2, &[shuffled], None).expect("write");
+        let text = std::fs::read_to_string(path2).expect("read back");
+        std::fs::remove_file(path2).ok();
+        let err = validate_triage_json(&text).expect_err("non-monotone starts must fail");
+        assert!(err.contains("before"), "{err}");
+
+        // A trace with no hello never stitched across the wire.
+        let headless = TriageRow::from_spans(0x7f3a, "timed_out", &spans[1..]);
+        write_triage_json(path2, &[headless], None).expect("write");
+        let text = std::fs::read_to_string(path2).expect("read back");
+        std::fs::remove_file(path2).ok();
+        assert!(validate_triage_json(&text).is_err());
     }
 
     #[test]

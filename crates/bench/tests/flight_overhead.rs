@@ -1,0 +1,92 @@
+//! Flight-recorder overhead smoke check: an auth service streaming
+//! every span and event into the black-box ring must stay within 2% of
+//! one tracing into the void.
+//!
+//! Timing-sensitive, so ignored by default; run it on a quiet machine
+//! with
+//!
+//! ```text
+//! cargo test --release -p rbc-bench --test flight_overhead -- --ignored
+//! ```
+//!
+//! The measured margin is recorded in EXPERIMENTS.md. The recorder's
+//! steady state is allocation-free — each admission is a handful of
+//! word copies into a pre-allocated ring behind an uncontended lock —
+//! and an authentication produces only ~6 spans, so the expected
+//! overhead is far under the budget.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rbc_core::backend::{CpuBackend, SearchBackend};
+use rbc_core::ca::{CaConfig, CertificateAuthority};
+use rbc_core::dispatch::{Dispatcher, DispatcherConfig};
+use rbc_core::engine::EngineConfig;
+use rbc_core::protocol::Client;
+use rbc_core::service::AuthService;
+use rbc_pqc::LightSaber;
+use rbc_puf::ModelPuf;
+use rbc_telemetry::{FlightRecorder, NullRecorder, Recorder};
+
+const AUTHS: u64 = 8;
+
+/// One timed batch: `AUTHS` accepted authentications (each searching to
+/// d = 2) through a fresh service wired to `recorder`. Construction and
+/// enrollment stay outside the timed region.
+fn batch(recorder: Arc<dyn Recorder>) -> Duration {
+    let mut rng = StdRng::seed_from_u64(0xF11);
+    let ca_cfg = CaConfig {
+        max_d: 3,
+        engine: EngineConfig { threads: 1, ..Default::default() },
+        ..Default::default()
+    };
+    let mut ca = CertificateAuthority::new([5u8; 32], LightSaber, ca_cfg);
+    let mut clients = Vec::new();
+    for id in 0..AUTHS {
+        let mut c = Client::new(id, ModelPuf::noiseless(4096, 0xA0 + id));
+        c.extra_noise = 2;
+        ca.enroll_client(id, c.device(), 0, &mut rng).expect("enroll");
+        clients.push(c);
+    }
+    let backend: Arc<dyn SearchBackend> =
+        Arc::new(CpuBackend::new(EngineConfig { threads: 1, ..Default::default() }));
+    let dispatcher = Arc::new(Dispatcher::new(vec![backend], DispatcherConfig::default()));
+    let svc = AuthService::with_recorder(ca, dispatcher, recorder);
+
+    let start = Instant::now();
+    for (i, client) in clients.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(0xB0 + i as u64);
+        let challenge = svc.begin(&client.hello()).expect("enrolled");
+        let digest = client.respond(&challenge, &mut rng);
+        std::hint::black_box(svc.complete(&digest).expect("session open"));
+    }
+    start.elapsed()
+}
+
+#[test]
+#[ignore = "timing-sensitive; run explicitly on a quiet machine (see module docs)"]
+fn flight_recorder_overhead_is_under_two_percent() {
+    // Warm both paths, then take the min of interleaved trials — the min
+    // is the least scheduler-polluted estimate of the true cost.
+    batch(Arc::new(NullRecorder));
+    batch(Arc::new(FlightRecorder::new(4096)));
+    let (mut best_null, mut best_flight) = (Duration::MAX, Duration::MAX);
+    for _ in 0..7 {
+        best_null = best_null.min(batch(Arc::new(NullRecorder)));
+        best_flight = best_flight.min(batch(Arc::new(FlightRecorder::new(4096))));
+    }
+
+    let ratio = best_flight.as_secs_f64() / best_null.as_secs_f64();
+    println!(
+        "flight-recorder overhead: null {best_null:?}, flight {best_flight:?} ({:+.2}%)",
+        (ratio - 1.0) * 100.0
+    );
+    assert!(
+        ratio <= 1.02,
+        "recorded service is {:.2}% slower than the null-recorder one (budget 2%): \
+         {best_flight:?} vs {best_null:?}",
+        (ratio - 1.0) * 100.0
+    );
+}

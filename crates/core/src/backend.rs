@@ -23,7 +23,7 @@ use std::time::Duration;
 
 use rbc_bits::U256;
 use rbc_hash::{DynDigest, HashAlgo};
-use rbc_telemetry::{sanitize, Counter, Histogram, Registry};
+use rbc_telemetry::{sanitize, Counter, Histogram, Registry, TraceContext};
 
 use crate::cluster::{cluster_search, ClusterConfig};
 use crate::derive::DynHashDerive;
@@ -49,12 +49,23 @@ pub struct SearchJob {
     /// Per-job deadline (the threshold `T`, possibly reduced by queue
     /// wait). `None` disables the timeout.
     pub deadline: Option<Duration>,
+    /// Trace identity of the authentication this search serves;
+    /// [`TraceContext::NONE`] for jobs run outside a traced request.
+    pub trace: TraceContext,
 }
 
 impl SearchJob {
     /// An early-exit job with no deadline — the common case.
     pub fn new(algo: HashAlgo, target: DynDigest, s_init: U256, max_d: u32) -> Self {
-        SearchJob { algo, target, s_init, max_d, mode: SearchMode::EarlyExit, deadline: None }
+        SearchJob {
+            algo,
+            target,
+            s_init,
+            max_d,
+            mode: SearchMode::EarlyExit,
+            deadline: None,
+            trace: TraceContext::NONE,
+        }
     }
 
     /// Sets the termination policy.
@@ -66,6 +77,12 @@ impl SearchJob {
     /// Sets the deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches the trace identity of the request this search serves.
+    pub fn with_trace(mut self, trace: TraceContext) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -239,7 +256,7 @@ impl SearchBackend for ProfiledBackend {
     fn submit(&self, job: &SearchJob) -> SearchReport {
         self.submits.inc();
         let report = self.inner.submit(job);
-        self.search_ns.record_duration(report.elapsed);
+        self.search_ns.record_duration_traced(report.elapsed, job.trace.trace_id);
         self.seeds.add(report.seeds_derived);
         // Extras keys are a small per-substrate vocabulary; the
         // get-or-create lock here is noise next to a search.
@@ -340,7 +357,9 @@ mod tests {
 
         assert_eq!(via_trait.outcome, direct.outcome);
         assert_eq!(via_trait.outcome, Outcome::Found { seed: client, distance: 2 });
-        assert!(via_trait.extras.is_empty());
+        // The hash path reports its prescreen accounting per search.
+        assert!(via_trait.extra("prefix_hits").unwrap() >= 1, "the match itself is a prefix hit");
+        assert_eq!(via_trait.extra("prefix_false_positives"), Some(0));
     }
 
     #[test]

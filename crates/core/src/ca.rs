@@ -14,7 +14,7 @@ use rand::Rng;
 use rbc_hash::HashAlgo;
 use rbc_pqc::PqcKeyGen;
 use rbc_puf::{enroll, EnrollmentConfig, PufDevice};
-use rbc_telemetry::{Counter, Histogram, Registry};
+use rbc_telemetry::{Counter, Histogram, Registry, TraceContext};
 
 use crate::backend::{CpuBackend, SearchBackend, SearchJob};
 use crate::engine::{EngineConfig, Outcome, SearchReport};
@@ -99,6 +99,7 @@ pub struct PendingAuth {
     client_id: ClientId,
     session: u64,
     salt: Salt,
+    trace: TraceContext,
     /// The backend-agnostic search the CA wants run.
     pub job: SearchJob,
 }
@@ -112,6 +113,12 @@ impl PendingAuth {
     /// The session nonce this search answers.
     pub fn session(&self) -> u64 {
         self.session
+    }
+
+    /// The trace identity minted at hello and carried through the
+    /// session — the root context of this authentication's span tree.
+    pub fn trace(&self) -> TraceContext {
+        self.trace
     }
 }
 
@@ -145,8 +152,9 @@ pub struct CertificateAuthority<P: PqcKeyGen> {
     keygen: P,
     backend: Arc<dyn SearchBackend>,
     ra: RegistrationAuthority,
-    /// Open sessions: nonce → (client, enrolled-address index challenged).
-    sessions: HashMap<u64, (ClientId, usize)>,
+    /// Open sessions: nonce → (client, enrolled-address index
+    /// challenged, trace context minted at hello).
+    sessions: HashMap<u64, (ClientId, usize, TraceContext)>,
     /// Per-client cursor into its enrolled addresses; bumped after a
     /// timeout so the next challenge uses a fresh address (the paper's
     /// restart rule).
@@ -261,12 +269,13 @@ impl<P: PqcKeyGen> CertificateAuthority<P> {
         let record = &records[index];
         let session = self.next_session;
         self.next_session += 1;
-        self.sessions.insert(session, (hello.client_id, index));
+        self.sessions.insert(session, (hello.client_id, index, hello.trace));
         Ok(ChallengeMsg {
             client_id: hello.client_id,
             session,
             cells: record.image.selected.clone(),
             algo: self.cfg.algo,
+            trace: hello.trace,
         })
     }
 
@@ -284,7 +293,7 @@ impl<P: PqcKeyGen> CertificateAuthority<P> {
     /// dispatcher) and hands the report to
     /// [`CertificateAuthority::finish`].
     pub fn prepare(&mut self, msg: &DigestMsg) -> Result<PendingAuth, CaError> {
-        let (client_id, index) =
+        let (client_id, index, trace) =
             self.sessions.remove(&msg.session).ok_or(CaError::UnknownSession(msg.session))?;
         if client_id != msg.client_id {
             return Err(CaError::UnknownSession(msg.session));
@@ -292,13 +301,16 @@ impl<P: PqcKeyGen> CertificateAuthority<P> {
         let records = self.store.get_all(client_id).ok_or(CaError::UnknownClient(client_id))?;
         let record = records.get(index).ok_or(CaError::UnknownClient(client_id))?;
 
+        // The session-stored context (minted at hello) is authoritative;
+        // the digest's echo is untrusted client input.
         let mut job =
             SearchJob::new(self.cfg.algo, msg.digest, record.image.reference, self.cfg.max_d)
-                .with_mode(self.cfg.engine.mode);
+                .with_mode(self.cfg.engine.mode)
+                .with_trace(trace);
         if let Some(deadline) = self.cfg.engine.deadline {
             job = job.with_deadline(deadline);
         }
-        Ok(PendingAuth { client_id, session: msg.session, salt: record.salt, job })
+        Ok(PendingAuth { client_id, session: msg.session, salt: record.salt, trace, job })
     }
 
     /// Turns a search report into the verdict for a prepared session:
@@ -330,14 +342,14 @@ impl<P: PqcKeyGen> CertificateAuthority<P> {
         };
         let accepted = matches!(verdict, Verdict::Accepted { .. });
         self.log.push(AuthRecord { client_id, report, accepted });
-        VerdictMsg { session: pending.session, verdict }
+        VerdictMsg { session: pending.session, verdict, trace: pending.trace }
     }
 
     /// Records a shed request: the dispatcher rejected the search, so no
     /// report exists and the client is told to retry. The session was
     /// already consumed by [`CertificateAuthority::prepare`].
     pub fn shed(&mut self, pending: &PendingAuth) -> VerdictMsg {
-        VerdictMsg { session: pending.session, verdict: Verdict::Overloaded }
+        VerdictMsg { session: pending.session, verdict: Verdict::Overloaded, trace: pending.trace }
     }
 
     /// The backend the CA searches on.
@@ -488,11 +500,13 @@ mod tests {
     #[test]
     fn unknown_client_and_session_are_rejected() {
         let mut ca = CertificateAuthority::new([5u8; 32], LightSaber, small_cfg());
-        assert_eq!(ca.begin(&HelloMsg { client_id: 99 }), Err(CaError::UnknownClient(99)));
+        let hello = HelloMsg { client_id: 99, trace: TraceContext::NONE };
+        assert_eq!(ca.begin(&hello), Err(CaError::UnknownClient(99)));
         let msg = DigestMsg {
             client_id: 1,
             session: 12345,
             digest: HashAlgo::Sha3_256.digest_seed(&U256::ZERO),
+            trace: TraceContext::NONE,
         };
         assert_eq!(ca.complete(&msg), Err(CaError::UnknownSession(12345)));
     }

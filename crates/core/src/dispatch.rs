@@ -30,6 +30,14 @@
 //! block (bounded by their remaining budget) until a compatible backend
 //! frees a slot. Completion notifies all waiters; each re-checks its own
 //! deadline, so no request can deadlock past its budget.
+//!
+//! The dispatcher lock guards only scheduling bookkeeping (in-flight
+//! counts, waiter count, round-robin cursor) — every invariant holds
+//! between lock acquisitions, so a panic on one submitting thread must
+//! not cascade into every later authentication failing on a poisoned
+//! mutex. Lock acquisitions recover the guard with
+//! [`std::sync::PoisonError::into_inner`] and count the recovery in
+//! `rbc_dispatch_lock_poisoned_total` instead of panicking.
 
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -151,6 +159,7 @@ struct Shared {
 struct Metrics {
     completed: Arc<Counter>,
     rejected: Arc<Counter>,
+    lock_poisoned: Arc<Counter>,
     latency_ns: Arc<Histogram>,
     queue_wait_ns: Arc<Histogram>,
     queue_depth: Arc<Gauge>,
@@ -174,6 +183,7 @@ impl Metrics {
         Metrics {
             completed: registry.counter("rbc_dispatch_completed_total"),
             rejected: registry.counter("rbc_dispatch_shed_total"),
+            lock_poisoned: registry.counter("rbc_dispatch_lock_poisoned_total"),
             latency_ns: registry.histogram("rbc_dispatch_latency_ns"),
             queue_wait_ns: registry.histogram("rbc_dispatch_queue_wait_ns"),
             queue_depth: registry.gauge("rbc_dispatch_queue_depth"),
@@ -242,6 +252,20 @@ impl Dispatcher {
         &self.cfg
     }
 
+    /// Locks the scheduling state, recovering from poisoning: the state
+    /// is consistent between acquisitions (a panicking submitter either
+    /// hadn't incremented its counters yet or is unwinding past a
+    /// completed update), so a cascade of
+    /// "PoisonError" panics across unrelated requests would turn one
+    /// crashed thread into a full outage. Recoveries are counted in
+    /// `rbc_dispatch_lock_poisoned_total`.
+    fn lock_shared(&self) -> std::sync::MutexGuard<'_, Shared> {
+        self.shared.lock().unwrap_or_else(|e| {
+            self.metrics.lock_poisoned.inc();
+            e.into_inner()
+        })
+    }
+
     /// Runs `job` on the pool, blocking until a backend finishes it or
     /// the request is shed.
     ///
@@ -251,7 +275,7 @@ impl Dispatcher {
     pub fn submit(&self, job: &SearchJob) -> DispatchOutcome {
         let arrived = Instant::now();
         let give_up = arrived + self.cfg.budget;
-        let mut g = self.shared.lock().expect("dispatcher lock");
+        let mut g = self.lock_shared();
 
         if !self.backends.iter().any(|b| b.supports(job.algo)) {
             self.metrics.rejected.inc();
@@ -285,7 +309,14 @@ impl Dispatcher {
                         self.metrics.rejected.inc();
                         return DispatchOutcome::Overloaded { queue_wait: now - arrived };
                     }
-                    g = self.slot_freed.wait_timeout(g, give_up - now).expect("dispatcher lock").0;
+                    g = self
+                        .slot_freed
+                        .wait_timeout(g, give_up - now)
+                        .unwrap_or_else(|e| {
+                            self.metrics.lock_poisoned.inc();
+                            e.into_inner()
+                        })
+                        .0;
                 }
             }
         };
@@ -304,7 +335,7 @@ impl Dispatcher {
         let report = self.backends[chosen].submit(&routed);
         let busy = run_start.elapsed();
 
-        let mut g = self.shared.lock().expect("dispatcher lock");
+        let mut g = self.lock_shared();
         g.in_flight[chosen] -= 1;
         drop(g);
         // Aggregate accounting is lock-free: relaxed atomics in the
@@ -313,8 +344,8 @@ impl Dispatcher {
         self.metrics.backend_busy_ns[chosen]
             .add(u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX));
         self.metrics.completed.inc();
-        self.metrics.latency_ns.record_duration(arrived.elapsed());
-        self.metrics.queue_wait_ns.record_duration(queue_wait);
+        self.metrics.latency_ns.record_duration_traced(arrived.elapsed(), job.trace.trace_id);
+        self.metrics.queue_wait_ns.record_duration_traced(queue_wait, job.trace.trace_id);
         // Wake every waiter: each re-checks its own budget, so a stale
         // wake-up costs one loop iteration, never a lost slot.
         self.slot_freed.notify_all();
@@ -358,7 +389,7 @@ impl Dispatcher {
 
     /// Snapshot of aggregate accounting since construction.
     pub fn stats(&self) -> DispatchStats {
-        let queue_depth = self.shared.lock().expect("dispatcher lock").waiting;
+        let queue_depth = self.lock_shared().waiting;
         let wall = self.started.elapsed().max(Duration::from_nanos(1));
         let latency = self.metrics.latency_ns.snapshot();
         let queue_wait = self.metrics.queue_wait_ns.snapshot();
@@ -695,6 +726,35 @@ mod tests {
         // Both agree exactly on the empty case.
         assert_eq!(nearest_rank(&[], 50.0), Duration::ZERO);
         assert_eq!(Histogram::new().snapshot().percentile_duration(50.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_and_is_counted() {
+        // Poison the dispatcher's mutex by panicking while holding it,
+        // then verify later submissions still complete and the recovery
+        // counter ticks — one crashed thread must not take down the CA.
+        let registry = Arc::new(Registry::new());
+        let d = Arc::new(Dispatcher::with_registry(
+            cpu_pool(1),
+            DispatcherConfig::default(),
+            registry.clone(),
+        ));
+        let d2 = d.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = d2.shared.lock().unwrap();
+            panic!("poison the dispatcher lock");
+        })
+        .join();
+        assert!(d.shared.is_poisoned(), "the panic above must have poisoned the lock");
+
+        let out = d.submit(&trivial_job());
+        assert!(matches!(out, DispatchOutcome::Completed { .. }), "{out:?}");
+        let s = d.stats();
+        assert_eq!(s.completed, 1);
+        assert!(
+            registry.snapshot().counter("rbc_dispatch_lock_poisoned_total").unwrap() >= 1,
+            "recoveries are observable"
+        );
     }
 
     #[test]

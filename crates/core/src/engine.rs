@@ -312,6 +312,11 @@ impl<D: Derive> SearchEngine<D> {
         let flag = AtomicU8::new(RUNNING);
         let found: Mutex<Option<(U256, u32)>> = Mutex::new(None);
         let total_seeds = AtomicU64::new(0);
+        // Per-search prescreen accounting, reported in the extras so a
+        // single report (not just the cumulative telemetry) shows how
+        // selective the prefix filter was for *this* request.
+        let search_prefix_hits = AtomicU64::new(0);
+        let search_prefix_false_pos = AtomicU64::new(0);
         let mut per_distance = Vec::with_capacity(max_d as usize + 1);
         // Computed once per search: the target's prescreen key, if the
         // derivation has a truncated path (hash engines do; cipher/PQC
@@ -356,6 +361,8 @@ impl<D: Derive> SearchEngine<D> {
                     let flag = &flag;
                     let found = &found;
                     let d_seeds = &d_seeds;
+                    let search_prefix_hits = &search_prefix_hits;
+                    let search_prefix_false_pos = &search_prefix_false_pos;
                     let check_interval = self.cfg.check_interval.max(1);
                     let batch = self.cfg.batch.max(1);
                     let early = self.cfg.mode == SearchMode::EarlyExit;
@@ -421,8 +428,10 @@ impl<D: Derive> SearchEngine<D> {
                                         false_pos += 1;
                                     }
                                 }
-                                if let Some(t) = telemetry {
-                                    if prefix_hits > 0 {
+                                if prefix_hits > 0 {
+                                    search_prefix_hits.fetch_add(prefix_hits, Ordering::Relaxed);
+                                    search_prefix_false_pos.fetch_add(false_pos, Ordering::Relaxed);
+                                    if let Some(t) = telemetry {
                                         t.prefix_hits.add(prefix_hits);
                                         t.prefix_false_positives.add(false_pos);
                                     }
@@ -479,6 +488,17 @@ impl<D: Derive> SearchEngine<D> {
             _ => resolve_running_outcome(&found),
         };
 
+        // Only prefix-capable derivations report prescreen extras;
+        // cipher/PQC engines keep an empty extras vec as before.
+        let extras = if target_prefix.is_some() {
+            vec![
+                ("prefix_hits", search_prefix_hits.load(Ordering::Relaxed)),
+                ("prefix_false_positives", search_prefix_false_pos.load(Ordering::Relaxed)),
+            ]
+        } else {
+            Vec::new()
+        };
+
         SearchReport {
             outcome,
             seeds_derived: total_seeds.load(Ordering::Relaxed),
@@ -486,7 +506,7 @@ impl<D: Derive> SearchEngine<D> {
             per_distance,
             algorithm: self.derive.name(),
             threads,
-            extras: Vec::new(),
+            extras,
         }
     }
 }

@@ -9,16 +9,23 @@
 use rbc_bits::U256;
 use rbc_hash::{DynDigest, HashAlgo};
 use rbc_puf::PufDevice;
+use rbc_telemetry::TraceContext;
 use serde::{Deserialize, Serialize};
 
 /// Stable client identifier assigned at enrollment.
 pub type ClientId = u64;
 
 /// Client → CA: request to authenticate.
+///
+/// Carries the freshly minted [`TraceContext`] identifying this
+/// authentication's span tree; every later message of the exchange
+/// echoes it, so client- and CA-side spans stitch across the wire.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HelloMsg {
     /// Who is asking.
     pub client_id: ClientId,
+    /// Trace identity minted for this authentication attempt.
+    pub trace: TraceContext,
 }
 
 /// CA → client: the handshake's "PUF address information" — which cells to
@@ -35,6 +42,8 @@ pub struct ChallengeMsg {
     pub cells: Vec<u32>,
     /// Hash algorithm for the message digest.
     pub algo: HashAlgo,
+    /// Echoed trace identity from the hello.
+    pub trace: TraceContext,
 }
 
 /// Client → CA: the message digest `M₁ = SHA(bit stream)`.
@@ -46,6 +55,8 @@ pub struct DigestMsg {
     pub session: u64,
     /// The digest `M₁`.
     pub digest: DynDigest,
+    /// Echoed trace identity from the challenge.
+    pub trace: TraceContext,
 }
 
 /// CA → client: the verdict.
@@ -55,6 +66,9 @@ pub struct VerdictMsg {
     pub session: u64,
     /// The outcome.
     pub verdict: Verdict,
+    /// Echoed trace identity, closing the loop: the client can match
+    /// the verdict to the trace it minted at hello.
+    pub trace: TraceContext,
 }
 
 /// Authentication outcome as reported to the client.
@@ -99,9 +113,10 @@ impl<D: PufDevice> Client<D> {
         &self.device
     }
 
-    /// Opens an authentication attempt.
+    /// Opens an authentication attempt, minting the trace context that
+    /// will identify this request's spans across the whole pipeline.
     pub fn hello(&self) -> HelloMsg {
-        HelloMsg { client_id: self.id }
+        HelloMsg { client_id: self.id, trace: TraceContext::mint() }
     }
 
     /// Answers a challenge: reads the addressed cells, assembles the
@@ -129,6 +144,7 @@ impl<D: PufDevice> Client<D> {
             client_id: self.id,
             session: challenge.session,
             digest: challenge.algo.digest_seed(&stream),
+            trace: challenge.trace,
         }
     }
 }
@@ -141,7 +157,13 @@ mod tests {
     use rbc_puf::ModelPuf;
 
     fn challenge(cells: Vec<u32>) -> ChallengeMsg {
-        ChallengeMsg { client_id: 1, session: 99, cells, algo: HashAlgo::Sha3_256 }
+        ChallengeMsg {
+            client_id: 1,
+            session: 99,
+            cells,
+            algo: HashAlgo::Sha3_256,
+            trace: TraceContext { trace_id: 0x7f3a, parent_span: 0 },
+        }
     }
 
     #[test]
@@ -195,8 +217,22 @@ mod tests {
         let v = VerdictMsg {
             session: 1,
             verdict: Verdict::Accepted { distance: 3, public_key: vec![1, 2, 3] },
+            trace: TraceContext { trace_id: 5, parent_span: 0 },
         };
         let json = serde_json::to_string(&v).unwrap();
         assert_eq!(serde_json::from_str::<VerdictMsg>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn hello_mints_and_respond_echoes_the_trace() {
+        let client = Client::new(1, ModelPuf::noiseless(1024, 5));
+        let h1 = client.hello();
+        let h2 = client.hello();
+        assert!(!h1.trace.is_none(), "hello mints a real trace");
+        assert_ne!(h1.trace.trace_id, h2.trace.trace_id, "one trace per attempt");
+
+        let mut rng = StdRng::seed_from_u64(0);
+        let msg = client.respond(&challenge((0..256).collect()), &mut rng);
+        assert_eq!(msg.trace.trace_id, 0x7f3a, "digest echoes the challenge's trace");
     }
 }

@@ -31,12 +31,21 @@
 //! accepted / rejected / timed-out / overloaded / error, so
 //! [`ServiceStats`] totals always sum to the requests issued — shed and
 //! errored requests can never silently vanish from the books.
+//!
+//! Spans are stitched into one tree per authentication: the client mints
+//! a [`rbc_telemetry::TraceContext`] at hello and every protocol message
+//! echoes it, so `hello` and `auth_total` are children of the wire
+//! context and the inner phases (`prepare`, `queue_wait`, `search`,
+//! `finish`) are children of `auth_total`. Anomalies (shed requests,
+//! deadline breaches) additionally emit [`rbc_telemetry::EventRecord`]s
+//! carrying the same trace id, which is what arms the
+//! [`rbc_telemetry::FlightRecorder`]'s freeze.
 
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rbc_pqc::PqcKeyGen;
-use rbc_telemetry::{Counter, NullRecorder, Recorder, Registry, Tracer};
+use rbc_telemetry::{Counter, EventKind, NullRecorder, Recorder, Registry, Tracer};
 
 use crate::ca::{CaError, CaTelemetry, CertificateAuthority};
 use crate::dispatch::{DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig};
@@ -141,7 +150,7 @@ impl<P: PqcKeyGen> AuthService<P> {
 
     /// Protocol step 1–2: opens a session, returns the challenge.
     pub fn begin(&self, hello: &HelloMsg) -> Result<ChallengeMsg, CaError> {
-        let span = self.tracer.span("hello");
+        let span = self.tracer.child_span(hello.trace, "hello");
         let result = self.ca.lock().begin(hello);
         span.finish();
         if result.is_err() {
@@ -156,8 +165,11 @@ impl<P: PqcKeyGen> AuthService<P> {
     /// hold the CA lock.
     pub fn complete(&self, msg: &DigestMsg) -> Result<VerdictMsg, CaError> {
         self.metrics.issued.inc();
-        let total = self.tracer.span("auth_total");
-        let prepare = self.tracer.span("prepare");
+        // `auth_total` hangs off the wire context (sibling of `hello`);
+        // the inner phases hang off `auth_total`.
+        let total = self.tracer.child_span(msg.trace, "auth_total");
+        let phase_ctx = total.context();
+        let prepare = self.tracer.child_span(phase_ctx, "prepare");
         let pending = match self.ca.lock().prepare(msg) {
             Ok(pending) => pending,
             Err(e) => {
@@ -176,24 +188,58 @@ impl<P: PqcKeyGen> AuthService<P> {
                 // Queue wait and search were clocked by the dispatcher
                 // and the backend; inject them retroactively so the
                 // span stream and the phase histograms stay complete
-                // without a second measurement.
-                self.tracer.record("queue_wait", queue_wait);
-                self.tracer.record("search", report.elapsed);
-                let finish = self.tracer.span("finish");
+                // without a second measurement. The queue wait ended
+                // when the search began, `report.elapsed` ago — without
+                // that back-dating its reconstructed start would land
+                // *after* the search's whenever the search dominates.
+                self.tracer.record_in_ended(phase_ctx, "queue_wait", queue_wait, report.elapsed);
+                self.tracer.record_in(phase_ctx, "search", report.elapsed);
+                // A search whose every prefix prescreen hit turned out
+                // to be a false positive paid full derivations for
+                // nothing — worth flagging on the trace.
+                if let (Some(hits), Some(fp)) =
+                    (report.extra("prefix_hits"), report.extra("prefix_false_positives"))
+                {
+                    if hits > 0 && hits == fp {
+                        self.tracer.event(
+                            EventKind::PrefixExhausted,
+                            msg.trace.trace_id,
+                            "every prefix prescreen hit was a false positive",
+                        );
+                    }
+                }
+                let finish = self.tracer.child_span(phase_ctx, "finish");
                 let verdict = self.ca.lock().finish(&pending, report);
                 finish.finish();
                 verdict
             }
             DispatchOutcome::Overloaded { queue_wait } => {
-                self.tracer.record("queue_wait", queue_wait);
+                self.tracer.record_in(phase_ctx, "queue_wait", queue_wait);
                 self.ca.lock().shed(&pending)
             }
         };
+        // Anomaly events fire *before* the auth_total span closes: a
+        // freezing recorder pins the trace on the event and still admits
+        // this trace's later records, so the dumped chain is complete.
         match verdict.verdict {
             Verdict::Accepted { .. } => self.metrics.accepted.inc(),
             Verdict::Rejected => self.metrics.rejected.inc(),
-            Verdict::TimedOut => self.metrics.timed_out.inc(),
-            Verdict::Overloaded => self.metrics.overloaded.inc(),
+            Verdict::TimedOut => {
+                self.metrics.timed_out.inc();
+                self.tracer.event(
+                    EventKind::DeadlineBreach,
+                    msg.trace.trace_id,
+                    "search exceeded the protocol threshold",
+                );
+            }
+            Verdict::Overloaded => {
+                self.metrics.overloaded.inc();
+                self.tracer.event(
+                    EventKind::Shed,
+                    msg.trace.trace_id,
+                    "dispatcher shed the request",
+                );
+            }
         }
         total.finish();
         Ok(verdict)
@@ -371,7 +417,8 @@ mod tests {
             stats.issued
         );
         // An unknown client at hello time is counted separately.
-        assert!(service.begin(&HelloMsg { client_id: 404 }).is_err());
+        let bogus = HelloMsg { client_id: 404, trace: rbc_telemetry::TraceContext::mint() };
+        assert!(service.begin(&bogus).is_err());
         let snap = service.registry().snapshot();
         assert_eq!(snap.counter("rbc_service_hello_error_total"), Some(1));
     }
@@ -397,13 +444,27 @@ mod tests {
         let recorder = Arc::new(CollectingRecorder::new());
         let service = AuthService::with_recorder(ca, dispatcher, recorder.clone());
 
-        let challenge = service.begin(&client.hello()).unwrap();
+        let hello = client.hello();
+        let challenge = service.begin(&hello).unwrap();
         let digest = client.respond(&challenge, &mut rng);
-        service.complete(&digest).unwrap();
+        let verdict = service.complete(&digest).unwrap();
+        assert_eq!(verdict.trace, hello.trace, "verdict closes the loop on the minted trace");
 
-        let names: Vec<_> = recorder.take().iter().map(|s| s.name).collect();
+        let spans = recorder.take();
+        let names: Vec<_> = spans.iter().map(|s| s.name).collect();
         for phase in ["hello", "prepare", "queue_wait", "search", "finish", "auth_total"] {
             assert!(names.contains(&phase), "missing span {phase}: {names:?}");
+        }
+        // All spans stitch into one tree rooted at the wire context.
+        for s in &spans {
+            assert_eq!(s.trace_id, hello.trace.trace_id, "span {} off-trace", s.name);
+        }
+        let span_id = |name: &str| spans.iter().find(|s| s.name == name).unwrap().span_id;
+        let parent = |name: &str| spans.iter().find(|s| s.name == name).unwrap().parent_span;
+        assert_eq!(parent("hello"), 0, "hello hangs off the wire root");
+        assert_eq!(parent("auth_total"), 0, "auth_total hangs off the wire root");
+        for phase in ["prepare", "queue_wait", "search", "finish"] {
+            assert_eq!(parent(phase), span_id("auth_total"), "{phase} nests under auth_total");
         }
         // The same phases exist as histograms in the shared registry,
         // and the CA contributed its keygen timing.

@@ -12,6 +12,8 @@ use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
+use crate::telemetry::NetTelemetry;
+
 /// Transport failures.
 #[derive(Debug, PartialEq, Eq)]
 pub enum TransportError {
@@ -45,6 +47,7 @@ pub struct Endpoint {
     per_frame_latency: Duration,
     frames_sent: u64,
     bytes_sent: u64,
+    telemetry: Option<NetTelemetry>,
 }
 
 /// Creates a connected pair of endpoints. `per_frame_latency` is *recorded*
@@ -59,6 +62,7 @@ pub fn duplex(per_frame_latency: Duration) -> (Endpoint, Endpoint) {
         per_frame_latency,
         frames_sent: 0,
         bytes_sent: 0,
+        telemetry: None,
     };
     (make(atx, arx), make(btx, brx))
 }
@@ -72,6 +76,10 @@ impl Endpoint {
         frame.put_slice(&payload);
         self.frames_sent += 1;
         self.bytes_sent += frame.len() as u64;
+        if let Some(t) = &self.telemetry {
+            t.frames_sent.inc();
+            t.bytes_sent.add(frame.len() as u64);
+        }
         self.simulated_latency += self.per_frame_latency;
         self.tx.send(frame.freeze()).map_err(|_| TransportError::Disconnected)
     }
@@ -94,6 +102,12 @@ impl Endpoint {
             )));
         }
         serde_json::from_slice(&frame).map_err(|e| TransportError::Decode(e.to_string()))
+    }
+
+    /// Mirrors this endpoint's send accounting into shared `rbc_net_*`
+    /// counters (in addition to the local accessors below).
+    pub fn attach_telemetry(&mut self, telemetry: NetTelemetry) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Total simulated wire latency accumulated by this endpoint's sends.

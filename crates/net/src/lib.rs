@@ -19,6 +19,7 @@
 pub mod channel;
 pub mod latency;
 pub mod lossy;
+pub mod telemetry;
 
 pub use channel::{duplex, Endpoint, TransportError};
 pub use latency::{CommBreakdown, LatencyModel};
@@ -26,3 +27,4 @@ pub use lossy::{
     lossy_duplex, LossyEndpoint, ReliableReceiver, ReliableSender, ReliableStats, RpcClient,
     RpcServer,
 };
+pub use telemetry::NetTelemetry;

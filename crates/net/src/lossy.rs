@@ -14,6 +14,7 @@ use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 
 use crate::channel::{duplex, Endpoint, TransportError};
+use crate::telemetry::NetTelemetry;
 
 /// A link that drops each frame independently with probability `loss`.
 pub struct LossyEndpoint {
@@ -21,6 +22,7 @@ pub struct LossyEndpoint {
     loss: f64,
     rng: StdRng,
     dropped: u64,
+    telemetry: Option<NetTelemetry>,
 }
 
 /// Creates a connected lossy pair; `seed` makes drop patterns
@@ -32,10 +34,14 @@ pub fn lossy_duplex(
 ) -> (LossyEndpoint, LossyEndpoint) {
     assert!((0.0..1.0).contains(&loss), "loss probability must be in [0, 1)");
     let (a, b) = duplex(per_frame_latency);
-    (
-        LossyEndpoint { inner: a, loss, rng: StdRng::seed_from_u64(seed), dropped: 0 },
-        LossyEndpoint { inner: b, loss, rng: StdRng::seed_from_u64(seed ^ 0x5a5a), dropped: 0 },
-    )
+    let wrap = |inner, seed| LossyEndpoint {
+        inner,
+        loss,
+        rng: StdRng::seed_from_u64(seed),
+        dropped: 0,
+        telemetry: None,
+    };
+    (wrap(a, seed), wrap(b, seed ^ 0x5a5a))
 }
 
 impl LossyEndpoint {
@@ -44,6 +50,9 @@ impl LossyEndpoint {
     pub fn send<M: Serialize>(&mut self, msg: &M) -> Result<(), TransportError> {
         if self.rng.gen::<f64>() < self.loss {
             self.dropped += 1;
+            if let Some(t) = &self.telemetry {
+                t.frames_dropped.inc();
+            }
             return Ok(());
         }
         self.inner.send(msg)
@@ -62,6 +71,23 @@ impl LossyEndpoint {
     /// Frames actually sent (surviving).
     pub fn frames_sent(&self) -> u64 {
         self.inner.frames_sent()
+    }
+
+    /// Bytes actually sent (surviving, framing included).
+    pub fn bytes_sent(&self) -> u64 {
+        self.inner.bytes_sent()
+    }
+
+    /// Mirrors drop/send accounting into shared `rbc_net_*` counters;
+    /// the reliability wrappers above this link also use the attached
+    /// telemetry for retransmit/stale-ack counting.
+    pub fn attach_telemetry(&mut self, telemetry: NetTelemetry) {
+        self.inner.attach_telemetry(telemetry.clone());
+        self.telemetry = Some(telemetry);
+    }
+
+    pub(crate) fn telemetry(&self) -> Option<&NetTelemetry> {
+        self.telemetry.as_ref()
     }
 }
 
@@ -115,15 +141,26 @@ impl ReliableSender {
     pub fn send<M: Serialize>(&mut self, msg: &M) -> Result<(), TransportError> {
         let seq = self.next_seq;
         self.next_seq += 1;
-        for _ in 0..self.max_attempts {
+        for attempt in 0..self.max_attempts {
             self.stats.transmissions += 1;
+            if attempt > 0 {
+                if let Some(t) = self.link.telemetry() {
+                    t.on_retransmit(0, "stop-and-wait retransmission");
+                }
+            }
             self.link.send(&Envelope { seq, body: msg })?;
             match self.link.recv::<Ack>(self.rto) {
                 Ok(ack) if ack.seq == seq => {
                     self.stats.delivered += 1;
                     return Ok(());
                 }
-                Ok(_) => continue, // stale ack; retransmit
+                Ok(_) => {
+                    // Stale ack; retransmit.
+                    if let Some(t) = self.link.telemetry() {
+                        t.stale_acks.inc();
+                    }
+                    continue;
+                }
                 Err(TransportError::Timeout) => continue,
                 Err(e) => return Err(e),
             }
@@ -186,12 +223,26 @@ pub struct RpcClient {
     pub rto: Duration,
     /// Attempts before giving up.
     pub max_attempts: u32,
+    trace_id: u64,
 }
 
 impl RpcClient {
     /// Wraps a lossy endpoint.
     pub fn new(link: LossyEndpoint) -> Self {
-        RpcClient { link, next_seq: 1, rto: Duration::from_millis(20), max_attempts: 100 }
+        RpcClient {
+            link,
+            next_seq: 1,
+            rto: Duration::from_millis(20),
+            max_attempts: 100,
+            trace_id: 0,
+        }
+    }
+
+    /// Tags subsequent retransmission events with the trace id of the
+    /// in-flight authentication (0 clears the tag). The transport doesn't
+    /// parse payloads, so the caller — who minted the trace — hints it.
+    pub fn set_trace(&mut self, trace_id: u64) {
+        self.trace_id = trace_id;
     }
 
     /// Sends `req` until the matching response arrives.
@@ -201,12 +252,23 @@ impl RpcClient {
     ) -> Result<Resp, TransportError> {
         let seq = self.next_seq;
         self.next_seq += 1;
-        for _ in 0..self.max_attempts {
+        for attempt in 0..self.max_attempts {
+            if attempt > 0 {
+                if let Some(t) = self.link.telemetry() {
+                    t.on_retransmit(self.trace_id, "rpc request retransmitted");
+                }
+            }
             self.link.send(&Envelope { seq, body: req })?;
             match self.link.recv::<Envelope<Resp>>(self.rto) {
                 Ok(env) if env.seq == seq => return Ok(env.body),
-                Ok(_) => continue,                          // stale response
-                Err(TransportError::Timeout) => continue,   // lost somewhere
+                Ok(_) => {
+                    // Stale response.
+                    if let Some(t) = self.link.telemetry() {
+                        t.stale_acks.inc();
+                    }
+                    continue;
+                }
+                Err(TransportError::Timeout) => continue, // lost somewhere
                 Err(TransportError::Decode(_)) => continue, // stale frame of another type
                 Err(e) => return Err(e),
             }
@@ -376,6 +438,47 @@ mod tests {
             assert_eq!(resp, i * 2);
         }
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn link_stats_land_in_the_shared_registry() {
+        use rbc_telemetry::Registry;
+        use std::sync::Arc;
+
+        let registry = Arc::new(Registry::new());
+        let telemetry = NetTelemetry::register(&registry);
+        let (mut a, mut b) = lossy_duplex(Duration::ZERO, 0.35, 77);
+        a.attach_telemetry(telemetry.clone());
+        b.attach_telemetry(telemetry.clone());
+        let mut client = RpcClient::new(a);
+        client.rto = Duration::from_millis(5);
+        let mut server = RpcServer::new(b);
+
+        // Serve until the client hangs up: the client's *last* response
+        // may be dropped, so the server must stay up for the retransmit.
+        let handle = std::thread::spawn(move || {
+            while let Ok((seq, req)) = server.recv_request::<u32>(Duration::from_secs(30)) {
+                if server.respond(seq, &(req + 1)).is_err() {
+                    break;
+                }
+            }
+        });
+        for i in 0..10u32 {
+            assert_eq!(client.call::<_, u32>(&i).expect("rpc"), i + 1);
+        }
+        drop(client);
+        handle.join().unwrap();
+
+        let snap = registry.snapshot();
+        let sent = snap.counter("rbc_net_frames_sent_total").unwrap();
+        let dropped = snap.counter("rbc_net_frames_dropped_total").unwrap();
+        assert!(sent >= 20, "both directions counted: {sent}");
+        assert!(dropped >= 1, "35% loss must drop something");
+        assert!(
+            snap.counter("rbc_net_retransmits_total").unwrap() >= 1,
+            "loss must force retransmission"
+        );
+        assert!(snap.counter("rbc_net_bytes_sent_total").unwrap() > sent * 4);
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! Link-level observability: `rbc_net_*` counters and retransmission
+//! events.
+//!
+//! The transport types have always kept their own accounting
+//! ([`crate::Endpoint::frames_sent`], [`crate::LossyEndpoint::dropped`],
+//! [`crate::ReliableStats`]), but those numbers lived and died with the
+//! object that owned them. [`NetTelemetry`] lifts them into the shared
+//! [`Registry`] under the pipeline's naming convention
+//! (`rbc_net_<name>_total`), so a single snapshot covers the wire
+//! alongside `rbc_service_*`/`rbc_dispatch_*`/`rbc_backend_*`, and —
+//! optionally — mirrors each retransmission as an
+//! [`EventKind::Retransmit`] event to a [`Recorder`] (the
+//! [`rbc_telemetry::FlightRecorder`] keeps them as scene context around
+//! an anomaly).
+//!
+//! Attachment is opt-in and additive: endpoints without telemetry behave
+//! exactly as before, and the local accessor methods keep returning their
+//! per-object counts.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rbc_telemetry::{Counter, EventKind, EventRecord, Recorder, Registry};
+
+/// Shared handles into the registry's `rbc_net_*` counters, cloneable
+/// onto every endpoint of a harness.
+#[derive(Clone)]
+pub struct NetTelemetry {
+    /// Frames that made it onto the wire
+    /// (`rbc_net_frames_sent_total`).
+    pub frames_sent: Arc<Counter>,
+    /// Bytes sent, framing included (`rbc_net_bytes_sent_total`).
+    pub bytes_sent: Arc<Counter>,
+    /// Frames silently dropped by lossy links
+    /// (`rbc_net_frames_dropped_total`).
+    pub frames_dropped: Arc<Counter>,
+    /// Retransmissions — attempts beyond the first per message
+    /// (`rbc_net_retransmits_total`).
+    pub retransmits: Arc<Counter>,
+    /// Acks/responses for a sequence number other than the outstanding
+    /// one (`rbc_net_stale_acks_total`).
+    pub stale_acks: Arc<Counter>,
+    recorder: Option<Arc<dyn Recorder>>,
+    epoch: Instant,
+}
+
+impl NetTelemetry {
+    /// Registers (or re-resolves) the `rbc_net_*` counters in `registry`.
+    pub fn register(registry: &Registry) -> Self {
+        NetTelemetry {
+            frames_sent: registry.counter("rbc_net_frames_sent_total"),
+            bytes_sent: registry.counter("rbc_net_bytes_sent_total"),
+            frames_dropped: registry.counter("rbc_net_frames_dropped_total"),
+            retransmits: registry.counter("rbc_net_retransmits_total"),
+            stale_acks: registry.counter("rbc_net_stale_acks_total"),
+            recorder: None,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Additionally delivers each retransmission as an
+    /// [`EventKind::Retransmit`] event — with the trace id of the message
+    /// being retried when the sender knows it (see
+    /// [`crate::RpcClient::set_trace`]), 0 otherwise.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    pub(crate) fn on_retransmit(&self, trace_id: u64, detail: &'static str) {
+        self.retransmits.inc();
+        if let Some(r) = &self.recorder {
+            let at_ns = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            r.event(&EventRecord { kind: EventKind::Retransmit, trace_id, at_ns, detail });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbc_telemetry::CollectingRecorder;
+
+    #[test]
+    fn retransmit_events_carry_the_trace_and_tick_the_counter() {
+        let registry = Registry::new();
+        let collector = Arc::new(CollectingRecorder::new());
+        let t = NetTelemetry::register(&registry).with_recorder(collector.clone());
+        t.on_retransmit(0x7f3a, "request timed out");
+        t.on_retransmit(0, "ack lost");
+        assert_eq!(registry.snapshot().counter("rbc_net_retransmits_total"), Some(2));
+        let events = collector.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Retransmit);
+        assert_eq!(events[0].trace_id, 0x7f3a);
+    }
+}

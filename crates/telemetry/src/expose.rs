@@ -59,14 +59,24 @@ pub fn render_json(snap: &Snapshot) -> Value {
             let v = match metric {
                 MetricSnapshot::Counter(v) => Value::UInt(*v),
                 MetricSnapshot::Gauge(v) => Value::Int(*v),
-                MetricSnapshot::Histogram(h) => Value::Object(vec![
-                    ("count".to_string(), Value::UInt(h.count)),
-                    ("sum".to_string(), Value::UInt(h.sum)),
-                    ("mean".to_string(), Value::Float(h.mean())),
-                    ("p50".to_string(), Value::UInt(h.percentile(50.0))),
-                    ("p95".to_string(), Value::UInt(h.percentile(95.0))),
-                    ("p99".to_string(), Value::UInt(h.percentile(99.0))),
-                ]),
+                MetricSnapshot::Histogram(h) => {
+                    let mut fields = vec![
+                        ("count".to_string(), Value::UInt(h.count)),
+                        ("sum".to_string(), Value::UInt(h.sum)),
+                        ("mean".to_string(), Value::Float(h.mean())),
+                        ("p50".to_string(), Value::UInt(h.percentile(50.0))),
+                        ("p95".to_string(), Value::UInt(h.percentile(95.0))),
+                        ("p99".to_string(), Value::UInt(h.percentile(99.0))),
+                    ];
+                    if let Some(ex) = &h.exemplar {
+                        fields.push((
+                            "exemplar_trace".to_string(),
+                            Value::Str(format!("{:#x}", ex.trace_id)),
+                        ));
+                        fields.push(("exemplar_value".to_string(), Value::UInt(ex.value)));
+                    }
+                    Value::Object(fields)
+                }
             };
             (name.clone(), v)
         })

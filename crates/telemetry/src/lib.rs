@@ -40,13 +40,18 @@
 
 mod expose;
 mod metrics;
+mod recorder;
 mod trace;
 
 pub use expose::{parse_prometheus, render_json, render_prometheus, PromSample};
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, Registry, Snapshot,
+    Counter, Exemplar, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, Registry, Snapshot,
 };
-pub use trace::{CollectingRecorder, NullRecorder, Recorder, Span, SpanRecord, Tracer};
+pub use recorder::FlightRecorder;
+pub use trace::{
+    CollectingRecorder, EventKind, EventRecord, NullRecorder, Recorder, Span, SpanRecord,
+    TraceContext, Tracer,
+};
 
 /// Maps an arbitrary instance label (backend names like `cpu(p=2)`) onto
 /// the Prometheus metric-name charset `[a-zA-Z0-9_]`, collapsing runs of

@@ -132,6 +132,13 @@ pub struct Histogram {
     buckets: Box<[AtomicU64]>,
     count: AtomicU64,
     sum: AtomicU64,
+    // Tail exemplar: the largest traced sample since the last
+    // `clear_exemplar`, and the trace that produced it. Two separate
+    // relaxed atomics — a race between two concurrent maxima can pair
+    // the value with the other sample's trace, which is acceptable for
+    // an exemplar (both were tail samples of the same epoch).
+    exemplar_value: AtomicU64,
+    exemplar_trace: AtomicU64,
 }
 
 impl Default for Histogram {
@@ -151,6 +158,8 @@ impl Histogram {
             buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            exemplar_value: AtomicU64::new(0),
+            exemplar_trace: AtomicU64::new(0),
         }
     }
 
@@ -162,10 +171,36 @@ impl Histogram {
         self.sum.fetch_add(v, Ordering::Relaxed);
     }
 
+    /// Records one sample attributed to `trace_id`, updating the tail
+    /// exemplar: if `v` is the largest traced sample of the current
+    /// epoch, the snapshot will name `trace_id` as the trace behind the
+    /// distribution's tail. `trace_id` 0 degrades to [`Histogram::record`].
+    #[inline]
+    pub fn record_traced(&self, v: u64, trace_id: u64) {
+        self.record(v);
+        if trace_id != 0 && v >= self.exemplar_value.fetch_max(v, Ordering::Relaxed) {
+            self.exemplar_trace.store(trace_id, Ordering::Relaxed);
+        }
+    }
+
     /// Records a duration as nanoseconds (saturating past ~584 years).
     #[inline]
     pub fn record_duration(&self, d: Duration) {
         self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records a duration attributed to `trace_id`; see
+    /// [`Histogram::record_traced`].
+    #[inline]
+    pub fn record_duration_traced(&self, d: Duration, trace_id: u64) {
+        self.record_traced(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX), trace_id);
+    }
+
+    /// Starts a new exemplar epoch: forgets the current tail exemplar
+    /// (the distribution itself is untouched).
+    pub fn clear_exemplar(&self) {
+        self.exemplar_value.store(0, Ordering::Relaxed);
+        self.exemplar_trace.store(0, Ordering::Relaxed);
     }
 
     /// Samples recorded so far.
@@ -182,12 +217,28 @@ impl Histogram {
                 buckets.push((bucket_bound(i), c));
             }
         }
+        let exemplar_trace = self.exemplar_trace.load(Ordering::Relaxed);
         HistogramSnapshot {
             buckets,
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
+            exemplar: (exemplar_trace != 0).then(|| Exemplar {
+                value: self.exemplar_value.load(Ordering::Relaxed),
+                trace_id: exemplar_trace,
+            }),
         }
     }
+}
+
+/// The tail exemplar of a histogram epoch: the largest traced sample
+/// and the trace that produced it — enough to turn "p99 = 41 ms" into
+/// "p99 = 41 ms ← trace 0x7f3a".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The sample value (nanoseconds by convention).
+    pub value: u64,
+    /// The trace the sample belongs to.
+    pub trace_id: u64,
 }
 
 impl fmt::Debug for Histogram {
@@ -206,6 +257,9 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all samples.
     pub sum: u64,
+    /// Tail exemplar of the current epoch, when any traced sample was
+    /// recorded (see [`Histogram::record_traced`]).
+    pub exemplar: Option<Exemplar>,
 }
 
 impl HistogramSnapshot {
@@ -474,6 +528,28 @@ mod tests {
             let err = (approx - exact) as f64 / exact as f64;
             assert!(err <= Histogram::RELATIVE_ERROR, "p{p}: err {err}");
         }
+    }
+
+    #[test]
+    fn tail_exemplar_names_the_slowest_trace() {
+        let h = Histogram::new();
+        h.record(1_000_000); // untraced samples never become exemplars
+        assert_eq!(h.snapshot().exemplar, None);
+
+        h.record_traced(500, 0xaaaa);
+        h.record_traced(41_000_000, 0x7f3a);
+        h.record_traced(3_000, 0xbbbb);
+        let s = h.snapshot();
+        assert_eq!(s.exemplar, Some(Exemplar { value: 41_000_000, trace_id: 0x7f3a }));
+        assert_eq!(s.count, 4, "traced samples land in the distribution too");
+
+        // A new epoch forgets the exemplar but keeps the distribution.
+        h.clear_exemplar();
+        let s = h.snapshot();
+        assert_eq!(s.exemplar, None);
+        assert_eq!(s.count, 4);
+        h.record_traced(7, 0xcccc);
+        assert_eq!(h.snapshot().exemplar, Some(Exemplar { value: 7, trace_id: 0xcccc }));
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub use rbc_hash as hash;
 pub use rbc_net as net;
 pub use rbc_pqc as pqc;
 pub use rbc_puf as puf;
+pub use rbc_telemetry as telemetry;
 
 /// The working set most applications need.
 pub mod prelude {
