@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|cpu-scaling|service|telemetry|triage|verify]
+//! repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|cpu-scaling|service|telemetry|triage|chaos|verify]
 //!       [--quick] [--trials N] [--full-cpu] [--metrics-dump] [--smoke]
 //! ```
 //!
@@ -12,7 +12,11 @@
 //! RPC links against a pool hiding a degraded backend and writes the
 //! slowest-K stitched traces to `BENCH_triage.json`, with the flight
 //! recorder's post-mortem of the induced deadline breach (`--smoke`
-//! validates stitching and exits nonzero — the CI gate). `service
+//! validates stitching and exits nonzero — the CI gate). `chaos` drives
+//! deterministic authentications through a supervised backend pool under
+//! injected faults (mid-sweep crash, stalled shards) and writes the
+//! recovery report to `BENCH_chaos.json` (`--smoke` validates the ≥95%
+//! recovery bar and exits nonzero — the CI gate). `service
 //! --metrics-dump` prints the final sweep's whole-pipeline Prometheus
 //! snapshot.
 //!
@@ -108,6 +112,7 @@ fn main() {
                 service(&opts);
                 telemetry(&opts);
                 triage(&opts);
+                chaos(&opts);
                 verify(&opts);
             }
             "table1" => table1(),
@@ -126,6 +131,7 @@ fn main() {
             "service" => service(&opts),
             "telemetry" => telemetry(&opts),
             "triage" => triage(&opts),
+            "chaos" => chaos(&opts),
             "verify" => verify(&opts),
             other => usage(&format!("unknown command {other:?}")),
         }
@@ -135,7 +141,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|hash-lanes|cpu-scaling|future|security|extensions|service|telemetry|triage|verify] [--quick] [--trials N] [--full-cpu] [--metrics-dump] [--smoke]"
+        "usage: repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|hash-lanes|cpu-scaling|future|security|extensions|service|telemetry|triage|chaos|verify] [--quick] [--trials N] [--full-cpu] [--metrics-dump] [--smoke]"
     );
     std::process::exit(2)
 }
@@ -1257,6 +1263,139 @@ fn triage(opts: &Opts) {
             "smoke: BENCH_triage.json validates (every trace stitches, phases monotone) \
              and the frozen post-mortem is complete"
         );
+    }
+}
+
+/// `repro chaos`: deterministic fault-injection scenarios against the
+/// supervised backend pool. Each scenario drives the same batch of
+/// planted authentications through a 4× CPU pool; the chaos harness
+/// wraps targeted backends in [`rbc_core::ChaosBackend`] decorators
+/// (mid-sweep crash, stalled shards), and the pool's checkpoint/resume
+/// machinery must still return the correct verdict within the T = 20 s
+/// budget. Writes `BENCH_chaos.json`; with `--smoke`, validates the
+/// ≥ 95% recovery bar (the CI gate).
+fn chaos(opts: &Opts) {
+    use rbc_bench::{chaos_table, validate_chaos_json, write_chaos_json, ChaosRow};
+    use rbc_core::{Fault, FaultPlan, SupervisedPool, SupervisedPoolConfig};
+
+    println!("\n== chaos: fault injection against the supervised pool (4x CPU, this host) ==");
+    let auths: u64 = if opts.quick || opts.smoke { 8 } else { 20 };
+    // T = 20 s minus nothing: the pool is local, so the whole protocol
+    // threshold is available as the per-auth recovery budget.
+    let budget = Duration::from_secs(20);
+
+    let run = |name: &str, plan: &FaultPlan| -> ChaosRow {
+        let raw: Vec<Arc<dyn SearchBackend>> = (0..4)
+            .map(|_| {
+                Arc::new(CpuBackend::new(EngineConfig { threads: 1, ..Default::default() }))
+                    as Arc<dyn SearchBackend>
+            })
+            .collect();
+        let backends = plan.apply(raw, None);
+        let pool = SupervisedPool::new(
+            backends,
+            SupervisedPoolConfig {
+                stall_timeout: Duration::from_millis(150),
+                checkpoint_interval: 512,
+                ..Default::default()
+            },
+        );
+        let mut latencies = Vec::new();
+        let mut correct = 0u64;
+        for i in 0..auths {
+            // Deterministic per-auth base/client pair: the plan's seed
+            // keys the stream, so a scenario replays exactly.
+            let mut rng = StdRng::seed_from_u64(plan.seed ^ (0xA001 + i));
+            let base = U256::random(&mut rng);
+            let client = base.random_at_distance(2, &mut rng);
+            let job = SearchJob::new(
+                HashAlgo::Sha3_256,
+                HashAlgo::Sha3_256.digest_seed(&client),
+                base,
+                3,
+            )
+            .with_deadline(budget);
+            let report = pool.submit(&job);
+            latencies.push(report.elapsed.as_secs_f64() * 1e3);
+            // Correct verdict = a found seed that re-derives the target
+            // (the client planted at d = 2 is always within max_d = 3).
+            if let Outcome::Found { seed, .. } = report.outcome {
+                if HashAlgo::Sha3_256.digest_seed(&seed) == job.target {
+                    correct += 1;
+                }
+            }
+        }
+        let snap = pool.registry().snapshot();
+        let counter = |n: &str| snap.counter(n).unwrap_or(0);
+        let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+        let mut sorted = latencies;
+        sorted.sort_by(f64::total_cmp);
+        let p95 = sorted[((sorted.len() * 95).div_ceil(100)).saturating_sub(1)];
+        ChaosRow {
+            scenario: name.to_string(),
+            auths,
+            correct,
+            recovery_rate: correct as f64 / auths.max(1) as f64,
+            redispatches: counter("rbc_resilience_redispatches_total"),
+            faults: counter("rbc_resilience_faults_total"),
+            wasted_seeds: counter("rbc_resilience_wasted_seeds_total"),
+            breaker_opens: counter("rbc_resilience_breaker_trips_total"),
+            mean_ms: mean,
+            p95_ms: p95,
+            added_latency_ms: 0.0,
+        }
+    };
+
+    let crash_stall = FaultPlan {
+        seed: 0xD00D,
+        faults: vec![(1, Fault::Crash { at_progress: 0.5 }), (2, Fault::Stall { ms: 400 })],
+        rpc_loss: 0.0,
+    };
+    let mut rows = vec![
+        run("fault-free", &FaultPlan::fault_free()),
+        run("single-crash", &FaultPlan::default_single_crash()),
+        run("crash+stall", &crash_stall),
+    ];
+    let baseline = rows[0].mean_ms;
+    for row in rows.iter_mut().skip(1) {
+        row.added_latency_ms = (row.mean_ms - baseline).max(0.0);
+    }
+    chaos_table(&rows).print();
+    println!(
+        "(scenarios: baseline; backend 1 crashes at 50% shard progress and stays down; \
+         additionally backend 2 stalls 400 ms per shard — recovery must stay within T = 20 s)"
+    );
+    match write_chaos_json("BENCH_chaos.json", &rows) {
+        Ok(()) => println!("wrote BENCH_chaos.json"),
+        Err(e) => {
+            eprintln!("could not write BENCH_chaos.json: {e}");
+            if opts.smoke {
+                std::process::exit(1);
+            }
+        }
+    }
+    if opts.smoke {
+        let text = match std::fs::read_to_string("BENCH_chaos.json") {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("smoke: could not read back BENCH_chaos.json: {e}");
+                std::process::exit(1);
+            }
+        };
+        match validate_chaos_json(&text) {
+            Ok(()) => println!(
+                "smoke: BENCH_chaos.json validates (baseline clean, faulted scenarios ≥ 95% recovery)"
+            ),
+            Err(e) => {
+                eprintln!("smoke: BENCH_chaos.json invalid: {e}");
+                std::process::exit(1);
+            }
+        }
+        let faulted = rows.iter().filter(|r| r.faults > 0).count();
+        if faulted < 2 {
+            eprintln!("smoke: expected both fault scenarios to actually inject ({faulted}/2 did)");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -769,6 +769,162 @@ pub fn validate_triage_json(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// One scenario row of the `repro chaos` resilience report: a batch of
+/// authentications driven through a [`SupervisedPool`] under a
+/// deterministic [`FaultPlan`], with the recovery bookkeeping read back
+/// from the pool's `rbc_resilience_*` metrics.
+///
+/// [`SupervisedPool`]: rbc_core::pool::SupervisedPool
+/// [`FaultPlan`]: rbc_core::chaos::FaultPlan
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ChaosRow {
+    /// Scenario label (`fault-free`, `single-crash`, ...).
+    pub scenario: String,
+    /// Authentications attempted.
+    pub auths: u64,
+    /// Authentications that returned the correct verdict within budget.
+    pub correct: u64,
+    /// `correct / auths`.
+    pub recovery_rate: f64,
+    /// Shards re-dispatched after a crash, stall, or rejected report.
+    pub redispatches: u64,
+    /// Faults the chaos harness injected.
+    pub faults: u64,
+    /// Seeds swept by attempts that were later superseded.
+    pub wasted_seeds: u64,
+    /// Circuit-breaker trips observed.
+    pub breaker_opens: u64,
+    /// Mean end-to-end search latency, milliseconds.
+    pub mean_ms: f64,
+    /// 95th-percentile search latency, milliseconds.
+    pub p95_ms: f64,
+    /// Mean latency added over the fault-free baseline, milliseconds
+    /// (0 for the baseline row itself).
+    pub added_latency_ms: f64,
+}
+
+/// Renders the chaos scenarios as a [`TextTable`].
+pub fn chaos_table(rows: &[ChaosRow]) -> TextTable {
+    let mut t = TextTable::new(
+        "Chaos: recovery under injected faults (supervised pool, this host)",
+        &[
+            "scenario", "auths", "correct", "recovery", "redisp", "faults", "wasted", "trips",
+            "mean", "p95", "added",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.scenario.clone(),
+            r.auths.to_string(),
+            r.correct.to_string(),
+            format!("{:.1}%", r.recovery_rate * 100.0),
+            r.redispatches.to_string(),
+            r.faults.to_string(),
+            r.wasted_seeds.to_string(),
+            r.breaker_opens.to_string(),
+            fmt_secs(r.mean_ms / 1e3),
+            fmt_secs(r.p95_ms / 1e3),
+            fmt_secs(r.added_latency_ms / 1e3),
+        ]);
+    }
+    t
+}
+
+/// Writes the chaos scenarios to `path` as the `BENCH_chaos.json`
+/// artifact: `{"bench": "chaos", "unit": "ms", "results": [...]}`.
+pub fn write_chaos_json(path: &str, rows: &[ChaosRow]) -> std::io::Result<()> {
+    let results = serde_json::to_value(&rows.to_vec())
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let doc = serde_json::Value::Object(vec![
+        ("bench".to_string(), serde_json::Value::Str("chaos".to_string())),
+        ("unit".to_string(), serde_json::Value::Str("ms".to_string())),
+        ("results".to_string(), results),
+    ]);
+    let text = serde_json::to_string(&doc)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, text)
+}
+
+/// Validates a `BENCH_chaos.json` document — the `repro chaos --smoke`
+/// CI gate. Requires the `chaos` envelope, at least two scenarios, a
+/// fault-free baseline (zero injected faults, 100% recovery), and every
+/// faulted scenario recovering at least 95% of its authentications —
+/// the issue's headline acceptance bar.
+pub fn validate_chaos_json(text: &str) -> Result<(), String> {
+    let doc: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
+    let bench = doc.field("bench").ok().and_then(serde_json::Value::as_str);
+    if bench != Some("chaos") {
+        return Err(format!("bench field is {bench:?}, expected \"chaos\""));
+    }
+    let results = doc
+        .field("results")
+        .ok()
+        .and_then(serde_json::Value::as_array)
+        .ok_or("missing results array")?;
+    if results.len() < 2 {
+        return Err(format!(
+            "need a baseline and at least one fault scenario, got {} rows",
+            results.len()
+        ));
+    }
+    let mut saw_baseline = false;
+    let mut saw_faulted = false;
+    for (i, row) in results.iter().enumerate() {
+        let scenario = row
+            .field("scenario")
+            .ok()
+            .and_then(serde_json::Value::as_str)
+            .ok_or(format!("row {i}: missing scenario"))?;
+        let get_u64 = |f: &str| {
+            row.field(f)
+                .ok()
+                .and_then(serde_json::Value::as_u64)
+                .ok_or(format!("row {i} ({scenario}): missing field {f}"))
+        };
+        let auths = get_u64("auths")?;
+        let correct = get_u64("correct")?;
+        let faults = get_u64("faults")?;
+        let rate = row
+            .field("recovery_rate")
+            .ok()
+            .and_then(serde_json::Value::as_f64)
+            .ok_or(format!("row {i} ({scenario}): missing recovery_rate"))?;
+        if auths == 0 {
+            return Err(format!("row {i} ({scenario}): zero authentications"));
+        }
+        if correct > auths || !(0.0..=1.0).contains(&rate) {
+            return Err(format!(
+                "row {i} ({scenario}): inconsistent tally ({correct}/{auths}, rate {rate})"
+            ));
+        }
+        if faults == 0 {
+            saw_baseline = true;
+            if correct != auths {
+                return Err(format!(
+                    "row {i} ({scenario}): fault-free baseline lost {} auths",
+                    auths - correct
+                ));
+            }
+        } else {
+            saw_faulted = true;
+            if rate < 0.95 {
+                return Err(format!(
+                    "row {i} ({scenario}): recovery rate {:.1}% below the 95% bar",
+                    rate * 100.0
+                ));
+            }
+        }
+    }
+    if !saw_baseline {
+        return Err("no fault-free baseline scenario".to_string());
+    }
+    if !saw_faulted {
+        return Err("no faulted scenario".to_string());
+    }
+    Ok(())
+}
+
 /// Measures mask-generation-only rate (masks/second, single thread) for a
 /// seed iterator at distance `d` over `count` masks — the Table 4 raw
 /// ingredient.
@@ -963,6 +1119,55 @@ mod tests {
         let text = std::fs::read_to_string(path2).expect("read back");
         std::fs::remove_file(path2).ok();
         assert!(validate_triage_json(&text).is_err());
+    }
+
+    #[test]
+    fn chaos_json_round_trips_and_validates() {
+        let row = |scenario: &str, correct: u64, faults: u64| ChaosRow {
+            scenario: scenario.into(),
+            auths: 20,
+            correct,
+            recovery_rate: correct as f64 / 20.0,
+            redispatches: u64::from(faults > 0),
+            faults,
+            wasted_seeds: faults * 100,
+            breaker_opens: 0,
+            mean_ms: 3.0,
+            p95_ms: 6.0,
+            added_latency_ms: if faults > 0 { 0.5 } else { 0.0 },
+        };
+        let rows = vec![row("fault-free", 20, 0), row("single-crash", 20, 1)];
+        let path = std::env::temp_dir().join("rbc_bench_chaos_test.json");
+        let path = path.to_str().expect("utf8 temp path");
+        write_chaos_json(path, &rows).expect("write");
+        let text = std::fs::read_to_string(path).expect("read back");
+        std::fs::remove_file(path).ok();
+        validate_chaos_json(&text).expect("round-trip validates");
+
+        // Degenerate documents are rejected with a reason.
+        assert!(validate_chaos_json("not json").is_err());
+        assert!(validate_chaos_json("{\"bench\":\"other\"}").is_err());
+
+        let wrap = |rows: &[ChaosRow]| {
+            serde_json::to_string(&serde_json::Value::Object(vec![
+                ("bench".into(), serde_json::Value::Str("chaos".into())),
+                ("unit".into(), serde_json::Value::Str("ms".into())),
+                ("results".into(), serde_json::to_value(&rows.to_vec()).expect("value")),
+            ]))
+            .expect("string")
+        };
+        // A lossy fault scenario under the 95% bar must fail the gate.
+        let weak = wrap(&[row("fault-free", 20, 0), row("single-crash", 18, 1)]);
+        let err = validate_chaos_json(&weak).expect_err("90% recovery is under the bar");
+        assert!(err.contains("95%"), "{err}");
+        // A lossy "baseline" is not a baseline.
+        let bad_base = wrap(&[row("fault-free", 19, 0), row("single-crash", 20, 1)]);
+        assert!(validate_chaos_json(&bad_base).is_err());
+        // Missing either side of the comparison fails.
+        let no_fault = wrap(&[row("a", 20, 0), row("b", 20, 0)]);
+        assert!(validate_chaos_json(&no_fault).is_err());
+        let no_base = wrap(&[row("a", 20, 1), row("b", 20, 1)]);
+        assert!(validate_chaos_json(&no_base).is_err());
     }
 
     #[test]

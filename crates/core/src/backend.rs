@@ -30,6 +30,7 @@ use crate::derive::DynHashDerive;
 use crate::engine::{
     EngineConfig, EngineTelemetry, Outcome, SearchEngine, SearchMode, SearchReport,
 };
+use crate::shard::{CheckpointSink, ShardReport, ShardSpec};
 
 /// One RBC-SALTED search, described independently of the device that will
 /// run it: "is any seed within Hamming distance `max_d` of `s_init`
@@ -132,6 +133,25 @@ pub trait SearchBackend: Send + Sync {
     /// Runs the search to completion (or to the job's deadline) and
     /// reports it.
     fn submit(&self, job: &SearchJob) -> SearchReport;
+
+    /// Sweeps one checkpointable shard of `job`'s seed space, publishing
+    /// resume points to `sink` every `checkpoint_interval` masks — the
+    /// entry point the supervised pool ([`crate::pool`]) schedules and
+    /// re-dispatches.
+    ///
+    /// The default runs the host-CPU batched prescreen sweep
+    /// ([`crate::shard::execute_job_shard`]), so every backend is
+    /// shard-capable out of the box; device backends may override with a
+    /// native sweep, and fault-injection decorators override to fail it.
+    fn run_shard(
+        &self,
+        job: &SearchJob,
+        spec: &ShardSpec,
+        checkpoint_interval: u64,
+        sink: &dyn CheckpointSink,
+    ) -> ShardReport {
+        crate::shard::execute_job_shard(job, spec, checkpoint_interval, sink)
+    }
 }
 
 /// The host CPU engine behind the trait: builds a [`SearchEngine`] over
@@ -251,6 +271,16 @@ impl SearchBackend for ProfiledBackend {
 
     fn supports(&self, algo: HashAlgo) -> bool {
         self.inner.supports(algo)
+    }
+
+    fn run_shard(
+        &self,
+        job: &SearchJob,
+        spec: &ShardSpec,
+        checkpoint_interval: u64,
+        sink: &dyn CheckpointSink,
+    ) -> ShardReport {
+        self.inner.run_shard(job, spec, checkpoint_interval, sink)
     }
 
     fn submit(&self, job: &SearchJob) -> SearchReport {

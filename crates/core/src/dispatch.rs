@@ -273,13 +273,33 @@ impl Dispatcher {
     /// deadline and the budget remaining after queue wait, so the
     /// protocol threshold `T` bounds queue wait *plus* search.
     pub fn submit(&self, job: &SearchJob) -> DispatchOutcome {
-        let arrived = Instant::now();
+        self.submit_arrived(job, Instant::now())
+    }
+
+    /// [`submit`](Self::submit) for a job that first arrived at
+    /// `arrived` — the re-dispatch entry point. A retry after a backend
+    /// failure must *not* reset the budget clock: queue wait and search
+    /// time already spent on the failed dispatch count against the same
+    /// protocol threshold `T`, so the retry gets only the remainder. A
+    /// job whose budget is already gone is shed immediately.
+    pub fn resubmit(&self, job: &SearchJob, arrived: Instant) -> DispatchOutcome {
+        self.submit_arrived(job, arrived)
+    }
+
+    fn submit_arrived(&self, job: &SearchJob, arrived: Instant) -> DispatchOutcome {
         let give_up = arrived + self.cfg.budget;
         let mut g = self.lock_shared();
 
         if !self.backends.iter().any(|b| b.supports(job.algo)) {
             self.metrics.rejected.inc();
             return DispatchOutcome::Overloaded { queue_wait: Duration::ZERO };
+        }
+        // A re-dispatched job may arrive with its budget already spent
+        // by the failed attempt; shed it rather than burn a slot on a
+        // zero-deadline search.
+        if Instant::now() >= give_up {
+            self.metrics.rejected.inc();
+            return DispatchOutcome::Overloaded { queue_wait: arrived.elapsed() };
         }
         let chosen = match self.pick(&mut g, job) {
             // A free slot on arrival: dispatch without queueing, no
@@ -776,5 +796,108 @@ mod tests {
         let s = d.stats();
         assert_eq!(s.completed, 3);
         assert_eq!(s.per_backend.iter().map(|b| b.jobs).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn poisoning_under_concurrent_load_is_counted_and_survived() {
+        // Several threads panic while holding the scheduler lock, racing
+        // a batch of real submissions: every submission must still
+        // complete, the recovery counter must tick, and the dispatcher
+        // must keep serving afterwards.
+        let registry = Arc::new(Registry::new());
+        let d = Arc::new(Dispatcher::with_registry(
+            cpu_pool(2),
+            DispatcherConfig { queue_limit: 64, ..Default::default() },
+            registry.clone(),
+        ));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let d = d.clone();
+                s.spawn(move || {
+                    let _ = std::thread::spawn(move || {
+                        let _g = d.shared.lock().unwrap();
+                        panic!("inject lock poison");
+                    })
+                    .join();
+                });
+            }
+            for i in 0..8 {
+                let d = d.clone();
+                s.spawn(move || {
+                    let out = d.submit(&searching_job(i % 2, 2));
+                    assert!(matches!(out, DispatchOutcome::Completed { .. }), "{out:?}");
+                });
+            }
+        });
+        assert_eq!(d.stats().completed, 8);
+        // All poisoners have run by now; the next submission provably
+        // crosses a poisoned lock and must both recover and be counted.
+        assert!(d.shared.is_poisoned());
+        assert!(matches!(d.submit(&trivial_job()), DispatchOutcome::Completed { .. }));
+        assert_eq!(d.stats().completed, 9);
+        assert!(
+            registry.snapshot().counter("rbc_dispatch_lock_poisoned_total").unwrap() >= 1,
+            "concurrent poison recoveries are observable"
+        );
+    }
+
+    /// Records the deadline each routed job carries.
+    struct DeadlineProbe(std::sync::Mutex<Option<Duration>>);
+
+    impl SearchBackend for DeadlineProbe {
+        fn descriptor(&self) -> BackendDescriptor {
+            BackendDescriptor { kind: "cpu", name: "probe".into(), slots: 1, est_rate: 0.0 }
+        }
+        fn submit(&self, job: &SearchJob) -> SearchReport {
+            *self.0.lock().unwrap() = job.deadline;
+            SearchReport {
+                outcome: Outcome::NotFound,
+                seeds_derived: 0,
+                elapsed: Duration::ZERO,
+                per_distance: Vec::new(),
+                algorithm: "probe",
+                threads: 1,
+                extras: Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn resubmit_charges_already_elapsed_time_against_the_budget() {
+        let probe = Arc::new(DeadlineProbe(std::sync::Mutex::new(None)));
+        let d = Dispatcher::new(
+            vec![probe.clone() as Arc<dyn SearchBackend>],
+            DispatcherConfig { budget: Duration::from_millis(200), ..Default::default() },
+        );
+
+        // First dispatch: the full budget flows to the backend.
+        assert!(matches!(d.submit(&trivial_job()), DispatchOutcome::Completed { .. }));
+        let first = probe.0.lock().unwrap().take().unwrap();
+        assert!(first > Duration::from_millis(150), "fresh submit keeps the budget: {first:?}");
+
+        // Re-dispatch 80 ms into the request's life: the failed
+        // attempt's elapsed time is charged, so only the remainder
+        // reaches the backend.
+        let arrived = Instant::now() - Duration::from_millis(80);
+        assert!(matches!(d.resubmit(&trivial_job(), arrived), DispatchOutcome::Completed { .. }));
+        let second = probe.0.lock().unwrap().take().unwrap();
+        assert!(
+            second < Duration::from_millis(150),
+            "re-dispatch must not reset the budget clock: {second:?}"
+        );
+        assert!(second > Duration::from_millis(60), "remaining budget flows through: {second:?}");
+    }
+
+    #[test]
+    fn resubmit_with_an_exhausted_budget_is_shed_immediately() {
+        let d = Dispatcher::new(
+            cpu_pool(1),
+            DispatcherConfig { budget: Duration::from_millis(100), ..Default::default() },
+        );
+        let arrived = Instant::now() - Duration::from_millis(300);
+        let out = d.resubmit(&trivial_job(), arrived);
+        assert!(matches!(out, DispatchOutcome::Overloaded { .. }), "{out:?}");
+        assert_eq!(d.stats().rejected, 1);
+        assert_eq!(d.stats().completed, 0);
     }
 }

@@ -19,6 +19,14 @@
 //!   simulators behind one substrate-agnostic submit interface.
 //! * [`dispatch`] — the bounded-queue scheduler routing jobs across a
 //!   backend pool under the protocol's response threshold.
+//! * [`shard`] — checkpointable search shards: resumable Chase-state
+//!   slices of one job's seed space, swept with periodic progress
+//!   checkpoints so a failed slice can be resumed elsewhere.
+//! * [`pool`] — the supervised backend pool: per-backend circuit
+//!   breakers, stall detection, hedged re-dispatch, and remainder
+//!   recovery over the shard layer.
+//! * [`chaos`] — the deterministic fault-injection harness
+//!   ([`chaos::FaultPlan`]) used to measure recovery behaviour.
 //! * [`service`] — the multi-client authentication service: many
 //!   concurrent `prepare → dispatch → finish` pipelines over one CA.
 //! * [`trials`] — the paper's 1200-trial average-case measurement driver.
@@ -54,13 +62,16 @@
 pub mod attack;
 pub mod backend;
 pub mod ca;
+pub mod chaos;
 pub mod cluster;
 pub mod derive;
 pub mod dispatch;
 pub mod engine;
+pub mod pool;
 pub mod protocol;
 pub mod salt;
 pub mod service;
+pub mod shard;
 pub mod store;
 pub mod trials;
 pub mod weighted;
@@ -69,14 +80,19 @@ pub use backend::{
     BackendDescriptor, ClusterBackend, CpuBackend, ProfiledBackend, SearchBackend, SearchJob,
 };
 pub use ca::{CaConfig, CaTelemetry, CertificateAuthority, PendingAuth, RegistrationAuthority};
+pub use chaos::{ChaosBackend, Fault, FaultPlan};
 pub use cluster::{cluster_search, ClusterConfig, ClusterReport};
 pub use derive::{CipherDerive, Derive, DynHashDerive, HashDerive, PqcDerive};
 pub use dispatch::{DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig, RoutePolicy};
 pub use engine::{
     DistanceStats, EngineConfig, EngineTelemetry, Outcome, SearchEngine, SearchMode, SearchReport,
 };
+pub use pool::{BreakerConfig, BreakerState, SupervisedPool, SupervisedPoolConfig};
 pub use protocol::{Client, ClientId, Verdict};
 pub use salt::Salt;
 pub use service::{AuthService, ServiceConfig, ServiceStats};
+pub use shard::{
+    Checkpoint, CheckpointSink, NullSink, ShardControl, ShardOutcome, ShardReport, ShardSpec,
+};
 pub use trials::{run_average_case_trials, TrialSummary};
 pub use weighted::{weighted_search, ReliabilityOrder, WeightedOutcome};

@@ -91,6 +91,15 @@ impl LossyEndpoint {
     }
 }
 
+/// SplitMix64: a tiny, high-quality bit mixer used to derive the
+/// deterministic retry jitter (no RNG state to carry or reseed).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// An envelope carrying a sequence number for stop-and-wait.
 #[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
 struct Envelope<M> {
@@ -219,10 +228,16 @@ impl ReliableReceiver {
 pub struct RpcClient {
     link: LossyEndpoint,
     next_seq: u64,
-    /// Retransmission timer.
+    /// Base retransmission timer (the attempt-0 wait).
     pub rto: Duration,
     /// Attempts before giving up.
     pub max_attempts: u32,
+    /// Exponential backoff growth per retry; values ≤ 1.0 disable
+    /// backoff and every attempt waits `rto`.
+    pub backoff_factor: f64,
+    /// Ceiling on the backed-off timer, so a long outage retries at a
+    /// steady cadence instead of sleeping into the deadline.
+    pub max_rto: Duration,
     trace_id: u64,
 }
 
@@ -234,8 +249,25 @@ impl RpcClient {
             next_seq: 1,
             rto: Duration::from_millis(20),
             max_attempts: 100,
+            backoff_factor: 1.6,
+            max_rto: Duration::from_millis(320),
             trace_id: 0,
         }
+    }
+
+    /// The wait before retry `attempt` of request `seq`: `rto` grown by
+    /// `backoff_factor` per attempt, capped at `max_rto`, with a
+    /// deterministic ±25% jitter keyed on `(seq, attempt)` so a fleet of
+    /// clients that lost the same frame desynchronises instead of
+    /// retransmitting in lockstep — and a replayed run still observes
+    /// the exact same timers.
+    pub fn retry_timeout(&self, seq: u64, attempt: u32) -> Duration {
+        let factor = self.backoff_factor.max(1.0);
+        let grown = self.rto.mul_f64(factor.powi(attempt.min(24) as i32));
+        let capped = grown.min(self.max_rto.max(self.rto));
+        let key = splitmix64(seq.wrapping_mul(0x9E37_79B9).wrapping_add(u64::from(attempt)));
+        let unit = (key >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        capped.mul_f64(1.0 + (unit - 0.5) * 0.5)
     }
 
     /// Tags subsequent retransmission events with the trace id of the
@@ -259,7 +291,7 @@ impl RpcClient {
                 }
             }
             self.link.send(&Envelope { seq, body: req })?;
-            match self.link.recv::<Envelope<Resp>>(self.rto) {
+            match self.link.recv::<Envelope<Resp>>(self.retry_timeout(seq, attempt)) {
                 Ok(env) if env.seq == seq => return Ok(env.body),
                 Ok(_) => {
                     // Stale response.
@@ -479,6 +511,37 @@ mod tests {
             "loss must force retransmission"
         );
         assert!(snap.counter("rbc_net_bytes_sent_total").unwrap() > sent * 4);
+    }
+
+    #[test]
+    fn retry_timeout_backs_off_deterministically_and_caps() {
+        let (a, _b) = lossy_duplex(Duration::ZERO, 0.0, 2);
+        let client = RpcClient::new(a);
+        // Deterministic: the same (seq, attempt) always yields the same
+        // jittered timer — a replayed chaos run sees identical retries.
+        assert_eq!(client.retry_timeout(3, 2), client.retry_timeout(3, 2));
+        // Growth: later attempts wait longer than attempt 0 even in the
+        // worst jitter case (1.6³ ≈ 4.1 × dominates the ±25% band).
+        assert!(client.retry_timeout(1, 3) > client.retry_timeout(1, 0));
+        // Cap: no attempt waits more than max_rto + 25% jitter.
+        for attempt in 0..40 {
+            assert!(client.retry_timeout(7, attempt) <= client.max_rto.mul_f64(1.25));
+        }
+        // Every attempt stays within the jitter band of its nominal timer.
+        let nominal = client.rto.mul_f64(1.6 * 1.6);
+        let t = client.retry_timeout(5, 2);
+        assert!(t >= nominal.mul_f64(0.75) && t <= nominal.mul_f64(1.25), "{t:?}");
+    }
+
+    #[test]
+    fn backoff_factor_of_one_keeps_a_flat_timer() {
+        let (a, _b) = lossy_duplex(Duration::ZERO, 0.0, 2);
+        let mut client = RpcClient::new(a);
+        client.backoff_factor = 1.0;
+        for attempt in 0..10 {
+            let t = client.retry_timeout(1, attempt);
+            assert!(t >= client.rto.mul_f64(0.75) && t <= client.rto.mul_f64(1.25), "{t:?}");
+        }
     }
 
     #[test]
