@@ -43,6 +43,11 @@ impl MeasuredRate {
 pub struct CpuModel {
     /// Descriptive name.
     pub name: String,
+    /// SIMD kernel tier the calibration rates ran under ("avx512",
+    /// "avx2", "portable", or "paper" for published numbers) — batched
+    /// rates differ several-fold between tiers, so an extrapolation is
+    /// only interpretable together with the tier that produced it.
+    pub kernel: String,
     /// Physical cores.
     pub cores: u32,
     /// Full-machine SHA-1 seed rate (seeds/s at `cores` threads).
@@ -64,6 +69,7 @@ impl CpuModel {
     pub fn platform_a() -> Self {
         CpuModel {
             name: "2x AMD EPYC 7542 (64 cores)".into(),
+            kernel: "paper".into(),
             cores: 64,
             rate_sha1: D5_SEEDS / 12.09,
             rate_sha3: D5_SEEDS / 60.68,
@@ -80,6 +86,7 @@ impl CpuModel {
         let a3 = Self::alpha_from_speedup(64.0, 63.0);
         CpuModel {
             name: name.into(),
+            kernel: "unspecified".into(),
             cores,
             rate_sha1: rate1_sha1 * Self::speedup_with_alpha(cores as f64, a1),
             rate_sha3: rate1_sha3 * Self::speedup_with_alpha(cores as f64, a3),
@@ -91,9 +98,13 @@ impl CpuModel {
     /// Builds a model from measured scalar + batched single-thread rates,
     /// extrapolating from the **batched** rate — the engine's deployed hot
     /// path — so Table 5 / §4.3 projections reflect what the search
-    /// actually sustains, not the scalar reference path.
+    /// actually sustains, not the scalar reference path. The model is
+    /// annotated with the SIMD dispatch tier that was active while the
+    /// batched rates were measured.
     pub fn from_measured(name: &str, cores: u32, sha1: MeasuredRate, sha3: MeasuredRate) -> Self {
-        Self::from_single_thread(name, cores, sha1.batched, sha3.batched)
+        let mut m = Self::from_single_thread(name, cores, sha1.batched, sha3.batched);
+        m.kernel = rbc_hash::dispatch::active_level().name().into();
+        m
     }
 
     /// Solves `S = p / (1 + α(p−1))` for α.
@@ -231,6 +242,9 @@ mod tests {
         let want = CpuModel::from_single_thread("local", 8, sha1.batched, sha3.batched);
         assert_eq!(m.rate_sha1, want.rate_sha1);
         assert_eq!(m.rate_sha3, want.rate_sha3);
+        // The calibration records the dispatch tier it ran under.
+        assert_eq!(m.kernel, rbc_hash::dispatch::active_level().name());
+        assert_eq!(CpuModel::platform_a().kernel, "paper");
     }
 
     #[test]

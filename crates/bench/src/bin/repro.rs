@@ -36,13 +36,15 @@ use rbc_accel::{
     GpuDeviceModel, GpuHash, GpuKernelConfig, GpuSimBackend, MeasuredRate, PowerModel,
 };
 use rbc_bench::{
-    fmt_count, fmt_rate, fmt_secs, lane_table, measure_derive_rate, measure_derive_rate_batched,
-    measure_hash_lane_rates, measure_iter_rate, service_table, write_hash_lane_json,
-    write_service_json, ServiceRow, TextTable,
+    adaptive_table, fmt_count, fmt_rate, fmt_secs, lane_table, measure_adaptive_batching,
+    measure_derive_rate, measure_derive_rate_batched, measure_hash_lane_rates, measure_iter_rate,
+    service_table, validate_hash_lanes_json, write_hash_lane_json, write_service_json, ServiceRow,
+    TextTable,
 };
 use rbc_bits::U256;
 use rbc_comb::{average_seeds, exhaustive_seeds, seeds_at_distance, SeedIterKind};
 use rbc_core::backend::{ClusterBackend, CpuBackend, SearchBackend, SearchJob};
+use rbc_core::batch::BatchPolicy;
 use rbc_core::ca::{CaConfig, CertificateAuthority};
 use rbc_core::derive::{CipherDerive, HashDerive, PqcDerive};
 use rbc_core::dispatch::{Dispatcher, DispatcherConfig, RoutePolicy};
@@ -292,6 +294,7 @@ fn table5(opts: &Opts) {
         batched: measure_derive_rate_batched(&HashDerive(Sha3Fixed), n, 64),
     };
     let local = CpuModel::from_measured("this host → 64 cores", 64, sha1, sha3);
+    println!("(batched rates measured under the `{}` SIMD dispatch tier)", local.kernel);
     let mut t2 = TextTable::new(
         "Table 5 appendix: CPU search times from THIS host's measured batched rates (1 thread, extrapolated to 64 cores)",
         &["Hash", "scalar 1T", "batched 1T", "lanes", "extrap. 64T exhaustive (s)", "PlatformA paper (s)"],
@@ -544,7 +547,11 @@ fn ablations(opts: &Opts) {
     for batch in [1usize, 16, 64, 256] {
         let engine = SearchEngine::new(
             HashDerive(Sha3Fixed),
-            EngineConfig { check_interval: 1, batch, ..Default::default() },
+            EngineConfig {
+                check_interval: 1,
+                batch: BatchPolicy::Fixed(batch),
+                ..Default::default()
+            },
         );
         let report = engine.search(&target, &base, 2);
         assert!(matches!(report.outcome, Outcome::Found { .. }));
@@ -560,17 +567,59 @@ fn ablations(opts: &Opts) {
     );
 }
 
-/// §3.2.2 extension: interleaved multi-lane hashing and the batched
-/// engine hot path — scalar vs x4/x8 (SHA-1) and x2/x4 (SHA-3) kernels,
-/// plus end-to-end batched derivation rates. Writes
-/// `BENCH_hash_lanes.json`.
+/// §3.2.2 extension: explicit SIMD hashing per ISA tier and the batched
+/// engine hot path — scalar vs portable/AVX2/AVX-512 kernels, the
+/// runtime dispatcher's own entry points, and the adaptive batch policy
+/// against a fixed maximum batch. Writes `BENCH_hash_lanes.json`; with
+/// `--smoke`, validates it (every dispatcher-selected width at least as
+/// fast as scalar, the headline SHA-1 speedup bar, adaptive not slower).
 fn hash_lanes(opts: &Opts) {
-    let n = if opts.quick { 300_000 } else { 2_000_000 };
+    use rbc_hash::dispatch;
+
+    // Satellite: say exactly what the host has and what the dispatcher
+    // chose, so a recorded artifact is interpretable later.
+    println!("cpu features: {}", dispatch::cpu_features().join(" "));
+    println!(
+        "simd dispatch: detected={} active={}",
+        dispatch::detected_level().name(),
+        dispatch::active_level().name()
+    );
+    for sel in dispatch::kernel_plan() {
+        println!("  {:>5} x{:<2} <- {}", sel.algo, sel.width, sel.kernel.name());
+    }
+
+    let n = if opts.quick || opts.smoke { 300_000 } else { 2_000_000 };
     let rows = measure_hash_lane_rates(n);
     lane_table(&rows).print();
-    match write_hash_lane_json("BENCH_hash_lanes.json", &rows) {
+    println!("(* = kernel the runtime dispatcher drains batches through)");
+
+    let trials = if opts.quick || opts.smoke { 120 } else { 400 };
+    let adaptive = measure_adaptive_batching(trials);
+    adaptive_table(&adaptive).print();
+
+    match write_hash_lane_json("BENCH_hash_lanes.json", &rows, &adaptive) {
         Ok(()) => println!("wrote BENCH_hash_lanes.json"),
         Err(e) => eprintln!("could not write BENCH_hash_lanes.json: {e}"),
+    }
+    if opts.smoke {
+        let text = match std::fs::read_to_string("BENCH_hash_lanes.json") {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("smoke: could not read back BENCH_hash_lanes.json: {e}");
+                std::process::exit(1);
+            }
+        };
+        match validate_hash_lanes_json(&text) {
+            Ok(()) => println!(
+                "smoke: BENCH_hash_lanes.json validates (selected kernels ≥ scalar, \
+                 SHA-1 bar met, adaptive batching not slower)"
+            ),
+            Err(e) => {
+                eprintln!("smoke: BENCH_hash_lanes.json invalid: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
 
     // End-to-end batched derivation (mask refill + XOR + prefix64 batch)

@@ -18,8 +18,9 @@
 //! prefix ([`crate::derive::Derive::prefix64_batch`]) and only prefix hits
 //! (p = 2⁻⁶⁴ per non-matching candidate) pay for a full derivation and
 //! compare, so accept/reject decisions are bit-identical to the
-//! full-compare engine. [`EngineConfig::batch`] = 1 recovers the scalar
-//! engine.
+//! full-compare engine. Batch sizes come from [`EngineConfig::batch`], by
+//! default adapted to search difficulty per distance (see
+//! [`crate::batch`]); `BatchPolicy::Fixed(1)` recovers the scalar engine.
 //!
 //! **Early exit** uses a shared [`AtomicU8`] flag: `Relaxed` loads in the
 //! hot loop (the flag is a monotonic latch, no data is published through
@@ -40,6 +41,7 @@ use rbc_bits::U256;
 use rbc_comb::{partition, Alg515Stream, ChaseTable, GosperStream, MaskStream, SeedIterKind};
 use rbc_telemetry::{Counter, Registry};
 
+use crate::batch::BatchPolicy;
 use crate::derive::Derive;
 
 /// Search-termination policy, matching the paper's two measured scenarios.
@@ -67,11 +69,14 @@ pub struct EngineConfig {
     /// `max(check_interval, batch)` — the batch refill subsumes the §4.4
     /// sweep, which is why the sweep found no impact.
     pub check_interval: u32,
-    /// Candidates per batch refill: masks are streamed, derived and
-    /// prescreened `batch` at a time so the multi-lane hash kernels stay
-    /// full and the stop-flag/deadline polls are paid once per batch.
-    /// 1 reproduces the pre-batching scalar engine; default 64.
-    pub batch: usize,
+    /// Batch-sizing policy: masks are streamed, derived and prescreened
+    /// `batch` candidates at a time so the SIMD hash kernels stay full
+    /// and the stop-flag/deadline polls are paid once per batch. The
+    /// default [`BatchPolicy::Adaptive`] scales the size to search
+    /// difficulty (the per-thread `C(256, d)/p` span and the measured
+    /// poll cost — see [`crate::batch`]); [`BatchPolicy::Fixed`] pins it,
+    /// and `Fixed(1)` reproduces the pre-batching scalar engine.
+    pub batch: BatchPolicy,
     /// Authentication time threshold `T` (the paper uses 20 s). `None`
     /// disables the timeout.
     pub deadline: Option<Duration>,
@@ -84,7 +89,7 @@ impl Default for EngineConfig {
             iter: SeedIterKind::Chase,
             mode: SearchMode::EarlyExit,
             check_interval: 1,
-            batch: 64,
+            batch: BatchPolicy::default(),
             deadline: None,
         }
     }
@@ -187,8 +192,8 @@ pub struct EngineTelemetry {
     /// Batch refills executed (`rbc_engine_batches_total`).
     pub batches: Arc<Counter>,
     /// Sum of batch fills in seeds (`rbc_engine_batch_fill_seeds_total`);
-    /// divided by `batches` this is the mean fill, < [`EngineConfig::batch`]
-    /// only on each stream's final refill.
+    /// divided by `batches` this is the mean fill, below the resolved
+    /// [`EngineConfig::batch`] size only on each stream's final refill.
     pub batch_fill: Arc<Counter>,
     /// Candidates whose 64-bit digest prefix matched the target and so
     /// paid for a full derivation (`rbc_engine_prefix_hits_total`).
@@ -353,6 +358,9 @@ impl<D: Derive> SearchEngine<D> {
 
             let d_start = Instant::now();
             let streams = self.streams_for(d, threads);
+            // One policy resolution per distance: the batch size every
+            // worker at this distance uses.
+            let batch = self.cfg.batch.resolve(d, threads);
             let d_seeds = AtomicU64::new(0);
             std::thread::scope(|scope| {
                 for mut stream in streams {
@@ -364,7 +372,6 @@ impl<D: Derive> SearchEngine<D> {
                     let search_prefix_hits = &search_prefix_hits;
                     let search_prefix_false_pos = &search_prefix_false_pos;
                     let check_interval = self.cfg.check_interval.max(1);
-                    let batch = self.cfg.batch.max(1);
                     let early = self.cfg.mode == SearchMode::EarlyExit;
                     scope.spawn(move || {
                         // Per-thread buffers, reused across refills.
@@ -700,7 +707,12 @@ mod tests {
             for batch in [1usize, 7, 64, 1024] {
                 let eng = SearchEngine::new(
                     HashDerive(Sha3Fixed),
-                    EngineConfig { threads: 4, batch, mode, ..Default::default() },
+                    EngineConfig {
+                        threads: 4,
+                        batch: BatchPolicy::Fixed(batch),
+                        mode,
+                        ..Default::default()
+                    },
                 );
                 let report = eng.search(&target, &base, 2);
                 assert_eq!(
@@ -716,6 +728,43 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_policy_agrees_with_fixed_policies() {
+        // The adaptive default must change only *when* polls happen,
+        // never what is found: same outcome as every fixed size, and in
+        // exhaustive mode the same exact seed counts.
+        let base = U256::from_limbs([31, 32, 33, 34]);
+        let client = seed_at(&base, &[19, 240]);
+        let target = Sha3Fixed.digest_seed(&client);
+        for mode in [SearchMode::EarlyExit, SearchMode::Exhaustive] {
+            let adaptive = SearchEngine::new(
+                HashDerive(Sha3Fixed),
+                EngineConfig {
+                    threads: 4,
+                    batch: BatchPolicy::adaptive(),
+                    mode,
+                    ..Default::default()
+                },
+            )
+            .search(&target, &base, 2);
+            let fixed = SearchEngine::new(
+                HashDerive(Sha3Fixed),
+                EngineConfig {
+                    threads: 4,
+                    batch: BatchPolicy::Fixed(64),
+                    mode,
+                    ..Default::default()
+                },
+            )
+            .search(&target, &base, 2);
+            assert_eq!(adaptive.outcome, fixed.outcome, "{mode:?}");
+            assert_eq!(adaptive.outcome, Outcome::Found { seed: client, distance: 2 });
+            if mode == SearchMode::Exhaustive {
+                assert_eq!(adaptive.seeds_derived, 1 + 256 + 32_640);
+            }
+        }
+    }
+
+    #[test]
     fn full_compare_path_without_prefix_support() {
         // CipherDerive has no prefix64 path: the engine must take the
         // derive_batch full-compare branch and still find the seed.
@@ -726,7 +775,7 @@ mod tests {
         let target = SeedCipher::derive(&AesResponse, &client);
         let eng = SearchEngine::new(
             CipherDerive(AesResponse),
-            EngineConfig { threads: 2, batch: 16, ..Default::default() },
+            EngineConfig { threads: 2, batch: BatchPolicy::Fixed(16), ..Default::default() },
         );
         let report = eng.search(&target, &base, 1);
         assert_eq!(report.outcome, Outcome::Found { seed: client, distance: 1 });

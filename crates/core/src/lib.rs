@@ -61,6 +61,7 @@
 
 pub mod attack;
 pub mod backend;
+pub mod batch;
 pub mod ca;
 pub mod chaos;
 pub mod cluster;
@@ -79,6 +80,7 @@ pub mod weighted;
 pub use backend::{
     BackendDescriptor, ClusterBackend, CpuBackend, ProfiledBackend, SearchBackend, SearchJob,
 };
+pub use batch::{AdaptiveBatch, BatchPolicy};
 pub use ca::{CaConfig, CaTelemetry, CertificateAuthority, PendingAuth, RegistrationAuthority};
 pub use chaos::{ChaosBackend, Fault, FaultPlan};
 pub use cluster::{cluster_search, ClusterConfig, ClusterReport};

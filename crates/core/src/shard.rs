@@ -158,23 +158,28 @@ pub fn run_shard<D: Derive>(
     checkpoint_interval: u64,
     sink: &dyn CheckpointSink,
 ) -> ShardReport {
-    const BATCH: usize = 64;
+    // Adaptive sizing on the shard's own span: a near-exhausted resume
+    // point (or a d=1 shard) sweeps in one small refill instead of
+    // allocating max-width buffers, while large shards amortize the
+    // deadline checks with full-width batches — same policy as the
+    // engine hot loop (see `crate::batch`).
+    let batch = crate::batch::BatchPolicy::default().resolve_for_span(spec.count);
     let start = Instant::now();
     let give_up = deadline.map(|t| start + t);
     let interval = checkpoint_interval.max(1);
     let target_prefix = derive.prefix64(target);
 
     let mut stream = ChaseStream::from_snapshot(spec.state.clone(), spec.count);
-    let mut masks: Vec<U256> = Vec::with_capacity(BATCH);
-    let mut seeds: Vec<U256> = Vec::with_capacity(BATCH);
-    let mut outs: Vec<D::Out> = Vec::with_capacity(BATCH);
-    let mut prefixes: Vec<u64> = Vec::with_capacity(BATCH);
+    let mut masks: Vec<U256> = Vec::with_capacity(batch);
+    let mut seeds: Vec<U256> = Vec::with_capacity(batch);
+    let mut outs: Vec<D::Out> = Vec::with_capacity(batch);
+    let mut prefixes: Vec<u64> = Vec::with_capacity(batch);
     let mut swept = 0u64;
     let mut since_cp = 0u64;
 
     loop {
         masks.clear();
-        while masks.len() < BATCH {
+        while masks.len() < batch {
             match stream.next_mask() {
                 Some(m) => masks.push(m),
                 None => break,

@@ -14,6 +14,14 @@
 //! x86-64 an `[u32; 8]` lane group is exactly one AVX2 register). No
 //! intrinsics, no `unsafe`: plain arrays and `wrapping_add`/`rotate_left`.
 //!
+//! The autovectorization payoff depends entirely on codegen flags: under
+//! the stock x86-64 baseline (SSE2) every width here measures at or
+//! below the scalar path, so [`crate::dispatch`] selects none of these
+//! kernels — its portable tier drains batches scalar, and the explicit
+//! `std::arch` kernels ([`crate::lanes_avx2`], [`crate::lanes_avx512`])
+//! carry the SIMD win instead. The interleaves remain public and
+//! identity-tested for targets that measure differently.
+//!
 //! Two output flavors are provided per algorithm:
 //!
 //! * full digests (`*_x4` / `*_x8` / `*_x2`), bit-identical to the scalar
@@ -35,8 +43,9 @@ use crate::sha3::Sha3_256Digest;
 use rbc_bits::U256;
 
 /// SHA-1 initialization vector (FIPS 180-4 §5.3.1); duplicated from the
-/// scalar module, which keeps it private.
-const SHA1_H0: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
+/// scalar module, which keeps it private. Shared with the explicit SIMD
+/// kernels ([`crate::lanes_avx2`], [`crate::lanes_avx512`]).
+pub(crate) const SHA1_H0: [u32; 5] = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0];
 
 // ---------------------------------------------------------------------------
 // SHA-1, N-way
@@ -150,9 +159,10 @@ pub fn sha1_prefix64_of(d: &Sha1Digest) -> u64 {
 /// Converts SHA-1 output words `h0`, `h1` to the digest's 64-bit prefix
 /// without materializing digest bytes. Digest bytes 0..4 are `h0`
 /// big-endian and 4..8 are `h1` big-endian, so the little-endian `u64`
-/// over them is `bswap(h0) | bswap(h1) << 32`.
+/// over them is `bswap(h0) | bswap(h1) << 32`. Shared with the explicit
+/// SIMD kernels.
 #[inline]
-fn sha1_prefix64_from_words(h0: u32, h1: u32) -> u64 {
+pub(crate) fn sha1_prefix64_from_words(h0: u32, h1: u32) -> u64 {
     (h0.swap_bytes() as u64) | ((h1.swap_bytes() as u64) << 32)
 }
 
@@ -289,6 +299,18 @@ pub fn sha3_256_fixed32_xn<const N: usize>(seeds: &[U256; N]) -> [Sha3_256Digest
 }
 
 /// Two-way interleaved SHA3-256 fixed-input hashing.
+///
+/// **Measured slower than scalar (0.42–0.45x under `target-cpu=native`
+/// codegen, ~0.85–0.90x under the stock x86-64 baseline) and therefore
+/// excluded from [`crate::dispatch`]'s kernel plan.** Two interleaved
+/// 25-word
+/// Keccak states are 50 live `u64`s before θ/ρπ temporaries — far past
+/// the 16 general-purpose registers, so every lane access round-trips
+/// through spill slots; and when the pair *is* autovectorized into a
+/// 128-bit register, each 64-bit rotate costs shift+shift+or where the
+/// scalar path pays one `rol`. The function is kept (and still tested
+/// bit-identical) as the measured counterexample `repro hash-lanes`
+/// reports — see BENCH_hash_lanes.json's `"selected": false` rows.
 #[inline]
 pub fn sha3_256_fixed32_x2(seeds: &[U256; 2]) -> [Sha3_256Digest; 2] {
     sha3_256_fixed32_xn(seeds)

@@ -1,0 +1,348 @@
+//! AVX2 lane kernels: 8-wide SHA-1 and 4-wide Keccak-f\[1600\].
+//!
+//! Unlike [`crate::lanes`], which interleaves scalar state and hopes the
+//! autovectorizer maps lane arrays onto vector registers, these kernels
+//! hold every state word in a `__m256i` directly: eight 32-bit SHA-1 lanes
+//! or four 64-bit Keccak lanes per register, with explicit `std::arch`
+//! intrinsics for every round operation. Codegen is therefore identical
+//! regardless of `-C target-cpu`; the only requirement is that the host
+//! executes AVX2, which callers must establish first (see [`available`]).
+//!
+//! The kernels are bit-identical to the scalar fixed-input paths
+//! ([`crate::sha1::sha1_fixed32`], [`crate::sha3::sha3_256_fixed32`]);
+//! `tests/simd_identity.rs` proves it by property test. Entry points are
+//! safe wrappers that assert AVX2 at runtime (a cached flag test, noise
+//! next to 80 hash rounds) — [`crate::dispatch`] is the intended caller
+//! and only selects this module on AVX2 hosts.
+
+#![allow(unsafe_code)]
+
+use crate::keccak::{RC, RHO};
+use crate::lanes::SHA1_H0;
+use crate::sha1::{Sha1Digest, DIGEST_LEN as SHA1_DIGEST_LEN};
+use crate::sha3::Sha3_256Digest;
+use core::arch::x86_64::*;
+use rbc_bits::U256;
+
+/// Whether this module's kernels may run on the current host (cached CPUID
+/// probe for AVX2).
+#[inline]
+pub fn available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+#[inline]
+fn to_u32x8(v: __m256i) -> [u32; 8] {
+    // SAFETY: __m256i and [u32; 8] are both 32 plain bytes; every bit
+    // pattern is valid for both.
+    unsafe { core::mem::transmute(v) }
+}
+
+#[inline]
+fn from_u32x8(v: [u32; 8]) -> __m256i {
+    // SAFETY: as in `to_u32x8`.
+    unsafe { core::mem::transmute(v) }
+}
+
+#[inline]
+fn to_u64x4(v: __m256i) -> [u64; 4] {
+    // SAFETY: __m256i and [u64; 4] are both 32 plain bytes; every bit
+    // pattern is valid for both.
+    unsafe { core::mem::transmute(v) }
+}
+
+#[inline]
+fn from_u64x4(v: [u64; 4]) -> __m256i {
+    // SAFETY: as in `to_u64x4`.
+    unsafe { core::mem::transmute(v) }
+}
+
+/// Rotate each 32-bit lane left by a constant (AVX2 has no 32-bit rotate;
+/// shift-shift-or is the canonical two-µop form).
+macro_rules! rotl32 {
+    ($v:expr, $r:literal) => {
+        _mm256_or_si256(_mm256_slli_epi32::<$r>($v), _mm256_srli_epi32::<{ 32 - $r }>($v))
+    };
+}
+
+// ---------------------------------------------------------------------------
+// SHA-1, 8-wide
+// ---------------------------------------------------------------------------
+
+/// SHA-1 fixed-32-byte compression over 8 lanes; returns `[h0..h4]` as
+/// vectors of one output word across all lanes.
+#[target_feature(enable = "avx2")]
+unsafe fn sha1_words_x8(seeds: &[U256; 8]) -> [__m256i; 5] {
+    // Transpose the 16-word message blocks into lane-major vectors. The
+    // fixed-input schedule is mostly constant: words 0..8 are the seed
+    // bytes (big-endian words of the little-endian seed serialization),
+    // word 8 is the pad bit, word 15 the 256-bit length.
+    let mut head = [[0u32; 8]; 16];
+    for (lane, seed) in seeds.iter().enumerate() {
+        let limbs = seed.limbs();
+        for i in 0..8 {
+            head[i][lane] = ((limbs[i / 2] >> (32 * (i % 2))) as u32).swap_bytes();
+        }
+        head[8][lane] = 0x8000_0000;
+        head[15][lane] = 256;
+    }
+    let mut w = [_mm256_setzero_si256(); 80];
+    for i in 0..16 {
+        w[i] = from_u32x8(head[i]);
+    }
+    for i in 16..80 {
+        let x = _mm256_xor_si256(
+            _mm256_xor_si256(w[i - 3], w[i - 8]),
+            _mm256_xor_si256(w[i - 14], w[i - 16]),
+        );
+        w[i] = rotl32!(x, 1);
+    }
+
+    let mut a = _mm256_set1_epi32(SHA1_H0[0] as i32);
+    let mut b = _mm256_set1_epi32(SHA1_H0[1] as i32);
+    let mut c = _mm256_set1_epi32(SHA1_H0[2] as i32);
+    let mut d = _mm256_set1_epi32(SHA1_H0[3] as i32);
+    let mut e = _mm256_set1_epi32(SHA1_H0[4] as i32);
+
+    macro_rules! quarter {
+        ($range:expr, $f:expr, $k:literal) => {
+            let k = _mm256_set1_epi32($k as u32 as i32);
+            for i in $range {
+                let f: __m256i = $f(b, c, d);
+                let tmp = _mm256_add_epi32(
+                    _mm256_add_epi32(rotl32!(a, 5), f),
+                    _mm256_add_epi32(_mm256_add_epi32(e, k), w[i]),
+                );
+                e = d;
+                d = c;
+                c = rotl32!(b, 30);
+                b = a;
+                a = tmp;
+            }
+        };
+    }
+
+    // ch(b,c,d) = (b & c) | (!b & d), computed as d ^ (b & (c ^ d)).
+    quarter!(
+        0..20,
+        |b, c, d| _mm256_xor_si256(d, _mm256_and_si256(b, _mm256_xor_si256(c, d))),
+        0x5A82_7999
+    );
+    quarter!(20..40, |b, c, d| _mm256_xor_si256(_mm256_xor_si256(b, c), d), 0x6ED9_EBA1);
+    // maj(b,c,d) = (b & c) | (d & (b | c)).
+    quarter!(
+        40..60,
+        |b, c, d| _mm256_or_si256(
+            _mm256_and_si256(b, c),
+            _mm256_and_si256(d, _mm256_or_si256(b, c))
+        ),
+        0x8F1B_BCDC
+    );
+    quarter!(60..80, |b, c, d| _mm256_xor_si256(_mm256_xor_si256(b, c), d), 0xCA62_C1D6);
+
+    [
+        _mm256_add_epi32(a, _mm256_set1_epi32(SHA1_H0[0] as i32)),
+        _mm256_add_epi32(b, _mm256_set1_epi32(SHA1_H0[1] as i32)),
+        _mm256_add_epi32(c, _mm256_set1_epi32(SHA1_H0[2] as i32)),
+        _mm256_add_epi32(d, _mm256_set1_epi32(SHA1_H0[3] as i32)),
+        _mm256_add_epi32(e, _mm256_set1_epi32(SHA1_H0[4] as i32)),
+    ]
+}
+
+/// Hashes 8 seeds with the SHA-1 fixed-input path on AVX2 vectors.
+/// Bit-identical to [`crate::sha1::sha1_fixed32`] per lane.
+///
+/// Panics if the host lacks AVX2.
+pub fn sha1_fixed32_x8(seeds: &[U256; 8]) -> [Sha1Digest; 8] {
+    assert!(available(), "AVX2 kernel invoked on a host without AVX2");
+    // SAFETY: AVX2 support was just asserted.
+    let h = unsafe { sha1_words_x8(seeds) };
+    let words: [[u32; 8]; 5] =
+        [to_u32x8(h[0]), to_u32x8(h[1]), to_u32x8(h[2]), to_u32x8(h[3]), to_u32x8(h[4])];
+    let mut out = [[0u8; SHA1_DIGEST_LEN]; 8];
+    for lane in 0..8 {
+        for i in 0..5 {
+            out[lane][i * 4..(i + 1) * 4].copy_from_slice(&words[i][lane].to_be_bytes());
+        }
+    }
+    out
+}
+
+/// 64-bit digest prefixes of 8 seeds under SHA-1, on AVX2 vectors.
+///
+/// Panics if the host lacks AVX2.
+pub fn sha1_fixed32_prefix64_x8(seeds: &[U256; 8]) -> [u64; 8] {
+    assert!(available(), "AVX2 kernel invoked on a host without AVX2");
+    // SAFETY: AVX2 support was just asserted.
+    let h = unsafe { sha1_words_x8(seeds) };
+    let (h0, h1) = (to_u32x8(h[0]), to_u32x8(h[1]));
+    let mut out = [0u64; 8];
+    for lane in 0..8 {
+        out[lane] = crate::lanes::sha1_prefix64_from_words(h0[lane], h1[lane]);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// SHA3-256, 4-wide
+// ---------------------------------------------------------------------------
+
+/// Rotate each 64-bit lane left by `r` (0..=63). AVX2 has no 64-bit
+/// rotate either, and ρ's 25 distinct counts would need 25 monomorphized
+/// constants — the variable-shift pair is one µop each on every AVX2 core
+/// and handles `r = 0` for free (`srlv` by 64 yields 0).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn rotl64v(v: __m256i, r: u32) -> __m256i {
+    let left = _mm256_sllv_epi64(v, _mm256_set1_epi64x(r as i64));
+    let right = _mm256_srlv_epi64(v, _mm256_set1_epi64x(64 - r as i64));
+    _mm256_or_si256(left, right)
+}
+
+/// Keccak-f[1600] over 4 interleaved states, one `__m256i` per lane
+/// position. Mirrors [`crate::keccak::round`] step for step.
+#[target_feature(enable = "avx2")]
+unsafe fn keccak_f1600_x4(a: &mut [__m256i; 25]) {
+    for rc in RC {
+        // θ: column parities and mixing.
+        let mut c = [_mm256_setzero_si256(); 5];
+        for x in 0..5 {
+            c[x] = _mm256_xor_si256(
+                _mm256_xor_si256(a[x], a[x + 5]),
+                _mm256_xor_si256(_mm256_xor_si256(a[x + 10], a[x + 15]), a[x + 20]),
+            );
+        }
+        let mut d = [_mm256_setzero_si256(); 5];
+        for x in 0..5 {
+            d[x] = _mm256_xor_si256(c[(x + 4) % 5], rotl64v(c[(x + 1) % 5], 1));
+        }
+        for x in 0..5 {
+            for y in 0..5 {
+                a[x + 5 * y] = _mm256_xor_si256(a[x + 5 * y], d[x]);
+            }
+        }
+
+        // ρ and π combined: b[y, 2x+3y] = rot(a[x, y]).
+        let mut b = [_mm256_setzero_si256(); 25];
+        for x in 0..5 {
+            for y in 0..5 {
+                let src = x + 5 * y;
+                let dst = y + 5 * ((2 * x + 3 * y) % 5);
+                b[dst] = rotl64v(a[src], RHO[src]);
+            }
+        }
+
+        // χ: a = b ^ (!b_next & b_next2), rowwise.
+        for x in 0..5 {
+            for y in 0..5 {
+                a[x + 5 * y] = _mm256_xor_si256(
+                    b[x + 5 * y],
+                    _mm256_andnot_si256(b[(x + 1) % 5 + 5 * y], b[(x + 2) % 5 + 5 * y]),
+                );
+            }
+        }
+
+        // ι.
+        a[0] = _mm256_xor_si256(a[0], _mm256_set1_epi64x(rc as i64));
+    }
+}
+
+/// Runs the SHA3-256 fixed-32-byte sponge on 4 seeds, returning the first
+/// four state lanes (the digest words) per message lane.
+#[target_feature(enable = "avx2")]
+unsafe fn sha3_256_state_x4(seeds: &[U256; 4]) -> [[u64; 4]; 4] {
+    let mut state = [_mm256_setzero_si256(); 25];
+    for (i, slot) in state.iter_mut().take(4).enumerate() {
+        *slot = from_u64x4([
+            seeds[0].limbs()[i],
+            seeds[1].limbs()[i],
+            seeds[2].limbs()[i],
+            seeds[3].limbs()[i],
+        ]);
+    }
+    state[4] = _mm256_set1_epi64x(0x06); // domain separation + pad start at byte 32
+    state[16] = _mm256_set1_epi64x(0x8000_0000_0000_0000_u64 as i64); // pad end at byte 135
+    keccak_f1600_x4(&mut state);
+    let mut out = [[0u64; 4]; 4];
+    for i in 0..4 {
+        let lanes = to_u64x4(state[i]);
+        for lane in 0..4 {
+            out[lane][i] = lanes[lane];
+        }
+    }
+    out
+}
+
+/// Hashes 4 seeds with the SHA3-256 fixed-input path on AVX2 vectors.
+/// Bit-identical to [`crate::sha3::sha3_256_fixed32`] per lane.
+///
+/// Panics if the host lacks AVX2.
+pub fn sha3_256_fixed32_x4(seeds: &[U256; 4]) -> [Sha3_256Digest; 4] {
+    assert!(available(), "AVX2 kernel invoked on a host without AVX2");
+    // SAFETY: AVX2 support was just asserted.
+    let states = unsafe { sha3_256_state_x4(seeds) };
+    let mut out = [[0u8; 32]; 4];
+    for lane in 0..4 {
+        for i in 0..4 {
+            out[lane][i * 8..(i + 1) * 8].copy_from_slice(&states[lane][i].to_le_bytes());
+        }
+    }
+    out
+}
+
+/// 64-bit digest prefixes of 4 seeds under SHA3-256, on AVX2 vectors (the
+/// prefix is exactly the sponge's first output lane).
+///
+/// Panics if the host lacks AVX2.
+pub fn sha3_256_fixed32_prefix64_x4(seeds: &[U256; 4]) -> [u64; 4] {
+    assert!(available(), "AVX2 kernel invoked on a host without AVX2");
+    // SAFETY: AVX2 support was just asserted.
+    let states = unsafe { sha3_256_state_x4(seeds) };
+    [states[0][0], states[1][0], states[2][0], states[3][0]]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha1::sha1_fixed32;
+    use crate::sha3::sha3_256_fixed32;
+
+    fn seeds<const N: usize>() -> [U256; N] {
+        let mut x = 0x0123_4567_89AB_CDEFu64;
+        let mut next = move || {
+            x = x.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(0x9E37);
+            x
+        };
+        core::array::from_fn(|_| U256::from_limbs([next(), next(), next(), next()]))
+    }
+
+    #[test]
+    fn sha1_x8_matches_scalar() {
+        if !available() {
+            return;
+        }
+        let s = seeds::<8>();
+        let got = sha1_fixed32_x8(&s);
+        let prefixes = sha1_fixed32_prefix64_x8(&s);
+        for (i, seed) in s.iter().enumerate() {
+            let want = sha1_fixed32(seed);
+            assert_eq!(got[i], want, "lane {i}");
+            assert_eq!(prefixes[i], crate::lanes::sha1_prefix64_of(&want), "prefix lane {i}");
+        }
+    }
+
+    #[test]
+    fn sha3_x4_matches_scalar() {
+        if !available() {
+            return;
+        }
+        let s = seeds::<4>();
+        let got = sha3_256_fixed32_x4(&s);
+        let prefixes = sha3_256_fixed32_prefix64_x4(&s);
+        for (i, seed) in s.iter().enumerate() {
+            let want = sha3_256_fixed32(seed);
+            assert_eq!(got[i], want, "lane {i}");
+            assert_eq!(prefixes[i], crate::lanes::sha3_256_prefix64_of(&want), "prefix lane {i}");
+        }
+    }
+}

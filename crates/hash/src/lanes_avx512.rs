@@ -1,0 +1,327 @@
+//! AVX-512 lane kernels: 16-wide SHA-1 and 8-wide Keccak-f\[1600\].
+//!
+//! Same structure as [`crate::lanes_avx2`], doubled in width and leaning
+//! on two AVX-512F-only instructions that matter enormously for hash
+//! rounds:
+//!
+//! * `vprold` / `vprolvq` — native rotates, collapsing the AVX2
+//!   shift-shift-or triple to one µop per rotate (SHA-1 has 2 rotates per
+//!   round, Keccak 29 per permutation round), and
+//! * `vpternlogd` / `vpternlogq` — arbitrary three-input boolean
+//!   functions, collapsing SHA-1's ch/maj (3–4 logic ops) and Keccak's
+//!   θ-xor and χ (xor + andnot + xor) to single instructions.
+//!
+//! Everything here requires only the AVX-512 *F*oundation subset, present
+//! on every AVX-512 CPU. Entry points are safe wrappers that assert
+//! support at runtime; [`crate::dispatch`] is the intended caller.
+
+#![allow(unsafe_code)]
+
+use crate::keccak::{RC, RHO};
+use crate::lanes::SHA1_H0;
+use crate::sha1::{Sha1Digest, DIGEST_LEN as SHA1_DIGEST_LEN};
+use crate::sha3::Sha3_256Digest;
+use core::arch::x86_64::*;
+use rbc_bits::U256;
+
+/// Whether this module's kernels may run on the current host (cached CPUID
+/// probe for AVX-512F).
+#[inline]
+pub fn available() -> bool {
+    std::arch::is_x86_feature_detected!("avx512f")
+}
+
+#[inline]
+fn to_u32x16(v: __m512i) -> [u32; 16] {
+    // SAFETY: __m512i and [u32; 16] are both 64 plain bytes; every bit
+    // pattern is valid for both.
+    unsafe { core::mem::transmute(v) }
+}
+
+#[inline]
+fn from_u32x16(v: [u32; 16]) -> __m512i {
+    // SAFETY: as in `to_u32x16`.
+    unsafe { core::mem::transmute(v) }
+}
+
+#[inline]
+fn to_u64x8(v: __m512i) -> [u64; 8] {
+    // SAFETY: __m512i and [u64; 8] are both 64 plain bytes; every bit
+    // pattern is valid for both.
+    unsafe { core::mem::transmute(v) }
+}
+
+#[inline]
+fn from_u64x8(v: [u64; 8]) -> __m512i {
+    // SAFETY: as in `to_u64x8`.
+    unsafe { core::mem::transmute(v) }
+}
+
+// vpternlogd truth-table immediates: output bit = imm[a<<2 | b<<1 | c].
+/// `ch(a,b,c) = (a & b) | (!a & c)` — SHA-1 rounds 0..20.
+const TL_CH: i32 = 0xCA;
+/// `a ^ b ^ c` — SHA-1 parity rounds and Keccak θ column xors.
+const TL_XOR3: i32 = 0x96;
+/// `maj(a,b,c) = (a & b) | (a & c) | (b & c)` — SHA-1 rounds 40..60.
+const TL_MAJ: i32 = 0xE8;
+/// `a ^ (!b & c)` — Keccak χ.
+const TL_CHI: i32 = 0xD2;
+
+// ---------------------------------------------------------------------------
+// SHA-1, 16-wide
+// ---------------------------------------------------------------------------
+
+/// SHA-1 fixed-32-byte compression over 16 lanes; returns `[h0..h4]` as
+/// vectors of one output word across all lanes.
+#[target_feature(enable = "avx512f")]
+unsafe fn sha1_words_x16(seeds: &[U256; 16]) -> [__m512i; 5] {
+    let mut head = [[0u32; 16]; 16];
+    for (lane, seed) in seeds.iter().enumerate() {
+        let limbs = seed.limbs();
+        for i in 0..8 {
+            head[i][lane] = ((limbs[i / 2] >> (32 * (i % 2))) as u32).swap_bytes();
+        }
+        head[8][lane] = 0x8000_0000;
+        head[15][lane] = 256;
+    }
+    let mut w = [_mm512_setzero_si512(); 80];
+    for i in 0..16 {
+        w[i] = from_u32x16(head[i]);
+    }
+    for i in 16..80 {
+        let x = _mm512_ternarylogic_epi32::<TL_XOR3>(
+            w[i - 3],
+            w[i - 8],
+            _mm512_xor_si512(w[i - 14], w[i - 16]),
+        );
+        w[i] = _mm512_rol_epi32::<1>(x);
+    }
+
+    let mut a = _mm512_set1_epi32(SHA1_H0[0] as i32);
+    let mut b = _mm512_set1_epi32(SHA1_H0[1] as i32);
+    let mut c = _mm512_set1_epi32(SHA1_H0[2] as i32);
+    let mut d = _mm512_set1_epi32(SHA1_H0[3] as i32);
+    let mut e = _mm512_set1_epi32(SHA1_H0[4] as i32);
+
+    macro_rules! quarter {
+        ($range:expr, $tl:expr, $k:literal) => {
+            let k = _mm512_set1_epi32($k as u32 as i32);
+            for i in $range {
+                let f = _mm512_ternarylogic_epi32::<$tl>(b, c, d);
+                let tmp = _mm512_add_epi32(
+                    _mm512_add_epi32(_mm512_rol_epi32::<5>(a), f),
+                    _mm512_add_epi32(_mm512_add_epi32(e, k), w[i]),
+                );
+                e = d;
+                d = c;
+                c = _mm512_rol_epi32::<30>(b);
+                b = a;
+                a = tmp;
+            }
+        };
+    }
+
+    quarter!(0..20, TL_CH, 0x5A82_7999);
+    quarter!(20..40, TL_XOR3, 0x6ED9_EBA1);
+    quarter!(40..60, TL_MAJ, 0x8F1B_BCDC);
+    quarter!(60..80, TL_XOR3, 0xCA62_C1D6);
+
+    [
+        _mm512_add_epi32(a, _mm512_set1_epi32(SHA1_H0[0] as i32)),
+        _mm512_add_epi32(b, _mm512_set1_epi32(SHA1_H0[1] as i32)),
+        _mm512_add_epi32(c, _mm512_set1_epi32(SHA1_H0[2] as i32)),
+        _mm512_add_epi32(d, _mm512_set1_epi32(SHA1_H0[3] as i32)),
+        _mm512_add_epi32(e, _mm512_set1_epi32(SHA1_H0[4] as i32)),
+    ]
+}
+
+/// Hashes 16 seeds with the SHA-1 fixed-input path on AVX-512 vectors.
+/// Bit-identical to [`crate::sha1::sha1_fixed32`] per lane.
+///
+/// Panics if the host lacks AVX-512F.
+pub fn sha1_fixed32_x16(seeds: &[U256; 16]) -> [Sha1Digest; 16] {
+    assert!(available(), "AVX-512 kernel invoked on a host without AVX-512F");
+    // SAFETY: AVX-512F support was just asserted.
+    let h = unsafe { sha1_words_x16(seeds) };
+    let words: [[u32; 16]; 5] =
+        [to_u32x16(h[0]), to_u32x16(h[1]), to_u32x16(h[2]), to_u32x16(h[3]), to_u32x16(h[4])];
+    let mut out = [[0u8; SHA1_DIGEST_LEN]; 16];
+    for lane in 0..16 {
+        for i in 0..5 {
+            out[lane][i * 4..(i + 1) * 4].copy_from_slice(&words[i][lane].to_be_bytes());
+        }
+    }
+    out
+}
+
+/// 64-bit digest prefixes of 16 seeds under SHA-1, on AVX-512 vectors.
+///
+/// Panics if the host lacks AVX-512F.
+pub fn sha1_fixed32_prefix64_x16(seeds: &[U256; 16]) -> [u64; 16] {
+    assert!(available(), "AVX-512 kernel invoked on a host without AVX-512F");
+    // SAFETY: AVX-512F support was just asserted.
+    let h = unsafe { sha1_words_x16(seeds) };
+    let (h0, h1) = (to_u32x16(h[0]), to_u32x16(h[1]));
+    let mut out = [0u64; 16];
+    for lane in 0..16 {
+        out[lane] = crate::lanes::sha1_prefix64_from_words(h0[lane], h1[lane]);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// SHA3-256, 8-wide
+// ---------------------------------------------------------------------------
+
+/// Keccak-f[1600] over 8 interleaved states, one `__m512i` per lane
+/// position. Mirrors [`crate::keccak::round`] step for step, with native
+/// rotates (`vprolvq`) and fused χ (`vpternlogq`).
+#[target_feature(enable = "avx512f")]
+unsafe fn keccak_f1600_x8(a: &mut [__m512i; 25]) {
+    for rc in RC {
+        // θ.
+        let mut c = [_mm512_setzero_si512(); 5];
+        for x in 0..5 {
+            c[x] = _mm512_ternarylogic_epi64::<TL_XOR3>(
+                _mm512_ternarylogic_epi64::<TL_XOR3>(a[x], a[x + 5], a[x + 10]),
+                a[x + 15],
+                a[x + 20],
+            );
+        }
+        let mut d = [_mm512_setzero_si512(); 5];
+        for x in 0..5 {
+            d[x] = _mm512_xor_si512(c[(x + 4) % 5], _mm512_rol_epi64::<1>(c[(x + 1) % 5]));
+        }
+        for x in 0..5 {
+            for y in 0..5 {
+                a[x + 5 * y] = _mm512_xor_si512(a[x + 5 * y], d[x]);
+            }
+        }
+
+        // ρ and π combined: b[y, 2x+3y] = rot(a[x, y]).
+        let mut b = [_mm512_setzero_si512(); 25];
+        for x in 0..5 {
+            for y in 0..5 {
+                let src = x + 5 * y;
+                let dst = y + 5 * ((2 * x + 3 * y) % 5);
+                b[dst] = _mm512_rolv_epi64(a[src], _mm512_set1_epi64(RHO[src] as i64));
+            }
+        }
+
+        // χ, one vpternlogq per position.
+        for x in 0..5 {
+            for y in 0..5 {
+                a[x + 5 * y] = _mm512_ternarylogic_epi64::<TL_CHI>(
+                    b[x + 5 * y],
+                    b[(x + 1) % 5 + 5 * y],
+                    b[(x + 2) % 5 + 5 * y],
+                );
+            }
+        }
+
+        // ι.
+        a[0] = _mm512_xor_si512(a[0], _mm512_set1_epi64(rc as i64));
+    }
+}
+
+/// Runs the SHA3-256 fixed-32-byte sponge on 8 seeds, returning the first
+/// four state lanes (the digest words) per message lane.
+#[target_feature(enable = "avx512f")]
+unsafe fn sha3_256_state_x8(seeds: &[U256; 8]) -> [[u64; 4]; 8] {
+    let mut state = [_mm512_setzero_si512(); 25];
+    for (i, slot) in state.iter_mut().take(4).enumerate() {
+        let mut lanes = [0u64; 8];
+        for (lane, seed) in seeds.iter().enumerate() {
+            lanes[lane] = seed.limbs()[i];
+        }
+        *slot = from_u64x8(lanes);
+    }
+    state[4] = _mm512_set1_epi64(0x06); // domain separation + pad start at byte 32
+    state[16] = _mm512_set1_epi64(0x8000_0000_0000_0000_u64 as i64); // pad end at byte 135
+    keccak_f1600_x8(&mut state);
+    let mut out = [[0u64; 4]; 8];
+    for i in 0..4 {
+        let lanes = to_u64x8(state[i]);
+        for lane in 0..8 {
+            out[lane][i] = lanes[lane];
+        }
+    }
+    out
+}
+
+/// Hashes 8 seeds with the SHA3-256 fixed-input path on AVX-512 vectors.
+/// Bit-identical to [`crate::sha3::sha3_256_fixed32`] per lane.
+///
+/// Panics if the host lacks AVX-512F.
+pub fn sha3_256_fixed32_x8(seeds: &[U256; 8]) -> [Sha3_256Digest; 8] {
+    assert!(available(), "AVX-512 kernel invoked on a host without AVX-512F");
+    // SAFETY: AVX-512F support was just asserted.
+    let states = unsafe { sha3_256_state_x8(seeds) };
+    let mut out = [[0u8; 32]; 8];
+    for lane in 0..8 {
+        for i in 0..4 {
+            out[lane][i * 8..(i + 1) * 8].copy_from_slice(&states[lane][i].to_le_bytes());
+        }
+    }
+    out
+}
+
+/// 64-bit digest prefixes of 8 seeds under SHA3-256, on AVX-512 vectors.
+///
+/// Panics if the host lacks AVX-512F.
+pub fn sha3_256_fixed32_prefix64_x8(seeds: &[U256; 8]) -> [u64; 8] {
+    assert!(available(), "AVX-512 kernel invoked on a host without AVX-512F");
+    // SAFETY: AVX-512F support was just asserted.
+    let states = unsafe { sha3_256_state_x8(seeds) };
+    let mut out = [0u64; 8];
+    for lane in 0..8 {
+        out[lane] = states[lane][0];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha1::sha1_fixed32;
+    use crate::sha3::sha3_256_fixed32;
+
+    fn seeds<const N: usize>() -> [U256; N] {
+        let mut x = 0xFEDC_BA98_7654_3210u64;
+        let mut next = move || {
+            x = x.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(0xB5);
+            x
+        };
+        core::array::from_fn(|_| U256::from_limbs([next(), next(), next(), next()]))
+    }
+
+    #[test]
+    fn sha1_x16_matches_scalar() {
+        if !available() {
+            return;
+        }
+        let s = seeds::<16>();
+        let got = sha1_fixed32_x16(&s);
+        let prefixes = sha1_fixed32_prefix64_x16(&s);
+        for (i, seed) in s.iter().enumerate() {
+            let want = sha1_fixed32(seed);
+            assert_eq!(got[i], want, "lane {i}");
+            assert_eq!(prefixes[i], crate::lanes::sha1_prefix64_of(&want), "prefix lane {i}");
+        }
+    }
+
+    #[test]
+    fn sha3_x8_matches_scalar() {
+        if !available() {
+            return;
+        }
+        let s = seeds::<8>();
+        let got = sha3_256_fixed32_x8(&s);
+        let prefixes = sha3_256_fixed32_prefix64_x8(&s);
+        for (i, seed) in s.iter().enumerate() {
+            let want = sha3_256_fixed32(seed);
+            assert_eq!(got[i], want, "lane {i}");
+            assert_eq!(prefixes[i], crate::lanes::sha3_256_prefix64_of(&want), "prefix lane {i}");
+        }
+    }
+}

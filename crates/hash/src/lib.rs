@@ -20,13 +20,29 @@
 //! The [`SeedHash`] trait is the sole interface the search engines see —
 //! this is what makes RBC-SALTED *algorithm-agnostic*: swapping SHA-1 for
 //! SHA-3 (or a future hash) never touches the search logic.
+//!
+//! Batched hashing is **runtime-dispatched** over explicit SIMD kernels
+//! (see [`dispatch`]): AVX-512 (16-wide SHA-1 / 8-wide Keccak) and AVX2
+//! (8-wide / 4-wide) where the host supports them, with the portable
+//! interleaved code in [`lanes`] as the fallback everywhere else. No
+//! `-C target-cpu` build flags are required; results are bit-identical
+//! across every tier.
+//!
+//! `unsafe` is denied crate-wide and allowed only inside the two
+//! `std::arch` kernel modules ([`lanes_avx2`], [`lanes_avx512`]), whose
+//! entry points re-check CPU support before executing vector code.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dispatch;
 pub mod hmac;
 pub mod keccak;
 pub mod lanes;
+#[cfg(target_arch = "x86_64")]
+pub mod lanes_avx2;
+#[cfg(target_arch = "x86_64")]
+pub mod lanes_avx512;
 pub mod sha1;
 pub mod sha2;
 pub mod sha3;
@@ -96,32 +112,6 @@ fn prefix64_of_bytes(d: &[u8]) -> u64 {
     u64::from_le_bytes(first)
 }
 
-/// Drives a batch through a `WIDE`-lane kernel, drains what's left through
-/// the `NARROW` kernel, and finishes the tail with the scalar closure.
-#[inline]
-fn batch_via_lanes<T, const WIDE: usize, const NARROW: usize>(
-    seeds: &[U256],
-    out: &mut Vec<T>,
-    wide: impl Fn(&[U256; WIDE]) -> [T; WIDE],
-    narrow: impl Fn(&[U256; NARROW]) -> [T; NARROW],
-    scalar: impl Fn(&U256) -> T,
-) {
-    out.clear();
-    out.reserve(seeds.len());
-    let mut rest = seeds;
-    while rest.len() >= WIDE {
-        let (group, tail) = rest.split_at(WIDE);
-        out.extend(wide(group.try_into().expect("split_at yields WIDE")));
-        rest = tail;
-    }
-    while rest.len() >= NARROW {
-        let (group, tail) = rest.split_at(NARROW);
-        out.extend(narrow(group.try_into().expect("split_at yields NARROW")));
-        rest = tail;
-    }
-    out.extend(rest.iter().map(scalar));
-}
-
 /// SHA-1 with the fixed-32-byte-input fast path. This is the `SHA-1`
 /// configuration benchmarked in the paper.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -148,23 +138,11 @@ impl SeedHash for Sha1Fixed {
     }
 
     fn digest_batch(&self, seeds: &[U256], out: &mut Vec<Self::Digest>) {
-        batch_via_lanes(
-            seeds,
-            out,
-            lanes::sha1_fixed32_x8,
-            lanes::sha1_fixed32_x4,
-            sha1::sha1_fixed32,
-        );
+        dispatch::sha1_digest_batch(seeds, out);
     }
 
     fn prefix64_batch(&self, seeds: &[U256], out: &mut Vec<u64>) {
-        batch_via_lanes(
-            seeds,
-            out,
-            lanes::sha1_fixed32_prefix64_x8,
-            lanes::sha1_fixed32_prefix64_x4,
-            lanes::sha1_fixed32_prefix64,
-        );
+        dispatch::sha1_prefix64_batch(seeds, out);
     }
 }
 
@@ -215,23 +193,11 @@ impl SeedHash for Sha3Fixed {
     }
 
     fn digest_batch(&self, seeds: &[U256], out: &mut Vec<Self::Digest>) {
-        batch_via_lanes(
-            seeds,
-            out,
-            lanes::sha3_256_fixed32_x4,
-            lanes::sha3_256_fixed32_x2,
-            sha3::sha3_256_fixed32,
-        );
+        dispatch::sha3_256_digest_batch(seeds, out);
     }
 
     fn prefix64_batch(&self, seeds: &[U256], out: &mut Vec<u64>) {
-        batch_via_lanes(
-            seeds,
-            out,
-            lanes::sha3_256_fixed32_prefix64_x4,
-            lanes::sha3_256_fixed32_prefix64_x2,
-            lanes::sha3_256_fixed32_prefix64,
-        );
+        dispatch::sha3_256_prefix64_batch(seeds, out);
     }
 }
 

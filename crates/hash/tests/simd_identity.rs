@@ -1,0 +1,169 @@
+//! Property tests for the SIMD kernel family: every explicit kernel and
+//! every dispatch tier must be bit-identical to the scalar fixed-input
+//! reference — full digests and prefix64 variants, at every batch length
+//! — plus a forced-fallback test proving the portable path still runs
+//! (and still agrees) on AVX-capable hosts.
+
+use proptest::prelude::*;
+use rbc_bits::U256;
+use rbc_hash::dispatch::{self, SimdLevel};
+use rbc_hash::sha1::sha1_fixed32;
+use rbc_hash::sha3::sha3_256_fixed32;
+use rbc_hash::{lanes, SeedHash, Sha1Fixed, Sha3Fixed};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Serializes tests that touch the process-wide [`dispatch::force_level`]
+/// override, so parallel test threads can't observe each other's caps.
+fn force_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Expands one 64-bit value into `n` structure-free seeds (splitmix64).
+fn expand_seeds(entropy: u64, n: usize) -> Vec<U256> {
+    let mut x = entropy;
+    let mut next = move || {
+        x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    (0..n).map(|_| U256::from_limbs([next(), next(), next(), next()])).collect()
+}
+
+/// Scalar digests and prefix64s for both algorithms, in input order.
+type ScalarReference = (Vec<[u8; 20]>, Vec<[u8; 32]>, Vec<u64>, Vec<u64>);
+
+fn scalar_reference(seeds: &[U256]) -> ScalarReference {
+    let d1: Vec<_> = seeds.iter().map(sha1_fixed32).collect();
+    let d3: Vec<_> = seeds.iter().map(sha3_256_fixed32).collect();
+    let p1: Vec<_> = d1.iter().map(lanes::sha1_prefix64_of).collect();
+    let p3: Vec<_> = d3.iter().map(lanes::sha3_256_prefix64_of).collect();
+    (d1, d3, p1, p3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Dispatch at every hardware-reachable tier reproduces the scalar
+    /// reference bit for bit, at arbitrary batch lengths (covering full
+    /// wide groups, narrow groups and scalar tails in every mix).
+    #[test]
+    fn dispatch_matches_scalar_at_every_tier(
+        entropy in 0u64..=u64::MAX,
+        n in 0usize..=61,
+        tier in 0usize..=2,
+    ) {
+        let _guard = force_lock();
+        let seeds = expand_seeds(entropy, n);
+        let (d1, d3, p1, p3) = scalar_reference(&seeds);
+        let level = SimdLevel::ALL[tier];
+        dispatch::force_level(Some(level));
+        let (mut g1, mut g3) = (Vec::new(), Vec::new());
+        let (mut gp1, mut gp3) = (Vec::new(), Vec::new());
+        dispatch::sha1_digest_batch(&seeds, &mut g1);
+        dispatch::sha3_256_digest_batch(&seeds, &mut g3);
+        dispatch::sha1_prefix64_batch(&seeds, &mut gp1);
+        dispatch::sha3_256_prefix64_batch(&seeds, &mut gp3);
+        dispatch::force_level(None);
+        prop_assert_eq!(g1, d1);
+        prop_assert_eq!(g3, d3);
+        prop_assert_eq!(gp1, p1);
+        prop_assert_eq!(gp3, p3);
+    }
+
+    /// The portable interleaved kernels (including the deliberately
+    /// unselected SHA-3 x2) agree with scalar at every width.
+    #[test]
+    fn portable_lane_kernels_match_scalar(entropy in 0u64..=u64::MAX) {
+        let seeds = expand_seeds(entropy, 8);
+        let (d1, d3, p1, p3) = scalar_reference(&seeds);
+        let g8: [U256; 8] = seeds.clone().try_into().unwrap();
+        let g4: [U256; 4] = seeds[..4].try_into().unwrap();
+        let g2: [U256; 2] = seeds[..2].try_into().unwrap();
+        prop_assert_eq!(lanes::sha1_fixed32_x8(&g8).to_vec(), d1.clone());
+        prop_assert_eq!(lanes::sha1_fixed32_x4(&g4).to_vec(), d1[..4].to_vec());
+        prop_assert_eq!(lanes::sha1_fixed32_prefix64_x8(&g8).to_vec(), p1.clone());
+        prop_assert_eq!(lanes::sha1_fixed32_prefix64_x4(&g4).to_vec(), p1[..4].to_vec());
+        prop_assert_eq!(lanes::sha3_256_fixed32_x4(&g4).to_vec(), d3[..4].to_vec());
+        prop_assert_eq!(lanes::sha3_256_fixed32_x2(&g2).to_vec(), d3[..2].to_vec());
+        prop_assert_eq!(lanes::sha3_256_fixed32_prefix64_x4(&g4).to_vec(), p3[..4].to_vec());
+        prop_assert_eq!(lanes::sha3_256_fixed32_prefix64_x2(&g2).to_vec(), p3[..2].to_vec());
+        for (i, s) in seeds.iter().enumerate() {
+            prop_assert_eq!(lanes::sha1_fixed32_prefix64(s), p1[i]);
+            prop_assert_eq!(lanes::sha3_256_fixed32_prefix64(s), p3[i]);
+        }
+    }
+
+    /// The explicit AVX2 kernels agree with scalar at their exact widths
+    /// (skipped on hosts without AVX2).
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_kernels_match_scalar(entropy in 0u64..=u64::MAX) {
+        use rbc_hash::lanes_avx2;
+        if lanes_avx2::available() {
+            let seeds = expand_seeds(entropy, 8);
+            let (d1, d3, p1, p3) = scalar_reference(&seeds);
+            let g8: [U256; 8] = seeds.clone().try_into().unwrap();
+            let g4: [U256; 4] = seeds[..4].try_into().unwrap();
+            prop_assert_eq!(lanes_avx2::sha1_fixed32_x8(&g8).to_vec(), d1);
+            prop_assert_eq!(lanes_avx2::sha1_fixed32_prefix64_x8(&g8).to_vec(), p1);
+            prop_assert_eq!(lanes_avx2::sha3_256_fixed32_x4(&g4).to_vec(), d3[..4].to_vec());
+            prop_assert_eq!(lanes_avx2::sha3_256_fixed32_prefix64_x4(&g4).to_vec(), p3[..4].to_vec());
+        }
+    }
+
+    /// The explicit AVX-512 kernels agree with scalar at their exact
+    /// widths (skipped on hosts without AVX-512F).
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx512_kernels_match_scalar(entropy in 0u64..=u64::MAX) {
+        use rbc_hash::lanes_avx512;
+        if lanes_avx512::available() {
+            let seeds = expand_seeds(entropy, 16);
+            let (d1, d3, p1, p3) = scalar_reference(&seeds);
+            let g16: [U256; 16] = seeds.clone().try_into().unwrap();
+            let g8: [U256; 8] = seeds[..8].try_into().unwrap();
+            prop_assert_eq!(lanes_avx512::sha1_fixed32_x16(&g16).to_vec(), d1);
+            prop_assert_eq!(lanes_avx512::sha1_fixed32_prefix64_x16(&g16).to_vec(), p1);
+            prop_assert_eq!(lanes_avx512::sha3_256_fixed32_x8(&g8).to_vec(), d3[..8].to_vec());
+            prop_assert_eq!(lanes_avx512::sha3_256_fixed32_prefix64_x8(&g8).to_vec(), p3[..8].to_vec());
+        }
+    }
+}
+
+/// Forcing the portable tier on a SIMD host must actually take effect
+/// (the `SeedHash` batch entry points drain through the scalar tail) and
+/// still produce scalar-identical results — the in-process equivalent of
+/// the CI `RBC_SIMD=portable` leg.
+#[test]
+fn forced_fallback_exercises_portable_path_on_simd_hosts() {
+    let _guard = force_lock();
+    let seeds = expand_seeds(0xDEAD_BEEF_0BAD_F00D, 23);
+    let (d1, d3, p1, p3) = scalar_reference(&seeds);
+
+    dispatch::force_level(Some(SimdLevel::Portable));
+    assert_eq!(
+        dispatch::active_level(),
+        SimdLevel::Portable,
+        "forcing portable must cap the active tier on any host"
+    );
+    assert!(
+        dispatch::kernel_plan().is_empty(),
+        "the portable tier is scalar-only; nothing may be selected under forced fallback"
+    );
+    let (mut g1, mut g3) = (Vec::new(), Vec::new());
+    let (mut gp1, mut gp3) = (Vec::new(), Vec::new());
+    Sha1Fixed.digest_batch(&seeds, &mut g1);
+    Sha3Fixed.digest_batch(&seeds, &mut g3);
+    Sha1Fixed.prefix64_batch(&seeds, &mut gp1);
+    Sha3Fixed.prefix64_batch(&seeds, &mut gp3);
+    dispatch::force_level(None);
+
+    assert_eq!(g1, d1);
+    assert_eq!(g3, d3);
+    assert_eq!(gp1, p1);
+    assert_eq!(gp3, p3);
+    assert_eq!(dispatch::active_level(), dispatch::detected_level());
+}

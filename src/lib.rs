@@ -68,6 +68,7 @@ pub mod prelude {
     pub use rbc_comb::SeedIterKind;
     pub use rbc_core::{
         backend::{BackendDescriptor, CpuBackend, SearchBackend, SearchJob},
+        batch::{AdaptiveBatch, BatchPolicy},
         ca::{CaConfig, CertificateAuthority},
         dispatch::{DispatchOutcome, Dispatcher, DispatcherConfig, RoutePolicy},
         engine::{EngineConfig, Outcome, SearchEngine, SearchMode},

@@ -162,7 +162,13 @@ fn batched_engine_agrees_with_scalar_across_iterators_and_modes() {
                 let run = |batch: usize, threads: usize| {
                     let engine = SearchEngine::new(
                         HashDerive(Sha3Fixed),
-                        EngineConfig { threads, mode, iter, batch, ..Default::default() },
+                        EngineConfig {
+                            threads,
+                            mode,
+                            iter,
+                            batch: BatchPolicy::Fixed(batch),
+                            ..Default::default()
+                        },
                     );
                     engine.search(&target, &base, 2)
                 };
@@ -201,7 +207,7 @@ fn prescreen_and_full_compare_find_identical_seeds() {
     for batch in [1usize, 64] {
         let engine = SearchEngine::new(
             HashDerive(Sha3Fixed),
-            EngineConfig { threads: 2, batch, ..Default::default() },
+            EngineConfig { threads: 2, batch: BatchPolicy::Fixed(batch), ..Default::default() },
         );
         let report = engine.search(&target, &base, 3);
         assert_eq!(report.outcome, Outcome::Found { seed: client, distance: 2 }, "batch={batch}");
