@@ -19,9 +19,8 @@
 //! hoc* exactly as the cluster backend does: a search finishing past its
 //! deadline reports [`Outcome::TimedOut`].
 
-use std::time::Instant;
-
 use rbc_core::backend::{BackendDescriptor, SearchBackend, SearchJob};
+use rbc_core::clock::{wall_clock, ClockHandle};
 use rbc_core::engine::{Outcome, SearchMode, SearchReport};
 use rbc_hash::{HashAlgo, Sha1Fixed, Sha256Fixed, Sha3Fixed};
 
@@ -37,18 +36,26 @@ use rbc_gpu_sim::{gpu_salted_search, GpuKernelConfig, GpuSearchResult};
 pub struct GpuSimBackend {
     cfg: GpuKernelConfig,
     est_rate: f64,
+    clock: ClockHandle,
 }
 
 impl GpuSimBackend {
     /// A GPU-sim backend launching kernels shaped by `cfg`.
     pub fn new(cfg: GpuKernelConfig) -> Self {
-        GpuSimBackend { cfg, est_rate: 0.0 }
+        GpuSimBackend { cfg, est_rate: 0.0, clock: wall_clock() }
     }
 
     /// Attaches a modelled rate (hashes/s, e.g. from
     /// [`rbc_gpu_sim::GpuDeviceModel`]) for fastest-estimate routing.
     pub fn with_est_rate(mut self, rate: f64) -> Self {
         self.est_rate = rate;
+        self
+    }
+
+    /// Times jobs on `clock` instead of the wall — post-hoc deadline
+    /// verdicts then follow a virtual timeline under simulation.
+    pub fn with_clock(mut self, clock: ClockHandle) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -70,7 +77,7 @@ impl SearchBackend for GpuSimBackend {
 
     fn submit(&self, job: &SearchJob) -> SearchReport {
         let early_exit = job.mode == SearchMode::EarlyExit;
-        let start = Instant::now();
+        let start = self.clock.now();
         let r: GpuSearchResult = match job.algo {
             HashAlgo::Sha1 => {
                 let mut t = [0u8; 20];
@@ -88,7 +95,7 @@ impl SearchBackend for GpuSimBackend {
                 gpu_salted_search(&Sha256Fixed, &self.cfg, &t, &job.s_init, job.max_d, early_exit)
             }
         };
-        let elapsed = start.elapsed();
+        let elapsed = self.clock.now().saturating_duration_since(start);
         let timed_out = job.deadline.is_some_and(|t| elapsed > t);
         let outcome = if timed_out {
             Outcome::TimedOut { at_distance: job.max_d }
@@ -125,18 +132,26 @@ impl SearchBackend for GpuSimBackend {
 pub struct ApuSimBackend {
     cfg: ApuSearchConfig,
     est_rate: f64,
+    clock: ClockHandle,
 }
 
 impl ApuSimBackend {
     /// An APU-sim backend over a configured device.
     pub fn new(cfg: ApuSearchConfig) -> Self {
-        ApuSimBackend { cfg, est_rate: 0.0 }
+        ApuSimBackend { cfg, est_rate: 0.0, clock: wall_clock() }
     }
 
     /// Attaches a modelled rate (hashes/s, e.g. from
     /// [`crate::ApuTimingModel`]) for fastest-estimate routing.
     pub fn with_est_rate(mut self, rate: f64) -> Self {
         self.est_rate = rate;
+        self
+    }
+
+    /// Times jobs on `clock` instead of the wall — post-hoc deadline
+    /// verdicts then follow a virtual timeline under simulation.
+    pub fn with_clock(mut self, clock: ClockHandle) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -176,10 +191,10 @@ impl SearchBackend for ApuSimBackend {
             job.algo.name()
         );
         let early_exit = job.mode == SearchMode::EarlyExit;
-        let start = Instant::now();
+        let start = self.clock.now();
         let r: ApuSearchResult =
             apu_salted_search(&self.cfg, job.target.as_bytes(), &job.s_init, job.max_d, early_exit);
-        let elapsed = start.elapsed();
+        let elapsed = self.clock.now().saturating_duration_since(start);
         let timed_out = job.deadline.is_some_and(|t| elapsed > t);
         let outcome = if timed_out {
             Outcome::TimedOut { at_distance: job.max_d }

@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|cpu-scaling|service|telemetry|triage|chaos|verify]
+//! repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|cpu-scaling|service|telemetry|triage|chaos|sim|verify]
 //!       [--quick] [--trials N] [--full-cpu] [--metrics-dump] [--smoke]
 //! ```
 //!
@@ -115,6 +115,7 @@ fn main() {
                 telemetry(&opts);
                 triage(&opts);
                 chaos(&opts);
+                sim(&opts);
                 verify(&opts);
             }
             "table1" => table1(),
@@ -134,6 +135,7 @@ fn main() {
             "telemetry" => telemetry(&opts),
             "triage" => triage(&opts),
             "chaos" => chaos(&opts),
+            "sim" => sim(&opts),
             "verify" => verify(&opts),
             other => usage(&format!("unknown command {other:?}")),
         }
@@ -143,7 +145,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|hash-lanes|cpu-scaling|future|security|extensions|service|telemetry|triage|chaos|verify] [--quick] [--trials N] [--full-cpu] [--metrics-dump] [--smoke]"
+        "usage: repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|hash-lanes|cpu-scaling|future|security|extensions|service|telemetry|triage|chaos|sim|verify] [--quick] [--trials N] [--full-cpu] [--metrics-dump] [--smoke]"
     );
     std::process::exit(2)
 }
@@ -1443,6 +1445,67 @@ fn chaos(opts: &Opts) {
         let faulted = rows.iter().filter(|r| r.faults > 0).count();
         if faulted < 2 {
             eprintln!("smoke: expected both fault scenarios to actually inject ({faulted}/2 did)");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Deterministic simulation sweep: seeded fault × load × timing
+/// interleavings of the full auth stack on a virtual clock. See
+/// `rbc_bench::sim` for the scenario derivation and invariants.
+fn sim(opts: &Opts) {
+    use rbc_bench::sim::{run_sweep, sim_table, validate_sim_json, write_sim_json, SweepConfig};
+
+    println!("\n== sim: seeded fault × load × timing interleavings (virtual time) ==");
+    let scenarios: u64 = if opts.quick { 100 } else { 1000 };
+    let cfg = SweepConfig { base_seed: 0x51B_0007, scenarios, replay_every: 10, workers: 0 };
+    let started = std::time::Instant::now();
+    let sweep = run_sweep(&cfg);
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    sim_table(&sweep.rows).print();
+    println!(
+        "(scenarios: {} seeded interleavings, {} replayed for determinism, {} divergences, \
+         {} invariant violations, min span {:.0} sim-s, {:.1} s wall)",
+        sweep.scenarios,
+        sweep.replayed,
+        sweep.divergences,
+        sweep.violations,
+        sweep.min_sim_secs,
+        wall_secs
+    );
+    for v in &sweep.violation_samples {
+        eprintln!("violation: {v}");
+    }
+    match write_sim_json("BENCH_sim.json", &sweep, wall_secs) {
+        Ok(()) => println!("wrote BENCH_sim.json"),
+        Err(e) => {
+            eprintln!("could not write BENCH_sim.json: {e}");
+            if opts.smoke {
+                std::process::exit(1);
+            }
+        }
+    }
+    if opts.smoke {
+        let text = match std::fs::read_to_string("BENCH_sim.json") {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("smoke: could not read back BENCH_sim.json: {e}");
+                std::process::exit(1);
+            }
+        };
+        match validate_sim_json(&text) {
+            Ok(()) => println!(
+                "smoke: BENCH_sim.json validates (≥1000 scenarios, ≥100 sim-s each, \
+                 0 divergences, 0 violations, generous recovery ≥ 95%)"
+            ),
+            Err(e) => {
+                eprintln!("smoke: BENCH_sim.json invalid: {e}");
+                std::process::exit(1);
+            }
+        }
+        if wall_secs >= 60.0 {
+            eprintln!("smoke: sweep took {wall_secs:.1} s wall, budget is 60 s");
             std::process::exit(1);
         }
     }

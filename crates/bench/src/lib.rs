@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod sim;
+
 use std::time::Instant;
 
 use rbc_bits::U256;

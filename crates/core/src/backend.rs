@@ -25,6 +25,7 @@ use rbc_bits::U256;
 use rbc_hash::{DynDigest, HashAlgo};
 use rbc_telemetry::{sanitize, Counter, Histogram, Registry, TraceContext};
 
+use crate::clock::{wall_clock, ClockHandle};
 use crate::cluster::{cluster_search, ClusterConfig};
 use crate::derive::DynHashDerive;
 use crate::engine::{
@@ -162,13 +163,24 @@ pub struct CpuBackend {
     cfg: EngineConfig,
     est_rate: f64,
     telemetry: Option<EngineTelemetry>,
+    clock: ClockHandle,
 }
 
 impl CpuBackend {
     /// A CPU backend running searches under `cfg`. The job's mode and
     /// deadline override the config's per submission.
     pub fn new(cfg: EngineConfig) -> Self {
-        CpuBackend { cfg, est_rate: 0.0, telemetry: None }
+        CpuBackend { cfg, est_rate: 0.0, telemetry: None, clock: wall_clock() }
+    }
+
+    /// Reads every search and shard timing from `clock` instead of the
+    /// wall clock, and pins the shard path to the backend's own batch
+    /// policy — under a virtual clock this keeps batch boundaries (and
+    /// so checkpoint positions) independent of the host's wall-clock
+    /// poll-cost calibration.
+    pub fn with_clock(mut self, clock: ClockHandle) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// Attaches a modelled rate (seeds/s) for fastest-estimate routing.
@@ -208,11 +220,33 @@ impl SearchBackend for CpuBackend {
             deadline: job.deadline.or(self.cfg.deadline),
             ..self.cfg.clone()
         };
-        let mut engine = SearchEngine::new(DynHashDerive(job.algo), cfg);
+        let mut engine =
+            SearchEngine::new(DynHashDerive(job.algo), cfg).with_clock(self.clock.clone());
         if let Some(t) = &self.telemetry {
             engine = engine.with_telemetry(t.clone());
         }
         engine.search(&job.target, &job.s_init, job.max_d)
+    }
+
+    fn run_shard(
+        &self,
+        job: &SearchJob,
+        spec: &ShardSpec,
+        checkpoint_interval: u64,
+        sink: &dyn CheckpointSink,
+    ) -> ShardReport {
+        let derive = DynHashDerive(job.algo);
+        crate::shard::run_shard_clocked(
+            &derive,
+            &job.target,
+            &job.s_init,
+            spec,
+            job.deadline,
+            checkpoint_interval,
+            sink,
+            &self.clock,
+            self.cfg.batch,
+        )
     }
 }
 

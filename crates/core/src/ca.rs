@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rand::Rng;
 use rbc_hash::HashAlgo;
@@ -17,6 +17,7 @@ use rbc_puf::{enroll, EnrollmentConfig, PufDevice};
 use rbc_telemetry::{Counter, Histogram, Registry, TraceContext};
 
 use crate::backend::{CpuBackend, SearchBackend, SearchJob};
+use crate::clock::{wall_clock, ClockHandle};
 use crate::engine::{EngineConfig, Outcome, SearchReport};
 use crate::protocol::{ChallengeMsg, ClientId, DigestMsg, HelloMsg, Verdict, VerdictMsg};
 use crate::salt::Salt;
@@ -162,6 +163,7 @@ pub struct CertificateAuthority<P: PqcKeyGen> {
     next_session: u64,
     log: Vec<AuthRecord>,
     telemetry: Option<CaTelemetry>,
+    clock: ClockHandle,
 }
 
 /// Errors surfaced by CA entry points.
@@ -216,6 +218,7 @@ impl<P: PqcKeyGen> CertificateAuthority<P> {
             next_session: 1,
             log: Vec::new(),
             telemetry: None,
+            clock: wall_clock(),
         }
     }
 
@@ -224,6 +227,14 @@ impl<P: PqcKeyGen> CertificateAuthority<P> {
     /// shared registry.
     pub fn set_telemetry(&mut self, telemetry: CaTelemetry) {
         self.telemetry = Some(telemetry);
+    }
+
+    /// Reads keygen-phase timings from `clock` instead of the wall
+    /// clock. The [`crate::service::AuthService`] propagates its
+    /// dispatcher's clock here so one timeline covers the whole
+    /// pipeline.
+    pub fn set_clock(&mut self, clock: ClockHandle) {
+        self.clock = clock;
     }
 
     /// Enrolls a client device at `address` (secure-facility step),
@@ -322,13 +333,14 @@ impl<P: PqcKeyGen> CertificateAuthority<P> {
             Outcome::Found { seed, distance } => {
                 // Step 7–9: salt once, generate the public key once,
                 // update the RA. The raw seed never leaves this scope.
-                let keygen_start = Instant::now();
+                let keygen_start = self.clock.now();
                 let salted = pending.salt.apply(&seed);
                 let public_key = self.keygen.public_key(&salted);
                 self.ra.register(client_id, public_key.clone());
                 if let Some(t) = &self.telemetry {
                     t.keygens.inc();
-                    t.keygen_ns.record_duration(keygen_start.elapsed());
+                    t.keygen_ns
+                        .record_duration(self.clock.now().saturating_duration_since(keygen_start));
                 }
                 Verdict::Accepted { distance, public_key }
             }

@@ -22,6 +22,7 @@ use rbc_hash::HashAlgo;
 use rbc_telemetry::{EventKind, Tracer};
 
 use crate::backend::{BackendDescriptor, SearchBackend, SearchJob};
+use crate::clock::{wall_clock, ClockHandle};
 use crate::engine::SearchReport;
 use crate::shard::{
     Checkpoint, CheckpointSink, ShardControl, ShardOutcome, ShardReport, ShardSpec,
@@ -107,12 +108,24 @@ impl FaultPlan {
         backends: Vec<Arc<dyn SearchBackend>>,
         tracer: Option<Arc<Tracer>>,
     ) -> Vec<Arc<dyn SearchBackend>> {
+        self.apply_with_clock(backends, tracer, wall_clock())
+    }
+
+    /// [`apply`](Self::apply) with injected stalls slept on `clock`, so
+    /// a simulated fault plan freezes virtual time instead of the test
+    /// process.
+    pub fn apply_with_clock(
+        &self,
+        backends: Vec<Arc<dyn SearchBackend>>,
+        tracer: Option<Arc<Tracer>>,
+        clock: ClockHandle,
+    ) -> Vec<Arc<dyn SearchBackend>> {
         backends
             .into_iter()
             .enumerate()
             .map(|(i, b)| match self.fault_for(i) {
                 Some(fault) => {
-                    let mut chaos = ChaosBackend::wrap(b, fault);
+                    let mut chaos = ChaosBackend::wrap(b, fault).with_clock(clock.clone());
                     if let Some(t) = &tracer {
                         chaos = chaos.with_tracer(t.clone());
                     }
@@ -151,6 +164,7 @@ pub struct ChaosBackend {
     dead: AtomicBool,
     injected: AtomicU64,
     tracer: Option<Arc<Tracer>>,
+    clock: ClockHandle,
 }
 
 impl ChaosBackend {
@@ -164,6 +178,7 @@ impl ChaosBackend {
             dead: AtomicBool::new(false),
             injected: AtomicU64::new(0),
             tracer: None,
+            clock: wall_clock(),
         }
     }
 
@@ -171,6 +186,13 @@ impl ChaosBackend {
     /// injection.
     pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Sleeps injected [`Fault::Stall`]s on `clock` instead of the wall
+    /// clock.
+    pub fn with_clock(mut self, clock: ClockHandle) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -238,7 +260,7 @@ impl SearchBackend for ChaosBackend {
             }
             Fault::Stall { ms } => {
                 self.note_fault(job, "injected backend stall");
-                std::thread::sleep(Duration::from_millis(ms));
+                self.clock.sleep(Duration::from_millis(ms));
                 self.inner.run_shard(job, spec, checkpoint_interval, sink)
             }
             Fault::CorruptReport => {

@@ -1,0 +1,18 @@
+//! Virtual time for the protocol stack — re-exported from
+//! [`rbc_telemetry::clock`].
+//!
+//! The clock abstraction lives in `rbc-telemetry` because the tracer's
+//! epoch and span durations must read the same timeline as the
+//! dispatcher's budgets and the pool's stall scans, and `rbc-core`
+//! already depends on `rbc-telemetry` (a core-owned trait could not be
+//! seen from the tracer without inverting that edge). This module is
+//! the protocol-facing surface: every `rbc-core` layer names its clock
+//! types through here.
+//!
+//! See [`Clock`] for the trait, [`WallClock`] for the zero-cost
+//! default, and [`SimClock`] for the deterministic virtual timeline
+//! used by the simulation harness (`repro sim`).
+
+pub use rbc_telemetry::clock::{
+    wall_clock, ActorGuard, Clock, ClockHandle, SimClock, WallClock, SIM_POLL_TICK,
+};

@@ -45,6 +45,7 @@ use std::time::{Duration, Instant};
 use rbc_telemetry::{sanitize, Counter, Gauge, Histogram, Registry};
 
 use crate::backend::{BackendDescriptor, SearchBackend, SearchJob};
+use crate::clock::{wall_clock, ClockHandle, SIM_POLL_TICK};
 use crate::engine::SearchReport;
 
 /// How the dispatcher picks among backends with free slots.
@@ -201,6 +202,7 @@ pub struct Dispatcher {
     cfg: DispatcherConfig,
     shared: Mutex<Shared>,
     slot_freed: Condvar,
+    clock: ClockHandle,
     started: Instant,
     registry: Arc<Registry>,
     metrics: Metrics,
@@ -221,17 +223,32 @@ impl Dispatcher {
         cfg: DispatcherConfig,
         registry: Arc<Registry>,
     ) -> Self {
+        Self::with_clock(backends, cfg, registry, wall_clock())
+    }
+
+    /// [`with_registry`](Self::with_registry) reading all budgets, queue
+    /// waits and busy times from `clock` — pass a
+    /// [`SimClock`](crate::clock::SimClock) handle to run the scheduler
+    /// on a virtual timeline.
+    pub fn with_clock(
+        backends: Vec<Arc<dyn SearchBackend>>,
+        cfg: DispatcherConfig,
+        registry: Arc<Registry>,
+        clock: ClockHandle,
+    ) -> Self {
         assert!(!backends.is_empty(), "dispatcher needs at least one backend");
         let n = backends.len();
         let descriptors: Vec<BackendDescriptor> = backends.iter().map(|b| b.descriptor()).collect();
         let metrics = Metrics::register(&registry, &descriptors);
+        let started = clock.now();
         Dispatcher {
             backends,
             descriptors,
             cfg,
             shared: Mutex::new(Shared { in_flight: vec![0; n], waiting: 0, rr_next: 0 }),
             slot_freed: Condvar::new(),
-            started: Instant::now(),
+            clock,
+            started,
             registry,
             metrics,
         }
@@ -240,6 +257,11 @@ impl Dispatcher {
     /// The registry holding this dispatcher's metrics.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
+    }
+
+    /// The clock every budget and latency in this dispatcher reads.
+    pub fn clock(&self) -> &ClockHandle {
+        &self.clock
     }
 
     /// The pool's descriptors, in pool order.
@@ -273,7 +295,7 @@ impl Dispatcher {
     /// deadline and the budget remaining after queue wait, so the
     /// protocol threshold `T` bounds queue wait *plus* search.
     pub fn submit(&self, job: &SearchJob) -> DispatchOutcome {
-        self.submit_arrived(job, Instant::now())
+        self.submit_arrived(job, self.clock.now())
     }
 
     /// [`submit`](Self::submit) for a job that first arrived at
@@ -297,9 +319,11 @@ impl Dispatcher {
         // A re-dispatched job may arrive with its budget already spent
         // by the failed attempt; shed it rather than burn a slot on a
         // zero-deadline search.
-        if Instant::now() >= give_up {
+        if self.clock.now() >= give_up {
             self.metrics.rejected.inc();
-            return DispatchOutcome::Overloaded { queue_wait: arrived.elapsed() };
+            return DispatchOutcome::Overloaded {
+                queue_wait: self.clock.now().saturating_duration_since(arrived),
+            };
         }
         let chosen = match self.pick(&mut g, job) {
             // A free slot on arrival: dispatch without queueing, no
@@ -322,28 +346,44 @@ impl Dispatcher {
                         self.metrics.queue_depth.set(g.waiting as i64);
                         break i;
                     }
-                    let now = Instant::now();
+                    let now = self.clock.now();
                     if now >= give_up {
                         g.waiting -= 1;
                         self.metrics.queue_depth.set(g.waiting as i64);
                         self.metrics.rejected.inc();
-                        return DispatchOutcome::Overloaded { queue_wait: now - arrived };
+                        return DispatchOutcome::Overloaded {
+                            queue_wait: now.saturating_duration_since(arrived),
+                        };
                     }
-                    g = self
-                        .slot_freed
-                        .wait_timeout(g, give_up - now)
-                        .unwrap_or_else(|e| {
-                            self.metrics.lock_poisoned.inc();
-                            e.into_inner()
-                        })
-                        .0;
+                    if self.clock.is_virtual() {
+                        // On the virtual timeline the condvar can't be
+                        // woken by virtual time advancing, so poll at
+                        // tick granularity: release the scheduler lock
+                        // (completers need it to free slots), park one
+                        // tick, re-acquire and re-check. `waiting` stays
+                        // incremented across the sleep, so admission
+                        // control sees this request exactly as the wall
+                        // path would.
+                        drop(g);
+                        self.clock.sleep(SIM_POLL_TICK.min(give_up - now));
+                        g = self.lock_shared();
+                    } else {
+                        g = self
+                            .slot_freed
+                            .wait_timeout(g, give_up - now)
+                            .unwrap_or_else(|e| {
+                                self.metrics.lock_poisoned.inc();
+                                e.into_inner()
+                            })
+                            .0;
+                    }
                 }
             }
         };
         g.in_flight[chosen] += 1;
         drop(g);
 
-        let queue_wait = arrived.elapsed();
+        let queue_wait = self.clock.now().saturating_duration_since(arrived);
         let remaining = self.cfg.budget.saturating_sub(queue_wait);
         let mut routed = job.clone();
         routed.deadline = Some(match job.deadline {
@@ -351,9 +391,9 @@ impl Dispatcher {
             None => remaining,
         });
 
-        let run_start = Instant::now();
+        let run_start = self.clock.now();
         let report = self.backends[chosen].submit(&routed);
-        let busy = run_start.elapsed();
+        let busy = self.clock.now().saturating_duration_since(run_start);
 
         let mut g = self.lock_shared();
         g.in_flight[chosen] -= 1;
@@ -364,7 +404,10 @@ impl Dispatcher {
         self.metrics.backend_busy_ns[chosen]
             .add(u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX));
         self.metrics.completed.inc();
-        self.metrics.latency_ns.record_duration_traced(arrived.elapsed(), job.trace.trace_id);
+        self.metrics.latency_ns.record_duration_traced(
+            self.clock.now().saturating_duration_since(arrived),
+            job.trace.trace_id,
+        );
         self.metrics.queue_wait_ns.record_duration_traced(queue_wait, job.trace.trace_id);
         // Wake every waiter: each re-checks its own budget, so a stale
         // wake-up costs one loop iteration, never a lost slot.
@@ -410,7 +453,8 @@ impl Dispatcher {
     /// Snapshot of aggregate accounting since construction.
     pub fn stats(&self) -> DispatchStats {
         let queue_depth = self.lock_shared().waiting;
-        let wall = self.started.elapsed().max(Duration::from_nanos(1));
+        let wall =
+            self.clock.now().saturating_duration_since(self.started).max(Duration::from_nanos(1));
         let latency = self.metrics.latency_ns.snapshot();
         let queue_wait = self.metrics.queue_wait_ns.snapshot();
         DispatchStats {
@@ -441,15 +485,18 @@ impl Dispatcher {
 mod tests {
     use super::*;
     use crate::backend::CpuBackend;
+    use crate::clock::SimClock;
     use crate::engine::{EngineConfig, Outcome, SearchMode};
     use rbc_bits::U256;
     use rbc_hash::HashAlgo;
 
     /// A backend that sleeps instead of searching — load-control tests
-    /// need controllable service times, not real searches.
+    /// need controllable service times, not real searches. Sleeps on its
+    /// clock, so timing scenarios run on a [`SimClock`] timeline.
     struct SleepBackend {
         delay: Duration,
         slots: usize,
+        clock: ClockHandle,
     }
 
     impl SearchBackend for SleepBackend {
@@ -463,11 +510,37 @@ mod tests {
         }
 
         fn submit(&self, job: &SearchJob) -> SearchReport {
-            std::thread::sleep(self.delay);
+            self.clock.sleep(self.delay);
             SearchReport {
                 outcome: Outcome::NotFound,
                 seeds_derived: 0,
                 elapsed: self.delay,
+                per_distance: Vec::new(),
+                algorithm: job.algo.name(),
+                threads: 1,
+                extras: Vec::new(),
+            }
+        }
+    }
+
+    /// Records the deadline the dispatcher routed to it, then returns
+    /// instantly — the probe for budget-arithmetic properties.
+    #[derive(Default)]
+    struct CaptureBackend {
+        seen: Mutex<Option<Option<Duration>>>,
+    }
+
+    impl SearchBackend for CaptureBackend {
+        fn descriptor(&self) -> BackendDescriptor {
+            BackendDescriptor { kind: "cpu", name: "capture".into(), slots: 1, est_rate: 0.0 }
+        }
+
+        fn submit(&self, job: &SearchJob) -> SearchReport {
+            *self.seen.lock().unwrap_or_else(|e| e.into_inner()) = Some(job.deadline);
+            SearchReport {
+                outcome: Outcome::NotFound,
+                seeds_derived: 0,
+                elapsed: Duration::ZERO,
                 per_distance: Vec::new(),
                 algorithm: job.algo.name(),
                 threads: 1,
@@ -554,23 +627,55 @@ mod tests {
     fn overload_sheds_beyond_queue_limit() {
         // One slot busy for 200 ms, one waiter allowed, tiny budget: the
         // third concurrent arrival must be shed at admission and the
-        // waiter must be shed when its budget expires.
-        let pool: Vec<Arc<dyn SearchBackend>> =
-            vec![Arc::new(SleepBackend { delay: Duration::from_millis(200), slots: 1 })];
-        let d = Dispatcher::new(
+        // waiter must be shed when its budget expires. Runs on a virtual
+        // timeline, so the 200 ms of service cost no real time.
+        let clock = SimClock::new().handle();
+        let pool: Vec<Arc<dyn SearchBackend>> = vec![Arc::new(SleepBackend {
+            delay: Duration::from_millis(200),
+            slots: 1,
+            clock: clock.clone(),
+        })];
+        let d = Dispatcher::with_clock(
             pool,
             DispatcherConfig {
                 queue_limit: 1,
                 budget: Duration::from_millis(60),
                 policy: RoutePolicy::LeastLoaded,
             },
+            Arc::new(Registry::new()),
+            clock.clone(),
         );
         std::thread::scope(|s| {
-            let h1 = s.spawn(|| d.submit(&trivial_job()));
-            std::thread::sleep(Duration::from_millis(20));
-            let h2 = s.spawn(|| d.submit(&trivial_job()));
-            std::thread::sleep(Duration::from_millis(20));
-            let h3 = s.spawn(|| d.submit(&trivial_job()));
+            let main_guard = clock.enter();
+            let g1 = clock.enter();
+            let h1 = s.spawn({
+                let d = &d;
+                move || {
+                    let _g = g1;
+                    d.submit(&trivial_job())
+                }
+            });
+            clock.sleep(Duration::from_millis(20));
+            let g2 = clock.enter();
+            let h2 = s.spawn({
+                let d = &d;
+                move || {
+                    let _g = g2;
+                    d.submit(&trivial_job())
+                }
+            });
+            clock.sleep(Duration::from_millis(20));
+            let g3 = clock.enter();
+            let h3 = s.spawn({
+                let d = &d;
+                move || {
+                    let _g = g3;
+                    d.submit(&trivial_job())
+                }
+            });
+            // Joining is a real block the clock cannot see: de-register
+            // before waiting, or the timeline freezes with us "runnable".
+            drop(main_guard);
             let r1 = h1.join().expect("no panic");
             let r2 = h2.join().expect("no panic");
             let r3 = h3.join().expect("no panic");
@@ -590,30 +695,55 @@ mod tests {
         // so the second's effective search deadline is ≲ 30 ms and its
         // (slow) search must report a timeout rather than run to
         // completion.
-        let sleeper = Arc::new(SleepBackend { delay: Duration::from_millis(50), slots: 1 })
-            as Arc<dyn SearchBackend>;
+        let clock = SimClock::new().handle();
+        let sleeper = Arc::new(SleepBackend {
+            delay: Duration::from_millis(50),
+            slots: 1,
+            clock: clock.clone(),
+        }) as Arc<dyn SearchBackend>;
         let cpu = Arc::new(CpuBackend::new(EngineConfig { threads: 1, ..Default::default() }))
             as Arc<dyn SearchBackend>;
         // Two dispatchers share nothing; run the timing check on one pool
         // where both jobs land on the sleeper first, then the real search.
-        let d = Dispatcher::new(
+        let d = Dispatcher::with_clock(
             vec![sleeper],
             DispatcherConfig {
                 queue_limit: 4,
                 budget: Duration::from_millis(80),
                 policy: RoutePolicy::LeastLoaded,
             },
+            Arc::new(Registry::new()),
+            clock.clone(),
         );
         std::thread::scope(|s| {
-            let h1 = s.spawn(|| d.submit(&trivial_job()));
-            std::thread::sleep(Duration::from_millis(10));
+            let main_guard = clock.enter();
+            let g1 = clock.enter();
+            let h1 = s.spawn({
+                let d = &d;
+                move || {
+                    let _g = g1;
+                    d.submit(&trivial_job())
+                }
+            });
+            clock.sleep(Duration::from_millis(10));
             // Second arrival waits ~40 ms, leaving ~40 ms of budget: it
             // must be admitted (not shed) and carry a reduced deadline.
-            let h2 = s.spawn(|| d.submit(&trivial_job()));
+            let g2 = clock.enter();
+            let h2 = s.spawn({
+                let d = &d;
+                move || {
+                    let _g = g2;
+                    d.submit(&trivial_job())
+                }
+            });
+            drop(main_guard);
             assert!(matches!(h1.join().expect("ok"), DispatchOutcome::Completed { .. }));
             match h2.join().expect("ok") {
                 DispatchOutcome::Completed { queue_wait, .. } => {
-                    assert!(queue_wait >= Duration::from_millis(20), "{queue_wait:?}");
+                    // On the virtual timeline the wait is exact up to one
+                    // poll tick: slot frees at 50 ms, arrival was 10 ms.
+                    assert!(queue_wait >= Duration::from_millis(40), "{queue_wait:?}");
+                    assert!(queue_wait <= Duration::from_millis(42), "{queue_wait:?}");
                 }
                 other => panic!("expected completion, got {other:?}"),
             }
@@ -899,5 +1029,80 @@ mod tests {
         assert!(matches!(out, DispatchOutcome::Overloaded { .. }), "{out:?}");
         assert_eq!(d.stats().rejected, 1);
         assert_eq!(d.stats().completed, 0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// `budget − queue_wait` saturates for any combination of
+            /// budget, job deadline and request age, on both clocks: a
+            /// request older than its budget is shed (never a panic, and
+            /// never a negative deadline smuggled to a backend), and an
+            /// admitted request's routed deadline respects both caps.
+            #[test]
+            fn routed_deadline_saturates_under_both_clocks(
+                budget_ms in 0u64..=200,
+                age_ms in 0u64..=400,
+                deadline_ms in 0u64..=200,
+                use_sim in any::<bool>(),
+            ) {
+                let clock: ClockHandle =
+                    if use_sim { SimClock::new().handle() } else { wall_clock() };
+                let _actor = clock.enter();
+                if use_sim {
+                    // Room on the fresh timeline for `arrived` to predate
+                    // it by up to the full sampled age.
+                    clock.sleep(Duration::from_millis(500));
+                }
+                let capture = Arc::new(CaptureBackend::default());
+                let d = Dispatcher::with_clock(
+                    vec![capture.clone()],
+                    DispatcherConfig {
+                        budget: Duration::from_millis(budget_ms),
+                        ..Default::default()
+                    },
+                    Arc::new(Registry::new()),
+                    clock.clone(),
+                );
+                let mut job = trivial_job();
+                job.deadline = Some(Duration::from_millis(deadline_ms));
+                let now = clock.now();
+                let arrived = now.checked_sub(Duration::from_millis(age_ms)).unwrap_or(now);
+                match d.resubmit(&job, arrived) {
+                    DispatchOutcome::Completed { queue_wait, .. } => {
+                        let seen = capture
+                            .seen
+                            .lock()
+                            .unwrap()
+                            .take()
+                            .expect("backend ran")
+                            .expect("dispatcher always sets a deadline");
+                        let cap = Duration::from_millis(deadline_ms.min(budget_ms));
+                        prop_assert!(seen <= cap, "routed {seen:?} beyond cap {cap:?}");
+                        if use_sim {
+                            // Frozen virtual time makes the arithmetic
+                            // exact: wait is the age, the deadline is the
+                            // saturating remainder clipped by the job's.
+                            prop_assert_eq!(queue_wait, Duration::from_millis(age_ms));
+                            let remaining =
+                                Duration::from_millis(budget_ms.saturating_sub(age_ms));
+                            prop_assert_eq!(seen, remaining.min(Duration::from_millis(deadline_ms)));
+                        }
+                    }
+                    DispatchOutcome::Overloaded { .. } => {
+                        // Shedding is only legal once the budget is spent
+                        // (one real-clock tick of slack on the wall path).
+                        prop_assert!(
+                            age_ms + u64::from(!use_sim) >= budget_ms,
+                            "shed a live request: age {age_ms} budget {budget_ms}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -34,7 +34,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 use rbc_bits::U256;
@@ -42,6 +42,7 @@ use rbc_comb::{partition, Alg515Stream, ChaseTable, GosperStream, MaskStream, Se
 use rbc_telemetry::{Counter, Registry};
 
 use crate::batch::BatchPolicy;
+use crate::clock::{wall_clock, ClockHandle};
 use crate::derive::Derive;
 
 /// Search-termination policy, matching the paper's two measured scenarios.
@@ -235,17 +236,31 @@ pub struct SearchEngine<D: Derive> {
     cfg: EngineConfig,
     chase_cache: RwLock<HashMap<(u32, usize), ChaseTable>>,
     telemetry: Option<EngineTelemetry>,
+    clock: ClockHandle,
 }
 
 impl<D: Derive> SearchEngine<D> {
     /// Creates an engine with the given derivation and configuration.
     pub fn new(derive: D, cfg: EngineConfig) -> Self {
-        SearchEngine { derive, cfg, chase_cache: RwLock::new(HashMap::new()), telemetry: None }
+        SearchEngine {
+            derive,
+            cfg,
+            chase_cache: RwLock::new(HashMap::new()),
+            telemetry: None,
+            clock: wall_clock(),
+        }
     }
 
     /// Attaches shared search-progress counters; see [`EngineTelemetry`].
     pub fn with_telemetry(mut self, telemetry: EngineTelemetry) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Reads search start, deadline polls and per-distance timings from
+    /// `clock` instead of the wall clock.
+    pub fn with_clock(mut self, clock: ClockHandle) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -307,7 +322,8 @@ impl<D: Derive> SearchEngine<D> {
     /// under [`SearchMode::Exhaustive`] the whole space is enumerated.
     pub fn search(&self, target: &D::Out, s_init: &U256, max_d: u32) -> SearchReport {
         let threads = self.cfg.effective_threads();
-        let start = Instant::now();
+        let clock = &self.clock;
+        let start = clock.now();
         let deadline = self.cfg.deadline.map(|t| start + t);
         if let Some(t) = &self.telemetry {
             t.searches.inc();
@@ -330,10 +346,14 @@ impl<D: Derive> SearchEngine<D> {
 
         // Distance 0: thread r = 0 checks S_init itself (Algorithm 1,
         // lines 4–8).
-        let d0_start = Instant::now();
+        let d0_start = clock.now();
         let m0 = self.derive.derive(s_init);
         total_seeds.fetch_add(1, Ordering::Relaxed);
-        per_distance.push(DistanceStats { d: 0, seeds: 1, elapsed: d0_start.elapsed() });
+        per_distance.push(DistanceStats {
+            d: 0,
+            seeds: 1,
+            elapsed: clock.now().saturating_duration_since(d0_start),
+        });
         if m0 == *target {
             flag.store(FOUND, Ordering::Release);
             *found.lock() = Some((*s_init, 0));
@@ -350,13 +370,13 @@ impl<D: Derive> SearchEngine<D> {
                 break;
             }
             if let Some(dl) = deadline {
-                if Instant::now() >= dl {
+                if clock.now() >= dl {
                     flag.store(EXPIRED, Ordering::Release);
                     break;
                 }
             }
 
-            let d_start = Instant::now();
+            let d_start = clock.now();
             let streams = self.streams_for(d, threads);
             // One policy resolution per distance: the batch size every
             // worker at this distance uses.
@@ -469,7 +489,7 @@ impl<D: Derive> SearchEngine<D> {
                                     break 'refill;
                                 }
                                 if let Some(dl) = deadline {
-                                    if Instant::now() >= dl {
+                                    if clock.now() >= dl {
                                         flag.store(EXPIRED, Ordering::Release);
                                         break 'refill;
                                     }
@@ -482,7 +502,11 @@ impl<D: Derive> SearchEngine<D> {
             });
             let seeds = d_seeds.load(Ordering::Relaxed);
             total_seeds.fetch_add(seeds, Ordering::Relaxed);
-            per_distance.push(DistanceStats { d, seeds, elapsed: d_start.elapsed() });
+            per_distance.push(DistanceStats {
+                d,
+                seeds,
+                elapsed: clock.now().saturating_duration_since(d_start),
+            });
             d += 1;
         }
 
@@ -509,7 +533,7 @@ impl<D: Derive> SearchEngine<D> {
         SearchReport {
             outcome,
             seeds_derived: total_seeds.load(Ordering::Relaxed),
-            elapsed: start.elapsed(),
+            elapsed: clock.now().saturating_duration_since(start),
             per_distance,
             algorithm: self.derive.name(),
             threads,

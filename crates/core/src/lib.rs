@@ -64,6 +64,7 @@ pub mod backend;
 pub mod batch;
 pub mod ca;
 pub mod chaos;
+pub mod clock;
 pub mod cluster;
 pub mod derive;
 pub mod dispatch;
@@ -83,6 +84,7 @@ pub use backend::{
 pub use batch::{AdaptiveBatch, BatchPolicy};
 pub use ca::{CaConfig, CaTelemetry, CertificateAuthority, PendingAuth, RegistrationAuthority};
 pub use chaos::{ChaosBackend, Fault, FaultPlan};
+pub use clock::{wall_clock, Clock, ClockHandle, SimClock, WallClock};
 pub use cluster::{cluster_search, ClusterConfig, ClusterReport};
 pub use derive::{CipherDerive, Derive, DynHashDerive, HashDerive, PqcDerive};
 pub use dispatch::{DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig, RoutePolicy};

@@ -40,6 +40,7 @@ use rbc_hash::HashAlgo;
 use rbc_telemetry::{Counter, EventKind, Histogram, Registry, Tracer};
 
 use crate::backend::{BackendDescriptor, SearchBackend, SearchJob};
+use crate::clock::{wall_clock, ClockHandle, SIM_POLL_TICK};
 use crate::derive::{Derive, DynHashDerive};
 use crate::dispatch::{Dispatcher, DispatcherConfig};
 use crate::engine::{DistanceStats, Outcome, SearchMode, SearchReport};
@@ -101,6 +102,7 @@ struct BreakerInner {
 /// One backend's breaker plus its health metrics.
 struct Breaker {
     cfg: BreakerConfig,
+    clock: ClockHandle,
     inner: Mutex<BreakerInner>,
     successes: Arc<Counter>,
     failures: Arc<Counter>,
@@ -109,9 +111,16 @@ struct Breaker {
 }
 
 impl Breaker {
-    fn new(cfg: BreakerConfig, registry: &Registry, index: usize, trips: Arc<Counter>) -> Self {
+    fn new(
+        cfg: BreakerConfig,
+        clock: ClockHandle,
+        registry: &Registry,
+        index: usize,
+        trips: Arc<Counter>,
+    ) -> Self {
         Breaker {
             cfg,
+            clock,
             inner: Mutex::new(BreakerInner {
                 state: BreakerState::Closed,
                 consecutive: 0,
@@ -129,7 +138,8 @@ impl Breaker {
     fn poll_state(&self) -> BreakerState {
         let mut g = self.inner.lock();
         if g.state == BreakerState::Open
-            && g.opened_at.is_none_or(|t| t.elapsed() >= self.cfg.cooldown)
+            && g.opened_at
+                .is_none_or(|t| self.clock.now().saturating_duration_since(t) >= self.cfg.cooldown)
         {
             g.state = BreakerState::HalfOpen;
         }
@@ -146,7 +156,7 @@ impl Breaker {
             g.state = BreakerState::Open;
             self.trips.inc();
         }
-        g.opened_at = Some(Instant::now());
+        g.opened_at = Some(self.clock.now());
     }
 
     fn p99_exceeded(&self) -> bool {
@@ -291,6 +301,7 @@ struct AttemptSink {
     cancel: Arc<AtomicBool>,
     slot: Slot,
     checkpoints: Arc<Counter>,
+    clock: ClockHandle,
 }
 
 impl CheckpointSink for AttemptSink {
@@ -299,7 +310,7 @@ impl CheckpointSink for AttemptSink {
             return ShardControl::Stop;
         }
         self.checkpoints.inc();
-        *self.slot.lock() = Some((cp, Instant::now()));
+        *self.slot.lock() = Some((cp, self.clock.now()));
         ShardControl::Continue
     }
 }
@@ -376,6 +387,7 @@ pub struct SupervisedPool {
     registry: Arc<Registry>,
     metrics: PoolMetrics,
     tracer: Option<Arc<Tracer>>,
+    clock: ClockHandle,
     chase_cache: RwLock<HashMap<(u32, usize), ChaseTable>>,
     rr: AtomicUsize,
     next_shard: AtomicU64,
@@ -398,11 +410,28 @@ impl SupervisedPool {
         cfg: SupervisedPoolConfig,
         registry: Arc<Registry>,
     ) -> Self {
+        Self::with_clock(backends, cfg, registry, wall_clock())
+    }
+
+    /// [`with_registry`](Self::with_registry) reading stall scans,
+    /// breaker cooldowns, hedging delays and deadline budgets from
+    /// `clock` — pass a [`SimClock`](crate::clock::SimClock) handle to
+    /// supervise on a virtual timeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backends` is empty.
+    pub fn with_clock(
+        backends: Vec<Arc<dyn SearchBackend>>,
+        cfg: SupervisedPoolConfig,
+        registry: Arc<Registry>,
+        clock: ClockHandle,
+    ) -> Self {
         assert!(!backends.is_empty(), "supervised pool needs at least one backend");
         let metrics = PoolMetrics::new(&registry);
         let trips = registry.counter("rbc_resilience_breaker_trips_total");
         let breakers = (0..backends.len())
-            .map(|i| Breaker::new(cfg.breaker.clone(), &registry, i, trips.clone()))
+            .map(|i| Breaker::new(cfg.breaker.clone(), clock.clone(), &registry, i, trips.clone()))
             .collect();
         SupervisedPool {
             backends,
@@ -411,6 +440,7 @@ impl SupervisedPool {
             registry,
             metrics,
             tracer: None,
+            clock,
             chase_cache: RwLock::new(HashMap::new()),
             rr: AtomicUsize::new(0),
             next_shard: AtomicU64::new(0),
@@ -436,11 +466,18 @@ impl SupervisedPool {
         self.breakers[i].poll_state()
     }
 
+    /// The clock the pool's supervision timers read.
+    pub fn clock(&self) -> &ClockHandle {
+        &self.clock
+    }
+
     /// Wraps the pool in a [`Dispatcher`] so the existing service layer
     /// (queueing, shedding, budget accounting) runs unchanged on top of
-    /// the fault-tolerant substrate.
+    /// the fault-tolerant substrate. The dispatcher inherits the pool's
+    /// clock, so a virtual-time pool gets a virtual-time queue.
     pub fn into_dispatcher(self, cfg: DispatcherConfig) -> Dispatcher {
-        Dispatcher::new(vec![Arc::new(self)], cfg)
+        let clock = self.clock.clone();
+        Dispatcher::with_clock(vec![Arc::new(self)], cfg, Arc::new(Registry::new()), clock)
     }
 
     /// Plans the shard set for distance `d`, building (and caching) the
@@ -499,11 +536,13 @@ impl SupervisedPool {
         ctx.active.lock().insert(attempt);
         st.runs[shard].attempts.insert(
             attempt,
-            AttemptInfo { backend: backend_idx, launched: Instant::now(), slot: slot.clone() },
+            AttemptInfo { backend: backend_idx, launched: self.clock.now(), slot: slot.clone() },
         );
         let mut job_attempt = job.clone();
-        job_attempt.deadline =
-            ctx.deadline_at.map(|dl| dl.saturating_duration_since(Instant::now())).or(job.deadline);
+        job_attempt.deadline = ctx
+            .deadline_at
+            .map(|dl| dl.saturating_duration_since(self.clock.now()))
+            .or(job.deadline);
         let backend = self.backends[backend_idx].clone();
         let sink = AttemptSink {
             attempt,
@@ -511,10 +550,16 @@ impl SupervisedPool {
             cancel: ctx.cancel.clone(),
             slot,
             checkpoints: self.metrics.checkpoints.clone(),
+            clock: self.clock.clone(),
         };
         let tx = ctx.tx.clone();
         let interval = self.cfg.checkpoint_interval;
+        // Register the worker with the clock *before* spawning: on a
+        // virtual timeline the guard keeps time from galloping past the
+        // attempt in the window before the OS schedules the new thread.
+        let actor = self.clock.enter();
         std::thread::spawn(move || {
+            let _actor = actor;
             let mut sentinel =
                 Sentinel { tx: tx.clone(), shard, attempt, backend: backend_idx, armed: true };
             let report = backend.run_shard(&job_attempt, &spec, interval, &sink);
@@ -536,7 +581,7 @@ impl SupervisedPool {
         job: &SearchJob,
     ) {
         let run = &mut st.runs[shard];
-        let budget_left = ctx.deadline_at.is_none_or(|dl| Instant::now() < dl);
+        let budget_left = ctx.deadline_at.is_none_or(|dl| self.clock.now() < dl);
         if run.redispatches >= self.cfg.max_redispatch || !budget_left {
             run.done = true;
             run.failed = true;
@@ -681,22 +726,72 @@ impl SupervisedPool {
 
         let tick =
             (self.cfg.stall_timeout / 4).clamp(Duration::from_millis(1), Duration::from_millis(20));
+        let mut buffered: std::collections::VecDeque<Event> = std::collections::VecDeque::new();
         while st.pending > 0 {
-            match rx.recv_timeout(tick) {
-                Ok(event) => {
-                    if let Some(seed) = self.handle_event(&ctx, &mut st, job, &derive, event) {
-                        if early {
-                            ctx.cancel.store(true, Ordering::Relaxed);
-                            self.flush_totals(&st, acc);
-                            return (SweepResult::Found(seed), st.swept);
+            // On the virtual timeline a `recv_timeout` would block on the
+            // *wall* clock while no actor advances virtual time, so the
+            // sim path instead parks one tick (letting workers run) and
+            // drains whatever arrived; the wall path keeps the
+            // channel-timeout wait unchanged.
+            //
+            // Two rules keep the virtual path deterministic:
+            //
+            // * The park comes *before* the drain: right after an
+            //   attempt launches, its worker is still computing on a
+            //   real thread, and a `try_recv` in that window would race
+            //   the worker's completion. Waking from a virtual sleep
+            //   means every other actor is parked or exited, so the
+            //   drain observes a channel state fully determined by the
+            //   virtual schedule.
+            // * The drained batch is processed in *attempt* order, not
+            //   arrival order: workers that exited during the same tick
+            //   pushed their events in whatever order the host scheduler
+            //   ran them, and an early-exit sweep stops at the first
+            //   `Found` it processes — so arrival order would decide how
+            //   many other completions get tallied first.
+            let event = if self.clock.is_virtual() {
+                if buffered.is_empty() {
+                    self.clock.sleep(SIM_POLL_TICK);
+                    let mut batch: Vec<Event> = Vec::new();
+                    let mut disconnected = false;
+                    loop {
+                        match rx.try_recv() {
+                            Ok(e) => batch.push(e),
+                            Err(mpsc::TryRecvError::Empty) => break,
+                            Err(mpsc::TryRecvError::Disconnected) => {
+                                disconnected = true;
+                                break;
+                            }
                         }
-                        st.found = Some(seed);
                     }
+                    if batch.is_empty() && disconnected {
+                        break;
+                    }
+                    batch.sort_by_key(|e| match e {
+                        Event::Done { attempt, .. } => (*attempt, 0u8),
+                        Event::Crashed { attempt, .. } => (*attempt, 1u8),
+                    });
+                    buffered.extend(batch);
                 }
-                Err(mpsc::RecvTimeoutError::Timeout) => {}
-                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                buffered.pop_front()
+            } else {
+                match rx.recv_timeout(tick) {
+                    Ok(e) => Some(e),
+                    Err(mpsc::RecvTimeoutError::Timeout) => None,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
+            };
+            if let Some(event) = event {
+                if let Some(seed) = self.handle_event(&ctx, &mut st, job, &derive, event) {
+                    if early {
+                        ctx.cancel.store(true, Ordering::Relaxed);
+                        self.flush_totals(&st, acc);
+                        return (SweepResult::Found(seed), st.swept);
+                    }
+                    st.found = Some(seed);
+                }
             }
-            if deadline_at.is_some_and(|dl| Instant::now() >= dl) {
+            if deadline_at.is_some_and(|dl| self.clock.now() >= dl) {
                 ctx.cancel.store(true, Ordering::Relaxed);
                 self.flush_totals(&st, acc);
                 return match st.found {
@@ -817,7 +912,7 @@ impl SupervisedPool {
                     }
                     ShardOutcome::TimedOut => {
                         let genuine =
-                            ctx.deadline_at.is_some_and(|dl| Instant::now() + SKEW_MARGIN >= dl);
+                            ctx.deadline_at.is_some_and(|dl| self.clock.now() + SKEW_MARGIN >= dl);
                         if genuine {
                             if !st.runs[shard].done {
                                 st.runs[shard].done = true;
@@ -875,7 +970,7 @@ impl SupervisedPool {
     /// Tick bookkeeping: supersedes stalled attempts and hedges
     /// stragglers.
     fn scan_stalls_and_hedges(&self, ctx: &SweepCtx, st: &mut SweepState, job: &SearchJob) {
-        let now = Instant::now();
+        let now = self.clock.now();
         for shard in 0..st.runs.len() {
             if st.runs[shard].done {
                 continue;
@@ -946,7 +1041,8 @@ impl SearchBackend for SupervisedPool {
     }
 
     fn submit(&self, job: &SearchJob) -> SearchReport {
-        let start = Instant::now();
+        let start = self.clock.now();
+        let elapsed = || self.clock.now().saturating_duration_since(start);
         let deadline_at = job.deadline.map(|t| start + t);
         let derive = DynHashDerive(job.algo);
         let algorithm = derive.name();
@@ -983,22 +1079,26 @@ impl SearchBackend for SupervisedPool {
                 seeds_derived,
                 per_distance,
                 &totals,
-                start.elapsed(),
+                elapsed(),
             );
         }
 
         for d in 1..=job.max_d {
-            if deadline_at.is_some_and(|dl| Instant::now() >= dl) {
+            if deadline_at.is_some_and(|dl| self.clock.now() >= dl) {
                 let outcome = match found {
                     Some((seed, distance)) => Outcome::Found { seed, distance },
                     None => Outcome::TimedOut { at_distance: d },
                 };
-                return finish(outcome, seeds_derived, per_distance, &totals, start.elapsed());
+                return finish(outcome, seeds_derived, per_distance, &totals, elapsed());
             }
-            let d_start = Instant::now();
+            let d_start = self.clock.now();
             let (result, swept) = self.sweep_distance(job, d, deadline_at, &mut totals);
             seeds_derived += swept;
-            per_distance.push(DistanceStats { d, seeds: swept, elapsed: d_start.elapsed() });
+            per_distance.push(DistanceStats {
+                d,
+                seeds: swept,
+                elapsed: self.clock.now().saturating_duration_since(d_start),
+            });
             match result {
                 SweepResult::Found(seed) => {
                     if found.is_none() {
@@ -1017,7 +1117,7 @@ impl SearchBackend for SupervisedPool {
                         Some((seed, distance)) => Outcome::Found { seed, distance },
                         None => Outcome::TimedOut { at_distance: d },
                     };
-                    return finish(outcome, seeds_derived, per_distance, &totals, start.elapsed());
+                    return finish(outcome, seeds_derived, per_distance, &totals, elapsed());
                 }
             }
         }
@@ -1026,7 +1126,7 @@ impl SearchBackend for SupervisedPool {
             Some((seed, distance)) => Outcome::Found { seed, distance },
             None => Outcome::NotFound,
         };
-        finish(outcome, seeds_derived, per_distance, &totals, start.elapsed())
+        finish(outcome, seeds_derived, per_distance, &totals, elapsed())
     }
 }
 
@@ -1034,6 +1134,7 @@ impl SearchBackend for SupervisedPool {
 mod tests {
     use super::*;
     use crate::backend::CpuBackend;
+    use crate::clock::SimClock;
     use crate::engine::EngineConfig;
     use crate::shard::ShardReport;
     use rbc_hash::HashAlgo;
@@ -1139,9 +1240,11 @@ mod tests {
         }
     }
 
-    /// Sleeps without checkpointing, then sweeps honestly.
+    /// Sleeps (on its clock) without checkpointing, then sweeps
+    /// honestly — stall/hedge scenarios run on a virtual timeline.
     struct SleepyBackend {
         sleep: Duration,
+        clock: ClockHandle,
     }
 
     impl SearchBackend for SleepyBackend {
@@ -1158,7 +1261,7 @@ mod tests {
             interval: u64,
             sink: &dyn CheckpointSink,
         ) -> ShardReport {
-            std::thread::sleep(self.sleep);
+            self.clock.sleep(self.sleep);
             crate::shard::execute_job_shard(job, spec, interval, sink)
         }
     }
@@ -1219,11 +1322,19 @@ mod tests {
 
     #[test]
     fn breaker_opens_on_consecutive_failures_then_recovers() {
+        let clock = SimClock::new().handle();
         let mut cfg = fast_cfg();
         cfg.breaker.failure_threshold = 3;
         cfg.breaker.cooldown = Duration::from_millis(200);
         let flaky = Arc::new(FlakyBackend { remaining: AtomicU64::new(3) });
-        let pool = SupervisedPool::new(vec![flaky, cpu()], cfg);
+        let pool = SupervisedPool::with_clock(
+            vec![flaky, cpu()],
+            cfg,
+            Arc::new(Registry::new()),
+            clock.clone(),
+        );
+        // The caller thread sleeps and sweeps on the virtual timeline.
+        let _actor = clock.enter();
         let base = U256::from_u64(0x44);
         let client = base.flip_bit(5).flip_bit(150);
         let job = job_for(&client, &base, 2);
@@ -1235,15 +1346,15 @@ mod tests {
         }
         assert_eq!(pool.breaker_state(0), BreakerState::Open);
         // After the cooldown the breaker admits a probe, and the now
-        // healthy backend closes it again.
-        std::thread::sleep(Duration::from_millis(220));
+        // healthy backend closes it again. The 220 ms cost no real time.
+        clock.sleep(Duration::from_millis(220));
         assert_eq!(pool.breaker_state(0), BreakerState::HalfOpen);
         for _ in 0..4 {
             assert_eq!(pool.submit(&job).outcome, Outcome::Found { seed: client, distance: 2 });
             if pool.breaker_state(0) == BreakerState::Closed {
                 break;
             }
-            std::thread::sleep(Duration::from_millis(2));
+            clock.sleep(Duration::from_millis(2));
         }
         assert_eq!(pool.breaker_state(0), BreakerState::Closed);
         let snap = pool.registry().snapshot();
@@ -1264,10 +1375,18 @@ mod tests {
 
     #[test]
     fn stalled_attempts_are_superseded() {
+        let clock = SimClock::new().handle();
         let mut cfg = fast_cfg();
         cfg.stall_timeout = Duration::from_millis(40);
-        let sleepy = Arc::new(SleepyBackend { sleep: Duration::from_millis(200) });
-        let pool = SupervisedPool::new(vec![sleepy, cpu()], cfg);
+        let sleepy =
+            Arc::new(SleepyBackend { sleep: Duration::from_millis(200), clock: clock.clone() });
+        let pool = SupervisedPool::with_clock(
+            vec![sleepy, cpu()],
+            cfg,
+            Arc::new(Registry::new()),
+            clock.clone(),
+        );
+        let _actor = clock.enter();
         let base = U256::from_u64(0x66);
         let client = base.flip_bit(30).flip_bit(222);
         let report = pool.submit(&job_for(&client, &base, 2));
@@ -1289,11 +1408,19 @@ mod tests {
 
     #[test]
     fn straggler_shards_are_hedged_onto_a_second_backend() {
+        let clock = SimClock::new().handle();
         let mut cfg = fast_cfg();
         cfg.stall_timeout = Duration::from_secs(10);
         cfg.hedge_after = Some(Duration::from_millis(20));
-        let sleepy = Arc::new(SleepyBackend { sleep: Duration::from_millis(250) });
-        let pool = SupervisedPool::new(vec![sleepy, cpu()], cfg);
+        let sleepy =
+            Arc::new(SleepyBackend { sleep: Duration::from_millis(250), clock: clock.clone() });
+        let pool = SupervisedPool::with_clock(
+            vec![sleepy, cpu()],
+            cfg,
+            Arc::new(Registry::new()),
+            clock.clone(),
+        );
+        let _actor = clock.enter();
         let base = U256::from_u64(0x88);
         let client = base.flip_bit(1).flip_bit(2).flip_bit(3).flip_bit(4);
         let report = pool.submit(&job_for(&client, &base, 2));
@@ -1315,6 +1442,51 @@ mod tests {
         job.deadline = Some(Duration::from_millis(200));
         let report = pool.submit(&job);
         assert!(matches!(report.outcome, Outcome::TimedOut { .. }), "got {:?}", report.outcome);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// The recovery dance's deadline arithmetic saturates on both
+            /// clocks: whatever the threshold (including zero and values
+            /// smaller than a single redispatch), an always-faulting pool
+            /// reports `TimedOut` — never a panic from an underflowed
+            /// budget, and never a false `NotFound`.
+            #[test]
+            fn exhausted_budgets_time_out_under_both_clocks(
+                deadline_ms in 0u64..=100,
+                hedge_ms in 0u64..=50,
+                use_sim in any::<bool>(),
+            ) {
+                let clock: ClockHandle =
+                    if use_sim { SimClock::new().handle() } else { wall_clock() };
+                let _actor = clock.enter();
+                let mut cfg = fast_cfg();
+                // 0 = hedging off; otherwise an aggressive hedge timer
+                // stresses the stall/hedge delay arithmetic.
+                cfg.hedge_after = (hedge_ms > 0).then(|| Duration::from_millis(hedge_ms));
+                let pool = SupervisedPool::with_clock(
+                    vec![Arc::new(FailingBackend), Arc::new(FailingBackend)],
+                    cfg,
+                    Arc::new(Registry::new()),
+                    clock.clone(),
+                );
+                let base = U256::from_u64(0x99);
+                let client = base.flip_bit(6).flip_bit(7);
+                let mut job = job_for(&client, &base, 2);
+                job.deadline = Some(Duration::from_millis(deadline_ms));
+                let report = pool.submit(&job);
+                prop_assert!(
+                    matches!(report.outcome, Outcome::TimedOut { .. }),
+                    "faulting pool must time out, got {:?}",
+                    report.outcome
+                );
+            }
+        }
     }
 
     #[test]

@@ -135,9 +135,14 @@ impl<P: PqcKeyGen> AuthService<P> {
         recorder: Arc<dyn Recorder>,
     ) -> Self {
         let registry = dispatcher.registry().clone();
+        // One timeline for the whole pipeline: span durations and the
+        // CA's keygen timing read the dispatcher's clock, so a
+        // virtual-time dispatcher gets virtual-time telemetry.
+        let clock = dispatcher.clock().clone();
         ca.set_telemetry(CaTelemetry::register(&registry));
+        ca.set_clock(clock.clone());
         let metrics = ServiceMetrics::register(&registry);
-        let tracer = Tracer::new(recorder).with_registry(registry, "rbc_service");
+        let tracer = Tracer::with_clock(recorder, clock).with_registry(registry, "rbc_service");
         AuthService { ca: Mutex::new(ca), dispatcher, metrics, tracer }
     }
 

@@ -17,12 +17,14 @@
 //! sweep had not produced (property-tested in `rbc-comb`), so a
 //! re-dispatched shard can neither skip nor repeat a candidate.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rbc_bits::U256;
 use rbc_comb::{ChaseState, ChaseStream, ChaseTable};
 
 use crate::backend::SearchJob;
+use crate::batch::BatchPolicy;
+use crate::clock::{wall_clock, ClockHandle};
 use crate::derive::{Derive, DynHashDerive};
 
 /// Masks swept between checkpoints when the caller does not override it.
@@ -163,8 +165,39 @@ pub fn run_shard<D: Derive>(
     // allocating max-width buffers, while large shards amortize the
     // deadline checks with full-width batches — same policy as the
     // engine hot loop (see `crate::batch`).
-    let batch = crate::batch::BatchPolicy::default().resolve_for_span(spec.count);
-    let start = Instant::now();
+    run_shard_clocked(
+        derive,
+        target,
+        s_init,
+        spec,
+        deadline,
+        checkpoint_interval,
+        sink,
+        &wall_clock(),
+        BatchPolicy::default(),
+    )
+}
+
+/// [`run_shard`] with the attempt's start, deadline and elapsed read
+/// from `clock`, and the refill width resolved from an explicit
+/// `policy` — the simulation harness passes a fixed policy so batch
+/// boundaries (and therefore checkpoint and deadline-poll positions)
+/// do not depend on a wall-clock calibration of the host.
+#[allow(clippy::too_many_arguments)]
+pub fn run_shard_clocked<D: Derive>(
+    derive: &D,
+    target: &D::Out,
+    s_init: &U256,
+    spec: &ShardSpec,
+    deadline: Option<Duration>,
+    checkpoint_interval: u64,
+    sink: &dyn CheckpointSink,
+    clock: &ClockHandle,
+    policy: BatchPolicy,
+) -> ShardReport {
+    let batch = policy.resolve_for_span(spec.count);
+    let start = clock.now();
+    let elapsed = || clock.now().saturating_duration_since(start);
     let give_up = deadline.map(|t| start + t);
     let interval = checkpoint_interval.max(1);
     let target_prefix = derive.prefix64(target);
@@ -186,11 +219,7 @@ pub fn run_shard<D: Derive>(
             }
         }
         if masks.is_empty() {
-            return ShardReport {
-                outcome: ShardOutcome::Exhausted,
-                swept,
-                elapsed: start.elapsed(),
-            };
+            return ShardReport { outcome: ShardOutcome::Exhausted, swept, elapsed: elapsed() };
         }
         seeds.clear();
         seeds.extend(masks.iter().map(|m| *s_init ^ *m));
@@ -213,17 +242,13 @@ pub fn run_shard<D: Derive>(
             return ShardReport {
                 outcome: ShardOutcome::Found { seed },
                 swept,
-                elapsed: start.elapsed(),
+                elapsed: elapsed(),
             };
         }
 
         if let Some(dl) = give_up {
-            if Instant::now() >= dl {
-                return ShardReport {
-                    outcome: ShardOutcome::TimedOut,
-                    swept,
-                    elapsed: start.elapsed(),
-                };
+            if clock.now() >= dl {
+                return ShardReport { outcome: ShardOutcome::TimedOut, swept, elapsed: elapsed() };
             }
         }
         if since_cp >= interval {
@@ -237,11 +262,7 @@ pub fn run_shard<D: Derive>(
                 remaining,
             });
             if control == ShardControl::Stop {
-                return ShardReport {
-                    outcome: ShardOutcome::Cancelled,
-                    swept,
-                    elapsed: start.elapsed(),
-                };
+                return ShardReport { outcome: ShardOutcome::Cancelled, swept, elapsed: elapsed() };
             }
         }
     }

@@ -5,10 +5,13 @@
 //! optional simulated latency per delivery lets integration tests model a
 //! WAN without sleeping for real seconds.
 
-use std::time::Duration;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use rbc_telemetry::{wall_clock, ClockHandle, SIM_POLL_TICK};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
@@ -39,8 +42,8 @@ impl std::error::Error for TransportError {}
 
 /// One side of a duplex message link.
 pub struct Endpoint {
-    tx: Sender<Bytes>,
-    rx: Receiver<Bytes>,
+    tx: Sender<(Instant, Bytes)>,
+    rx: Receiver<(Instant, Bytes)>,
     /// Accumulated simulated wire time (frames × modelled latency); real
     /// delivery is instantaneous.
     simulated_latency: Duration,
@@ -48,14 +51,26 @@ pub struct Endpoint {
     frames_sent: u64,
     bytes_sent: u64,
     telemetry: Option<NetTelemetry>,
+    clock: ClockHandle,
+    /// Frames pulled off the channel before their virtual delivery time
+    /// (sim receive path only — the wall path reads the channel directly).
+    stash: Mutex<VecDeque<(Instant, Bytes)>>,
 }
 
 /// Creates a connected pair of endpoints. `per_frame_latency` is *recorded*
 /// per send (for end-to-end accounting) rather than slept.
 pub fn duplex(per_frame_latency: Duration) -> (Endpoint, Endpoint) {
+    duplex_with_clock(per_frame_latency, wall_clock())
+}
+
+/// [`duplex`] on an explicit clock. On a virtual clock the latency model
+/// becomes *causal*: each frame is stamped `send + per_frame_latency` and
+/// the receiver blocks (in virtual time) until that instant, so wire delay
+/// interleaves with deadlines instead of being accounted after the fact.
+pub fn duplex_with_clock(per_frame_latency: Duration, clock: ClockHandle) -> (Endpoint, Endpoint) {
     let (atx, brx) = unbounded();
     let (btx, arx) = unbounded();
-    let make = |tx, rx| Endpoint {
+    let make = |tx, rx, clock: &ClockHandle| Endpoint {
         tx,
         rx,
         simulated_latency: Duration::ZERO,
@@ -63,8 +78,10 @@ pub fn duplex(per_frame_latency: Duration) -> (Endpoint, Endpoint) {
         frames_sent: 0,
         bytes_sent: 0,
         telemetry: None,
+        clock: clock.clone(),
+        stash: Mutex::new(VecDeque::new()),
     };
-    (make(atx, arx), make(btx, brx))
+    (make(atx, arx, &clock), make(btx, brx, &clock))
 }
 
 impl Endpoint {
@@ -81,15 +98,22 @@ impl Endpoint {
             t.bytes_sent.add(frame.len() as u64);
         }
         self.simulated_latency += self.per_frame_latency;
-        self.tx.send(frame.freeze()).map_err(|_| TransportError::Disconnected)
+        let deliver_at = self.clock.now() + self.per_frame_latency;
+        self.tx.send((deliver_at, frame.freeze())).map_err(|_| TransportError::Disconnected)
     }
 
     /// Receives and parses the next message, waiting up to `timeout`.
     pub fn recv<M: DeserializeOwned>(&self, timeout: Duration) -> Result<M, TransportError> {
-        let mut frame = match self.rx.recv_timeout(timeout) {
-            Ok(f) => f,
-            Err(RecvTimeoutError::Timeout) => return Err(TransportError::Timeout),
-            Err(RecvTimeoutError::Disconnected) => return Err(TransportError::Disconnected),
+        let mut frame = if self.clock.is_virtual() {
+            self.recv_frame_virtual(timeout)?
+        } else {
+            // Wall clock: delivery is instantaneous and the stamped
+            // latency stays pure accounting, exactly as before.
+            match self.rx.recv_timeout(timeout) {
+                Ok((_, f)) => f,
+                Err(RecvTimeoutError::Timeout) => return Err(TransportError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(TransportError::Disconnected),
+            }
         };
         if frame.len() < 4 {
             return Err(TransportError::Decode("short frame".into()));
@@ -102,6 +126,51 @@ impl Endpoint {
             )));
         }
         serde_json::from_slice(&frame).map_err(|e| TransportError::Decode(e.to_string()))
+    }
+
+    /// Virtual-time receive: frames become visible only at their stamped
+    /// delivery instant. Frames popped early wait in `stash` (channel FIFO
+    /// order is preserved — one sender, constant latency, monotone clock),
+    /// so a frame still "in flight" past this call's deadline is delivered
+    /// by a later call rather than lost.
+    fn recv_frame_virtual(&self, timeout: Duration) -> Result<Bytes, TransportError> {
+        let deadline = self.clock.now() + timeout;
+        // Idle back-off: an endpoint parked on an empty channel has no
+        // delivery instant to wake at, so it polls — starting at tick
+        // granularity, doubling while nothing arrives. Coarser idle
+        // wakes cost a little delivery precision on the first frame
+        // after a lull but keep a simulation with many quiet endpoints
+        // from burning one wake per actor per virtual millisecond.
+        let mut idle_tick = SIM_POLL_TICK;
+        loop {
+            let disconnected = loop {
+                match self.rx.try_recv() {
+                    Ok(f) => self.stash.lock().unwrap().push_back(f),
+                    Err(TryRecvError::Empty) => break false,
+                    Err(TryRecvError::Disconnected) => break true,
+                }
+            };
+            let head_at = self.stash.lock().unwrap().front().map(|(at, _)| *at);
+            let now = self.clock.now();
+            match head_at {
+                Some(at) if at <= now => {
+                    return Ok(self.stash.lock().unwrap().pop_front().expect("head present").1);
+                }
+                Some(at) if at <= deadline => self.clock.sleep_until(at),
+                Some(_) => return Err(TransportError::Timeout),
+                None if disconnected => return Err(TransportError::Disconnected),
+                None if now >= deadline => return Err(TransportError::Timeout),
+                None => {
+                    self.clock.sleep(idle_tick.min(deadline - now));
+                    idle_tick = (idle_tick * 2).min(32 * SIM_POLL_TICK);
+                }
+            }
+        }
+    }
+
+    /// The clock this endpoint waits on.
+    pub fn clock(&self) -> &ClockHandle {
+        &self.clock
     }
 
     /// Mirrors this endpoint's send accounting into shared `rbc_net_*`

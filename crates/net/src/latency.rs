@@ -24,7 +24,7 @@ pub struct CommBreakdown {
 impl CommBreakdown {
     /// Total communication time (the "Comm. Time" column of Table 5).
     pub fn total(&self) -> Duration {
-        self.network + self.puf_read + self.framing
+        self.network.saturating_add(self.puf_read).saturating_add(self.framing)
     }
 }
 
@@ -76,10 +76,12 @@ impl LatencyModel {
     /// Communication cost of one full authentication: `round_trips` network
     /// round trips, `messages` framed messages, one PUF read.
     pub fn authentication_comm(&self, round_trips: u32, messages: u32) -> CommBreakdown {
+        // Saturate rather than overflow: an absurd message count caps the
+        // breakdown at `Duration::MAX` instead of panicking mid-budget.
         CommBreakdown {
-            network: self.one_way * (2 * round_trips),
+            network: self.one_way.saturating_mul(round_trips.saturating_mul(2)),
             puf_read: self.puf_read,
-            framing: self.per_message * messages,
+            framing: self.per_message.saturating_mul(messages),
         }
     }
 
@@ -134,6 +136,38 @@ mod tests {
         let m = LatencyModel::paper_wan();
         assert_eq!(m.search_budget(Duration::from_secs(20)), Duration::from_millis(19_100));
         assert_eq!(m.search_budget(Duration::from_millis(100)), Duration::ZERO);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            /// `T − comm` never panics and never goes negative: absurd
+            /// round-trip/message counts saturate the breakdown at
+            /// `Duration::MAX`, and a threshold below the communication
+            /// cost yields a zero search budget, not an underflow.
+            #[test]
+            fn budget_arithmetic_saturates_at_both_ends(
+                total_ms in 0u64..=40_000,
+                round_trips in 0u32..=u32::MAX,
+                messages in 0u32..=u32::MAX,
+            ) {
+                let m = LatencyModel::paper_wan();
+                let comm = m.authentication_comm(round_trips, messages);
+                prop_assert!(comm.total() >= comm.puf_read);
+                let total = Duration::from_millis(total_ms);
+                let budget = m.search_budget(total);
+                prop_assert!(budget <= total);
+                if total <= m.standard_auth_comm().total() {
+                    prop_assert_eq!(budget, Duration::ZERO);
+                } else {
+                    prop_assert_eq!(budget, total - m.standard_auth_comm().total());
+                }
+            }
+        }
     }
 
     #[test]

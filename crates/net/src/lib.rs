@@ -21,10 +21,10 @@ pub mod latency;
 pub mod lossy;
 pub mod telemetry;
 
-pub use channel::{duplex, Endpoint, TransportError};
+pub use channel::{duplex, duplex_with_clock, Endpoint, TransportError};
 pub use latency::{CommBreakdown, LatencyModel};
 pub use lossy::{
-    lossy_duplex, LossyEndpoint, ReliableReceiver, ReliableSender, ReliableStats, RpcClient,
-    RpcServer,
+    lossy_duplex, lossy_duplex_with_clock, LossyEndpoint, ReliableReceiver, ReliableSender,
+    ReliableStats, RpcClient, RpcServer,
 };
 pub use telemetry::NetTelemetry;

@@ -13,7 +13,9 @@ use rand::{Rng, SeedableRng};
 use serde::de::DeserializeOwned;
 use serde::{Deserialize, Serialize};
 
-use crate::channel::{duplex, Endpoint, TransportError};
+use rbc_telemetry::{wall_clock, ClockHandle};
+
+use crate::channel::{duplex_with_clock, Endpoint, TransportError};
 use crate::telemetry::NetTelemetry;
 
 /// A link that drops each frame independently with probability `loss`.
@@ -32,8 +34,19 @@ pub fn lossy_duplex(
     loss: f64,
     seed: u64,
 ) -> (LossyEndpoint, LossyEndpoint) {
+    lossy_duplex_with_clock(per_frame_latency, loss, seed, wall_clock())
+}
+
+/// [`lossy_duplex`] on an explicit clock — see
+/// [`crate::channel::duplex_with_clock`] for the virtual-time semantics.
+pub fn lossy_duplex_with_clock(
+    per_frame_latency: Duration,
+    loss: f64,
+    seed: u64,
+    clock: ClockHandle,
+) -> (LossyEndpoint, LossyEndpoint) {
     assert!((0.0..1.0).contains(&loss), "loss probability must be in [0, 1)");
-    let (a, b) = duplex(per_frame_latency);
+    let (a, b) = duplex_with_clock(per_frame_latency, clock);
     let wrap = |inner, seed| LossyEndpoint {
         inner,
         loss,
@@ -89,16 +102,16 @@ impl LossyEndpoint {
     pub(crate) fn telemetry(&self) -> Option<&NetTelemetry> {
         self.telemetry.as_ref()
     }
+
+    /// The clock this link waits on.
+    pub fn clock(&self) -> &ClockHandle {
+        self.inner.clock()
+    }
 }
 
-/// SplitMix64: a tiny, high-quality bit mixer used to derive the
-/// deterministic retry jitter (no RNG state to carry or reseed).
-fn splitmix64(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// SplitMix64 (the shared workspace mixer) derives the deterministic
+/// retry jitter — no RNG state to carry or reseed.
+use rbc_splitmix::splitmix64;
 
 /// An envelope carrying a sequence number for stop-and-wait.
 #[derive(Serialize, Deserialize, Debug, Clone, PartialEq)]
@@ -201,11 +214,11 @@ impl ReliableReceiver {
         &mut self,
         overall_timeout: Duration,
     ) -> Result<M, TransportError> {
-        let deadline = std::time::Instant::now() + overall_timeout;
+        let clock = self.link.clock().clone();
+        let deadline = clock.now() + overall_timeout;
         loop {
-            let remaining = deadline
-                .checked_duration_since(std::time::Instant::now())
-                .ok_or(TransportError::Timeout)?;
+            let remaining =
+                deadline.checked_duration_since(clock.now()).ok_or(TransportError::Timeout)?;
             let env: Envelope<M> = self.link.recv(remaining)?;
             // Ack everything we see; the ack itself may be lost, which is
             // what the sender's retransmission covers.
@@ -263,11 +276,20 @@ impl RpcClient {
     /// the exact same timers.
     pub fn retry_timeout(&self, seq: u64, attempt: u32) -> Duration {
         let factor = self.backoff_factor.max(1.0);
-        let grown = self.rto.mul_f64(factor.powi(attempt.min(24) as i32));
-        let capped = grown.min(self.max_rto.max(self.rto));
+        let cap = self.max_rto.max(self.rto);
+        // Grow in f64 seconds and clamp *before* converting back: an
+        // aggressive factor × a large base would overflow `Duration`
+        // multiplication long past the cap that makes it irrelevant.
+        let grown_secs = self.rto.as_secs_f64() * factor.powi(attempt.min(24) as i32);
+        let capped = if grown_secs.is_finite() && grown_secs < cap.as_secs_f64() {
+            Duration::from_secs_f64(grown_secs)
+        } else {
+            cap
+        };
         let key = splitmix64(seq.wrapping_mul(0x9E37_79B9).wrapping_add(u64::from(attempt)));
         let unit = (key >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
-        capped.mul_f64(1.0 + (unit - 0.5) * 0.5)
+        let jittered = capped.as_secs_f64() * (1.0 + (unit - 0.5) * 0.5);
+        Duration::try_from_secs_f64(jittered).unwrap_or(Duration::MAX)
     }
 
     /// Tags subsequent retransmission events with the trace id of the
@@ -329,11 +351,11 @@ impl RpcServer {
         &mut self,
         overall_timeout: Duration,
     ) -> Result<(u64, Req), TransportError> {
-        let deadline = std::time::Instant::now() + overall_timeout;
+        let clock = self.link.clock().clone();
+        let deadline = clock.now() + overall_timeout;
         loop {
-            let remaining = deadline
-                .checked_duration_since(std::time::Instant::now())
-                .ok_or(TransportError::Timeout)?;
+            let remaining =
+                deadline.checked_duration_since(clock.now()).ok_or(TransportError::Timeout)?;
             match self.link.recv::<Envelope<Req>>(remaining) {
                 Ok(env) => {
                     if let Some((seq, cached)) = &self.last {
@@ -541,6 +563,39 @@ mod tests {
         for attempt in 0..10 {
             let t = client.retry_timeout(1, attempt);
             assert!(t >= client.rto.mul_f64(0.75) && t <= client.rto.mul_f64(1.25), "{t:?}");
+        }
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            /// The retry timer never panics and never escapes its cap —
+            /// for any base/ceiling/factor a caller can configure,
+            /// including degenerate zeros and absurd growth factors that
+            /// would overflow a naive `Duration` multiply.
+            #[test]
+            fn retry_timeout_saturates_for_any_configuration(
+                rto_ms in 0u64..=600_000,
+                max_rto_ms in 0u64..=600_000,
+                factor in 0.0f64..=1_000.0,
+                seq in 0u64..=u64::MAX - 1,
+                attempt in 0u32..=10_000,
+            ) {
+                let (a, _b) = lossy_duplex(Duration::ZERO, 0.0, 1);
+                let mut client = RpcClient::new(a);
+                client.rto = Duration::from_millis(rto_ms);
+                client.max_rto = Duration::from_millis(max_rto_ms);
+                client.backoff_factor = factor;
+                let t = client.retry_timeout(seq, attempt);
+                let cap = client.max_rto.max(client.rto);
+                prop_assert!(t <= cap.mul_f64(1.2501), "{t:?} beyond cap {cap:?}");
+                // Deterministic: a replayed run derives the same timer.
+                prop_assert_eq!(t, client.retry_timeout(seq, attempt));
+            }
         }
     }
 

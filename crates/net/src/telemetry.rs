@@ -20,7 +20,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use rbc_telemetry::{Counter, EventKind, EventRecord, Recorder, Registry};
+use rbc_telemetry::{wall_clock, ClockHandle, Counter, EventKind, EventRecord, Recorder, Registry};
 
 /// Shared handles into the registry's `rbc_net_*` counters, cloneable
 /// onto every endpoint of a harness.
@@ -41,12 +41,20 @@ pub struct NetTelemetry {
     /// one (`rbc_net_stale_acks_total`).
     pub stale_acks: Arc<Counter>,
     recorder: Option<Arc<dyn Recorder>>,
+    clock: ClockHandle,
     epoch: Instant,
 }
 
 impl NetTelemetry {
     /// Registers (or re-resolves) the `rbc_net_*` counters in `registry`.
     pub fn register(registry: &Registry) -> Self {
+        Self::register_with_clock(registry, wall_clock())
+    }
+
+    /// [`NetTelemetry::register`] on an explicit clock, so retransmission
+    /// event timestamps land on the same (possibly virtual) timeline as
+    /// the spans they annotate.
+    pub fn register_with_clock(registry: &Registry, clock: ClockHandle) -> Self {
         NetTelemetry {
             frames_sent: registry.counter("rbc_net_frames_sent_total"),
             bytes_sent: registry.counter("rbc_net_bytes_sent_total"),
@@ -54,7 +62,8 @@ impl NetTelemetry {
             retransmits: registry.counter("rbc_net_retransmits_total"),
             stale_acks: registry.counter("rbc_net_stale_acks_total"),
             recorder: None,
-            epoch: Instant::now(),
+            epoch: clock.now(),
+            clock,
         }
     }
 
@@ -70,7 +79,9 @@ impl NetTelemetry {
     pub(crate) fn on_retransmit(&self, trace_id: u64, detail: &'static str) {
         self.retransmits.inc();
         if let Some(r) = &self.recorder {
-            let at_ns = u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            let at_ns =
+                u64::try_from(self.clock.now().saturating_duration_since(self.epoch).as_nanos())
+                    .unwrap_or(u64::MAX);
             r.event(&EventRecord { kind: EventKind::Retransmit, trace_id, at_ns, detail });
         }
     }

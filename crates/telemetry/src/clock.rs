@@ -1,0 +1,417 @@
+//! Virtual time: the [`Clock`] trait, the zero-cost [`WallClock`], and
+//! the deterministic [`SimClock`].
+//!
+//! The whole pipeline is deadline-shaped — the protocol threshold `T`
+//! bounds queue wait plus search, and the dispatcher/pool stack is
+//! arithmetic over `Instant`s — yet none of it could be tested at scale
+//! because every scenario burned real seconds. Every layer now reads
+//! time through a [`ClockHandle`]; production code keeps the default
+//! [`WallClock`] (real `Instant::now`/`thread::sleep`, zero behavioral
+//! change), while simulation swaps in a [`SimClock`].
+//!
+//! ## How `SimClock` advances
+//!
+//! FoundationDB-style: the clock owns a shared virtual timeline and a
+//! waiter queue. Threads participating in a simulation register as
+//! *actors* ([`Clock::enter`]); a sleeping actor parks itself in the
+//! queue, and **virtual time only advances when every actor is
+//! blocked** — it then jumps straight to the earliest wake target, so
+//! a hundred simulated seconds of think time costs one heap pop.
+//! Compute takes (almost) zero virtual time; timeouts happen exactly
+//! when the timeline says they do, not when the host scheduler gets
+//! around to a thread.
+//!
+//! Wake-ups are strictly serialized: when time reaches a target, only
+//! the earliest `(target, seq)` sleeper resumes, and the next sleeper
+//! — even one with the same target — resumes only after the first
+//! blocks again. At most one actor is ever runnable once a simulation
+//! reaches steady state, which is what makes multi-threaded scenario
+//! runs deterministic: every shared-state transition is totally
+//! ordered by the virtual timeline.
+//!
+//! ## Rules for simulated code paths
+//!
+//! * Every thread that touches a `SimClock` (sleeps on it, or computes
+//!   while others sleep) must hold an [`ActorGuard`]. Create the guard
+//!   **on the spawning thread** and move it into the new thread —
+//!   otherwise the parent may block with `active == 0` and time
+//!   gallops before the child starts.
+//! * Never hold a real lock across a virtual sleep: another actor
+//!   blocking on that lock is invisible to the clock, and the timeline
+//!   deadlocks with `active > 0` forever.
+//! * Blocking primitives that cannot park virtually (condvars, channel
+//!   receives) poll instead under `is_virtual()`: sleep one small
+//!   virtual tick, then re-check. Polls quantize message visibility to
+//!   tick boundaries, which is exactly what keeps cross-thread races
+//!   off the timeline.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+/// A source of time and sleeps. Dyn-safe: layers store an
+/// [`Arc<dyn Clock>`](ClockHandle) and default to [`WallClock`].
+///
+/// `now()` returns a real [`Instant`] in both implementations —
+/// [`SimClock`] mints `base + virtual_elapsed` — so all existing
+/// `Instant` arithmetic (deadlines, `saturating_duration_since`,
+/// budget subtraction) works unchanged on either clock.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// The current time on this clock's timeline.
+    fn now(&self) -> Instant;
+
+    /// Blocks until the timeline reaches `deadline` (returns
+    /// immediately if it already has).
+    fn sleep_until(&self, deadline: Instant);
+
+    /// Blocks for `d` on this clock's timeline.
+    fn sleep(&self, d: Duration) {
+        let now = self.now();
+        match now.checked_add(d) {
+            Some(deadline) => self.sleep_until(deadline),
+            // A deadline beyond `Instant`'s range can never be reached;
+            // clamp to ~30 virtual years, far past any scenario.
+            None => self.sleep_until(now + Duration::from_secs(1 << 30)),
+        }
+    }
+
+    /// Whether this clock runs a virtual timeline. Poll loops branch on
+    /// this: real blocking waits under the wall clock, tick-quantized
+    /// virtual sleeps under simulation.
+    fn is_virtual(&self) -> bool {
+        false
+    }
+
+    /// Registers the calling context as a simulation actor until the
+    /// returned guard drops. A no-op on [`WallClock`]. The guard is
+    /// `Send`: create it before spawning a thread and move it in.
+    fn enter(&self) -> ActorGuard;
+}
+
+/// How layers hold their clock: a shared dyn handle.
+pub type ClockHandle = Arc<dyn Clock>;
+
+/// The process-wide [`WallClock`] handle — the default everywhere.
+pub fn wall_clock() -> ClockHandle {
+    static WALL: OnceLock<ClockHandle> = OnceLock::new();
+    WALL.get_or_init(|| Arc::new(WallClock)).clone()
+}
+
+/// Real time: `Instant::now` and `thread::sleep`. Zero-cost and
+/// behavior-preserving — the default clock of every layer.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WallClock;
+
+impl Clock for WallClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+
+    fn sleep_until(&self, deadline: Instant) {
+        let now = Instant::now();
+        if deadline > now {
+            std::thread::sleep(deadline - now);
+        }
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+
+    fn enter(&self) -> ActorGuard {
+        ActorGuard { sim: None }
+    }
+}
+
+/// Registration of one simulation actor; de-registers on drop. While
+/// any actor is runnable (registered and not sleeping), virtual time
+/// stands still.
+#[must_use = "dropping the guard immediately de-registers the actor"]
+pub struct ActorGuard {
+    sim: Option<Arc<SimInner>>,
+}
+
+impl Drop for ActorGuard {
+    fn drop(&mut self) {
+        if let Some(sim) = self.sim.take() {
+            let mut g = sim.lock_state();
+            g.active = g.active.saturating_sub(1);
+            if g.active == 0 {
+                sim.cv.notify_all();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ActorGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ActorGuard(sim={})", self.sim.is_some())
+    }
+}
+
+/// A shared deterministic virtual timeline (see the module docs for
+/// the advance and serialization rules). Cheap to clone; all clones
+/// share one timeline.
+#[derive(Clone)]
+pub struct SimClock {
+    inner: Arc<SimInner>,
+}
+
+struct SimInner {
+    /// The real instant virtual time zero maps to; `now()` mints
+    /// `base + state.now` so virtual instants compare and subtract
+    /// like real ones.
+    base: Instant,
+    state: Mutex<SimState>,
+    cv: Condvar,
+}
+
+struct SimState {
+    /// Virtual time as an offset from `base`.
+    now: Duration,
+    /// Registered actors currently runnable (not parked in a sleep).
+    active: usize,
+    /// Monotone tie-breaker: equal wake targets resume in sleep order.
+    next_seq: u64,
+    /// Parked actors as `(wake_target, seq)`, earliest first.
+    sleepers: BinaryHeap<Reverse<(Duration, u64)>>,
+}
+
+impl SimInner {
+    /// A panicking actor (chaos crash faults unwind through worker
+    /// threads by design) must not poison the whole timeline.
+    fn lock_state(&self) -> MutexGuard<'_, SimState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        SimClock::new()
+    }
+}
+
+impl SimClock {
+    /// A fresh timeline at virtual time zero.
+    pub fn new() -> Self {
+        SimClock {
+            inner: Arc::new(SimInner {
+                base: Instant::now(),
+                state: Mutex::new(SimState {
+                    now: Duration::ZERO,
+                    active: 0,
+                    next_seq: 0,
+                    sleepers: BinaryHeap::new(),
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// This timeline as a [`ClockHandle`].
+    pub fn handle(&self) -> ClockHandle {
+        Arc::new(self.clone())
+    }
+
+    /// Virtual time elapsed since the timeline began.
+    pub fn virtual_elapsed(&self) -> Duration {
+        self.inner.lock_state().now
+    }
+
+    /// `(runnable actors, parked actors)` — a liveness probe for
+    /// watchdogs: `(0, 0)` after a scenario means clean shutdown.
+    pub fn actors(&self) -> (usize, usize) {
+        let g = self.inner.lock_state();
+        (g.active, g.sleepers.len())
+    }
+
+    fn sleep_offset(&self, target: Duration) {
+        let inner = &self.inner;
+        let mut g = inner.lock_state();
+        if g.now >= target {
+            return;
+        }
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        g.sleepers.push(Reverse((target, seq)));
+        g.active = g
+            .active
+            .checked_sub(1)
+            .expect("SimClock sleep from a thread with no ActorGuard (Clock::enter)");
+        if g.active == 0 {
+            inner.cv.notify_all();
+        }
+        loop {
+            // Wake rule: the timeline reached our target, no actor is
+            // runnable, and we are the earliest parked sleeper. Waking
+            // exactly one actor at a time totally orders execution.
+            if g.now >= target
+                && g.active == 0
+                && g.sleepers.peek() == Some(&Reverse((target, seq)))
+            {
+                g.sleepers.pop();
+                g.active = 1;
+                // The next-earliest sleeper may share our target; it
+                // becomes eligible the moment we block again, and
+                // learns of *this* pop only through a notification.
+                inner.cv.notify_all();
+                return;
+            }
+            // Advance rule: every actor is parked — jump to the
+            // earliest wake target and let its sleeper claim the wake.
+            if g.active == 0 {
+                if let Some(&Reverse((t, _))) = g.sleepers.peek() {
+                    if t > g.now {
+                        g.now = t;
+                        inner.cv.notify_all();
+                        continue; // we may be that earliest sleeper
+                    }
+                }
+            }
+            g = inner.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+impl Clock for SimClock {
+    fn now(&self) -> Instant {
+        self.inner.base + self.inner.lock_state().now
+    }
+
+    fn sleep_until(&self, deadline: Instant) {
+        self.sleep_offset(deadline.saturating_duration_since(self.inner.base));
+    }
+
+    fn is_virtual(&self) -> bool {
+        true
+    }
+
+    fn enter(&self) -> ActorGuard {
+        self.inner.lock_state().active += 1;
+        ActorGuard { sim: Some(self.inner.clone()) }
+    }
+}
+
+impl std::fmt::Debug for SimClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.inner.lock_state();
+        write!(f, "SimClock(now={:?}, active={}, sleepers={})", g.now, g.active, g.sleepers.len())
+    }
+}
+
+/// The virtual tick poll loops sleep between re-checks of a condition
+/// the clock cannot observe (condvars, channel queues). One
+/// millisecond: two orders of magnitude below every timeout in the
+/// stack, and coarse enough that a scenario's poll count stays tiny.
+pub const SIM_POLL_TICK: Duration = Duration::from_millis(1);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn wall_clock_is_real_time() {
+        let clock = wall_clock();
+        assert!(!clock.is_virtual());
+        let t0 = clock.now();
+        clock.sleep(Duration::from_millis(2));
+        assert!(clock.now() - t0 >= Duration::from_millis(2));
+        let _guard = clock.enter(); // no-op
+    }
+
+    #[test]
+    fn virtual_sleep_jumps_instead_of_waiting() {
+        let sim = SimClock::new();
+        let clock = sim.handle();
+        let _actor = clock.enter();
+        let real0 = Instant::now();
+        let t0 = clock.now();
+        clock.sleep(Duration::from_secs(3600)); // an hour, instantly
+        assert_eq!(clock.now() - t0, Duration::from_secs(3600));
+        assert!(Instant::now() - real0 < Duration::from_secs(5));
+        assert_eq!(sim.virtual_elapsed(), Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn sleep_until_a_past_instant_returns_immediately() {
+        let sim = SimClock::new();
+        let _actor = sim.enter();
+        let t0 = sim.now();
+        sim.sleep(Duration::from_millis(5));
+        sim.sleep_until(t0); // already past
+        assert_eq!(sim.virtual_elapsed(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn time_advances_only_when_all_actors_block() {
+        let sim = SimClock::new();
+        let clock = sim.handle();
+        let order = Arc::new(AtomicU64::new(0));
+
+        // Actor A sleeps 10 virtual ms; actor B computes for a while
+        // (real time) before sleeping 20 virtual ms. A's wake-up must
+        // not happen until B blocks, even though A's target is sooner.
+        let a_guard = clock.enter();
+        let b_guard = clock.enter();
+        let (ca, cb) = (clock.clone(), clock.clone());
+        let (oa, ob) = (order.clone(), order.clone());
+        let a = std::thread::spawn(move || {
+            let _g = a_guard;
+            ca.sleep(Duration::from_millis(10));
+            oa.fetch_add(1, Ordering::SeqCst) // wakes first: 0
+        });
+        let b = std::thread::spawn(move || {
+            let _g = b_guard;
+            // Real compute keeps the timeline frozen at zero.
+            std::thread::sleep(Duration::from_millis(30));
+            cb.sleep(Duration::from_millis(20));
+            ob.fetch_add(1, Ordering::SeqCst) // wakes second: 1
+        });
+        assert_eq!(a.join().unwrap(), 0, "earlier target wakes first");
+        assert_eq!(b.join().unwrap(), 1);
+        assert_eq!(sim.virtual_elapsed(), Duration::from_millis(20));
+        assert_eq!(sim.actors(), (0, 0), "clean shutdown");
+    }
+
+    #[test]
+    fn equal_targets_wake_in_sleep_order_one_at_a_time() {
+        let sim = SimClock::new();
+        let clock = sim.handle();
+        let log = Arc::new(Mutex::new(Vec::new()));
+
+        // One actor at a time parks at the same target; wake order must
+        // be the park order, and wakes must be serialized (each waker
+        // appends before the next resumes).
+        let mut handles = Vec::new();
+        let starter = clock.enter(); // keeps time frozen during spawn
+        let target = clock.now() + Duration::from_millis(5);
+        for i in 0..4u32 {
+            let guard = clock.enter();
+            let c = clock.clone();
+            let l = log.clone();
+            handles.push(std::thread::spawn(move || {
+                let _g = guard;
+                // Unique stagger targets make the park order at the
+                // shared 5 ms target deterministic: i+1 microseconds.
+                c.sleep(Duration::from_micros(u64::from(i) + 1));
+                c.sleep_until(target);
+                l.lock().unwrap().push(i);
+            }));
+        }
+        drop(starter);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let got = log.lock().unwrap().clone();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no ActorGuard")]
+    fn sleeping_without_entering_is_a_bug() {
+        let sim = SimClock::new();
+        sim.sleep(Duration::from_millis(1));
+    }
+}

@@ -38,11 +38,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clock;
 mod expose;
 mod metrics;
 mod recorder;
 mod trace;
 
+pub use clock::{wall_clock, ActorGuard, Clock, ClockHandle, SimClock, WallClock, SIM_POLL_TICK};
 pub use expose::{parse_prometheus, render_json, render_prometheus, PromSample};
 pub use metrics::{
     Counter, Exemplar, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, Registry, Snapshot,

@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use crate::clock::{wall_clock, ClockHandle};
 use crate::metrics::{Histogram, Registry};
 
 /// Process-wide id well: every trace id and span id is a splitmix64
@@ -41,13 +42,7 @@ use crate::metrics::{Histogram, Registry};
 /// tests stay deterministic.
 static NEXT_ID: AtomicU64 = AtomicU64::new(0);
 
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
+use rbc_splitmix::splitmix64;
 
 /// A fresh nonzero id (0 is reserved for "no trace"/"no parent").
 fn next_id() -> u64 {
@@ -237,6 +232,7 @@ impl Recorder for CollectingRecorder {
 /// [`Registry`].
 pub struct Tracer {
     epoch: Instant,
+    clock: ClockHandle,
     recorder: Arc<dyn Recorder>,
     mirror: Option<Mirror>,
 }
@@ -259,9 +255,17 @@ impl Mirror {
 }
 
 impl Tracer {
-    /// A tracer delivering spans to `recorder` only.
+    /// A tracer delivering spans to `recorder` only, on the wall clock.
     pub fn new(recorder: Arc<dyn Recorder>) -> Self {
-        Tracer { epoch: Instant::now(), recorder, mirror: None }
+        Tracer::with_clock(recorder, wall_clock())
+    }
+
+    /// A tracer delivering spans to `recorder`, reading time (span
+    /// starts, durations, event timestamps) from `clock`. The epoch is
+    /// `clock.now()` at construction, so a simulated tracer's offsets
+    /// are virtual nanoseconds from scenario start.
+    pub fn with_clock(recorder: Arc<dyn Recorder>, clock: ClockHandle) -> Self {
+        Tracer { epoch: clock.now(), clock, recorder, mirror: None }
     }
 
     /// A tracer that discards spans and mirrors nothing.
@@ -292,7 +296,7 @@ impl Tracer {
         Span {
             tracer: self,
             name,
-            start: Instant::now(),
+            start: self.clock.now(),
             done: false,
             trace_id: ctx.trace_id,
             span_id: next_id(),
@@ -330,7 +334,7 @@ impl Tracer {
         duration: Duration,
         ended_ago: Duration,
     ) -> TraceContext {
-        let now_ns = self.offset_ns(Instant::now());
+        let now_ns = self.offset_ns(self.clock.now());
         let ago_ns = u64::try_from(ended_ago.as_nanos()).unwrap_or(u64::MAX);
         let end_ns = now_ns.saturating_sub(ago_ns);
         let dur_ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
@@ -351,9 +355,15 @@ impl Tracer {
         self.recorder.event(&EventRecord {
             kind,
             trace_id,
-            at_ns: self.offset_ns(Instant::now()),
+            at_ns: self.offset_ns(self.clock.now()),
             detail,
         });
+    }
+
+    /// The clock this tracer reads (the wall clock unless built with
+    /// [`Tracer::with_clock`]).
+    pub fn clock(&self) -> &ClockHandle {
+        &self.clock
     }
 
     fn offset_ns(&self, t: Instant) -> u64 {
@@ -408,7 +418,7 @@ impl Span<'_> {
     }
 
     fn emit(&self) -> Duration {
-        let duration = self.start.elapsed();
+        let duration = self.tracer.clock.now().saturating_duration_since(self.start);
         self.tracer.deliver(&SpanRecord {
             name: self.name,
             start_ns: self.tracer.offset_ns(self.start),
@@ -432,6 +442,7 @@ impl Drop for Span<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::Clock;
 
     #[test]
     fn spans_reach_the_recorder_in_finish_order() {
@@ -468,15 +479,38 @@ mod tests {
 
     #[test]
     fn retroactive_record_backdates_the_start() {
+        // On a SimClock: no real 2 ms sleep, and the offsets are exact
+        // virtual nanoseconds instead of host-timing lower bounds.
+        let sim = crate::clock::SimClock::new();
+        let _actor = sim.enter();
         let collector = Arc::new(CollectingRecorder::new());
-        let tracer = Tracer::new(collector.clone());
-        std::thread::sleep(Duration::from_millis(2));
+        let tracer = Tracer::with_clock(collector.clone(), sim.handle());
+        sim.sleep(Duration::from_millis(2));
         tracer.record("late", Duration::from_millis(1));
         let spans = collector.take();
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].duration, Duration::from_millis(1));
-        // start = now − duration, which is strictly after the epoch here.
-        assert!(spans[0].start_ns > 0);
+        // start = now − duration: exactly 1 ms after the epoch.
+        assert_eq!(spans[0].start_ns, 1_000_000);
+    }
+
+    #[test]
+    fn spans_and_events_read_virtual_time() {
+        let sim = crate::clock::SimClock::new();
+        let _actor = sim.enter();
+        let collector = Arc::new(CollectingRecorder::new());
+        let tracer = Tracer::with_clock(collector.clone(), sim.handle());
+
+        let span = tracer.span("phase");
+        sim.sleep(Duration::from_secs(7)); // instant in real time
+        span.finish();
+        tracer.event(EventKind::Shed, 0x1, "after");
+
+        let spans = collector.take();
+        assert_eq!(spans[0].start_ns, 0);
+        assert_eq!(spans[0].duration, Duration::from_secs(7));
+        let events = collector.events();
+        assert_eq!(events[0].at_ns, 7_000_000_000);
     }
 
     #[test]
