@@ -16,9 +16,16 @@
 //! deterministic authentications through a supervised backend pool under
 //! injected faults (mid-sweep crash, stalled shards) and writes the
 //! recovery report to `BENCH_chaos.json` (`--smoke` validates the ≥95%
-//! recovery bar and exits nonzero — the CI gate). `service
-//! --metrics-dump` prints the final sweep's whole-pipeline Prometheus
-//! snapshot.
+//! recovery bar and exits nonzero — the CI gate). `monitor` runs seeded
+//! multi-client load against the real service stack on a virtual clock,
+//! scrapes it into ring-buffer time series with multi-window SLO burn
+//! alerts, renders a terminal dashboard, and writes
+//! `BENCH_monitor.json` after a bit-identical replay (`--smoke`
+//! validates the artifact — the CI gate). `regress` compares the
+//! current artifacts against the committed `BASELINE.json` with
+//! per-metric noise tolerances and exits nonzero on a regression
+//! (`--update` rewrites the baseline). `service --metrics-dump` prints
+//! the final sweep's whole-pipeline Prometheus snapshot.
 //!
 //! Numbers labelled **paper** are the published values; **model** are our
 //! calibrated device models (the GPU/APU never existed on this machine);
@@ -65,13 +72,20 @@ struct Opts {
     full_cpu: bool,
     metrics_dump: bool,
     smoke: bool,
+    update: bool,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmds: Vec<String> = Vec::new();
-    let mut opts =
-        Opts { quick: false, trials: 50, full_cpu: false, metrics_dump: false, smoke: false };
+    let mut opts = Opts {
+        quick: false,
+        trials: 50,
+        full_cpu: false,
+        metrics_dump: false,
+        smoke: false,
+        update: false,
+    };
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -82,6 +96,7 @@ fn main() {
             "--full-cpu" => opts.full_cpu = true,
             "--metrics-dump" => opts.metrics_dump = true,
             "--smoke" => opts.smoke = true,
+            "--update" => opts.update = true,
             "--trials" => {
                 opts.trials = it
                     .next()
@@ -116,7 +131,9 @@ fn main() {
                 triage(&opts);
                 chaos(&opts);
                 sim(&opts);
+                monitor(&opts);
                 verify(&opts);
+                regress(&opts);
             }
             "table1" => table1(),
             "fig3" => fig3(),
@@ -136,6 +153,8 @@ fn main() {
             "triage" => triage(&opts),
             "chaos" => chaos(&opts),
             "sim" => sim(&opts),
+            "monitor" => monitor(&opts),
+            "regress" => regress(&opts),
             "verify" => verify(&opts),
             other => usage(&format!("unknown command {other:?}")),
         }
@@ -145,7 +164,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|hash-lanes|cpu-scaling|future|security|extensions|service|telemetry|triage|chaos|sim|verify] [--quick] [--trials N] [--full-cpu] [--metrics-dump] [--smoke]"
+        "usage: repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|hash-lanes|cpu-scaling|future|security|extensions|service|telemetry|triage|chaos|sim|monitor|regress|verify] [--quick] [--trials N] [--full-cpu] [--metrics-dump] [--smoke] [--update]"
     );
     std::process::exit(2)
 }
@@ -1508,6 +1527,140 @@ fn sim(opts: &Opts) {
             eprintln!("smoke: sweep took {wall_secs:.1} s wall, budget is 60 s");
             std::process::exit(1);
         }
+    }
+}
+
+/// Continuous observability: seeded multi-client load against the real
+/// `AuthService` → `Dispatcher` → `SupervisedPool` stack on a virtual
+/// clock, scraped into ring-buffer time series with multi-window SLO
+/// burn-rate alerts. Stages a calm → storm → recovery incident, renders
+/// the terminal dashboard, replays the whole run for bit-identical
+/// digests, and writes `BENCH_monitor.json` (`--smoke` validates the
+/// artifact and exits nonzero — the CI gate).
+fn monitor(opts: &Opts) {
+    use rbc_bench::monitor::{
+        render_dashboard, run_monitor, validate_monitor_json, write_monitor_json, MonitorConfig,
+    };
+    use std::io::IsTerminal;
+
+    println!("\n== monitor: continuous observability under staged overload (virtual time) ==");
+    let cfg = MonitorConfig::standard(0x0B5E_0007);
+    let started = std::time::Instant::now();
+    let outcome = run_monitor(&cfg);
+    let replay = run_monitor(&cfg);
+    let wall_secs = started.elapsed().as_secs_f64();
+    let divergences = u64::from(outcome.digest != replay.digest)
+        + u64::from(outcome.alerts.len() != replay.alerts.len());
+
+    let color = std::io::stdout().is_terminal() && !opts.smoke;
+    print!("{}", render_dashboard(&outcome, color));
+    println!(
+        "(replayed once: {divergences} divergences; {} invariant violations, {wall_secs:.1} s wall)",
+        outcome.violations.len()
+    );
+    for v in &outcome.violations {
+        eprintln!("violation: {v}");
+    }
+    match write_monitor_json("BENCH_monitor.json", &outcome, 1, divergences, wall_secs) {
+        Ok(()) => println!("wrote BENCH_monitor.json"),
+        Err(e) => {
+            eprintln!("could not write BENCH_monitor.json: {e}");
+            if opts.smoke {
+                std::process::exit(1);
+            }
+        }
+    }
+    if opts.smoke {
+        let text = match std::fs::read_to_string("BENCH_monitor.json") {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("smoke: could not read back BENCH_monitor.json: {e}");
+                std::process::exit(1);
+            }
+        };
+        match validate_monitor_json(&text) {
+            Ok(()) => println!(
+                "smoke: BENCH_monitor.json validates (replay digest identical, page + clear \
+                 alerts, flight recorder froze, series populated)"
+            ),
+            Err(e) => {
+                eprintln!("smoke: BENCH_monitor.json invalid: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Performance-regression gate: compares the BENCH artifacts present in
+/// the working directory against the committed `BASELINE.json`, with
+/// per-metric noise tolerances and direction-of-worse semantics
+/// (`hash.*` rates only when the active SIMD tier matches the
+/// baseline's). Exits nonzero on any regression. `--update` rebuilds
+/// `BASELINE.json` from the current artifacts instead of comparing.
+fn regress(opts: &Opts) {
+    use rbc_bench::baseline::{
+        build_baseline, compare, parse_baseline_json, render_baseline_json, ArtifactSet,
+    };
+
+    println!("\n== regress: BENCH artifacts vs committed BASELINE.json ==");
+    let set = ArtifactSet::read_from(".");
+    if opts.update {
+        let base = match build_baseline(&set) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("regress: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = std::fs::write("BASELINE.json", render_baseline_json(&base) + "\n") {
+            eprintln!("regress: could not write BASELINE.json: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote BASELINE.json ({} entries, hash tier {:?})",
+            base.entries.len(),
+            base.hash_tier
+        );
+        return;
+    }
+    let text = match std::fs::read_to_string("BASELINE.json") {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("regress: could not read BASELINE.json: {e} (run repro regress --update)");
+            std::process::exit(1);
+        }
+    };
+    let base = match parse_baseline_json(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("regress: {e}");
+            std::process::exit(1);
+        }
+    };
+    let report = match compare(&base, &set) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("regress: {e}");
+            std::process::exit(1);
+        }
+    };
+    for line in &report.passed {
+        println!("  ok    {line}");
+    }
+    for line in &report.skipped {
+        println!("  skip  {line}");
+    }
+    for line in &report.regressions {
+        eprintln!("  FAIL  {line}");
+    }
+    println!(
+        "({} compared, {} skipped, {} regressions)",
+        report.passed.len(),
+        report.skipped.len(),
+        report.regressions.len()
+    );
+    if !report.ok() {
+        std::process::exit(1);
     }
 }
 

@@ -1,0 +1,893 @@
+//! Continuous-observability run (`repro monitor`).
+//!
+//! Drives a seeded multi-client load against the real
+//! `AuthService → Dispatcher → SupervisedPool` stack on one
+//! [`SimClock`] timeline while a [`Scraper`] actor snapshots the shared
+//! registry every virtual interval and an [`SloEvaluator`] computes
+//! multi-window burn rates over the same snapshots. The scenario stages
+//! a deliberate incident:
+//!
+//! * **healthy** (first third): clients authenticate at a relaxed
+//!   cadence — rates low, burn clear;
+//! * **storm** (second third): think times collapse, offered load
+//!   exceeds the two supervised substrates, the bounded queue sheds —
+//!   the availability SLO burns through warn to page, which freezes
+//!   the attached [`FlightRecorder`];
+//! * **recovery** (final third): cadence relaxes, the fast window
+//!   drains, and the alert clears while the slow window still
+//!   remembers the outage.
+//!
+//! Everything that matters is virtual time, so the whole 90-simulated-
+//! second run costs a couple of wall seconds, and a replay of the same
+//! seed must reproduce the *entire* time-series set bit for bit — the
+//! digest over every retained point is the determinism gate, exactly
+//! like `repro sim`'s verdict digest. The run is rendered as an ANSI
+//! dashboard (sparklines, per-substrate utilization bars, the alert
+//! log) and written to `BENCH_monitor.json` behind
+//! [`validate_monitor_json`].
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rbc_core::backend::{CpuBackend, SearchBackend};
+use rbc_core::ca::{CaConfig, CertificateAuthority};
+use rbc_core::chaos::{ChaosBackend, Fault};
+use rbc_core::clock::SimClock;
+use rbc_core::dispatch::{Dispatcher, DispatcherConfig, RoutePolicy};
+use rbc_core::engine::EngineConfig;
+use rbc_core::pool::{SupervisedPool, SupervisedPoolConfig};
+use rbc_core::protocol::Client;
+use rbc_core::service::AuthService;
+use rbc_hash::HashAlgo;
+use rbc_pqc::LightSaber;
+use rbc_puf::ModelPuf;
+use rbc_telemetry::{
+    Alert, CollectingRecorder, EventRecord, FlightRecorder, MetricSnapshot, Recorder, Registry,
+    ScrapeConfig, Scraper, SeriesPoint, Severity, SloEvaluator, SloSpec, SpanRecord, Tracer,
+};
+
+use crate::sim::{fold, fold_bytes};
+
+/// Search bound (same rationale as the sim sweep: rejection sweeps stay
+/// cheap in real compute).
+const MAX_D: u32 = 2;
+
+/// Parameters of one monitor run. [`MonitorConfig::standard`] is the
+/// artifact-producing configuration; [`MonitorConfig::quick`] shrinks
+/// every duration for unit tests.
+#[derive(Clone, Debug)]
+pub struct MonitorConfig {
+    /// Seed for noise levels, staggers, and PUF instances.
+    pub seed: u64,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Virtual duration of each phase (healthy, storm, recovery).
+    pub phase: Duration,
+    /// Scrape interval (odd nanosecond tail keeps scraper park targets
+    /// off every microsecond-aligned client target).
+    pub interval: Duration,
+    /// Ring capacity per series tier (sized to retain every tier-0
+    /// point of the run).
+    pub capacity: usize,
+    /// Client think time outside the storm phase.
+    pub think_calm: Duration,
+    /// Client think time during the storm phase.
+    pub think_storm: Duration,
+    /// Dispatcher queue limit (small, so the storm sheds).
+    pub queue_limit: usize,
+    /// SLO fast window.
+    pub fast_window: Duration,
+    /// SLO slow window.
+    pub slow_window: Duration,
+}
+
+impl MonitorConfig {
+    /// The full 90-simulated-second staged-incident run.
+    pub fn standard(seed: u64) -> Self {
+        MonitorConfig {
+            seed,
+            clients: 6,
+            phase: Duration::from_secs(30),
+            interval: Duration::from_nanos(250_000_013),
+            capacity: 400,
+            think_calm: Duration::from_secs(2),
+            think_storm: Duration::from_millis(50),
+            queue_limit: 1,
+            fast_window: Duration::from_secs(5),
+            slow_window: Duration::from_secs(60),
+        }
+    }
+
+    /// A shrunk run for unit tests: 15 simulated seconds.
+    pub fn quick(seed: u64) -> Self {
+        MonitorConfig {
+            seed,
+            clients: 6,
+            phase: Duration::from_secs(5),
+            interval: Duration::from_nanos(100_000_013),
+            capacity: 256,
+            think_calm: Duration::from_secs(1),
+            think_storm: Duration::from_millis(50),
+            queue_limit: 1,
+            fast_window: Duration::from_secs(2),
+            slow_window: Duration::from_secs(10),
+        }
+    }
+
+    /// Total virtual span (three phases).
+    pub fn run_span(&self) -> Duration {
+        self.phase * 3
+    }
+
+    fn mix(&self, salt: u64) -> u64 {
+        rbc_splitmix::splitmix64(self.seed ^ salt.wrapping_mul(rbc_splitmix::GOLDEN_GAMMA))
+    }
+
+    /// Client `i`'s noise: mostly clean, some one- and two-bit flips —
+    /// everyone stays inside the search bound, so every *served*
+    /// authentication accepts.
+    fn noise(&self, i: usize) -> u32 {
+        match self.mix(0x40 ^ i as u64) % 10 {
+            0..=5 => 0,
+            6..=8 => 1,
+            _ => 2,
+        }
+    }
+
+    /// Unique virtual arrival offset per client (disjoint 5 ms bands
+    /// plus a per-client sub-microsecond phase — concurrent parks must
+    /// never land on equal virtual targets, where the tie-break would
+    /// be thread-race order).
+    fn arrival(&self, i: usize) -> Duration {
+        Duration::from_millis(5 * (i as u64 + 1))
+            + Duration::from_micros(self.mix(0x80 ^ i as u64) % 4999)
+            + Duration::from_nanos(331 * (i as u64 + 1))
+    }
+
+    /// Think time for client `i` at virtual offset `at`: the storm
+    /// phase collapses it. The per-client microsecond and nanosecond
+    /// phases keep concurrent wake targets distinct.
+    fn think(&self, i: usize, at: Duration) -> Duration {
+        let base = if at >= self.phase && at < self.phase * 2 {
+            self.think_storm
+        } else {
+            self.think_calm
+        };
+        base + Duration::from_micros(1009 * (i as u64 + 1) + self.mix(0xC0 ^ i as u64) % 499)
+            + Duration::from_nanos(7 * (i as u64 + 1))
+    }
+
+    /// The two SLOs the run watches.
+    fn slos(&self) -> Vec<SloSpec> {
+        vec![
+            SloSpec::availability(
+                "availability",
+                "rbc_service_requests_total",
+                vec!["rbc_service_shed_total".to_string(), "rbc_service_timeout_total".to_string()],
+                0.99,
+            )
+            .windows(self.fast_window, self.slow_window)
+            .thresholds(1.0, 6.0),
+            SloSpec::latency("latency", "rbc_service_auth_total_ns", Duration::from_millis(400))
+                .windows(self.fast_window, self.slow_window)
+                .thresholds(1.0, 6.0),
+        ]
+    }
+}
+
+/// Everything one monitor run produced.
+#[derive(Clone, Debug)]
+pub struct MonitorOutcome {
+    /// The seed the run used.
+    pub seed: u64,
+    /// Scrapes taken.
+    pub ticks: u64,
+    /// Virtual seconds the run spanned.
+    pub sim_secs: f64,
+    /// Tier-0 points of every series, in first-seen order.
+    pub series: Vec<(String, Vec<SeriesPoint>)>,
+    /// Severity transitions, in order.
+    pub alerts: Vec<Alert>,
+    /// Requests issued (service ledger).
+    pub issued: u64,
+    /// Accepted verdicts.
+    pub accepted: u64,
+    /// Rejected verdicts.
+    pub rejected: u64,
+    /// Timed-out verdicts.
+    pub timed_out: u64,
+    /// Shed (overloaded) verdicts.
+    pub shed: u64,
+    /// CA-validation errors.
+    pub errors: u64,
+    /// Whether the page froze the flight recorder.
+    pub flight_frozen: bool,
+    /// Digest over every series point, the alert log, and the final
+    /// telemetry snapshot — the replay-determinism gate.
+    pub digest: u64,
+    /// Cross-checks that failed (empty on a clean run).
+    pub violations: Vec<String>,
+}
+
+/// Delivers spans and events to both a collecting recorder and the
+/// flight recorder, so the black box sees the same stream post-mortems
+/// replay.
+struct Tee {
+    collect: Arc<CollectingRecorder>,
+    flight: Arc<FlightRecorder>,
+}
+
+impl Recorder for Tee {
+    fn record(&self, span: &SpanRecord) {
+        self.collect.record(span);
+        self.flight.record(span);
+    }
+
+    fn event(&self, event: &EventRecord) {
+        self.collect.event(event);
+        self.flight.event(event);
+    }
+}
+
+/// Runs one seeded monitor world on a fresh virtual timeline.
+pub fn run_monitor(cfg: &MonitorConfig) -> MonitorOutcome {
+    let sim = SimClock::new();
+    let clock = sim.handle();
+    let registry = Arc::new(Registry::new());
+
+    // Two single-backend supervised pools behind the dispatcher: each
+    // substrate keeps its breaker/stall supervision, and the
+    // dispatcher-level per-backend gauges expose the pools as the two
+    // live-visible substrates. The injected per-job stalls give the
+    // substrates deliberately different service times, so the
+    // utilization imbalance ROADMAP item 4 describes is on display.
+    let mut pools: Vec<Arc<dyn SearchBackend>> = Vec::new();
+    for (i, stall_ms) in [90u64, 97].into_iter().enumerate() {
+        let cpu = Arc::new(
+            CpuBackend::new(EngineConfig { threads: 1, ..Default::default() })
+                .with_clock(clock.clone()),
+        ) as Arc<dyn SearchBackend>;
+        let chaos = Arc::new(
+            ChaosBackend::wrap(cpu, Fault::Stall { ms: stall_ms + i as u64 })
+                .with_clock(clock.clone()),
+        ) as Arc<dyn SearchBackend>;
+        pools.push(Arc::new(SupervisedPool::with_clock(
+            vec![chaos],
+            SupervisedPoolConfig::default(),
+            registry.clone(),
+            clock.clone(),
+        )));
+    }
+    let dispatcher = Arc::new(Dispatcher::with_clock(
+        pools,
+        DispatcherConfig {
+            queue_limit: cfg.queue_limit,
+            budget: Duration::from_secs(2),
+            policy: RoutePolicy::LeastLoaded,
+        },
+        registry.clone(),
+        clock.clone(),
+    ));
+
+    let ca_cfg = CaConfig {
+        max_d: MAX_D,
+        algo: HashAlgo::Sha1,
+        engine: EngineConfig { threads: 1, ..Default::default() },
+        ..Default::default()
+    };
+    let mut key = [0u8; 32];
+    key[..8].copy_from_slice(&cfg.mix(0x11).to_le_bytes());
+    let mut ca = CertificateAuthority::new(key, LightSaber, ca_cfg);
+    let mut enroll_rng = StdRng::seed_from_u64(cfg.mix(0x12));
+    let mut clients = Vec::new();
+    for id in 0..cfg.clients as u64 {
+        let mut c = Client::new(id, ModelPuf::noiseless(4096, cfg.mix(0x1000 ^ id)));
+        c.extra_noise = cfg.noise(id as usize);
+        ca.enroll_client(id, c.device(), 0, &mut enroll_rng).expect("enroll");
+        clients.push(c);
+    }
+
+    let collect = Arc::new(CollectingRecorder::new());
+    let flight = Arc::new(FlightRecorder::with_capacities(512, 128).freeze_on(&[]));
+    let tee =
+        Arc::new(Tee { collect: collect.clone(), flight: flight.clone() }) as Arc<dyn Recorder>;
+    let service = Arc::new(AuthService::with_recorder(ca, dispatcher, tee.clone()));
+    let slo_tracer = Tracer::with_clock(tee, clock.clone());
+
+    let scrape =
+        ScrapeConfig { interval: cfg.interval, capacity: cfg.capacity, tiers: 3, decimation: 8 };
+    let total_ticks = (cfg.run_span().as_nanos() / cfg.interval.as_nanos()).max(1) as u64;
+    let mut scraper = Scraper::new(registry.clone(), clock.clone(), scrape);
+    let mut evaluator = SloEvaluator::new(cfg.slos()).with_flight(flight.clone());
+
+    let run_span = cfg.run_span();
+    let epoch = clock.now();
+    let mut alerts: Vec<Alert> = Vec::new();
+    std::thread::scope(|s| {
+        // Freeze the timeline while actors spawn (see sim.rs: without
+        // the starter guard the first actors outrun the later spawns).
+        let starter = clock.enter();
+
+        // The scraper actor: a fixed tick count, so its schedule is
+        // identical on every run regardless of when clients finish.
+        let scraper_guard = clock.enter();
+        let scraper_clk = clock.clone();
+        let scraper_ref = &mut scraper;
+        let eval_ref = &mut evaluator;
+        let alerts_ref = &mut alerts;
+        let tracer_ref = &slo_tracer;
+        let scraper_handle = s.spawn(move || {
+            let _g = scraper_guard;
+            for _ in 0..total_ticks {
+                scraper_clk.sleep(cfg.interval);
+                scraper_ref.tick();
+                let at_ns =
+                    u64::try_from(scraper_clk.now().saturating_duration_since(epoch).as_nanos())
+                        .unwrap_or(u64::MAX);
+                let snap = scraper_ref.latest_snapshot().expect("tick just ran");
+                alerts_ref.extend(eval_ref.observe(at_ns, snap, Some(tracer_ref)));
+            }
+        });
+
+        let mut handles = Vec::new();
+        for (i, client) in clients.into_iter().enumerate() {
+            let guard = clock.enter();
+            let clk = clock.clone();
+            let svc = service.clone();
+            let rng_seed = cfg.mix(0x3000 ^ i as u64);
+            handles.push(s.spawn(move || {
+                let _g = guard;
+                let mut rng = StdRng::seed_from_u64(rng_seed);
+                clk.sleep(cfg.arrival(i));
+                loop {
+                    let at = clk.now().saturating_duration_since(epoch);
+                    if at >= run_span {
+                        break;
+                    }
+                    let hello = client.hello();
+                    let Ok(challenge) = svc.begin(&hello) else { break };
+                    let digest = client.respond(&challenge, &mut rng);
+                    if svc.complete(&digest).is_err() {
+                        break;
+                    }
+                    clk.sleep(cfg.think(i, at));
+                }
+            }));
+        }
+        drop(starter);
+        for h in handles {
+            h.join().expect("client thread");
+        }
+        scraper_handle.join().expect("scraper thread");
+    });
+
+    let stats = service.stats();
+    let mut violations = Vec::new();
+    let tallied =
+        stats.accepted + stats.rejected + stats.timed_out + stats.overloaded + stats.errors;
+    if stats.issued != tallied {
+        violations.push(format!("books do not balance: issued {} != {tallied}", stats.issued));
+    }
+    if stats.errors > 0 {
+        violations.push(format!(
+            "{} CA errors (healthy clients should never fail validation)",
+            stats.errors
+        ));
+    }
+    if scraper.ticks() != total_ticks {
+        violations.push(format!("{} scrapes, expected {total_ticks}", scraper.ticks()));
+    }
+    let (runnable, parked) = sim.actors();
+    if (runnable, parked) != (0, 0) {
+        violations.push(format!("timeline not quiescent ({runnable} runnable, {parked} parked)"));
+    }
+
+    // Digest: every retained series point, the alert log, the final
+    // telemetry snapshot, and the virtual span. Trace ids and
+    // exemplars are excluded (process-global counters).
+    let mut digest = fold(0x0B5E_0001, cfg.seed);
+    digest = fold(digest, scraper.digest());
+    for a in &alerts {
+        digest = fold_bytes(digest, a.spec.as_bytes());
+        digest = fold(digest, a.severity as u64);
+        digest = fold(digest, a.at_ns);
+        digest = fold(digest, a.fast_burn.to_bits());
+        digest = fold(digest, a.slow_burn.to_bits());
+    }
+    for (name, metric) in &registry.snapshot().entries {
+        digest = fold_bytes(digest, name.as_bytes());
+        digest = match metric {
+            MetricSnapshot::Counter(v) => fold(digest, *v),
+            MetricSnapshot::Gauge(v) => fold(digest, *v as u64),
+            MetricSnapshot::Histogram(h) => {
+                let mut d = fold(fold(digest, h.count), h.sum);
+                for (bound, count) in &h.buckets {
+                    d = fold(fold(d, *bound), *count);
+                }
+                d
+            }
+        };
+    }
+    digest = fold(digest, sim.virtual_elapsed().as_nanos() as u64);
+
+    MonitorOutcome {
+        seed: cfg.seed,
+        ticks: scraper.ticks(),
+        sim_secs: sim.virtual_elapsed().as_secs_f64(),
+        series: scraper.series().iter().map(|(name, s)| (name.clone(), s.points(0))).collect(),
+        alerts,
+        issued: stats.issued,
+        accepted: stats.accepted,
+        rejected: stats.rejected,
+        timed_out: stats.timed_out,
+        shed: stats.overloaded,
+        errors: stats.errors,
+        flight_frozen: flight.is_frozen(),
+        digest,
+        violations,
+    }
+}
+
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a Unicode sparkline of up to `width` cells
+/// (newest values win when there are more than `width`).
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    let tail = &values[values.len().saturating_sub(width)..];
+    if tail.is_empty() {
+        return String::new();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in tail {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    tail.iter()
+        .map(|&v| {
+            let idx = (((v - lo) / span) * 7.0).round() as usize;
+            SPARK[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Renders a 0..=1000 fixed-point ratio as a bar of `width` cells.
+fn util_bar(permille: f64, width: usize) -> String {
+    let filled = ((permille / 1000.0) * width as f64).round() as usize;
+    let filled = filled.min(width);
+    format!("{}{}", "█".repeat(filled), "░".repeat(width - filled))
+}
+
+fn fmt_ns(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} s", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.1} ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1} µs", v / 1e3)
+    } else {
+        format!("{v:.0} ns")
+    }
+}
+
+/// Renders the run as an ANSI dashboard: rate and latency sparklines,
+/// queue depth, per-substrate utilization bars, and the alert log.
+/// `color` toggles ANSI escapes (pass `false` for plain logs).
+pub fn render_dashboard(o: &MonitorOutcome, color: bool) -> String {
+    let paint = |code: &str, s: &str| {
+        if color {
+            format!("\x1b[{code}m{s}\x1b[0m")
+        } else {
+            s.to_string()
+        }
+    };
+    let width = 48;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== repro monitor — seed {:#x}, {:.0} sim-s, {} ticks ==\n",
+        o.seed, o.sim_secs, o.ticks
+    ));
+    let values = |name: &str| -> Vec<f64> {
+        o.series
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, pts)| pts.iter().map(|p| p.value).collect())
+            .unwrap_or_default()
+    };
+    let line = |out: &mut String, label: &str, name: &str, unit: &dyn Fn(f64) -> String| {
+        let vs = values(name);
+        let cur = vs.last().copied().unwrap_or(0.0);
+        let peak = vs.iter().cloned().fold(0.0f64, f64::max);
+        out.push_str(&format!(
+            "  {label:<11} {:<width$}  cur {:>9}  peak {:>9}\n",
+            sparkline(&vs, width),
+            unit(cur),
+            unit(peak),
+        ));
+    };
+    line(&mut out, "req rate", "rbc_service_requests_total:rate", &|v| format!("{v:.1}/s"));
+    line(&mut out, "shed rate", "rbc_service_shed_total:rate", &|v| format!("{v:.1}/s"));
+    line(&mut out, "auth p50", "rbc_service_auth_total_ns:p50", &fmt_ns);
+    line(&mut out, "auth p99", "rbc_service_auth_total_ns:p99", &fmt_ns);
+    line(&mut out, "queue depth", "rbc_dispatch_queue_depth", &|v| format!("{v:.0}"));
+
+    for i in 0..2 {
+        let name = format!("rbc_backend_{i}_supervised_utilization_ratio");
+        let vs = values(&name);
+        let cur = vs.last().copied().unwrap_or(0.0);
+        let depth = values(&format!("rbc_dispatch_backend_{i}_supervised_queue_depth"));
+        out.push_str(&format!(
+            "  substrate {i}  [{}] {:>5.1}%  in-flight {}\n",
+            util_bar(cur, 24),
+            cur / 10.0,
+            depth.last().copied().unwrap_or(0.0)
+        ));
+    }
+
+    if o.alerts.is_empty() {
+        out.push_str("  alerts      none\n");
+    } else {
+        out.push_str("  alerts\n");
+        for a in &o.alerts {
+            let tag = match a.severity {
+                Severity::Page => paint("31;1", "PAGE "),
+                Severity::Warn => paint("33;1", "WARN "),
+                Severity::Clear => paint("32", "CLEAR"),
+            };
+            out.push_str(&format!(
+                "    {tag} {:<13} @ {:>6.1}s  fast {:>7.2}x  slow {:>7.2}x\n",
+                a.spec,
+                a.at_ns as f64 / 1e9,
+                a.fast_burn,
+                a.slow_burn
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "  flight      {}\n  ledger      issued {}  accepted {}  shed {}  timed-out {}\n",
+        if o.flight_frozen {
+            paint("31", "FROZEN (page post-mortem pinned)")
+        } else {
+            "armed".to_string()
+        },
+        o.issued,
+        o.accepted,
+        o.shed,
+        o.timed_out,
+    ));
+    out.push_str(&format!("  digest      {:016x}\n", o.digest));
+    out
+}
+
+/// Writes the run (plus its replay verdict) to `path` as the
+/// `BENCH_monitor.json` artifact.
+pub fn write_monitor_json(
+    path: &str,
+    outcome: &MonitorOutcome,
+    replayed: u64,
+    divergences: u64,
+    wall_secs: f64,
+) -> std::io::Result<()> {
+    use serde_json::Value;
+    let series = Value::Array(
+        outcome
+            .series
+            .iter()
+            .map(|(name, pts)| {
+                Value::Object(vec![
+                    ("name".to_string(), Value::Str(name.clone())),
+                    (
+                        "points".to_string(),
+                        Value::Array(
+                            pts.iter()
+                                .map(|p| {
+                                    Value::Object(vec![
+                                        ("at_ns".to_string(), Value::UInt(p.at_ns)),
+                                        ("value".to_string(), Value::Float(p.value)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    let alerts = Value::Array(
+        outcome
+            .alerts
+            .iter()
+            .map(|a| {
+                Value::Object(vec![
+                    ("spec".to_string(), Value::Str(a.spec.clone())),
+                    ("severity".to_string(), Value::Str(a.severity.name().to_string())),
+                    ("at_ns".to_string(), Value::UInt(a.at_ns)),
+                    ("fast_burn".to_string(), Value::Float(a.fast_burn)),
+                    ("slow_burn".to_string(), Value::Float(a.slow_burn)),
+                ])
+            })
+            .collect(),
+    );
+    let doc = Value::Object(vec![
+        ("bench".to_string(), Value::Str("monitor".to_string())),
+        ("unit".to_string(), Value::Str("mixed".to_string())),
+        ("seed".to_string(), Value::UInt(outcome.seed)),
+        ("ticks".to_string(), Value::UInt(outcome.ticks)),
+        ("sim_secs".to_string(), Value::Float(outcome.sim_secs)),
+        ("wall_secs".to_string(), Value::Float(wall_secs)),
+        ("series_digest".to_string(), Value::Str(format!("{:016x}", outcome.digest))),
+        ("replayed".to_string(), Value::UInt(replayed)),
+        ("divergences".to_string(), Value::UInt(divergences)),
+        ("violations".to_string(), Value::UInt(outcome.violations.len() as u64)),
+        ("flight_frozen".to_string(), Value::Bool(outcome.flight_frozen)),
+        ("issued".to_string(), Value::UInt(outcome.issued)),
+        ("accepted".to_string(), Value::UInt(outcome.accepted)),
+        ("rejected".to_string(), Value::UInt(outcome.rejected)),
+        ("timed_out".to_string(), Value::UInt(outcome.timed_out)),
+        ("shed".to_string(), Value::UInt(outcome.shed)),
+        ("errors".to_string(), Value::UInt(outcome.errors)),
+        ("alerts".to_string(), alerts),
+        ("series".to_string(), series),
+    ]);
+    let text = serde_json::to_string(&doc)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, text)
+}
+
+/// Validates a `BENCH_monitor.json` document — the `repro monitor
+/// --smoke` CI gate. Requires the `monitor` envelope, a full scrape
+/// count, a replayed run with zero digest divergences, balanced books
+/// with a real load (≥ 200 requests) and a real incident (sheds > 0),
+/// the staged alert sequence (at least one page, ending clear, flight
+/// recorder frozen), and the key dashboard series populated.
+pub fn validate_monitor_json(text: &str) -> Result<(), String> {
+    let doc: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
+    let bench = doc.field("bench").ok().and_then(serde_json::Value::as_str);
+    if bench != Some("monitor") {
+        return Err(format!("bench field is {bench:?}, expected \"monitor\""));
+    }
+    let get_u64 = |f: &str| {
+        doc.field(f).ok().and_then(serde_json::Value::as_u64).ok_or(format!("missing field {f}"))
+    };
+    let ticks = get_u64("ticks")?;
+    if ticks < 300 {
+        return Err(format!("{ticks} scrapes, need at least 300"));
+    }
+    let sim_secs =
+        doc.field("sim_secs").ok().and_then(serde_json::Value::as_f64).ok_or("missing sim_secs")?;
+    if sim_secs < 85.0 {
+        return Err(format!("run spanned {sim_secs:.1} sim-seconds, need ≥ 85"));
+    }
+    if get_u64("replayed")? == 0 {
+        return Err("no replay was run for the determinism check".to_string());
+    }
+    let divergences = get_u64("divergences")?;
+    if divergences != 0 {
+        return Err(format!("{divergences} replay digest divergences"));
+    }
+    if get_u64("violations")? != 0 {
+        return Err("run reported cross-check violations".to_string());
+    }
+    let issued = get_u64("issued")?;
+    if issued < 200 {
+        return Err(format!("only {issued} requests issued, need ≥ 200"));
+    }
+    let tallied = get_u64("accepted")?
+        + get_u64("rejected")?
+        + get_u64("timed_out")?
+        + get_u64("shed")?
+        + get_u64("errors")?;
+    if issued != tallied {
+        return Err(format!("books do not balance: issued {issued} != tallied {tallied}"));
+    }
+    if get_u64("shed")? == 0 {
+        return Err("no sheds — the staged storm never overloaded the queue".to_string());
+    }
+    if doc.field("flight_frozen").ok().and_then(serde_json::Value::as_bool) != Some(true) {
+        return Err("flight recorder was not frozen by the page".to_string());
+    }
+
+    let alerts = doc
+        .field("alerts")
+        .ok()
+        .and_then(serde_json::Value::as_array)
+        .ok_or("missing alerts array")?;
+    let severities: Vec<&str> = alerts
+        .iter()
+        .map(|a| a.field("severity").ok().and_then(serde_json::Value::as_str).unwrap_or(""))
+        .collect();
+    if !severities.contains(&"page") {
+        return Err(format!("no page alert in the staged incident: {severities:?}"));
+    }
+    if severities.last() != Some(&"clear") {
+        return Err(format!("run must end with a recovery to clear: {severities:?}"));
+    }
+
+    let series = doc
+        .field("series")
+        .ok()
+        .and_then(serde_json::Value::as_array)
+        .ok_or("missing series array")?;
+    let points_of = |name: &str| -> usize {
+        series
+            .iter()
+            .find(|s| s.field("name").ok().and_then(serde_json::Value::as_str) == Some(name))
+            .and_then(|s| s.field("points").ok())
+            .and_then(|p| p.as_array().map(|a| a.len()))
+            .unwrap_or(0)
+    };
+    for (name, min_points) in [
+        ("rbc_service_requests_total:rate", 100),
+        ("rbc_service_auth_total_ns:p99", 10),
+        ("rbc_dispatch_queue_depth", 100),
+        ("rbc_backend_0_supervised_utilization_ratio", 100),
+        ("rbc_backend_1_supervised_utilization_ratio", 100),
+        ("rbc_dispatch_backend_0_supervised_queue_depth", 100),
+    ] {
+        let n = points_of(name);
+        if n < min_points {
+            return Err(format!("series {name} has {n} points, need ≥ {min_points}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_stages_the_incident_and_replays_identically() {
+        let cfg = MonitorConfig::quick(0x0B5E_0B5E);
+        let first = run_monitor(&cfg);
+        assert!(first.violations.is_empty(), "{:?}", first.violations);
+        assert!(first.issued > 20, "load ran: issued {}", first.issued);
+        assert!(first.shed > 0, "storm must shed: issued {} shed {}", first.issued, first.shed);
+        let sevs: Vec<Severity> = first.alerts.iter().map(|a| a.severity).collect();
+        assert!(sevs.contains(&Severity::Page), "storm must page: {sevs:?}");
+        assert_eq!(sevs.last(), Some(&Severity::Clear), "recovery must clear: {sevs:?}");
+        assert!(first.flight_frozen, "page freezes the black box");
+        assert!(
+            first.series.iter().any(|(n, _)| n == "rbc_service_requests_total:rate"),
+            "rate series present"
+        );
+
+        let replay = run_monitor(&cfg);
+        assert_eq!(first.digest, replay.digest, "replay must be bit-identical");
+        assert_eq!(first.alerts.len(), replay.alerts.len());
+    }
+
+    #[test]
+    fn sparkline_and_bar_rendering() {
+        assert_eq!(sparkline(&[], 8), "");
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0], 8);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁') && s.ends_with('█'));
+        // Width caps from the newest end.
+        assert_eq!(sparkline(&[0.0, 1.0, 2.0, 3.0], 2).chars().count(), 2);
+        assert_eq!(util_bar(500.0, 10).chars().filter(|&c| c == '█').count(), 5);
+        assert_eq!(util_bar(2000.0, 10).chars().filter(|&c| c == '█').count(), 10);
+    }
+
+    #[test]
+    fn monitor_json_round_trips_and_validates() {
+        let mk_series = |name: &str, n: usize| {
+            (
+                name.to_string(),
+                (0..n)
+                    .map(|i| SeriesPoint { at_ns: i as u64 * 250_000_000, value: i as f64 })
+                    .collect::<Vec<_>>(),
+            )
+        };
+        let outcome = MonitorOutcome {
+            seed: 0x0B5E,
+            ticks: 360,
+            sim_secs: 90.0,
+            series: vec![
+                mk_series("rbc_service_requests_total:rate", 359),
+                mk_series("rbc_service_auth_total_ns:p99", 200),
+                mk_series("rbc_dispatch_queue_depth", 360),
+                mk_series("rbc_backend_0_supervised_utilization_ratio", 360),
+                mk_series("rbc_backend_1_supervised_utilization_ratio", 360),
+                mk_series("rbc_dispatch_backend_0_supervised_queue_depth", 360),
+            ],
+            alerts: vec![
+                Alert {
+                    spec: "availability".to_string(),
+                    severity: Severity::Page,
+                    at_ns: 35_000_000_000,
+                    fast_burn: 40.0,
+                    slow_burn: 9.0,
+                },
+                Alert {
+                    spec: "availability".to_string(),
+                    severity: Severity::Clear,
+                    at_ns: 66_000_000_000,
+                    fast_burn: 0.0,
+                    slow_burn: 4.0,
+                },
+            ],
+            issued: 900,
+            accepted: 520,
+            rejected: 0,
+            timed_out: 0,
+            shed: 380,
+            errors: 0,
+            flight_frozen: true,
+            digest: 0xABCD_EF01_2345_6789,
+            violations: Vec::new(),
+        };
+        let path = std::env::temp_dir().join("rbc_bench_monitor_test.json");
+        let path = path.to_str().unwrap();
+        let rewrite = |f: &mut dyn FnMut(&mut MonitorOutcome) -> (u64, u64)| {
+            let mut o = outcome.clone();
+            let (replayed, divergences) = f(&mut o);
+            write_monitor_json(path, &o, replayed, divergences, 2.0).expect("write");
+            let text = std::fs::read_to_string(path).expect("read");
+            let _ = std::fs::remove_file(path);
+            text
+        };
+
+        let good = rewrite(&mut |_| (1, 0));
+        validate_monitor_json(&good).expect("round-trip validates");
+        assert!(validate_monitor_json("not json").is_err());
+
+        let diverged = rewrite(&mut |_| (1, 1));
+        assert!(validate_monitor_json(&diverged).is_err(), "divergence must fail");
+        let no_replay = rewrite(&mut |_| (0, 0));
+        assert!(validate_monitor_json(&no_replay).is_err(), "missing replay must fail");
+        let few_ticks = rewrite(&mut |o| {
+            o.ticks = 100;
+            (1, 0)
+        });
+        assert!(validate_monitor_json(&few_ticks).is_err(), "too few scrapes must fail");
+        let no_sheds = rewrite(&mut |o| {
+            o.shed = 0;
+            o.accepted = 900;
+            (1, 0)
+        });
+        assert!(validate_monitor_json(&no_sheds).is_err(), "missing incident must fail");
+        let unbalanced = rewrite(&mut |o| {
+            o.accepted -= 1;
+            (1, 0)
+        });
+        assert!(validate_monitor_json(&unbalanced).is_err(), "unbalanced books must fail");
+        let no_page = rewrite(&mut |o| {
+            o.alerts.remove(0);
+            (1, 0)
+        });
+        assert!(validate_monitor_json(&no_page).is_err(), "missing page must fail");
+        let no_clear = rewrite(&mut |o| {
+            o.alerts.pop();
+            (1, 0)
+        });
+        assert!(validate_monitor_json(&no_clear).is_err(), "missing recovery must fail");
+        let thin_series = rewrite(&mut |o| {
+            o.series[0].1.truncate(10);
+            (1, 0)
+        });
+        assert!(validate_monitor_json(&thin_series).is_err(), "thin series must fail");
+        let thawed = rewrite(&mut |o| {
+            o.flight_frozen = false;
+            (1, 0)
+        });
+        assert!(validate_monitor_json(&thawed).is_err(), "unfrozen flight must fail");
+    }
+
+    #[test]
+    fn dashboard_renders_plain_and_colored() {
+        let cfg = MonitorConfig::quick(0x0B5E_0B5E);
+        let o = run_monitor(&cfg);
+        let plain = render_dashboard(&o, false);
+        assert!(plain.contains("req rate"));
+        assert!(plain.contains("substrate 0"));
+        assert!(plain.contains("PAGE"));
+        assert!(!plain.contains('\x1b'), "plain mode has no escapes");
+        let colored = render_dashboard(&o, true);
+        assert!(colored.contains('\x1b'), "color mode uses ANSI escapes");
+    }
+}

@@ -88,11 +88,11 @@ fn mix(seed: u64, salt: u64) -> u64 {
     splitmix64(seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
-fn fold(h: u64, v: u64) -> u64 {
+pub(crate) fn fold(h: u64, v: u64) -> u64 {
     splitmix64(h.rotate_left(23) ^ v)
 }
 
-fn fold_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fold_bytes(mut h: u64, bytes: &[u8]) -> u64 {
     for chunk in bytes.chunks(8) {
         let mut v = [0u8; 8];
         v[..chunk.len()].copy_from_slice(chunk);

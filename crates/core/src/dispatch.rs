@@ -167,6 +167,8 @@ struct Metrics {
     peak_queue_depth: Arc<Gauge>,
     backend_jobs: Vec<Arc<Counter>>,
     backend_busy_ns: Vec<Arc<Counter>>,
+    backend_in_flight: Vec<Arc<Gauge>>,
+    backend_utilization: Vec<Arc<Gauge>>,
 }
 
 impl Metrics {
@@ -181,6 +183,15 @@ impl Metrics {
                 })
                 .collect()
         };
+        let per_backend_gauge = |family: &str, suffix: &str| {
+            descriptors
+                .iter()
+                .enumerate()
+                .map(|(i, d)| {
+                    registry.gauge(&format!("{family}_{i}_{}_{suffix}", sanitize(d.kind)))
+                })
+                .collect()
+        };
         Metrics {
             completed: registry.counter("rbc_dispatch_completed_total"),
             rejected: registry.counter("rbc_dispatch_shed_total"),
@@ -191,6 +202,11 @@ impl Metrics {
             peak_queue_depth: registry.gauge("rbc_dispatch_peak_queue_depth"),
             backend_jobs: per_backend("jobs_total"),
             backend_busy_ns: per_backend("busy_ns_total"),
+            // Live per-backend occupancy and utilization, so a monitor
+            // can watch one substrate pin while the others idle — the
+            // whole-run averages in `stats()` hide that as it develops.
+            backend_in_flight: per_backend_gauge("rbc_dispatch_backend", "queue_depth"),
+            backend_utilization: per_backend_gauge("rbc_backend", "utilization_ratio"),
         }
     }
 }
@@ -381,6 +397,7 @@ impl Dispatcher {
             }
         };
         g.in_flight[chosen] += 1;
+        self.metrics.backend_in_flight[chosen].set(g.in_flight[chosen] as i64);
         drop(g);
 
         let queue_wait = self.clock.now().saturating_duration_since(arrived);
@@ -397,12 +414,22 @@ impl Dispatcher {
 
         let mut g = self.lock_shared();
         g.in_flight[chosen] -= 1;
+        self.metrics.backend_in_flight[chosen].set(g.in_flight[chosen] as i64);
         drop(g);
         // Aggregate accounting is lock-free: relaxed atomics in the
         // shared registry, off the scheduler's critical section.
         self.metrics.backend_jobs[chosen].inc();
         self.metrics.backend_busy_ns[chosen]
             .add(u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX));
+        // Utilization since construction, fixed-point x1000 (a gauge
+        // holds integers; 1000 = fully busy).
+        let wall_ns =
+            u64::try_from(self.clock.now().saturating_duration_since(self.started).as_nanos())
+                .unwrap_or(u64::MAX)
+                .max(1);
+        let busy_total = self.metrics.backend_busy_ns[chosen].get();
+        self.metrics.backend_utilization[chosen]
+            .set(((busy_total as u128 * 1000) / wall_ns as u128).min(1000) as i64);
         self.metrics.completed.inc();
         self.metrics.latency_ns.record_duration_traced(
             self.clock.now().saturating_duration_since(arrived),
@@ -926,6 +953,37 @@ mod tests {
         let s = d.stats();
         assert_eq!(s.completed, 3);
         assert_eq!(s.per_backend.iter().map(|b| b.jobs).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn per_backend_gauges_track_occupancy_and_utilization() {
+        let clock = SimClock::new().handle();
+        let _guard = clock.enter();
+        let registry = Arc::new(Registry::new());
+        let sleeper = Arc::new(SleepBackend {
+            delay: Duration::from_millis(40),
+            slots: 1,
+            clock: clock.clone(),
+        });
+        let d = Dispatcher::with_clock(
+            vec![sleeper],
+            DispatcherConfig::default(),
+            registry.clone(),
+            clock.clone(),
+        );
+        // Idle for 40 ms first so the busy fraction is a clean 50%.
+        clock.sleep(Duration::from_millis(40));
+        assert!(matches!(d.submit(&trivial_job()), DispatchOutcome::Completed { .. }));
+
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.gauge("rbc_dispatch_backend_0_cpu_queue_depth"),
+            Some(0),
+            "occupancy gauge returns to zero after completion"
+        );
+        // 40 ms busy over 80 ms wall on the virtual timeline: exactly
+        // half, fixed-point x1000.
+        assert_eq!(snap.gauge("rbc_backend_0_cpu_utilization_ratio"), Some(500));
     }
 
     #[test]

@@ -22,11 +22,49 @@ impl Registry {
     }
 }
 
+/// Escapes a label value for the Prometheus text format: backslash,
+/// double quote, and newline become `\\`, `\"`, and `\n`.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Conventional `# HELP` text, derived from the metric type and the
+/// repo-wide `rbc_<layer>_<name>_<unit>` suffix convention.
+fn help_for(name: &str, metric: &MetricSnapshot) -> &'static str {
+    match metric {
+        MetricSnapshot::Counter(_) => {
+            if name.ends_with("_ns") {
+                "Cumulative nanoseconds (monotonic counter)."
+            } else {
+                "Monotonic event count since process start."
+            }
+        }
+        MetricSnapshot::Gauge(_) => {
+            if name.ends_with("_ratio") {
+                "Instantaneous ratio, fixed-point x1000."
+            } else {
+                "Instantaneous gauge value."
+            }
+        }
+        MetricSnapshot::Histogram(_) => "Log-linear histogram (nanosecond samples by convention).",
+    }
+}
+
 /// Prometheus text rendering of a snapshot (see
 /// [`Registry::render_prometheus`]).
 pub fn render_prometheus(snap: &Snapshot) -> String {
     let mut out = String::new();
     for (name, metric) in &snap.entries {
+        out.push_str(&format!("# HELP {name} {}\n", help_for(name, metric)));
         match metric {
             MetricSnapshot::Counter(v) => {
                 out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
@@ -39,7 +77,8 @@ pub fn render_prometheus(snap: &Snapshot) -> String {
                 let mut cumulative = 0u64;
                 for &(bound, count) in &h.buckets {
                     cumulative += count;
-                    out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+                    let le = escape_label_value(&bound.to_string());
+                    out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
                 }
                 out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
                 out.push_str(&format!("{name}_sum {}\n", h.sum));
@@ -117,23 +156,63 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
                 let body = rest
                     .strip_suffix('}')
                     .ok_or_else(|| format!("line {}: unterminated label set", lineno + 1))?;
-                let mut labels = Vec::new();
-                for pair in body.split(',').filter(|p| !p.is_empty()) {
-                    let (k, v) = pair
-                        .split_once('=')
-                        .ok_or_else(|| format!("line {}: bad label {pair:?}", lineno + 1))?;
-                    let v = v
-                        .strip_prefix('"')
-                        .and_then(|v| v.strip_suffix('"'))
-                        .ok_or_else(|| format!("line {}: unquoted label value", lineno + 1))?;
-                    labels.push((k.to_string(), v.to_string()));
-                }
+                let labels =
+                    parse_label_body(body).map_err(|e| format!("line {}: {e}", lineno + 1))?;
                 (name.to_string(), labels)
             }
         };
         samples.push(PromSample { name, labels, value });
     }
     Ok(samples)
+}
+
+/// Parses a `k="v",k2="v2"` label body, decoding the `\\`/`\"`/`\n`
+/// escapes [`escape_label_value`] emits. A naive split on `,` would
+/// corrupt values containing commas or escaped quotes, so this scans.
+fn parse_label_body(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    while chars.peek().is_some() {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() {
+            return Err("empty label name".to_string());
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("unquoted label value for {key:?}"));
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                '\\' => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?} in label {key:?}")),
+                },
+                _ => value.push(c),
+            }
+        }
+        if !closed {
+            return Err(format!("unterminated label value for {key:?}"));
+        }
+        labels.push((key, value));
+        match chars.next() {
+            None | Some(',') => {}
+            Some(c) => return Err(format!("expected ',' between labels, got {c:?}")),
+        }
+    }
+    Ok(labels)
 }
 
 #[cfg(test)]
@@ -181,6 +260,40 @@ mod tests {
         assert!(parse_prometheus("x{le=\"1\" 3").is_err());
         assert!(parse_prometheus("x{le=1} 3").is_err());
         assert!(parse_prometheus("x nan_but_not").is_err());
+        assert!(parse_prometheus("x{a=\"unterminated} 3").is_err());
+        assert!(parse_prometheus("x{a=\"bad\\escape\"} 3").is_err());
+    }
+
+    #[test]
+    fn every_metric_gets_help_and_type_metadata() {
+        let r = sample_registry();
+        let text = r.render_prometheus();
+        for name in ["rbc_test_requests_total", "rbc_test_queue_depth", "rbc_test_latency_ns"] {
+            let help = format!("# HELP {name} ");
+            let ty = format!("# TYPE {name} ");
+            let help_at = text.find(&help).unwrap_or_else(|| panic!("no HELP for {name}"));
+            let ty_at = text.find(&ty).unwrap_or_else(|| panic!("no TYPE for {name}"));
+            assert!(help_at < ty_at, "{name}: HELP must precede TYPE");
+        }
+        assert!(text.contains("# TYPE rbc_test_requests_total counter"));
+        assert!(text.contains("# TYPE rbc_test_queue_depth gauge"));
+        assert!(text.contains("# TYPE rbc_test_latency_ns histogram"));
+    }
+
+    #[test]
+    fn label_values_escape_and_round_trip() {
+        // Quotes, backslashes, newlines, and commas in label values all
+        // survive render → parse unchanged.
+        let hostile = "say \"hi\"\\world,\nnext";
+        let line =
+            format!("rbc_probe{{target=\"{}\",plain=\"ok\"}} 1\n", escape_label_value(hostile));
+        assert!(!line.trim_end_matches('\n').contains('\n'), "escaping keeps it one line");
+        let samples = parse_prometheus(&line).expect("escaped line must parse");
+        assert_eq!(samples.len(), 1);
+        assert_eq!(
+            samples[0].labels,
+            [("target".to_string(), hostile.to_string()), ("plain".to_string(), "ok".to_string())]
+        );
     }
 
     #[test]

@@ -42,14 +42,20 @@ pub mod clock;
 mod expose;
 mod metrics;
 mod recorder;
+pub mod slo;
+pub mod timeseries;
 mod trace;
 
 pub use clock::{wall_clock, ActorGuard, Clock, ClockHandle, SimClock, WallClock, SIM_POLL_TICK};
-pub use expose::{parse_prometheus, render_json, render_prometheus, PromSample};
+pub use expose::{
+    escape_label_value, parse_prometheus, render_json, render_prometheus, PromSample,
+};
 pub use metrics::{
     Counter, Exemplar, Gauge, Histogram, HistogramSnapshot, MetricSnapshot, Registry, Snapshot,
 };
 pub use recorder::FlightRecorder;
+pub use slo::{Alert, Severity, SloEvaluator, SloKind, SloSpec};
+pub use timeseries::{ScrapeConfig, Scraper, Series, SeriesPoint};
 pub use trace::{
     CollectingRecorder, EventKind, EventRecord, NullRecorder, Recorder, Span, SpanRecord,
     TraceContext, Tracer,

@@ -302,6 +302,35 @@ impl HistogramSnapshot {
     pub fn mean_duration(&self) -> Duration {
         Duration::from_nanos(self.mean() as u64)
     }
+
+    /// The distribution of samples recorded *between* `earlier` and this
+    /// snapshot: bucket-wise saturating difference of two snapshots of
+    /// the same histogram. Windowed quantiles — "the p99 of the last
+    /// five seconds" — are `later.diff(&earlier).percentile(99.0)`;
+    /// whole-lifetime snapshots can only ever dilute a recent tail.
+    ///
+    /// The exemplar is carried over from `self` only if the window
+    /// recorded new samples (the exemplar epoch is not window-aligned,
+    /// so it is a best-effort attribution, exactly as in the full
+    /// snapshot).
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = Vec::with_capacity(self.buckets.len());
+        for &(bound, count) in &self.buckets {
+            let before =
+                earlier.buckets.iter().find(|&&(b, _)| b == bound).map(|&(_, c)| c).unwrap_or(0);
+            let delta = count.saturating_sub(before);
+            if delta > 0 {
+                buckets.push((bound, delta));
+            }
+        }
+        let count = self.count.saturating_sub(earlier.count);
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            exemplar: if count > 0 { self.exemplar } else { None },
+        }
+    }
 }
 
 /// One metric's value in a [`Snapshot`].
@@ -351,6 +380,69 @@ impl Snapshot {
             MetricSnapshot::Histogram(h) => Some(h),
             _ => None,
         }
+    }
+
+    /// What happened *between* `earlier` and this snapshot.
+    ///
+    /// Counters become saturating deltas, histograms bucket-wise deltas
+    /// (see [`HistogramSnapshot::diff`]), and gauges keep their current
+    /// value — a gauge is already an instantaneous reading, so a delta
+    /// would be meaningless. Metrics absent from `earlier` (registered
+    /// mid-window) diff against zero. Entry order follows `self`.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(name, m)| {
+                let diffed = match m {
+                    MetricSnapshot::Counter(v) => {
+                        let before = earlier.counter(name).unwrap_or(0);
+                        MetricSnapshot::Counter(v.saturating_sub(before))
+                    }
+                    MetricSnapshot::Gauge(v) => MetricSnapshot::Gauge(*v),
+                    MetricSnapshot::Histogram(h) => {
+                        static EMPTY: HistogramSnapshot = HistogramSnapshot {
+                            buckets: Vec::new(),
+                            count: 0,
+                            sum: 0,
+                            exemplar: None,
+                        };
+                        let before = earlier.histogram(name).unwrap_or(&EMPTY);
+                        MetricSnapshot::Histogram(h.diff(before))
+                    }
+                };
+                (name.clone(), diffed)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+
+    /// A counter's per-second rate over the window ending at this
+    /// snapshot: `(self − earlier) / elapsed`. `None` if the metric is
+    /// absent/not a counter in `self` or the window is empty.
+    pub fn counter_rate(&self, earlier: &Snapshot, name: &str, elapsed: Duration) -> Option<f64> {
+        let now = self.counter(name)?;
+        let before = earlier.counter(name).unwrap_or(0);
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return None;
+        }
+        Some(now.saturating_sub(before) as f64 / secs)
+    }
+
+    /// A histogram quantile over only the samples recorded between
+    /// `earlier` and this snapshot. `None` if the metric is absent/not
+    /// a histogram or the window recorded no samples.
+    pub fn windowed_percentile(&self, earlier: &Snapshot, name: &str, p: f64) -> Option<u64> {
+        static EMPTY: HistogramSnapshot =
+            HistogramSnapshot { buckets: Vec::new(), count: 0, sum: 0, exemplar: None };
+        let now = self.histogram(name)?;
+        let before = earlier.histogram(name).unwrap_or(&EMPTY);
+        let window = now.diff(before);
+        if window.count == 0 {
+            return None;
+        }
+        Some(window.percentile(p))
     }
 }
 
@@ -609,5 +701,92 @@ mod tests {
         let _ = r.histogram("rbc_c_ns");
         let names: Vec<_> = r.snapshot().entries.iter().map(|(n, _)| n.clone()).collect();
         assert_eq!(names, ["rbc_b_total", "rbc_a_depth", "rbc_c_ns"]);
+    }
+
+    #[test]
+    fn snapshot_diff_counters_gauges_histograms() {
+        let r = Registry::new();
+        let c = r.counter("rbc_x_total");
+        let g = r.gauge("rbc_x_depth");
+        let h = r.histogram("rbc_x_ns");
+
+        c.add(10);
+        g.set(3);
+        h.record(100);
+        let earlier = r.snapshot();
+
+        c.add(5);
+        g.set(9);
+        h.record(1_000_000);
+        h.record(1_000_000);
+        let later = r.snapshot();
+
+        let d = later.diff(&earlier);
+        assert_eq!(d.counter("rbc_x_total"), Some(5), "counter diffs");
+        assert_eq!(d.gauge("rbc_x_depth"), Some(9), "gauge keeps current value");
+        let wh = d.histogram("rbc_x_ns").unwrap();
+        assert_eq!(wh.count, 2, "only window samples survive the diff");
+        assert_eq!(wh.sum, 2_000_000);
+        // Both window samples share one bucket; the earlier 100 ns
+        // sample's bucket must have diffed away entirely.
+        assert_eq!(wh.buckets.len(), 1);
+        assert_eq!(wh.buckets[0].1, 2);
+    }
+
+    #[test]
+    fn snapshot_diff_handles_metrics_absent_from_earlier() {
+        let r = Registry::new();
+        let earlier = r.snapshot();
+        let c = r.counter("rbc_late_total");
+        c.add(7);
+        let later = r.snapshot();
+        let d = later.diff(&earlier);
+        assert_eq!(d.counter("rbc_late_total"), Some(7), "diffs against zero");
+    }
+
+    #[test]
+    fn counter_rate_is_delta_over_elapsed() {
+        let r = Registry::new();
+        let c = r.counter("rbc_ops_total");
+        c.add(100);
+        let earlier = r.snapshot();
+        c.add(50);
+        let later = r.snapshot();
+
+        let rate = later.counter_rate(&earlier, "rbc_ops_total", Duration::from_secs(2)).unwrap();
+        assert!((rate - 25.0).abs() < 1e-9, "50 ops over 2 s = 25/s, got {rate}");
+        assert_eq!(
+            later.counter_rate(&earlier, "rbc_ops_total", Duration::ZERO),
+            None,
+            "empty window has no rate"
+        );
+        assert_eq!(later.counter_rate(&earlier, "rbc_missing", Duration::from_secs(1)), None);
+    }
+
+    #[test]
+    fn windowed_percentile_sees_only_the_window() {
+        let r = Registry::new();
+        let h = r.histogram("rbc_lat_ns");
+        // A long history of fast samples...
+        for _ in 0..1000 {
+            h.record(1_000);
+        }
+        let earlier = r.snapshot();
+        // ...then a window of uniformly slow ones.
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let later = r.snapshot();
+
+        let lifetime = later.histogram("rbc_lat_ns").unwrap().percentile(99.0);
+        let windowed = later.windowed_percentile(&earlier, "rbc_lat_ns", 99.0).unwrap();
+        assert!(lifetime < 2_000, "lifetime p99 is diluted by history: {lifetime}");
+        let err = (windowed as f64 - 1_000_000.0).abs() / 1_000_000.0;
+        assert!(err <= Histogram::RELATIVE_ERROR, "windowed p99 tracks the window: {windowed}");
+        assert_eq!(
+            earlier.windowed_percentile(&earlier, "rbc_lat_ns", 99.0),
+            None,
+            "empty window has no quantile"
+        );
     }
 }

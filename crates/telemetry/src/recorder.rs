@@ -41,6 +41,7 @@ fn kind_bit(kind: EventKind) -> u32 {
         EventKind::Retransmit => 1 << 3,
         EventKind::FaultInjected => 1 << 4,
         EventKind::ShardResumed => 1 << 5,
+        EventKind::SloBurn => 1 << 6,
     }
 }
 
@@ -133,6 +134,19 @@ impl FlightRecorder {
     pub fn thaw(&self) {
         self.frozen_trace.store(0, Ordering::Relaxed);
         self.frozen.store(false, Ordering::Release);
+    }
+
+    /// Freezes the ring now, pinning `trace_id` (0 pins nothing, which
+    /// still captures unattributable link-level events). For callers
+    /// *outside* the event stream — e.g. the SLO evaluator paging on a
+    /// burn rate, a condition no single event carries. A no-op if
+    /// already frozen: the first anomaly keeps its pin.
+    pub fn freeze(&self, trace_id: u64) {
+        if self.frozen.load(Ordering::Acquire) {
+            return;
+        }
+        self.frozen_trace.store(trace_id, Ordering::Relaxed);
+        self.frozen.store(true, Ordering::Release);
     }
 
     /// Retained spans, oldest → newest.

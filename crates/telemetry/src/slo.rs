@@ -1,0 +1,475 @@
+//! Declarative SLOs evaluated as multi-window burn rates.
+//!
+//! A [`SloSpec`] names either an availability objective (the fraction
+//! of requests that must end well — sheds and timeouts spend error
+//! budget) or a latency objective (the windowed p99 must stay inside a
+//! deadline budget). The [`SloEvaluator`] consumes the same
+//! [`Snapshot`]s the scraper already takes and computes the **burn
+//! rate** — how many times faster than sustainable the error budget is
+//! being spent — over two windows at once:
+//!
+//! * a *fast* window (default 5 s) that reacts to sudden failure and,
+//!   crucially, clears quickly on recovery, and
+//! * a *slow* window (default 60 s) that filters one-tick blips.
+//!
+//! An alert fires only when **both** windows exceed a threshold
+//! (standard multi-window burn-rate alerting); severities are
+//! edge-triggered, so callers get one [`Alert`] per transition —
+//! including the transition back to [`Severity::Clear`]. Transitions
+//! are mirrored into the trace stream as
+//! [`EventKind::SloBurn`] events, and a page can optionally freeze a
+//! [`FlightRecorder`] so the black box captures the moments *before*
+//! the burn was detected.
+//!
+//! Windows are measured in caller-supplied timestamps, so under a
+//! virtual clock the evaluator is exactly as deterministic as the
+//! simulation driving it.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::metrics::{HistogramSnapshot, Snapshot};
+use crate::recorder::FlightRecorder;
+use crate::trace::{EventKind, Tracer};
+
+/// Alert severity, ordered `Clear < Warn < Page`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Burn below every threshold.
+    Clear,
+    /// Sustained burn above the warn threshold in both windows.
+    Warn,
+    /// Sustained burn above the page threshold in both windows.
+    Page,
+}
+
+impl Severity {
+    /// Stable lowercase name for rendering.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Severity::Clear => "clear",
+            Severity::Warn => "warn",
+            Severity::Page => "page",
+        }
+    }
+}
+
+/// What an SLO measures.
+#[derive(Clone, Debug)]
+pub enum SloKind {
+    /// Good-fraction objective over counter metrics: `bad / total`
+    /// spends the `1 − objective` error budget.
+    Availability {
+        /// Counter of all requests (e.g. `rbc_service_requests_total`).
+        total: String,
+        /// Counters whose increments spend error budget (e.g. shed +
+        /// timeout totals). Absent counters read as zero.
+        bad: Vec<String>,
+        /// Required good fraction in `(0, 1)`, e.g. `0.99`.
+        objective: f64,
+    },
+    /// Windowed-p99 objective over a histogram metric: the burn rate
+    /// is `p99 / budget`, so burn 1.0 sits exactly at the deadline.
+    Latency {
+        /// Histogram of nanosecond samples (e.g.
+        /// `rbc_service_auth_total_ns`).
+        histogram: String,
+        /// The latency budget the windowed p99 is held against.
+        budget: Duration,
+    },
+}
+
+/// One declarative SLO plus its alerting thresholds.
+#[derive(Clone, Debug)]
+pub struct SloSpec {
+    /// Stable identifier, used in alerts and artifacts.
+    pub name: String,
+    /// What to measure.
+    pub kind: SloKind,
+    /// Fast window (reacts and recovers quickly).
+    pub fast: Duration,
+    /// Slow window (filters blips).
+    pub slow: Duration,
+    /// Burn rate at/above which both windows trigger a warn.
+    pub warn_burn: f64,
+    /// Burn rate at/above which both windows trigger a page.
+    pub page_burn: f64,
+}
+
+impl SloSpec {
+    /// An availability SLO with the default windows (5 s / 60 s) and
+    /// thresholds (warn ≥ 1, page ≥ 6).
+    pub fn availability(
+        name: impl Into<String>,
+        total: impl Into<String>,
+        bad: Vec<String>,
+        objective: f64,
+    ) -> Self {
+        assert!(objective > 0.0 && objective < 1.0, "objective must be in (0, 1)");
+        SloSpec {
+            name: name.into(),
+            kind: SloKind::Availability { total: total.into(), bad, objective },
+            fast: Duration::from_secs(5),
+            slow: Duration::from_secs(60),
+            warn_burn: 1.0,
+            page_burn: 6.0,
+        }
+    }
+
+    /// A latency SLO with the default windows and thresholds.
+    pub fn latency(
+        name: impl Into<String>,
+        histogram: impl Into<String>,
+        budget: Duration,
+    ) -> Self {
+        assert!(!budget.is_zero(), "latency budget must be positive");
+        SloSpec {
+            name: name.into(),
+            kind: SloKind::Latency { histogram: histogram.into(), budget },
+            fast: Duration::from_secs(5),
+            slow: Duration::from_secs(60),
+            warn_burn: 1.0,
+            page_burn: 6.0,
+        }
+    }
+
+    /// Overrides the fast/slow windows.
+    pub fn windows(mut self, fast: Duration, slow: Duration) -> Self {
+        assert!(fast < slow, "fast window must be shorter than slow");
+        self.fast = fast;
+        self.slow = slow;
+        self
+    }
+
+    /// Overrides the warn/page burn thresholds.
+    pub fn thresholds(mut self, warn_burn: f64, page_burn: f64) -> Self {
+        assert!(warn_burn <= page_burn, "warn threshold must not exceed page");
+        self.warn_burn = warn_burn;
+        self.page_burn = page_burn;
+        self
+    }
+}
+
+/// One edge-triggered severity transition.
+#[derive(Clone, Debug)]
+pub struct Alert {
+    /// The spec that transitioned.
+    pub spec: String,
+    /// The new severity (including the recovery to `Clear`).
+    pub severity: Severity,
+    /// Timestamp of the observation that caused the transition.
+    pub at_ns: u64,
+    /// Burn rate over the fast window at the transition.
+    pub fast_burn: f64,
+    /// Burn rate over the slow window at the transition.
+    pub slow_burn: f64,
+}
+
+/// The per-spec numbers extracted from one snapshot — everything a
+/// later burn computation needs, without retaining whole snapshots.
+#[derive(Clone, Debug)]
+enum Sample {
+    Avail { total: u64, bad: u64 },
+    Lat(HistogramSnapshot),
+}
+
+#[derive(Debug)]
+struct SpecState {
+    spec: SloSpec,
+    samples: VecDeque<(u64, Sample)>,
+    severity: Severity,
+}
+
+/// Evaluates a set of [`SloSpec`]s over a stream of snapshots (see the
+/// module docs).
+#[derive(Debug)]
+pub struct SloEvaluator {
+    states: Vec<SpecState>,
+    flight: Option<Arc<FlightRecorder>>,
+}
+
+impl SloEvaluator {
+    /// An evaluator for `specs`; all severities start [`Severity::Clear`].
+    pub fn new(specs: Vec<SloSpec>) -> Self {
+        SloEvaluator {
+            states: specs
+                .into_iter()
+                .map(|spec| SpecState { spec, samples: VecDeque::new(), severity: Severity::Clear })
+                .collect(),
+            flight: None,
+        }
+    }
+
+    /// Freezes `flight` when any spec transitions to [`Severity::Page`],
+    /// preserving the spans and events leading up to the burn.
+    pub fn with_flight(mut self, flight: Arc<FlightRecorder>) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// Current severity of every spec, in spec order.
+    pub fn severities(&self) -> Vec<(String, Severity)> {
+        self.states.iter().map(|s| (s.spec.name.clone(), s.severity)).collect()
+    }
+
+    /// Ingests one observation (`at_ns` on the caller's timeline,
+    /// monotone non-decreasing) and returns the severity transitions it
+    /// caused. Transitions are mirrored as [`EventKind::SloBurn`]
+    /// events into `tracer`, and a page freezes the attached flight
+    /// recorder, if any.
+    pub fn observe(&mut self, at_ns: u64, snap: &Snapshot, tracer: Option<&Tracer>) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        for state in &mut self.states {
+            let sample = match &state.spec.kind {
+                SloKind::Availability { total, bad, .. } => Sample::Avail {
+                    total: snap.counter(total).unwrap_or(0),
+                    bad: bad.iter().map(|b| snap.counter(b).unwrap_or(0)).sum(),
+                },
+                SloKind::Latency { histogram, .. } => {
+                    Sample::Lat(snap.histogram(histogram).cloned().unwrap_or(HistogramSnapshot {
+                        buckets: Vec::new(),
+                        count: 0,
+                        sum: 0,
+                        exemplar: None,
+                    }))
+                }
+            };
+            state.samples.push_back((at_ns, sample));
+
+            // Prune to the slow window, keeping one older sample as the
+            // window base (the diff's "then").
+            let slow_ns = u64::try_from(state.spec.slow.as_nanos()).unwrap_or(u64::MAX);
+            let base = at_ns.saturating_sub(slow_ns);
+            while state.samples.len() > 2 && state.samples[1].0 <= base {
+                state.samples.pop_front();
+            }
+
+            let fast_burn = burn_over(state, at_ns, state.spec.fast);
+            let slow_burn = burn_over(state, at_ns, state.spec.slow);
+            // Multi-window rule: alert only when BOTH windows burn, so
+            // the gate is the smaller of the two.
+            let gating = fast_burn.min(slow_burn);
+            let severity = if gating >= state.spec.page_burn {
+                Severity::Page
+            } else if gating >= state.spec.warn_burn {
+                Severity::Warn
+            } else {
+                Severity::Clear
+            };
+
+            if severity != state.severity {
+                state.severity = severity;
+                if let Some(t) = tracer {
+                    let detail = match severity {
+                        Severity::Clear => "slo_clear",
+                        Severity::Warn => "slo_warn",
+                        Severity::Page => "slo_page",
+                    };
+                    t.event(EventKind::SloBurn, 0, detail);
+                }
+                if severity == Severity::Page {
+                    if let Some(f) = &self.flight {
+                        f.freeze(0);
+                    }
+                }
+                alerts.push(Alert {
+                    spec: state.spec.name.clone(),
+                    severity,
+                    at_ns,
+                    fast_burn,
+                    slow_burn,
+                });
+            }
+        }
+        alerts
+    }
+}
+
+/// Burn rate of `state`'s spec over the window ending at `at_ns`. A
+/// window with no traffic (or a series younger than one sample) burns
+/// nothing; a window extending past the oldest sample uses the oldest
+/// as its base (partial-window evaluation while the run warms up).
+fn burn_over(state: &SpecState, at_ns: u64, window: Duration) -> f64 {
+    let window_ns = u64::try_from(window.as_nanos()).unwrap_or(u64::MAX);
+    let base = at_ns.saturating_sub(window_ns);
+    // The newest sample at/before the window base, else the oldest.
+    let then =
+        state.samples.iter().rev().find(|(t, _)| *t <= base).or_else(|| state.samples.front());
+    let (Some((_, then)), Some((_, now))) = (then, state.samples.back()) else {
+        return 0.0;
+    };
+    match (&state.spec.kind, then, now) {
+        (
+            SloKind::Availability { objective, .. },
+            Sample::Avail { total: t0, bad: b0 },
+            Sample::Avail { total: t1, bad: b1 },
+        ) => {
+            let total = t1.saturating_sub(*t0);
+            if total == 0 {
+                return 0.0;
+            }
+            let bad_frac = b1.saturating_sub(*b0) as f64 / total as f64;
+            bad_frac / (1.0 - objective)
+        }
+        (SloKind::Latency { budget, .. }, Sample::Lat(h0), Sample::Lat(h1)) => {
+            let window = h1.diff(h0);
+            if window.count == 0 {
+                return 0.0;
+            }
+            window.percentile(99.0) as f64 / budget.as_nanos() as f64
+        }
+        // A spec's samples are always the matching variant.
+        _ => unreachable!("sample kind mismatch"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+    use crate::trace::Recorder;
+    use std::sync::Arc;
+
+    const TICK_NS: u64 = 1_000_000_000; // evaluate once per synthetic second
+
+    /// Drives `ticks` seconds of synthetic traffic: per tick, `good`
+    /// accepted and `bad(t)` shed requests. Returns all alerts.
+    fn drive(
+        eval: &mut SloEvaluator,
+        registry: &Registry,
+        start_tick: u64,
+        ticks: u64,
+        good: u64,
+        bad: impl Fn(u64) -> u64,
+    ) -> Vec<Alert> {
+        let total = registry.counter("rbc_s_requests_total");
+        let shed = registry.counter("rbc_s_shed_total");
+        let mut alerts = Vec::new();
+        for t in start_tick..start_tick + ticks {
+            let b = bad(t);
+            total.add(good + b);
+            shed.add(b);
+            alerts.extend(eval.observe((t + 1) * TICK_NS, &registry.snapshot(), None));
+        }
+        alerts
+    }
+
+    fn availability_spec() -> SloSpec {
+        SloSpec::availability(
+            "availability",
+            "rbc_s_requests_total",
+            vec!["rbc_s_shed_total".to_string()],
+            0.99,
+        )
+        .windows(Duration::from_secs(5), Duration::from_secs(60))
+        .thresholds(1.0, 6.0)
+    }
+
+    #[test]
+    fn healthy_traffic_never_alerts() {
+        let registry = Registry::new();
+        let mut eval = SloEvaluator::new(vec![availability_spec()]);
+        // 0.5% failure against a 1% budget: burn 0.5, below warn.
+        let alerts = drive(&mut eval, &registry, 0, 120, 199, |_| 1);
+        assert!(alerts.is_empty(), "burn 0.5 must stay clear: {alerts:?}");
+        assert_eq!(eval.severities()[0].1, Severity::Clear);
+    }
+
+    #[test]
+    fn hard_outage_pages_fast() {
+        let registry = Registry::new();
+        let mut eval = SloEvaluator::new(vec![availability_spec()]);
+        // A minute of health, then total failure.
+        let healthy = drive(&mut eval, &registry, 0, 60, 200, |_| 0);
+        assert!(healthy.is_empty());
+        let outage = drive(&mut eval, &registry, 60, 10, 0, |_| 200);
+        let page_at =
+            outage.iter().find(|a| a.severity == Severity::Page).expect("a hard outage must page");
+        // Fast window saturates at burn 100 (100% bad / 1% budget);
+        // the slow window crosses page_burn=6 once ~3.6 s of the
+        // 60 s window is bad — the page lands within a few ticks.
+        assert!(page_at.at_ns <= 66 * TICK_NS, "page within ~6 s: {}", page_at.at_ns);
+        assert!(page_at.fast_burn >= 6.0 && page_at.slow_burn >= 6.0);
+    }
+
+    #[test]
+    fn slow_burn_warns_but_never_pages() {
+        let registry = Registry::new();
+        let mut eval = SloEvaluator::new(vec![availability_spec()]);
+        // Steady 3% failure: burn 3 in both windows once warmed up —
+        // above warn (1), below page (6).
+        let alerts = drive(&mut eval, &registry, 0, 120, 194, |_| 6);
+        assert!(alerts.iter().any(|a| a.severity == Severity::Warn), "{alerts:?}");
+        assert!(alerts.iter().all(|a| a.severity != Severity::Page), "{alerts:?}");
+        assert_eq!(eval.severities()[0].1, Severity::Warn);
+    }
+
+    #[test]
+    fn recovery_clears_on_the_fast_window() {
+        let registry = Registry::new();
+        let mut eval = SloEvaluator::new(vec![availability_spec()]);
+        drive(&mut eval, &registry, 0, 60, 200, |_| 0);
+        drive(&mut eval, &registry, 60, 10, 0, |_| 200);
+        assert_eq!(eval.severities()[0].1, Severity::Page, "outage established");
+        // Recovery: the fast window drains in 5 s and gates the alert
+        // back to Clear long before the slow window forgets the outage.
+        let recovered = drive(&mut eval, &registry, 70, 10, 200, |_| 0);
+        let clear =
+            recovered.iter().find(|a| a.severity == Severity::Clear).expect("recovery must clear");
+        assert!(clear.at_ns <= 77 * TICK_NS, "clear within ~7 s of recovery: {}", clear.at_ns);
+        assert!(clear.fast_burn < 1.0);
+        assert!(clear.slow_burn >= 1.0, "slow window still remembers the outage");
+    }
+
+    #[test]
+    fn latency_slo_burns_on_windowed_p99() {
+        let registry = Registry::new();
+        let h = registry.histogram("rbc_s_auth_ns");
+        let spec = SloSpec::latency("latency", "rbc_s_auth_ns", Duration::from_millis(1))
+            .windows(Duration::from_secs(5), Duration::from_secs(60))
+            .thresholds(1.0, 6.0);
+        let mut eval = SloEvaluator::new(vec![spec]);
+        // Fast samples: p99 well under the 1 ms budget.
+        for t in 0..60u64 {
+            for _ in 0..50 {
+                h.record(100_000);
+            }
+            let alerts = eval.observe((t + 1) * TICK_NS, &registry.snapshot(), None);
+            assert!(alerts.is_empty(), "burn 0.1 stays clear");
+        }
+        // Tail blowup: p99 ≈ 10 ms = burn 10 in both windows.
+        let mut paged = false;
+        for t in 60..75u64 {
+            for _ in 0..50 {
+                h.record(10_000_000);
+            }
+            let alerts = eval.observe((t + 1) * TICK_NS, &registry.snapshot(), None);
+            paged |= alerts.iter().any(|a| a.severity == Severity::Page);
+        }
+        assert!(paged, "a 10x p99 breach must page");
+    }
+
+    #[test]
+    fn transitions_emit_events_and_pages_freeze_the_flight_recorder() {
+        let registry = Registry::new();
+        let flight = Arc::new(FlightRecorder::new(64).freeze_on(&[]));
+        let tracer = Tracer::new(flight.clone() as Arc<dyn Recorder>);
+        let mut eval = SloEvaluator::new(vec![availability_spec()]).with_flight(flight.clone());
+
+        let total = registry.counter("rbc_s_requests_total");
+        let shed = registry.counter("rbc_s_shed_total");
+        for t in 0..70u64 {
+            let bad = if t >= 60 { 200 } else { 0 };
+            total.add(200);
+            shed.add(bad);
+            eval.observe((t + 1) * TICK_NS, &registry.snapshot(), Some(&tracer));
+        }
+        assert!(flight.is_frozen(), "page must freeze the black box");
+        let events = flight.events();
+        assert!(
+            events.iter().any(|e| e.kind == EventKind::SloBurn && e.detail == "slo_page"),
+            "SloBurn page event recorded: {events:?}"
+        );
+    }
+}

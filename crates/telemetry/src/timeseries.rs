@@ -1,0 +1,444 @@
+//! Continuous scraping of a [`Registry`] into fixed-memory time
+//! series.
+//!
+//! A [`Scraper`] snapshots the registry at a fixed interval on a
+//! [`Clock`](crate::clock::Clock) — exact under
+//! [`SimClock`](crate::clock::SimClock) (scrapes land on the virtual
+//! timeline like any other actor) and cheap under the wall clock — and
+//! converts each metric into derived series:
+//!
+//! * counter `m` → `m:rate` (per-second delta via [`Snapshot::diff`])
+//! * gauge `m` → `m` (instantaneous value)
+//! * histogram `m` → `m:rate` plus windowed `m:p50` / `m:p99`
+//!   quantiles computed over *only the samples of that interval*, so a
+//!   tail spike shows the moment it happens instead of being diluted
+//!   by the whole run's history
+//!
+//! The `:` separator cannot collide with metric names (the
+//! `rbc_<layer>_<name>_<unit>` convention never contains one).
+//!
+//! Each series is a fixed-capacity ring with tiered downsampling:
+//! tier 0 holds raw scrape points; every `decimation` points are
+//! averaged into one tier-1 point, and so on — recent history at full
+//! resolution, old history coarse, memory bounded regardless of run
+//! length. Quantile series average *quantile estimates* across tiers,
+//! which is statistically informal but fine for trend display; gates
+//! read tier 0.
+//!
+//! The scraper never spawns a thread: callers drive [`Scraper::tick`]
+//! themselves or hand a stop flag to [`Scraper::run`] on a thread they
+//! own. Under a `SimClock` the caller must also hold the
+//! [`ActorGuard`](crate::clock::ActorGuard) discipline, exactly as for
+//! any other simulated actor.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rbc_splitmix::splitmix64;
+
+use crate::clock::ClockHandle;
+use crate::metrics::{MetricSnapshot, Registry, Snapshot};
+
+/// One sample of a derived series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SeriesPoint {
+    /// Nanoseconds since the scraper's epoch (its construction time).
+    pub at_ns: u64,
+    /// The derived value (rate in events/s, gauge value, or quantile
+    /// in nanoseconds).
+    pub value: f64,
+}
+
+/// Sizing of every series a [`Scraper`] maintains.
+#[derive(Clone, Debug)]
+pub struct ScrapeConfig {
+    /// Scrape period on the scraper's clock.
+    pub interval: Duration,
+    /// Points retained per tier before the ring drops the oldest.
+    pub capacity: usize,
+    /// Number of downsampling tiers (≥ 1; tier 0 is raw).
+    pub tiers: usize,
+    /// Tier-k points averaged into one tier-(k+1) point.
+    pub decimation: usize,
+}
+
+impl Default for ScrapeConfig {
+    fn default() -> Self {
+        ScrapeConfig {
+            interval: Duration::from_millis(100),
+            capacity: 256,
+            tiers: 3,
+            decimation: 8,
+        }
+    }
+}
+
+/// One tier of a [`Series`]: a bounded ring plus the accumulator that
+/// feeds the next tier.
+#[derive(Clone, Debug)]
+struct Tier {
+    points: VecDeque<SeriesPoint>,
+    cap: usize,
+    acc_sum: f64,
+    acc_n: usize,
+}
+
+impl Tier {
+    fn new(cap: usize) -> Self {
+        Tier { points: VecDeque::with_capacity(cap), cap, acc_sum: 0.0, acc_n: 0 }
+    }
+}
+
+/// A fixed-memory time series with tiered downsampling (see the
+/// module docs).
+#[derive(Clone, Debug)]
+pub struct Series {
+    tiers: Vec<Tier>,
+    decimation: usize,
+}
+
+impl Series {
+    /// An empty series sized by `cfg`.
+    pub fn new(cfg: &ScrapeConfig) -> Self {
+        let tiers = cfg.tiers.max(1);
+        Series {
+            tiers: (0..tiers).map(|_| Tier::new(cfg.capacity.max(1))).collect(),
+            decimation: cfg.decimation.max(2),
+        }
+    }
+
+    /// Appends a raw point, cascading averages into coarser tiers.
+    pub fn push(&mut self, at_ns: u64, value: f64) {
+        let mut carry = Some((at_ns, value));
+        let mut t = 0;
+        while let Some((at, v)) = carry.take() {
+            let Some(tier) = self.tiers.get_mut(t) else { break };
+            if tier.points.len() == tier.cap {
+                tier.points.pop_front();
+            }
+            tier.points.push_back(SeriesPoint { at_ns: at, value: v });
+            tier.acc_sum += v;
+            tier.acc_n += 1;
+            if tier.acc_n == self.decimation {
+                let avg = tier.acc_sum / self.decimation as f64;
+                tier.acc_sum = 0.0;
+                tier.acc_n = 0;
+                carry = Some((at, avg));
+                t += 1;
+            }
+        }
+    }
+
+    /// Number of tiers.
+    pub fn tier_count(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Points currently retained in `tier`, oldest → newest (empty for
+    /// an out-of-range tier).
+    pub fn points(&self, tier: usize) -> Vec<SeriesPoint> {
+        self.tiers.get(tier).map(|t| t.points.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// The newest raw point, if any.
+    pub fn latest(&self) -> Option<SeriesPoint> {
+        self.tiers[0].points.back().copied()
+    }
+
+    /// The last `n` raw values, oldest → newest (shorter if the series
+    /// is young) — sparkline fodder.
+    pub fn recent(&self, n: usize) -> Vec<f64> {
+        let pts = &self.tiers[0].points;
+        pts.iter().skip(pts.len().saturating_sub(n)).map(|p| p.value).collect()
+    }
+}
+
+/// Clock-driven scraper: snapshots a [`Registry`] every
+/// [`ScrapeConfig::interval`] and maintains the derived [`Series`] set
+/// (see the module docs for the derivation rules).
+pub struct Scraper {
+    registry: Arc<Registry>,
+    clock: ClockHandle,
+    cfg: ScrapeConfig,
+    epoch: Instant,
+    prev: Option<(Instant, Snapshot)>,
+    series: Vec<(String, Series)>,
+    ticks: u64,
+}
+
+impl Scraper {
+    /// A scraper over `registry` on `clock`; the epoch (t = 0 of every
+    /// series) is `clock.now()` at the call.
+    pub fn new(registry: Arc<Registry>, clock: ClockHandle, cfg: ScrapeConfig) -> Self {
+        let epoch = clock.now();
+        Scraper { registry, clock, cfg, epoch, prev: None, series: Vec::new(), ticks: 0 }
+    }
+
+    /// The scrape period.
+    pub fn interval(&self) -> Duration {
+        self.cfg.interval
+    }
+
+    /// Completed scrapes.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The snapshot taken by the most recent [`Scraper::tick`] —
+    /// shared with SLO evaluation so one scrape serves both.
+    pub fn latest_snapshot(&self) -> Option<&Snapshot> {
+        self.prev.as_ref().map(|(_, s)| s)
+    }
+
+    /// Every series, in first-seen order.
+    pub fn series(&self) -> &[(String, Series)] {
+        &self.series
+    }
+
+    /// Looks up one series by derived name (e.g.
+    /// `rbc_service_requests_total:rate`).
+    pub fn get(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    fn push(
+        series: &mut Vec<(String, Series)>,
+        cfg: &ScrapeConfig,
+        name: String,
+        at_ns: u64,
+        value: f64,
+    ) {
+        match series.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, s)) => s.push(at_ns, value),
+            None => {
+                let mut s = Series::new(cfg);
+                s.push(at_ns, value);
+                series.push((name, s));
+            }
+        }
+    }
+
+    /// Takes one scrape now: snapshots the registry, diffs against the
+    /// previous scrape, and appends derived points. The first tick only
+    /// records gauges (rates and windowed quantiles need a window).
+    pub fn tick(&mut self) {
+        let now = self.clock.now();
+        let snap = self.registry.snapshot();
+        let at_ns =
+            u64::try_from(now.saturating_duration_since(self.epoch).as_nanos()).unwrap_or(u64::MAX);
+
+        for (name, metric) in &snap.entries {
+            match metric {
+                MetricSnapshot::Gauge(v) => {
+                    Self::push(&mut self.series, &self.cfg, name.clone(), at_ns, *v as f64);
+                }
+                MetricSnapshot::Counter(_) | MetricSnapshot::Histogram(_) => {
+                    let Some((prev_t, prev_snap)) = &self.prev else { continue };
+                    let dt = now.saturating_duration_since(*prev_t);
+                    if dt.is_zero() {
+                        continue;
+                    }
+                    match metric {
+                        MetricSnapshot::Counter(_) => {
+                            if let Some(rate) = snap.counter_rate(prev_snap, name, dt) {
+                                Self::push(
+                                    &mut self.series,
+                                    &self.cfg,
+                                    format!("{name}:rate"),
+                                    at_ns,
+                                    rate,
+                                );
+                            }
+                        }
+                        MetricSnapshot::Histogram(h) => {
+                            let window = match prev_snap.histogram(name) {
+                                Some(before) => h.diff(before),
+                                None => h.clone(),
+                            };
+                            let rate = window.count as f64 / dt.as_secs_f64();
+                            Self::push(
+                                &mut self.series,
+                                &self.cfg,
+                                format!("{name}:rate"),
+                                at_ns,
+                                rate,
+                            );
+                            // Quantile series skip empty windows rather
+                            // than inventing zeros that would drag the
+                            // displayed tail toward nothing.
+                            if window.count > 0 {
+                                for (p, tag) in [(50.0, "p50"), (99.0, "p99")] {
+                                    Self::push(
+                                        &mut self.series,
+                                        &self.cfg,
+                                        format!("{name}:{tag}"),
+                                        at_ns,
+                                        window.percentile(p) as f64,
+                                    );
+                                }
+                            }
+                        }
+                        MetricSnapshot::Gauge(_) => unreachable!(),
+                    }
+                }
+            }
+        }
+
+        self.prev = Some((now, snap));
+        self.ticks += 1;
+    }
+
+    /// Scrapes every [`ScrapeConfig::interval`] until `stop` is set.
+    /// Runs on the *caller's* thread — the caller owns thread spawning
+    /// and, under a virtual clock, the actor-guard discipline.
+    pub fn run(&mut self, stop: &AtomicBool) {
+        while !stop.load(Ordering::Acquire) {
+            self.clock.sleep(self.cfg.interval);
+            self.tick();
+        }
+    }
+
+    /// Order-sensitive 64-bit digest of every retained point of every
+    /// series (names, tiers, timestamps, and bit-exact values). Two
+    /// runs of the same seeded virtual-clock scenario must agree; any
+    /// drift in scheduling, metric updates, or derivation shows up
+    /// here.
+    pub fn digest(&self) -> u64 {
+        let fold = |h: u64, v: u64| splitmix64(h.rotate_left(23) ^ v);
+        let mut h = 0x5EC5_0BB5_u64;
+        for (name, series) in &self.series {
+            h = name.bytes().fold(h, |h, b| fold(h, b as u64));
+            for tier in 0..series.tier_count() {
+                h = fold(h, tier as u64);
+                for p in series.points(tier) {
+                    h = fold(h, p.at_ns);
+                    h = fold(h, p.value.to_bits());
+                }
+            }
+        }
+        h
+    }
+}
+
+impl std::fmt::Debug for Scraper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scraper")
+            .field("ticks", &self.ticks)
+            .field("series", &self.series.len())
+            .field("interval", &self.cfg.interval)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+
+    fn cfg(interval_ms: u64) -> ScrapeConfig {
+        ScrapeConfig {
+            interval: Duration::from_millis(interval_ms),
+            capacity: 16,
+            tiers: 3,
+            decimation: 4,
+        }
+    }
+
+    #[test]
+    fn series_ring_caps_and_downsampling_tiers() {
+        let mut s = Series::new(&cfg(100));
+        for i in 0..40u64 {
+            s.push(i, i as f64);
+        }
+        let t0 = s.points(0);
+        assert_eq!(t0.len(), 16, "tier 0 capped");
+        assert_eq!(t0.first().unwrap().at_ns, 24, "oldest raw points dropped");
+        assert_eq!(s.latest().unwrap().at_ns, 39);
+
+        // 40 raw points → 10 tier-1 averages → 2 tier-2 averages.
+        let t1 = s.points(1);
+        assert_eq!(t1.len(), 10);
+        // First tier-1 point averages raw values 0..=3, stamped at the
+        // last contributing point.
+        assert_eq!(t1[0].at_ns, 3);
+        assert!((t1[0].value - 1.5).abs() < 1e-12);
+        assert_eq!(s.points(2).len(), 2);
+        assert_eq!(s.recent(4), [36.0, 37.0, 38.0, 39.0]);
+    }
+
+    #[test]
+    fn scraper_derives_rates_gauges_and_windowed_quantiles() {
+        let sim = SimClock::new();
+        let clock = sim.handle();
+        let _guard = clock.enter();
+        let registry = Arc::new(Registry::new());
+        let c = registry.counter("rbc_t_ops_total");
+        let g = registry.gauge("rbc_t_depth");
+        let h = registry.histogram("rbc_t_lat_ns");
+
+        let mut scraper = Scraper::new(registry, clock.clone(), cfg(100));
+        g.set(5);
+        scraper.tick(); // baseline: gauges only
+
+        c.add(50);
+        h.record(1_000);
+        h.record(1_000);
+        clock.sleep(Duration::from_millis(100));
+        scraper.tick();
+
+        c.add(10);
+        g.set(2);
+        h.record(1_000_000);
+        clock.sleep(Duration::from_millis(100));
+        scraper.tick();
+
+        let rate = scraper.get("rbc_t_ops_total:rate").expect("counter rate series");
+        let pts = rate.points(0);
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].value - 500.0).abs() < 1e-9, "50 ops / 0.1 s");
+        assert!((pts[1].value - 100.0).abs() < 1e-9, "10 ops / 0.1 s");
+
+        let depth = scraper.get("rbc_t_depth").expect("gauge series");
+        assert_eq!(depth.points(0).len(), 3, "gauges record from the first tick");
+        assert_eq!(depth.latest().unwrap().value, 2.0);
+
+        // Windowed p99: the second window holds only the 1 ms sample,
+        // undiluted by the two fast first-window samples.
+        let p99 = scraper.get("rbc_t_lat_ns:p99").expect("quantile series");
+        let q = p99.points(0);
+        assert_eq!(q.len(), 2);
+        assert!(q[0].value < 2_000.0);
+        assert!(q[1].value > 900_000.0, "window isolates the spike: {}", q[1].value);
+
+        // Virtual timestamps are exact interval multiples.
+        assert_eq!(
+            depth.points(0).iter().map(|p| p.at_ns).collect::<Vec<_>>(),
+            [0, 100_000_000, 200_000_000]
+        );
+        drop(_guard);
+        assert_eq!(sim.actors(), (0, 0));
+    }
+
+    #[test]
+    fn digest_is_identical_across_reruns_and_sensitive_to_values() {
+        let run = |extra: u64| {
+            let sim = SimClock::new();
+            let clock = sim.handle();
+            let _guard = clock.enter();
+            let registry = Arc::new(Registry::new());
+            let c = registry.counter("rbc_t_ops_total");
+            let mut scraper = Scraper::new(registry, clock.clone(), cfg(50));
+            scraper.tick();
+            for i in 0..20u64 {
+                c.add(3 + (i % 5) + if i == 7 { extra } else { 0 });
+                clock.sleep(Duration::from_millis(50));
+                scraper.tick();
+            }
+            scraper.digest()
+        };
+        assert_eq!(run(0), run(0), "same scenario, same digest");
+        assert_ne!(run(0), run(1), "one extra increment must change the digest");
+    }
+}

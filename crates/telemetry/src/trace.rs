@@ -136,6 +136,10 @@ pub enum EventKind {
     /// A supervised shard was re-dispatched from its last checkpoint to
     /// a healthy backend after its original backend faulted or stalled.
     ShardResumed,
+    /// An SLO burn-rate alert fired (warn or page severity — the
+    /// `detail` field carries which). Emitted by the SLO evaluator, not
+    /// the request path, so `trace_id` is 0.
+    SloBurn,
 }
 
 impl EventKind {
@@ -148,6 +152,7 @@ impl EventKind {
             EventKind::Retransmit => "retransmit",
             EventKind::FaultInjected => "fault_injected",
             EventKind::ShardResumed => "shard_resumed",
+            EventKind::SloBurn => "slo_burn",
         }
     }
 }
