@@ -12,7 +12,9 @@
 //! | `apu-sim` | `"waves"`, `"pes"`, `"cycles"`, `"flag_checks"` |
 //!
 //! Wrapping a simulator in [`rbc_core::ProfiledBackend`] lifts every key
-//! into a cumulative `rbc_backend_<kind>_<key>_total` counter.
+//! into a cumulative `rbc_backend_{i}_{kind}_{key}_total` counter, where
+//! `{i}` is the wrapper's fleet index and both `{kind}` and `{key}` are
+//! sanitized onto the metric charset (`gpu-sim` → `gpu_sim`).
 //!
 //! Neither simulator preempts a search mid-flight (the real devices poll
 //! an early-exit flag, not a clock), so job deadlines are checked *post
@@ -337,5 +339,58 @@ mod tests {
         let a = apu(ApuHash::Sha1).descriptor();
         assert_eq!(a.kind, "apu-sim");
         assert!(a.name.contains("pes=64"));
+    }
+
+    /// Pins the full profiled metric-name set for both simulators: the
+    /// device extras (poll counters included) reach the registry only
+    /// through the documented, sanitized `rbc_backend_{i}_{kind}_*`
+    /// mapping — never verbatim.
+    #[test]
+    fn profiled_simulators_mint_exactly_the_documented_name_set() {
+        use rbc_core::ProfiledBackend;
+        use rbc_telemetry::Registry;
+        use std::sync::Arc;
+
+        let base = U256::from_u64(0xACCE1);
+        let client = base.flip_bit(11);
+        let job = job_for(HashAlgo::Sha1, &client, &base, 1);
+
+        let cases: [(Arc<dyn SearchBackend>, usize, Vec<&str>); 2] = [
+            (
+                Arc::new(gpu()),
+                0,
+                vec![
+                    "rbc_backend_0_gpu_sim_flag_polls_total",
+                    "rbc_backend_0_gpu_sim_kernels_total",
+                    "rbc_backend_0_gpu_sim_search_ns",
+                    "rbc_backend_0_gpu_sim_seeds_total",
+                    "rbc_backend_0_gpu_sim_submits_total",
+                    "rbc_backend_0_gpu_sim_threads_total_total",
+                ],
+            ),
+            (
+                Arc::new(apu(ApuHash::Sha1)),
+                3,
+                vec![
+                    "rbc_backend_3_apu_sim_cycles_total",
+                    "rbc_backend_3_apu_sim_flag_checks_total",
+                    "rbc_backend_3_apu_sim_pes_total",
+                    "rbc_backend_3_apu_sim_search_ns",
+                    "rbc_backend_3_apu_sim_seeds_total",
+                    "rbc_backend_3_apu_sim_submits_total",
+                    "rbc_backend_3_apu_sim_waves_total",
+                ],
+            ),
+        ];
+        for (inner, index, expected) in cases {
+            let registry = Arc::new(Registry::new());
+            let profiled = ProfiledBackend::new(inner, registry.clone(), index);
+            profiled.submit(&job);
+            let snap = registry.snapshot();
+            let mut minted: Vec<&str> =
+                snap.entries.iter().map(|(name, _)| name.as_str()).collect();
+            minted.sort_unstable();
+            assert_eq!(minted, expected);
+        }
     }
 }

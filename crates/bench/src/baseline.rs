@@ -10,6 +10,10 @@
 //!   machine-independent: determinism counters carry **zero**
 //!   tolerance, ledger counts a small one (they move only when the
 //!   stack's behavior changes).
+//! * `attrib.*` — from `BENCH_attrib.json`. Also virtual time end to
+//!   end: receipt and hash counters are exact, like the monitor's
+//!   determinism counters; only the wall-clock `wall_secs` is excluded
+//!   (it never enters the baseline).
 //! * `service.*` — from `BENCH_service.json`. Wall-clock latencies on
 //!   whatever machine ran them, so tolerances are wide; only a large
 //!   p99 regression fails.
@@ -116,6 +120,11 @@ pub fn policy_for(id: &str) -> (f64, Worse) {
     match id {
         "monitor.ticks" | "monitor.divergences" | "monitor.violations" => (0.0, Worse::Differ),
         "monitor.pages" => (0.0, Worse::Lower),
+        "attrib.divergences" | "attrib.violations" => (0.0, Worse::Differ),
+        "attrib.pages" => (0.0, Worse::Lower),
+        // Attribution counters are virtual-time deterministic: any
+        // drift means the stack's cost behavior changed.
+        _ if id.starts_with("attrib.") => (0.0, Worse::Differ),
         _ if id.starts_with("monitor.") => (0.10, Worse::Differ),
         _ if id.ends_with(".p99_ms") => (1.0, Worse::Higher),
         _ if id.starts_with("hash.") => (0.5, Worse::Lower),
@@ -165,6 +174,37 @@ pub fn extract_monitor(text: &str) -> Result<Vec<(String, f64)>, String> {
         .filter(|a| a.field("severity").ok().and_then(Value::as_str) == Some("page"))
         .count();
     out.push(("monitor.pages".to_string(), pages as f64));
+    Ok(out)
+}
+
+/// Extracts the baselined metrics from a `BENCH_attrib.json` text.
+pub fn extract_attrib(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let doc: Value = serde_json::from_str(text).map_err(|e| format!("attrib: not JSON: {e}"))?;
+    if doc.field("bench").ok().and_then(Value::as_str) != Some("attrib") {
+        return Err("attrib: wrong bench envelope".to_string());
+    }
+    let mut out = Vec::new();
+    for f in [
+        "ticks",
+        "divergences",
+        "violations",
+        "issued",
+        "accepted",
+        "rejected",
+        "receipts",
+        "hashes",
+        "exhausted_hashes",
+    ] {
+        out.push((format!("attrib.{f}"), field_f64(&doc, f)?));
+    }
+    let alerts =
+        doc.field("alerts").ok().and_then(Value::as_array).ok_or("attrib: missing alerts array")?;
+    out.push(("attrib.alerts".to_string(), alerts.len() as f64));
+    let pages = alerts
+        .iter()
+        .filter(|a| a.field("severity").ok().and_then(Value::as_str) == Some("page"))
+        .count();
+    out.push(("attrib.pages".to_string(), pages as f64));
     Ok(out)
 }
 
@@ -228,6 +268,8 @@ pub fn extract_hash_lanes(text: &str) -> Result<(String, Vec<(String, f64)>), St
 pub struct ArtifactSet {
     /// `BENCH_monitor.json` contents.
     pub monitor: Option<String>,
+    /// `BENCH_attrib.json` contents.
+    pub attrib: Option<String>,
     /// `BENCH_service.json` contents.
     pub service: Option<String>,
     /// `BENCH_hash_lanes.json` contents.
@@ -235,11 +277,12 @@ pub struct ArtifactSet {
 }
 
 impl ArtifactSet {
-    /// Reads whichever of the three artifacts exist in `dir`.
+    /// Reads whichever of the artifacts exist in `dir`.
     pub fn read_from(dir: &str) -> Self {
         let read = |name: &str| std::fs::read_to_string(format!("{dir}/{name}")).ok();
         ArtifactSet {
             monitor: read("BENCH_monitor.json"),
+            attrib: read("BENCH_attrib.json"),
             service: read("BENCH_service.json"),
             hash_lanes: read("BENCH_hash_lanes.json"),
         }
@@ -247,7 +290,10 @@ impl ArtifactSet {
 
     /// True when no artifact is present.
     pub fn is_empty(&self) -> bool {
-        self.monitor.is_none() && self.service.is_none() && self.hash_lanes.is_none()
+        self.monitor.is_none()
+            && self.attrib.is_none()
+            && self.service.is_none()
+            && self.hash_lanes.is_none()
     }
 }
 
@@ -262,6 +308,12 @@ pub fn build_baseline(set: &ArtifactSet) -> Result<Baseline, String> {
     let mut hash_tier = String::new();
     if let Some(text) = &set.monitor {
         for (id, value) in extract_monitor(text)? {
+            let (tolerance, worse) = policy_for(&id);
+            entries.push(BaselineEntry { id, value, tolerance, worse });
+        }
+    }
+    if let Some(text) = &set.attrib {
+        for (id, value) in extract_attrib(text)? {
             let (tolerance, worse) = policy_for(&id);
             entries.push(BaselineEntry { id, value, tolerance, worse });
         }
@@ -374,6 +426,7 @@ impl RegressReport {
 /// disappeared from it is a regression.
 pub fn compare(base: &Baseline, set: &ArtifactSet) -> Result<RegressReport, String> {
     let monitor = set.monitor.as_deref().map(extract_monitor).transpose()?;
+    let attrib = set.attrib.as_deref().map(extract_attrib).transpose()?;
     let service = set.service.as_deref().map(extract_service).transpose()?;
     let hash = set.hash_lanes.as_deref().map(extract_hash_lanes).transpose()?;
 
@@ -382,6 +435,8 @@ pub fn compare(base: &Baseline, set: &ArtifactSet) -> Result<RegressReport, Stri
         let (source, source_name): (Option<&Vec<(String, f64)>>, &str) =
             if entry.id.starts_with("monitor.") {
                 (monitor.as_ref(), "BENCH_monitor.json")
+            } else if entry.id.starts_with("attrib.") {
+                (attrib.as_ref(), "BENCH_attrib.json")
             } else if entry.id.starts_with("service.") {
                 (service.as_ref(), "BENCH_service.json")
             } else if entry.id.starts_with("hash.") {
@@ -433,6 +488,15 @@ mod tests {
             .to_string()
     }
 
+    fn attrib_text(divergences: u64) -> String {
+        format!(
+            r#"{{"bench":"attrib","ticks":359,"divergences":{divergences},"violations":0,
+            "issued":592,"accepted":354,"rejected":238,"receipts":592,
+            "hashes":7851312,"exhausted_hashes":7829486,
+            "alerts":[{{"severity":"page"}},{{"severity":"clear"}}]}}"#
+        )
+    }
+
     fn service_text(p99_c8: f64) -> String {
         format!(
             r#"{{"bench":"service","results":[
@@ -452,6 +516,7 @@ mod tests {
     fn full_set() -> ArtifactSet {
         ArtifactSet {
             monitor: Some(monitor_text()),
+            attrib: Some(attrib_text(0)),
             service: Some(service_text(394.0)),
             hash_lanes: Some(hash_text("avx512", 2.4e7)),
         }
@@ -469,8 +534,8 @@ mod tests {
         let report = compare(&parsed, &set).expect("compare");
         assert!(report.ok(), "identical artifacts must pass: {:?}", report.regressions);
         assert!(report.skipped.is_empty());
-        // monitor 8 + service 2 + hash 1 selected row
-        assert_eq!(report.passed.len(), 11);
+        // monitor 8 + attrib 11 + service 2 + hash 1 selected row
+        assert_eq!(report.passed.len(), 22);
     }
 
     #[test]
@@ -502,6 +567,30 @@ mod tests {
         let report = compare(&base, &diverged).expect("compare");
         assert!(
             report.regressions.iter().any(|r| r.contains("monitor.divergences")),
+            "{:?}",
+            report.regressions
+        );
+    }
+
+    #[test]
+    fn attrib_counters_are_exact() {
+        let base = build_baseline(&full_set()).expect("build");
+        // A replay divergence fails outright.
+        let mut diverged = full_set();
+        diverged.attrib = Some(attrib_text(1));
+        let report = compare(&base, &diverged).expect("compare");
+        assert!(
+            report.regressions.iter().any(|r| r.contains("attrib.divergences")),
+            "{:?}",
+            report.regressions
+        );
+        // So does any drift in a virtual-time cost counter: the hash
+        // bill moving means the stack's cost behavior changed.
+        let mut drifted = full_set();
+        drifted.attrib = Some(attrib_text(0).replace(r#""hashes":7851312"#, r#""hashes":7851313"#));
+        let report = compare(&base, &drifted).expect("compare");
+        assert!(
+            report.regressions.iter().any(|r| r.contains("attrib.hashes")),
             "{:?}",
             report.regressions
         );

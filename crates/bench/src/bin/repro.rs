@@ -132,6 +132,7 @@ fn main() {
                 chaos(&opts);
                 sim(&opts);
                 monitor(&opts);
+                attrib(&opts);
                 verify(&opts);
                 regress(&opts);
             }
@@ -154,6 +155,7 @@ fn main() {
             "chaos" => chaos(&opts),
             "sim" => sim(&opts),
             "monitor" => monitor(&opts),
+            "attrib" => attrib(&opts),
             "regress" => regress(&opts),
             "verify" => verify(&opts),
             other => usage(&format!("unknown command {other:?}")),
@@ -164,7 +166,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|hash-lanes|cpu-scaling|future|security|extensions|service|telemetry|triage|chaos|sim|monitor|regress|verify] [--quick] [--trials N] [--full-cpu] [--metrics-dump] [--smoke] [--update]"
+        "usage: repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|hash-lanes|cpu-scaling|future|security|extensions|service|telemetry|triage|chaos|sim|monitor|attrib|regress|verify] [--quick] [--trials N] [--full-cpu] [--metrics-dump] [--smoke] [--update]"
     );
     std::process::exit(2)
 }
@@ -1005,7 +1007,7 @@ fn telemetry(opts: &Opts) {
             _ => Arc::new(GpuSimBackend::new(GpuKernelConfig::paper_best(GpuHash::Sha3))),
         };
         let profiled: Arc<dyn SearchBackend> =
-            Arc::new(ProfiledBackend::new(backend, registry.clone()));
+            Arc::new(ProfiledBackend::new(backend, registry.clone(), 0));
         let dispatcher = Arc::new(Dispatcher::with_registry(
             vec![profiled],
             DispatcherConfig { queue_limit: 8, budget, policy: RoutePolicy::LeastLoaded },
@@ -1169,8 +1171,8 @@ fn triage(opts: &Opts) {
         delay,
     });
     let pool: Vec<Arc<dyn SearchBackend>> = vec![
-        Arc::new(ProfiledBackend::new(fast, registry.clone())),
-        Arc::new(ProfiledBackend::new(slow, registry.clone())),
+        Arc::new(ProfiledBackend::new(fast, registry.clone(), 0)),
+        Arc::new(ProfiledBackend::new(slow, registry.clone(), 1)),
     ];
     // Round-robin deliberately keeps routing to the degraded backend
     // even under light serial load, so the tail is reliably fat — the
@@ -1585,6 +1587,68 @@ fn monitor(opts: &Opts) {
             ),
             Err(e) => {
                 eprintln!("smoke: BENCH_monitor.json invalid: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Workload attribution: seeded honest mix plus a staged
+/// wrong-credential flood on a virtual clock, every verdict billed
+/// through a `CostReceipt` into per-client heavy-hitter sketches,
+/// per-`d` histograms and per-backend calibration. Proves the top-K
+/// isolates the flood, the exhaustion-share SLO pages and clears, and
+/// the flight recorder freezes on an attacker trace; replays the run
+/// for bit-identical digests and writes `BENCH_attrib.json` (`--smoke`
+/// validates the artifact and exits nonzero — the CI gate).
+fn attrib(opts: &Opts) {
+    use rbc_bench::attrib::{
+        render_attrib, run_attrib, validate_attrib_json, write_attrib_json, AttribConfig,
+    };
+    use std::io::IsTerminal;
+
+    println!("\n== attrib: per-request cost accounting under a staged flood (virtual time) ==");
+    let cfg = AttribConfig::standard(0xA77B_0007);
+    let started = std::time::Instant::now();
+    let outcome = run_attrib(&cfg);
+    let replay = run_attrib(&cfg);
+    let wall_secs = started.elapsed().as_secs_f64();
+    let divergences = u64::from(outcome.digest != replay.digest)
+        + u64::from(outcome.alerts.len() != replay.alerts.len());
+
+    let color = std::io::stdout().is_terminal() && !opts.smoke;
+    print!("{}", render_attrib(&outcome, color));
+    println!(
+        "(replayed once: {divergences} divergences; {} invariant violations, {wall_secs:.1} s wall)",
+        outcome.violations.len()
+    );
+    for v in &outcome.violations {
+        eprintln!("violation: {v}");
+    }
+    match write_attrib_json("BENCH_attrib.json", &outcome, 1, divergences, wall_secs) {
+        Ok(()) => println!("wrote BENCH_attrib.json"),
+        Err(e) => {
+            eprintln!("could not write BENCH_attrib.json: {e}");
+            if opts.smoke {
+                std::process::exit(1);
+            }
+        }
+    }
+    if opts.smoke {
+        let text = match std::fs::read_to_string("BENCH_attrib.json") {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("smoke: could not read back BENCH_attrib.json: {e}");
+                std::process::exit(1);
+            }
+        };
+        match validate_attrib_json(&text) {
+            Ok(()) => println!(
+                "smoke: BENCH_attrib.json validates (replay digest identical, flood isolated \
+                 in the top-K, exhaustion page + clear, flight recorder froze on the attacker)"
+            ),
+            Err(e) => {
+                eprintln!("smoke: BENCH_attrib.json invalid: {e}");
                 std::process::exit(1);
             }
         }

@@ -253,17 +253,27 @@ impl SearchBackend for CpuBackend {
 /// A [`SearchBackend`] decorator that profiles every submission into a
 /// shared [`Registry`].
 ///
-/// Per wrapped backend (metric names carry the sanitized descriptor
-/// `kind`):
+/// ## Metric-name mapping
 ///
-/// - `rbc_backend_<kind>_search_ns` — histogram of on-device search time
-///   ([`SearchReport::elapsed`], excluding queueing);
-/// - `rbc_backend_<kind>_submits_total` / `..._seeds_total` — jobs run
-///   and seeds derived;
-/// - one `rbc_backend_<kind>_<key>_total` counter per
-///   [`SearchReport::extras`] entry, lifting the device-specific
-///   accounting (kernel launches, hash waves, PE counts, cluster
-///   messages) out of per-report extras into cumulative metrics.
+/// Every metric is named `rbc_backend_{i}_{kind}_*` where `{i}` is the
+/// wrapper's fleet index (its position in the dispatcher's backend
+/// list) and `{kind}` is the [`sanitize`]d descriptor kind — indexing
+/// keeps two backends of the same kind (e.g. two `cpu` substrates)
+/// from aliasing into one counter:
+///
+/// - `rbc_backend_{i}_{kind}_search_ns` — histogram of on-device search
+///   time ([`SearchReport::elapsed`], excluding queueing);
+/// - `rbc_backend_{i}_{kind}_submits_total` / `..._seeds_total` — jobs
+///   run and seeds derived;
+/// - one `rbc_backend_{i}_{kind}_{key}_total` counter per
+///   [`SearchReport::extras`] entry, with `{key}` sanitized too. The
+///   per-substrate extras vocabulary (see the table in this module's
+///   docs and `rbc-accel`): engine derivations report `batches`,
+///   `prefix_hits`, `prefix_false_positives`; the cluster adds `nodes`,
+///   `messages`; gpu-sim adds `kernels`, `threads_total`, `flag_polls`;
+///   apu-sim adds `waves`, `pes`, `cycles`, `flag_checks`; the
+///   supervised pool adds `redispatches`, `hedges`, `faults`, `stalls`,
+///   `wasted_seeds`.
 ///
 /// Wrapping is transparent to routing: descriptor, capacity and
 /// algorithm support all delegate to the inner backend, and the report
@@ -279,9 +289,10 @@ pub struct ProfiledBackend {
 }
 
 impl ProfiledBackend {
-    /// Wraps `inner`, registering its metrics in `registry`.
-    pub fn new(inner: Arc<dyn SearchBackend>, registry: Arc<Registry>) -> Self {
-        let prefix = format!("rbc_backend_{}", sanitize(inner.descriptor().kind));
+    /// Wraps `inner`, registering its metrics in `registry` under the
+    /// documented `rbc_backend_{index}_{kind}_*` names.
+    pub fn new(inner: Arc<dyn SearchBackend>, registry: Arc<Registry>, index: usize) -> Self {
+        let prefix = format!("rbc_backend_{}_{}", index, sanitize(inner.descriptor().kind));
         let search_ns = registry.histogram(&format!("{prefix}_search_ns"));
         let submits = registry.counter(&format!("{prefix}_submits_total"));
         let seeds = registry.counter(&format!("{prefix}_seeds_total"));
@@ -495,7 +506,7 @@ mod tests {
         let registry = Arc::new(Registry::new());
         let inner = Arc::new(ClusterBackend::new(ClusterConfig { nodes: 3, ..Default::default() }))
             as Arc<dyn SearchBackend>;
-        let profiled = ProfiledBackend::new(inner.clone(), registry.clone());
+        let profiled = ProfiledBackend::new(inner.clone(), registry.clone(), 7);
 
         // Transparent to routing and to the report itself.
         assert_eq!(profiled.descriptor().kind, inner.descriptor().kind);
@@ -504,15 +515,34 @@ mod tests {
         assert_eq!(report.outcome, inner.submit(&job).outcome);
 
         let snap = registry.snapshot();
-        assert_eq!(snap.counter("rbc_backend_cluster_submits_total"), Some(1));
-        assert_eq!(snap.counter("rbc_backend_cluster_seeds_total"), Some(report.seeds_derived));
-        assert_eq!(snap.histogram("rbc_backend_cluster_search_ns").map(|h| h.count), Some(1));
-        // Device extras became cumulative counters.
-        assert_eq!(snap.counter("rbc_backend_cluster_nodes_total"), Some(3));
+        assert_eq!(snap.counter("rbc_backend_7_cluster_submits_total"), Some(1));
+        assert_eq!(snap.counter("rbc_backend_7_cluster_seeds_total"), Some(report.seeds_derived));
+        assert_eq!(snap.histogram("rbc_backend_7_cluster_search_ns").map(|h| h.count), Some(1));
+        // Device extras became sanitized, index-scoped counters.
+        assert_eq!(snap.counter("rbc_backend_7_cluster_nodes_total"), Some(3));
         assert_eq!(
-            snap.counter("rbc_backend_cluster_messages_total"),
+            snap.counter("rbc_backend_7_cluster_messages_total"),
             report.extra("messages"),
-            "extras lifted verbatim"
+            "extras lifted through the documented mapping"
+        );
+        // The full name set this wrapper minted, pinned: nothing leaks
+        // outside the documented `rbc_backend_{i}_{kind}_*` scheme.
+        let mut minted: Vec<&str> = snap
+            .entries
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .filter(|n| n.starts_with("rbc_backend_"))
+            .collect();
+        minted.sort_unstable();
+        assert_eq!(
+            minted,
+            vec![
+                "rbc_backend_7_cluster_messages_total",
+                "rbc_backend_7_cluster_nodes_total",
+                "rbc_backend_7_cluster_search_ns",
+                "rbc_backend_7_cluster_seeds_total",
+                "rbc_backend_7_cluster_submits_total",
+            ]
         );
     }
 

@@ -121,6 +121,15 @@ impl PendingAuth {
     pub fn trace(&self) -> TraceContext {
         self.trace
     }
+
+    /// The difficulty class this search is billed under when it does
+    /// *not* find the seed: the CA's search bound `d`. A rejection pays
+    /// the full C(256,0..=d) exhaustion, which is why cost receipts use
+    /// this as the worst-case difficulty and swap in the found distance
+    /// only on acceptance.
+    pub fn difficulty_bound(&self) -> u32 {
+        self.job.max_d
+    }
 }
 
 /// CA-side instrumentation: the post-search acceptance work (protocol

@@ -238,6 +238,7 @@ impl SearchBackend for ChaosBackend {
                 outcome: ShardOutcome::Faulted { reason: "backend down" },
                 swept: 0,
                 elapsed: Duration::ZERO,
+                extras: vec![],
             };
         }
         match self.fault {
@@ -254,6 +255,7 @@ impl SearchBackend for ChaosBackend {
                         outcome: ShardOutcome::Faulted { reason: "injected crash" },
                         swept: r.swept,
                         elapsed: r.elapsed,
+                        extras: r.extras,
                     };
                 }
                 r

@@ -95,6 +95,13 @@ pub enum DispatchOutcome {
         backend: usize,
         /// Time spent waiting for a free slot.
         queue_wait: Duration,
+        /// On-device time for this job (submit-to-report, excluding
+        /// queueing) — the denominator a cost receipt's hashes/sec
+        /// calibration divides by.
+        busy: Duration,
+        /// The chosen backend's cumulative utilization at completion,
+        /// fixed-point ×1000 (1000 = fully busy since construction).
+        occupancy_permille: u32,
         /// The backend's report.
         report: SearchReport,
     },
@@ -428,8 +435,8 @@ impl Dispatcher {
                 .unwrap_or(u64::MAX)
                 .max(1);
         let busy_total = self.metrics.backend_busy_ns[chosen].get();
-        self.metrics.backend_utilization[chosen]
-            .set(((busy_total as u128 * 1000) / wall_ns as u128).min(1000) as i64);
+        let occupancy_permille = ((busy_total as u128 * 1000) / wall_ns as u128).min(1000) as u32;
+        self.metrics.backend_utilization[chosen].set(occupancy_permille as i64);
         self.metrics.completed.inc();
         self.metrics.latency_ns.record_duration_traced(
             self.clock.now().saturating_duration_since(arrived),
@@ -440,7 +447,15 @@ impl Dispatcher {
         // wake-up costs one loop iteration, never a lost slot.
         self.slot_freed.notify_all();
 
-        DispatchOutcome::Completed { backend: chosen, queue_wait, report }
+        DispatchOutcome::Completed { backend: chosen, queue_wait, busy, occupancy_permille, report }
+    }
+
+    /// The descriptor `kind` of backend `i` (`"cpu"`, `"cluster"`,
+    /// `"gpu-sim"`, ...), or `"unknown"` for an out-of-range index —
+    /// lets a caller label per-request accounting without holding its
+    /// own copy of the pool layout.
+    pub fn backend_kind(&self, i: usize) -> &'static str {
+        self.descriptors.get(i).map(|d| d.kind).unwrap_or("unknown")
     }
 
     /// Picks a compatible backend with a free slot, or `None` if all are

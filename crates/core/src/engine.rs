@@ -338,6 +338,7 @@ impl<D: Derive> SearchEngine<D> {
         // selective the prefix filter was for *this* request.
         let search_prefix_hits = AtomicU64::new(0);
         let search_prefix_false_pos = AtomicU64::new(0);
+        let search_batches = AtomicU64::new(0);
         let mut per_distance = Vec::with_capacity(max_d as usize + 1);
         // Computed once per search: the target's prescreen key, if the
         // derivation has a truncated path (hash engines do; cipher/PQC
@@ -391,6 +392,7 @@ impl<D: Derive> SearchEngine<D> {
                     let d_seeds = &d_seeds;
                     let search_prefix_hits = &search_prefix_hits;
                     let search_prefix_false_pos = &search_prefix_false_pos;
+                    let search_batches = &search_batches;
                     let check_interval = self.cfg.check_interval.max(1);
                     let early = self.cfg.mode == SearchMode::EarlyExit;
                     scope.spawn(move || {
@@ -412,6 +414,7 @@ impl<D: Derive> SearchEngine<D> {
                             // Telemetry is paid per refill, not per
                             // candidate: three relaxed adds amortized
                             // over `batch` derivations.
+                            search_batches.fetch_add(1, Ordering::Relaxed);
                             if let Some(t) = telemetry {
                                 t.batches.inc();
                                 t.batch_fill.add(n as u64);
@@ -519,16 +522,15 @@ impl<D: Derive> SearchEngine<D> {
             _ => resolve_running_outcome(&found),
         };
 
-        // Only prefix-capable derivations report prescreen extras;
-        // cipher/PQC engines keep an empty extras vec as before.
-        let extras = if target_prefix.is_some() {
-            vec![
-                ("prefix_hits", search_prefix_hits.load(Ordering::Relaxed)),
-                ("prefix_false_positives", search_prefix_false_pos.load(Ordering::Relaxed)),
-            ]
-        } else {
-            Vec::new()
-        };
+        // Every derivation reports its refill count (cost receipts bill
+        // per batch), but only prefix-capable derivations add prescreen
+        // extras; cipher/PQC engines take full-compare batches.
+        let mut extras = vec![("batches", search_batches.load(Ordering::Relaxed))];
+        if target_prefix.is_some() {
+            extras.push(("prefix_hits", search_prefix_hits.load(Ordering::Relaxed)));
+            extras
+                .push(("prefix_false_positives", search_prefix_false_pos.load(Ordering::Relaxed)));
+        }
 
         SearchReport {
             outcome,

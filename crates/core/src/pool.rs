@@ -28,7 +28,7 @@
 //! [`EventKind::ShardResumed`] through an attached [`Tracer`] so the
 //! flight recorder can capture recovery timelines.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -357,6 +357,12 @@ struct Totals {
     faults: u64,
     stalls: u64,
     wasted: u64,
+    /// Cost-accounting extras folded from every shard attempt's
+    /// [`ShardReport::extras`] (`"batches"`, `"prefix_hits"`,
+    /// `"prefix_false_positives"`). Superseded attempts count too:
+    /// their work was consumed even if it was later voided, and the
+    /// per-request cost receipt bills consumption.
+    shard_extras: BTreeMap<&'static str, u64>,
 }
 
 /// Immutable context shared by one distance sweep.
@@ -818,6 +824,9 @@ impl SupervisedPool {
         acc.faults += st.totals.faults;
         acc.stalls += st.totals.stalls;
         acc.wasted += st.totals.wasted;
+        for (&key, &v) in &st.totals.shard_extras {
+            *acc.shard_extras.entry(key).or_insert(0) += v;
+        }
     }
 
     /// Applies one worker event to the sweep state. Returns a verified
@@ -849,6 +858,9 @@ impl SupervisedPool {
             }
             Event::Done { shard, attempt, backend, report } => {
                 st.swept += report.swept;
+                for &(key, v) in &report.extras {
+                    *st.totals.shard_extras.entry(key).or_insert(0) += v;
+                }
                 let was_active = ctx.active.lock().remove(&attempt);
                 let run = &mut st.runs[shard];
                 if let Some(info) = run.attempts.remove(&attempt) {
@@ -1063,13 +1075,17 @@ impl SearchBackend for SupervisedPool {
             per_distance,
             algorithm,
             threads,
-            extras: vec![
-                ("redispatches", totals.redispatches),
-                ("hedges", totals.hedges),
-                ("faults", totals.faults),
-                ("stalls", totals.stalls),
-                ("wasted_seeds", totals.wasted),
-            ],
+            extras: {
+                let mut extras = vec![
+                    ("redispatches", totals.redispatches),
+                    ("hedges", totals.hedges),
+                    ("faults", totals.faults),
+                    ("stalls", totals.stalls),
+                    ("wasted_seeds", totals.wasted),
+                ];
+                extras.extend(totals.shard_extras.iter().map(|(&k, &v)| (k, v)));
+                extras
+            },
         };
 
         // Distance 0: the reference image itself.
@@ -1177,6 +1193,7 @@ mod tests {
                 outcome: ShardOutcome::Faulted { reason: "test fault" },
                 swept: 0,
                 elapsed: Duration::ZERO,
+                extras: vec![],
             }
         }
     }
@@ -1209,6 +1226,7 @@ mod tests {
                     outcome: ShardOutcome::Faulted { reason: "flaky" },
                     swept: 0,
                     elapsed: Duration::ZERO,
+                    extras: vec![],
                 };
             }
             crate::shard::execute_job_shard(job, spec, interval, sink)
@@ -1236,6 +1254,7 @@ mod tests {
                 outcome: ShardOutcome::Found { seed: job.s_init.flip_bit(255) },
                 swept: 1,
                 elapsed: Duration::ZERO,
+                extras: vec![],
             }
         }
     }
@@ -1283,7 +1302,12 @@ mod tests {
             _interval: u64,
             _sink: &dyn CheckpointSink,
         ) -> ShardReport {
-            ShardReport { outcome: ShardOutcome::TimedOut, swept: 0, elapsed: Duration::ZERO }
+            ShardReport {
+                outcome: ShardOutcome::TimedOut,
+                swept: 0,
+                elapsed: Duration::ZERO,
+                extras: vec![],
+            }
         }
     }
 

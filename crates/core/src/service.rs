@@ -45,7 +45,10 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rbc_pqc::PqcKeyGen;
-use rbc_telemetry::{Counter, EventKind, NullRecorder, Recorder, Registry, Tracer};
+use rbc_telemetry::{
+    Attribution, CostReceipt, Counter, EventKind, NullRecorder, ReceiptVerdict, Recorder, Registry,
+    Tracer,
+};
 
 use crate::ca::{CaError, CaTelemetry, CertificateAuthority};
 use crate::dispatch::{DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig};
@@ -113,6 +116,7 @@ pub struct AuthService<P: PqcKeyGen> {
     dispatcher: Arc<Dispatcher>,
     metrics: ServiceMetrics,
     tracer: Tracer,
+    attribution: Option<Arc<Attribution>>,
 }
 
 impl<P: PqcKeyGen> AuthService<P> {
@@ -143,7 +147,17 @@ impl<P: PqcKeyGen> AuthService<P> {
         ca.set_clock(clock.clone());
         let metrics = ServiceMetrics::register(&registry);
         let tracer = Tracer::with_clock(recorder, clock).with_registry(registry, "rbc_service");
-        AuthService { ca: Mutex::new(ca), dispatcher, metrics, tracer }
+        AuthService { ca: Mutex::new(ca), dispatcher, metrics, tracer, attribution: None }
+    }
+
+    /// Routes a [`CostReceipt`] for every completed authentication into
+    /// `attribution` — per-client heavy-hitter sketches, per-`d`
+    /// verdict-split histograms and per-backend calibration all feed
+    /// from these receipts. Without this, receipts are still minted but
+    /// dropped.
+    pub fn with_attribution(mut self, attribution: Arc<Attribution>) -> Self {
+        self.attribution = Some(attribution);
+        self
     }
 
     /// The registry holding the whole pipeline's metrics
@@ -188,8 +202,30 @@ impl<P: PqcKeyGen> AuthService<P> {
         };
         prepare.finish();
 
+        let mut bill = CostReceipt {
+            client_id: pending.client_id(),
+            trace_id: msg.trace.trace_id,
+            difficulty: pending.job.max_d,
+            verdict: ReceiptVerdict::Overloaded,
+            hashes: 0,
+            batches: 0,
+            prefix_hits: 0,
+            prefix_false_positives: 0,
+            queue_wait_ns: 0,
+            busy_ns: 0,
+            occupancy_permille: 0,
+            backend: None,
+            backend_kind: "none",
+            kernel: rbc_hash::dispatch::active_level().name(),
+        };
         let verdict = match self.dispatcher.submit(&pending.job) {
-            DispatchOutcome::Completed { report, queue_wait, .. } => {
+            DispatchOutcome::Completed {
+                backend,
+                queue_wait,
+                busy,
+                occupancy_permille,
+                report,
+            } => {
                 // Queue wait and search were clocked by the dispatcher
                 // and the backend; inject them retroactively so the
                 // span stream and the phase histograms stay complete
@@ -213,12 +249,24 @@ impl<P: PqcKeyGen> AuthService<P> {
                         );
                     }
                 }
+                // The receipt bills what the search actually consumed,
+                // pulled from the report before the CA consumes it.
+                bill.hashes = report.seeds_derived;
+                bill.batches = report.extra("batches").unwrap_or(0);
+                bill.prefix_hits = report.extra("prefix_hits").unwrap_or(0);
+                bill.prefix_false_positives = report.extra("prefix_false_positives").unwrap_or(0);
+                bill.queue_wait_ns = u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX);
+                bill.busy_ns = u64::try_from(busy.as_nanos()).unwrap_or(u64::MAX);
+                bill.occupancy_permille = occupancy_permille;
+                bill.backend = Some(backend);
+                bill.backend_kind = self.dispatcher.backend_kind(backend);
                 let finish = self.tracer.child_span(phase_ctx, "finish");
                 let verdict = self.ca.lock().finish(&pending, report);
                 finish.finish();
                 verdict
             }
             DispatchOutcome::Overloaded { queue_wait } => {
+                bill.queue_wait_ns = u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX);
                 self.tracer.record_in(phase_ctx, "queue_wait", queue_wait);
                 self.ca.lock().shed(&pending)
             }
@@ -227,9 +275,19 @@ impl<P: PqcKeyGen> AuthService<P> {
         // freezing recorder pins the trace on the event and still admits
         // this trace's later records, so the dumped chain is complete.
         match verdict.verdict {
-            Verdict::Accepted { .. } => self.metrics.accepted.inc(),
-            Verdict::Rejected => self.metrics.rejected.inc(),
+            Verdict::Accepted { distance, .. } => {
+                // An accepted search stopped at its found distance; bill
+                // the difficulty class it actually ran in, not the bound.
+                bill.difficulty = distance;
+                bill.verdict = ReceiptVerdict::Accepted;
+                self.metrics.accepted.inc();
+            }
+            Verdict::Rejected => {
+                bill.verdict = ReceiptVerdict::Rejected;
+                self.metrics.rejected.inc();
+            }
             Verdict::TimedOut => {
+                bill.verdict = ReceiptVerdict::TimedOut;
                 self.metrics.timed_out.inc();
                 self.tracer.event(
                     EventKind::DeadlineBreach,
@@ -238,6 +296,7 @@ impl<P: PqcKeyGen> AuthService<P> {
                 );
             }
             Verdict::Overloaded => {
+                bill.verdict = ReceiptVerdict::Overloaded;
                 self.metrics.overloaded.inc();
                 self.tracer.event(
                     EventKind::Shed,
@@ -245,6 +304,9 @@ impl<P: PqcKeyGen> AuthService<P> {
                     "dispatcher shed the request",
                 );
             }
+        }
+        if let Some(attribution) = &self.attribution {
+            attribution.observe(&bill);
         }
         total.finish();
         Ok(verdict)
@@ -346,6 +408,40 @@ mod tests {
         assert!(stats.accepted >= 5, "clean clients should mostly pass: {stats:?}");
         assert_eq!(stats.dispatch.completed + stats.dispatch.rejected, 8);
         service.with_ca(|ca| assert_eq!(ca.log().len() as u64, stats.dispatch.completed));
+    }
+
+    #[test]
+    fn every_verdict_carries_a_cost_receipt() {
+        let (service, mut clients) = service_under_test(2, 1, ServiceConfig::default());
+        // Client 1 is an attacker: noise beyond max_d forces the full
+        // C(256,0..=3) exhaustion before the rejection.
+        clients[1].extra_noise = 6;
+        let attribution = Arc::new(Attribution::new(service.registry().clone(), 4));
+        let service = service.with_attribution(attribution.clone());
+
+        for (i, client) in clients.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(7000 + i as u64);
+            let challenge = service.begin(&client.hello()).unwrap();
+            let digest = client.respond(&challenge, &mut rng);
+            service.complete(&digest).unwrap();
+        }
+
+        let snap = service.registry().snapshot();
+        assert_eq!(snap.counter(rbc_telemetry::attrib::RECEIPTS_TOTAL), Some(2));
+        // The attacker's exhausted search dwarfs the honest accept, so
+        // it owns the top of the hashes-consumed ranking and is the
+        // only entry in the exhaustion ranking.
+        let top = attribution.top_hashes(2);
+        assert_eq!(top[0].key, "1", "{top:?}");
+        assert!(top[0].count > top[1].count * 100, "{top:?}");
+        let exhausted = attribution.top_exhausted(4);
+        assert_eq!(exhausted.len(), 1, "{exhausted:?}");
+        assert_eq!(exhausted[0].key, "1");
+        // Receipts carry enough to calibrate the backend that ran them.
+        let cal = attribution.calibration();
+        assert_eq!(cal.len(), 1, "{cal:?}");
+        assert_eq!(cal[0].kind, "cpu");
+        assert!(cal[0].rate() > 0.0, "{cal:?}");
     }
 
     #[test]

@@ -135,7 +135,7 @@ pub enum ShardOutcome {
 }
 
 /// The result of one shard attempt.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ShardReport {
     /// Terminal outcome of the attempt.
     pub outcome: ShardOutcome,
@@ -143,6 +143,12 @@ pub struct ShardReport {
     pub swept: u64,
     /// Attempt wall-clock time.
     pub elapsed: Duration,
+    /// Cost accounting under stable keys (`"batches"`, and for
+    /// prefix-capable derivations `"prefix_hits"` /
+    /// `"prefix_false_positives"`). The pool folds these into its
+    /// submit-level report so per-request cost receipts survive the
+    /// sharded path.
+    pub extras: Vec<(&'static str, u64)>,
 }
 
 /// Sweeps one shard with the engine's batched hot path: refill a mask
@@ -209,6 +215,18 @@ pub fn run_shard_clocked<D: Derive>(
     let mut prefixes: Vec<u64> = Vec::with_capacity(batch);
     let mut swept = 0u64;
     let mut since_cp = 0u64;
+    let mut batches = 0u64;
+    let mut prefix_hits = 0u64;
+    let mut prefix_false_pos = 0u64;
+    // Cost accounting under the same stable keys the engine reports
+    // (see [`crate::engine::SearchReport::extras`]).
+    let extras = |batches: u64, hits: u64, fp: u64| {
+        if target_prefix.is_some() {
+            vec![("batches", batches), ("prefix_hits", hits), ("prefix_false_positives", fp)]
+        } else {
+            vec![("batches", batches)]
+        }
+    };
 
     loop {
         masks.clear();
@@ -219,21 +237,36 @@ pub fn run_shard_clocked<D: Derive>(
             }
         }
         if masks.is_empty() {
-            return ShardReport { outcome: ShardOutcome::Exhausted, swept, elapsed: elapsed() };
+            return ShardReport {
+                outcome: ShardOutcome::Exhausted,
+                swept,
+                elapsed: elapsed(),
+                extras: extras(batches, prefix_hits, prefix_false_pos),
+            };
         }
         seeds.clear();
         seeds.extend(masks.iter().map(|m| *s_init ^ *m));
         swept += seeds.len() as u64;
         since_cp += seeds.len() as u64;
+        batches += 1;
 
         let hit = if let Some(tp) = target_prefix {
             derive.prefix64_batch(&seeds, &mut prefixes);
-            prefixes
-                .iter()
-                .enumerate()
-                .filter(|&(_, &p)| p == tp)
-                .map(|(i, _)| seeds[i])
-                .find(|s| derive.derive(s) == *target)
+            // Same lazy confirmation order as `.find`, with the hit and
+            // false-positive tallies the cost receipts bill per client.
+            let mut found = None;
+            for (i, &p) in prefixes.iter().enumerate() {
+                if p != tp {
+                    continue;
+                }
+                prefix_hits += 1;
+                if derive.derive(&seeds[i]) == *target {
+                    found = Some(seeds[i]);
+                    break;
+                }
+                prefix_false_pos += 1;
+            }
+            found
         } else {
             derive.derive_batch(&seeds, &mut outs);
             outs.iter().position(|o| *o == *target).map(|i| seeds[i])
@@ -243,12 +276,18 @@ pub fn run_shard_clocked<D: Derive>(
                 outcome: ShardOutcome::Found { seed },
                 swept,
                 elapsed: elapsed(),
+                extras: extras(batches, prefix_hits, prefix_false_pos),
             };
         }
 
         if let Some(dl) = give_up {
             if clock.now() >= dl {
-                return ShardReport { outcome: ShardOutcome::TimedOut, swept, elapsed: elapsed() };
+                return ShardReport {
+                    outcome: ShardOutcome::TimedOut,
+                    swept,
+                    elapsed: elapsed(),
+                    extras: extras(batches, prefix_hits, prefix_false_pos),
+                };
             }
         }
         if since_cp >= interval {
@@ -262,7 +301,12 @@ pub fn run_shard_clocked<D: Derive>(
                 remaining,
             });
             if control == ShardControl::Stop {
-                return ShardReport { outcome: ShardOutcome::Cancelled, swept, elapsed: elapsed() };
+                return ShardReport {
+                    outcome: ShardOutcome::Cancelled,
+                    swept,
+                    elapsed: elapsed(),
+                    extras: extras(batches, prefix_hits, prefix_false_pos),
+                };
             }
         }
     }

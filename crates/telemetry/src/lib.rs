@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attrib;
 pub mod clock;
 mod expose;
 mod metrics;
@@ -46,6 +47,10 @@ pub mod slo;
 pub mod timeseries;
 mod trace;
 
+pub use attrib::{
+    exhaustion_slo, render_topk_prometheus, Attribution, BackendCalibration, CostReceipt, CountMin,
+    HeavyHitter, ReceiptVerdict, SpaceSaving,
+};
 pub use clock::{wall_clock, ActorGuard, Clock, ClockHandle, SimClock, WallClock, SIM_POLL_TICK};
 pub use expose::{
     escape_label_value, parse_prometheus, render_json, render_prometheus, PromSample,

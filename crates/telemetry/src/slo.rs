@@ -95,6 +95,12 @@ pub struct SloSpec {
     pub warn_burn: f64,
     /// Burn rate at/above which both windows trigger a page.
     pub page_burn: f64,
+    /// Optional gauge naming the *offending* trace id: when a page
+    /// fires, the flight recorder is frozen on (and the `SloBurn` event
+    /// carries) the gauge's value at the triggering snapshot instead of
+    /// the anonymous trace 0. The attribution layer keeps such a gauge
+    /// pointed at the most recent exhausted search.
+    pub trace_gauge: Option<String>,
 }
 
 impl SloSpec {
@@ -114,6 +120,7 @@ impl SloSpec {
             slow: Duration::from_secs(60),
             warn_burn: 1.0,
             page_burn: 6.0,
+            trace_gauge: None,
         }
     }
 
@@ -131,6 +138,7 @@ impl SloSpec {
             slow: Duration::from_secs(60),
             warn_burn: 1.0,
             page_burn: 6.0,
+            trace_gauge: None,
         }
     }
 
@@ -147,6 +155,14 @@ impl SloSpec {
         assert!(warn_burn <= page_burn, "warn threshold must not exceed page");
         self.warn_burn = warn_burn;
         self.page_burn = page_burn;
+        self
+    }
+
+    /// Pins page-time freezes to the trace id held by `gauge` (stored
+    /// bit-preserving in the gauge's `i64`; `0` or an absent gauge fall
+    /// back to the anonymous freeze).
+    pub fn trace_from(mut self, gauge: impl Into<String>) -> Self {
+        self.trace_gauge = Some(gauge.into());
         self
     }
 }
@@ -260,17 +276,26 @@ impl SloEvaluator {
 
             if severity != state.severity {
                 state.severity = severity;
+                // The offending trace, when the spec names a gauge that
+                // carries one (see [`SloSpec::trace_from`]).
+                let culprit = state
+                    .spec
+                    .trace_gauge
+                    .as_deref()
+                    .and_then(|g| snap.gauge(g))
+                    .map(|v| v as u64)
+                    .unwrap_or(0);
                 if let Some(t) = tracer {
                     let detail = match severity {
                         Severity::Clear => "slo_clear",
                         Severity::Warn => "slo_warn",
                         Severity::Page => "slo_page",
                     };
-                    t.event(EventKind::SloBurn, 0, detail);
+                    t.event(EventKind::SloBurn, culprit, detail);
                 }
                 if severity == Severity::Page {
                     if let Some(f) = &self.flight {
-                        f.freeze(0);
+                        f.freeze(culprit);
                     }
                 }
                 alerts.push(Alert {
