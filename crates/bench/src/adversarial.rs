@@ -1,0 +1,1225 @@
+//! Adversarial admission-control run (`repro adversarial`).
+//!
+//! `repro attrib` proved the *detection* side of the exhaustion-flood
+//! problem: per-client [`rbc_telemetry::CostReceipt`] attribution
+//! isolates wrong-credential floods at orders-of-magnitude separation.
+//! This run closes the loop and measures *enforcement*
+//! ([`rbc_core::admission::AdmissionControl`]): the same honest
+//! population is driven twice on fresh virtual timelines — once alone
+//! (the no-flood baseline), once against a wrong-credential flood — and
+//! the service survives the attack or the run fails its cross-checks.
+//!
+//! The flood world exercises every enforcement mechanism:
+//!
+//! * attackers replay a small rotation of known-bad credentials — the
+//!   **negative cache** answers the replays in O(1) with zero search
+//!   cost — and periodically mint fresh wrong credentials, which drain
+//!   their hash-priced **token buckets** to refusal;
+//! * settled receipts and the attrib `top_exhausted` ranking
+//!   **quarantine** the heavy hitters (refill collapses to a trickle);
+//! * SLO burn alerts and dispatcher queue depth drive the **brownout**
+//!   state machine through Degraded/Emergency and back to Normal after
+//!   the flood, hysteretically;
+//! * refused requests carry `retry_after` hints that honest clients
+//!   honor with jittered backoff before retrying.
+//!
+//! Headline gates (ISSUE 10): honest p99 in the flood world within 2×
+//! of the no-flood baseline, honest acceptance ≥ 99%, and bit-identical
+//! replay digests. The report also prices the attack with the
+//! [`rbc_core::attack`] opponent model: Equation 1 server work per
+//! rejection vs the Equation 2 opponent key space, and the measured
+//! flood cost with and without enforcement. Results land in
+//! `BENCH_adversarial.json` behind [`validate_adversarial_json`].
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rbc_core::admission::{AdmissionConfig, AdmissionControl, BrownoutLevel};
+use rbc_core::attack;
+use rbc_core::backend::{CpuBackend, SearchBackend};
+use rbc_core::ca::{CaConfig, CertificateAuthority};
+use rbc_core::chaos::{ChaosBackend, Fault};
+use rbc_core::clock::SimClock;
+use rbc_core::dispatch::{Dispatcher, DispatcherConfig, RoutePolicy};
+use rbc_core::engine::EngineConfig;
+use rbc_core::pool::{SupervisedPool, SupervisedPoolConfig};
+use rbc_core::protocol::{Client, DigestMsg, Verdict};
+use rbc_core::service::AuthService;
+use rbc_hash::{DynDigest, HashAlgo};
+use rbc_pqc::LightSaber;
+use rbc_puf::ModelPuf;
+use rbc_telemetry::{
+    attrib, exhaustion_slo, Alert, Attribution, MetricSnapshot, NullRecorder, Registry, Severity,
+    SloEvaluator,
+};
+
+use crate::sim::{fold, fold_bytes};
+
+/// Search bound: a wrong credential costs the full C(256,0..=2) =
+/// 32 897-derivation exhaustion unless the admission layer stops it.
+const MAX_D: u32 = 2;
+
+/// Parameters of one adversarial run (a baseline world plus a flood
+/// world, same seed). [`AdversarialConfig::standard`] is the
+/// artifact-producing configuration; [`AdversarialConfig::quick`]
+/// shrinks every duration for unit tests.
+#[derive(Clone, Debug)]
+pub struct AdversarialConfig {
+    /// Seed for noise levels, staggers and PUF instances.
+    pub seed: u64,
+    /// Honest clients (ids `0..honest`), active the whole span in both
+    /// worlds.
+    pub honest: usize,
+    /// Attacker clients (ids `honest..honest+attackers`); flood world
+    /// only, active during the middle phase.
+    pub attackers: usize,
+    /// Virtual duration of each phase (calm, flood, recovery).
+    pub phase: Duration,
+    /// SLO / enforcement evaluation interval (odd nanosecond tail keeps
+    /// the evaluator's park targets off every client target).
+    pub interval: Duration,
+    /// Honest think time between authentications.
+    pub think_honest: Duration,
+    /// Attacker think time during the flood.
+    pub think_flood: Duration,
+    /// Dispatcher queue limit.
+    pub queue_limit: usize,
+    /// SLO fast window.
+    pub fast_window: Duration,
+    /// SLO slow window.
+    pub slow_window: Duration,
+    /// Known-bad credentials each attacker caches and replays.
+    pub rotation: usize,
+    /// Every Nth attacker request mints a fresh wrong credential
+    /// instead of replaying the rotation (keeps draining the bucket).
+    pub fresh_every: usize,
+    /// Honest retry budget per authentication (each retry honors the
+    /// server's `retry_after` hint first).
+    pub max_tries: u32,
+}
+
+impl AdversarialConfig {
+    /// The full 90-simulated-second run.
+    pub fn standard(seed: u64) -> Self {
+        AdversarialConfig {
+            seed,
+            honest: 8,
+            attackers: 4,
+            phase: Duration::from_secs(30),
+            interval: Duration::from_nanos(250_000_019),
+            think_honest: Duration::from_secs(1),
+            think_flood: Duration::from_millis(250),
+            queue_limit: 12,
+            fast_window: Duration::from_secs(5),
+            slow_window: Duration::from_secs(60),
+            rotation: 2,
+            fresh_every: 4,
+            max_tries: 6,
+        }
+    }
+
+    /// A shrunk run for unit tests: 15 simulated seconds.
+    pub fn quick(seed: u64) -> Self {
+        AdversarialConfig {
+            seed,
+            honest: 6,
+            attackers: 3,
+            phase: Duration::from_secs(5),
+            interval: Duration::from_nanos(100_000_019),
+            think_honest: Duration::from_millis(600),
+            think_flood: Duration::from_millis(150),
+            queue_limit: 12,
+            fast_window: Duration::from_secs(2),
+            slow_window: Duration::from_secs(10),
+            rotation: 2,
+            fresh_every: 4,
+            max_tries: 6,
+        }
+    }
+
+    /// Total virtual span (three phases).
+    pub fn run_span(&self) -> Duration {
+        self.phase * 3
+    }
+
+    /// Total client population (honest + attackers).
+    pub fn clients(&self) -> usize {
+        self.honest + self.attackers
+    }
+
+    /// The admission policy under test. Depth caps stay at d = 1 in
+    /// both brownout levels: honest clients carry at most one bit of
+    /// noise, so brownouts cheapen every *wrong* credential ~128× while
+    /// never costing an honest client its acceptance.
+    pub fn admission(&self) -> AdmissionConfig {
+        AdmissionConfig {
+            burst_requests: 4,
+            refill_requests_per_sec: 1.0,
+            quarantine_refill_permille: 50,
+            quarantine_after_exhaustions: 3,
+            negative_cache_capacity: 1024,
+            retry_after_ms: 150,
+            max_retry_after_ms: 2_000,
+            degraded_queue_depth: 4,
+            emergency_queue_depth: 9,
+            recovery_observations: 8,
+            degraded_max_d: 1,
+            emergency_max_d: 1,
+            ..AdmissionConfig::for_bound(MAX_D)
+        }
+    }
+
+    fn mix(&self, salt: u64) -> u64 {
+        rbc_splitmix::splitmix64(self.seed ^ salt.wrapping_mul(rbc_splitmix::GOLDEN_GAMMA))
+    }
+
+    /// Client `i`'s noise: honest clients stay inside the search bound
+    /// (accepts at d ∈ {0, 1}); attackers carry noise far beyond it.
+    fn noise(&self, i: usize) -> u32 {
+        if i >= self.honest {
+            8
+        } else if self.mix(0x40 ^ i as u64) % 10 < 7 {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// Unique virtual arrival offset per client (disjoint 5 ms bands
+    /// plus sub-microsecond phases — concurrent parks must never land
+    /// on equal virtual targets).
+    fn arrival(&self, i: usize) -> Duration {
+        Duration::from_millis(5 * (i as u64 + 1))
+            + Duration::from_micros(self.mix(0x80 ^ i as u64) % 4999)
+            + Duration::from_nanos(347 * (i as u64 + 1))
+    }
+
+    /// Think time for client `i`, with per-client microsecond and
+    /// nanosecond phases keeping concurrent wake targets distinct.
+    fn think(&self, i: usize) -> Duration {
+        let base = if i >= self.honest { self.think_flood } else { self.think_honest };
+        base + Duration::from_micros(1013 * (i as u64 + 1) + self.mix(0xC0 ^ i as u64) % 499)
+            + Duration::from_nanos(11 * (i as u64 + 1))
+    }
+
+    /// Unique backoff jitter for honest client `i`'s `tries`-th retry,
+    /// added on top of the server's `retry_after` hint.
+    fn retry_jitter(&self, i: usize, tries: u32) -> Duration {
+        Duration::from_nanos((i as u64 + 1) * 1_000_003 + tries as u64 * 131 + 17)
+    }
+}
+
+/// One sub-run's service ledger (the `issued = accepted + rejected +
+/// timed_out + shed + errors` books, plus the honest-client tally).
+#[derive(Clone, Debug)]
+pub struct RunLedger {
+    /// Requests issued (calls to `complete`).
+    pub issued: u64,
+    /// Accepted verdicts.
+    pub accepted: u64,
+    /// Rejected verdicts (cached and searched).
+    pub rejected: u64,
+    /// Timed-out verdicts.
+    pub timed_out: u64,
+    /// Shed verdicts (dispatcher + admission refusals).
+    pub shed: u64,
+    /// CA-validation errors.
+    pub errors: u64,
+    /// Receipts minted (must equal `issued - errors`).
+    pub receipts: u64,
+    /// Hashes billed across every receipt.
+    pub hashes: u64,
+    /// Honest authentications attempted (retry loops count once).
+    pub honest_attempts: u64,
+    /// Honest authentications that ended accepted.
+    pub honest_accepted: u64,
+}
+
+/// Everything one world (baseline or flood) produced.
+struct WorldResult {
+    ledger: RunLedger,
+    /// Honest end-to-end latencies (first hello to final verdict,
+    /// retries and backoffs included), nanoseconds.
+    latencies_ns: Vec<u64>,
+    attacker_requests: u64,
+    attacker_hashes: u64,
+    tokens_spent: u64,
+    tokens_refused: u64,
+    cache_hits: u64,
+    quarantines: u64,
+    admission_shed: u64,
+    depth_capped: u64,
+    peak_level: BrownoutLevel,
+    final_level: BrownoutLevel,
+    alerts: Vec<Alert>,
+    /// Total calibrated backend rate (hashes/sec) from the receipts.
+    calibrated_rate: f64,
+    sim_secs: f64,
+    quiescent: bool,
+    digest: u64,
+}
+
+/// Runs one seeded world on a fresh virtual timeline; `with_attackers`
+/// switches the flood on.
+fn run_world(cfg: &AdversarialConfig, with_attackers: bool) -> WorldResult {
+    let sim = SimClock::new();
+    let clock = sim.handle();
+    let registry = Arc::new(Registry::new());
+    let attribution = Arc::new(Attribution::new(registry.clone(), cfg.clients()));
+    let admission =
+        Arc::new(AdmissionControl::with_clock(cfg.admission(), &registry, clock.clone()));
+
+    // Two stalled supervised substrates (as in `repro attrib`): the
+    // injected per-job stalls are the searches' virtual cost, so flood
+    // pressure is real queueing pressure.
+    let mut pools: Vec<Arc<dyn SearchBackend>> = Vec::new();
+    for (i, stall_ms) in [90u64, 97].into_iter().enumerate() {
+        let cpu = Arc::new(
+            CpuBackend::new(EngineConfig { threads: 1, ..Default::default() })
+                .with_clock(clock.clone()),
+        ) as Arc<dyn SearchBackend>;
+        let chaos = Arc::new(
+            ChaosBackend::wrap(cpu, Fault::Stall { ms: stall_ms + i as u64 })
+                .with_clock(clock.clone()),
+        ) as Arc<dyn SearchBackend>;
+        pools.push(Arc::new(SupervisedPool::with_clock(
+            vec![chaos],
+            SupervisedPoolConfig::default(),
+            registry.clone(),
+            clock.clone(),
+        )));
+    }
+    let dispatcher = Arc::new(Dispatcher::with_clock(
+        pools,
+        DispatcherConfig {
+            queue_limit: cfg.queue_limit,
+            budget: Duration::from_secs(2),
+            policy: RoutePolicy::LeastLoaded,
+        },
+        registry.clone(),
+        clock.clone(),
+    ));
+
+    let ca_cfg = CaConfig {
+        max_d: MAX_D,
+        algo: HashAlgo::Sha1,
+        engine: EngineConfig { threads: 1, ..Default::default() },
+        ..Default::default()
+    };
+    let mut key = [0u8; 32];
+    key[..8].copy_from_slice(&cfg.mix(0x21).to_le_bytes());
+    let mut ca = CertificateAuthority::new(key, LightSaber, ca_cfg);
+    let mut enroll_rng = StdRng::seed_from_u64(cfg.mix(0x22));
+    let mut clients = Vec::new();
+    for id in 0..cfg.clients() as u64 {
+        let mut c = Client::new(id, ModelPuf::noiseless(4096, cfg.mix(0x2000 ^ id)));
+        c.extra_noise = cfg.noise(id as usize);
+        ca.enroll_client(id, c.device(), 0, &mut enroll_rng).expect("enroll");
+        clients.push(c);
+    }
+    let service = Arc::new(
+        AuthService::with_recorder(ca, dispatcher, Arc::new(NullRecorder))
+            .with_attribution(attribution.clone())
+            .with_admission(admission.clone()),
+    );
+
+    let slos = vec![exhaustion_slo("exhaustion")
+        .windows(cfg.fast_window, cfg.slow_window)
+        .thresholds(1.0, 6.0)];
+    let mut evaluator = SloEvaluator::new(slos);
+    let total_ticks = (cfg.run_span().as_nanos() / cfg.interval.as_nanos()).max(1) as u64;
+    let quarantine_after = cfg.admission().quarantine_after_exhaustions;
+
+    let run_span = cfg.run_span();
+    let flood_start = cfg.phase;
+    let flood_end = cfg.phase * 2;
+    let epoch = clock.now();
+    let mut alerts: Vec<Alert> = Vec::new();
+    let mut peak_level = BrownoutLevel::Normal;
+    let mut honest_tallies: Vec<(Vec<u64>, u64, u64)> = Vec::new();
+    let mut attacker_requests = 0u64;
+    std::thread::scope(|s| {
+        // Freeze the timeline while actors spawn (see sim.rs: without
+        // the starter guard the first actors outrun the later spawns).
+        let starter = clock.enter();
+
+        // The detect→enforce evaluator: observes the SLO over direct
+        // registry snapshots, feeds burn alerts into the brownout state
+        // machine, quarantines the attrib exhaustion heavy hitters, and
+        // re-prices bucket refill from receipt-measured backend rates.
+        let eval_guard = clock.enter();
+        let eval_clk = clock.clone();
+        let eval_registry = registry.clone();
+        let eval_attr = attribution.clone();
+        let eval_adm = admission.clone();
+        let eval_ref = &mut evaluator;
+        let alerts_ref = &mut alerts;
+        let peak_ref = &mut peak_level;
+        let clients_total = cfg.clients() as u64;
+        let eval_handle = s.spawn(move || {
+            let _g = eval_guard;
+            for _ in 0..total_ticks {
+                eval_clk.sleep(cfg.interval);
+                let at_ns =
+                    u64::try_from(eval_clk.now().saturating_duration_since(epoch).as_nanos())
+                        .unwrap_or(u64::MAX);
+                let snap = eval_registry.snapshot();
+                let new_alerts = eval_ref.observe(at_ns, &snap, None);
+                for a in &new_alerts {
+                    eval_adm.observe_alert(a);
+                }
+                alerts_ref.extend(new_alerts);
+                *peak_ref = (*peak_ref).max(eval_adm.level());
+                for h in eval_attr.top_exhausted(clients_total as usize) {
+                    if h.count >= quarantine_after {
+                        if let Ok(id) = h.key.parse::<u64>() {
+                            eval_adm.quarantine(id);
+                        }
+                    }
+                }
+                let rate: f64 = eval_attr.calibration().iter().map(|c| c.rate()).sum();
+                eval_adm.calibrate(rate, clients_total);
+            }
+        });
+
+        let mut honest_handles = Vec::new();
+        let mut attacker_handles = Vec::new();
+        for (i, client) in clients.into_iter().enumerate() {
+            let attacker = i >= cfg.honest;
+            if attacker && !with_attackers {
+                continue;
+            }
+            let guard = clock.enter();
+            let clk = clock.clone();
+            let svc = service.clone();
+            let rng_seed = cfg.mix(0x3000 ^ i as u64);
+            if attacker {
+                // The flood: replay a rotation of known-bad credentials
+                // (negative-cache fodder) and mint a fresh wrong one
+                // every `fresh_every` requests (bucket drain). Ignores
+                // every retry_after hint — that is the point.
+                let handle = s.spawn(move || {
+                    let _g = guard;
+                    let mut rng = StdRng::seed_from_u64(rng_seed);
+                    let mut cached: Vec<DynDigest> = Vec::new();
+                    let mut n = 0usize;
+                    let mut requests = 0u64;
+                    clk.sleep(flood_start);
+                    clk.sleep(cfg.arrival(i));
+                    loop {
+                        if clk.now().saturating_duration_since(epoch) >= flood_end {
+                            break;
+                        }
+                        let hello = client.hello();
+                        let Ok(challenge) = svc.begin(&hello) else { break };
+                        let fresh =
+                            cached.len() < cfg.rotation || n.is_multiple_of(cfg.fresh_every);
+                        let msg = if fresh {
+                            client.respond(&challenge, &mut rng)
+                        } else {
+                            DigestMsg {
+                                client_id: client.id,
+                                session: challenge.session,
+                                digest: cached[n % cached.len()],
+                                trace: challenge.trace,
+                            }
+                        };
+                        n += 1;
+                        match svc.complete(&msg) {
+                            Ok(v) => {
+                                requests += 1;
+                                if fresh
+                                    && v.verdict == Verdict::Rejected
+                                    && cached.len() < cfg.rotation
+                                {
+                                    cached.push(msg.digest);
+                                }
+                            }
+                            Err(_) => break,
+                        }
+                        clk.sleep(cfg.think(i));
+                    }
+                    requests
+                });
+                attacker_handles.push(handle);
+            } else {
+                // Honest clients authenticate for the whole span. A
+                // shed verdict is retried after honoring the server's
+                // retry_after hint (plus client-unique jitter); the
+                // measured latency covers the full intent, retries and
+                // backoff included.
+                let handle = s.spawn(move || {
+                    let _g = guard;
+                    let mut rng = StdRng::seed_from_u64(rng_seed);
+                    let mut latencies = Vec::new();
+                    let mut attempts = 0u64;
+                    let mut accepted_n = 0u64;
+                    clk.sleep(cfg.arrival(i));
+                    loop {
+                        if clk.now().saturating_duration_since(epoch) >= run_span {
+                            break;
+                        }
+                        let t0 = clk.now();
+                        let mut accepted = false;
+                        let mut tries = 0u32;
+                        loop {
+                            tries += 1;
+                            let hello = client.hello();
+                            let Ok(challenge) = svc.begin(&hello) else { break };
+                            let digest = client.respond(&challenge, &mut rng);
+                            let Ok(v) = svc.complete(&digest) else { break };
+                            match v.verdict {
+                                Verdict::Accepted { .. } => {
+                                    accepted = true;
+                                    break;
+                                }
+                                Verdict::Overloaded { retry_after_ms } if tries < cfg.max_tries => {
+                                    clk.sleep(
+                                        Duration::from_millis(retry_after_ms.max(1))
+                                            + cfg.retry_jitter(i, tries),
+                                    );
+                                }
+                                _ => break,
+                            }
+                        }
+                        let lat = clk.now().saturating_duration_since(t0);
+                        latencies.push(u64::try_from(lat.as_nanos()).unwrap_or(u64::MAX));
+                        attempts += 1;
+                        if accepted {
+                            accepted_n += 1;
+                        }
+                        clk.sleep(cfg.think(i));
+                    }
+                    (latencies, attempts, accepted_n)
+                });
+                honest_handles.push(handle);
+            }
+        }
+        drop(starter);
+        for h in honest_handles {
+            honest_tallies.push(h.join().expect("honest client thread"));
+        }
+        for h in attacker_handles {
+            attacker_requests += h.join().expect("attacker client thread");
+        }
+        eval_handle.join().expect("evaluator thread");
+    });
+
+    let stats = service.stats();
+    let snap = registry.snapshot();
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let mut latencies_ns: Vec<u64> = Vec::new();
+    let mut honest_attempts = 0u64;
+    let mut honest_accepted = 0u64;
+    for (lats, attempts, accepted) in honest_tallies {
+        latencies_ns.extend(lats);
+        honest_attempts += attempts;
+        honest_accepted += accepted;
+    }
+    latencies_ns.sort_unstable();
+    let attacker_hashes: u64 = attribution
+        .top_hashes(cfg.clients())
+        .iter()
+        .filter(|h| h.key.parse::<u64>().map(|id| id >= cfg.honest as u64).unwrap_or(false))
+        .map(|h| h.count)
+        .sum();
+    let calibrated_rate: f64 = attribution.calibration().iter().map(|c| c.rate()).sum();
+    let (runnable, parked) = sim.actors();
+
+    // Digest over everything replay-stable: the honest latency series,
+    // the service and admission ledgers, the alert log and the final
+    // telemetry snapshot. The last-exhausted trace gauge is excluded —
+    // trace ids are process-global, not replay-stable.
+    let mut digest = fold(0xADA7_0001, cfg.seed);
+    digest = fold(digest, with_attackers as u64);
+    for l in &latencies_ns {
+        digest = fold(digest, *l);
+    }
+    for v in [
+        stats.issued,
+        stats.accepted,
+        stats.rejected,
+        stats.timed_out,
+        stats.overloaded,
+        stats.errors,
+        honest_attempts,
+        honest_accepted,
+        attacker_requests,
+        attacker_hashes,
+    ] {
+        digest = fold(digest, v);
+    }
+    for a in &alerts {
+        digest = fold_bytes(digest, a.spec.as_bytes());
+        digest = fold(digest, a.severity as u64);
+        digest = fold(digest, a.at_ns);
+        digest = fold(digest, a.fast_burn.to_bits());
+        digest = fold(digest, a.slow_burn.to_bits());
+    }
+    for (name, metric) in &snap.entries {
+        if name == attrib::LAST_EXHAUSTED_TRACE {
+            continue;
+        }
+        digest = fold_bytes(digest, name.as_bytes());
+        digest = match metric {
+            MetricSnapshot::Counter(v) => fold(digest, *v),
+            MetricSnapshot::Gauge(v) => fold(digest, *v as u64),
+            MetricSnapshot::Histogram(h) => {
+                let mut d = fold(fold(digest, h.count), h.sum);
+                for (bound, count) in &h.buckets {
+                    d = fold(fold(d, *bound), *count);
+                }
+                d
+            }
+        };
+    }
+    digest = fold(digest, sim.virtual_elapsed().as_nanos() as u64);
+
+    WorldResult {
+        ledger: RunLedger {
+            issued: stats.issued,
+            accepted: stats.accepted,
+            rejected: stats.rejected,
+            timed_out: stats.timed_out,
+            shed: stats.overloaded,
+            errors: stats.errors,
+            receipts: counter(attrib::RECEIPTS_TOTAL),
+            hashes: counter(attrib::HASHES_TOTAL),
+            honest_attempts,
+            honest_accepted,
+        },
+        latencies_ns,
+        attacker_requests,
+        attacker_hashes,
+        tokens_spent: counter("rbc_admission_tokens_spent_total"),
+        tokens_refused: counter("rbc_admission_tokens_refused_total"),
+        cache_hits: counter("rbc_admission_negative_cache_hits_total"),
+        quarantines: counter("rbc_admission_quarantine_total"),
+        admission_shed: counter("rbc_admission_shed_total"),
+        depth_capped: counter("rbc_admission_depth_capped_total"),
+        peak_level,
+        final_level: admission.level(),
+        alerts,
+        calibrated_rate,
+        sim_secs: sim.virtual_elapsed().as_secs_f64(),
+        quiescent: (runnable, parked) == (0, 0),
+        digest,
+    }
+}
+
+/// Everything one adversarial run produced (both worlds).
+#[derive(Clone, Debug)]
+pub struct AdversarialOutcome {
+    /// The seed the run used.
+    pub seed: u64,
+    /// Evaluator ticks per world.
+    pub ticks: u64,
+    /// Virtual seconds the flood world spanned.
+    pub sim_secs: f64,
+    /// No-flood world ledger.
+    pub baseline: RunLedger,
+    /// Flood world ledger.
+    pub flood: RunLedger,
+    /// Honest p99 latency, no-flood world, milliseconds.
+    pub p99_baseline_ms: f64,
+    /// Honest p99 latency under the flood, milliseconds.
+    pub p99_flood_ms: f64,
+    /// `p99_flood_ms / p99_baseline_ms` — the headline ≤ 2.0 gate.
+    pub p99_ratio: f64,
+    /// Honest acceptance under the flood — the headline ≥ 0.99 gate.
+    pub honest_acceptance: f64,
+    /// Hashes debited from buckets at admission (flood world).
+    pub tokens_spent: u64,
+    /// Requests refused on an empty bucket (flood world).
+    pub tokens_refused: u64,
+    /// Replays answered from the negative cache (flood world).
+    pub cache_hits: u64,
+    /// Clients quarantined (flood world).
+    pub quarantines: u64,
+    /// Requests shed by the Emergency priority rule (flood world).
+    pub admission_shed: u64,
+    /// Requests admitted with a brownout-capped depth (flood world).
+    pub depth_capped: u64,
+    /// Highest brownout level observed during the flood world.
+    pub brownout_peak: &'static str,
+    /// Brownout level at the end of the flood world (must recover).
+    pub brownout_final: &'static str,
+    /// Requests the attackers completed.
+    pub attacker_requests: u64,
+    /// Hashes actually billed to attackers (enforced cost).
+    pub attacker_hashes: u64,
+    /// `attacker_requests × u(d)` — what the same flood would have cost
+    /// without enforcement.
+    pub unenforced_hashes: u64,
+    /// `1 − attacker_hashes / unenforced_hashes` — search work the
+    /// admission layer refused to do.
+    pub avoided_share: f64,
+    /// Equation 1 server work per wrong credential: `u(d)` hashes.
+    pub server_price: u64,
+    /// Equation 2 vs Equation 1 asymmetry at the configured `d`, bits.
+    pub asymmetry_bits: f64,
+    /// Expected opponent brute-force time at the receipt-calibrated
+    /// backend rate, log10(years).
+    pub opponent_log10_years: f64,
+    /// Exhaustion-SLO transitions in the flood world, in order.
+    pub alerts: Vec<Alert>,
+    /// The active SIMD kernel tier (machine-dependent; excluded from
+    /// the digest).
+    pub kernel: &'static str,
+    /// Digest over both worlds — the replay-determinism gate.
+    pub digest: u64,
+    /// Cross-checks that failed (empty on a clean run).
+    pub violations: Vec<String>,
+}
+
+fn p99_ms(sorted_ns: &[u64]) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() as f64 * 0.99).ceil() as usize).clamp(1, sorted_ns.len()) - 1;
+    sorted_ns[idx] as f64 / 1e6
+}
+
+/// Runs the baseline and flood worlds on the same seed and cross-checks
+/// the enforcement story.
+pub fn run_adversarial(cfg: &AdversarialConfig) -> AdversarialOutcome {
+    let baseline = run_world(cfg, false);
+    let flood = run_world(cfg, true);
+
+    let p99_baseline_ms = p99_ms(&baseline.latencies_ns);
+    let p99_flood_ms = p99_ms(&flood.latencies_ns);
+    let p99_ratio = if p99_baseline_ms > 0.0 { p99_flood_ms / p99_baseline_ms } else { f64::NAN };
+    let honest_acceptance = if flood.ledger.honest_attempts > 0 {
+        flood.ledger.honest_accepted as f64 / flood.ledger.honest_attempts as f64
+    } else {
+        0.0
+    };
+    let price = cfg.admission().price();
+    let unenforced_hashes = flood.attacker_requests.saturating_mul(price);
+    let avoided_share = if unenforced_hashes > 0 {
+        1.0 - flood.attacker_hashes as f64 / unenforced_hashes as f64
+    } else {
+        0.0
+    };
+
+    let mut violations = Vec::new();
+    for (world, r) in [("baseline", &baseline), ("flood", &flood)] {
+        let l = &r.ledger;
+        let tallied = l.accepted + l.rejected + l.timed_out + l.shed + l.errors;
+        if l.issued != tallied {
+            violations
+                .push(format!("{world}: books do not balance: issued {} != {tallied}", l.issued));
+        }
+        if l.errors > 0 {
+            violations.push(format!("{world}: {} CA errors", l.errors));
+        }
+        if l.receipts != l.issued - l.errors {
+            violations.push(format!(
+                "{world}: {} receipts for {} completed requests",
+                l.receipts,
+                l.issued - l.errors
+            ));
+        }
+        if !r.quiescent {
+            violations.push(format!("{world}: timeline not quiescent"));
+        }
+        if l.honest_attempts > 0 && (l.honest_accepted as f64 / l.honest_attempts as f64) < 0.99 {
+            violations.push(format!(
+                "{world}: honest acceptance {}/{} below 99%",
+                l.honest_accepted, l.honest_attempts
+            ));
+        }
+    }
+    if !(0.0..=2.0).contains(&p99_ratio) {
+        violations.push(format!(
+            "honest p99 blew the 2x budget: {p99_flood_ms:.1} ms vs {p99_baseline_ms:.1} ms \
+             baseline ({p99_ratio:.2}x)"
+        ));
+    }
+    if flood.attacker_requests == 0 {
+        violations.push("the flood never issued a request".to_string());
+    }
+    if flood.cache_hits == 0 {
+        violations.push("negative cache never answered a replay".to_string());
+    }
+    if flood.tokens_refused == 0 {
+        violations.push("token bucket never refused a request".to_string());
+    }
+    if flood.quarantines == 0 {
+        violations.push("no client was quarantined".to_string());
+    }
+    if flood.peak_level == BrownoutLevel::Normal {
+        violations.push("brownout never engaged during the flood".to_string());
+    }
+    if flood.final_level != BrownoutLevel::Normal {
+        violations.push(format!(
+            "brownout did not recover: still {} at end of run",
+            flood.final_level.name()
+        ));
+    }
+    if avoided_share < 0.5 {
+        violations.push(format!(
+            "enforcement avoided only {:.0}% of the flood's search work",
+            avoided_share * 100.0
+        ));
+    }
+
+    let total_ticks = (cfg.run_span().as_nanos() / cfg.interval.as_nanos()).max(1) as u64;
+    let digest = fold(fold(fold(0xADA7_D169, cfg.seed), baseline.digest), flood.digest);
+
+    AdversarialOutcome {
+        seed: cfg.seed,
+        ticks: total_ticks,
+        sim_secs: flood.sim_secs,
+        baseline: baseline.ledger,
+        flood: flood.ledger.clone(),
+        p99_baseline_ms,
+        p99_flood_ms,
+        p99_ratio,
+        honest_acceptance,
+        tokens_spent: flood.tokens_spent,
+        tokens_refused: flood.tokens_refused,
+        cache_hits: flood.cache_hits,
+        quarantines: flood.quarantines,
+        admission_shed: flood.admission_shed,
+        depth_capped: flood.depth_capped,
+        brownout_peak: flood.peak_level.name(),
+        brownout_final: flood.final_level.name(),
+        attacker_requests: flood.attacker_requests,
+        attacker_hashes: flood.attacker_hashes,
+        unenforced_hashes,
+        avoided_share,
+        server_price: price,
+        asymmetry_bits: attack::asymmetry_bits(MAX_D),
+        opponent_log10_years: attack::opponent_log10_years(flood.calibrated_rate.max(1.0)),
+        alerts: flood.alerts,
+        kernel: rbc_hash::dispatch::active_level().name(),
+        digest,
+        violations,
+    }
+}
+
+/// Renders the run as a plain-text enforcement report. `color` toggles
+/// ANSI escapes.
+pub fn render_adversarial(o: &AdversarialOutcome, color: bool) -> String {
+    let paint = |code: &str, s: &str| {
+        if color {
+            format!("\x1b[{code}m{s}\x1b[0m")
+        } else {
+            s.to_string()
+        }
+    };
+    let ok = |good: bool, s: &str| {
+        if good {
+            paint("32", s)
+        } else {
+            paint("31;1", s)
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "== repro adversarial — seed {:#x}, {:.0} sim-s per world, kernel {} ==\n",
+        o.seed, o.sim_secs, o.kernel
+    ));
+    out.push_str(&format!(
+        "  honest p99  baseline {:.1} ms, under flood {:.1} ms ({})\n",
+        o.p99_baseline_ms,
+        o.p99_flood_ms,
+        ok(o.p99_ratio <= 2.0, &format!("{:.2}x <= 2x", o.p99_ratio)),
+    ));
+    out.push_str(&format!(
+        "  honest acceptance under flood  {} ({}/{})\n",
+        ok(o.honest_acceptance >= 0.99, &format!("{:.2}%", o.honest_acceptance * 100.0)),
+        o.flood.honest_accepted,
+        o.flood.honest_attempts,
+    ));
+    out.push_str(&format!(
+        "  enforcement  cache hits {}  bucket refusals {}  quarantined {}  \
+         emergency sheds {}  depth-capped {}\n",
+        o.cache_hits, o.tokens_refused, o.quarantines, o.admission_shed, o.depth_capped
+    ));
+    out.push_str(&format!(
+        "  brownout     peak {}  final {}\n",
+        o.brownout_peak,
+        ok(o.brownout_final == "normal", o.brownout_final),
+    ));
+    out.push_str(&format!(
+        "  flood cost   {} attacker requests billed {} hashes; unenforced {} \
+         ({} avoided)\n",
+        o.attacker_requests,
+        o.attacker_hashes,
+        o.unenforced_hashes,
+        ok(o.avoided_share >= 0.5, &format!("{:.1}%", o.avoided_share * 100.0)),
+    ));
+    out.push_str(&format!(
+        "  asymmetry    server u(d) = {} hashes/rejection (Eq. 1); opponent 2^256 \
+         (Eq. 2): {:.1} bits apart, ~1e{:.0} years at the calibrated rate\n",
+        o.server_price, o.asymmetry_bits, o.opponent_log10_years
+    ));
+    if o.alerts.is_empty() {
+        out.push_str("  alerts       none\n");
+    } else {
+        out.push_str("  alerts\n");
+        for a in &o.alerts {
+            let tag = match a.severity {
+                Severity::Page => paint("31;1", "PAGE "),
+                Severity::Warn => paint("33;1", "WARN "),
+                Severity::Clear => paint("32", "CLEAR"),
+            };
+            out.push_str(&format!(
+                "    {tag} {:<13} @ {:>6.1}s  fast {:>7.2}x  slow {:>7.2}x\n",
+                a.spec,
+                a.at_ns as f64 / 1e9,
+                a.fast_burn,
+                a.slow_burn
+            ));
+        }
+    }
+    let ledger = |name: &str, l: &RunLedger| {
+        format!(
+            "  {name:<12} issued {}  accepted {}  rejected {}  shed {}  timed-out {}\n",
+            l.issued, l.accepted, l.rejected, l.shed, l.timed_out
+        )
+    };
+    out.push_str(&ledger("baseline", &o.baseline));
+    out.push_str(&ledger("flood", &o.flood));
+    if o.violations.is_empty() {
+        out.push_str(&format!("  checks       {}\n", paint("32", "all cross-checks passed")));
+    } else {
+        for v in &o.violations {
+            out.push_str(&format!("  {} {v}\n", paint("31;1", "VIOLATION")));
+        }
+    }
+    out.push_str(&format!("  digest       {:016x}\n", o.digest));
+    out
+}
+
+/// Writes the run (plus its replay verdict) to `path` as the
+/// `BENCH_adversarial.json` artifact.
+pub fn write_adversarial_json(
+    path: &str,
+    outcome: &AdversarialOutcome,
+    replayed: u64,
+    divergences: u64,
+    wall_secs: f64,
+) -> std::io::Result<()> {
+    use serde_json::Value;
+    let ledger = |l: &RunLedger| {
+        Value::Object(vec![
+            ("issued".to_string(), Value::UInt(l.issued)),
+            ("accepted".to_string(), Value::UInt(l.accepted)),
+            ("rejected".to_string(), Value::UInt(l.rejected)),
+            ("timed_out".to_string(), Value::UInt(l.timed_out)),
+            ("shed".to_string(), Value::UInt(l.shed)),
+            ("errors".to_string(), Value::UInt(l.errors)),
+            ("receipts".to_string(), Value::UInt(l.receipts)),
+            ("hashes".to_string(), Value::UInt(l.hashes)),
+            ("honest_attempts".to_string(), Value::UInt(l.honest_attempts)),
+            ("honest_accepted".to_string(), Value::UInt(l.honest_accepted)),
+        ])
+    };
+    let alerts = Value::Array(
+        outcome
+            .alerts
+            .iter()
+            .map(|a| {
+                Value::Object(vec![
+                    ("spec".to_string(), Value::Str(a.spec.clone())),
+                    ("severity".to_string(), Value::Str(a.severity.name().to_string())),
+                    ("at_ns".to_string(), Value::UInt(a.at_ns)),
+                    ("fast_burn".to_string(), Value::Float(a.fast_burn)),
+                    ("slow_burn".to_string(), Value::Float(a.slow_burn)),
+                ])
+            })
+            .collect(),
+    );
+    let doc = Value::Object(vec![
+        ("bench".to_string(), Value::Str("adversarial".to_string())),
+        ("unit".to_string(), Value::Str("mixed".to_string())),
+        ("seed".to_string(), Value::UInt(outcome.seed)),
+        ("ticks".to_string(), Value::UInt(outcome.ticks)),
+        ("sim_secs".to_string(), Value::Float(outcome.sim_secs)),
+        ("wall_secs".to_string(), Value::Float(wall_secs)),
+        ("digest".to_string(), Value::Str(format!("{:016x}", outcome.digest))),
+        ("replayed".to_string(), Value::UInt(replayed)),
+        ("divergences".to_string(), Value::UInt(divergences)),
+        ("violations".to_string(), Value::UInt(outcome.violations.len() as u64)),
+        ("p99_baseline_ms".to_string(), Value::Float(outcome.p99_baseline_ms)),
+        ("p99_flood_ms".to_string(), Value::Float(outcome.p99_flood_ms)),
+        ("p99_ratio".to_string(), Value::Float(outcome.p99_ratio)),
+        ("honest_acceptance".to_string(), Value::Float(outcome.honest_acceptance)),
+        ("tokens_spent".to_string(), Value::UInt(outcome.tokens_spent)),
+        ("tokens_refused".to_string(), Value::UInt(outcome.tokens_refused)),
+        ("cache_hits".to_string(), Value::UInt(outcome.cache_hits)),
+        ("quarantines".to_string(), Value::UInt(outcome.quarantines)),
+        ("admission_shed".to_string(), Value::UInt(outcome.admission_shed)),
+        ("depth_capped".to_string(), Value::UInt(outcome.depth_capped)),
+        ("brownout_peak".to_string(), Value::Str(outcome.brownout_peak.to_string())),
+        ("brownout_final".to_string(), Value::Str(outcome.brownout_final.to_string())),
+        ("attacker_requests".to_string(), Value::UInt(outcome.attacker_requests)),
+        ("attacker_hashes".to_string(), Value::UInt(outcome.attacker_hashes)),
+        ("unenforced_hashes".to_string(), Value::UInt(outcome.unenforced_hashes)),
+        ("avoided_share".to_string(), Value::Float(outcome.avoided_share)),
+        ("server_price".to_string(), Value::UInt(outcome.server_price)),
+        ("asymmetry_bits".to_string(), Value::Float(outcome.asymmetry_bits)),
+        ("opponent_log10_years".to_string(), Value::Float(outcome.opponent_log10_years)),
+        ("kernel".to_string(), Value::Str(outcome.kernel.to_string())),
+        ("baseline".to_string(), ledger(&outcome.baseline)),
+        ("flood".to_string(), ledger(&outcome.flood)),
+        ("alerts".to_string(), alerts),
+    ]);
+    let text = serde_json::to_string(&doc)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(path, text)
+}
+
+/// Validates a `BENCH_adversarial.json` document — the `repro
+/// adversarial --smoke` CI gate. Requires the `adversarial` envelope, a
+/// full run span, a replayed run with zero digest divergences, no
+/// cross-check violations, balanced books in both worlds, the headline
+/// gates (honest acceptance ≥ 99% and p99 within 2× of baseline under
+/// the flood), every enforcement mechanism engaged (cache hits, bucket
+/// refusals, a quarantine, a non-Normal brownout peak with full
+/// recovery), at least half the flood's search work avoided, and the
+/// Equation 1 / Equation 2 asymmetry in the expected range.
+pub fn validate_adversarial_json(text: &str) -> Result<(), String> {
+    let doc: serde_json::Value =
+        serde_json::from_str(text).map_err(|e| format!("not JSON: {e}"))?;
+    let bench = doc.field("bench").ok().and_then(serde_json::Value::as_str);
+    if bench != Some("adversarial") {
+        return Err(format!("bench field is {bench:?}, expected \"adversarial\""));
+    }
+    let get_u64 = |f: &str| {
+        doc.field(f).ok().and_then(serde_json::Value::as_u64).ok_or(format!("missing field {f}"))
+    };
+    let get_f64 = |f: &str| {
+        doc.field(f).ok().and_then(serde_json::Value::as_f64).ok_or(format!("missing field {f}"))
+    };
+    let get_str = |f: &str| {
+        doc.field(f).ok().and_then(serde_json::Value::as_str).ok_or(format!("missing field {f}"))
+    };
+    if get_f64("sim_secs")? < 85.0 {
+        return Err(format!("run spanned {:.1} sim-seconds, need ≥ 85", get_f64("sim_secs")?));
+    }
+    if get_u64("replayed")? == 0 {
+        return Err("no replay was run for the determinism check".to_string());
+    }
+    if get_u64("divergences")? != 0 {
+        return Err(format!("{} replay digest divergences", get_u64("divergences")?));
+    }
+    if get_u64("violations")? != 0 {
+        return Err("run reported cross-check violations".to_string());
+    }
+    for world in ["baseline", "flood"] {
+        let w = doc.field(world).map_err(|_| format!("missing {world} ledger"))?;
+        let u = |f: &str| {
+            w.field(f)
+                .ok()
+                .and_then(serde_json::Value::as_u64)
+                .ok_or(format!("missing field {world}.{f}"))
+        };
+        let issued = u("issued")?;
+        let tallied = u("accepted")? + u("rejected")? + u("timed_out")? + u("shed")? + u("errors")?;
+        if issued != tallied {
+            return Err(format!("{world}: books do not balance: {issued} != {tallied}"));
+        }
+        if u("receipts")? != issued - u("errors")? {
+            return Err(format!("{world}: receipts do not cover every completed request"));
+        }
+        if issued < 50 {
+            return Err(format!("{world}: only {issued} requests issued, need ≥ 50"));
+        }
+    }
+    if get_f64("honest_acceptance")? < 0.99 {
+        return Err(format!(
+            "honest acceptance {:.4} under the flood, need ≥ 0.99",
+            get_f64("honest_acceptance")?
+        ));
+    }
+    let ratio = get_f64("p99_ratio")?;
+    if !(0.0..=2.0).contains(&ratio) {
+        return Err(format!("honest p99 ratio {ratio:.2} outside (0, 2]"));
+    }
+    if get_u64("cache_hits")? == 0 {
+        return Err("negative cache never answered a replay".to_string());
+    }
+    if get_u64("tokens_refused")? == 0 {
+        return Err("token bucket never refused a request".to_string());
+    }
+    if get_u64("quarantines")? == 0 {
+        return Err("no client was quarantined".to_string());
+    }
+    if get_str("brownout_peak")? == "normal" {
+        return Err("brownout never engaged during the flood".to_string());
+    }
+    if get_str("brownout_final")? != "normal" {
+        return Err(format!("brownout did not recover: {}", get_str("brownout_final")?));
+    }
+    if get_f64("avoided_share")? < 0.5 {
+        return Err(format!(
+            "enforcement avoided only {:.0}% of the flood's search work",
+            get_f64("avoided_share")? * 100.0
+        ));
+    }
+    if get_f64("asymmetry_bits")? < 200.0 {
+        return Err(format!("asymmetry {:.1} bits below 200", get_f64("asymmetry_bits")?));
+    }
+    if get_f64("opponent_log10_years")? < 40.0 {
+        return Err("opponent brute-force horizon implausibly small".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_survives_the_flood_and_replays_identically() {
+        let cfg = AdversarialConfig::quick(0xADA7_0B5E);
+        let first = run_adversarial(&cfg);
+        assert!(first.violations.is_empty(), "{:?}", first.violations);
+        assert!(first.honest_acceptance >= 0.99, "{}", first.honest_acceptance);
+        assert!(first.p99_ratio <= 2.0, "{} vs {}", first.p99_flood_ms, first.p99_baseline_ms);
+        assert!(first.cache_hits > 0 && first.tokens_refused > 0 && first.quarantines > 0);
+        assert_ne!(first.brownout_peak, "normal");
+        assert_eq!(first.brownout_final, "normal");
+        assert!(first.avoided_share >= 0.5, "{}", first.avoided_share);
+
+        let replay = run_adversarial(&cfg);
+        assert_eq!(first.digest, replay.digest, "replay must be bit-identical");
+        assert_eq!(first.flood.issued, replay.flood.issued);
+    }
+
+    #[test]
+    fn adversarial_json_round_trips_and_validates() {
+        let ledger = |issued: u64, accepted: u64, rejected: u64, shed: u64| RunLedger {
+            issued,
+            accepted,
+            rejected,
+            timed_out: 0,
+            shed,
+            errors: 0,
+            receipts: issued,
+            hashes: 1_000_000,
+            honest_attempts: accepted + 1,
+            honest_accepted: accepted,
+        };
+        let outcome = AdversarialOutcome {
+            seed: 0xADA7,
+            ticks: 360,
+            sim_secs: 90.0,
+            baseline: ledger(240, 240, 0, 0),
+            flood: ledger(400, 238, 150, 12),
+            p99_baseline_ms: 120.0,
+            p99_flood_ms: 180.0,
+            p99_ratio: 1.5,
+            honest_acceptance: 0.996,
+            tokens_spent: 500_000,
+            tokens_refused: 40,
+            cache_hits: 120,
+            quarantines: 4,
+            admission_shed: 6,
+            depth_capped: 30,
+            brownout_peak: "emergency",
+            brownout_final: "normal",
+            attacker_requests: 160,
+            attacker_hashes: 400_000,
+            unenforced_hashes: 160 * 32_897,
+            avoided_share: 0.92,
+            server_price: 32_897,
+            asymmetry_bits: 241.0,
+            opponent_log10_years: 60.0,
+            alerts: vec![Alert {
+                spec: "exhaustion".to_string(),
+                severity: Severity::Warn,
+                at_ns: 35_000_000_000,
+                fast_burn: 3.0,
+                slow_burn: 1.0,
+            }],
+            kernel: "avx2",
+            digest: 0x0123_4567_89AB_CDEF,
+            violations: Vec::new(),
+        };
+        let path = std::env::temp_dir().join("rbc_bench_adversarial_test.json");
+        let path = path.to_str().unwrap();
+        let rewrite = |f: &mut dyn FnMut(&mut AdversarialOutcome) -> (u64, u64)| {
+            let mut o = outcome.clone();
+            let (replayed, divergences) = f(&mut o);
+            write_adversarial_json(path, &o, replayed, divergences, 2.0).expect("write");
+            let text = std::fs::read_to_string(path).expect("read");
+            let _ = std::fs::remove_file(path);
+            text
+        };
+
+        let good = rewrite(&mut |_| (1, 0));
+        validate_adversarial_json(&good).expect("round-trip validates");
+        assert!(validate_adversarial_json("not json").is_err());
+
+        let diverged = rewrite(&mut |_| (1, 1));
+        assert!(validate_adversarial_json(&diverged).is_err(), "divergence must fail");
+        let no_replay = rewrite(&mut |_| (0, 0));
+        assert!(validate_adversarial_json(&no_replay).is_err(), "missing replay must fail");
+        let lockout = rewrite(&mut |o| {
+            o.honest_acceptance = 0.9;
+            (1, 0)
+        });
+        assert!(validate_adversarial_json(&lockout).is_err(), "honest lockout must fail");
+        let slow = rewrite(&mut |o| {
+            o.p99_ratio = 3.5;
+            (1, 0)
+        });
+        assert!(validate_adversarial_json(&slow).is_err(), "p99 blowout must fail");
+        let no_cache = rewrite(&mut |o| {
+            o.cache_hits = 0;
+            (1, 0)
+        });
+        assert!(validate_adversarial_json(&no_cache).is_err(), "idle cache must fail");
+        let no_refusal = rewrite(&mut |o| {
+            o.tokens_refused = 0;
+            (1, 0)
+        });
+        assert!(validate_adversarial_json(&no_refusal).is_err(), "idle bucket must fail");
+        let no_quarantine = rewrite(&mut |o| {
+            o.quarantines = 0;
+            (1, 0)
+        });
+        assert!(validate_adversarial_json(&no_quarantine).is_err(), "no quarantine must fail");
+        let never_engaged = rewrite(&mut |o| {
+            o.brownout_peak = "normal";
+            (1, 0)
+        });
+        assert!(validate_adversarial_json(&never_engaged).is_err(), "idle brownout must fail");
+        let stuck = rewrite(&mut |o| {
+            o.brownout_final = "degraded";
+            (1, 0)
+        });
+        assert!(validate_adversarial_json(&stuck).is_err(), "non-recovery must fail");
+        let expensive = rewrite(&mut |o| {
+            o.avoided_share = 0.2;
+            (1, 0)
+        });
+        assert!(validate_adversarial_json(&expensive).is_err(), "weak enforcement must fail");
+        let unbalanced = rewrite(&mut |o| {
+            o.flood.accepted += 1;
+            (1, 0)
+        });
+        assert!(validate_adversarial_json(&unbalanced).is_err(), "unbalanced books must fail");
+    }
+
+    #[test]
+    fn report_renders_plain_and_colored() {
+        let cfg = AdversarialConfig::quick(0xADA7_0B5E);
+        let o = run_adversarial(&cfg);
+        let plain = render_adversarial(&o, false);
+        assert!(plain.contains("honest p99"));
+        assert!(plain.contains("enforcement"));
+        assert!(plain.contains("asymmetry"));
+        assert!(!plain.contains('\x1b'), "plain mode has no escapes");
+        let colored = render_adversarial(&o, true);
+        assert!(colored.contains('\x1b'), "color mode uses ANSI escapes");
+    }
+}

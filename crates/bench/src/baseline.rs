@@ -14,6 +14,9 @@
 //!   end: receipt and hash counters are exact, like the monitor's
 //!   determinism counters; only the wall-clock `wall_secs` is excluded
 //!   (it never enters the baseline).
+//! * `adversarial.*` — from `BENCH_adversarial.json`. Virtual time end
+//!   to end like `attrib`: ledger and enforcement counters are exact —
+//!   any drift means the admission layer's behavior changed.
 //! * `service.*` — from `BENCH_service.json`. Wall-clock latencies on
 //!   whatever machine ran them, so tolerances are wide; only a large
 //!   p99 regression fails.
@@ -125,6 +128,9 @@ pub fn policy_for(id: &str) -> (f64, Worse) {
         // Attribution counters are virtual-time deterministic: any
         // drift means the stack's cost behavior changed.
         _ if id.starts_with("attrib.") => (0.0, Worse::Differ),
+        // Admission-control counters are likewise virtual-time
+        // deterministic: exact or the enforcement story changed.
+        _ if id.starts_with("adversarial.") => (0.0, Worse::Differ),
         _ if id.starts_with("monitor.") => (0.10, Worse::Differ),
         _ if id.ends_with(".p99_ms") => (1.0, Worse::Higher),
         _ if id.starts_with("hash.") => (0.5, Worse::Lower),
@@ -208,6 +214,40 @@ pub fn extract_attrib(text: &str) -> Result<Vec<(String, f64)>, String> {
     Ok(out)
 }
 
+/// Extracts the baselined metrics from a `BENCH_adversarial.json` text.
+pub fn extract_adversarial(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let doc: Value =
+        serde_json::from_str(text).map_err(|e| format!("adversarial: not JSON: {e}"))?;
+    if doc.field("bench").ok().and_then(Value::as_str) != Some("adversarial") {
+        return Err("adversarial: wrong bench envelope".to_string());
+    }
+    let mut out = Vec::new();
+    for f in [
+        "ticks",
+        "divergences",
+        "violations",
+        "cache_hits",
+        "tokens_refused",
+        "quarantines",
+        "admission_shed",
+        "depth_capped",
+        "attacker_requests",
+        "attacker_hashes",
+    ] {
+        out.push((format!("adversarial.{f}"), field_f64(&doc, f)?));
+    }
+    for world in ["baseline", "flood"] {
+        let w = doc.field(world).map_err(|_| format!("adversarial: missing {world} ledger"))?;
+        for f in ["issued", "accepted", "rejected", "shed"] {
+            out.push((
+                format!("adversarial.{world}_{f}"),
+                field_f64(w, f).map_err(|e| format!("adversarial: {world}: {e}"))?,
+            ));
+        }
+    }
+    Ok(out)
+}
+
 /// Extracts per-load p99 latencies from a `BENCH_service.json` text.
 pub fn extract_service(text: &str) -> Result<Vec<(String, f64)>, String> {
     let doc: Value = serde_json::from_str(text).map_err(|e| format!("service: not JSON: {e}"))?;
@@ -270,6 +310,8 @@ pub struct ArtifactSet {
     pub monitor: Option<String>,
     /// `BENCH_attrib.json` contents.
     pub attrib: Option<String>,
+    /// `BENCH_adversarial.json` contents.
+    pub adversarial: Option<String>,
     /// `BENCH_service.json` contents.
     pub service: Option<String>,
     /// `BENCH_hash_lanes.json` contents.
@@ -283,6 +325,7 @@ impl ArtifactSet {
         ArtifactSet {
             monitor: read("BENCH_monitor.json"),
             attrib: read("BENCH_attrib.json"),
+            adversarial: read("BENCH_adversarial.json"),
             service: read("BENCH_service.json"),
             hash_lanes: read("BENCH_hash_lanes.json"),
         }
@@ -292,6 +335,7 @@ impl ArtifactSet {
     pub fn is_empty(&self) -> bool {
         self.monitor.is_none()
             && self.attrib.is_none()
+            && self.adversarial.is_none()
             && self.service.is_none()
             && self.hash_lanes.is_none()
     }
@@ -314,6 +358,12 @@ pub fn build_baseline(set: &ArtifactSet) -> Result<Baseline, String> {
     }
     if let Some(text) = &set.attrib {
         for (id, value) in extract_attrib(text)? {
+            let (tolerance, worse) = policy_for(&id);
+            entries.push(BaselineEntry { id, value, tolerance, worse });
+        }
+    }
+    if let Some(text) = &set.adversarial {
+        for (id, value) in extract_adversarial(text)? {
             let (tolerance, worse) = policy_for(&id);
             entries.push(BaselineEntry { id, value, tolerance, worse });
         }
@@ -427,6 +477,7 @@ impl RegressReport {
 pub fn compare(base: &Baseline, set: &ArtifactSet) -> Result<RegressReport, String> {
     let monitor = set.monitor.as_deref().map(extract_monitor).transpose()?;
     let attrib = set.attrib.as_deref().map(extract_attrib).transpose()?;
+    let adversarial = set.adversarial.as_deref().map(extract_adversarial).transpose()?;
     let service = set.service.as_deref().map(extract_service).transpose()?;
     let hash = set.hash_lanes.as_deref().map(extract_hash_lanes).transpose()?;
 
@@ -437,6 +488,8 @@ pub fn compare(base: &Baseline, set: &ArtifactSet) -> Result<RegressReport, Stri
                 (monitor.as_ref(), "BENCH_monitor.json")
             } else if entry.id.starts_with("attrib.") {
                 (attrib.as_ref(), "BENCH_attrib.json")
+            } else if entry.id.starts_with("adversarial.") {
+                (adversarial.as_ref(), "BENCH_adversarial.json")
             } else if entry.id.starts_with("service.") {
                 (service.as_ref(), "BENCH_service.json")
             } else if entry.id.starts_with("hash.") {
@@ -497,6 +550,17 @@ mod tests {
         )
     }
 
+    fn adversarial_text(quarantines: u64) -> String {
+        format!(
+            r#"{{"bench":"adversarial","ticks":360,"divergences":0,"violations":0,
+            "cache_hits":120,"tokens_refused":40,"quarantines":{quarantines},
+            "admission_shed":6,"depth_capped":30,
+            "attacker_requests":160,"attacker_hashes":400000,
+            "baseline":{{"issued":240,"accepted":240,"rejected":0,"shed":0}},
+            "flood":{{"issued":420,"accepted":238,"rejected":150,"shed":32}}}}"#
+        )
+    }
+
     fn service_text(p99_c8: f64) -> String {
         format!(
             r#"{{"bench":"service","results":[
@@ -517,6 +581,7 @@ mod tests {
         ArtifactSet {
             monitor: Some(monitor_text()),
             attrib: Some(attrib_text(0)),
+            adversarial: Some(adversarial_text(4)),
             service: Some(service_text(394.0)),
             hash_lanes: Some(hash_text("avx512", 2.4e7)),
         }
@@ -534,8 +599,9 @@ mod tests {
         let report = compare(&parsed, &set).expect("compare");
         assert!(report.ok(), "identical artifacts must pass: {:?}", report.regressions);
         assert!(report.skipped.is_empty());
-        // monitor 8 + attrib 11 + service 2 + hash 1 selected row
-        assert_eq!(report.passed.len(), 22);
+        // monitor 8 + attrib 11 + adversarial 18 + service 2 + hash 1
+        // selected row
+        assert_eq!(report.passed.len(), 40);
     }
 
     #[test]
@@ -591,6 +657,30 @@ mod tests {
         let report = compare(&base, &drifted).expect("compare");
         assert!(
             report.regressions.iter().any(|r| r.contains("attrib.hashes")),
+            "{:?}",
+            report.regressions
+        );
+    }
+
+    #[test]
+    fn adversarial_counters_are_exact() {
+        let base = build_baseline(&full_set()).expect("build");
+        // Losing a quarantine is an enforcement change, not noise.
+        let mut drifted = full_set();
+        drifted.adversarial = Some(adversarial_text(3));
+        let report = compare(&base, &drifted).expect("compare");
+        assert!(
+            report.regressions.iter().any(|r| r.contains("adversarial.quarantines")),
+            "{:?}",
+            report.regressions
+        );
+        // So is any move in the flood world's ledger.
+        let mut rebooked = full_set();
+        rebooked.adversarial =
+            Some(adversarial_text(4).replace(r#""rejected":150"#, r#""rejected":151"#));
+        let report = compare(&base, &rebooked).expect("compare");
+        assert!(
+            report.regressions.iter().any(|r| r.contains("adversarial.flood_rejected")),
             "{:?}",
             report.regressions
         );

@@ -133,6 +133,7 @@ fn main() {
                 sim(&opts);
                 monitor(&opts);
                 attrib(&opts);
+                adversarial(&opts);
                 verify(&opts);
                 regress(&opts);
             }
@@ -156,6 +157,7 @@ fn main() {
             "sim" => sim(&opts),
             "monitor" => monitor(&opts),
             "attrib" => attrib(&opts),
+            "adversarial" => adversarial(&opts),
             "regress" => regress(&opts),
             "verify" => verify(&opts),
             other => usage(&format!("unknown command {other:?}")),
@@ -166,7 +168,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|hash-lanes|cpu-scaling|future|security|extensions|service|telemetry|triage|chaos|sim|monitor|attrib|regress|verify] [--quick] [--trials N] [--full-cpu] [--metrics-dump] [--smoke] [--update]"
+        "usage: repro [all|table1|fig3|table4|table5|table6|fig4|table7|ablations|hash-lanes|cpu-scaling|future|security|extensions|service|telemetry|triage|chaos|sim|monitor|attrib|adversarial|regress|verify] [--quick] [--trials N] [--full-cpu] [--metrics-dump] [--smoke] [--update]"
     );
     std::process::exit(2)
 }
@@ -1147,7 +1149,7 @@ fn triage(opts: &Opts) {
             Verdict::Accepted { .. } => "accepted",
             Verdict::Rejected => "rejected",
             Verdict::TimedOut => "timed_out",
-            Verdict::Overloaded => "overloaded",
+            Verdict::Overloaded { .. } => "overloaded",
         }
     }
 
@@ -1649,6 +1651,71 @@ fn attrib(opts: &Opts) {
             ),
             Err(e) => {
                 eprintln!("smoke: BENCH_attrib.json invalid: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Adversarial admission control: the honest population from `attrib`
+/// is driven twice on fresh virtual timelines — alone, then against a
+/// wrong-credential flood — with the admission layer enforcing
+/// hash-priced token buckets, a negative credential cache, quarantine
+/// and brownout shedding. Proves honest p99 stays within 2× of the
+/// no-flood baseline at ≥ 99 % acceptance while most of the flood's
+/// search work is refused; replays both worlds for bit-identical
+/// digests and writes `BENCH_adversarial.json` (`--smoke` validates
+/// the artifact and exits nonzero — the CI gate).
+fn adversarial(opts: &Opts) {
+    use rbc_bench::adversarial::{
+        render_adversarial, run_adversarial, validate_adversarial_json, write_adversarial_json,
+        AdversarialConfig,
+    };
+    use std::io::IsTerminal;
+
+    println!("\n== adversarial: admission control under an exhaustion flood (virtual time) ==");
+    let cfg = AdversarialConfig::standard(0xADA7_0007);
+    let started = std::time::Instant::now();
+    let outcome = run_adversarial(&cfg);
+    let replay = run_adversarial(&cfg);
+    let wall_secs = started.elapsed().as_secs_f64();
+    let divergences = u64::from(outcome.digest != replay.digest)
+        + u64::from(outcome.flood.issued != replay.flood.issued);
+
+    let color = std::io::stdout().is_terminal() && !opts.smoke;
+    print!("{}", render_adversarial(&outcome, color));
+    println!(
+        "(replayed once: {divergences} divergences; {} invariant violations, {wall_secs:.1} s wall)",
+        outcome.violations.len()
+    );
+    for v in &outcome.violations {
+        eprintln!("violation: {v}");
+    }
+    match write_adversarial_json("BENCH_adversarial.json", &outcome, 1, divergences, wall_secs) {
+        Ok(()) => println!("wrote BENCH_adversarial.json"),
+        Err(e) => {
+            eprintln!("could not write BENCH_adversarial.json: {e}");
+            if opts.smoke {
+                std::process::exit(1);
+            }
+        }
+    }
+    if opts.smoke {
+        let text = match std::fs::read_to_string("BENCH_adversarial.json") {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("smoke: could not read back BENCH_adversarial.json: {e}");
+                std::process::exit(1);
+            }
+        };
+        match validate_adversarial_json(&text) {
+            Ok(()) => println!(
+                "smoke: BENCH_adversarial.json validates (replay digest identical, honest p99 \
+                 within 2x and acceptance >= 99% under the flood, every enforcement mechanism \
+                 engaged, brownout recovered)"
+            ),
+            Err(e) => {
+                eprintln!("smoke: BENCH_adversarial.json invalid: {e}");
                 std::process::exit(1);
             }
         }

@@ -466,7 +466,7 @@ fn finish_scenario(
     let obs_accepted = observed(|v| matches!(v, Verdict::Accepted { .. }));
     let obs_rejected = observed(|v| matches!(v, Verdict::Rejected));
     let obs_timed_out = observed(|v| matches!(v, Verdict::TimedOut));
-    let obs_overloaded = observed(|v| matches!(v, Verdict::Overloaded));
+    let obs_overloaded = observed(|v| matches!(v, Verdict::Overloaded { .. }));
     for (name, obs, ledger) in [
         ("accepted", obs_accepted, stats.accepted),
         ("rejected", obs_rejected, stats.rejected),
@@ -593,7 +593,7 @@ fn finish_scenario(
             }
             Verdict::Rejected => fold(digest, 2),
             Verdict::TimedOut => fold(digest, 3),
-            Verdict::Overloaded => fold(digest, 4),
+            Verdict::Overloaded { .. } => fold(digest, 4),
         };
     }
     for (name, metric) in &service.registry().snapshot().entries {

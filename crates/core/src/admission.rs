@@ -1,0 +1,779 @@
+//! Adversarial admission control: the detect→enforce loop.
+//!
+//! PR 9's attribution layer can *identify* an exhaustion flood — per-client
+//! [`CostReceipt`] heavy hitters isolate attackers at orders-of-magnitude
+//! separation — but identification alone enforces nothing: every
+//! wrong-credential request still burns its full `C(256, 0..=d)` search
+//! (the protocol's built-in DoS vector, PAPER §2.2). [`AdmissionControl`]
+//! closes the loop in front of [`crate::service::AuthService`] with three
+//! mechanisms, applied in order of cheapness:
+//!
+//! 1. **Negative credential cache** — keyed on `(client, digest)`. The
+//!    search is a deterministic function of the digest, the enrolled
+//!    reference image and the bound `d`, so a digest that exhausted the
+//!    full configured ball once will exhaust it again; replaying the same
+//!    wrong credential is rejected in O(1) without re-running the search.
+//!    Soundness: entries are inserted only for searches that ran to the
+//!    *full configured* bound (never brownout-capped or timed-out ones),
+//!    so a cached digest provably has no seed within the ball — a correct
+//!    credential can never collide with one. See DESIGN §13.
+//!
+//! 2. **Token buckets priced in expected hashes** — each client holds a
+//!    budget of *hashes*, not requests, debited at admission by the
+//!    worst-case exhaustion cost `u(d) = Σ C(256, i)` (Equation 1) and
+//!    refunded down to actual consumption when the [`CostReceipt`]
+//!    settles. Honest clients accept after a tiny prefix of the ball and
+//!    get almost everything back; exhaustion floods pay full price and
+//!    drain to refusal. Refill rates come from measured backend
+//!    throughput (a fair share per enrolled client, see
+//!    [`AdmissionControl::calibrate`]), so pricing tracks the hardware
+//!    the way [`rbc_telemetry::BackendCalibration`] measures it.
+//!    Attrib-flagged heavy hitters are **quarantined**: their bucket
+//!    refills at a small fraction of the fair share.
+//!
+//! 3. **Brownout state machine** — `Normal → Degraded → Emergency`,
+//!    driven by the SLO burn alerter ([`rbc_telemetry::Alert`]) and
+//!    instantaneous dispatcher queue depth. Degraded caps the effective
+//!    search depth (cheapening every search while keeping d=0/1 honest
+//!    accepts intact); Emergency additionally sheds requests from clients
+//!    with exhaustion history outright. Recovery is hysteretic: the level
+//!    steps down only after a run of consecutively calm observations, so
+//!    an oscillating queue cannot flap the service.
+//!
+//! Refused requests carry a [`crate::protocol::Verdict::Overloaded`]
+//! `retry_after_ms` hint sized from the bucket deficit and brownout
+//! level, honored by `rbc-net`'s `RpcClient` with jittered backoff —
+//! protocol-level backpressure instead of client hammering.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use rbc_comb::exhaustive_seeds;
+use rbc_hash::DynDigest;
+use rbc_telemetry::{
+    wall_clock, Alert, ClockHandle, CostReceipt, Counter, Gauge, ReceiptVerdict, Registry, Severity,
+};
+
+use crate::protocol::ClientId;
+
+/// Pressure state of the admission layer, ordered by severity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum BrownoutLevel {
+    /// No pressure: full search depth, all clients admitted by budget.
+    Normal,
+    /// Sustained pressure: effective search depth is capped at
+    /// [`AdmissionConfig::degraded_max_d`].
+    Degraded,
+    /// Overload: depth capped at [`AdmissionConfig::emergency_max_d`]
+    /// and exhaustion-prone clients (quarantined, or with any full
+    /// exhaustion on record) are shed outright.
+    Emergency,
+}
+
+impl BrownoutLevel {
+    /// Stable lowercase name for rendering.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BrownoutLevel::Normal => "normal",
+            BrownoutLevel::Degraded => "degraded",
+            BrownoutLevel::Emergency => "emergency",
+        }
+    }
+
+    /// Gauge encoding: 0 / 1 / 2.
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            BrownoutLevel::Normal => 0,
+            BrownoutLevel::Degraded => 1,
+            BrownoutLevel::Emergency => 2,
+        }
+    }
+}
+
+/// Admission policy knobs. Defaults are sized for the protocol-scale
+/// `d ≤ 3` configurations the rest of the crate defaults to; benches
+/// and services at other bounds should derive their own (see
+/// [`AdmissionConfig::for_bound`]).
+#[derive(Clone, Debug)]
+pub struct AdmissionConfig {
+    /// The CA's configured search bound; one admission debit is the full
+    /// exhaustion `u(d)` at this bound.
+    pub max_d: u32,
+    /// Bucket capacity in *requests' worth* of full exhaustions — a
+    /// client can burst this many worst-case searches before refill
+    /// matters.
+    pub burst_requests: u64,
+    /// Steady-state refill, in full exhaustions per second per client.
+    /// [`AdmissionControl::calibrate`] overrides this from measured
+    /// backend throughput.
+    pub refill_requests_per_sec: f64,
+    /// Quarantined clients refill at this permille of the normal rate.
+    pub quarantine_refill_permille: u64,
+    /// Full exhaustions a client may accumulate before it is
+    /// auto-quarantined (the receipt-driven path; attrib rankings can
+    /// also quarantine explicitly).
+    pub quarantine_after_exhaustions: u64,
+    /// Maximum `(client, digest)` pairs held by the negative cache;
+    /// oldest entries are evicted first.
+    pub negative_cache_capacity: usize,
+    /// Base retry hint attached to refusals at Normal level; doubled per
+    /// brownout level and stretched by the bucket deficit.
+    pub retry_after_ms: u64,
+    /// Upper bound on the retry hint.
+    pub max_retry_after_ms: u64,
+    /// Dispatcher queue depth at which the level escalates to Degraded.
+    pub degraded_queue_depth: usize,
+    /// Dispatcher queue depth at which the level escalates to Emergency.
+    pub emergency_queue_depth: usize,
+    /// Consecutive calm observations (queue below the Degraded
+    /// threshold, no active Warn/Page) required to step the level down
+    /// once — the hysteresis that stops flapping.
+    pub recovery_observations: u32,
+    /// Effective search-depth cap under Degraded.
+    pub degraded_max_d: u32,
+    /// Effective search-depth cap under Emergency.
+    pub emergency_max_d: u32,
+}
+
+impl AdmissionConfig {
+    /// A policy sized for CA bound `max_d`: generous honest burst, fair
+    /// refill left for [`AdmissionControl::calibrate`] to tighten, depth
+    /// caps one and two classes below the bound.
+    pub fn for_bound(max_d: u32) -> Self {
+        AdmissionConfig {
+            max_d,
+            burst_requests: 4,
+            refill_requests_per_sec: 2.0,
+            quarantine_refill_permille: 100,
+            quarantine_after_exhaustions: 3,
+            negative_cache_capacity: 1024,
+            retry_after_ms: 250,
+            max_retry_after_ms: 5_000,
+            degraded_queue_depth: 4,
+            emergency_queue_depth: 8,
+            recovery_observations: 8,
+            degraded_max_d: max_d.saturating_sub(1),
+            emergency_max_d: max_d.saturating_sub(2),
+        }
+    }
+
+    /// One request's worst-case price in hashes: the full exhaustion at
+    /// the configured bound (Equation 1), saturated into `u64`.
+    pub fn price(&self) -> u64 {
+        u64::try_from(exhaustive_seeds(self.max_d)).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig::for_bound(3)
+    }
+}
+
+/// What the admission layer decided for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Run the search, at most to `max_d` (the brownout-effective
+    /// depth; equals the configured bound under Normal).
+    Admit {
+        /// Effective search bound for this request.
+        max_d: u32,
+    },
+    /// The `(client, digest)` pair is a known full-depth rejection:
+    /// reject immediately, no search.
+    RejectCached,
+    /// Refused — bucket empty, or emergency shed. The client should
+    /// retry after the hint.
+    Refuse {
+        /// Backoff hint for the wire, in milliseconds.
+        retry_after_ms: u64,
+    },
+}
+
+/// The `rbc_admission_*` instrument panel.
+struct AdmissionMetrics {
+    /// Hashes debited from buckets at admission (refunds are not
+    /// subtracted — this counts gross spend).
+    tokens_spent: Arc<Counter>,
+    /// Requests refused because the bucket could not cover the price.
+    tokens_refused: Arc<Counter>,
+    /// Requests answered from the negative credential cache.
+    negative_cache_hits: Arc<Counter>,
+    /// Current brownout level (0 normal / 1 degraded / 2 emergency).
+    brownout_level: Arc<Gauge>,
+    /// Clients moved into quarantine (auto or explicit).
+    quarantines: Arc<Counter>,
+    /// Requests shed outright by the Emergency priority rule.
+    shed: Arc<Counter>,
+    /// Requests admitted with a brownout-capped search depth.
+    depth_capped: Arc<Counter>,
+}
+
+impl AdmissionMetrics {
+    fn register(registry: &Registry) -> Self {
+        AdmissionMetrics {
+            tokens_spent: registry.counter("rbc_admission_tokens_spent_total"),
+            tokens_refused: registry.counter("rbc_admission_tokens_refused_total"),
+            negative_cache_hits: registry.counter("rbc_admission_negative_cache_hits_total"),
+            brownout_level: registry.gauge("rbc_admission_brownout_level"),
+            quarantines: registry.counter("rbc_admission_quarantine_total"),
+            shed: registry.counter("rbc_admission_shed_total"),
+            depth_capped: registry.counter("rbc_admission_depth_capped_total"),
+        }
+    }
+}
+
+/// Per-client bucket and reputation.
+struct ClientState {
+    /// Remaining budget in hashes.
+    tokens: f64,
+    /// When the bucket last refilled.
+    refilled_at: Instant,
+    /// Full exhaustions settled against this client.
+    exhaustions: u64,
+    /// Whether the client refills at the quarantine fraction.
+    quarantined: bool,
+}
+
+struct AdmissionState {
+    clients: HashMap<ClientId, ClientState>,
+    /// Known full-depth rejections, with FIFO eviction order.
+    negative: HashMap<(ClientId, DynDigest), ()>,
+    eviction: VecDeque<(ClientId, DynDigest)>,
+    level: BrownoutLevel,
+    /// Consecutive calm observations since the last escalation.
+    calm_streak: u32,
+    /// Refill rate actually in force, in hashes/sec (config-derived
+    /// until [`AdmissionControl::calibrate`] is called).
+    refill_hashes_per_sec: f64,
+}
+
+/// The enforcement layer; see the module docs for the architecture.
+///
+/// Thread-safe: one instance is shared by every request path of an
+/// [`crate::service::AuthService`] plus the detection side (receipt
+/// settlement, SLO alerts, attrib-driven quarantine).
+pub struct AdmissionControl {
+    cfg: AdmissionConfig,
+    clock: ClockHandle,
+    state: Mutex<AdmissionState>,
+    metrics: AdmissionMetrics,
+}
+
+impl AdmissionControl {
+    /// Builds the layer against `registry` (minting the
+    /// `rbc_admission_*` panel there) on the wall clock.
+    pub fn new(cfg: AdmissionConfig, registry: &Registry) -> Self {
+        Self::with_clock(cfg, registry, wall_clock())
+    }
+
+    /// [`AdmissionControl::new`] reading refill time from `clock` — pass
+    /// the dispatcher's handle so virtual-time services refill on the
+    /// virtual timeline.
+    pub fn with_clock(cfg: AdmissionConfig, registry: &Registry, clock: ClockHandle) -> Self {
+        let metrics = AdmissionMetrics::register(registry);
+        metrics.brownout_level.set(BrownoutLevel::Normal.as_i64());
+        let refill = cfg.refill_requests_per_sec * cfg.price() as f64;
+        AdmissionControl {
+            cfg,
+            clock,
+            state: Mutex::new(AdmissionState {
+                clients: HashMap::new(),
+                negative: HashMap::new(),
+                eviction: VecDeque::new(),
+                level: BrownoutLevel::Normal,
+                calm_streak: 0,
+                refill_hashes_per_sec: refill,
+            }),
+            metrics,
+        }
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.cfg
+    }
+
+    /// Re-prices refill from measured backend throughput: each of
+    /// `clients` enrolled clients is entitled to an equal share of
+    /// `hashes_per_sec` (the [`rbc_telemetry::BackendCalibration`]
+    /// rate). Call whenever calibration updates.
+    pub fn calibrate(&self, hashes_per_sec: f64, clients: u64) {
+        if hashes_per_sec > 0.0 && clients > 0 {
+            self.state.lock().refill_hashes_per_sec = hashes_per_sec / clients as f64;
+        }
+    }
+
+    /// Current brownout level.
+    pub fn level(&self) -> BrownoutLevel {
+        self.state.lock().level
+    }
+
+    /// Entries currently held by the negative cache.
+    pub fn negative_cache_len(&self) -> usize {
+        self.state.lock().negative.len()
+    }
+
+    /// Decides one request, *after* CA validation consumed the session:
+    /// negative cache first (free), then emergency priority shed, then
+    /// the token bucket. `queue_depth` is the dispatcher's instantaneous
+    /// waiter count and doubles as this observation's pressure sample.
+    pub fn admit(
+        &self,
+        client: ClientId,
+        digest: &DynDigest,
+        queue_depth: usize,
+    ) -> AdmissionDecision {
+        let now = self.clock.now();
+        let mut g = self.state.lock();
+        self.observe_pressure(&mut g, queue_depth, None);
+
+        if g.negative.contains_key(&(client, *digest)) {
+            self.metrics.negative_cache_hits.inc();
+            return AdmissionDecision::RejectCached;
+        }
+
+        let level = g.level;
+        let price = self.cfg.price();
+        let refill = g.refill_hashes_per_sec;
+        let entry = g.clients.entry(client).or_insert_with(|| ClientState {
+            tokens: (self.cfg.burst_requests * price) as f64,
+            refilled_at: now,
+            exhaustions: 0,
+            quarantined: false,
+        });
+
+        // Lazy refill: credit elapsed time at the client's effective
+        // rate, capped at burst capacity.
+        let rate = if entry.quarantined {
+            refill * self.cfg.quarantine_refill_permille as f64 / 1000.0
+        } else {
+            refill
+        };
+        let elapsed = now.saturating_duration_since(entry.refilled_at).as_secs_f64();
+        entry.tokens =
+            (entry.tokens + elapsed * rate).min((self.cfg.burst_requests * price) as f64);
+        entry.refilled_at = now;
+
+        // Emergency sheds exhaustion-prone clients before spending any
+        // bucket on them: quarantine or any full exhaustion on record
+        // marks the request low-priority.
+        if level == BrownoutLevel::Emergency && (entry.quarantined || entry.exhaustions > 0) {
+            self.metrics.shed.inc();
+            return AdmissionDecision::Refuse {
+                retry_after_ms: self.retry_hint(level, price as f64, rate),
+            };
+        }
+
+        if entry.tokens < price as f64 {
+            let deficit = price as f64 - entry.tokens;
+            self.metrics.tokens_refused.inc();
+            return AdmissionDecision::Refuse {
+                retry_after_ms: self.retry_hint(level, deficit, rate),
+            };
+        }
+        entry.tokens -= price as f64;
+        self.metrics.tokens_spent.add(price);
+
+        let cap = match level {
+            BrownoutLevel::Normal => self.cfg.max_d,
+            BrownoutLevel::Degraded => self.cfg.degraded_max_d,
+            BrownoutLevel::Emergency => self.cfg.emergency_max_d,
+        };
+        if cap < self.cfg.max_d {
+            self.metrics.depth_capped.inc();
+        }
+        AdmissionDecision::Admit { max_d: cap }
+    }
+
+    /// Settles a [`CostReceipt`] against its client: re-bills the
+    /// worst-case debit down to measured consumption and tracks full
+    /// exhaustions toward auto-quarantine. Wrong credentials
+    /// ([`ReceiptVerdict::Rejected`]) keep paying the full exhaustion
+    /// price — that *is* the deterrent — but every other outcome is
+    /// refunded its unspent hashes: an accepted search stops after a tiny
+    /// prefix of the ball, and a shed or timed-out one never consumed
+    /// what it was charged for. Only settle receipts for requests the
+    /// bucket actually debited (admitted ones); a request refused at
+    /// admission was never charged, so settling it would mint tokens.
+    pub fn settle(&self, receipt: &CostReceipt) {
+        let price = self.cfg.price();
+        let mut g = self.state.lock();
+        let Some(entry) = g.clients.get_mut(&receipt.client_id) else { return };
+        if receipt.verdict != ReceiptVerdict::Rejected {
+            let refund = price.saturating_sub(receipt.hashes);
+            entry.tokens =
+                (entry.tokens + refund as f64).min((self.cfg.burst_requests * price) as f64);
+        }
+        if receipt.exhausted() {
+            entry.exhaustions += 1;
+            if !entry.quarantined && entry.exhaustions >= self.cfg.quarantine_after_exhaustions {
+                entry.quarantined = true;
+                self.metrics.quarantines.inc();
+            }
+        }
+    }
+
+    /// Quarantines a client explicitly — the hook for attrib top-K
+    /// rankings (e.g. every member of `top_exhausted` above a share
+    /// threshold). Idempotent.
+    pub fn quarantine(&self, client: ClientId) {
+        let now = self.clock.now();
+        let mut g = self.state.lock();
+        let price = self.cfg.price();
+        let entry = g.clients.entry(client).or_insert_with(|| ClientState {
+            tokens: (self.cfg.burst_requests * price) as f64,
+            refilled_at: now,
+            exhaustions: 0,
+            quarantined: false,
+        });
+        if !entry.quarantined {
+            entry.quarantined = true;
+            self.metrics.quarantines.inc();
+        }
+    }
+
+    /// Whether a client is currently quarantined.
+    pub fn is_quarantined(&self, client: ClientId) -> bool {
+        self.state.lock().clients.get(&client).is_some_and(|c| c.quarantined)
+    }
+
+    /// Records a search verdict for the cache: a *full-depth* rejection
+    /// (the search ran the complete configured ball — never a
+    /// brownout-capped or timed-out one) inserts the pair; an acceptance
+    /// drops every entry the client holds, covering enrollment-image
+    /// rotation after a successful authentication.
+    pub fn record_outcome(
+        &self,
+        client: ClientId,
+        digest: &DynDigest,
+        accepted: bool,
+        full_depth_rejection: bool,
+    ) {
+        let mut g = self.state.lock();
+        if accepted {
+            g.negative.retain(|(c, _), _| *c != client);
+            g.eviction.retain(|(c, _)| *c != client);
+            return;
+        }
+        if !full_depth_rejection || self.cfg.negative_cache_capacity == 0 {
+            return;
+        }
+        let key = (client, *digest);
+        if g.negative.insert(key, ()).is_none() {
+            g.eviction.push_back(key);
+            while g.negative.len() > self.cfg.negative_cache_capacity {
+                if let Some(old) = g.eviction.pop_front() {
+                    g.negative.remove(&old);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Feeds an SLO burn transition into the state machine: Warn
+    /// escalates to at least Degraded, Page to Emergency, Clear counts
+    /// toward (but does not by itself complete) hysteretic recovery.
+    pub fn observe_alert(&self, alert: &Alert) {
+        let mut g = self.state.lock();
+        self.observe_pressure(&mut g, 0, Some(alert.severity));
+    }
+
+    fn retry_hint(&self, level: BrownoutLevel, deficit_hashes: f64, rate: f64) -> u64 {
+        // Long enough for the bucket to cover one request again, floored
+        // by the level-scaled base so even zero-deficit sheds back off.
+        let refill_ms =
+            if rate > 0.0 { (deficit_hashes / rate * 1_000.0).ceil() as u64 } else { 0 };
+        let base = self.cfg.retry_after_ms << level.as_i64() as u32;
+        refill_ms.max(base).min(self.cfg.max_retry_after_ms).max(1)
+    }
+
+    /// The shared escalation/recovery rule. Escalation is immediate;
+    /// recovery needs `recovery_observations` consecutive calm samples
+    /// per downward step.
+    fn observe_pressure(
+        &self,
+        g: &mut AdmissionState,
+        queue_depth: usize,
+        alert: Option<Severity>,
+    ) {
+        let demanded = if queue_depth >= self.cfg.emergency_queue_depth
+            || alert == Some(Severity::Page)
+        {
+            BrownoutLevel::Emergency
+        } else if queue_depth >= self.cfg.degraded_queue_depth || alert == Some(Severity::Warn) {
+            BrownoutLevel::Degraded
+        } else {
+            BrownoutLevel::Normal
+        };
+        if demanded > g.level {
+            g.level = demanded;
+            g.calm_streak = 0;
+            self.metrics.brownout_level.set(g.level.as_i64());
+        } else if demanded == BrownoutLevel::Normal && g.level > BrownoutLevel::Normal {
+            g.calm_streak += 1;
+            if g.calm_streak >= self.cfg.recovery_observations {
+                g.level = match g.level {
+                    BrownoutLevel::Emergency => BrownoutLevel::Degraded,
+                    _ => BrownoutLevel::Normal,
+                };
+                g.calm_streak = 0;
+                self.metrics.brownout_level.set(g.level.as_i64());
+            }
+        } else {
+            // Pressure at (not above) the current level: hold, and
+            // restart the calm count.
+            g.calm_streak = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbc_hash::HashAlgo;
+    use rbc_telemetry::SimClock;
+    use std::time::Duration;
+
+    fn digest(tag: u64) -> DynDigest {
+        HashAlgo::Sha3_256.digest_seed(&rbc_bits::U256::from_u64(tag))
+    }
+
+    fn receipt(
+        client: ClientId,
+        verdict: ReceiptVerdict,
+        difficulty: u32,
+        hashes: u64,
+    ) -> CostReceipt {
+        CostReceipt {
+            client_id: client,
+            trace_id: 1,
+            difficulty,
+            verdict,
+            hashes,
+            batches: 0,
+            prefix_hits: 0,
+            prefix_false_positives: 0,
+            queue_wait_ns: 0,
+            busy_ns: 0,
+            occupancy_permille: 0,
+            backend: None,
+            backend_kind: "cpu",
+            kernel: "test",
+        }
+    }
+
+    fn control(cfg: AdmissionConfig) -> (AdmissionControl, SimClock, Arc<Registry>) {
+        let registry = Arc::new(Registry::new());
+        let clock = SimClock::new();
+        let admission = AdmissionControl::with_clock(cfg, &registry, clock.handle());
+        (admission, clock, registry)
+    }
+
+    /// Advances the virtual timeline: a lone actor sleeping is the
+    /// advance rule's trigger.
+    fn advance(clock: &SimClock, d: Duration) {
+        let handle = clock.handle();
+        let _actor = handle.enter();
+        handle.sleep(d);
+    }
+
+    #[test]
+    fn bucket_drains_at_worst_case_price_and_refills_over_time() {
+        let cfg = AdmissionConfig {
+            burst_requests: 2,
+            refill_requests_per_sec: 1.0,
+            ..AdmissionConfig::for_bound(2)
+        };
+        let (adm, clock, _reg) = control(cfg.clone());
+        let d = digest(1);
+        // Burst of two, then refusal with a usable hint.
+        assert!(matches!(adm.admit(7, &d, 0), AdmissionDecision::Admit { .. }));
+        assert!(matches!(adm.admit(7, &digest(2), 0), AdmissionDecision::Admit { .. }));
+        let AdmissionDecision::Refuse { retry_after_ms } = adm.admit(7, &digest(3), 0) else {
+            panic!("third burst request must be refused");
+        };
+        assert!(retry_after_ms >= cfg.retry_after_ms);
+        // One virtual second refills one request's worth.
+        advance(&clock, Duration::from_secs(1));
+        assert!(matches!(adm.admit(7, &digest(4), 0), AdmissionDecision::Admit { .. }));
+    }
+
+    #[test]
+    fn accepted_receipts_refund_unspent_tokens() {
+        let cfg = AdmissionConfig {
+            burst_requests: 2,
+            refill_requests_per_sec: 0.0,
+            ..AdmissionConfig::for_bound(2)
+        };
+        let (adm, _clock, _reg) = control(cfg);
+        // Drain the burst, then settle both requests as accepts that
+        // only burned 10 hashes each: the refunds (price − 10 apiece)
+        // fund the next request with no refill at all. Without refunds
+        // the bucket would hold exactly 0.
+        assert!(matches!(adm.admit(1, &digest(1), 0), AdmissionDecision::Admit { .. }));
+        assert!(matches!(adm.admit(1, &digest(2), 0), AdmissionDecision::Admit { .. }));
+        assert!(matches!(adm.admit(1, &digest(3), 0), AdmissionDecision::Refuse { .. }));
+        adm.settle(&receipt(1, ReceiptVerdict::Accepted, 0, 10));
+        adm.settle(&receipt(1, ReceiptVerdict::Accepted, 0, 10));
+        assert!(matches!(adm.admit(1, &digest(4), 0), AdmissionDecision::Admit { .. }));
+    }
+
+    #[test]
+    fn negative_cache_hits_replayed_digest_and_clears_on_accept() {
+        let (adm, _clock, reg) = control(AdmissionConfig::for_bound(2));
+        let d = digest(42);
+        adm.record_outcome(3, &d, false, true);
+        assert_eq!(adm.admit(3, &d, 0), AdmissionDecision::RejectCached);
+        // Another client replaying the same digest is NOT cached — the
+        // key is the pair, not the digest.
+        assert!(matches!(adm.admit(4, &d, 0), AdmissionDecision::Admit { .. }));
+        // An acceptance wipes the client's entries (image rotation).
+        adm.record_outcome(3, &digest(43), true, false);
+        assert!(matches!(adm.admit(3, &d, 0), AdmissionDecision::Admit { .. }));
+        assert_eq!(reg.snapshot().counter("rbc_admission_negative_cache_hits_total"), Some(1));
+    }
+
+    #[test]
+    fn capped_or_partial_rejections_never_enter_the_cache() {
+        let (adm, _clock, _reg) = control(AdmissionConfig::for_bound(2));
+        let d = digest(9);
+        adm.record_outcome(5, &d, false, false);
+        assert!(matches!(adm.admit(5, &d, 0), AdmissionDecision::Admit { .. }));
+        assert_eq!(adm.negative_cache_len(), 0);
+    }
+
+    #[test]
+    fn negative_cache_evicts_oldest_at_capacity() {
+        let cfg = AdmissionConfig { negative_cache_capacity: 2, ..AdmissionConfig::for_bound(2) };
+        let (adm, _clock, _reg) = control(cfg);
+        adm.record_outcome(1, &digest(1), false, true);
+        adm.record_outcome(1, &digest(2), false, true);
+        adm.record_outcome(1, &digest(3), false, true);
+        assert_eq!(adm.negative_cache_len(), 2);
+        // The oldest entry was evicted; the two youngest remain.
+        assert!(matches!(adm.admit(1, &digest(1), 0), AdmissionDecision::Admit { .. }));
+        assert_eq!(adm.admit(1, &digest(2), 0), AdmissionDecision::RejectCached);
+        assert_eq!(adm.admit(1, &digest(3), 0), AdmissionDecision::RejectCached);
+    }
+
+    #[test]
+    fn brownout_escalates_immediately_and_recovers_hysteretically() {
+        let cfg = AdmissionConfig {
+            degraded_queue_depth: 2,
+            emergency_queue_depth: 4,
+            recovery_observations: 3,
+            ..AdmissionConfig::for_bound(2)
+        };
+        let (adm, _clock, reg) = control(cfg.clone());
+        assert_eq!(adm.level(), BrownoutLevel::Normal);
+        // Depth at the degraded threshold caps the admitted search.
+        let AdmissionDecision::Admit { max_d } = adm.admit(1, &digest(1), 2) else {
+            panic!("pressure must not refuse a funded client");
+        };
+        assert_eq!(max_d, cfg.degraded_max_d);
+        assert_eq!(adm.level(), BrownoutLevel::Degraded);
+        assert_eq!(reg.snapshot().gauge("rbc_admission_brownout_level"), Some(1));
+        // Deep queue → Emergency at once.
+        adm.admit(1, &digest(2), 9);
+        assert_eq!(adm.level(), BrownoutLevel::Emergency);
+        // Recovery takes `recovery_observations` calm samples per step,
+        // and any pressure in between resets the streak.
+        adm.admit(1, &digest(3), 0);
+        adm.admit(1, &digest(4), 0);
+        adm.admit(1, &digest(5), 9); // pressure: streak resets
+        for _ in 0..3 {
+            adm.admit(1, &digest(6), 0);
+        }
+        assert_eq!(adm.level(), BrownoutLevel::Degraded);
+        for _ in 0..3 {
+            adm.admit(1, &digest(7), 0);
+        }
+        assert_eq!(adm.level(), BrownoutLevel::Normal);
+        assert_eq!(reg.snapshot().gauge("rbc_admission_brownout_level"), Some(0));
+    }
+
+    #[test]
+    fn slo_alerts_drive_the_state_machine_too() {
+        let (adm, _clock, _reg) = control(AdmissionConfig::for_bound(2));
+        let alert = |severity| Alert {
+            spec: "exhaustion".into(),
+            severity,
+            at_ns: 0,
+            fast_burn: 9.0,
+            slow_burn: 9.0,
+        };
+        adm.observe_alert(&alert(Severity::Warn));
+        assert_eq!(adm.level(), BrownoutLevel::Degraded);
+        adm.observe_alert(&alert(Severity::Page));
+        assert_eq!(adm.level(), BrownoutLevel::Emergency);
+    }
+
+    #[test]
+    fn emergency_sheds_exhaustion_prone_clients_first() {
+        let cfg =
+            AdmissionConfig { quarantine_after_exhaustions: 1, ..AdmissionConfig::for_bound(2) };
+        let (adm, _clock, reg) = control(cfg.clone());
+        let price = cfg.price();
+        // Client 2 exhausted once: quarantined by the receipt path.
+        adm.settle(&receipt(2, ReceiptVerdict::Rejected, cfg.max_d, price));
+        // `settle` only tracks known clients; admit first, then settle.
+        assert!(matches!(adm.admit(2, &digest(1), 0), AdmissionDecision::Admit { .. }));
+        adm.settle(&receipt(2, ReceiptVerdict::Rejected, cfg.max_d, price));
+        assert!(adm.is_quarantined(2));
+        // Push to Emergency; the quarantined client is shed, the clean
+        // one still admitted (depth-capped).
+        let AdmissionDecision::Refuse { .. } = adm.admit(2, &digest(2), 99) else {
+            panic!("emergency must shed the quarantined client");
+        };
+        assert!(matches!(adm.admit(1, &digest(3), 99), AdmissionDecision::Admit { .. }));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("rbc_admission_quarantine_total"), Some(1));
+        assert_eq!(snap.counter("rbc_admission_shed_total"), Some(1));
+    }
+
+    #[test]
+    fn calibrate_reprices_refill_from_measured_throughput() {
+        let cfg = AdmissionConfig {
+            burst_requests: 1,
+            refill_requests_per_sec: 0.0,
+            ..AdmissionConfig::for_bound(2)
+        };
+        let (adm, clock, _reg) = control(cfg.clone());
+        assert!(matches!(adm.admit(1, &digest(1), 0), AdmissionDecision::Admit { .. }));
+        assert!(matches!(adm.admit(1, &digest(2), 0), AdmissionDecision::Refuse { .. }));
+        // Fair share of a backend doing 4 prices/sec across 2 clients =
+        // 2 prices/sec/client; one virtual second funds the next admit.
+        adm.calibrate(4.0 * cfg.price() as f64, 2);
+        advance(&clock, Duration::from_secs(1));
+        assert!(matches!(adm.admit(1, &digest(3), 0), AdmissionDecision::Admit { .. }));
+    }
+
+    #[test]
+    fn mints_exactly_the_documented_metric_panel() {
+        let (_adm, _clock, reg) = control(AdmissionConfig::for_bound(2));
+        let snap = reg.snapshot();
+        let mut minted: Vec<&str> = snap
+            .entries
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .filter(|n| n.starts_with("rbc_admission_"))
+            .collect();
+        minted.sort_unstable();
+        assert_eq!(
+            minted,
+            vec![
+                "rbc_admission_brownout_level",
+                "rbc_admission_depth_capped_total",
+                "rbc_admission_negative_cache_hits_total",
+                "rbc_admission_quarantine_total",
+                "rbc_admission_shed_total",
+                "rbc_admission_tokens_refused_total",
+                "rbc_admission_tokens_spent_total",
+            ]
+        );
+    }
+}

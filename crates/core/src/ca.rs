@@ -366,11 +366,16 @@ impl<P: PqcKeyGen> CertificateAuthority<P> {
         VerdictMsg { session: pending.session, verdict, trace: pending.trace }
     }
 
-    /// Records a shed request: the dispatcher rejected the search, so no
-    /// report exists and the client is told to retry. The session was
-    /// already consumed by [`CertificateAuthority::prepare`].
-    pub fn shed(&mut self, pending: &PendingAuth) -> VerdictMsg {
-        VerdictMsg { session: pending.session, verdict: Verdict::Overloaded, trace: pending.trace }
+    /// Records a shed request: the dispatcher or admission layer refused
+    /// the search, so no report exists and the client is told to retry
+    /// after `retry_after_ms`. The session was already consumed by
+    /// [`CertificateAuthority::prepare`].
+    pub fn shed(&mut self, pending: &PendingAuth, retry_after_ms: u64) -> VerdictMsg {
+        VerdictMsg {
+            session: pending.session,
+            verdict: Verdict::Overloaded { retry_after_ms },
+            trace: pending.trace,
+        }
     }
 
     /// The backend the CA searches on.

@@ -297,6 +297,13 @@ impl Dispatcher {
         &self.cfg
     }
 
+    /// Instantaneous number of requests waiting for a backend slot — a
+    /// cheap pressure signal (one lock, no percentile math) for
+    /// admission layers that must sample queue depth on every request.
+    pub fn queue_depth(&self) -> usize {
+        self.lock_shared().waiting
+    }
+
     /// Locks the scheduling state, recovering from poisoning: the state
     /// is consistent between acquisitions (a panicking submitter either
     /// hadn't incremented its counters yet or is unwinding past a

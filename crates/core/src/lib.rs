@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod attack;
 pub mod backend;
 pub mod batch;
@@ -78,6 +79,7 @@ pub mod store;
 pub mod trials;
 pub mod weighted;
 
+pub use admission::{AdmissionConfig, AdmissionControl, AdmissionDecision, BrownoutLevel};
 pub use backend::{
     BackendDescriptor, ClusterBackend, CpuBackend, ProfiledBackend, SearchBackend, SearchJob,
 };

@@ -85,10 +85,17 @@ pub enum Verdict {
     Rejected,
     /// The time threshold `T` expired; the CA will issue a new challenge.
     TimedOut,
-    /// The CA's dispatch queue could not serve the request within the
-    /// threshold; the request was shed before (or instead of) searching
-    /// and the client should retry.
-    Overloaded,
+    /// The CA's dispatch queue or admission layer could not serve the
+    /// request; it was shed before (or instead of) searching. The hint
+    /// tells the client *when* retrying is worthwhile — hammering a
+    /// saturated server only deepens the overload.
+    Overloaded {
+        /// Server-suggested backoff before the next attempt, in
+        /// milliseconds. `0` means "retry at the client's discretion"
+        /// (the pre-hint behavior, kept for shed-without-admission
+        /// paths).
+        retry_after_ms: u64,
+    },
 }
 
 /// The client endpoint: a device with a PUF, able to answer challenges.
@@ -221,6 +228,16 @@ mod tests {
         };
         let json = serde_json::to_string(&v).unwrap();
         assert_eq!(serde_json::from_str::<VerdictMsg>(&json).unwrap(), v);
+
+        // The backpressure hint survives the wire: a shed verdict's
+        // retry_after must round-trip exactly.
+        let o = VerdictMsg {
+            session: 2,
+            verdict: Verdict::Overloaded { retry_after_ms: 250 },
+            trace: TraceContext { trace_id: 6, parent_span: 0 },
+        };
+        let json = serde_json::to_string(&o).unwrap();
+        assert_eq!(serde_json::from_str::<VerdictMsg>(&json).unwrap(), o);
     }
 
     #[test]

@@ -50,6 +50,7 @@ use rbc_telemetry::{
     Tracer,
 };
 
+use crate::admission::{AdmissionControl, AdmissionDecision};
 use crate::ca::{CaError, CaTelemetry, CertificateAuthority};
 use crate::dispatch::{DispatchOutcome, DispatchStats, Dispatcher, DispatcherConfig};
 use crate::protocol::{ChallengeMsg, DigestMsg, HelloMsg, Verdict, VerdictMsg};
@@ -117,6 +118,7 @@ pub struct AuthService<P: PqcKeyGen> {
     metrics: ServiceMetrics,
     tracer: Tracer,
     attribution: Option<Arc<Attribution>>,
+    admission: Option<Arc<AdmissionControl>>,
 }
 
 impl<P: PqcKeyGen> AuthService<P> {
@@ -147,7 +149,14 @@ impl<P: PqcKeyGen> AuthService<P> {
         ca.set_clock(clock.clone());
         let metrics = ServiceMetrics::register(&registry);
         let tracer = Tracer::with_clock(recorder, clock).with_registry(registry, "rbc_service");
-        AuthService { ca: Mutex::new(ca), dispatcher, metrics, tracer, attribution: None }
+        AuthService {
+            ca: Mutex::new(ca),
+            dispatcher,
+            metrics,
+            tracer,
+            attribution: None,
+            admission: None,
+        }
     }
 
     /// Routes a [`CostReceipt`] for every completed authentication into
@@ -158,6 +167,22 @@ impl<P: PqcKeyGen> AuthService<P> {
     pub fn with_attribution(mut self, attribution: Arc<Attribution>) -> Self {
         self.attribution = Some(attribution);
         self
+    }
+
+    /// Puts `admission` in front of every [`AuthService::complete`]:
+    /// requests are checked against the negative credential cache, the
+    /// per-client token bucket and the brownout level *after* CA
+    /// validation but *before* any search is dispatched, and every
+    /// verdict settles its [`CostReceipt`] back into the layer. See
+    /// [`crate::admission`] for the architecture.
+    pub fn with_admission(mut self, admission: Arc<AdmissionControl>) -> Self {
+        self.admission = Some(admission);
+        self
+    }
+
+    /// The admission layer, if one is wired.
+    pub fn admission(&self) -> Option<&Arc<AdmissionControl>> {
+        self.admission.as_ref()
     }
 
     /// The registry holding the whole pipeline's metrics
@@ -189,7 +214,7 @@ impl<P: PqcKeyGen> AuthService<P> {
         let total = self.tracer.child_span(msg.trace, "auth_total");
         let phase_ctx = total.context();
         let prepare = self.tracer.child_span(phase_ctx, "prepare");
-        let pending = match self.ca.lock().prepare(msg) {
+        let mut pending = match self.ca.lock().prepare(msg) {
             Ok(pending) => pending,
             Err(e) => {
                 prepare.finish();
@@ -201,6 +226,60 @@ impl<P: PqcKeyGen> AuthService<P> {
             }
         };
         prepare.finish();
+
+        // The admission gate sits between validation and dispatch: the
+        // session is already consumed (a refused request cannot be
+        // replayed), but no search budget has been spent yet.
+        let uncapped_d = pending.job.max_d;
+        if let Some(admission) = &self.admission {
+            let decision =
+                admission.admit(pending.client_id(), &msg.digest, self.dispatcher.queue_depth());
+            match decision {
+                AdmissionDecision::Admit { max_d } => {
+                    // Brownout depth cap: cheapen the search without
+                    // refusing it. Rejections below the full ball never
+                    // enter the negative cache (see record_outcome).
+                    pending.job.max_d = pending.job.max_d.min(max_d);
+                }
+                AdmissionDecision::RejectCached => {
+                    // A known full-depth rejection: same digest, same
+                    // image, same bound ⇒ same outcome, no search run.
+                    let verdict = VerdictMsg {
+                        session: pending.session(),
+                        verdict: Verdict::Rejected,
+                        trace: pending.trace(),
+                    };
+                    self.metrics.rejected.inc();
+                    let mut bill = self.blank_bill(&pending, msg);
+                    bill.verdict = ReceiptVerdict::Rejected;
+                    admission.settle(&bill);
+                    if let Some(attribution) = &self.attribution {
+                        attribution.observe(&bill);
+                    }
+                    total.finish();
+                    return Ok(verdict);
+                }
+                AdmissionDecision::Refuse { retry_after_ms } => {
+                    let verdict = self.ca.lock().shed(&pending, retry_after_ms);
+                    self.metrics.overloaded.inc();
+                    self.tracer.event(
+                        EventKind::Shed,
+                        msg.trace.trace_id,
+                        "admission refused the request",
+                    );
+                    // No settle: a refused request was never debited, so
+                    // there is nothing to refund (settling the blank bill
+                    // would mint tokens for the refused client).
+                    let mut bill = self.blank_bill(&pending, msg);
+                    bill.verdict = ReceiptVerdict::Overloaded;
+                    if let Some(attribution) = &self.attribution {
+                        attribution.observe(&bill);
+                    }
+                    total.finish();
+                    return Ok(verdict);
+                }
+            }
+        }
 
         let mut bill = CostReceipt {
             client_id: pending.client_id(),
@@ -268,7 +347,11 @@ impl<P: PqcKeyGen> AuthService<P> {
             DispatchOutcome::Overloaded { queue_wait } => {
                 bill.queue_wait_ns = u64::try_from(queue_wait.as_nanos()).unwrap_or(u64::MAX);
                 self.tracer.record_in(phase_ctx, "queue_wait", queue_wait);
-                self.ca.lock().shed(&pending)
+                // A dispatcher shed still carries a backoff hint when an
+                // admission layer is wired; 0 keeps the legacy
+                // retry-at-will behavior otherwise.
+                let hint = self.admission.as_ref().map_or(0, |a| a.config().retry_after_ms);
+                self.ca.lock().shed(&pending, hint)
             }
         };
         // Anomaly events fire *before* the auth_total span closes: a
@@ -295,7 +378,7 @@ impl<P: PqcKeyGen> AuthService<P> {
                     "search exceeded the protocol threshold",
                 );
             }
-            Verdict::Overloaded => {
+            Verdict::Overloaded { .. } => {
                 bill.verdict = ReceiptVerdict::Overloaded;
                 self.metrics.overloaded.inc();
                 self.tracer.event(
@@ -305,11 +388,48 @@ impl<P: PqcKeyGen> AuthService<P> {
                 );
             }
         }
+        if let Some(admission) = &self.admission {
+            // Feed the verdict back into the enforcement layer: accepted
+            // clients recover their unspent tokens and clear their cache
+            // entries; a rejection that swept the *full configured* ball
+            // (never a brownout-capped one) becomes a cache entry.
+            let accepted = matches!(verdict.verdict, Verdict::Accepted { .. });
+            let full_depth_rejection =
+                verdict.verdict == Verdict::Rejected && pending.job.max_d == uncapped_d;
+            admission.record_outcome(
+                pending.client_id(),
+                &msg.digest,
+                accepted,
+                full_depth_rejection,
+            );
+            admission.settle(&bill);
+        }
         if let Some(attribution) = &self.attribution {
             attribution.observe(&bill);
         }
         total.finish();
         Ok(verdict)
+    }
+
+    /// A receipt for a request the admission layer answered without
+    /// dispatching: zero hashes, zero queue wait, no backend.
+    fn blank_bill(&self, pending: &crate::ca::PendingAuth, msg: &DigestMsg) -> CostReceipt {
+        CostReceipt {
+            client_id: pending.client_id(),
+            trace_id: msg.trace.trace_id,
+            difficulty: pending.job.max_d,
+            verdict: ReceiptVerdict::Overloaded,
+            hashes: 0,
+            batches: 0,
+            prefix_hits: 0,
+            prefix_false_positives: 0,
+            queue_wait_ns: 0,
+            busy_ns: 0,
+            occupancy_permille: 0,
+            backend: None,
+            backend_kind: "none",
+            kernel: rbc_hash::dispatch::active_level().name(),
+        }
     }
 
     /// The dispatcher routing this service's searches.
@@ -469,7 +589,7 @@ mod tests {
             handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
         });
         let stats = service.stats();
-        let shed = verdicts.iter().filter(|v| **v == Verdict::Overloaded).count();
+        let shed = verdicts.iter().filter(|v| matches!(v, Verdict::Overloaded { .. })).count();
         assert_eq!(stats.overloaded as usize, shed);
         // With one slot, zero queueing allowed and four simultaneous
         // arrivals, at least one request must have been shed — and at

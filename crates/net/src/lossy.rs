@@ -299,6 +299,33 @@ impl RpcClient {
         self.trace_id = trace_id;
     }
 
+    /// Honors a server-issued `retry_after` hint (the
+    /// `Verdict::Overloaded` backpressure field): blocks on the link's
+    /// clock for `retry_after_ms` with a deterministic ±25% jitter keyed
+    /// on the next sequence number, so a fleet of clients refused in the
+    /// same brownout desynchronises its retries instead of returning as
+    /// one thundering herd — and a replayed run sleeps the exact same
+    /// timers. A hint of 0 (the legacy retry-at-will encoding) is a
+    /// no-op. Returns the wait actually taken.
+    ///
+    /// The transport doesn't parse payloads, so the caller — who decoded
+    /// the verdict — feeds the hint.
+    pub fn honor_retry_after(&mut self, retry_after_ms: u64) -> Duration {
+        if retry_after_ms == 0 {
+            return Duration::ZERO;
+        }
+        let key = splitmix64(self.next_seq.wrapping_mul(0x9E37_79B9).wrapping_add(retry_after_ms));
+        let unit = (key >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let base = Duration::from_millis(retry_after_ms);
+        let wait = Duration::try_from_secs_f64(base.as_secs_f64() * (1.0 + (unit - 0.5) * 0.5))
+            .unwrap_or(base);
+        if let Some(t) = self.link.telemetry() {
+            t.server_backoffs.inc();
+        }
+        self.link.clock().sleep(wait);
+        wait
+    }
+
     /// Sends `req` until the matching response arrives.
     pub fn call<Req: Serialize, Resp: DeserializeOwned>(
         &mut self,
@@ -471,6 +498,43 @@ mod tests {
     #[should_panic(expected = "loss probability")]
     fn invalid_loss_rejected() {
         lossy_duplex(Duration::ZERO, 1.5, 0);
+    }
+
+    #[test]
+    fn honor_retry_after_backs_off_jittered_and_deterministic() {
+        use rbc_telemetry::{Registry, SimClock};
+        use std::sync::Arc;
+
+        let registry = Arc::new(Registry::new());
+        let clock = SimClock::new();
+        let handle = clock.handle();
+        let _actor = handle.enter();
+        let (mut a, _b) = lossy_duplex_with_clock(Duration::ZERO, 0.0, 9, handle.clone());
+        a.attach_telemetry(NetTelemetry::register_with_clock(&registry, handle.clone()));
+        let mut client = RpcClient::new(a);
+
+        // The legacy 0 hint is retry-at-will: no sleep, no counter.
+        assert_eq!(client.honor_retry_after(0), Duration::ZERO);
+        assert_eq!(registry.snapshot().counter("rbc_net_server_backoff_total"), Some(0));
+
+        // A real hint sleeps the virtual timeline within ±25% of the
+        // hint, and the counter records the honored backoff.
+        let before = clock.virtual_elapsed();
+        let wait = client.honor_retry_after(200);
+        assert!(
+            (0.150..=0.250).contains(&wait.as_secs_f64()),
+            "jitter must stay within ±25%: {wait:?}"
+        );
+        assert_eq!(clock.virtual_elapsed() - before, wait);
+        assert_eq!(registry.snapshot().counter("rbc_net_server_backoff_total"), Some(1));
+
+        // Deterministic: a fresh client at the same sequence number
+        // takes the identical jittered wait — replay-stable backoff.
+        let (c, _d) = lossy_duplex_with_clock(Duration::ZERO, 0.0, 9, handle.clone());
+        let mut replay = RpcClient::new(c);
+        assert_eq!(replay.honor_retry_after(200), wait);
+        // A different hint (or seq) de-synchronises the fleet.
+        assert_ne!(replay.honor_retry_after(201), wait);
     }
 
     #[test]

@@ -40,6 +40,10 @@ pub struct NetTelemetry {
     /// Acks/responses for a sequence number other than the outstanding
     /// one (`rbc_net_stale_acks_total`).
     pub stale_acks: Arc<Counter>,
+    /// Server-directed backoffs honored — one per
+    /// [`crate::RpcClient::honor_retry_after`] sleep taken on a
+    /// `retry_after` hint (`rbc_net_server_backoff_total`).
+    pub server_backoffs: Arc<Counter>,
     recorder: Option<Arc<dyn Recorder>>,
     clock: ClockHandle,
     epoch: Instant,
@@ -61,6 +65,7 @@ impl NetTelemetry {
             frames_dropped: registry.counter("rbc_net_frames_dropped_total"),
             retransmits: registry.counter("rbc_net_retransmits_total"),
             stale_acks: registry.counter("rbc_net_stale_acks_total"),
+            server_backoffs: registry.counter("rbc_net_server_backoff_total"),
             recorder: None,
             epoch: clock.now(),
             clock,

@@ -77,7 +77,7 @@ fn main() {
                 }
                 Verdict::Rejected => "reject".to_string(),
                 Verdict::TimedOut => "timeout".to_string(),
-                Verdict::Overloaded => "shed".to_string(),
+                Verdict::Overloaded { .. } => "shed".to_string(),
             });
         }
         println!(

@@ -55,7 +55,9 @@ fn main() {
         }
         Verdict::Rejected => println!("REJECTED: no seed within d=4 matched"),
         Verdict::TimedOut => println!("TIMED OUT: T exceeded, CA would reissue a challenge"),
-        Verdict::Overloaded => println!("SHED: the CA's dispatch queue was full, retry later"),
+        Verdict::Overloaded { .. } => {
+            println!("SHED: the CA's dispatch queue was full, retry later")
+        }
     }
 
     // 5. The search engine's own accounting.

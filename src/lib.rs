@@ -67,6 +67,7 @@ pub mod prelude {
     pub use rbc_bits::{Seed, U256};
     pub use rbc_comb::SeedIterKind;
     pub use rbc_core::{
+        admission::{AdmissionConfig, AdmissionControl, BrownoutLevel},
         backend::{BackendDescriptor, CpuBackend, SearchBackend, SearchJob},
         batch::{AdaptiveBatch, BatchPolicy},
         ca::{CaConfig, CertificateAuthority},

@@ -147,7 +147,7 @@ fn saturation_sheds_overloaded_and_deadline_exceeded_times_out() {
     assert!(stats.timed_out >= 1, "the dispatched search must time out: {stats:?}");
     assert_eq!(stats.accepted + stats.rejected + stats.timed_out + stats.overloaded, 6);
     assert_eq!(
-        verdicts.iter().filter(|v| **v == Verdict::Overloaded).count() as u64,
+        verdicts.iter().filter(|v| matches!(v, Verdict::Overloaded { .. })).count() as u64,
         stats.overloaded
     );
     assert_eq!(stats.dispatch.rejected, stats.overloaded);
@@ -165,7 +165,16 @@ mod books_balance {
 
     /// 0 = clean (accept at d = 0), 1 = noisy beyond the bound
     /// (rejected), 2 = corrupted session id (a [`CaError`]).
-    fn run_mix(roles: Vec<u8>, queue_limit: usize, tiny_budget: bool) {
+    ///
+    /// With `admission` set, an [`AdmissionControl`] with a one-request
+    /// bucket and zero refill fronts the service, and every role-0/1
+    /// client authenticates twice: a noisy client's rejection pays the
+    /// full exhaustion price, so its second request is refused at
+    /// admission — the books must balance with those refusals counted
+    /// as sheds.
+    fn run_mix(roles: Vec<u8>, queue_limit: usize, tiny_budget: bool, admission: bool) {
+        use rbc_salted::core::admission::{AdmissionConfig, AdmissionControl};
+
         let n = roles.len() as u64;
         let mut rng = StdRng::seed_from_u64(0xB00C);
         let ca_cfg = CaConfig {
@@ -191,7 +200,21 @@ mod books_balance {
         };
         let backends: Vec<Arc<dyn SearchBackend>> =
             vec![Arc::new(CpuBackend::new(EngineConfig { threads: 1, ..Default::default() }))];
-        let service = AuthService::new(ca, Arc::new(Dispatcher::new(backends, cfg)));
+        let adm_registry = Arc::new(rbc_salted::telemetry::Registry::new());
+        let admission_ctl = admission.then(|| {
+            Arc::new(AdmissionControl::new(
+                AdmissionConfig {
+                    burst_requests: 1,
+                    refill_requests_per_sec: 0.0,
+                    ..AdmissionConfig::for_bound(1)
+                },
+                &adm_registry,
+            ))
+        });
+        let mut service = AuthService::new(ca, Arc::new(Dispatcher::new(backends, cfg)));
+        if let Some(a) = &admission_ctl {
+            service = service.with_admission(a.clone());
+        }
 
         std::thread::scope(|s| {
             for (i, client) in clients.iter().enumerate() {
@@ -199,19 +222,27 @@ mod books_balance {
                 let role = roles[i];
                 s.spawn(move || {
                     let mut rng = StdRng::seed_from_u64(0xAB + i as u64);
-                    let challenge = service.begin(&client.hello()).unwrap();
-                    let mut digest = client.respond(&challenge, &mut rng);
-                    if role == 2 {
-                        digest.session ^= 0xDEAD_0000; // unknown session ⇒ CaError
+                    // Corrupted sessions make one attempt; with the
+                    // admission layer up, everyone else makes two (the
+                    // second may be refused on an empty bucket).
+                    let attempts = if admission && role != 2 { 2 } else { 1 };
+                    for _ in 0..attempts {
+                        let challenge = service.begin(&client.hello()).unwrap();
+                        let mut digest = client.respond(&challenge, &mut rng);
+                        if role == 2 {
+                            digest.session ^= 0xDEAD_0000; // unknown session ⇒ CaError
+                        }
+                        let result = service.complete(&digest);
+                        assert_eq!(result.is_err(), role == 2, "role {role}: {result:?}");
                     }
-                    let result = service.complete(&digest);
-                    assert_eq!(result.is_err(), role == 2, "role {role}: {result:?}");
                 });
             }
         });
 
+        let issued_expected =
+            if admission { n + roles.iter().filter(|r| **r != 2).count() as u64 } else { n };
         let stats = service.stats();
-        assert_eq!(stats.issued, n, "{stats:?}");
+        assert_eq!(stats.issued, issued_expected, "{stats:?}");
         assert_eq!(
             stats.accepted + stats.rejected + stats.timed_out + stats.overloaded + stats.errors,
             stats.issued,
@@ -220,12 +251,29 @@ mod books_balance {
         let errors_expected = roles.iter().filter(|r| **r == 2).count() as u64;
         assert_eq!(stats.errors, errors_expected, "{stats:?}");
         // Verdict-bearing outcomes match the dispatcher's completions +
-        // sheds (errored requests never reach the dispatcher).
+        // sheds, plus whatever the admission layer answered before the
+        // dispatcher ever saw it (errored requests never reach either).
+        let adm_snap = adm_registry.snapshot();
+        let adm = |name: &str| adm_snap.counter(name).unwrap_or(0);
+        let admission_answered = adm("rbc_admission_tokens_refused_total")
+            + adm("rbc_admission_shed_total")
+            + adm("rbc_admission_negative_cache_hits_total");
         assert_eq!(
             stats.accepted + stats.rejected + stats.timed_out + stats.overloaded,
-            stats.dispatch.completed + stats.dispatch.rejected,
+            stats.dispatch.completed + stats.dispatch.rejected + admission_answered,
             "{stats:?}"
         );
+        if admission && !tiny_budget && queue_limit >= roles.len() {
+            // No dispatcher sheds or timeouts in the way: a noisy
+            // client's first attempt is Rejected at the full exhaustion
+            // price (non-refundable), so its second attempt must have
+            // been refused by the one-request zero-refill bucket.
+            let noisy = roles.iter().filter(|r| **r == 1).count() as u64;
+            assert!(
+                noisy == 0 || adm("rbc_admission_tokens_refused_total") >= noisy,
+                "noisy {noisy}: {stats:?}"
+            );
+        }
         // The shared registry tells the same story.
         let snap = service.registry().snapshot();
         for (name, want) in [
@@ -249,7 +297,10 @@ mod books_balance {
             queue_limit in 0usize..3,
             tiny_budget in any::<bool>(),
         ) {
-            run_mix(roles, queue_limit, tiny_budget);
+            run_mix(roles.clone(), queue_limit, tiny_budget, false);
+            // Same mix fronted by the admission layer, generous
+            // dispatcher: refusals book as sheds, the sums still hold.
+            run_mix(roles, 8, false, true);
         }
     }
 }

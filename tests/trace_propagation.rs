@@ -210,7 +210,7 @@ fn timed_out_auth_emits_a_deadline_breach_on_its_trace() {
         }
         // A zero budget may also shed pre-search depending on scheduling;
         // that path is covered by the overload test below.
-        Verdict::Overloaded => assert_stitched(&r, &["hello", "prepare", "auth_total"]),
+        Verdict::Overloaded { .. } => assert_stitched(&r, &["hello", "prepare", "auth_total"]),
         other => panic!("zero budget cannot complete a noisy search: {other:?}"),
     }
 }
@@ -224,7 +224,7 @@ fn overloaded_auth_still_stitches_and_emits_a_shed_event() {
     let backends: Vec<Arc<dyn SearchBackend>> = vec![Arc::new(Sha1Only)];
     let r = run_scenario(backends, DispatcherConfig::default(), &device, client, 0x0E7);
 
-    assert_eq!(r.verdict.verdict, Verdict::Overloaded);
+    assert!(matches!(r.verdict.verdict, Verdict::Overloaded { .. }), "{:?}", r.verdict.verdict);
     // No backend ran: `search`/`finish` legitimately never happened, but
     // what did happen still stitches under the wire trace.
     assert_stitched(&r, &["hello", "prepare", "queue_wait", "auth_total"]);
